@@ -1,0 +1,471 @@
+//! Section 5 — validation of quantum compiler optimizing rules.
+//!
+//! Both rules follow the paper's three-step recipe: *program encoding*,
+//! *condition formulation*, *NKA derivation*. The derivations below are
+//! the paper's, transcribed into checked proof objects; the semantic
+//! validators build the four programs of Figure 4 on concrete quantum
+//! instances and compare denotations directly — which is exactly the
+//! exponential-size-matrix route the algebra avoids (benchmarked in
+//! `nka-bench` as `scale_motivation`).
+
+use nka_core::{theorems, EqChain, Judgment, Proof};
+use nka_qprog::Program;
+use nka_syntax::Expr;
+use qsim_linalg::CMatrix;
+use qsim_quantum::{gates, states, Measurement, RegisterSpace, Superoperator};
+
+/// A Horn formula together with its checked proof: hypotheses, the proved
+/// judgment, and the proof object.
+#[derive(Debug, Clone)]
+pub struct CheckedHornProof {
+    /// The hypotheses of the Horn clause.
+    pub hypotheses: Vec<Judgment>,
+    /// The conclusion.
+    pub conclusion: Judgment,
+    /// The proof of the conclusion from the hypotheses.
+    pub proof: Proof,
+}
+
+impl CheckedHornProof {
+    /// Re-checks the proof and asserts it proves the recorded conclusion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proof fails to check or proves something else.
+    pub fn assert_checked(&self) {
+        let j = self
+            .proof
+            .check(&self.hypotheses)
+            .unwrap_or_else(|err| panic!("proof failed to check: {err}"));
+        assert_eq!(j, self.conclusion, "proof proves a different judgment");
+    }
+
+    /// Proof size (rule applications), for benchmark reporting.
+    pub fn proof_size(&self) -> usize {
+        self.proof.size()
+    }
+}
+
+fn e(src: &str) -> Expr {
+    src.parse().expect("static expression parses")
+}
+
+/// §5.1, formula (5.1.1) — **loop unrolling**:
+///
+/// ```text
+/// m1 m1 = m1 ∧ m1 m0 = 0  ⊢  (m0 p)* m1 = (m0 p (m0 p + m1 1))* m1
+/// ```
+///
+/// The derivation is the paper's, step for step (distribute, denesting,
+/// fixed-point, hypothesis absorptions, fixed-point again, unrolling).
+pub fn loop_unrolling_proof() -> CheckedHornProof {
+    let hypotheses = vec![
+        Judgment::Eq(e("m1 m1"), e("m1")), // Hyp(0): projectivity
+        Judgment::Eq(e("m1 m0"), e("0")),  // Hyp(1): orthogonality
+    ];
+    let x = e("m0 p (m0 p)"); // the doubled body (m0 p)(m0 p)
+    let y = e("m0 p m1");
+    let start = e("(m0 p (m0 p + m1 1))* m1");
+
+    let chain = EqChain::with_hyps(&start, &hypotheses)
+        // = (m0 p m0 p + m0 p m1)* m1                      (distributive-law)
+        .semiring(&e("(m0 p (m0 p) + m0 p m1)* m1"))
+        .expect("5.1 distribute")
+        // = (m0p m0p)* ((m0 p m1) (m0p m0p)*)* m1          (denesting)
+        .rw_at(&[0], theorems::denesting_right(&x, &y))
+        .expect("5.1 denesting")
+        // = (x)* (m0pm1 (1 + x x*))* m1                    (fixed-point)
+        .rw_rev_at(&[0, 1, 0, 1], theorems::fixed_point_right(&x))
+        .expect("5.1 fixed-point 1")
+        // Expose m1 m0 inside and kill the tail with Hyp(1).
+        .semiring(&e(
+            "(m0 p (m0 p))* (m0 p m1 + m0 p ((m1 m0) (p (m0 p) ((m0 p (m0 p))*))))* m1",
+        ))
+        .expect("5.1 expose m1 m0")
+        .hyp(1)
+        .expect("5.1 absorb m1 m0")
+        .semiring(&e("(m0 p (m0 p))* (m0 p m1)* m1"))
+        .expect("5.1 cleanup 1")
+        // = (x)* (1 + y (1 + y y*)) m1                     (fixed-point ×2)
+        .rw_rev_at(&[0, 1], theorems::fixed_point_right(&y))
+        .expect("5.1 fixed-point 2")
+        .rw_rev_at(&[0, 1, 1, 1], theorems::fixed_point_right(&y))
+        .expect("5.1 fixed-point 3")
+        // Kill the y·y·y* tail (contains m1 m0) and expose m1 m1.
+        .semiring(&e(
+            "(m0 p (m0 p))* (m1 + m0 p (m1 m1) + m0 p ((m1 m0) (p m1 ((m0 p m1)* m1))))",
+        ))
+        .expect("5.1 expose hyps")
+        .hyp(1)
+        .expect("5.1 absorb m1 m0 again")
+        .hyp(0)
+        .expect("5.1 projectivity")
+        // = ((m0p)(m0p))* (1 + m0 p) m1                    (distributive-law)
+        .semiring(&e("(((m0 p) (m0 p))* (1 + m0 p)) m1"))
+        .expect("5.1 regroup")
+        // = (m0 p)* m1                                     (unrolling)
+        .rw_at(&[0], theorems::unrolling(&e("m0 p")))
+        .expect("5.1 unrolling");
+
+    let conclusion = Judgment::Eq(e("(m0 p)* m1"), start.clone());
+    CheckedHornProof {
+        hypotheses,
+        conclusion,
+        proof: chain.into_proof().flip(),
+    }
+}
+
+/// The generalized **boundary lemma** behind §5.2 and Appendix B:
+///
+/// ```text
+/// u u⁻¹ = 1 ∧ u⁻¹ u = 1 ∧ u m = m u  ⊢  (u q u⁻¹)* m = u q* m u⁻¹
+/// ```
+///
+/// `hyp_uu`, `hyp_uinvu`, `hyp_um` are proofs of the three hypotheses
+/// (typically [`Proof::Hyp`] into `hyps`); the statement trees are
+/// `((u q) u⁻¹)* m` and `((u q*) m) u⁻¹`.
+///
+/// # Panics
+///
+/// Panics only on an internal transcription bug (the steps cannot fail
+/// for well-typed arguments; the tests instantiate it both abstractly and
+/// inside §5.2 / Appendix B).
+#[allow(clippy::too_many_arguments)] // mirrors the lemma's seven premises
+pub fn boundary_lemma(
+    u: &Expr,
+    u_inv: &Expr,
+    q: &Expr,
+    m: &Expr,
+    hyp_uu: Proof,
+    hyp_uinvu: Proof,
+    hyp_um: Proof,
+    hyps: &[Judgment],
+) -> Proof {
+    let one = Expr::one();
+    let start = u.mul(q).mul(u_inv).star().mul(m);
+
+    // Sub-lemma A: u⁻¹ m = m u⁻¹.
+    let commute_inv = EqChain::with_hyps(&u_inv.mul(m), hyps)
+        .semiring(&u_inv.mul(m).mul(&one))
+        .expect("boundary A pad")
+        .rw_rev_at(&[1], hyp_uu.clone())
+        .expect("boundary A insert uu⁻¹")
+        .semiring(&u_inv.mul(&m.mul(u)).mul(u_inv))
+        .expect("boundary A reshape")
+        .rw_rev_at(&[0, 1], hyp_um.clone())
+        .expect("boundary A commute")
+        .semiring(&u_inv.mul(u).mul(&m.mul(u_inv)))
+        .expect("boundary A regroup")
+        .rw_at(&[0], hyp_uinvu.clone())
+        .expect("boundary A cancel")
+        .semiring(&m.mul(u_inv))
+        .expect("boundary A unit")
+        .into_proof();
+
+    // Sub-lemma B: (u m) u⁻¹ = m.
+    let umu = EqChain::with_hyps(&u.mul(m).mul(u_inv), hyps)
+        .rw_at(&[0], hyp_um)
+        .expect("boundary B commute")
+        .semiring(&m.mul(&u.mul(u_inv)))
+        .expect("boundary B regroup")
+        .rw_at(&[1], hyp_uu)
+        .expect("boundary B cancel")
+        .semiring(m)
+        .expect("boundary B unit")
+        .into_proof();
+
+    let middle = u
+        .mul(m)
+        .mul(u_inv)
+        .add(&u.mul(&q.star().mul(q)).mul(m).mul(u_inv));
+
+    // LHS ⟶ middle.
+    let lhs_proof = EqChain::with_hyps(&start, hyps)
+        .semiring(&u.mul(&q.mul(u_inv)).star().mul(m))
+        .expect("boundary assoc")
+        .rw_rev_at(&[0], theorems::product_star(u, &q.mul(u_inv)))
+        .expect("boundary product-star")
+        .semiring(
+            &one.add(
+                &u.mul(&q.mul(&u_inv.mul(u)).star())
+                    .mul(&q.mul(u_inv)),
+            )
+            .mul(m),
+        )
+        .expect("boundary expose inverse")
+        .rw_at(&[0, 1, 0, 1, 0, 1], hyp_uinvu)
+        .expect("boundary cancel inverse")
+        .semiring(&m.add(&u.mul(&q.star().mul(q)).mul(&u_inv.mul(m))))
+        .expect("boundary distribute")
+        .rw_at(&[1, 1], commute_inv)
+        .expect("boundary commute past m")
+        .rw_rev_at(&[0], umu)
+        .expect("boundary reinsert conjugation")
+        .semiring(&middle)
+        .expect("boundary middle shape")
+        .into_proof();
+
+    // RHS ⟶ middle.
+    let rhs = u.mul(&q.star()).mul(m).mul(u_inv);
+    let rhs_proof = EqChain::with_hyps(&rhs, hyps)
+        .rw_rev_at(&[0, 0, 1], theorems::fixed_point_left(q))
+        .expect("boundary rhs fixed-point")
+        .semiring(&middle)
+        .expect("boundary rhs middle shape")
+        .into_proof();
+
+    lhs_proof.then(rhs_proof.flip())
+}
+
+/// §5.2, formula (5.2.1) — **loop boundary**:
+///
+/// ```text
+/// u u⁻¹ = 1 ∧ u⁻¹ u = 1 ∧ u m0 = m0 u ∧ u m1 = m1 u
+///   ⊢  (m0 u p u⁻¹)* m1 = u (m0 p)* m1 u⁻¹
+/// ```
+pub fn loop_boundary_proof() -> CheckedHornProof {
+    let hypotheses = vec![
+        Judgment::Eq(e("u u_inv"), e("1")), // Hyp(0)
+        Judgment::Eq(e("u_inv u"), e("1")), // Hyp(1)
+        Judgment::Eq(e("u m0"), e("m0 u")), // Hyp(2)
+        Judgment::Eq(e("u m1"), e("m1 u")), // Hyp(3)
+    ];
+    let (u, u_inv, q, m1) = (e("u"), e("u_inv"), e("m0 p"), e("m1"));
+    let start = e("(m0 u p u_inv)* m1");
+    let lemma_lhs = u.mul(&q).mul(&u_inv).star().mul(&m1);
+    let boundary = boundary_lemma(
+        &u,
+        &u_inv,
+        &q,
+        &m1,
+        Proof::Hyp(0),
+        Proof::Hyp(1),
+        Proof::Hyp(3),
+        &hypotheses,
+    );
+    let chain = EqChain::with_hyps(&start, &hypotheses)
+        .semiring(&e("((m0 u) (p u_inv))* m1"))
+        .expect("5.2 expose m0 u")
+        .rw_rev_at(&[0, 0, 0], Proof::Hyp(2))
+        .expect("5.2 commute")
+        .semiring(&lemma_lhs)
+        .expect("5.2 lemma shape")
+        .rw_at(&[], boundary)
+        .expect("5.2 boundary lemma")
+        .semiring(&e("u (m0 p)* m1 u_inv"))
+        .expect("5.2 final shape");
+    let conclusion = Judgment::Eq(start, e("u (m0 p)* m1 u_inv"));
+    CheckedHornProof {
+        hypotheses,
+        conclusion,
+        proof: chain.into_proof(),
+    }
+}
+
+/// Builds the `Unrolling1` program of Figure 4 on `qubits` qubits:
+/// `while M[q] = 0 do P done` with `M` a first-qubit projective
+/// measurement (outcome 0 continues, matching the encoding
+/// `(m0 p)* m1`) and `P` a layer of Hadamards.
+pub fn unrolling1_program(qubits: usize) -> Program {
+    let (meas, body) = unrolling_ingredients(qubits);
+    Program::while_loop(["mU1", "mU0"], &meas, body)
+}
+
+/// Builds `Unrolling2` of Figure 4:
+/// `while M[q] = 0 do (P; if M[q] = 0 then P) done`.
+pub fn unrolling2_program(qubits: usize) -> Program {
+    let (meas, body) = unrolling_ingredients(qubits);
+    let inner = Program::if_then_else(
+        ["mU1", "mU0"],
+        &meas,
+        body.clone(),
+        Program::skip(body.dim()),
+    );
+    Program::while_loop(["mU1", "mU0"], &meas, body.then(&inner))
+}
+
+/// The shared pieces of the unrolling programs: the measurement whose
+/// *continue* branch (outcome 1 of the `while`) projects onto `q₀ = 0`,
+/// and a Hadamard-layer body.
+fn unrolling_ingredients(qubits: usize) -> (Measurement, Program) {
+    let mut space = RegisterSpace::new();
+    let regs: Vec<_> = (0..qubits)
+        .map(|i| space.add_register(&format!("q{i}"), 2))
+        .collect();
+    let proj0 = space.embed(&states::basis_density(2, 0), &[regs[0]]);
+    // Outcome 0 = exit (projector I − P₀), outcome 1 = continue (P₀).
+    let complement = &CMatrix::identity(space.dim()) - &proj0;
+    let meas = Measurement::new(vec![complement, proj0]);
+    let mut u = CMatrix::identity(space.dim());
+    for &r in &regs {
+        u = &space.embed(&gates::hadamard(), &[r]) * &u;
+    }
+    let body = Program::unitary("pU", &u);
+    (meas, body)
+}
+
+/// Semantic validation of §5.1 on `qubits` qubits: the measurement is
+/// projective, so `⟦Unrolling1⟧ = ⟦Unrolling2⟧` must hold exactly.
+pub fn verify_loop_unrolling_semantically(qubits: usize, tol: f64) -> bool {
+    let p1 = unrolling1_program(qubits);
+    let p2 = unrolling2_program(qubits);
+    programs_equal_on_probes(&p1, &p2, tol)
+}
+
+/// Builds the `Boundary1`/`Boundary2` pair of Figure 4 on one work qubit
+/// `w` plus `qubits` data qubits: the loop conjugates `P` with `U`
+/// (rotations on the data only), while measuring `w`.
+pub fn boundary_programs(qubits: usize) -> (Program, Program) {
+    let mut space = RegisterSpace::new();
+    let w = space.add_register("w", 2);
+    let data: Vec<_> = (0..qubits)
+        .map(|i| space.add_register(&format!("d{i}"), 2))
+        .collect();
+    let proj0 = space.embed(&states::basis_density(2, 0), &[w]);
+    // Continue (outcome 1) while w = 0.
+    let complement = &CMatrix::identity(space.dim()) - &proj0;
+    let meas = Measurement::new(vec![complement, proj0]);
+
+    let mut u_mat = CMatrix::identity(space.dim());
+    let mut p_mat = CMatrix::identity(space.dim());
+    for &r in &data {
+        u_mat = &space.embed(&gates::rz(0.7), &[r]) * &u_mat;
+        p_mat = &space.embed(&gates::hadamard(), &[r]) * &p_mat;
+    }
+    // P must also act on w so the loop can terminate.
+    p_mat = &space.embed(&gates::hadamard(), &[w]) * &p_mat;
+    let u = Program::unitary("uB", &u_mat);
+    let u_inv = Program::unitary("uB_inv", &u_mat.adjoint());
+    let p = Program::unitary("pB", &p_mat);
+
+    let boundary1 = Program::while_loop(["mB1", "mB0"], &meas, u.then(&p).then(&u_inv));
+    let boundary2 = u
+        .then(&Program::while_loop(["mB1", "mB0"], &meas, p))
+        .then(&u_inv);
+    (boundary1, boundary2)
+}
+
+/// Semantic validation of §5.2: `U` acts on the data qubits only, so it
+/// commutes with the measurement on `w` and `⟦Boundary1⟧ = ⟦Boundary2⟧`.
+pub fn verify_loop_boundary_semantically(qubits: usize, tol: f64) -> bool {
+    let (b1, b2) = boundary_programs(qubits);
+    programs_equal_on_probes(&b1, &b2, tol)
+}
+
+/// Compares two programs on a PSD spanning probe family (equality on the
+/// family implies equality of the denotations, by linearity).
+pub fn programs_equal_on_probes(p1: &Program, p2: &Program, tol: f64) -> bool {
+    assert_eq!(p1.dim(), p2.dim());
+    let dim = p1.dim();
+    for rho in psd_probe_family(dim) {
+        if !p1.run(&rho).approx_eq(&p2.run(&rho), tol) {
+            return false;
+        }
+    }
+    true
+}
+
+/// A PSD family spanning Hermitian-matrix space.
+pub fn psd_probe_family(dim: usize) -> Vec<CMatrix> {
+    let mut probes: Vec<CMatrix> = Vec::new();
+    for i in 0..dim {
+        probes.push(states::basis_density(dim, i));
+    }
+    for i in 0..dim {
+        for j in (i + 1)..dim {
+            let mut plus = vec![qsim_linalg::Complex::ZERO; dim];
+            plus[i] = qsim_linalg::Complex::ONE;
+            plus[j] = qsim_linalg::Complex::ONE;
+            probes.push(states::pure_state(&plus));
+            let mut phase = vec![qsim_linalg::Complex::ZERO; dim];
+            phase[i] = qsim_linalg::Complex::ONE;
+            phase[j] = qsim_linalg::Complex::I;
+            probes.push(states::pure_state(&phase));
+        }
+    }
+    probes
+}
+
+/// Checks the §5.1 hypotheses hold for the concrete measurement
+/// (Corollary 4.3's premise-discharge step): `M₁∘M₁ = M₁` and
+/// `M₁∘M₀ = 0` as superoperators.
+pub fn unrolling_hypotheses_hold(qubits: usize, tol: f64) -> bool {
+    let (meas, _) = unrolling_ingredients(qubits);
+    let m0 = meas.branch(0);
+    let m1 = meas.branch(1);
+    m1.compose(&m1).approx_eq(&m1, tol)
+        && m1
+            .compose(&m0)
+            .approx_eq(&Superoperator::zero(meas.dim()), tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_unrolling_proof_checks() {
+        let horn = loop_unrolling_proof();
+        horn.assert_checked();
+        assert_eq!(
+            horn.conclusion.to_string(),
+            "(m0 p)* m1 = (m0 p (m0 p + m1 1))* m1"
+        );
+    }
+
+    #[test]
+    fn loop_boundary_proof_checks() {
+        let horn = loop_boundary_proof();
+        horn.assert_checked();
+        assert_eq!(
+            horn.conclusion.to_string(),
+            "(m0 u p u_inv)* m1 = u (m0 p)* m1 u_inv"
+        );
+    }
+
+    #[test]
+    fn unrolling_semantics_one_qubit() {
+        assert!(unrolling_hypotheses_hold(1, 1e-9));
+        assert!(verify_loop_unrolling_semantically(1, 1e-7));
+    }
+
+    #[test]
+    fn unrolling_semantics_two_qubits() {
+        assert!(verify_loop_unrolling_semantically(2, 1e-7));
+    }
+
+    #[test]
+    fn boundary_semantics() {
+        assert!(verify_loop_boundary_semantically(1, 1e-7));
+        assert!(verify_loop_boundary_semantically(2, 1e-7));
+    }
+
+    #[test]
+    fn boundary_lemma_standalone() {
+        let hyps = vec![
+            Judgment::Eq(e("s s_inv"), e("1")),
+            Judgment::Eq(e("s_inv s"), e("1")),
+            Judgment::Eq(e("s mm"), e("mm s")),
+        ];
+        let proof = boundary_lemma(
+            &e("s"),
+            &e("s_inv"),
+            &e("body"),
+            &e("mm"),
+            Proof::Hyp(0),
+            Proof::Hyp(1),
+            Proof::Hyp(2),
+            &hyps,
+        );
+        let j = proof.check(&hyps).unwrap();
+        assert_eq!(j.to_string(), "(s body s_inv)* mm = s body* mm s_inv");
+    }
+
+    #[test]
+    fn proofs_are_compact() {
+        // The motivation claim: algebraic certificates are small and
+        // dimension-independent.
+        assert!(loop_unrolling_proof().proof_size() < 5000);
+        assert!(loop_boundary_proof().proof_size() < 5000);
+    }
+}

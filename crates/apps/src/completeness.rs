@@ -1,0 +1,219 @@
+//! Appendix C.5 — the completeness construction of Theorem 4.2.
+//!
+//! To prove completeness of NKA for the quantum interpretation, the paper
+//! builds, for each word length bound `n`, the interpretation over
+//! `H = span{|s⟩ : s ∈ Σ*, |s| ≤ n}` with
+//!
+//! ```text
+//! eval(a)(ρ) = Σ_s K_{a,s} ρ K_{a,s}†,   K_{a,s} = (1/√#a)·|sa⟩⟨s|
+//! ```
+//!
+//! and shows (eq. C.5.1) that applying `Qint(e)` to `[r·|s⟩⟨s|]` produces
+//! `Σ_{st ∈ S} Σ_{k=1}^{{{e}}[t]} [r/#t · |st⟩⟨st|]` — i.e. the quantum
+//! path model *computes the formal power series* `{{e}}`, coefficients
+//! appearing as accumulated weight and `∞`-coefficients as divergence
+//! directions. This module implements the construction and
+//! [`CompletenessModel::check_c51_on_epsilon`] validates eq. C.5.1 at `s = ε, r = 1`
+//! against the truncated-series oracle — tying together `nka-series`,
+//! `nka-wfa`'s ground truth, and `nka-qpath`.
+
+use nka_qpath::{ExtPosOp, Interpretation};
+use nka_semiring::ExtNat;
+use nka_series::{all_words, eval, Series};
+use nka_syntax::{Expr, Symbol, Word};
+use qsim_linalg::{CMatrix, Complex, Subspace};
+use qsim_quantum::Superoperator;
+use std::collections::HashMap;
+
+/// The C.5 interpretation for `alphabet` and maximum word length `n`.
+///
+/// The Hilbert space has one basis vector per word of length ≤ `n`
+/// (dimension `Σ_k |Σ|^k`).
+#[derive(Debug)]
+pub struct CompletenessModel {
+    alphabet: Vec<Symbol>,
+    max_len: usize,
+    words: Vec<Word>,
+    index: HashMap<Word, usize>,
+    interpretation: Interpretation,
+}
+
+impl CompletenessModel {
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabet is empty.
+    pub fn new(alphabet: &[Symbol], max_len: usize) -> CompletenessModel {
+        assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+        let words = all_words(alphabet, max_len);
+        let dim = words.len();
+        let index: HashMap<Word, usize> = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+        // #a = |{s : s·a ∈ S}| = number of words of length ≤ n−1 — the
+        // same for every symbol.
+        let shorter = all_words(alphabet, max_len.saturating_sub(1)).len();
+        let norm = 1.0 / (shorter as f64).sqrt();
+
+        let mut interpretation = Interpretation::new(dim);
+        for &a in alphabet {
+            let mut kraus = Vec::new();
+            for (s_idx, s) in words.iter().enumerate() {
+                if s.len() + 1 > max_len {
+                    continue;
+                }
+                let mut sa = s.clone();
+                sa.push(a);
+                let sa_idx = index[&sa];
+                let mut k = CMatrix::zeros(dim, dim);
+                k[(sa_idx, s_idx)] = Complex::from(norm);
+                kraus.push(k);
+            }
+            interpretation.assign(a, Superoperator::from_kraus(dim, dim, kraus));
+        }
+        CompletenessModel {
+            alphabet: alphabet.to_vec(),
+            max_len,
+            words,
+            index,
+            interpretation,
+        }
+    }
+
+    /// The Hilbert-space dimension (number of words ≤ `max_len`).
+    pub fn dim(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The interpretation `int = (H, eval)`.
+    pub fn interpretation(&self) -> &Interpretation {
+        &self.interpretation
+    }
+
+    /// `#t` — the normalization factor of a word (`Π #aᵢ`).
+    pub fn sharp(&self, t: &Word) -> f64 {
+        let shorter = all_words(&self.alphabet, self.max_len - 1).len();
+        (shorter as f64).powi(t.len() as i32)
+    }
+
+    /// Applies `Qint(e)` to `[|ε⟩⟨ε|]` and returns the canonical result.
+    pub fn apply_to_epsilon(&self, e: &Expr) -> ExtPosOp {
+        let eps_idx = self.index[&Word::epsilon()];
+        let rho = qsim_quantum::states::basis_density(self.dim(), eps_idx);
+        self.interpretation
+            .action(e)
+            .apply(&ExtPosOp::from_operator(&rho))
+    }
+
+    /// The canonical form eq. C.5.1 *predicts* for `s = ε, r = 1`:
+    /// finite part `Σ_{t: {{e}}[t] finite} {{e}}[t]/#t · |t⟩⟨t|`,
+    /// divergence subspace `span{|t⟩ : {{e}}[t] = ∞}`.
+    pub fn predicted_from_series(&self, series: &Series) -> ExtPosOp {
+        let dim = self.dim();
+        let mut fin = CMatrix::zeros(dim, dim);
+        let mut div_vectors = Vec::new();
+        for (t, &t_idx) in &self.index {
+            let coeff = series.coeff(t);
+            match coeff {
+                ExtNat::Fin(k) => {
+                    fin[(t_idx, t_idx)] = Complex::from(k as f64 / self.sharp(t));
+                }
+                ExtNat::Inf => {
+                    let mut v = vec![Complex::ZERO; dim];
+                    v[t_idx] = Complex::ONE;
+                    div_vectors.push(v);
+                }
+            }
+        }
+        let div = Subspace::from_spanning(dim, &div_vectors);
+        ExtPosOp::from_parts(div, &fin)
+    }
+
+    /// Validates eq. C.5.1 at `s = ε, r = 1` for `e`: the path-model
+    /// result must match the truncated-series prediction.
+    pub fn check_c51_on_epsilon(&self, e: &Expr) -> bool {
+        let actual = self.apply_to_epsilon(e);
+        let series = eval(e, &self.alphabet, self.max_len);
+        let predicted = self.predicted_from_series(&series);
+        actual.approx_eq(&predicted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CompletenessModel {
+        let alphabet = vec![Symbol::intern("a"), Symbol::intern("b")];
+        CompletenessModel::new(&alphabet, 2)
+    }
+
+    fn e(src: &str) -> Expr {
+        src.parse().unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let m = model();
+        assert_eq!(m.dim(), 1 + 2 + 4);
+    }
+
+    #[test]
+    fn atoms_step_one_letter() {
+        let m = model();
+        assert!(m.check_c51_on_epsilon(&e("a")));
+        assert!(m.check_c51_on_epsilon(&e("b")));
+        assert!(m.check_c51_on_epsilon(&e("a b")));
+    }
+
+    #[test]
+    fn constants() {
+        let m = model();
+        assert!(m.check_c51_on_epsilon(&e("0")));
+        assert!(m.check_c51_on_epsilon(&e("1")));
+        assert!(m.check_c51_on_epsilon(&e("1 + 1")));
+    }
+
+    #[test]
+    fn sums_accumulate_multiplicity() {
+        let m = model();
+        assert!(m.check_c51_on_epsilon(&e("a + a")));
+        assert!(m.check_c51_on_epsilon(&e("a + b")));
+        assert!(m.check_c51_on_epsilon(&e("a b + a b + b a")));
+    }
+
+    #[test]
+    fn stars_produce_series_tails() {
+        let m = model();
+        assert!(m.check_c51_on_epsilon(&e("a*")));
+        assert!(m.check_c51_on_epsilon(&e("(a + b)*")));
+        assert!(m.check_c51_on_epsilon(&e("a* a*")));
+    }
+
+    #[test]
+    fn infinite_coefficients_become_divergence() {
+        let m = model();
+        // {{1*}}[ε] = ∞: divergence exactly along |ε⟩.
+        let out = m.apply_to_epsilon(&e("1*"));
+        assert_eq!(out.divergence().dim(), 1);
+        assert!(m.check_c51_on_epsilon(&e("1*")));
+        assert!(m.check_c51_on_epsilon(&e("(1 + a)*")));
+        assert!(m.check_c51_on_epsilon(&e("1* a")));
+    }
+
+    #[test]
+    fn random_expressions_obey_c51() {
+        use nka_syntax::{random_expr, ExprGenConfig};
+        let m = model();
+        let config = ExprGenConfig::new(vec![Symbol::intern("a"), Symbol::intern("b")])
+            .with_target_size(7);
+        let mut seed = 0xC5_15EED;
+        for _ in 0..25 {
+            let expr = random_expr(&config, &mut seed);
+            assert!(m.check_c51_on_epsilon(&expr), "C.5.1 failed for {expr}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! The paper's worked applications, reproduced end-to-end.
+//!
+//! Each module pairs a **machine-checked algebraic proof** (the paper's
+//! derivation, transcribed step by step into `nka-core` proof objects)
+//! with a **semantic validation** (concrete programs on the quantum
+//! substrate whose denotations are compared directly):
+//!
+//! * [`compiler_opt`] — Section 5: validation of quantum compiler
+//!   optimization rules (loop unrolling §5.1, loop boundary §5.2);
+//! * [`qsp`] — Appendix B: the quantum-signal-processing optimization
+//!   (canceling the `S`/`S⁻¹` conjugation inside the QSP loop), at the
+//!   gate level;
+//! * [`normal_form_example`] — Section 6: the two-loops-into-one worked
+//!   example (`Original` ≡ `Constructed`), with the paper's full NKA
+//!   derivation;
+//! * [`completeness`] — Appendix C.5: the interpretation used in the
+//!   completeness proof of Theorem 4.2, connecting the quantum path model
+//!   back to formal power series.
+//!
+//! # Examples
+//!
+//! Verify the loop-unrolling rule both ways:
+//!
+//! ```
+//! use nka_apps::compiler_opt;
+//!
+//! // Algebraic: the Horn formula (5.1.1), checked.
+//! let proof = compiler_opt::loop_unrolling_proof();
+//! proof.assert_checked();
+//!
+//! // Semantic: ⟦Unrolling1⟧ = ⟦Unrolling2⟧ on a 1-qubit instance.
+//! assert!(compiler_opt::verify_loop_unrolling_semantically(1, 1e-8));
+//! ```
+
+pub mod compiler_opt;
+pub mod completeness;
+pub mod normal_form_example;
+pub mod qsp;
+pub mod rule_library;
+
+pub use compiler_opt::CheckedHornProof;

@@ -1,0 +1,105 @@
+//! DECIDE-SCALE — Remark 2.1: the equational theory of NKA is decidable.
+//! Measures the decision procedure across expression sizes, plus two
+//! ablations from DESIGN.md §6: the unsound `f64` zeroness arm, and the
+//! truncated-series semi-oracle (refutation-complete only).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nka_bench::random_exprs;
+use nka_series::eval;
+use nka_syntax::Symbol;
+use nka_wfa::decide::{decide_eq_with, DecideOptions};
+use nka_wfa::ka::{ka_equiv, saturate};
+use std::hint::black_box;
+
+fn bench_decide(c: &mut Criterion) {
+    let alphabet = [Symbol::intern("a"), Symbol::intern("b")];
+
+    let mut group = c.benchmark_group("decide/exact");
+    group.sample_size(10);
+    for size in [10usize, 20, 40, 80] {
+        let exprs = random_exprs(8, size, 0xD5C1DE + size as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &exprs, |b, exprs| {
+            b.iter(|| {
+                for pair in exprs.chunks(2) {
+                    let _ = nka_wfa::decide_eq(black_box(&pair[0]), black_box(&pair[1]));
+                }
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decide/f64_ablation");
+    group.sample_size(10);
+    let opts = DecideOptions {
+        float_ablation: true,
+        ..DecideOptions::default()
+    };
+    for size in [10usize, 20, 40] {
+        let exprs = random_exprs(8, size, 0xD5C1DE + size as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &exprs, |b, exprs| {
+            b.iter(|| {
+                for pair in exprs.chunks(2) {
+                    let _ = decide_eq_with(black_box(&pair[0]), black_box(&pair[1]), &opts);
+                }
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decide/series_truncation_ablation");
+    group.sample_size(10);
+    for size in [10usize, 20, 40] {
+        let exprs = random_exprs(8, size, 0xD5C1DE + size as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &exprs, |b, exprs| {
+            b.iter(|| {
+                for pair in exprs.chunks(2) {
+                    let _ = eval(black_box(&pair[0]), &alphabet, 4)
+                        == eval(black_box(&pair[1]), &alphabet, 4);
+                }
+            });
+        });
+    }
+    group.finish();
+
+    // Remark 2.1's 1*K embedding: deciding the KA (language) theory via
+    // the support DFAs, versus pushing the saturated pair through the
+    // full weighted pipeline. Both decide the same relation on 1*K; the
+    // support route skips the ∞-split and the exact-rational zeroness.
+    let mut group = c.benchmark_group("decide/ka_support");
+    group.sample_size(10);
+    for size in [10usize, 20, 40] {
+        let exprs = random_exprs(8, size, 0xD5C1DE + size as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &exprs, |b, exprs| {
+            b.iter(|| {
+                for pair in exprs.chunks(2) {
+                    let _ = ka_equiv(black_box(&pair[0]), black_box(&pair[1]));
+                }
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decide/ka_via_saturated_nka");
+    group.sample_size(10);
+    for size in [10usize, 20, 40] {
+        let exprs = random_exprs(8, size, 0xD5C1DE + size as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &exprs, |b, exprs| {
+            b.iter(|| {
+                for pair in exprs.chunks(2) {
+                    let _ = nka_wfa::decide_eq(
+                        black_box(&saturate(&pair[0])),
+                        black_box(&saturate(&pair[1])),
+                    );
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = nka_bench::criterion_config();
+    targets = bench_decide
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! FIG2A/FIG2B — cost of establishing each derivable formula of Figure 2,
+//! by three routes: constructing + checking the proof object, re-checking
+//! a prebuilt proof, and the decision procedure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nka_bench::figure2_equations;
+use nka_core::theorems;
+use nka_syntax::Expr;
+use std::hint::black_box;
+
+fn e(src: &str) -> Expr {
+    src.parse().unwrap()
+}
+
+fn build_proof(name: &str) -> nka_core::Proof {
+    let (p, q) = (e("p"), e("q"));
+    match name {
+        "fixed-point-right" => theorems::fixed_point_right(&p),
+        "fixed-point-left" => theorems::fixed_point_left(&p),
+        "product-star" => theorems::product_star(&p, &q),
+        "sliding" => theorems::sliding(&p, &q),
+        "denesting-left" => theorems::denesting_left(&p, &q),
+        "denesting-right" => theorems::denesting_right(&p, &q),
+        "unrolling" => theorems::unrolling(&p),
+        _ => unreachable!("unknown theorem {name}"),
+    }
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/construct_and_check");
+    for (name, _, _) in figure2_equations() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let proof = build_proof(black_box(name));
+                proof.check_closed().unwrap()
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig2/check_only");
+    for (name, _, _) in figure2_equations() {
+        let proof = build_proof(name);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(&proof).check_closed().unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig2/decision_procedure");
+    for (name, lhs, rhs) in figure2_equations() {
+        let (l, r) = (e(lhs), e(rhs));
+        group.bench_function(name, |b| {
+            b.iter(|| nka_wfa::decide_eq(black_box(&l), black_box(&r)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = nka_bench::criterion_config();
+    targets = bench_fig2
+}
+criterion_main!(benches);

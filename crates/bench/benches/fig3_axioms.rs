@@ -1,0 +1,87 @@
+//! FIG3 — soundness of the NKA axioms across the three models: the
+//! truncated power-series oracle, the decision procedure, and the quantum
+//! path model at growing Hilbert dimension (Theorem 3.6 / 4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nka_core::axioms::EqAxiom;
+use nka_qpath::{action::actions_approx_eq, Interpretation};
+use nka_series::eval;
+use nka_syntax::{Expr, Symbol};
+use qsim_quantum::{gates, Measurement, Superoperator};
+use std::hint::black_box;
+
+fn axiom_instances() -> Vec<(Expr, Expr)> {
+    let args: Vec<Expr> = ["a", "b", "a b"].iter().map(|s| s.parse().unwrap()).collect();
+    EqAxiom::ALL
+        .iter()
+        .map(|ax| ax.instantiate(&args[..ax.arity()]))
+        .collect()
+}
+
+fn interpretation(dim: usize) -> Interpretation {
+    let meas = Measurement::computational_basis(dim);
+    let mut int = Interpretation::new(dim);
+    // a = branch 0 then a global rotation, b = branch 1.
+    let mut u = qsim_linalg::CMatrix::identity(dim);
+    for k in 0..dim.trailing_zeros() as usize {
+        let mut space = qsim_quantum::RegisterSpace::new();
+        let regs: Vec<_> = (0..dim.trailing_zeros() as usize)
+            .map(|i| space.add_register(&format!("q{i}"), 2))
+            .collect();
+        u = &space.embed(&gates::hadamard(), &[regs[k]]) * &u;
+    }
+    int.assign(
+        Symbol::intern("a"),
+        meas.branch(0).compose(&Superoperator::from_unitary(&u)),
+    );
+    int.assign(Symbol::intern("b"), meas.branch(1));
+    int
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let instances = axiom_instances();
+    let alphabet = [Symbol::intern("a"), Symbol::intern("b")];
+
+    c.bench_function("fig3/series_oracle_all_axioms", |b| {
+        b.iter(|| {
+            for (l, r) in &instances {
+                assert_eq!(
+                    eval(black_box(l), &alphabet, 3),
+                    eval(black_box(r), &alphabet, 3)
+                );
+            }
+        });
+    });
+
+    c.bench_function("fig3/decision_procedure_all_axioms", |b| {
+        b.iter(|| {
+            for (l, r) in &instances {
+                assert!(nka_wfa::decide_eq(black_box(l), black_box(r)).unwrap());
+            }
+        });
+    });
+
+    let mut group = c.benchmark_group("fig3/quantum_path_model");
+    group.sample_size(10);
+    for dim in [2usize, 4, 8] {
+        let int = interpretation(dim);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| {
+                for (l, r) in &instances {
+                    assert!(actions_approx_eq(
+                        &int.action(black_box(l)),
+                        &int.action(black_box(r))
+                    ));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = nka_bench::criterion_config();
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! FIG4-UNROLL / FIG4-BOUND — validation cost of the two §5 compiler
+//! rules: the algebraic certificate (dimension-independent) versus the
+//! semantic check (density matrices, grows with qubit count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nka_apps::compiler_opt::{
+    loop_boundary_proof, loop_unrolling_proof, verify_loop_boundary_semantically,
+    verify_loop_unrolling_semantically,
+};
+use nka_apps::rule_library::{catalog, validate_rule};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4/unrolling/algebraic_proof", |b| {
+        b.iter(|| {
+            let horn = loop_unrolling_proof();
+            black_box(&horn).assert_checked();
+        });
+    });
+    c.bench_function("fig4/boundary/algebraic_proof", |b| {
+        b.iter(|| {
+            let horn = loop_boundary_proof();
+            black_box(&horn).assert_checked();
+        });
+    });
+
+    let mut group = c.benchmark_group("fig4/unrolling/semantic");
+    group.sample_size(10);
+    for qubits in 1..=3usize {
+        group.bench_with_input(BenchmarkId::from_parameter(qubits), &qubits, |b, &q| {
+            b.iter(|| assert!(verify_loop_unrolling_semantically(q, 1e-7)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig4/boundary/semantic");
+    group.sample_size(10);
+    for qubits in 1..=2usize {
+        group.bench_with_input(BenchmarkId::from_parameter(qubits), &qubits, |b, &q| {
+            b.iter(|| assert!(verify_loop_boundary_semantically(q, 1e-7)));
+        });
+    }
+    group.finish();
+
+    // The extended §5-style rule catalog: full pipeline per rule
+    // (re-check the certificate + compare the witness denotations).
+    let mut group = c.benchmark_group("fig4/rule_library");
+    group.sample_size(10);
+    for entry in catalog() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entry.name),
+            &entry,
+            |b, entry| {
+                b.iter(|| assert!(validate_rule(black_box(entry), 1e-9)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = nka_bench::criterion_config();
+    targets = bench_fig4
+}
+criterion_main!(benches);

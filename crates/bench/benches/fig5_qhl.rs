@@ -1,0 +1,70 @@
+//! FIG5-QHL — cost of checking Figure-5 derivations and of compiling them
+//! into NKAT derivations (Theorem 7.8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nka_qprog::{EncoderSetting, Program};
+use nkat::qhl::{encode_qhl, HoareTriple, QhlDerivation};
+use qsim_linalg::{CMatrix, Complex};
+use qsim_quantum::{gates, states, Measurement};
+use std::hint::black_box;
+
+fn loop_case() -> (QhlDerivation, Program) {
+    let meas = Measurement::computational_basis(2);
+    let h = Program::unitary("h", &gates::hadamard());
+    let w = Program::while_loop(["m0", "m1"], &meas, h.clone());
+    let half = CMatrix::identity(2).scale(Complex::from(0.5));
+    let c = CMatrix::from_real(&[&[1.0, 0.0], &[0.0, 0.5]]);
+    let body = QhlDerivation::Atomic(HoareTriple::new(&half, &h, &c));
+    (
+        QhlDerivation::Loop {
+            a: states::basis_density(2, 0),
+            inner: Box::new(body),
+        },
+        w,
+    )
+}
+
+fn seq_case() -> (QhlDerivation, Program) {
+    let h = Program::unitary("h", &gates::hadamard());
+    let x = Program::unitary("x", &gates::pauli_x());
+    let prog = h.then(&x);
+    let plus = h.run(&states::basis_density(2, 0));
+    let t1 = HoareTriple::new(&plus, &h, &states::basis_density(2, 0));
+    let t2 = HoareTriple::new(
+        &states::basis_density(2, 0),
+        &x,
+        &states::basis_density(2, 1),
+    );
+    (
+        QhlDerivation::Seq(
+            Box::new(QhlDerivation::Atomic(t1)),
+            Box::new(QhlDerivation::Atomic(t2)),
+        ),
+        prog,
+    )
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    for (name, (derivation, prog)) in [("loop", loop_case()), ("seq", seq_case())] {
+        c.bench_function(&format!("fig5/{name}/semantic_side_conditions"), |b| {
+            b.iter(|| {
+                black_box(&derivation).conclude(black_box(&prog)).unwrap()
+            });
+        });
+        c.bench_function(&format!("fig5/{name}/theorem78_compile"), |b| {
+            b.iter(|| {
+                let mut setting = EncoderSetting::new(2);
+                let encoded =
+                    encode_qhl(black_box(&derivation), black_box(&prog), &mut setting).unwrap();
+                encoded.derivation.verify().unwrap();
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = nka_bench::criterion_config();
+    targets = bench_fig5
+}
+criterion_main!(benches);

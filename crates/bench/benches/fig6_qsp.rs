@@ -1,0 +1,46 @@
+//! FIG6-QSP — the Appendix B optimization: algebraic certificate versus
+//! gate-level semantic verification across QSP instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nka_apps::qsp::{qsp_optimization_proof, QspInstance};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6/algebraic_proof", |b| {
+        b.iter(|| {
+            let horn = qsp_optimization_proof();
+            black_box(&horn).assert_checked();
+        });
+    });
+
+    let mut group = c.benchmark_group("fig6/hypothesis_discharge");
+    group.sample_size(10);
+    for (n, l) in [(1usize, 2usize), (2, 2), (2, 3)] {
+        let inst = QspInstance::new(n, l);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_L{l}_dim{}", inst.dim)),
+            &inst,
+            |b, inst| b.iter(|| assert!(inst.hypotheses_hold(1e-8))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig6/semantic_equality");
+    group.sample_size(10);
+    for (n, l) in [(1usize, 2usize), (2, 2)] {
+        let inst = QspInstance::new(n, l);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_L{l}_dim{}", inst.dim)),
+            &inst,
+            |b, inst| b.iter(|| assert!(inst.programs_equal(1e-7))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = nka_bench::criterion_config();
+    targets = bench_fig6
+}
+criterion_main!(benches);

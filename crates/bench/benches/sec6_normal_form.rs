@@ -1,0 +1,90 @@
+//! SEC6-NF — the Section-6 worked example (proof construction/checking)
+//! and the general Theorem-6.1 normal-form transformation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nka_apps::normal_form_example::{section6_proof, verify_section6_semantically};
+use nka_qprog::normal_form::{normalize, verify_normal_form};
+use nka_qprog::Program;
+use qsim_quantum::{gates, Measurement};
+use std::hint::black_box;
+
+fn shapes() -> Vec<(&'static str, Program)> {
+    let meas = Measurement::computational_basis(2);
+    let h = Program::unitary("h", &gates::hadamard());
+    let x = Program::unitary("x", &gates::pauli_x());
+    let coin = Program::while_loop(["m0", "m1"], &meas, h);
+    vec![
+        ("seq2", coin.then(&coin)),
+        (
+            "case",
+            Program::case(["n0", "n1"], &meas, vec![coin.clone(), x.clone()]),
+        ),
+        ("nested", Program::while_loop(["n0", "n1"], &meas, coin.then(&x))),
+    ]
+}
+
+/// The verification arm only uses the shapes whose guard spaces stay
+/// small enough for repeated sampling (the dim-54 shapes are verified
+/// once in the test suite instead).
+fn verify_shapes() -> Vec<(&'static str, Program)> {
+    let meas = Measurement::computational_basis(2);
+    let h = Program::unitary("h", &gates::hadamard());
+    let x = Program::unitary("x", &gates::pauli_x());
+    let coin = Program::while_loop(["m0", "m1"], &meas, h);
+    vec![
+        ("single", coin.clone()),
+        (
+            "case",
+            Program::case(["n0", "n1"], &meas, vec![coin, x]),
+        ),
+    ]
+}
+
+fn bench_sec6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec6/worked_example");
+    group.sample_size(10);
+    group.bench_function("algebraic_proof", |b| {
+        b.iter(|| {
+            let horn = section6_proof();
+            black_box(&horn).assert_checked();
+        });
+    });
+    group.bench_function("semantic_check", |b| {
+        b.iter(|| assert!(verify_section6_semantically(1e-7)));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("sec6/theorem61_transform");
+    group.sample_size(10);
+    for (name, program) in shapes() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, p| {
+            b.iter(|| {
+                let nf = normalize(black_box(p));
+                assert_eq!(nf.program().loop_count(), 1);
+                nf
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sec6/theorem61_verify");
+    group.sample_size(10);
+    for (name, program) in verify_shapes() {
+        let nf = normalize(&program);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(program, nf),
+            |b, (p, nf)| {
+                b.iter(|| assert!(verify_normal_form(p, nf, 1e-6)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = nka_bench::criterion_config();
+    targets = bench_sec6
+}
+criterion_main!(benches);

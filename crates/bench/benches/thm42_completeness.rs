@@ -1,0 +1,38 @@
+//! THM42-COMPLETE — evaluating the Appendix C.5 interpretation in the
+//! quantum path model and checking eq. C.5.1 against the series oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nka_apps::completeness::CompletenessModel;
+use nka_bench::random_exprs;
+use nka_syntax::Symbol;
+use std::hint::black_box;
+
+fn bench_thm42(c: &mut Criterion) {
+    let alphabet = vec![Symbol::intern("a"), Symbol::intern("b")];
+    let exprs = random_exprs(6, 6, 0xC51);
+
+    let mut group = c.benchmark_group("thm42/c51_check");
+    group.sample_size(10);
+    for max_len in [1usize, 2] {
+        let model = CompletenessModel::new(&alphabet, max_len);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("len{max_len}_dim{}", model.dim())),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    for e in &exprs {
+                        assert!(model.check_c51_on_epsilon(black_box(e)));
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = nka_bench::criterion_config();
+    targets = bench_thm42
+}
+criterion_main!(benches);

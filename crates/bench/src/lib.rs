@@ -1,0 +1,47 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target regenerates one experiment of `EXPERIMENTS.md`
+//! (which in turn indexes every figure of the paper — the paper is a
+//! theory paper, so its "figures" are axiom sets, derivable formulae,
+//! program pairs, and proof systems rather than measurement plots; the
+//! benches measure the cost of *checking* each of them plus the scaling
+//! claims of Section 1).
+
+use nka_syntax::{random_expr, Expr, ExprGenConfig, Symbol};
+
+/// Deterministic pseudo-random expressions over `{a, b}` of roughly
+/// `size` nodes.
+pub fn random_exprs(count: usize, size: usize, seed: u64) -> Vec<Expr> {
+    let alphabet = vec![Symbol::intern("a"), Symbol::intern("b")];
+    let config = ExprGenConfig::new(alphabet).with_target_size(size);
+    let mut state = seed;
+    (0..count)
+        .map(|_| random_expr(&config, &mut state))
+        .collect()
+}
+
+/// The equations of Figure 2a/2b as parse-ready strings.
+pub fn figure2_equations() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        ("fixed-point-right", "1 + p p*", "p*"),
+        ("fixed-point-left", "1 + p* p", "p*"),
+        ("product-star", "1 + p (q p)* q", "(p q)*"),
+        ("sliding", "(p q)* p", "p (q p)*"),
+        ("denesting-left", "(p + q)*", "(p* q)* p*"),
+        ("denesting-right", "(p + q)*", "p* (q p*)*"),
+        ("unrolling", "(p p)* (1 + p)", "p*"),
+    ]
+}
+
+/// The shared Criterion configuration for every bench target: small
+/// sample count and short windows so the full `cargo bench --workspace`
+/// run finishes in minutes on a laptop-class machine. Shapes (who wins,
+/// growth rates, crossovers) are unaffected; absolute noise floors rise.
+#[must_use]
+pub fn criterion_config() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .configure_from_args()
+}

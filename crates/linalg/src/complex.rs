@@ -1,0 +1,206 @@
+//! Complex floating-point scalars.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use qsim_linalg::Complex;
+/// let i = Complex::I;
+/// assert_eq!(i * i, Complex::from(-1.0));
+/// assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive unit.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative unit.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates `re + im·i`.
+    pub const fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Complex {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Modulus `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics when inverting (numerically) zero.
+    pub fn recip(self) -> Complex {
+        let n = self.norm_sqr();
+        assert!(n > 0.0, "reciprocal of zero complex number");
+        Complex::new(self.re / n, -self.im / n)
+    }
+
+    /// Square root of `|z|²`-scaled... no: principal square root of `z`.
+    pub fn sqrt(self) -> Complex {
+        let r = self.abs();
+        let theta = self.arg();
+        Complex::cis(theta / 2.0) * r.sqrt()
+    }
+
+    /// Whether both components are within `tol` of `other`'s.
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Complex {
+        Complex::new(re, 0.0)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    // Division *is* multiplication by the reciprocal here; the lint
+    // assumes mismatched operators are typos.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_ops() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert!((a / a).approx_eq(Complex::ONE, 1e-12));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn conjugation_and_modulus() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert!((z.norm_sqr() - 25.0).abs() < 1e-12);
+        assert!(((z * z.conj()).re - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_and_sqrt() {
+        let z = Complex::cis(std::f64::consts::FRAC_PI_2);
+        assert!(z.approx_eq(Complex::I, 1e-12));
+        let s = Complex::new(-1.0, 0.0).sqrt();
+        assert!(s.approx_eq(Complex::I, 1e-12));
+        let w = Complex::new(0.0, 2.0);
+        assert!((w.sqrt() * w.sqrt()).approx_eq(w, 1e-12));
+    }
+}

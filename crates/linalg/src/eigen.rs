@@ -1,0 +1,224 @@
+//! Hermitian eigendecomposition via the cyclic Jacobi method.
+//!
+//! Jacobi iteration is slow compared to Householder+QL, but it is simple,
+//! numerically robust, and more than fast enough for the ≤ 64-dimensional
+//! Hilbert spaces used throughout this reproduction.
+
+use crate::{CMatrix, Complex};
+
+/// The result of a Hermitian eigendecomposition: `A = V · diag(λ) · V†`.
+#[derive(Debug, Clone)]
+pub struct HermitianEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub vectors: CMatrix,
+}
+
+impl HermitianEigen {
+    /// The eigenvector for `values[k]`, as a column vector.
+    pub fn vector(&self, k: usize) -> Vec<Complex> {
+        self.vectors.column(k)
+    }
+}
+
+/// Computes the eigendecomposition of a Hermitian matrix by cyclic Jacobi
+/// rotations.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or not Hermitian within `1e-8`.
+///
+/// # Examples
+///
+/// ```
+/// use qsim_linalg::{CMatrix, eigen::hermitian_eigen};
+/// let h = CMatrix::from_real(&[&[0.0, 1.0], &[1.0, 0.0]]);
+/// let eig = hermitian_eigen(&h);
+/// assert!((eig.values[0] + 1.0).abs() < 1e-10);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-10);
+/// ```
+pub fn hermitian_eigen(a: &CMatrix) -> HermitianEigen {
+    assert!(a.is_square(), "eigendecomposition of non-square matrix");
+    assert!(
+        a.is_hermitian(1e-8),
+        "eigendecomposition requires a Hermitian matrix"
+    );
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = CMatrix::identity(n);
+
+    let off_diag = |m: &CMatrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += m[(i, j)].norm_sqr();
+                }
+            }
+        }
+        s.sqrt()
+    };
+
+    let scale = a.max_abs().max(1.0);
+    for _sweep in 0..100 {
+        if off_diag(&m) <= 1e-13 * scale * n as f64 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                let b = apq.abs();
+                if b <= 1e-15 * scale {
+                    continue;
+                }
+                let phi = apq.arg();
+                let alpha = m[(p, p)].re;
+                let gamma = m[(q, q)].re;
+                // Choose θ so that the (p,q) entry of J† M J vanishes.
+                // Writing the (p,q) block as [[α, b e^{iφ}], [b e^{−iφ}, γ]],
+                // the rotated off-diagonal entry is
+                // e^{iφ}·(sin 2θ·(α−γ)/2 + b·cos 2θ), zero at
+                // tan 2θ = 2b / (γ − α).
+                let theta = 0.5 * (2.0 * b).atan2(gamma - alpha);
+                let (s, c) = theta.sin_cos();
+                let e_phi = Complex::cis(phi);
+                // Columns p and q of M ← M·J and of V ← V·J, then rows of
+                // M ← J†·M. J is the identity outside the (p,q) block:
+                // J[p][p] = c, J[p][q] = s·e^{iφ}, J[q][p] = −s·e^{−iφ},
+                // J[q][q] = c.
+                let (jpp, jpq) = (Complex::from(c), e_phi * s);
+                let (jqp, jqq) = (-e_phi.conj() * s, Complex::from(c));
+                for i in 0..n {
+                    let (mip, miq) = (m[(i, p)], m[(i, q)]);
+                    m[(i, p)] = mip * jpp + miq * jqp;
+                    m[(i, q)] = mip * jpq + miq * jqq;
+                    let (vip, viq) = (v[(i, p)], v[(i, q)]);
+                    v[(i, p)] = vip * jpp + viq * jqp;
+                    v[(i, q)] = vip * jpq + viq * jqq;
+                }
+                for j in 0..n {
+                    let (mpj, mqj) = (m[(p, j)], m[(q, j)]);
+                    m[(p, j)] = jpp.conj() * mpj + jqp.conj() * mqj;
+                    m[(q, j)] = jpq.conj() * mpj + jqq.conj() * mqj;
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN eigenvalue"));
+    let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
+    let mut vectors = CMatrix::zeros(n, n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, new_col)] = v[(i, old_col)];
+        }
+    }
+    HermitianEigen { values, vectors }
+}
+
+/// The smallest eigenvalue of a Hermitian matrix.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`hermitian_eigen`].
+pub fn min_eigenvalue(a: &CMatrix) -> f64 {
+    hermitian_eigen(a).values[0]
+}
+
+/// The largest eigenvalue of a Hermitian matrix.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`hermitian_eigen`].
+pub fn max_eigenvalue(a: &CMatrix) -> f64 {
+    *hermitian_eigen(a)
+        .values
+        .last()
+        .expect("eigendecomposition of empty matrix")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(eig: &HermitianEigen) -> CMatrix {
+        let n = eig.values.len();
+        let mut d = CMatrix::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = Complex::from(eig.values[i]);
+        }
+        &(&eig.vectors * &d) * &eig.vectors.adjoint()
+    }
+
+    #[test]
+    fn pauli_x_eigensystem() {
+        let x = CMatrix::from_real(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let eig = hermitian_eigen(&x);
+        assert!((eig.values[0] + 1.0).abs() < 1e-10);
+        assert!((eig.values[1] - 1.0).abs() < 1e-10);
+        assert!(reconstruct(&eig).approx_eq(&x, 1e-10));
+        assert!(eig.vectors.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn complex_hermitian_matrix() {
+        // H = [[2, i], [-i, 3]]: eigenvalues (5 ± √5)/2.
+        let h = CMatrix::from_rows(&[
+            vec![Complex::from(2.0), Complex::I],
+            vec![-Complex::I, Complex::from(3.0)],
+        ]);
+        let eig = hermitian_eigen(&h);
+        let expected_low = (5.0 - 5.0_f64.sqrt()) / 2.0;
+        let expected_high = (5.0 + 5.0_f64.sqrt()) / 2.0;
+        assert!((eig.values[0] - expected_low).abs() < 1e-10);
+        assert!((eig.values[1] - expected_high).abs() < 1e-10);
+        assert!(reconstruct(&eig).approx_eq(&h, 1e-10));
+    }
+
+    #[test]
+    fn random_hermitian_reconstruction() {
+        // Deterministic pseudo-random Hermitian matrices of several sizes.
+        let mut seed = 0x1234_5678_u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) - 0.5
+        };
+        for n in [2usize, 3, 5, 8, 12] {
+            let mut m = CMatrix::zeros(n, n);
+            for i in 0..n {
+                m[(i, i)] = Complex::from(next());
+                for j in (i + 1)..n {
+                    let z = Complex::new(next(), next());
+                    m[(i, j)] = z;
+                    m[(j, i)] = z.conj();
+                }
+            }
+            let eig = hermitian_eigen(&m);
+            assert!(
+                reconstruct(&eig).approx_eq(&m, 1e-8),
+                "reconstruction failed at n = {n}"
+            );
+            assert!(eig.vectors.is_unitary(1e-8), "non-unitary V at n = {n}");
+            // Ascending order.
+            for w in eig.values.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn psd_matrix_has_nonnegative_spectrum() {
+        // A†A is always PSD.
+        let a = CMatrix::from_rows(&[
+            vec![Complex::new(1.0, 1.0), Complex::from(2.0)],
+            vec![Complex::from(0.5), Complex::new(0.0, -1.0)],
+        ]);
+        let psd = &a.adjoint() * &a;
+        assert!(min_eigenvalue(&psd) > -1e-10);
+        assert!(max_eigenvalue(&psd) > 0.0);
+    }
+}

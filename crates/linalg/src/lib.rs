@@ -1,0 +1,31 @@
+//! Dense complex linear algebra for the quantum substrate.
+//!
+//! The paper's semantic objects are finite-dimensional: density operators,
+//! superoperators, effects, and the canonical forms of `PO∞(H)` all live in
+//! `C^{d×d}` for small `d`. This crate supplies exactly the operations they
+//! need, from scratch (no external linear-algebra crate exists in the
+//! offline dependency set):
+//!
+//! * [`Complex`] — complex floating-point scalars;
+//! * [`CMatrix`] — dense matrices: products, adjoints, traces, tensor
+//!   (Kronecker) products;
+//! * [`eigen::hermitian_eigen`] — a cyclic Jacobi eigendecomposition for
+//!   Hermitian matrices, the workhorse behind positive-semidefiniteness
+//!   and Löwner-order checks ([`lowner`]) and behind the
+//!   divergence-subspace computations of the quantum path model;
+//! * [`Subspace`] — orthonormal-basis subspaces with joins, kernels and
+//!   supports of PSD operators.
+
+pub mod complex;
+pub mod eigen;
+pub mod lowner;
+pub mod matrix;
+pub mod subspace;
+
+pub use complex::Complex;
+pub use lowner::{is_psd, lowner_le};
+pub use matrix::CMatrix;
+pub use subspace::Subspace;
+
+/// Default numerical tolerance used across the quantum substrate.
+pub const TOL: f64 = 1e-9;

@@ -1,0 +1,81 @@
+//! The Löwner order on Hermitian operators.
+//!
+//! `A ⊑ B` iff `B − A` is positive semidefinite (Section 3.1 of the
+//! paper). These checks underpin quantum predicates (effects), the partial
+//! order of `PO∞(H)`, and Hoare-triple validity.
+
+use crate::eigen::min_eigenvalue;
+use crate::CMatrix;
+
+/// Whether a Hermitian matrix is positive semidefinite within `tol`
+/// (smallest eigenvalue ≥ `−tol`).
+///
+/// # Panics
+///
+/// Panics if `m` is not square or not Hermitian.
+///
+/// # Examples
+///
+/// ```
+/// use qsim_linalg::{is_psd, CMatrix};
+/// let proj = CMatrix::from_real(&[&[1.0, 0.0], &[0.0, 0.0]]);
+/// assert!(is_psd(&proj, 1e-9));
+/// let neg = CMatrix::from_real(&[&[-1.0, 0.0], &[0.0, 1.0]]);
+/// assert!(!is_psd(&neg, 1e-9));
+/// ```
+pub fn is_psd(m: &CMatrix, tol: f64) -> bool {
+    min_eigenvalue(m) >= -tol
+}
+
+/// Whether `a ⊑ b` in the Löwner order, within `tol`.
+///
+/// # Panics
+///
+/// Panics if the matrices are not square/Hermitian or differ in dimension.
+pub fn lowner_le(a: &CMatrix, b: &CMatrix, tol: f64) -> bool {
+    is_psd(&(b - a), tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex;
+
+    #[test]
+    fn identity_dominates_projectors() {
+        let id = CMatrix::identity(2);
+        let proj = CMatrix::from_real(&[&[1.0, 0.0], &[0.0, 0.0]]);
+        assert!(lowner_le(&proj, &id, 1e-9));
+        assert!(!lowner_le(&id, &proj, 1e-9));
+    }
+
+    #[test]
+    fn lowner_is_a_partial_order_on_samples() {
+        let a = CMatrix::from_real(&[&[0.3, 0.0], &[0.0, 0.7]]);
+        let b = CMatrix::from_real(&[&[0.5, 0.0], &[0.0, 0.9]]);
+        let c = CMatrix::from_real(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert!(lowner_le(&a, &b, 1e-9));
+        assert!(lowner_le(&b, &c, 1e-9));
+        assert!(lowner_le(&a, &c, 1e-9)); // transitivity instance
+        assert!(lowner_le(&a, &a, 1e-9)); // reflexivity
+    }
+
+    #[test]
+    fn incomparable_pair() {
+        // diag(1, 0) and diag(0, 1) are Löwner-incomparable.
+        let p = CMatrix::from_real(&[&[1.0, 0.0], &[0.0, 0.0]]);
+        let q = CMatrix::from_real(&[&[0.0, 0.0], &[0.0, 1.0]]);
+        assert!(!lowner_le(&p, &q, 1e-9));
+        assert!(!lowner_le(&q, &p, 1e-9));
+    }
+
+    #[test]
+    fn off_diagonal_psd() {
+        // [[1, i/2], [-i/2, 1]] has eigenvalues 1/2 and 3/2 — PSD.
+        let m = CMatrix::from_rows(&[
+            vec![Complex::from(1.0), Complex::I * 0.5],
+            vec![-Complex::I * 0.5, Complex::from(1.0)],
+        ]);
+        assert!(is_psd(&m, 1e-9));
+    }
+}

@@ -1,0 +1,415 @@
+//! Dense complex matrices.
+
+use crate::Complex;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A dense complex matrix.
+///
+/// # Examples
+///
+/// ```
+/// use qsim_linalg::{CMatrix, Complex};
+/// let x = CMatrix::from_real(&[&[0.0, 1.0], &[1.0, 0.0]]); // Pauli X
+/// let z = CMatrix::from_real(&[&[1.0, 0.0], &[0.0, -1.0]]); // Pauli Z
+/// let y = &x * &z; // = -iY
+/// assert!(y.approx_eq(&(&z * &x).scale(Complex::from(-1.0)), 1e-12));
+/// assert!((x.trace().abs()) < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// The `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> CMatrix {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> CMatrix {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from complex rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged rows.
+    pub fn from_rows(rows: &[Vec<Complex>]) -> CMatrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        CMatrix { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix from real rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged rows.
+    pub fn from_real(rows: &[&[f64]]) -> CMatrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend(row.iter().map(|&x| Complex::from(x)));
+        }
+        CMatrix { rows: r, cols: c, data }
+    }
+
+    /// The rank-one matrix `|v⟩⟨w|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths... they may differ —
+    /// the result is `v.len() × w.len()`.
+    pub fn outer(v: &[Complex], w: &[Complex]) -> CMatrix {
+        let mut m = CMatrix::zeros(v.len(), w.len());
+        for (i, &vi) in v.iter().enumerate() {
+            for (j, &wj) in w.iter().enumerate() {
+                m[(i, j)] = vi * wj.conj();
+            }
+        }
+        m
+    }
+
+    /// A computational-basis column vector `|k⟩` of dimension `dim`, as a
+    /// `dim × 1` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= dim`.
+    pub fn basis_ket(dim: usize, k: usize) -> CMatrix {
+        assert!(k < dim, "basis index out of range");
+        let mut m = CMatrix::zeros(dim, 1);
+        m[(k, 0)] = Complex::ONE;
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn adjoint(&self) -> CMatrix {
+        let mut m = CMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                m[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        m
+    }
+
+    /// Entrywise complex conjugate (no transpose).
+    pub fn conj(&self) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Transpose (no conjugation).
+    pub fn transpose(&self) -> CMatrix {
+        let mut m = CMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                m[(j, i)] = self[(i, j)];
+            }
+        }
+        m
+    }
+
+    /// Matrix trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, z: Complex) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| x * z).collect(),
+        }
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &CMatrix) -> CMatrix {
+        let mut m = CMatrix::zeros(self.rows * other.rows, self.cols * other.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a.abs() == 0.0 {
+                    continue;
+                }
+                for k in 0..other.rows {
+                    for l in 0..other.cols {
+                        m[(i * other.rows + k, j * other.cols + l)] = a * other[(k, l)];
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Maximum entrywise modulus.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Whether `‖self − other‖∞ ≤ tol` entrywise.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (*a - *b).abs() <= tol)
+    }
+
+    /// Whether the matrix is Hermitian within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.approx_eq(&self.adjoint(), tol)
+    }
+
+    /// Whether `A† A = I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.is_square() && (&self.adjoint() * self).approx_eq(&CMatrix::identity(self.rows), tol)
+    }
+
+    /// Applies the matrix to a column vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect()
+    }
+
+    /// `⟨v| M |v⟩` for a column vector `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn quadratic_form(&self, v: &[Complex]) -> Complex {
+        let mv = self.mul_vec(v);
+        v.iter().zip(mv).map(|(a, b)| a.conj() * b).sum()
+    }
+
+    /// Extracts column `j` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn column(&self, j: usize) -> Vec<Complex> {
+        assert!(j < self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = Complex;
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in mul");
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.abs() == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let prod = a * rhs[(k, j)];
+                    let entry = &mut out[(i, j)];
+                    *entry += prod;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Neg for &CMatrix {
+    type Output = CMatrix;
+    fn neg(self) -> CMatrix {
+        self.scale(Complex::from(-1.0))
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> CMatrix {
+        CMatrix::from_real(&[&[0.0, 1.0], &[1.0, 0.0]])
+    }
+
+    fn pauli_y() -> CMatrix {
+        CMatrix::from_rows(&[
+            vec![Complex::ZERO, -Complex::I],
+            vec![Complex::I, Complex::ZERO],
+        ])
+    }
+
+    #[test]
+    fn products_and_traces() {
+        let x = pauli_x();
+        let y = pauli_y();
+        let xy = &x * &y;
+        // XY = iZ.
+        assert!(xy[(0, 0)].approx_eq(Complex::I, 1e-12));
+        assert!(xy[(1, 1)].approx_eq(-Complex::I, 1e-12));
+        assert!(xy.trace().abs() < 1e-12);
+        assert!((&x * &x).approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn adjoints() {
+        let y = pauli_y();
+        assert!(y.is_hermitian(1e-12));
+        assert!(y.is_unitary(1e-12));
+        let v = CMatrix::from_rows(&[vec![Complex::I], vec![Complex::ONE]]);
+        let vd = v.adjoint();
+        assert_eq!(vd.rows(), 1);
+        assert!(vd[(0, 0)].approx_eq(-Complex::I, 1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = pauli_x();
+        let id = CMatrix::identity(2);
+        let xi = x.kron(&id);
+        assert_eq!(xi.rows(), 4);
+        // (X ⊗ I)|00⟩ = |10⟩.
+        let v = xi.mul_vec(&[Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ZERO]);
+        assert!(v[2].approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn outer_products_and_quadratic_forms() {
+        let plus = [
+            Complex::from(1.0 / 2.0_f64.sqrt()),
+            Complex::from(1.0 / 2.0_f64.sqrt()),
+        ];
+        let proj = CMatrix::outer(&plus, &plus);
+        assert!((proj.trace().re - 1.0).abs() < 1e-12);
+        assert!((&proj * &proj).approx_eq(&proj, 1e-12));
+        let zero_ket = [Complex::ONE, Complex::ZERO];
+        let val = proj.quadratic_form(&zero_ket);
+        assert!((val.re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basis_kets() {
+        let k = CMatrix::basis_ket(4, 2);
+        assert_eq!(k.rows(), 4);
+        assert!(k[(2, 0)].approx_eq(Complex::ONE, 1e-12));
+    }
+}

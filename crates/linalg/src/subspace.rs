@@ -1,0 +1,299 @@
+//! Subspaces of `C^d` represented by orthonormal bases.
+//!
+//! The canonical form of an extended positive operator (`PO∞(H)`, Section
+//! 3.2 of the paper) is a pair of a *divergence subspace* and a finite PSD
+//! part; this module provides the subspace algebra that representation
+//! needs: spans, joins, kernels and supports of PSD matrices, projectors,
+//! and orthogonal complements.
+
+use crate::eigen::hermitian_eigen;
+use crate::{CMatrix, Complex};
+
+/// A linear subspace of `C^d`, stored as the columns of a `d × k` matrix
+/// with orthonormal columns (`k` = dimension of the subspace).
+///
+/// # Examples
+///
+/// ```
+/// use qsim_linalg::{CMatrix, Complex, Subspace};
+/// let v = vec![Complex::ONE, Complex::ZERO];
+/// let s = Subspace::from_spanning(2, &[v]);
+/// assert_eq!(s.dim(), 1);
+/// assert!(s.contains(&[Complex::from(2.0), Complex::ZERO], 1e-9));
+/// assert!(!s.contains(&[Complex::ZERO, Complex::ONE], 1e-9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Subspace {
+    ambient: usize,
+    /// `ambient × dim` matrix with orthonormal columns.
+    basis: CMatrix,
+}
+
+impl Subspace {
+    /// The zero subspace of `C^ambient`.
+    pub fn zero(ambient: usize) -> Subspace {
+        Subspace {
+            ambient,
+            basis: CMatrix::zeros(ambient, 0),
+        }
+    }
+
+    /// The full space `C^ambient`.
+    pub fn full(ambient: usize) -> Subspace {
+        Subspace {
+            ambient,
+            basis: CMatrix::identity(ambient),
+        }
+    }
+
+    /// The span of the given vectors (Gram–Schmidt with tolerance `1e-9`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector has length ≠ `ambient`.
+    pub fn from_spanning(ambient: usize, vectors: &[Vec<Complex>]) -> Subspace {
+        let mut space = Subspace::zero(ambient);
+        for v in vectors {
+            space = space.extended_with(v, 1e-9);
+        }
+        space
+    }
+
+    /// Dimension of the subspace.
+    pub fn dim(&self) -> usize {
+        self.basis.cols()
+    }
+
+    /// Dimension of the ambient space.
+    pub fn ambient_dim(&self) -> usize {
+        self.ambient
+    }
+
+    /// The orthonormal basis, as matrix columns.
+    pub fn basis(&self) -> &CMatrix {
+        &self.basis
+    }
+
+    /// The orthogonal projector onto the subspace.
+    pub fn projector(&self) -> CMatrix {
+        &self.basis * &self.basis.adjoint()
+    }
+
+    /// Residual of `v` after projecting onto the subspace.
+    fn residual(&self, v: &[Complex]) -> Vec<Complex> {
+        let mut r = v.to_vec();
+        for j in 0..self.basis.cols() {
+            let col = self.basis.column(j);
+            let coeff: Complex = col.iter().zip(v).map(|(b, x)| b.conj() * *x).sum();
+            for (ri, bi) in r.iter_mut().zip(&col) {
+                *ri -= *bi * coeff;
+            }
+        }
+        r
+    }
+
+    /// Whether `v` lies in the subspace within `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != ambient`.
+    pub fn contains(&self, v: &[Complex], tol: f64) -> bool {
+        assert_eq!(v.len(), self.ambient);
+        let norm: f64 = self.residual(v).iter().map(|z| z.norm_sqr()).sum();
+        norm.sqrt() <= tol * v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt().max(1.0)
+    }
+
+    /// The subspace extended with `v` (unchanged if `v` is already inside,
+    /// up to `tol`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != ambient`.
+    pub fn extended_with(&self, v: &[Complex], tol: f64) -> Subspace {
+        assert_eq!(v.len(), self.ambient);
+        let r = self.residual(v);
+        // Re-orthogonalize once for numerical stability.
+        let r = {
+            let tmp = Subspace {
+                ambient: self.ambient,
+                basis: self.basis.clone(),
+            };
+            tmp.residual(&r)
+        };
+        let norm: f64 = r.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        let scale: f64 = v
+            .iter()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+            .max(1.0);
+        if norm <= tol * scale {
+            return self.clone();
+        }
+        let mut basis = CMatrix::zeros(self.ambient, self.dim() + 1);
+        for j in 0..self.dim() {
+            for i in 0..self.ambient {
+                basis[(i, j)] = self.basis[(i, j)];
+            }
+        }
+        for i in 0..self.ambient {
+            basis[(i, self.dim())] = r[i] * (1.0 / norm);
+        }
+        Subspace {
+            ambient: self.ambient,
+            basis,
+        }
+    }
+
+    /// The join (span of the union) of two subspaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched ambient dimensions.
+    pub fn join(&self, other: &Subspace) -> Subspace {
+        assert_eq!(self.ambient, other.ambient);
+        let mut out = self.clone();
+        for j in 0..other.dim() {
+            out = out.extended_with(&other.basis.column(j), 1e-9);
+        }
+        out
+    }
+
+    /// The orthogonal complement.
+    pub fn complement(&self) -> Subspace {
+        // Eigen-decompose I − P: eigenvectors with eigenvalue 1 span the
+        // complement.
+        let p = self.projector();
+        let q = &CMatrix::identity(self.ambient) - &p;
+        Subspace::support_of_psd(&q, 1e-6)
+    }
+
+    /// The support of a PSD matrix: the span of eigenvectors with
+    /// eigenvalue > `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not Hermitian.
+    pub fn support_of_psd(m: &CMatrix, tol: f64) -> Subspace {
+        let eig = hermitian_eigen(m);
+        let ambient = m.rows();
+        let cols: Vec<Vec<Complex>> = (0..ambient)
+            .filter(|&k| eig.values[k] > tol)
+            .map(|k| eig.vector(k))
+            .collect();
+        // Eigenvectors of a Hermitian matrix are already orthonormal.
+        let mut basis = CMatrix::zeros(ambient, cols.len());
+        for (j, col) in cols.iter().enumerate() {
+            for i in 0..ambient {
+                basis[(i, j)] = col[i];
+            }
+        }
+        Subspace { ambient, basis }
+    }
+
+    /// The kernel of a PSD matrix: eigenvectors with eigenvalue ≤ `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not Hermitian.
+    pub fn kernel_of_psd(m: &CMatrix, tol: f64) -> Subspace {
+        let eig = hermitian_eigen(m);
+        let ambient = m.rows();
+        let cols: Vec<Vec<Complex>> = (0..ambient)
+            .filter(|&k| eig.values[k] <= tol)
+            .map(|k| eig.vector(k))
+            .collect();
+        let mut basis = CMatrix::zeros(ambient, cols.len());
+        for (j, col) in cols.iter().enumerate() {
+            for i in 0..ambient {
+                basis[(i, j)] = col[i];
+            }
+        }
+        Subspace { ambient, basis }
+    }
+
+    /// Whether this subspace is contained in `other` within `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched ambient dimensions.
+    pub fn is_subspace_of(&self, other: &Subspace, tol: f64) -> bool {
+        assert_eq!(self.ambient, other.ambient);
+        (0..self.dim()).all(|j| other.contains(&self.basis.column(j), tol))
+    }
+
+    /// Whether the two subspaces are equal within `tol`.
+    pub fn approx_eq(&self, other: &Subspace, tol: f64) -> bool {
+        self.dim() == other.dim() && self.is_subspace_of(other, tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ket(dim: usize, k: usize) -> Vec<Complex> {
+        let mut v = vec![Complex::ZERO; dim];
+        v[k] = Complex::ONE;
+        v
+    }
+
+    #[test]
+    fn spanning_and_dimension() {
+        let plus: Vec<Complex> = vec![Complex::from(1.0), Complex::from(1.0)];
+        let minus: Vec<Complex> = vec![Complex::from(1.0), Complex::from(-1.0)];
+        let s = Subspace::from_spanning(2, &[plus.clone(), plus.clone()]);
+        assert_eq!(s.dim(), 1);
+        let full = Subspace::from_spanning(2, &[plus, minus]);
+        assert_eq!(full.dim(), 2);
+    }
+
+    #[test]
+    fn projector_is_idempotent_and_hermitian() {
+        let s = Subspace::from_spanning(3, &[ket(3, 0), ket(3, 2)]);
+        let p = s.projector();
+        assert!(p.is_hermitian(1e-10));
+        assert!((&p * &p).approx_eq(&p, 1e-10));
+        assert!((p.trace().re - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn join_and_complement() {
+        let a = Subspace::from_spanning(3, &[ket(3, 0)]);
+        let b = Subspace::from_spanning(3, &[ket(3, 1)]);
+        let j = a.join(&b);
+        assert_eq!(j.dim(), 2);
+        let c = j.complement();
+        assert_eq!(c.dim(), 1);
+        assert!(c.contains(&ket(3, 2), 1e-8));
+    }
+
+    #[test]
+    fn support_and_kernel_partition() {
+        // diag(0.5, 0, 0.25): support = span{e0, e2}, kernel = span{e1}.
+        let m = CMatrix::from_real(&[
+            &[0.5, 0.0, 0.0],
+            &[0.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.25],
+        ]);
+        let supp = Subspace::support_of_psd(&m, 1e-9);
+        let ker = Subspace::kernel_of_psd(&m, 1e-9);
+        assert_eq!(supp.dim(), 2);
+        assert_eq!(ker.dim(), 1);
+        assert!(supp.contains(&ket(3, 0), 1e-8));
+        assert!(supp.contains(&ket(3, 2), 1e-8));
+        assert!(ker.contains(&ket(3, 1), 1e-8));
+        assert!(supp.join(&ker).approx_eq(&Subspace::full(3), 1e-8));
+    }
+
+    #[test]
+    fn containment_checks() {
+        let s = Subspace::from_spanning(2, &[vec![Complex::ONE, Complex::I]]);
+        let inside = vec![Complex::from(3.0), Complex::I * 3.0];
+        let outside = vec![Complex::ONE, -Complex::I];
+        assert!(s.contains(&inside, 1e-9));
+        assert!(!s.contains(&outside, 1e-9));
+        assert!(s.is_subspace_of(&Subspace::full(2), 1e-9));
+        assert!(Subspace::zero(2).is_subspace_of(&s, 1e-9));
+    }
+}

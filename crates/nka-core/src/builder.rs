@@ -1,0 +1,624 @@
+//! Chain builders for transcribing equational/inequational derivations.
+//!
+//! The paper's proofs (Sections 5–6, Appendices B–C) are chains of
+//! rewriting steps annotated with the rule used. [`EqChain`] and
+//! [`LeChain`] mirror that style: each step is checked as it is appended,
+//! so a mistranscribed derivation fails at construction time with the
+//! offending step, not at final checking.
+//!
+//! # Examples
+//!
+//! The first two steps of the loop-unrolling validation (Section 5.1):
+//!
+//! ```
+//! use nka_core::{EqChain, Judgment, Proof};
+//! use nka_syntax::Expr;
+//!
+//! let start: Expr = "(m0 p (m0 p + m1 1))* m1".parse()?;
+//! let dist: Expr = "(m0 p m0 p + m0 p m1)* m1".parse()?;
+//! let chain = EqChain::new(&start).semiring(&dist)?;
+//! let judgment = chain.clone().into_proof().check_closed()?;
+//! assert_eq!(judgment, Judgment::eq(&start, &dist));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::judgment::Judgment;
+use crate::proof::{Proof, ProofError};
+use nka_syntax::{Expr, ExprNode};
+
+fn proof_error(rule: &'static str, detail: String) -> ProofError {
+    ProofError::custom(rule, detail)
+}
+
+/// Wraps `rule` (an equation proof for `l = r`) in congruence steps so that
+/// it applies at `path` inside `e`; returns the wrapped proof and the
+/// rewritten expression.
+fn wrap_at_path(
+    e: &Expr,
+    path: &[usize],
+    rule: Proof,
+    l: &Expr,
+    r: &Expr,
+) -> Result<(Proof, Expr), ProofError> {
+    if path.is_empty() {
+        if e != l {
+            return Err(proof_error(
+                "rewrite",
+                format!("subterm is {e}, rule rewrites {l}"),
+            ));
+        }
+        return Ok((rule, r.clone()));
+    }
+    let (head, rest) = (path[0], &path[1..]);
+    match (e.node(), head) {
+        (ExprNode::Add(a, b), 0) => {
+            let (inner, new_a) = wrap_at_path(a, rest, rule, l, r)?;
+            Ok((
+                Proof::CongAdd(Box::new(inner), Box::new(Proof::Refl(b.clone()))),
+                new_a.add(b),
+            ))
+        }
+        (ExprNode::Add(a, b), 1) => {
+            let (inner, new_b) = wrap_at_path(b, rest, rule, l, r)?;
+            Ok((
+                Proof::CongAdd(Box::new(Proof::Refl(a.clone())), Box::new(inner)),
+                a.add(&new_b),
+            ))
+        }
+        (ExprNode::Mul(a, b), 0) => {
+            let (inner, new_a) = wrap_at_path(a, rest, rule, l, r)?;
+            Ok((
+                Proof::CongMul(Box::new(inner), Box::new(Proof::Refl(b.clone()))),
+                new_a.mul(b),
+            ))
+        }
+        (ExprNode::Mul(a, b), 1) => {
+            let (inner, new_b) = wrap_at_path(b, rest, rule, l, r)?;
+            Ok((
+                Proof::CongMul(Box::new(Proof::Refl(a.clone())), Box::new(inner)),
+                a.mul(&new_b),
+            ))
+        }
+        (ExprNode::Star(a), 0) => {
+            let (inner, new_a) = wrap_at_path(a, rest, rule, l, r)?;
+            Ok((Proof::CongStar(Box::new(inner)), new_a.star()))
+        }
+        _ => Err(proof_error(
+            "rewrite",
+            format!("invalid path step {head} at {e}"),
+        )),
+    }
+}
+
+/// Applies an equation proof (`l = r` under `hyps`) once at `path` inside
+/// `e`, returning a proof of `e = e'` and the rewritten `e'`.
+///
+/// This is the single-step engine behind [`EqChain::rw_at`], exposed for
+/// the auto-prover.
+///
+/// # Errors
+///
+/// Fails if the rule is not an equation or the subterm at `path` is not
+/// syntactically its left-hand side.
+pub fn rewrite_once(
+    e: &Expr,
+    path: &[usize],
+    rule: Proof,
+    hyps: &[Judgment],
+) -> Result<(Proof, Expr), ProofError> {
+    let j = rule.check(hyps)?;
+    let Judgment::Eq(l, r) = j else {
+        return Err(proof_error("rewrite", "rule is not an equation".to_string()));
+    };
+    wrap_at_path(e, path, rule, &l, &r)
+}
+
+/// Finds the first pre-order position whose subterm equals `l`.
+fn find_subterm(e: &Expr, l: &Expr) -> Option<Vec<usize>> {
+    let mut found = None;
+    e.visit_subterms(&mut |path, sub| {
+        if found.is_none() && sub == l {
+            found = Some(path.to_vec());
+        }
+    });
+    found
+}
+
+/// An equational derivation chain `e₀ = e₁ = … = eₙ`, checked step by step.
+///
+/// See the [module documentation](self) for an example.
+#[derive(Debug, Clone)]
+pub struct EqChain {
+    hyps: Vec<Judgment>,
+    start: Expr,
+    current: Expr,
+    proof: Proof,
+}
+
+impl EqChain {
+    /// Starts a chain at `start` with no hypotheses.
+    pub fn new(start: &Expr) -> EqChain {
+        EqChain::with_hyps(start, &[])
+    }
+
+    /// Starts a chain at `start` under Horn-clause hypotheses.
+    pub fn with_hyps(start: &Expr, hyps: &[Judgment]) -> EqChain {
+        EqChain {
+            hyps: hyps.to_vec(),
+            start: start.clone(),
+            current: start.clone(),
+            proof: Proof::Refl(start.clone()),
+        }
+    }
+
+    /// The current right-hand side of the chain.
+    pub fn current(&self) -> &Expr {
+        &self.current
+    }
+
+    /// The judgment `start = current` established so far.
+    pub fn judgment(&self) -> Judgment {
+        Judgment::eq(&self.start, &self.current)
+    }
+
+    /// The accumulated proof.
+    pub fn into_proof(self) -> Proof {
+        self.proof
+    }
+
+    fn append(mut self, step: Proof, new_current: Expr) -> EqChain {
+        self.proof = self.proof.then(step);
+        self.current = new_current;
+        self
+    }
+
+    /// Reshapes the current expression to `target` inside the semiring-
+    /// plus-congruence fragment (distributivity, AC of `+`, units, …).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `current` and `target` differ in that fragment.
+    pub fn semiring(self, target: &Expr) -> Result<EqChain, ProofError> {
+        let step = Proof::BySemiring(self.current.clone(), target.clone());
+        step.check(&self.hyps)?;
+        let target = target.clone();
+        Ok(self.append(step, target))
+    }
+
+    /// Applies an equation proof `l = r` at an explicit `path` (child
+    /// indices from the root), left to right.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the rule is not an equation, or the subterm at `path` is
+    /// not syntactically `l`.
+    pub fn rw_at(self, path: &[usize], rule: Proof) -> Result<EqChain, ProofError> {
+        let j = rule.check(&self.hyps)?;
+        let Judgment::Eq(l, r) = j else {
+            return Err(proof_error("rewrite", format!("rule is not an equation: {j}")));
+        };
+        let (step, new_current) = wrap_at_path(&self.current, path, rule, &l, &r)?;
+        Ok(self.append(step, new_current))
+    }
+
+    /// Applies an equation proof `l = r` right to left at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EqChain::rw_at`], with sides swapped.
+    pub fn rw_rev_at(self, path: &[usize], rule: Proof) -> Result<EqChain, ProofError> {
+        self.rw_at(path, rule.flip())
+    }
+
+    /// Applies an equation proof at the first matching subterm (pre-order).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no subterm equals the rule's left-hand side.
+    pub fn rw(self, rule: Proof) -> Result<EqChain, ProofError> {
+        let j = rule.check(&self.hyps)?;
+        let Judgment::Eq(l, _) = &j else {
+            return Err(proof_error("rewrite", format!("rule is not an equation: {j}")));
+        };
+        let path = find_subterm(&self.current, l).ok_or_else(|| {
+            proof_error(
+                "rewrite",
+                format!("no subterm of {} equals {l}", self.current),
+            )
+        })?;
+        self.rw_at(&path, rule)
+    }
+
+    /// Applies an equation proof right to left at the first matching
+    /// subterm.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no subterm equals the rule's right-hand side.
+    pub fn rw_rev(self, rule: Proof) -> Result<EqChain, ProofError> {
+        self.rw(rule.flip())
+    }
+
+    /// Rewrites with hypothesis `i` (which must be an equation), left to
+    /// right, at the first matching subterm.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the hypothesis is missing, not an equation, or unmatched.
+    pub fn hyp(self, i: usize) -> Result<EqChain, ProofError> {
+        self.rw(Proof::Hyp(i))
+    }
+
+    /// Rewrites with hypothesis `i` right to left.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EqChain::hyp`].
+    pub fn hyp_rev(self, i: usize) -> Result<EqChain, ProofError> {
+        self.rw_rev(Proof::Hyp(i))
+    }
+
+    /// Rewrites with hypothesis `i` at an explicit path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EqChain::rw_at`].
+    pub fn hyp_at(self, path: &[usize], i: usize) -> Result<EqChain, ProofError> {
+        self.rw_at(path, Proof::Hyp(i))
+    }
+
+    /// Repeats [`EqChain::rw`] with the same rule until it no longer
+    /// matches (at least `min` applications must succeed).
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than `min` applications match.
+    pub fn rw_repeat(mut self, rule: Proof, min: usize) -> Result<EqChain, ProofError> {
+        let mut count = 0;
+        loop {
+            let j = rule.check(&self.hyps)?;
+            let Judgment::Eq(l, _) = &j else {
+                return Err(proof_error("rewrite", format!("rule is not an equation: {j}")));
+            };
+            match find_subterm(&self.current, l) {
+                Some(path) => {
+                    self = self.rw_at(&path, rule.clone())?;
+                    count += 1;
+                }
+                None if count >= min => return Ok(self),
+                None => {
+                    return Err(proof_error(
+                        "rewrite",
+                        format!("rule matched {count} times, needed {min}"),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// An inequational derivation chain `e₀ ≤ e₁ ≤ … ≤ eₙ`.
+///
+/// Equation steps are weakened via `EqToLe`; inequation steps must apply at
+/// the root or at a position reached through `+`/`·` contexts only (those
+/// are monotone by the Figure-3 axioms; rewriting under `*` needs the
+/// derived monotone-star lemma, see [`crate::theorems::monotone_star`]).
+#[derive(Debug, Clone)]
+pub struct LeChain {
+    hyps: Vec<Judgment>,
+    start: Expr,
+    current: Expr,
+    /// `None` while the chain is still at its start (so far `start ≤ start`
+    /// by reflexivity, kept implicit to avoid a useless leading step).
+    proof: Option<Proof>,
+}
+
+impl LeChain {
+    /// Starts a chain at `start` with no hypotheses.
+    pub fn new(start: &Expr) -> LeChain {
+        LeChain::with_hyps(start, &[])
+    }
+
+    /// Starts a chain at `start` under hypotheses.
+    pub fn with_hyps(start: &Expr, hyps: &[Judgment]) -> LeChain {
+        LeChain {
+            hyps: hyps.to_vec(),
+            start: start.clone(),
+            current: start.clone(),
+            proof: None,
+        }
+    }
+
+    /// The current right-hand side.
+    pub fn current(&self) -> &Expr {
+        &self.current
+    }
+
+    /// The judgment `start ≤ current` established so far.
+    pub fn judgment(&self) -> Judgment {
+        Judgment::le(&self.start, &self.current)
+    }
+
+    /// The accumulated proof of `start ≤ current`.
+    pub fn into_proof(self) -> Proof {
+        self.proof.unwrap_or(Proof::LeRefl(self.start))
+    }
+
+    fn append(mut self, step: Proof, new_current: Expr) -> LeChain {
+        self.proof = Some(match self.proof {
+            None => step,
+            Some(p) => p.le_then(step),
+        });
+        self.current = new_current;
+        self
+    }
+
+    /// Appends an inequation proof whose LHS is exactly `current`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the rule's judgment is not `current ≤ X`.
+    pub fn le_step(self, rule: Proof) -> Result<LeChain, ProofError> {
+        let j = rule.check(&self.hyps)?;
+        let Judgment::Le(l, r) = &j else {
+            return Err(proof_error("le-step", format!("rule is not an inequation: {j}")));
+        };
+        if l != &self.current {
+            return Err(proof_error(
+                "le-step",
+                format!("rule starts at {l}, chain is at {}", self.current),
+            ));
+        }
+        let r = r.clone();
+        Ok(self.append(rule, r))
+    }
+
+    /// Appends an equation proof (weakened to `≤`) whose LHS is `current`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the rule's judgment is not `current = X`.
+    pub fn eq_step(self, rule: Proof) -> Result<LeChain, ProofError> {
+        let j = rule.check(&self.hyps)?;
+        let Judgment::Eq(l, r) = &j else {
+            return Err(proof_error("eq-step", format!("rule is not an equation: {j}")));
+        };
+        if l != &self.current {
+            return Err(proof_error(
+                "eq-step",
+                format!("rule starts at {l}, chain is at {}", self.current),
+            ));
+        }
+        let r = r.clone();
+        Ok(self.append(rule.as_le(), r))
+    }
+
+    /// Reshapes `current` to `target` inside the semiring fragment.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the two differ in that fragment.
+    pub fn semiring(self, target: &Expr) -> Result<LeChain, ProofError> {
+        let step = Proof::BySemiring(self.current.clone(), target.clone());
+        self.eq_step(step)
+    }
+
+    /// Applies an *inequation* proof `l ≤ r` at `path`, wrapping it in
+    /// monotonicity steps. Every path step must traverse `+` or `·`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path crosses a `*` node, is invalid, or the subterm at
+    /// `path` differs from `l`.
+    pub fn le_rw_at(self, path: &[usize], rule: Proof) -> Result<LeChain, ProofError> {
+        let j = rule.check(&self.hyps)?;
+        let Judgment::Le(l, r) = &j else {
+            return Err(proof_error("le-rewrite", format!("rule is not an inequation: {j}")));
+        };
+        let (step, new_current) = wrap_le_at_path(&self.current, path, rule, l, r)?;
+        Ok(self.append(step, new_current))
+    }
+
+    /// Applies an equation proof at `path` (through any context — equations
+    /// rewrite congruently, then weaken to `≤`).
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`EqChain::rw_at`].
+    pub fn eq_rw_at(self, path: &[usize], rule: Proof) -> Result<LeChain, ProofError> {
+        let j = rule.check(&self.hyps)?;
+        let Judgment::Eq(l, r) = &j else {
+            return Err(proof_error("eq-rewrite", format!("rule is not an equation: {j}")));
+        };
+        let (step, new_current) = wrap_at_path(&self.current, path, rule, l, r)?;
+        Ok(self.append(step.as_le(), new_current))
+    }
+
+    /// Applies an equation proof at the first matching subterm and weakens.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no subterm matches.
+    pub fn eq_rw(self, rule: Proof) -> Result<LeChain, ProofError> {
+        let j = rule.check(&self.hyps)?;
+        let Judgment::Eq(l, _) = &j else {
+            return Err(proof_error("eq-rewrite", format!("rule is not an equation: {j}")));
+        };
+        let path = find_subterm(&self.current, l).ok_or_else(|| {
+            proof_error(
+                "eq-rewrite",
+                format!("no subterm of {} equals {l}", self.current),
+            )
+        })?;
+        self.eq_rw_at(&path, rule)
+    }
+}
+
+/// Monotone wrapping of an inequation along a `+`/`·` path.
+fn wrap_le_at_path(
+    e: &Expr,
+    path: &[usize],
+    rule: Proof,
+    l: &Expr,
+    r: &Expr,
+) -> Result<(Proof, Expr), ProofError> {
+    if path.is_empty() {
+        if e != l {
+            return Err(proof_error(
+                "le-rewrite",
+                format!("subterm is {e}, rule rewrites {l}"),
+            ));
+        }
+        return Ok((rule, r.clone()));
+    }
+    let (head, rest) = (path[0], &path[1..]);
+    match (e.node(), head) {
+        (ExprNode::Add(a, b), 0) => {
+            let (inner, new_a) = wrap_le_at_path(a, rest, rule, l, r)?;
+            Ok((
+                Proof::MonoAdd(Box::new(inner), Box::new(Proof::LeRefl(b.clone()))),
+                new_a.add(b),
+            ))
+        }
+        (ExprNode::Add(a, b), 1) => {
+            let (inner, new_b) = wrap_le_at_path(b, rest, rule, l, r)?;
+            Ok((
+                Proof::MonoAdd(Box::new(Proof::LeRefl(a.clone())), Box::new(inner)),
+                a.add(&new_b),
+            ))
+        }
+        (ExprNode::Mul(a, b), 0) => {
+            let (inner, new_a) = wrap_le_at_path(a, rest, rule, l, r)?;
+            Ok((
+                Proof::MonoMul(Box::new(inner), Box::new(Proof::LeRefl(b.clone()))),
+                new_a.mul(b),
+            ))
+        }
+        (ExprNode::Mul(a, b), 1) => {
+            let (inner, new_b) = wrap_le_at_path(b, rest, rule, l, r)?;
+            Ok((
+                Proof::MonoMul(Box::new(Proof::LeRefl(a.clone())), Box::new(inner)),
+                a.mul(&new_b),
+            ))
+        }
+        (ExprNode::Star(_), _) => Err(proof_error(
+            "le-rewrite",
+            "monotone rewriting under * requires the monotone-star lemma".to_string(),
+        )),
+        _ => Err(proof_error(
+            "le-rewrite",
+            format!("invalid path step {head} at {e}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms::LeAxiom;
+
+    fn e(src: &str) -> Expr {
+        src.parse().unwrap()
+    }
+
+    #[test]
+    fn semiring_steps_chain() {
+        let chain = EqChain::new(&e("(a + b) c"))
+            .semiring(&e("a c + b c"))
+            .unwrap()
+            .semiring(&e("b c + a c"))
+            .unwrap();
+        let judgment = chain.clone().judgment();
+        assert_eq!(judgment.to_string(), "(a + b) c = b c + a c");
+        assert_eq!(chain.into_proof().check_closed().unwrap(), judgment);
+    }
+
+    #[test]
+    fn rewriting_with_hypotheses() {
+        // Hypothesis m1 m1 = m1: rewrite inside a bigger term.
+        let hyps = [Judgment::eq(&e("m1 m1"), &e("m1"))];
+        let start = e("a (m1 m1) b");
+        let chain = EqChain::with_hyps(&start, &hyps).hyp(0).unwrap();
+        assert_eq!(chain.current(), &e("a m1 b"));
+        let proof = chain.into_proof();
+        assert_eq!(
+            proof.check(&hyps).unwrap(),
+            Judgment::eq(&start, &e("a m1 b"))
+        );
+        // Without the hypothesis the proof must not check.
+        assert!(proof.check(&[]).is_err());
+    }
+
+    #[test]
+    fn reverse_rewriting() {
+        let hyps = [Judgment::eq(&e("u u_inv"), &e("1"))];
+        let start = e("a 1 b");
+        let chain = EqChain::with_hyps(&start, &hyps).hyp_rev(0).unwrap();
+        assert_eq!(chain.current(), &e("a (u u_inv) b"));
+    }
+
+    #[test]
+    fn explicit_paths() {
+        let start = e("x + y (m m)");
+        let hyps = [Judgment::eq(&e("m m"), &e("m"))];
+        let chain = EqChain::with_hyps(&start, &hyps)
+            .hyp_at(&[1, 1], 0)
+            .unwrap();
+        assert_eq!(chain.current(), &e("x + y m"));
+        // Wrong path errors out.
+        let bad = EqChain::with_hyps(&start, &hyps).hyp_at(&[0], 0);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn failed_semiring_step_is_rejected() {
+        let bad = EqChain::new(&e("a + a")).semiring(&e("a"));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn le_chain_star_unfold() {
+        // 1 + a a* ≤ a* ≤-chain with an equation prefix.
+        let chain = LeChain::new(&e("1 + a (1 a)*"))
+            .semiring(&e("1 + a (1 a)*"))
+            .unwrap()
+            .eq_rw(Proof::BySemiring(e("1 a"), e("a")))
+            .unwrap()
+            .le_step(Proof::AxiomLe(LeAxiom::StarUnfold, vec![e("a")]))
+            .unwrap();
+        assert_eq!(
+            chain.judgment().to_string(),
+            "1 + a (1 a)* ≤ a*"
+        );
+        chain.into_proof().check_closed().unwrap();
+    }
+
+    #[test]
+    fn le_rewrite_under_monotone_context() {
+        // c + (1 + a a*) d  ≤  c + a* d
+        let start = e("c + (1 + a a*) d");
+        let chain = LeChain::new(&start)
+            .le_rw_at(&[1, 0], Proof::AxiomLe(LeAxiom::StarUnfold, vec![e("a")]))
+            .unwrap();
+        assert_eq!(chain.current(), &e("c + a* d"));
+        chain.into_proof().check_closed().unwrap();
+    }
+
+    #[test]
+    fn le_rewrite_under_star_is_rejected() {
+        let start = e("(1 + a a*)*");
+        let res = LeChain::new(&start)
+            .le_rw_at(&[0], Proof::AxiomLe(LeAxiom::StarUnfold, vec![e("a")]));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn rw_repeat() {
+        let hyps = [Judgment::eq(&e("g g"), &e("g"))];
+        let start = e("g g (g g)");
+        let chain = EqChain::with_hyps(&start, &hyps)
+            .rw_repeat(Proof::Hyp(0), 1)
+            .unwrap();
+        assert_eq!(chain.current(), &e("g"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Unitary atoms as a group: reversibility as hypotheses (a "Future
+//! Directions" feature of the paper).
+//!
+//! The paper's closing discussion suggests embedding unitary
+//! superoperators into NKA *as a group* so that their reversibility
+//! (`U U⁻¹ = U⁻¹ U = I`) is available algebraically — §5.2's loop
+//! boundary rule and the Appendix-B QSP optimization both consume such
+//! hypotheses one pair at a time. [`UnitaryGroup`] systematizes this:
+//!
+//! * [`UnitaryGroup::declare`] registers a `(u, u⁻¹)` atom pair and
+//!   contributes the two cancellation hypotheses;
+//! * [`UnitaryGroup::inverse_word`] computes the group inverse of a
+//!   circuit word (reverse the word, invert each letter) — the algebraic
+//!   form of *uncomputation*;
+//! * [`UnitaryGroup::cancellation_proof`] generates, for any circuit word
+//!   `w`, a checked NKA proof of `w·w⁻¹ = 1` from the pairwise
+//!   hypotheses — the certificate a compiler needs to erase an
+//!   uncomputation pair.
+//!
+//! The group structure stays *hypothetical* (Horn-clause premises, in the
+//! sense of Corollary 4.3): soundness for concrete programs is discharged
+//! by checking the concrete superoperators are unitary conjugations, as
+//! the §5.2/Appendix-B validators do.
+//!
+//! # Examples
+//!
+//! ```
+//! use nka_core::group::UnitaryGroup;
+//!
+//! let mut g = UnitaryGroup::new();
+//! let (h, h_inv) = g.declare("h", "h_inv");
+//! let (cx, cx_inv) = g.declare("cx", "cx_inv");
+//! // Uncompute h;cx: the inverse word is cx⁻¹;h⁻¹.
+//! assert_eq!(g.inverse_word(&[h, cx]), vec![cx_inv, h_inv]);
+//! // And cancellation is provable from the group hypotheses.
+//! let proof = g.cancellation_proof(&[h, cx])?;
+//! assert_eq!(
+//!     proof.check(&g.hypotheses())?.to_string(),
+//!     "h cx (cx_inv h_inv) = 1",
+//! );
+//! # Ok::<(), nka_core::ProofError>(())
+//! ```
+
+use crate::builder::EqChain;
+use crate::judgment::Judgment;
+use crate::proof::{Proof, ProofError};
+use nka_syntax::{Expr, Symbol};
+
+/// A declared set of unitary atom pairs `(u, u⁻¹)` with their
+/// cancellation hypotheses.
+#[derive(Debug, Clone, Default)]
+pub struct UnitaryGroup {
+    /// `(u, u⁻¹)` pairs in declaration order.
+    pairs: Vec<(Symbol, Symbol)>,
+}
+
+impl UnitaryGroup {
+    /// An empty group context.
+    pub fn new() -> UnitaryGroup {
+        UnitaryGroup::default()
+    }
+
+    /// Declares a unitary atom and its inverse; returns the symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either name is already declared (as a unitary or an
+    /// inverse) — reusing a name would make [`Self::inverse`] ambiguous.
+    pub fn declare(&mut self, name: &str, inverse: &str) -> (Symbol, Symbol) {
+        let u = Symbol::intern(name);
+        let ui = Symbol::intern(inverse);
+        for &(a, b) in &self.pairs {
+            assert!(
+                a != u && b != u && a != ui && b != ui,
+                "unitary name reused: {name}/{inverse}"
+            );
+        }
+        self.pairs.push((u, ui));
+        (u, ui)
+    }
+
+    /// A self-inverse unitary (e.g. H, X, CNOT): `u⁻¹ = u`.
+    pub fn declare_involution(&mut self, name: &str) -> Symbol {
+        let u = Symbol::intern(name);
+        for &(a, b) in &self.pairs {
+            assert!(a != u && b != u, "unitary name reused: {name}");
+        }
+        self.pairs.push((u, u));
+        u
+    }
+
+    /// The group hypotheses: `u u⁻¹ = 1` and `u⁻¹ u = 1` per pair
+    /// (one hypothesis per involution).
+    pub fn hypotheses(&self) -> Vec<Judgment> {
+        let mut out = Vec::new();
+        for &(u, ui) in &self.pairs {
+            out.push(Judgment::Eq(
+                Expr::atom(u).mul(&Expr::atom(ui)),
+                Expr::one(),
+            ));
+            if u != ui {
+                out.push(Judgment::Eq(
+                    Expr::atom(ui).mul(&Expr::atom(u)),
+                    Expr::one(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// The inverse of a declared letter, if any.
+    pub fn inverse(&self, s: Symbol) -> Option<Symbol> {
+        for &(u, ui) in &self.pairs {
+            if s == u {
+                return Some(ui);
+            }
+            if s == ui {
+                return Some(u);
+            }
+        }
+        None
+    }
+
+    /// The hypothesis index of `a b = 1` in [`Self::hypotheses`], for a
+    /// declared adjacent-inverse pair `(a, b)`.
+    fn cancellation_hyp_index(&self, a: Symbol, b: Symbol) -> Option<usize> {
+        let mut idx = 0;
+        for &(u, ui) in &self.pairs {
+            if u == ui {
+                if a == u && b == u {
+                    return Some(idx);
+                }
+                idx += 1;
+            } else {
+                if a == u && b == ui {
+                    return Some(idx);
+                }
+                if a == ui && b == u {
+                    return Some(idx + 1);
+                }
+                idx += 2;
+            }
+        }
+        None
+    }
+
+    /// The group inverse of a circuit word: reverse it and invert every
+    /// letter. This is the *uncomputation* of the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a letter was not declared.
+    pub fn inverse_word(&self, word: &[Symbol]) -> Vec<Symbol> {
+        word.iter()
+            .rev()
+            .map(|&s| self.inverse(s).expect("letter declared in the group"))
+            .collect()
+    }
+
+    /// The right-associated product expression of a word (`1` if empty).
+    pub fn word_expr(word: &[Symbol]) -> Expr {
+        Expr::product(word.iter().map(|&s| Expr::atom(s)))
+    }
+
+    /// Generates a checked proof of `w · w⁻¹ = 1` from the group
+    /// hypotheses, cancelling innermost pairs one at a time:
+    ///
+    /// ```text
+    /// u1 … un un⁻¹ … u1⁻¹ = u1 … (un un⁻¹) … u1⁻¹ = u1 … u1⁻¹ = … = 1
+    /// ```
+    ///
+    /// The proof size is linear in the word length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProofError`] if a letter is undeclared (surfaced as a
+    /// failed hypothesis step).
+    pub fn cancellation_proof(&self, word: &[Symbol]) -> Result<Proof, ProofError> {
+        for &s in word {
+            if self.inverse(s).is_none() {
+                return Err(ProofError::custom(
+                    "group",
+                    format!("undeclared letter {s:?}"),
+                ));
+            }
+        }
+        let hyps = self.hypotheses();
+        let start = Self::word_expr(word).mul(&Self::word_expr(&self.inverse_word(word)));
+        let mut chain = EqChain::with_hyps(&start, &hyps);
+        // Work outside-in: at step k the expression is provably equal to
+        // w[..n−k] · inverse(w[..n−k]); reassociate to expose the
+        // innermost adjacent pair, cancel it by hypothesis, and drop the
+        // unit — all semiring + one Hyp rewrite per step.
+        for k in (1..=word.len()).rev() {
+            let prefix = &word[..k];
+            let last = prefix[k - 1];
+            let last_inv = self.inverse(last).ok_or_else(|| {
+                ProofError::custom("group", format!("undeclared letter {last:?}"))
+            })?;
+            // Target shape: (pre) ((last last_inv) (post)) where
+            // pre = w[..k−1], post = inverse(w[..k−1]).
+            let pre = Self::word_expr(&prefix[..k - 1]);
+            let post = Self::word_expr(&self.inverse_word(&prefix[..k - 1]));
+            let pair = Expr::atom(last).mul(&Expr::atom(last_inv));
+            let exposed = pre.mul(&pair.mul(&post));
+            chain = chain.semiring(&exposed)?;
+            // `semiring` leaves the expression exactly as written:
+            // Mul(pre, Mul(pair, post)), so the pair sits at [1, 0]. (A
+            // textual search would be wrong here — with repeated letters
+            // the same pair shape can occur inside `pre` as well.)
+            let hyp_idx = self
+                .cancellation_hyp_index(last, last_inv)
+                .expect("declared pair has a hypothesis");
+            chain = chain.hyp_at(&[1, 0], hyp_idx)?;
+            // Absorb the introduced 1.
+            let collapsed = Self::word_expr(&prefix[..k - 1])
+                .mul(&Self::word_expr(&self.inverse_word(&prefix[..k - 1])));
+            chain = chain.semiring(&collapsed)?;
+        }
+        chain = chain.semiring(&Expr::one())?;
+        Ok(chain.into_proof())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypotheses_shapes() {
+        let mut g = UnitaryGroup::new();
+        g.declare("u", "u_inv");
+        g.declare_involution("h");
+        let hyps = g.hypotheses();
+        assert_eq!(hyps.len(), 3);
+        assert_eq!(hyps[0].to_string(), "u u_inv = 1");
+        assert_eq!(hyps[1].to_string(), "u_inv u = 1");
+        assert_eq!(hyps[2].to_string(), "h h = 1");
+    }
+
+    #[test]
+    fn inverse_lookup_both_directions() {
+        let mut g = UnitaryGroup::new();
+        let (u, ui) = g.declare("u", "u_inv");
+        assert_eq!(g.inverse(u), Some(ui));
+        assert_eq!(g.inverse(ui), Some(u));
+        assert_eq!(g.inverse(Symbol::intern("stranger")), None);
+    }
+
+    #[test]
+    fn inverse_word_reverses_and_inverts() {
+        let mut g = UnitaryGroup::new();
+        let (a, ai) = g.declare("ga", "ga_inv");
+        let (b, bi) = g.declare("gb", "gb_inv");
+        let h = g.declare_involution("gh");
+        assert_eq!(g.inverse_word(&[a, b, h]), vec![h, bi, ai]);
+        assert_eq!(g.inverse_word(&[]), Vec::<Symbol>::new());
+    }
+
+    #[test]
+    fn cancellation_proofs_check_for_words_up_to_five() {
+        let mut g = UnitaryGroup::new();
+        let (a, _) = g.declare("ga", "ga_inv");
+        let (b, _) = g.declare("gb", "gb_inv");
+        let h = g.declare_involution("gh");
+        let words: Vec<Vec<Symbol>> = vec![
+            vec![],
+            vec![a],
+            vec![h],
+            vec![a, b],
+            vec![a, h, b],
+            vec![b, b, a, h],
+            vec![a, b, h, b, a],
+        ];
+        for w in words {
+            let proof = g.cancellation_proof(&w).unwrap();
+            let j = proof.check(&g.hypotheses()).unwrap();
+            let lhs = UnitaryGroup::word_expr(&w).mul(&UnitaryGroup::word_expr(&g.inverse_word(&w)));
+            assert_eq!(j, Judgment::Eq(lhs, Expr::one()), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn proof_size_is_linear_in_word_length() {
+        let mut g = UnitaryGroup::new();
+        let (a, _) = g.declare("ga", "ga_inv");
+        let (b, _) = g.declare("gb", "gb_inv");
+        let sizes: Vec<usize> = (1..=6)
+            .map(|n| {
+                let word: Vec<Symbol> = (0..n).map(|i| if i % 2 == 0 { a } else { b }).collect();
+                g.cancellation_proof(&word).unwrap().size()
+            })
+            .collect();
+        // Each extra letter adds a bounded number of rule applications
+        // (measured: exactly 10 — reassociate, cancel, absorb).
+        for w in sizes.windows(2) {
+            assert!(w[1] > w[0]);
+            assert!(w[1] - w[0] <= 12, "growth not linear: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn undeclared_letter_is_an_error() {
+        let g = UnitaryGroup::new();
+        let s = Symbol::intern("mystery");
+        assert!(g.cancellation_proof(&[s]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unitary name reused")]
+    fn duplicate_declaration_panics() {
+        let mut g = UnitaryGroup::new();
+        g.declare("u", "u_inv");
+        g.declare("u", "other");
+    }
+}

@@ -1,0 +1,103 @@
+//! Judgments of the NKA proof calculus.
+
+use nka_syntax::Expr;
+use std::fmt;
+
+/// A judgment: either an equation `e = f` or an inequation `e ≤ f`
+/// (the NKA partial order of Figure 3 is primitive, not defined from `+`
+/// as in KA).
+///
+/// # Examples
+///
+/// ```
+/// use nka_core::Judgment;
+/// use nka_syntax::Expr;
+/// let e: Expr = "p q".parse()?;
+/// let f: Expr = "q p".parse()?;
+/// let j = Judgment::eq(&e, &f);
+/// assert_eq!(j.to_string(), "p q = q p");
+/// # Ok::<(), nka_syntax::ParseExprError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Judgment {
+    /// `lhs = rhs`.
+    Eq(Expr, Expr),
+    /// `lhs ≤ rhs`.
+    Le(Expr, Expr),
+}
+
+impl Judgment {
+    /// Builds an equation judgment.
+    pub fn eq(lhs: &Expr, rhs: &Expr) -> Judgment {
+        Judgment::Eq(lhs.clone(), rhs.clone())
+    }
+
+    /// Builds an inequation judgment.
+    pub fn le(lhs: &Expr, rhs: &Expr) -> Judgment {
+        Judgment::Le(lhs.clone(), rhs.clone())
+    }
+
+    /// The left-hand side.
+    pub fn lhs(&self) -> &Expr {
+        match self {
+            Judgment::Eq(l, _) | Judgment::Le(l, _) => l,
+        }
+    }
+
+    /// The right-hand side.
+    pub fn rhs(&self) -> &Expr {
+        match self {
+            Judgment::Eq(_, r) | Judgment::Le(_, r) => r,
+        }
+    }
+
+    /// Whether this is an equation.
+    pub fn is_eq(&self) -> bool {
+        matches!(self, Judgment::Eq(..))
+    }
+
+    /// For an equation, the same equation with sides swapped; inequations
+    /// are returned unchanged (`≤` is not symmetric).
+    pub fn flipped(&self) -> Judgment {
+        match self {
+            Judgment::Eq(l, r) => Judgment::Eq(r.clone(), l.clone()),
+            le @ Judgment::Le(..) => le.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Judgment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Judgment::Eq(l, r) => write!(f, "{l} = {r}"),
+            Judgment::Le(l, r) => write!(f, "{l} ≤ {r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        let l: Expr = "a".parse().unwrap();
+        let r: Expr = "b + c".parse().unwrap();
+        let eq = Judgment::eq(&l, &r);
+        assert_eq!(eq.lhs(), &l);
+        assert_eq!(eq.rhs(), &r);
+        assert!(eq.is_eq());
+        assert_eq!(eq.to_string(), "a = b + c");
+        let le = Judgment::le(&l, &r);
+        assert!(!le.is_eq());
+        assert_eq!(le.to_string(), "a ≤ b + c");
+    }
+
+    #[test]
+    fn flip() {
+        let l: Expr = "a".parse().unwrap();
+        let r: Expr = "b".parse().unwrap();
+        assert_eq!(Judgment::eq(&l, &r).flipped(), Judgment::eq(&r, &l));
+        assert_eq!(Judgment::le(&l, &r).flipped(), Judgment::le(&l, &r));
+    }
+}

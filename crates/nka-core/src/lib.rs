@@ -1,0 +1,77 @@
+//! Non-idempotent Kleene algebra: axioms, machine-checkable proof calculus,
+//! derived theorems, and the decision procedure façade.
+//!
+//! This crate is the algebraic heart of the reproduction of Peng–Ying–Wu
+//! (PLDI 2022). It provides:
+//!
+//! * the NKA axioms of **Figure 3** ([`axioms`]) as instantiable schemas;
+//! * a **proof calculus** ([`proof`]) — proof objects whose inference rules
+//!   are exactly equational/inequational logic over those axioms, plus the
+//!   two inductive star rules, hypothesis references (for Horn clauses,
+//!   Corollary 4.3), and a decidable `BySemiring` bridge for pure
+//!   semiring-plus-congruence steps (the "(distributive-law)" steps of the
+//!   paper's derivations);
+//! * a **chain builder** ([`builder`]) for transcribing the paper's
+//!   derivations step by step, checking each step as it is added;
+//! * every derived theorem of **Figure 2a/2b** ([`theorems`]) as a checked
+//!   proof, following the derivations of Appendix C.1;
+//! * a small **auto-prover** ([`prover`]) that searches for rewrite proofs
+//!   under hypotheses;
+//! * [`decide_eq`] — the decision procedure for `⊢NKA e = f`
+//!   (re-exported from `nka-wfa`; Remark 2.1 / Theorem A.6).
+//!
+//! # Examples
+//!
+//! Prove the sliding law and check the proof object:
+//!
+//! ```
+//! use nka_core::theorems;
+//! use nka_syntax::Expr;
+//!
+//! let p: Expr = "p".parse()?;
+//! let q: Expr = "q".parse()?;
+//! let proof = theorems::sliding(&p, &q);
+//! let judgment = proof.check_closed()?;
+//! assert_eq!(judgment.to_string(), "(p q)* p = p (q p)*");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod axioms;
+pub mod builder;
+pub mod group;
+pub mod judgment;
+pub mod proof;
+pub mod prover;
+pub mod render;
+pub mod semiring_nf;
+pub mod theorems;
+
+pub use axioms::{EqAxiom, LeAxiom};
+pub use builder::{EqChain, LeChain};
+pub use group::UnitaryGroup;
+pub use judgment::Judgment;
+pub use proof::{Proof, ProofError};
+
+use nka_syntax::Expr;
+
+/// Decides `⊢NKA e = f` via the rational-power-series model
+/// (Theorem A.6).
+///
+/// # Panics
+///
+/// Panics on resource exhaustion in the subset construction; use
+/// [`nka_wfa::decide::decide_eq_with`] for explicit budget control.
+///
+/// # Examples
+///
+/// ```
+/// use nka_core::decide_eq;
+/// use nka_syntax::Expr;
+/// let double: Expr = "p* p*".parse()?;
+/// let single: Expr = "p*".parse()?;
+/// assert!(!decide_eq(&double, &single)); // p* p* counts splits — not idempotent
+/// # Ok::<(), nka_syntax::ParseExprError>(())
+/// ```
+pub fn decide_eq(e: &Expr, f: &Expr) -> bool {
+    nka_wfa::decide_eq(e, f).expect("NKA decision procedure exceeded its resource budget")
+}

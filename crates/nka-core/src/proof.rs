@@ -1,0 +1,459 @@
+//! Proof objects and the proof checker.
+//!
+//! A [`Proof`] is a tree whose nodes are the inference rules of NKA's
+//! equational/inequational logic (Figure 3): equational logic (reflexivity,
+//! symmetry, transitivity, congruence), axiom instances, the partial-order
+//! laws, monotonicity of `+` and `·`, the star-unfolding axiom, the two
+//! inductive star rules, hypothesis references (Horn clauses, Corollary
+//! 4.3), and a `BySemiring` bridge for the decidable semiring-plus-
+//! congruence fragment (see [`crate::semiring_nf`]).
+//!
+//! Checking ([`Proof::check`]) computes the judgment a proof establishes,
+//! failing loudly if any rule is misapplied. Every theorem shipped in this
+//! repository is re-checked from scratch in the test suite.
+
+use crate::axioms::{EqAxiom, LeAxiom};
+use crate::judgment::Judgment;
+use crate::semiring_nf::semiring_equal;
+use nka_syntax::{Expr, ExprNode};
+use std::fmt;
+
+/// Error raised when a proof fails to check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofError {
+    rule: &'static str,
+    detail: String,
+}
+
+impl ProofError {
+    fn new(rule: &'static str, detail: impl Into<String>) -> Self {
+        ProofError {
+            rule,
+            detail: detail.into(),
+        }
+    }
+
+    /// The rule at which checking failed.
+    pub fn rule(&self) -> &'static str {
+        self.rule
+    }
+
+    /// Builds an error for a named derived rule or builder step.
+    pub fn custom(rule: &'static str, detail: impl Into<String>) -> Self {
+        ProofError::new(rule, detail)
+    }
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} step: {}", self.rule, self.detail)
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// A proof tree in the NKA calculus.
+///
+/// See the [module documentation](self) for the rule inventory and
+/// [`crate::theorems`] for substantial examples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Proof {
+    /// `⊢ e = e`
+    Refl(Expr),
+    /// From `e = f` conclude `f = e`.
+    Sym(Box<Proof>),
+    /// From `e = f` and `f = g` conclude `e = g`.
+    Trans(Box<Proof>, Box<Proof>),
+    /// From `e₁ = f₁` and `e₂ = f₂` conclude `e₁ + e₂ = f₁ + f₂`.
+    CongAdd(Box<Proof>, Box<Proof>),
+    /// From `e₁ = f₁` and `e₂ = f₂` conclude `e₁ e₂ = f₁ f₂`.
+    CongMul(Box<Proof>, Box<Proof>),
+    /// From `e = f` conclude `e* = f*`.
+    CongStar(Box<Proof>),
+    /// An instance of an equational axiom (Figure 3 semiring laws).
+    Axiom(EqAxiom, Vec<Expr>),
+    /// An instance of an inequational axiom (`1 + p p* ≤ p*`).
+    AxiomLe(LeAxiom, Vec<Expr>),
+    /// `⊢ e = f` when both sides have the same canonical form in the
+    /// semiring-plus-congruence fragment — a sound, decidable macro-rule
+    /// standing for a (mechanically constructible) chain of semiring axiom
+    /// and congruence steps.
+    BySemiring(Expr, Expr),
+    /// `⊢ e ≤ e`
+    LeRefl(Expr),
+    /// From `e ≤ f` and `f ≤ g` conclude `e ≤ g`.
+    LeTrans(Box<Proof>, Box<Proof>),
+    /// From `e ≤ f` and `f ≤ e` conclude `e = f`.
+    AntiSym(Box<Proof>, Box<Proof>),
+    /// From `e = f` conclude `e ≤ f`.
+    EqToLe(Box<Proof>),
+    /// From `p ≤ q` and `r ≤ s` conclude `p + r ≤ q + s`.
+    MonoAdd(Box<Proof>, Box<Proof>),
+    /// From `p ≤ q` and `r ≤ s` conclude `p r ≤ q s`.
+    MonoMul(Box<Proof>, Box<Proof>),
+    /// From `q + p r ≤ r` conclude `p* q ≤ r` (inductive star law).
+    StarIndLeft(Box<Proof>),
+    /// From `q + r p ≤ r` conclude `q p* ≤ r` (inductive star law).
+    StarIndRight(Box<Proof>),
+    /// The `i`-th hypothesis of the enclosing Horn clause.
+    Hyp(usize),
+}
+
+impl Proof {
+    /// Checks the proof under the given hypotheses and returns the
+    /// established judgment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProofError`] describing the first misapplied rule.
+    pub fn check(&self, hyps: &[Judgment]) -> Result<Judgment, ProofError> {
+        match self {
+            Proof::Refl(e) => Ok(Judgment::eq(e, e)),
+            Proof::Sym(p) => match p.check(hyps)? {
+                Judgment::Eq(l, r) => Ok(Judgment::Eq(r, l)),
+                j @ Judgment::Le(..) => Err(ProofError::new(
+                    "sym",
+                    format!("premise must be an equation, got {j}"),
+                )),
+            },
+            Proof::Trans(p1, p2) => {
+                let (j1, j2) = (p1.check(hyps)?, p2.check(hyps)?);
+                match (&j1, &j2) {
+                    (Judgment::Eq(a, b), Judgment::Eq(b2, c)) if b == b2 => {
+                        Ok(Judgment::Eq(a.clone(), c.clone()))
+                    }
+                    _ => Err(ProofError::new(
+                        "trans",
+                        format!("premises do not chain: {j1} then {j2}"),
+                    )),
+                }
+            }
+            Proof::CongAdd(p1, p2) => {
+                let (j1, j2) = (p1.check(hyps)?, p2.check(hyps)?);
+                match (&j1, &j2) {
+                    (Judgment::Eq(a, b), Judgment::Eq(c, d)) => {
+                        Ok(Judgment::Eq(a.add(c), b.add(d)))
+                    }
+                    _ => Err(ProofError::new(
+                        "cong-add",
+                        format!("premises must be equations: {j1}, {j2}"),
+                    )),
+                }
+            }
+            Proof::CongMul(p1, p2) => {
+                let (j1, j2) = (p1.check(hyps)?, p2.check(hyps)?);
+                match (&j1, &j2) {
+                    (Judgment::Eq(a, b), Judgment::Eq(c, d)) => {
+                        Ok(Judgment::Eq(a.mul(c), b.mul(d)))
+                    }
+                    _ => Err(ProofError::new(
+                        "cong-mul",
+                        format!("premises must be equations: {j1}, {j2}"),
+                    )),
+                }
+            }
+            Proof::CongStar(p) => match p.check(hyps)? {
+                Judgment::Eq(a, b) => Ok(Judgment::Eq(a.star(), b.star())),
+                j @ Judgment::Le(..) => Err(ProofError::new(
+                    "cong-star",
+                    format!("premise must be an equation, got {j}"),
+                )),
+            },
+            Proof::Axiom(ax, args) => {
+                if args.len() < ax.arity() {
+                    return Err(ProofError::new(
+                        "axiom",
+                        format!("axiom {ax} needs {} arguments", ax.arity()),
+                    ));
+                }
+                let (l, r) = ax.instantiate(args);
+                Ok(Judgment::Eq(l, r))
+            }
+            Proof::AxiomLe(ax, args) => {
+                if args.is_empty() {
+                    return Err(ProofError::new("axiom-le", format!("axiom {ax} needs 1 argument")));
+                }
+                let (l, r) = ax.instantiate(args);
+                Ok(Judgment::Le(l, r))
+            }
+            Proof::BySemiring(l, r) => {
+                if semiring_equal(l, r) {
+                    Ok(Judgment::Eq(l.clone(), r.clone()))
+                } else {
+                    Err(ProofError::new(
+                        "by-semiring",
+                        format!("{l} and {r} differ in the semiring fragment"),
+                    ))
+                }
+            }
+            Proof::LeRefl(e) => Ok(Judgment::le(e, e)),
+            Proof::LeTrans(p1, p2) => {
+                let (j1, j2) = (p1.check(hyps)?, p2.check(hyps)?);
+                match (&j1, &j2) {
+                    (Judgment::Le(a, b), Judgment::Le(b2, c)) if b == b2 => {
+                        Ok(Judgment::Le(a.clone(), c.clone()))
+                    }
+                    _ => Err(ProofError::new(
+                        "le-trans",
+                        format!("premises do not chain: {j1} then {j2}"),
+                    )),
+                }
+            }
+            Proof::AntiSym(p1, p2) => {
+                let (j1, j2) = (p1.check(hyps)?, p2.check(hyps)?);
+                match (&j1, &j2) {
+                    (Judgment::Le(a, b), Judgment::Le(b2, a2)) if a == a2 && b == b2 => {
+                        Ok(Judgment::Eq(a.clone(), b.clone()))
+                    }
+                    _ => Err(ProofError::new(
+                        "antisym",
+                        format!("premises are not opposite inequations: {j1}, {j2}"),
+                    )),
+                }
+            }
+            Proof::EqToLe(p) => match p.check(hyps)? {
+                Judgment::Eq(a, b) => Ok(Judgment::Le(a, b)),
+                j @ Judgment::Le(..) => Err(ProofError::new(
+                    "eq-to-le",
+                    format!("premise must be an equation, got {j}"),
+                )),
+            },
+            Proof::MonoAdd(p1, p2) => {
+                let (j1, j2) = (p1.check(hyps)?, p2.check(hyps)?);
+                match (&j1, &j2) {
+                    (Judgment::Le(a, b), Judgment::Le(c, d)) => {
+                        Ok(Judgment::Le(a.add(c), b.add(d)))
+                    }
+                    _ => Err(ProofError::new(
+                        "mono-add",
+                        format!("premises must be inequations: {j1}, {j2}"),
+                    )),
+                }
+            }
+            Proof::MonoMul(p1, p2) => {
+                let (j1, j2) = (p1.check(hyps)?, p2.check(hyps)?);
+                match (&j1, &j2) {
+                    (Judgment::Le(a, b), Judgment::Le(c, d)) => {
+                        Ok(Judgment::Le(a.mul(c), b.mul(d)))
+                    }
+                    _ => Err(ProofError::new(
+                        "mono-mul",
+                        format!("premises must be inequations: {j1}, {j2}"),
+                    )),
+                }
+            }
+            Proof::StarIndLeft(p) => {
+                let j = p.check(hyps)?;
+                let Judgment::Le(lhs, r) = &j else {
+                    return Err(ProofError::new(
+                        "star-ind-left",
+                        format!("premise must be an inequation, got {j}"),
+                    ));
+                };
+                let ExprNode::Add(q, pr) = lhs.node() else {
+                    return Err(ProofError::new(
+                        "star-ind-left",
+                        format!("premise LHS must be q + p r, got {lhs}"),
+                    ));
+                };
+                let ExprNode::Mul(p_expr, r2) = pr.node() else {
+                    return Err(ProofError::new(
+                        "star-ind-left",
+                        format!("premise LHS must be q + p r, got {lhs}"),
+                    ));
+                };
+                if r2 != r {
+                    return Err(ProofError::new(
+                        "star-ind-left",
+                        format!("inner r {r2} differs from bound {r}"),
+                    ));
+                }
+                Ok(Judgment::Le(p_expr.star().mul(q), r.clone()))
+            }
+            Proof::StarIndRight(p) => {
+                let j = p.check(hyps)?;
+                let Judgment::Le(lhs, r) = &j else {
+                    return Err(ProofError::new(
+                        "star-ind-right",
+                        format!("premise must be an inequation, got {j}"),
+                    ));
+                };
+                let ExprNode::Add(q, rp) = lhs.node() else {
+                    return Err(ProofError::new(
+                        "star-ind-right",
+                        format!("premise LHS must be q + r p, got {lhs}"),
+                    ));
+                };
+                let ExprNode::Mul(r2, p_expr) = rp.node() else {
+                    return Err(ProofError::new(
+                        "star-ind-right",
+                        format!("premise LHS must be q + r p, got {lhs}"),
+                    ));
+                };
+                if r2 != r {
+                    return Err(ProofError::new(
+                        "star-ind-right",
+                        format!("inner r {r2} differs from bound {r}"),
+                    ));
+                }
+                Ok(Judgment::Le(q.mul(&p_expr.star()), r.clone()))
+            }
+            Proof::Hyp(i) => hyps.get(*i).cloned().ok_or_else(|| {
+                ProofError::new("hyp", format!("hypothesis index {i} out of range"))
+            }),
+        }
+    }
+
+    /// Checks a proof that uses no hypotheses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProofError`] if the proof is invalid or references a
+    /// hypothesis.
+    pub fn check_closed(&self) -> Result<Judgment, ProofError> {
+        self.check(&[])
+    }
+
+    /// Transitivity combinator: `self` then `other`.
+    pub fn then(self, other: Proof) -> Proof {
+        Proof::Trans(Box::new(self), Box::new(other))
+    }
+
+    /// Symmetry combinator.
+    pub fn flip(self) -> Proof {
+        Proof::Sym(Box::new(self))
+    }
+
+    /// Weakening to an inequation.
+    pub fn as_le(self) -> Proof {
+        Proof::EqToLe(Box::new(self))
+    }
+
+    /// Le-transitivity combinator.
+    pub fn le_then(self, other: Proof) -> Proof {
+        Proof::LeTrans(Box::new(self), Box::new(other))
+    }
+
+    /// Number of rule applications in the tree (proof size metric).
+    pub fn size(&self) -> usize {
+        match self {
+            Proof::Refl(_)
+            | Proof::LeRefl(_)
+            | Proof::Axiom(..)
+            | Proof::AxiomLe(..)
+            | Proof::BySemiring(..)
+            | Proof::Hyp(_) => 1,
+            Proof::Sym(p)
+            | Proof::CongStar(p)
+            | Proof::EqToLe(p)
+            | Proof::StarIndLeft(p)
+            | Proof::StarIndRight(p) => 1 + p.size(),
+            Proof::Trans(a, b)
+            | Proof::CongAdd(a, b)
+            | Proof::CongMul(a, b)
+            | Proof::LeTrans(a, b)
+            | Proof::AntiSym(a, b)
+            | Proof::MonoAdd(a, b)
+            | Proof::MonoMul(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(src: &str) -> Expr {
+        src.parse().unwrap()
+    }
+
+    #[test]
+    fn refl_and_axiom() {
+        let p = Proof::Refl(e("a b"));
+        assert_eq!(p.check_closed().unwrap().to_string(), "a b = a b");
+        let ax = Proof::Axiom(EqAxiom::AddComm, vec![e("x"), e("y z")]);
+        assert_eq!(ax.check_closed().unwrap().to_string(), "x + y z = y z + x");
+    }
+
+    #[test]
+    fn trans_requires_matching_middle() {
+        let good = Proof::Axiom(EqAxiom::AddComm, vec![e("a"), e("b")])
+            .then(Proof::Axiom(EqAxiom::AddComm, vec![e("b"), e("a")]));
+        assert_eq!(good.check_closed().unwrap().to_string(), "a + b = a + b");
+        let bad = Proof::Refl(e("a")).then(Proof::Refl(e("b")));
+        assert!(bad.check_closed().is_err());
+    }
+
+    #[test]
+    fn congruence_rules() {
+        let inner = Proof::Axiom(EqAxiom::MulOneLeft, vec![e("a")]);
+        let under_star = Proof::CongStar(Box::new(inner.clone()));
+        assert_eq!(
+            under_star.check_closed().unwrap().to_string(),
+            "(1 a)* = a*"
+        );
+        let in_sum = Proof::CongAdd(Box::new(inner), Box::new(Proof::Refl(e("c"))));
+        assert_eq!(in_sum.check_closed().unwrap().to_string(), "1 a + c = a + c");
+    }
+
+    #[test]
+    fn by_semiring_accepts_fragment_and_rejects_star_laws() {
+        let ok = Proof::BySemiring(e("(a + b) c"), e("b c + a c"));
+        assert!(ok.check_closed().is_ok());
+        let bad = Proof::BySemiring(e("1 + a a*"), e("a*"));
+        assert!(bad.check_closed().is_err());
+    }
+
+    #[test]
+    fn star_induction_left_shape() {
+        // Premise: 1 + a r ≤ r with r = a*. Conclusion a* 1 ≤ a*.
+        let premise = Proof::AxiomLe(LeAxiom::StarUnfold, vec![e("a")]);
+        let conc = Proof::StarIndLeft(Box::new(premise));
+        assert_eq!(conc.check_closed().unwrap().to_string(), "a* 1 ≤ a*");
+    }
+
+    #[test]
+    fn star_induction_rejects_malformed_premise() {
+        // Premise a ≤ a is not of shape q + p r ≤ r.
+        let bad = Proof::StarIndLeft(Box::new(Proof::LeRefl(e("a"))));
+        assert!(bad.check_closed().is_err());
+        // Premise (1 + a b) ≤ c: inner r=b ≠ bound c.
+        let prem = Proof::EqToLe(Box::new(Proof::BySemiring(e("1 + a b"), e("1 + a b"))));
+        // This premise proves 1 + a b ≤ 1 + a b; r-bound is "1 + a b",
+        // inner is "b" — mismatch.
+        let bad2 = Proof::StarIndLeft(Box::new(prem));
+        assert!(bad2.check_closed().is_err());
+    }
+
+    #[test]
+    fn antisym_builds_equations() {
+        let le1 = Proof::LeRefl(e("x"));
+        let le2 = Proof::LeRefl(e("x"));
+        let eq = Proof::AntiSym(Box::new(le1), Box::new(le2));
+        assert_eq!(eq.check_closed().unwrap().to_string(), "x = x");
+    }
+
+    #[test]
+    fn hypotheses_are_contextual() {
+        let hyp = Judgment::eq(&e("m1 m0"), &e("0"));
+        let p = Proof::Hyp(0);
+        assert_eq!(p.check(std::slice::from_ref(&hyp)).unwrap(), hyp);
+        assert!(p.check_closed().is_err());
+    }
+
+    #[test]
+    fn monotonicity() {
+        let le = Proof::AxiomLe(LeAxiom::StarUnfold, vec![e("a")]);
+        let mono = Proof::MonoMul(Box::new(Proof::LeRefl(e("c"))), Box::new(le));
+        assert_eq!(
+            mono.check_closed().unwrap().to_string(),
+            "c (1 + a a*) ≤ c a*"
+        );
+    }
+
+    #[test]
+    fn proof_size() {
+        let p = Proof::Refl(e("a")).then(Proof::Refl(e("a")));
+        assert_eq!(p.size(), 3);
+    }
+}

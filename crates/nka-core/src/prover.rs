@@ -1,0 +1,232 @@
+//! A bounded-search auto-prover for NKA equations under hypotheses.
+//!
+//! The prover explores the rewrite graph whose nodes are semiring-canonical
+//! classes (see [`crate::semiring_nf`]) and whose edges are applications of
+//! user-supplied equation rules (hypotheses of a Horn clause, instantiated
+//! lemmas from [`crate::theorems`], …) at arbitrary positions, in either
+//! direction. Reaching the goal class yields a complete [`Proof`] object —
+//! the search *constructs proofs*, it does not merely answer yes/no.
+//!
+//! This automates the short derivations of Section 5 of the paper; the
+//! long ones (Section 6, Appendices B/C.7) are transcribed by hand with
+//! [`crate::builder::EqChain`] because their intermediate terms are far
+//! beyond any blind search radius.
+//!
+//! # Examples
+//!
+//! ```
+//! use nka_core::prover::Prover;
+//! use nka_core::{theorems, Judgment, Proof};
+//! use nka_syntax::Expr;
+//!
+//! // Under m1 m1 = m1, prove m1 (m1 m1) = m1.
+//! let hyps = [Judgment::Eq("m1 m1".parse()?, "m1".parse()?)];
+//! let mut prover = Prover::new(&hyps);
+//! prover.add_rule(Proof::Hyp(0));
+//! let goal_l: Expr = "m1 (m1 m1)".parse()?;
+//! let goal_r: Expr = "m1".parse()?;
+//! let proof = prover.prove_eq(&goal_l, &goal_r).expect("proof found");
+//! assert_eq!(proof.check(&hyps)?, Judgment::eq(&goal_l, &goal_r));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::builder::rewrite_once;
+use crate::judgment::Judgment;
+use crate::proof::Proof;
+use crate::semiring_nf::{canon, CanonPoly};
+use nka_syntax::Expr;
+use std::collections::{BTreeSet, VecDeque};
+
+/// A breadth-first rewrite prover; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Prover {
+    hyps: Vec<Judgment>,
+    rules: Vec<Proof>,
+    max_expansions: usize,
+    max_term_size: usize,
+}
+
+impl Prover {
+    /// Creates a prover with the given Horn-clause hypotheses and default
+    /// bounds (2000 expansions, term size 120).
+    pub fn new(hyps: &[Judgment]) -> Prover {
+        Prover {
+            hyps: hyps.to_vec(),
+            rules: Vec::new(),
+            max_expansions: 2000,
+            max_term_size: 120,
+        }
+    }
+
+    /// Adds an equation rule (applied in both directions during search).
+    ///
+    /// Non-equation proofs are accepted but ignored by the search.
+    pub fn add_rule(&mut self, rule: Proof) -> &mut Prover {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Adds every hypothesis (that is an equation) as a rule.
+    pub fn add_hypothesis_rules(&mut self) -> &mut Prover {
+        for i in 0..self.hyps.len() {
+            self.rules.push(Proof::Hyp(i));
+        }
+        self
+    }
+
+    /// Sets the expansion budget.
+    pub fn with_max_expansions(mut self, n: usize) -> Prover {
+        self.max_expansions = n;
+        self
+    }
+
+    /// Sets the term-size bound beyond which rewrites are not explored.
+    pub fn with_max_term_size(mut self, n: usize) -> Prover {
+        self.max_term_size = n;
+        self
+    }
+
+    /// Searches for a proof of `lhs = rhs`; returns `None` when the budget
+    /// is exhausted (the equation may still be provable).
+    pub fn prove_eq(&self, lhs: &Expr, rhs: &Expr) -> Option<Proof> {
+        let goal = canon(rhs);
+        let start_class = canon(lhs);
+        if start_class == goal {
+            return Some(Proof::BySemiring(lhs.clone(), rhs.clone()));
+        }
+
+        // Pre-check rules once: keep only equations, in both orientations.
+        let mut oriented: Vec<Proof> = Vec::new();
+        for rule in &self.rules {
+            if let Ok(Judgment::Eq(..)) = rule.check(&self.hyps) {
+                oriented.push(rule.clone());
+                oriented.push(rule.clone().flip());
+            }
+        }
+
+        let mut visited: BTreeSet<CanonPoly> = BTreeSet::new();
+        visited.insert(start_class);
+        let mut queue: VecDeque<(Expr, Proof)> = VecDeque::new();
+        queue.push_back((lhs.clone(), Proof::Refl(lhs.clone())));
+        let mut expansions = 0;
+
+        while let Some((expr, proof)) = queue.pop_front() {
+            expansions += 1;
+            if expansions > self.max_expansions {
+                return None;
+            }
+            // Rewrite on the raw representative and on both canonical
+            // association variants; each variant is BySemiring-connected to
+            // the representative, so matching stays purely syntactic while
+            // effectively working modulo the semiring axioms.
+            let class_here = canon(&expr);
+            let variants = [
+                expr.clone(),
+                class_here.to_expr(true),
+                class_here.to_expr(false),
+            ];
+            for (vi, variant) in variants.iter().enumerate() {
+                let to_variant = if vi == 0 {
+                    proof.clone()
+                } else {
+                    proof
+                        .clone()
+                        .then(Proof::BySemiring(expr.clone(), variant.clone()))
+                };
+                for rule in &oriented {
+                    let Ok(Judgment::Eq(l, _)) = rule.check(&self.hyps) else {
+                        continue;
+                    };
+                    let mut paths = Vec::new();
+                    variant.visit_subterms(&mut |path, sub| {
+                        if sub == &l {
+                            paths.push(path.to_vec());
+                        }
+                    });
+                    for path in paths {
+                        let Ok((step, new_expr)) =
+                            rewrite_once(variant, &path, rule.clone(), &self.hyps)
+                        else {
+                            continue;
+                        };
+                        if new_expr.size() > self.max_term_size {
+                            continue;
+                        }
+                        let class = canon(&new_expr);
+                        if class == goal {
+                            let total = to_variant
+                                .then(step)
+                                .then(Proof::BySemiring(new_expr, rhs.clone()));
+                            return Some(total);
+                        }
+                        if visited.insert(class) {
+                            queue.push_back((new_expr, to_variant.clone().then(step)));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorems;
+
+    fn e(src: &str) -> Expr {
+        src.parse().unwrap()
+    }
+
+    #[test]
+    fn semiring_goals_need_no_rules() {
+        let prover = Prover::new(&[]);
+        let proof = prover.prove_eq(&e("(a + b) c"), &e("b c + a c")).unwrap();
+        proof.check_closed().unwrap();
+    }
+
+    #[test]
+    fn projective_measurement_absorption() {
+        // m1 m1 = m1, m1 m0 = 0 ⊢ m1 (m0 p + m1) = m1.
+        let hyps = [
+            Judgment::Eq(e("m1 m1"), e("m1")),
+            Judgment::Eq(e("m1 m0"), e("0")),
+        ];
+        let mut prover = Prover::new(&hyps);
+        prover.add_hypothesis_rules();
+        let lhs = e("m1 (m0 p + m1)");
+        let rhs = e("m1");
+        let proof = prover.prove_eq(&lhs, &rhs).expect("provable");
+        assert_eq!(proof.check(&hyps).unwrap(), Judgment::eq(&lhs, &rhs));
+    }
+
+    #[test]
+    fn uses_instantiated_lemmas() {
+        // Prove a* a + 1 = a* from fixed-point-left.
+        let mut prover = Prover::new(&[]);
+        prover.add_rule(theorems::fixed_point_left(&e("a")));
+        let lhs = e("a* a + 1");
+        let rhs = e("a*");
+        let proof = prover.prove_eq(&lhs, &rhs).expect("provable");
+        assert_eq!(proof.check_closed().unwrap(), Judgment::eq(&lhs, &rhs));
+    }
+
+    #[test]
+    fn unprovable_within_budget_returns_none() {
+        let prover = Prover::new(&[]).with_max_expansions(50);
+        assert!(prover.prove_eq(&e("a + a"), &e("a")).is_none());
+    }
+
+    #[test]
+    fn commutation_chain() {
+        // u m = m u ⊢ u (u m) = m (u u).
+        let hyps = [Judgment::Eq(e("u m"), e("m u"))];
+        let mut prover = Prover::new(&hyps);
+        prover.add_hypothesis_rules();
+        let lhs = e("u (u m)");
+        let rhs = e("m (u u)");
+        let proof = prover.prove_eq(&lhs, &rhs).expect("provable");
+        assert_eq!(proof.check(&hyps).unwrap(), Judgment::eq(&lhs, &rhs));
+    }
+}

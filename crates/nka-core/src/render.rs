@@ -1,0 +1,243 @@
+//! Rendering checked proofs as paper-style derivations.
+//!
+//! The paper presents its derivations as chains of equalities annotated
+//! with the rule used at each step — e.g. §5.1's
+//!
+//! ```text
+//!   (m0 p (m0 p + m1 1))* m1
+//! = (m0 p m0 p + m0 p m1)* m1        (distributive-law)
+//! = (m0 p m0 p)* (m0 p m1 (…))* m1   (denesting)
+//! …
+//! ```
+//!
+//! [`render`] reproduces that presentation from a machine-checked
+//! [`Proof`] object: transitivity chains are flattened into one step per
+//! line and every step is annotated with a human-readable rule label
+//! (axiom name, `semiring`, `hypothesis i`, congruence context, star
+//! induction). Each line is *re-checked* while rendering, so the output
+//! is a faithful display of the certificate, not a reconstruction.
+//!
+//! # Examples
+//!
+//! ```
+//! use nka_core::{render::render, theorems};
+//!
+//! let proof = theorems::sliding(&"p".parse()?, &"q".parse()?);
+//! let text = render(&proof, &[])?;
+//! assert!(text.starts_with("(p q)* p"));
+//! assert!(text.contains("(semiring)"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::judgment::Judgment;
+use crate::proof::{Proof, ProofError};
+
+/// One line of a rendered derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenderedStep {
+    /// `=` or `≤`, relating this line to the previous one.
+    pub relation: &'static str,
+    /// The display form of the step's right-hand side.
+    pub expr: String,
+    /// The rule annotation for the step.
+    pub rule: String,
+}
+
+/// A derivation rendered as a start expression plus annotated steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenderedDerivation {
+    /// The derivation's starting expression.
+    pub start: String,
+    /// The annotated steps, in order.
+    pub steps: Vec<RenderedStep>,
+}
+
+impl std::fmt::Display for RenderedDerivation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.start)?;
+        let width = self
+            .steps
+            .iter()
+            .map(|s| s.expr.chars().count())
+            .max()
+            .unwrap_or(0);
+        for step in &self.steps {
+            writeln!(
+                f,
+                "{} {:width$}   ({})",
+                step.relation,
+                step.expr,
+                step.rule,
+                width = width
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a proof as a paper-style derivation chain.
+///
+/// Transitivity (`Trans`/`LeTrans`) is flattened; every other node
+/// becomes a single annotated line. Sub-proofs are re-checked under
+/// `hyps` to recover each line's expression, so rendering fails exactly
+/// when checking would.
+///
+/// # Errors
+///
+/// Returns [`ProofError`] if the proof does not check under `hyps`.
+pub fn render(proof: &Proof, hyps: &[Judgment]) -> Result<String, ProofError> {
+    Ok(render_derivation(proof, hyps)?.to_string())
+}
+
+/// Structured form of [`render`], for programmatic consumption.
+///
+/// # Errors
+///
+/// Returns [`ProofError`] if the proof does not check under `hyps`.
+pub fn render_derivation(
+    proof: &Proof,
+    hyps: &[Judgment],
+) -> Result<RenderedDerivation, ProofError> {
+    let judgment = proof.check(hyps)?;
+    let start = judgment.lhs().to_string();
+    let mut steps = Vec::new();
+    collect(proof, hyps, &mut steps)?;
+    Ok(RenderedDerivation { start, steps })
+}
+
+/// Flattens transitivity chains into `steps`; every non-transitivity
+/// node contributes one line.
+fn collect(
+    proof: &Proof,
+    hyps: &[Judgment],
+    steps: &mut Vec<RenderedStep>,
+) -> Result<(), ProofError> {
+    match proof {
+        Proof::Trans(a, b) | Proof::LeTrans(a, b) => {
+            collect(a, hyps, steps)?;
+            collect(b, hyps, steps)?;
+        }
+        // Reflexivity contributes no visible step.
+        Proof::Refl(_) | Proof::LeRefl(_) => {}
+        // EqToLe only changes the relation of its inner chain.
+        Proof::EqToLe(inner) => collect(inner, hyps, steps)?,
+        other => {
+            let judgment = other.check(hyps)?;
+            steps.push(RenderedStep {
+                relation: if judgment.is_eq() { "=" } else { "≤" },
+                expr: judgment.rhs().to_string(),
+                rule: label(other),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A human-readable annotation for a single (non-transitivity) rule.
+fn label(proof: &Proof) -> String {
+    match proof {
+        Proof::Refl(_) | Proof::LeRefl(_) => "reflexivity".to_owned(),
+        Proof::Sym(inner) => format!("{}, reversed", label(inner)),
+        Proof::Trans(..) | Proof::LeTrans(..) => "chain".to_owned(),
+        Proof::CongAdd(a, b) => congruence("in +", a, b),
+        Proof::CongMul(a, b) => congruence("in context", a, b),
+        Proof::CongStar(inner) => format!("{}, under *", label(inner)),
+        Proof::Axiom(ax, _) => format!("{ax:?}"),
+        Proof::AxiomLe(ax, _) => format!("{ax:?}"),
+        Proof::BySemiring(..) => "semiring".to_owned(),
+        Proof::AntiSym(..) => "antisymmetry".to_owned(),
+        Proof::EqToLe(inner) => label(inner),
+        Proof::MonoAdd(a, b) => congruence("monotone +", a, b),
+        Proof::MonoMul(a, b) => congruence("monotone ·", a, b),
+        Proof::StarIndLeft(_) => "star-induction (p*q ≤ r)".to_owned(),
+        Proof::StarIndRight(_) => "star-induction (qp* ≤ r)".to_owned(),
+        Proof::Hyp(i) => format!("hypothesis {i}"),
+    }
+}
+
+/// Congruence labels name the interesting (non-reflexive) side.
+fn congruence(context: &str, a: &Proof, b: &Proof) -> String {
+    let a_trivial = matches!(a, Proof::Refl(_) | Proof::LeRefl(_));
+    let b_trivial = matches!(b, Proof::Refl(_) | Proof::LeRefl(_));
+    match (a_trivial, b_trivial) {
+        (true, false) => format!("{}, {}", label(b), context),
+        (false, true) => format!("{}, {}", label(a), context),
+        _ => format!("congruence {context}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EqChain;
+    use crate::theorems;
+    use nka_syntax::Expr;
+
+    fn e(src: &str) -> Expr {
+        src.parse().unwrap()
+    }
+
+    #[test]
+    fn renders_a_semiring_chain() {
+        let chain = EqChain::new(&e("p (q + r)"))
+            .semiring(&e("p q + p r"))
+            .unwrap();
+        let text = render(&chain.into_proof(), &[]).unwrap();
+        assert!(text.starts_with("p (q + r)\n"));
+        assert!(text.contains("= p q + p r"));
+        assert!(text.contains("(semiring)"));
+    }
+
+    #[test]
+    fn renders_hypothesis_steps_with_indices() {
+        let hyps = vec![Judgment::Eq(e("m m"), e("m"))];
+        let chain = EqChain::with_hyps(&e("m m"), &hyps).hyp(0).unwrap();
+        let text = render(&chain.into_proof(), &hyps).unwrap();
+        assert!(text.contains("hypothesis 0"), "{text}");
+    }
+
+    #[test]
+    fn renders_figure_2_theorems() {
+        // Every Figure-2 proof renders; line count tracks proof size.
+        let p = e("p");
+        let q = e("q");
+        for proof in [
+            theorems::sliding(&p, &q),
+            theorems::product_star(&p, &q),
+            theorems::unrolling(&p),
+            theorems::denesting_left(&p, &q),
+        ] {
+            let d = render_derivation(&proof, &[]).unwrap();
+            assert!(!d.steps.is_empty());
+            assert!(d.steps.len() <= proof.size());
+            // The final line's expression is the proved judgment's rhs.
+            let j = proof.check(&[]).unwrap();
+            assert_eq!(d.steps.last().unwrap().expr, j.rhs().to_string());
+        }
+    }
+
+    #[test]
+    fn rendering_rejects_bogus_proofs() {
+        // A hypothesis index out of range fails at render time exactly
+        // like at check time.
+        let proof = Proof::Hyp(3);
+        assert!(render(&proof, &[]).is_err());
+    }
+
+    #[test]
+    fn display_aligns_rule_annotations() {
+        let chain = EqChain::new(&e("(p + q) r"))
+            .semiring(&e("p r + q r"))
+            .unwrap()
+            .semiring(&e("q r + p r"))
+            .unwrap();
+        let d = render_derivation(&chain.into_proof(), &[]).unwrap();
+        let text = d.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Both step lines place their annotations at the same column.
+        let col0 = lines[1].find('(').unwrap();
+        let col1 = lines[2].find('(').unwrap();
+        assert_eq!(col0, col1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Canonical forms for the semiring fragment of NKA.
+//!
+//! The free semiring over an alphabet is `N⟨Σ*⟩`: polynomials with natural
+//! coefficients over noncommutative words. Treating every starred subterm
+//! as an extra (recursively canonicalized) letter yields a canonical form
+//! for NKA expressions **modulo the semiring axioms plus congruence** — the
+//! decidable fragment behind the `BySemiring` proof rule: two expressions
+//! have equal canonical forms iff they are provably equal using only
+//! `add-assoc/comm/zero`, `mul-assoc/one/zero`, distributivity, and
+//! congruence (including under `*`).
+//!
+//! This is the machine-checked analogue of the steps the paper labels
+//! "(distributive-law)" in its derivations.
+
+use nka_syntax::{Expr, ExprNode, Symbol};
+use std::collections::BTreeMap;
+
+/// A letter of a canonical word: an atom or an (already canonical) starred
+/// polynomial.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CanonLetter {
+    /// An alphabet symbol.
+    Atom(Symbol),
+    /// `q*` for a canonicalized `q`.
+    Star(CanonPoly),
+}
+
+/// A canonical polynomial: a finite multiset of words with positive
+/// multiplicities, i.e. an element of the free semiring.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct CanonPoly(BTreeMap<Vec<CanonLetter>, u64>);
+
+impl CanonPoly {
+    /// The zero polynomial.
+    pub fn zero() -> CanonPoly {
+        CanonPoly::default()
+    }
+
+    /// The unit polynomial (`1·ε`).
+    pub fn one() -> CanonPoly {
+        let mut m = BTreeMap::new();
+        m.insert(Vec::new(), 1);
+        CanonPoly(m)
+    }
+
+    /// A single-letter monomial.
+    pub fn letter(l: CanonLetter) -> CanonPoly {
+        let mut m = BTreeMap::new();
+        m.insert(vec![l], 1);
+        CanonPoly(m)
+    }
+
+    fn insert(&mut self, word: Vec<CanonLetter>, coeff: u64) {
+        if coeff == 0 {
+            return;
+        }
+        let entry = self.0.entry(word).or_insert(0);
+        *entry = entry
+            .checked_add(coeff)
+            .expect("canonical-form coefficient overflow");
+    }
+
+    /// Sum of polynomials.
+    pub fn add(&self, other: &CanonPoly) -> CanonPoly {
+        let mut out = self.clone();
+        for (w, &c) in &other.0 {
+            out.insert(w.clone(), c);
+        }
+        out
+    }
+
+    /// Noncommutative product of polynomials.
+    pub fn mul(&self, other: &CanonPoly) -> CanonPoly {
+        let mut out = CanonPoly::zero();
+        for (u, &cu) in &self.0 {
+            for (v, &cv) in &other.0 {
+                let mut w = u.clone();
+                w.extend(v.iter().cloned());
+                out.insert(
+                    w,
+                    cu.checked_mul(cv)
+                        .expect("canonical-form coefficient overflow"),
+                );
+            }
+        }
+        out
+    }
+
+    /// Number of monomials.
+    pub fn term_count(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Rebuilds an expression from the canonical form: a left-associated
+    /// sum (in canonical monomial order) of products of letters, with the
+    /// products associated to the right if `right_assoc` and to the left
+    /// otherwise. The result is always in the same canonical class:
+    /// `canon(p.to_expr(b)) == p`.
+    ///
+    /// The auto-prover uses both association variants as rewriting
+    /// representatives, which lets plain syntactic matching reach redexes
+    /// that are only exposed modulo associativity/distributivity.
+    pub fn to_expr(&self, right_assoc: bool) -> Expr {
+        let letter_expr = |l: &CanonLetter| match l {
+            CanonLetter::Atom(s) => Expr::atom(*s),
+            CanonLetter::Star(p) => p.to_expr(right_assoc).star(),
+        };
+        let mut terms = Vec::new();
+        for (word, &coeff) in &self.0 {
+            let factors: Vec<Expr> = word.iter().map(letter_expr).collect();
+            let product = if factors.is_empty() {
+                Expr::one()
+            } else if right_assoc {
+                let mut iter = factors.into_iter().rev();
+                let last = iter.next().expect("non-empty factors");
+                iter.fold(last, |acc, f| f.mul(&acc))
+            } else {
+                Expr::product(factors)
+            };
+            for _ in 0..coeff {
+                terms.push(product.clone());
+            }
+        }
+        Expr::sum(terms)
+    }
+}
+
+/// Computes the canonical form of an expression in the semiring-plus-
+/// congruence fragment. Stars are opaque letters wrapping the canonical
+/// form of their body (so congruence under `*` is captured).
+///
+/// # Examples
+///
+/// ```
+/// use nka_core::semiring_nf::canon;
+/// use nka_syntax::Expr;
+/// let a: Expr = "(p + q) r".parse()?;
+/// let b: Expr = "p r + q r".parse()?;
+/// assert_eq!(canon(&a), canon(&b));
+/// let c: Expr = "p r + r q".parse()?;
+/// assert_ne!(canon(&a), canon(&c)); // multiplication is noncommutative
+/// # Ok::<(), nka_syntax::ParseExprError>(())
+/// ```
+pub fn canon(e: &Expr) -> CanonPoly {
+    match e.node() {
+        ExprNode::Zero => CanonPoly::zero(),
+        ExprNode::One => CanonPoly::one(),
+        ExprNode::Atom(s) => CanonPoly::letter(CanonLetter::Atom(*s)),
+        ExprNode::Add(l, r) => canon(l).add(&canon(r)),
+        ExprNode::Mul(l, r) => canon(l).mul(&canon(r)),
+        ExprNode::Star(inner) => CanonPoly::letter(CanonLetter::Star(canon(inner))),
+    }
+}
+
+/// Whether `e = f` holds in the semiring-plus-congruence fragment.
+pub fn semiring_equal(e: &Expr, f: &Expr) -> bool {
+    canon(e) == canon(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eq(l: &str, r: &str) -> bool {
+        semiring_equal(&l.parse().unwrap(), &r.parse().unwrap())
+    }
+
+    #[test]
+    fn associativity_commutativity_units() {
+        assert!(eq("a + (b + c)", "(c + a) + b"));
+        assert!(eq("a (b c)", "(a b) c"));
+        assert!(eq("a + 0", "a"));
+        assert!(eq("1 a 1", "a"));
+        assert!(eq("0 a + b 0", "0"));
+    }
+
+    #[test]
+    fn distributivity_both_sides() {
+        assert!(eq("a (b + c) d", "a b d + a c d"));
+        assert!(eq("(a + b) (c + d)", "a c + a d + b c + b d"));
+    }
+
+    #[test]
+    fn multiplicities_are_tracked() {
+        assert!(eq("a + a", "a + a"));
+        assert!(!eq("a + a", "a"));
+        assert!(eq("(1 + 1) a", "a + a"));
+    }
+
+    #[test]
+    fn congruence_under_star() {
+        assert!(eq("(a (b + c))*", "(a b + a c)*"));
+        assert!(!eq("(a b)*", "(b a)*"));
+    }
+
+    #[test]
+    fn star_is_otherwise_opaque() {
+        // 0* = 1 is a star law, NOT a semiring law — must not be equated.
+        assert!(!eq("0*", "1"));
+        assert!(!eq("a* a", "a a*"));
+        assert!(!eq("1 + a a*", "a*"));
+    }
+
+    #[test]
+    fn noncommutativity_of_product() {
+        assert!(!eq("a b", "b a"));
+    }
+
+    #[test]
+    fn fragment_is_sound_for_the_series_model() {
+        use nka_syntax::{random_expr, ExprGenConfig, Symbol};
+        let alphabet = vec![Symbol::intern("a"), Symbol::intern("b")];
+        let config = ExprGenConfig::new(alphabet.clone()).with_target_size(7);
+        let mut seed = 2024;
+        for _ in 0..60 {
+            let e = random_expr(&config, &mut seed);
+            let f = random_expr(&config, &mut seed);
+            if semiring_equal(&e, &f) {
+                assert!(
+                    nka_wfa::decide_eq(&e, &f).unwrap(),
+                    "semiring NF equated {e} and {f}, but series differ"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! The derived theorems of Figure 2, as machine-checked proofs.
+//!
+//! Every function transcribes the corresponding derivation of Appendix C.1
+//! of the paper into a [`Proof`] object; the proofs are re-checked from
+//! scratch by the test suite and cross-validated against the decision
+//! procedure. Figure 2a: [`fixed_point_right`], [`fixed_point_left`],
+//! [`monotone_star`], [`product_star`], [`sliding`], [`denesting_left`],
+//! [`denesting_right`], [`positivity`]. Figure 2b: [`unrolling`],
+//! [`swap_star`], [`star_rewrite`].
+//!
+//! Theorems with hypotheses (the Horn clauses of Figure 2b) take the
+//! hypothesis *proof* as an argument — pass [`Proof::Hyp`] to use a
+//! hypothesis of an enclosing Horn clause (Corollary 4.3), or any proof of
+//! the required judgment to chain lemmas.
+//!
+//! # Panics
+//!
+//! These builders construct fixed derivations whose steps cannot fail for
+//! any instantiation (semiring steps are substitution-stable and all
+//! rewrites use explicit paths); they would only panic on an internal bug,
+//! which the test suite guards against.
+
+use crate::axioms::LeAxiom;
+use crate::builder::{EqChain, LeChain};
+use crate::judgment::Judgment;
+use crate::proof::Proof;
+use nka_syntax::Expr;
+
+fn one() -> Expr {
+    Expr::one()
+}
+
+fn zero() -> Expr {
+    Expr::zero()
+}
+
+/// `1 + p p* ≤ p*` — the star-unfolding axiom, as a proof.
+pub fn star_unfold_le(p: &Expr) -> Proof {
+    Proof::AxiomLe(LeAxiom::StarUnfold, vec![p.clone()])
+}
+
+/// Figure 2a (fixed-point, right form): `1 + p p* = p*`.
+pub fn fixed_point_right(p: &Expr) -> Proof {
+    let ps = p.star();
+    let unfold = one().add(&p.mul(&ps)); // 1 + p p*
+    let le = star_unfold_le(p);
+    // ≥ : p* ≤ 1 + p p* by star induction.
+    let premise = LeChain::new(&one().add(&p.mul(&unfold)))
+        .le_rw_at(&[1, 1], le.clone())
+        .expect("fixed_point_right premise");
+    let ind = Proof::StarIndLeft(Box::new(premise.into_proof())); // p* 1 ≤ 1 + p p*
+    let ge = LeChain::new(&ps)
+        .eq_step(Proof::BySemiring(ps.clone(), ps.mul(&one())))
+        .expect("fixed_point_right unit")
+        .le_step(ind)
+        .expect("fixed_point_right induction");
+    Proof::AntiSym(Box::new(le), Box::new(ge.into_proof()))
+}
+
+/// Figure 2a (fixed-point, left form): `1 + p* p = p*`.
+pub fn fixed_point_left(p: &Expr) -> Proof {
+    let ps = p.star();
+    let lhs = one().add(&ps.mul(p)); // 1 + p* p
+
+    // ≥ : p* ≤ 1 + p* p.
+    // Premise: 1 + p (1 + p* p) = 1 + (1 + p p*) p → 1 + p* p.
+    let premise_eq = EqChain::new(&one().add(&p.mul(&lhs)))
+        .semiring(&one().add(&one().add(&p.mul(&ps)).mul(p)))
+        .expect("fixed_point_left reshape")
+        .rw_at(&[1, 0], fixed_point_right(p))
+        .expect("fixed_point_left fp-right");
+    let ind = Proof::StarIndLeft(Box::new(premise_eq.into_proof().as_le())); // p* 1 ≤ 1 + p* p
+    let ge = LeChain::new(&ps)
+        .eq_step(Proof::BySemiring(ps.clone(), ps.mul(&one())))
+        .expect("fixed_point_left unit")
+        .le_step(ind)
+        .expect("fixed_point_left induction");
+
+    // ≤ : first p* p ≤ p p* …
+    let pps = p.mul(&ps);
+    let swap_premise = LeChain::new(&p.add(&p.mul(&pps)))
+        .semiring(&p.mul(&one().add(&pps)))
+        .expect("fixed_point_left swap reshape")
+        .eq_rw_at(&[1], fixed_point_right(p))
+        .expect("fixed_point_left swap fp");
+    let swap = Proof::StarIndLeft(Box::new(swap_premise.into_proof())); // p* p ≤ p p*
+    // … then 1 + p* p ≤ 1 + p p* ≤ p*.
+    let le = LeChain::new(&lhs)
+        .le_rw_at(&[1], swap)
+        .expect("fixed_point_left mono")
+        .le_step(star_unfold_le(p))
+        .expect("fixed_point_left unfold");
+
+    Proof::AntiSym(Box::new(le.into_proof()), Box::new(ge.into_proof()))
+}
+
+/// Figure 2a (monotone-star): from a proof of `p ≤ q`, conclude `p* ≤ q*`.
+pub fn monotone_star(p: &Expr, q: &Expr, le_pq: Proof, hyps: &[Judgment]) -> Proof {
+    let qs = q.star();
+    let premise = LeChain::with_hyps(&one().add(&p.mul(&qs)), hyps)
+        .le_rw_at(&[1, 0], le_pq)
+        .expect("monotone_star mono")
+        .le_step(star_unfold_le(q))
+        .expect("monotone_star unfold");
+    let ind = Proof::StarIndLeft(Box::new(premise.into_proof())); // p* 1 ≤ q*
+    let ps = p.star();
+    LeChain::with_hyps(&ps, hyps)
+        .eq_step(Proof::BySemiring(ps.clone(), ps.mul(&one())))
+        .expect("monotone_star unit")
+        .le_step(ind)
+        .expect("monotone_star induction")
+        .into_proof()
+}
+
+/// Figure 2a (product-star): `1 + p (q p)* q = (p q)*`.
+pub fn product_star(p: &Expr, q: &Expr) -> Proof {
+    let qp = q.mul(p);
+    let pq = p.mul(q);
+    let lhs = one().add(&p.mul(&qp.star()).mul(q)); // 1 + (p (q p)*) q
+    let rhs = pq.star();
+
+    // ≥ : (p q)* ≤ 1 + p (q p)* q.
+    // Premise: 1 + (p q)(1 + p (q p)* q) = 1 + p (1 + (q p)(q p)*) q → lhs.
+    let reshaped = one().add(
+        &p.mul(&one().add(&qp.mul(&qp.star())))
+            .mul(q),
+    );
+    let premise = EqChain::new(&one().add(&pq.mul(&lhs)))
+        .semiring(&reshaped)
+        .expect("product_star reshape")
+        .rw_at(&[1, 0, 1], fixed_point_right(&qp))
+        .expect("product_star fp");
+    // premise judgment: 1 + (p q) lhs = lhs  ⇒ star induction (left).
+    let ind = Proof::StarIndLeft(Box::new(premise.into_proof().as_le())); // (p q)* 1 ≤ lhs
+    let ge = LeChain::new(&rhs)
+        .eq_step(Proof::BySemiring(rhs.clone(), rhs.mul(&one())))
+        .expect("product_star unit")
+        .le_step(ind)
+        .expect("product_star induction");
+
+    // ≤ : first (q p)* q ≤ q (p q)* …
+    let q_pqs = q.mul(&pq.star());
+    let slide_premise = EqChain::new(&q.add(&qp.mul(&q_pqs)))
+        .semiring(&q.mul(&one().add(&pq.mul(&pq.star()))))
+        .expect("product_star slide reshape")
+        .rw_at(&[1], fixed_point_right(&pq))
+        .expect("product_star slide fp");
+    let slide = Proof::StarIndLeft(Box::new(slide_premise.into_proof().as_le())); // (q p)* q ≤ q (p q)*
+    // … then 1 + p ((q p)* q) ≤ 1 + p (q (p q)*) = 1 + (p q)(p q)* ≤ (p q)*.
+    let le = LeChain::new(&lhs)
+        .semiring(&one().add(&p.mul(&qp.star().mul(q))))
+        .expect("product_star assoc")
+        .le_rw_at(&[1, 1], slide)
+        .expect("product_star mono")
+        .semiring(&one().add(&pq.mul(&pq.star())))
+        .expect("product_star regroup")
+        .le_step(star_unfold_le(&pq))
+        .expect("product_star unfold");
+
+    Proof::AntiSym(Box::new(le.into_proof()), Box::new(ge.into_proof()))
+}
+
+/// Figure 2a (sliding): `(p q)* p = p (q p)*`.
+pub fn sliding(p: &Expr, q: &Expr) -> Proof {
+    let pq = p.mul(q);
+    let qp = q.mul(p);
+    let start = pq.star().mul(p);
+    EqChain::new(&start)
+        .rw_rev_at(&[0], product_star(p, q))
+        .expect("sliding product-star")
+        .semiring(&p.mul(&one().add(&qp.star().mul(&qp))))
+        .expect("sliding reshape")
+        .rw_at(&[1], fixed_point_left(&qp))
+        .expect("sliding fp")
+        .into_proof()
+}
+
+/// Figure 2a (denesting, left form): `(p + q)* = (p* q)* p*`.
+pub fn denesting_left(p: &Expr, q: &Expr) -> Proof {
+    let ps = p.star();
+    let p_plus_q = p.add(q);
+    let psq = ps.mul(q);
+    let rhs = psq.star().mul(&ps); // (p* q)* p*
+    let qps = q.mul(&ps);
+
+    // ≤ : premise chain from C.1.
+    // 1 + (p + q)((p* q)* p*)
+    //   = 1 + p (p* q)* p* + q (p* q)* p*              (semiring)
+    //   = 1 + p (p* (q p*)*) + q (p* (q p*)*)          (sliding ×2)
+    //   = (1 + (q p*)(q p*)*) + (p p*)(q p*)*          (semiring)
+    //   = (q p*)* + (p p*)(q p*)*                      (fixed-point)
+    //   = (1 + p p*)(q p*)*                            (semiring)
+    //   = p* (q p*)*                                   (fixed-point)
+    //   = (p* q)* p*                                   (sliding, reversed)
+    let slide = sliding(&ps, q); // (p* q)* p* = p* (q p*)*
+    let step1 = one()
+        .add(&p.mul(&psq.star().mul(&ps)))
+        .add(&q.mul(&psq.star().mul(&ps)));
+    let premise = EqChain::new(&one().add(&p_plus_q.mul(&rhs)))
+        .semiring(&step1)
+        .expect("denesting reshape 1")
+        .rw_at(&[0, 1, 1], slide.clone())
+        .expect("denesting slide 1")
+        .rw_at(&[1, 1], slide.clone())
+        .expect("denesting slide 2")
+        .semiring(
+            &one()
+                .add(&qps.mul(&qps.star()))
+                .add(&p.mul(&ps).mul(&qps.star())),
+        )
+        .expect("denesting reshape 2")
+        .rw_at(&[0], fixed_point_right(&qps))
+        .expect("denesting fp 1")
+        .semiring(&one().add(&p.mul(&ps)).mul(&qps.star()))
+        .expect("denesting reshape 3")
+        .rw_at(&[0], fixed_point_right(p))
+        .expect("denesting fp 2")
+        .rw_rev_at(&[], slide)
+        .expect("denesting slide back");
+    let ind = Proof::StarIndLeft(Box::new(premise.into_proof().as_le())); // (p+q)* 1 ≤ rhs
+    let lhs_star = p_plus_q.star();
+    let le = LeChain::new(&lhs_star)
+        .eq_step(Proof::BySemiring(lhs_star.clone(), lhs_star.mul(&one())))
+        .expect("denesting unit")
+        .le_step(ind)
+        .expect("denesting induction");
+
+    // ≥ : two nested star inductions (C.1).
+    // Inner: (1 + q (p+q)*) + p (p+q)* = (p+q)*, so p* (1 + q (p+q)*) ≤ (p+q)*.
+    let inner_q = one().add(&q.mul(&p_plus_q.star()));
+    let inner_premise = EqChain::new(&inner_q.add(&p.mul(&p_plus_q.star())))
+        .semiring(&one().add(&p_plus_q.mul(&p_plus_q.star())))
+        .expect("denesting ge reshape")
+        .rw_at(&[], fixed_point_right(&p_plus_q))
+        .expect("denesting ge fp");
+    let inner = Proof::StarIndLeft(Box::new(inner_premise.into_proof().as_le()));
+    // Outer premise: p* + (p* q)(p+q)* = p* (1 + q (p+q)*) ≤ (p+q)*,
+    // so (p* q)* p* ≤ (p+q)*.
+    let outer_premise = LeChain::new(&ps.add(&psq.mul(&p_plus_q.star())))
+        .semiring(&ps.mul(&inner_q))
+        .expect("denesting outer reshape")
+        .le_step(inner)
+        .expect("denesting outer step");
+    let ge = Proof::StarIndLeft(Box::new(outer_premise.into_proof()));
+
+    Proof::AntiSym(Box::new(le.into_proof()), Box::new(ge))
+}
+
+/// Figure 2a (denesting, right form): `(p + q)* = p* (q p*)*`.
+pub fn denesting_right(p: &Expr, q: &Expr) -> Proof {
+    let ps = p.star();
+    EqChain::new(&p.add(q).star())
+        .rw_at(&[], denesting_left(p, q))
+        .expect("denesting_right left form")
+        .rw_at(&[], sliding(&ps, q))
+        .expect("denesting_right slide")
+        .into_proof()
+}
+
+/// Figure 2a (positivity): `0 ≤ p`.
+pub fn positivity(p: &Expr) -> Proof {
+    // Premise: 0 + 1 p ≤ p.
+    let premise = LeChain::new(&zero().add(&one().mul(p)))
+        .semiring(p)
+        .expect("positivity reshape");
+    let ind = Proof::StarIndLeft(Box::new(premise.into_proof())); // 1* 0 ≤ p
+    LeChain::new(&zero())
+        .eq_step(Proof::BySemiring(zero(), one().star().mul(&zero())))
+        .expect("positivity zero")
+        .le_step(ind)
+        .expect("positivity induction")
+        .into_proof()
+}
+
+/// Figure 2b (unrolling): `(p p)* (1 + p) = p*`.
+pub fn unrolling(p: &Expr) -> Proof {
+    let pp = p.mul(p);
+    let pps = pp.star();
+    let one_p = one().add(p);
+    let lhs = pps.mul(&one_p); // (p p)* (1 + p)
+    let ps = p.star();
+
+    // ≤ : premise (1 + p) + (p p) p* ≤ p*.
+    let premise_eq = EqChain::new(&one_p.add(&pp.mul(&ps)))
+        .semiring(&one().add(&p.mul(&one().add(&p.mul(&ps)))))
+        .expect("unrolling reshape 1")
+        .rw_at(&[1, 1], fixed_point_right(p))
+        .expect("unrolling fp 1")
+        .rw_at(&[], fixed_point_right(p))
+        .expect("unrolling fp 2");
+    let le = Proof::StarIndLeft(Box::new(premise_eq.into_proof().as_le())); // (p p)* (1 + p) ≤ p*
+
+    // ≥ : premise 1 + ((p p)* (1 + p)) p = (p p)* (1 + p).
+    let premise_eq = EqChain::new(&one().add(&lhs.mul(p)))
+        .semiring(&pps.mul(p).add(&one().add(&pps.mul(&pp))))
+        .expect("unrolling reshape 2")
+        .rw_at(&[1], fixed_point_left(&pp))
+        .expect("unrolling fp 3")
+        .semiring(&lhs)
+        .expect("unrolling reshape 3");
+    let ind = Proof::StarIndRight(Box::new(premise_eq.into_proof().as_le())); // 1 p* ≤ lhs
+    let ge = LeChain::new(&ps)
+        .eq_step(Proof::BySemiring(ps.clone(), one().mul(&ps)))
+        .expect("unrolling unit")
+        .le_step(ind)
+        .expect("unrolling induction");
+
+    Proof::AntiSym(Box::new(le), Box::new(ge.into_proof()))
+}
+
+/// Figure 2b (swap-star): from a proof of `p q = q p`, conclude
+/// `p* q = q p*`.
+pub fn swap_star(p: &Expr, q: &Expr, comm: Proof, hyps: &[Judgment]) -> Proof {
+    let ps = p.star();
+    let psq = ps.mul(q);
+    let qps = q.mul(&ps);
+
+    // q p* ≤ p* q  via star-ind-right.
+    let premise1 = EqChain::with_hyps(&q.add(&psq.mul(p)), hyps)
+        .semiring(&q.add(&ps.mul(&qp_of(q, p))))
+        .expect("swap_star reshape 1")
+        .rw_rev_at(&[1, 1], comm.clone())
+        .expect("swap_star comm 1")
+        .semiring(&one().add(&ps.mul(p)).mul(q))
+        .expect("swap_star reshape 2")
+        .rw_at(&[0], fixed_point_left(p))
+        .expect("swap_star fp 1");
+    let dir1 = Proof::StarIndRight(Box::new(premise1.into_proof().as_le())); // q p* ≤ p* q
+
+    // p* q ≤ q p*  via star-ind-left.
+    let premise2 = EqChain::with_hyps(&q.add(&p.mul(&qps)), hyps)
+        .semiring(&q.add(&p.mul(q).mul(&ps)))
+        .expect("swap_star reshape 3")
+        .rw_at(&[1, 0], comm)
+        .expect("swap_star comm 2")
+        .semiring(&q.mul(&one().add(&p.mul(&ps))))
+        .expect("swap_star reshape 4")
+        .rw_at(&[1], fixed_point_right(p))
+        .expect("swap_star fp 2");
+    let dir2 = Proof::StarIndLeft(Box::new(premise2.into_proof().as_le())); // p* q ≤ q p*
+
+    Proof::AntiSym(Box::new(dir2), Box::new(dir1))
+}
+
+fn qp_of(q: &Expr, p: &Expr) -> Expr {
+    q.mul(p)
+}
+
+/// Figure 2b (star-rewrite): from a proof of `p q = r p`, conclude
+/// `p q* = r* p`.
+pub fn star_rewrite(p: &Expr, q: &Expr, r: &Expr, hyp: Proof, hyps: &[Judgment]) -> Proof {
+    let qs = q.star();
+    let rs = r.star();
+    let pqs = p.mul(&qs);
+    let rsp = rs.mul(p);
+
+    // p q* ≤ r* p  via star-ind-right.
+    let premise1 = EqChain::with_hyps(&p.add(&rsp.mul(q)), hyps)
+        .semiring(&p.add(&rs.mul(&p.mul(q))))
+        .expect("star_rewrite reshape 1")
+        .rw_at(&[1, 1], hyp.clone())
+        .expect("star_rewrite hyp 1")
+        .semiring(&one().add(&rs.mul(r)).mul(p))
+        .expect("star_rewrite reshape 2")
+        .rw_at(&[0], fixed_point_left(r))
+        .expect("star_rewrite fp 1");
+    let dir1 = Proof::StarIndRight(Box::new(premise1.into_proof().as_le())); // p q* ≤ r* p
+
+    // r* p ≤ p q*  via star-ind-left.
+    let premise2 = EqChain::with_hyps(&p.add(&r.mul(&pqs)), hyps)
+        .semiring(&p.add(&r.mul(p).mul(&qs)))
+        .expect("star_rewrite reshape 3")
+        .rw_rev_at(&[1, 0], hyp)
+        .expect("star_rewrite hyp 2")
+        .semiring(&p.mul(&one().add(&q.mul(&qs))))
+        .expect("star_rewrite reshape 4")
+        .rw_at(&[1], fixed_point_right(q))
+        .expect("star_rewrite fp 2");
+    let dir2 = Proof::StarIndLeft(Box::new(premise2.into_proof().as_le())); // r* p ≤ p q*
+
+    Proof::AntiSym(Box::new(dir1), Box::new(dir2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(src: &str) -> Expr {
+        src.parse().unwrap()
+    }
+
+    fn check_closed_theorem(proof: &Proof, expected: &str) {
+        let j = proof.check_closed().unwrap_or_else(|err| {
+            panic!("proof failed to check: {err}");
+        });
+        assert_eq!(j.to_string(), expected);
+        // Cross-validate equations against the decision procedure.
+        if let Judgment::Eq(l, r) = &j {
+            assert!(
+                nka_wfa::decide_eq(l, r).unwrap(),
+                "theorem not confirmed by the decision procedure: {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_point_right_checks() {
+        check_closed_theorem(&fixed_point_right(&e("p")), "1 + p p* = p*");
+        check_closed_theorem(
+            &fixed_point_right(&e("m0 x + y")),
+            "1 + (m0 x + y) (m0 x + y)* = (m0 x + y)*",
+        );
+    }
+
+    #[test]
+    fn fixed_point_left_checks() {
+        check_closed_theorem(&fixed_point_left(&e("p")), "1 + p* p = p*");
+    }
+
+    #[test]
+    fn monotone_star_checks() {
+        // Use the hypothesis p ≤ q.
+        let hyps = [Judgment::le(&e("p"), &e("q"))];
+        let proof = monotone_star(&e("p"), &e("q"), Proof::Hyp(0), &hyps);
+        let j = proof.check(&hyps).unwrap();
+        assert_eq!(j.to_string(), "p* ≤ q*");
+    }
+
+    #[test]
+    fn product_star_checks() {
+        check_closed_theorem(&product_star(&e("p"), &e("q")), "1 + p (q p)* q = (p q)*");
+    }
+
+    #[test]
+    fn sliding_checks() {
+        check_closed_theorem(&sliding(&e("p"), &e("q")), "(p q)* p = p (q p)*");
+        check_closed_theorem(
+            &sliding(&e("a b"), &e("c")),
+            "(a b c)* (a b) = a b (c (a b))*",
+        );
+    }
+
+    #[test]
+    fn denesting_checks() {
+        check_closed_theorem(&denesting_left(&e("p"), &e("q")), "(p + q)* = (p* q)* p*");
+        check_closed_theorem(&denesting_right(&e("p"), &e("q")), "(p + q)* = p* (q p*)*");
+    }
+
+    #[test]
+    fn positivity_checks() {
+        let proof = positivity(&e("p q*"));
+        assert_eq!(proof.check_closed().unwrap().to_string(), "0 ≤ p q*");
+    }
+
+    #[test]
+    fn unrolling_checks() {
+        check_closed_theorem(&unrolling(&e("p")), "(p p)* (1 + p) = p*");
+    }
+
+    #[test]
+    fn swap_star_checks() {
+        let hyps = [Judgment::eq(&e("p q"), &e("q p"))];
+        let proof = swap_star(&e("p"), &e("q"), Proof::Hyp(0), &hyps);
+        let j = proof.check(&hyps).unwrap();
+        assert_eq!(j.to_string(), "p* q = q p*");
+    }
+
+    #[test]
+    fn star_rewrite_checks() {
+        let hyps = [Judgment::eq(&e("p q"), &e("r p"))];
+        let proof = star_rewrite(&e("p"), &e("q"), &e("r"), Proof::Hyp(0), &hyps);
+        let j = proof.check(&hyps).unwrap();
+        assert_eq!(j.to_string(), "p q* = r* p");
+    }
+
+    #[test]
+    fn theorems_instantiate_at_compound_expressions() {
+        // Substitution-stability: instantiate at bigger terms and recheck.
+        let p = e("(a + b) c*");
+        let q = e("d");
+        check_closed_theorem(
+            &sliding(&p, &q),
+            "((a + b) c* d)* ((a + b) c*) = (a + b) c* (d ((a + b) c*))*",
+        );
+        fixed_point_left(&p).check_closed().unwrap();
+        product_star(&p, &q).check_closed().unwrap();
+        denesting_left(&q, &p).check_closed().unwrap();
+        unrolling(&p).check_closed().unwrap();
+    }
+
+    #[test]
+    fn proofs_have_reasonable_size() {
+        // Not a correctness property, but a regression guard: the sliding
+        // proof should stay well under a thousand rule applications.
+        assert!(sliding(&e("p"), &e("q")).size() < 1000);
+    }
+}

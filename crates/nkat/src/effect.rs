@@ -1,0 +1,224 @@
+//! Quantum predicates (effects) and the effect algebra (Definitions
+//! 7.1–7.2, Lemma 7.3).
+
+use qsim_linalg::{is_psd, lowner_le, CMatrix, Complex};
+use qsim_quantum::Superoperator;
+
+/// A quantum predicate: a PSD operator `A` with `A ⊑ I` (D'Hondt &
+/// Panangaden, as used in Section 7.1 of the paper).
+///
+/// Effects form an *effect algebra* `(L, ⊕, 0, e)`: `⊕` is addition,
+/// defined only when the sum stays below the identity; negation is
+/// `Ā = I − A`. The laws of Definition 7.1 are exercised in the tests.
+///
+/// # Examples
+///
+/// ```
+/// use nkat::Effect;
+/// use qsim_quantum::states;
+///
+/// let half = Effect::new(&states::maximally_mixed(2)).unwrap();
+/// let sum = half.try_plus(&half).expect("½I ⊕ ½I = I is defined");
+/// assert!(sum.approx_eq(&Effect::top(2), 1e-10));
+/// assert!(half.try_plus(&sum).is_none()); // exceeds e — undefined
+/// ```
+#[derive(Debug, Clone)]
+pub struct Effect {
+    matrix: CMatrix,
+}
+
+impl Effect {
+    /// Validates and wraps a PSD operator with `‖A‖ ≤ 1`.
+    ///
+    /// Returns `None` if `a` is not square/Hermitian/PSD or exceeds the
+    /// identity (within `1e-8`).
+    pub fn new(a: &CMatrix) -> Option<Effect> {
+        if !a.is_square() || !a.is_hermitian(1e-8) || !is_psd(a, 1e-8) {
+            return None;
+        }
+        if !lowner_le(a, &CMatrix::identity(a.rows()), 1e-8) {
+            return None;
+        }
+        Some(Effect { matrix: a.clone() })
+    }
+
+    /// The bottom effect `0`.
+    pub fn bottom(dim: usize) -> Effect {
+        Effect {
+            matrix: CMatrix::zeros(dim, dim),
+        }
+    }
+
+    /// The top effect `e = I_H`.
+    pub fn top(dim: usize) -> Effect {
+        Effect {
+            matrix: CMatrix::identity(dim),
+        }
+    }
+
+    /// The underlying operator.
+    pub fn matrix(&self) -> &CMatrix {
+        &self.matrix
+    }
+
+    /// Hilbert-space dimension.
+    pub fn dim(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// The negation `Ā = I − A` (Definition 7.1, rule 4).
+    pub fn negation(&self) -> Effect {
+        Effect {
+            matrix: &CMatrix::identity(self.dim()) - &self.matrix,
+        }
+    }
+
+    /// The partial sum `A ⊕ B`, defined iff `A + B ⊑ I`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn try_plus(&self, other: &Effect) -> Option<Effect> {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        let sum = &self.matrix + &other.matrix;
+        Effect::new(&sum)
+    }
+
+    /// Löwner comparison `self ⊑ other`.
+    pub fn le(&self, other: &Effect, tol: f64) -> bool {
+        lowner_le(&self.matrix, &other.matrix, tol)
+    }
+
+    /// Approximate equality.
+    pub fn approx_eq(&self, other: &Effect, tol: f64) -> bool {
+        self.matrix.approx_eq(&other.matrix, tol)
+    }
+
+    /// The constant superoperator `C_A(ρ) = tr(ρ)·A` whose path lifting
+    /// represents this predicate in `PPred(H)` (Definition 7.2).
+    pub fn constant_superoperator(&self) -> Superoperator {
+        Superoperator::constant(&self.matrix)
+    }
+
+    /// `tr(Aρ)` — the "probability that the predicate holds" on `ρ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn expectation(&self, rho: &CMatrix) -> f64 {
+        (&self.matrix * rho).trace().re
+    }
+
+    /// The dual action of a measurement branch on a predicate:
+    /// `A ↦ M† A M` (how partitions act on `L`, Definition 7.4(3a)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn pre_measure(&self, m: &CMatrix) -> Effect {
+        let out = &(&m.adjoint() * &self.matrix) * m;
+        Effect { matrix: out }
+    }
+
+    /// Scales the effect by `c ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside `[0, 1]`.
+    pub fn scaled(&self, c: f64) -> Effect {
+        assert!((0.0..=1.0).contains(&c), "effect scaling outside [0, 1]");
+        Effect {
+            matrix: self.matrix.scale(Complex::from(c)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_quantum::{states, Measurement};
+
+    #[test]
+    fn validation() {
+        assert!(Effect::new(&CMatrix::identity(2)).is_some());
+        assert!(Effect::new(&states::maximally_mixed(3)).is_some());
+        // 2·I exceeds the identity.
+        assert!(Effect::new(&CMatrix::identity(2).scale(Complex::from(2.0))).is_none());
+        // Non-PSD.
+        assert!(Effect::new(&CMatrix::from_real(&[&[-0.5, 0.0], &[0.0, 0.5]])).is_none());
+    }
+
+    #[test]
+    fn effect_algebra_laws() {
+        // Definition 7.1 on concrete samples.
+        let dim = 2;
+        let a = Effect::new(&states::basis_density(2, 0).scale(Complex::from(0.4))).unwrap();
+        let b = Effect::new(&states::maximally_mixed(2).scale(Complex::from(0.6))).unwrap();
+        // (1) commutativity where defined.
+        let ab = a.try_plus(&b).unwrap();
+        let ba = b.try_plus(&a).unwrap();
+        assert!(ab.approx_eq(&ba, 1e-10));
+        // (3) a ⊕ e defined ⇒ a = 0.
+        assert!(a.try_plus(&Effect::top(dim)).is_none());
+        assert!(Effect::bottom(dim)
+            .try_plus(&Effect::top(dim))
+            .is_some());
+        // (4) unique negation: a ⊕ ā = e.
+        let total = a.try_plus(&a.negation()).unwrap();
+        assert!(total.approx_eq(&Effect::top(dim), 1e-10));
+        // (5) 0 ⊕ a = a.
+        let zero_sum = Effect::bottom(dim).try_plus(&a).unwrap();
+        assert!(zero_sum.approx_eq(&a, 1e-10));
+        // Involution (Lemma 7.7.3).
+        assert!(a.negation().negation().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn negation_reverses_order() {
+        // Lemma 7.7.4 in the model.
+        let a = Effect::new(&states::maximally_mixed(2).scale(Complex::from(0.5))).unwrap();
+        let b = Effect::new(&states::maximally_mixed(2)).unwrap();
+        assert!(a.le(&b, 1e-10));
+        assert!(b.negation().le(&a.negation(), 1e-10));
+    }
+
+    #[test]
+    fn partition_transform_in_the_model() {
+        // Lemma 7.7.5: Σ Mᵢ†(āᵢ)Mᵢ = negation of Σ Mᵢ†(aᵢ)Mᵢ.
+        let meas = Measurement::computational_basis(2);
+        let a0 = Effect::new(&states::basis_density(2, 0).scale(Complex::from(0.3))).unwrap();
+        let a1 = Effect::new(&states::maximally_mixed(2).scale(Complex::from(0.8))).unwrap();
+        let lhs = a0
+            .negation()
+            .pre_measure(meas.operator(0))
+            .try_plus(&a1.negation().pre_measure(meas.operator(1)))
+            .unwrap();
+        let rhs = a0
+            .pre_measure(meas.operator(0))
+            .try_plus(&a1.pre_measure(meas.operator(1)))
+            .unwrap()
+            .negation();
+        assert!(lhs.approx_eq(&rhs, 1e-10));
+    }
+
+    #[test]
+    fn constant_superoperator_represents_the_predicate() {
+        let a = Effect::new(&states::maximally_mixed(2).scale(Complex::from(0.9))).unwrap();
+        let c = a.constant_superoperator();
+        let mut seed = 7;
+        let rho = states::random_density(2, &mut seed);
+        let out = c.apply(&rho);
+        assert!(out.approx_eq(&a.matrix().scale(Complex::from(rho.trace().re)), 1e-9));
+    }
+
+    #[test]
+    fn expectation_bounds() {
+        let mut seed = 13;
+        let a = Effect::new(&states::maximally_mixed(2).scale(Complex::from(0.7))).unwrap();
+        for _ in 0..5 {
+            let rho = states::random_density(2, &mut seed);
+            let p = a.expectation(&rho);
+            assert!((0.0..=1.0 + 1e-9).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Non-idempotent Kleene algebra with tests — NKAT (Section 7 of
+//! Peng–Ying–Wu, PLDI 2022).
+//!
+//! KAT's Boolean tests do not survive quantization: a quantum guard is a
+//! *measurement* (it changes the state), and a quantum proposition is an
+//! *effect* (a PSD operator `A ⊑ I`). NKAT therefore splits the two roles:
+//!
+//! * [`Effect`] — quantum predicates with the effect-algebra structure
+//!   (Definition 7.1), modelled in the path model by lifted constant
+//!   superoperators `C_A(ρ) = tr(ρ)·A` (Definition 7.2 / Lemma 7.3);
+//! * partitions `(mᵢ)` — tuples with `Σ mᵢ e = e` abstracting quantum
+//!   measurements in the dual sense (Definition 7.4 / 7.5);
+//! * [`NkatContext`] — a declared effect/partition vocabulary that
+//!   generates the NKAT hypotheses under which plain NKA proofs run, plus
+//!   the one genuinely non-NKA rule (negation-reverse, Lemma 7.7.4) as a
+//!   primitive step of [`NkatDerivation`];
+//! * [`qhl`] — quantum Hoare triples `{A} P {B}`, the weakest liberal
+//!   precondition calculus, the propositional proof system of Figure 5,
+//!   and the **Theorem 7.8 compiler** from QHL derivations to checked
+//!   NKAT proofs of the encoded inequality `p·b̄ ≤ ā`.
+//!
+//! # Examples
+//!
+//! Validate a Hoare triple semantically and through the algebra:
+//!
+//! ```
+//! use nkat::qhl::{wlp, HoareTriple};
+//! use nka_qprog::Program;
+//! use qsim_quantum::{gates, states};
+//! use qsim_linalg::CMatrix;
+//!
+//! // {X-basis certainty} H {Z-basis certainty}: {|+⟩⟨+|} h {|0⟩⟨0|}.
+//! let h = Program::unitary("h", &gates::hadamard());
+//! let plus = h.run(&states::basis_density(2, 0)); // |+⟩⟨+|
+//! let triple = HoareTriple::new(&plus, &h, &states::basis_density(2, 0));
+//! assert!(triple.holds_partial(1e-9));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod context;
+pub mod effect;
+pub mod model;
+pub mod pvm;
+pub mod qhl;
+
+pub use context::{NkatContext, NkatDerivation, NkatError, NkatStep};
+pub use effect::Effect;
+pub use pvm::DiagonalTest;

@@ -1,0 +1,145 @@
+//! The NKAT path model (Theorem 7.6): `(P(H), PPred(H), PMeas(H), +, ⋄,
+//! *, ⪯, O, I, ⟨C_I⟩↑)`.
+//!
+//! Quantum predicates enter the path model as lifted constant
+//! superoperators (`PPred(H)`, Definition 7.2); quantum measurements as
+//! dual-lifted branch tuples (`PMeas(H)`, Definition 7.5). This module
+//! builds those actions and checks the NKAT-specific axioms on them —
+//! the machine-checkable face of Theorem 7.6. The NKA axioms themselves
+//! are checked on the same carrier in `nka-qpath`.
+
+use crate::effect::Effect;
+use nka_qpath::{action::actions_approx_eq, Action};
+use qsim_quantum::Measurement;
+
+/// The predicate action `⟨C_A⟩↑ ∈ PPred(H)`.
+pub fn predicate_action(effect: &Effect) -> Action {
+    Action::lift(effect.constant_superoperator())
+}
+
+/// The top predicate `e = ⟨C_I⟩↑`.
+pub fn top_action(dim: usize) -> Action {
+    predicate_action(&Effect::top(dim))
+}
+
+/// The dual-lifted branches `(⟨Mᵢ†⟩↑)ᵢ ∈ PMeas(H)` of a measurement.
+pub fn partition_actions(meas: &Measurement) -> Vec<Action> {
+    (0..meas.outcome_count())
+        .map(|i| Action::lift(meas.branch(i).dual()))
+        .collect()
+}
+
+/// Definition 7.4(3a) on the model: `mᵢ · L ⊆ L` — the diamond
+/// composition of a partition entry with a predicate is again a
+/// predicate, namely `⟨C_{Mᵢ†AMᵢ}⟩↑`.
+pub fn partition_preserves_predicates(meas: &Measurement, effect: &Effect, tol: f64) -> bool {
+    partition_actions(meas)
+        .iter()
+        .enumerate()
+        .all(|(i, mi)| {
+            let lhs = mi.diamond(&predicate_action(effect));
+            let expected = effect.pre_measure(meas.operator(i));
+            let rhs = predicate_action(&expected);
+            let _ = tol;
+            actions_approx_eq(&lhs, &rhs)
+        })
+}
+
+/// Definition 7.4(3b) on the model: `Σᵢ mᵢ e = e`.
+pub fn partition_sums_to_top(meas: &Measurement) -> bool {
+    let dim = meas.dim();
+    let top = top_action(dim);
+    let parts = partition_actions(meas);
+    let mut sum = parts[0].diamond(&top);
+    for mi in &parts[1..] {
+        sum = sum.plus(&mi.diamond(&top));
+    }
+    actions_approx_eq(&sum, &top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_linalg::{CMatrix, Complex};
+    use qsim_quantum::{gates, states};
+
+    fn sample_effect(dim: usize, seed: &mut u64) -> Effect {
+        // Half of a random density plus a fraction of the identity stays
+        // within [0, I].
+        let rho = states::random_density(dim, seed);
+        Effect::new(&rho.scale(Complex::from(0.5))).expect("valid effect")
+    }
+
+    #[test]
+    fn theorem_7_6_partition_rules_hold() {
+        let mut seed = 0x76;
+        for meas in [
+            Measurement::computational_basis(2),
+            Measurement::from_projector(&{
+                let h = gates::hadamard();
+                &(&h * &states::basis_density(2, 0)) * &h.adjoint()
+            }),
+        ] {
+            assert!(partition_sums_to_top(&meas));
+            for _ in 0..3 {
+                let effect = sample_effect(2, &mut seed);
+                assert!(partition_preserves_predicates(&meas, &effect, 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_7_7_in_the_model() {
+        // a + ā = e as actions.
+        let mut seed = 0x77;
+        let a = sample_effect(2, &mut seed);
+        let lhs = predicate_action(&a).plus(&predicate_action(&a.negation()));
+        assert!(actions_approx_eq(&lhs, &top_action(2)));
+        // partition-transform: Σ mᵢ āᵢ = (Σ mᵢ aᵢ)‾.
+        let meas = Measurement::computational_basis(2);
+        let b = sample_effect(2, &mut seed);
+        let parts = partition_actions(&meas);
+        let neg_sum = parts[0]
+            .diamond(&predicate_action(&a.negation()))
+            .plus(&parts[1].diamond(&predicate_action(&b.negation())));
+        let combined = a
+            .pre_measure(meas.operator(0))
+            .try_plus(&b.pre_measure(meas.operator(1)))
+            .expect("partition sum is an effect");
+        let rhs = predicate_action(&combined.negation());
+        assert!(actions_approx_eq(&neg_sum, &rhs));
+    }
+
+    #[test]
+    fn predicates_are_constant_actions() {
+        // ⟨C_A⟩↑ maps every density to tr(ρ)·A — in particular it forgets
+        // the input state except for its trace.
+        let mut seed = 0x78;
+        let a = sample_effect(2, &mut seed);
+        let action = predicate_action(&a);
+        let x = nka_qpath::ExtPosOp::from_operator(&states::basis_density(2, 0));
+        let y = nka_qpath::ExtPosOp::from_operator(&states::basis_density(2, 1));
+        assert!(action.apply(&x).approx_eq(&action.apply(&y)));
+        assert!(action
+            .apply(&x)
+            .finite_part()
+            .approx_eq(a.matrix(), 1e-9));
+    }
+
+    #[test]
+    fn noncommuting_measurements_are_distinguished() {
+        // The quantumness claim of §1: partitions from non-commuting
+        // measurements do not commute as actions.
+        let z = Measurement::computational_basis(2);
+        let h = gates::hadamard();
+        let x_basis = Measurement::from_projector(&(&(&h
+            * &states::basis_density(2, 0))
+            * &h.adjoint()));
+        let mz = partition_actions(&z);
+        let mx = partition_actions(&x_basis);
+        let zx = mz[0].diamond(&mx[0]);
+        let xz = mx[0].diamond(&mz[0]);
+        assert!(!actions_approx_eq(&zx, &xz));
+        let _ = CMatrix::identity(2);
+    }
+}

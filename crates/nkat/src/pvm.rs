@@ -1,0 +1,386 @@
+//! Projection-valued measurements and the classical Boolean subalgebra
+//! (footnote 4 of Section 7.2).
+//!
+//! The paper's partitions model general POVMs. Footnote 4 classifies two
+//! finer structures inside `N`:
+//!
+//! 1. **PVMs** — tuples `(mᵢ)` with `mᵢmⱼ = mᵢ` if `i = j` and `mᵢmⱼ = 0`
+//!    otherwise. [`is_pvm`] checks the property on a concrete
+//!    [`Measurement`]; [`pvm_partition_hypotheses`] generates the
+//!    corresponding NKA hypotheses so proofs can absorb repeated or
+//!    contradictory projective outcomes (the §5.1 unrolling proof and the
+//!    `double-measure` rule of `nka-apps` are instances).
+//!
+//! 2. **The commutative projective class** `C(H) = {E : E(ρ) = DρD†, D
+//!    diagonal, D² = D}` — measurement superoperators of *probabilistic
+//!    programs*. Footnote 4 observes a Boolean algebra inside it:
+//!    [`DiagonalTest`] realizes the class (a diagonal projector = a
+//!    subset of the computational basis) with meet = superoperator
+//!    composition, join via De Morgan, and complement `I − D`, and the
+//!    module's tests machine-check the Boolean laws. On this class the
+//!    two roles that quantum branching separates — *guard* and *test*
+//!    (§1.2) — coincide again: observing a diagonal test does not disturb
+//!    diagonal states, which is exactly the classical assumption KAT
+//!    builds on.
+//!
+//! # Examples
+//!
+//! ```
+//! use nkat::pvm::DiagonalTest;
+//!
+//! // Tests over a 2-bit classical register (dim 4).
+//! let b0 = DiagonalTest::from_indices(4, [0, 1]); // first bit = 0
+//! let b1 = DiagonalTest::from_indices(4, [0, 2]); // second bit = 0
+//! let both = b0.and(&b1);
+//! assert_eq!(both.indices(), vec![0]);
+//! // Idempotence — recovered on the Boolean subalgebra.
+//! assert_eq!(b0.and(&b0), b0);
+//! // The guard/test coincidence: composition commutes in C(H).
+//! assert_eq!(b0.and(&b1), b1.and(&b0));
+//! ```
+
+use nka_core::Judgment;
+use nka_syntax::{Expr, Symbol};
+use qsim_linalg::{CMatrix, Complex};
+use qsim_quantum::{Measurement, Superoperator};
+
+use crate::effect::Effect;
+
+/// Checks that a measurement is projection-valued: `MᵢMⱼ = δᵢⱼMᵢ`.
+///
+/// # Examples
+///
+/// ```
+/// use nkat::pvm::is_pvm;
+/// use qsim_quantum::Measurement;
+///
+/// assert!(is_pvm(&Measurement::computational_basis(3), 1e-12));
+/// ```
+pub fn is_pvm(meas: &Measurement, tol: f64) -> bool {
+    let k = meas.outcome_count();
+    for i in 0..k {
+        for j in 0..k {
+            let prod = meas.operator(i) * meas.operator(j);
+            let expect = if i == j {
+                meas.operator(i).clone()
+            } else {
+                CMatrix::zeros(meas.dim(), meas.dim())
+            };
+            if !prod.approx_eq(&expect, tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The footnote-4 PVM hypotheses for a partition named by `symbols`:
+/// `mᵢ mᵢ = mᵢ` and `mᵢ mⱼ = 0` for `i ≠ j`.
+///
+/// These are exactly the hypotheses the §5.1 unrolling proof assumes for
+/// its two-outcome measurement; this generator scales them to any arity
+/// so rule proofs can declare "this partition is projective" uniformly.
+pub fn pvm_partition_hypotheses(symbols: &[Symbol]) -> Vec<Judgment> {
+    let mut hyps = Vec::new();
+    for (i, &a) in symbols.iter().enumerate() {
+        for (j, &b) in symbols.iter().enumerate() {
+            let lhs = Expr::atom(a).mul(&Expr::atom(b));
+            let rhs = if i == j { Expr::atom(a) } else { Expr::zero() };
+            hyps.push(Judgment::Eq(lhs, rhs));
+        }
+    }
+    hyps
+}
+
+/// Discharges [`pvm_partition_hypotheses`] on a concrete measurement:
+/// hypothesis `mᵢmⱼ = δᵢⱼmᵢ` holds iff the *superoperator* composition
+/// `Mᵢ ∘ Mⱼ` equals `δᵢⱼ Mᵢ` (Corollary 4.3's premise-discharge step).
+pub fn pvm_hypotheses_hold(meas: &Measurement, tol: f64) -> bool {
+    let k = meas.outcome_count();
+    for i in 0..k {
+        for j in 0..k {
+            // Encoding order: `mᵢ mⱼ` means "apply Mᵢ, then Mⱼ".
+            let prod = meas.branch(i).compose(&meas.branch(j));
+            let expect = if i == j {
+                meas.branch(i)
+            } else {
+                Superoperator::zero(meas.dim())
+            };
+            if !prod.approx_eq(&expect, tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// An element of the commutative projective class `C(H)`: a diagonal
+/// projector `D`, i.e. a subset of the computational basis.
+///
+/// `DiagonalTest` is simultaneously
+/// * a quantum predicate (the projector as an [`Effect`]),
+/// * a measurement branch (`{D, I − D}` is a two-outcome PVM), and
+/// * a classical proposition (the subset), with Boolean structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagonalTest {
+    dim: usize,
+    member: Vec<bool>,
+}
+
+impl DiagonalTest {
+    /// The test holding on the given basis indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(dim: usize, indices: I) -> DiagonalTest {
+        let mut member = vec![false; dim];
+        for i in indices {
+            assert!(i < dim, "basis index {i} out of range for dim {dim}");
+            member[i] = true;
+        }
+        DiagonalTest { dim, member }
+    }
+
+    /// The always-false test (`D = 0`).
+    pub fn bottom(dim: usize) -> DiagonalTest {
+        DiagonalTest {
+            dim,
+            member: vec![false; dim],
+        }
+    }
+
+    /// The always-true test (`D = I`).
+    pub fn top(dim: usize) -> DiagonalTest {
+        DiagonalTest {
+            dim,
+            member: vec![true; dim],
+        }
+    }
+
+    /// Hilbert-space dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The basis indices on which the test holds.
+    pub fn indices(&self) -> Vec<usize> {
+        (0..self.dim).filter(|&i| self.member[i]).collect()
+    }
+
+    /// Boolean meet — intersection of supports. In `C(H)` this is
+    /// superoperator composition (in either order).
+    #[must_use]
+    pub fn and(&self, other: &DiagonalTest) -> DiagonalTest {
+        assert_eq!(self.dim, other.dim);
+        DiagonalTest {
+            dim: self.dim,
+            member: (0..self.dim).map(|i| self.member[i] && other.member[i]).collect(),
+        }
+    }
+
+    /// Boolean join — union of supports (`¬(¬a ∧ ¬b)` by De Morgan).
+    #[must_use]
+    pub fn or(&self, other: &DiagonalTest) -> DiagonalTest {
+        assert_eq!(self.dim, other.dim);
+        DiagonalTest {
+            dim: self.dim,
+            member: (0..self.dim).map(|i| self.member[i] || other.member[i]).collect(),
+        }
+    }
+
+    /// Boolean complement — the projector `I − D`.
+    #[must_use]
+    pub fn not(&self) -> DiagonalTest {
+        DiagonalTest {
+            dim: self.dim,
+            member: self.member.iter().map(|&b| !b).collect(),
+        }
+    }
+
+    /// Inclusion of supports (the Boolean partial order, which agrees
+    /// with the Löwner order on the projectors).
+    pub fn le(&self, other: &DiagonalTest) -> bool {
+        self.dim == other.dim && (0..self.dim).all(|i| !self.member[i] || other.member[i])
+    }
+
+    /// The diagonal projector `D`.
+    pub fn projector(&self) -> CMatrix {
+        let mut m = CMatrix::zeros(self.dim, self.dim);
+        for i in self.indices() {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// The measurement superoperator `E(ρ) = DρD`.
+    pub fn superoperator(&self) -> Superoperator {
+        Superoperator::from_kraus(self.dim, self.dim, vec![self.projector()])
+    }
+
+    /// The test as a quantum predicate (effect) — projectors are effects.
+    pub fn to_effect(&self) -> Effect {
+        Effect::new(&self.projector()).expect("projectors are effects")
+    }
+
+    /// The two-outcome PVM `{D, I − D}` (outcome 0 = test holds).
+    pub fn measurement(&self) -> Measurement {
+        Measurement::new(vec![self.projector(), self.not().projector()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nka_core::EqChain;
+    use qsim_quantum::states;
+
+    fn all_tests(dim: usize) -> Vec<DiagonalTest> {
+        // All 2^dim subsets — exhaustive Boolean-law checking.
+        (0..(1usize << dim))
+            .map(|mask| DiagonalTest::from_indices(dim, (0..dim).filter(|i| mask >> i & 1 == 1)))
+            .collect()
+    }
+
+    #[test]
+    fn computational_basis_is_pvm_and_discharges_hypotheses() {
+        let meas = Measurement::computational_basis(3);
+        assert!(is_pvm(&meas, 1e-12));
+        assert!(pvm_hypotheses_hold(&meas, 1e-12));
+    }
+
+    #[test]
+    fn non_projective_povm_rejected() {
+        // The "half-strength" POVM {I/√2, I/√2} is complete but not
+        // projective.
+        let dim = 2;
+        let k = CMatrix::identity(dim).scale(Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0));
+        let meas = Measurement::new(vec![k.clone(), k]);
+        assert!(!is_pvm(&meas, 1e-9));
+        assert!(!pvm_hypotheses_hold(&meas, 1e-9));
+    }
+
+    #[test]
+    fn pvm_hypothesis_generator_shapes() {
+        let syms = [Symbol::intern("n0"), Symbol::intern("n1"), Symbol::intern("n2")];
+        let hyps = pvm_partition_hypotheses(&syms);
+        assert_eq!(hyps.len(), 9);
+        assert_eq!(hyps[0].to_string(), "n0 n0 = n0");
+        assert_eq!(hyps[1].to_string(), "n0 n1 = 0");
+    }
+
+    #[test]
+    fn pvm_hypotheses_drive_double_measure_proof() {
+        // With the generated hypotheses, `n0 (n0 p) = n0 p` is provable —
+        // the footnote's "projective outcomes are idempotent" in action.
+        let syms = [Symbol::intern("n0"), Symbol::intern("n1")];
+        let hyps = pvm_partition_hypotheses(&syms);
+        let start: Expr = "n0 (n0 p)".parse().unwrap();
+        let chain = EqChain::with_hyps(&start, &hyps)
+            .semiring(&"(n0 n0) p".parse().unwrap())
+            .unwrap()
+            .hyp_at(&[0], 0)
+            .unwrap();
+        assert_eq!(chain.judgment().to_string(), "n0 (n0 p) = n0 p");
+        chain.into_proof().check(&hyps).unwrap();
+    }
+
+    #[test]
+    fn boolean_laws_hold_exhaustively() {
+        let ts = all_tests(3);
+        for a in &ts {
+            // Complement and idempotence.
+            assert_eq!(a.and(&a.not()), DiagonalTest::bottom(3));
+            assert_eq!(a.or(&a.not()), DiagonalTest::top(3));
+            assert_eq!(a.and(a), *a);
+            assert_eq!(a.or(a), *a);
+            assert_eq!(a.not().not(), *a);
+            for b in &ts {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                // De Morgan.
+                assert_eq!(a.and(b).not(), a.not().or(&b.not()));
+                // Absorption.
+                assert_eq!(a.and(&a.or(b)), *a);
+                for c in &ts {
+                    assert_eq!(a.and(&b.and(c)), a.and(b).and(c));
+                    assert_eq!(a.and(&b.or(c)), a.and(b).or(&a.and(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meet_is_superoperator_composition_and_commutes() {
+        let a = DiagonalTest::from_indices(4, [0, 1]);
+        let b = DiagonalTest::from_indices(4, [1, 3]);
+        let ab = a.superoperator().compose(&b.superoperator());
+        let ba = b.superoperator().compose(&a.superoperator());
+        assert!(ab.approx_eq(&a.and(&b).superoperator(), 1e-12));
+        assert!(ab.approx_eq(&ba, 1e-12), "C(H) is commutative");
+    }
+
+    #[test]
+    fn tests_are_pvms() {
+        let a = DiagonalTest::from_indices(4, [0, 2]);
+        assert!(is_pvm(&a.measurement(), 1e-12));
+        assert!(pvm_hypotheses_hold(&a.measurement(), 1e-12));
+    }
+
+    #[test]
+    fn guard_test_coincidence_on_diagonal_states() {
+        // Observing a diagonal test does not disturb diagonal states —
+        // the classical assumption of §1.2 recovered inside C(H):
+        // E_D(ρ) + E_{¬D}(ρ) = ρ for diagonal ρ.
+        let d = DiagonalTest::from_indices(4, [1, 2]);
+        let mut rho = CMatrix::zeros(4, 4);
+        rho[(0, 0)] = Complex::new(0.1, 0.0);
+        rho[(1, 1)] = Complex::new(0.4, 0.0);
+        rho[(2, 2)] = Complex::new(0.3, 0.0);
+        rho[(3, 3)] = Complex::new(0.2, 0.0);
+        let observed = &d.superoperator().apply(&rho) + &d.not().superoperator().apply(&rho);
+        assert!(observed.approx_eq(&rho, 1e-12));
+
+        // … while a non-diagonal (genuinely quantum) state *is* disturbed.
+        let plus = states::pure_state(&[
+            Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0),
+            Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0),
+            Complex::ZERO,
+            Complex::ZERO,
+        ]);
+        let d2 = DiagonalTest::from_indices(4, [0]);
+        let observed =
+            &d2.superoperator().apply(&plus) + &d2.not().superoperator().apply(&plus);
+        assert!(!observed.approx_eq(&plus, 1e-6));
+    }
+
+    #[test]
+    fn expectation_matches_classical_probability() {
+        // tr(D ρ) — the effect's expectation — equals the probability
+        // that the PVM answers "holds".
+        let d = DiagonalTest::from_indices(3, [0, 2]);
+        let rho = states::basis_density(3, 2);
+        assert!((d.to_effect().expectation(&rho) - 1.0).abs() < 1e-12);
+        let rho = states::basis_density(3, 1);
+        assert!(d.to_effect().expectation(&rho).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effect_negation_matches_boolean_complement() {
+        let d = DiagonalTest::from_indices(4, [1, 3]);
+        assert!(d
+            .not()
+            .to_effect()
+            .approx_eq(&d.to_effect().negation(), 1e-12));
+    }
+
+    #[test]
+    fn lowner_order_agrees_with_inclusion() {
+        let small = DiagonalTest::from_indices(4, [1]);
+        let big = DiagonalTest::from_indices(4, [1, 2]);
+        assert!(small.le(&big));
+        assert!(small.to_effect().le(&big.to_effect(), 1e-12));
+        assert!(!big.le(&small));
+        assert!(!big.to_effect().le(&small.to_effect(), 1e-12));
+    }
+}

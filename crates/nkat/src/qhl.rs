@@ -1,0 +1,793 @@
+//! Propositional quantum Hoare logic (Sections 7.3–7.4).
+//!
+//! A quantum Hoare triple `{A} P {B}` asserts partial correctness
+//! (eq. 7.3.1): `tr(Aρ) ≤ tr(B⟦P⟧ρ) + tr(ρ) − tr(⟦P⟧ρ)`, equivalently
+//! `A ⊑ wlp(P, B) = I − ⟦P⟧†(I − B)` ([`wlp`], [`HoareTriple`]).
+//!
+//! [`QhlDerivation`] implements the deductive system of Figure 5 (the
+//! propositional fragment: Ax.Sk, Ax.Ab, R.OR, R.IF, R.SC, R.LP) with
+//! semantic side conditions checked in the model, and [`encode_qhl`]
+//! compiles a derivation into a checked NKAT derivation of the encoded
+//! inequality `p·b̄ ≤ ā` — the constructive content of **Theorem 7.8**:
+//! every propositional QHL proof is subsumed by NKAT reasoning.
+
+use crate::context::{NkatContext, NkatDerivation, NkatError};
+use crate::effect::Effect;
+use nka_core::{Judgment, LeChain, Proof, ProofError};
+use nka_qprog::{EncoderSetting, Program};
+use nka_syntax::{Expr, Symbol};
+use qsim_linalg::CMatrix;
+
+/// The weakest liberal precondition `wlp(P, B) = I − ⟦P⟧†(I − B)`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use nkat::qhl::wlp;
+/// use nka_qprog::Program;
+/// use qsim_quantum::{gates, states};
+///
+/// // wlp(H, |0⟩⟨0|) = |+⟩⟨+|.
+/// let h = Program::unitary("h", &gates::hadamard());
+/// let pre = wlp(&h, &states::basis_density(2, 0));
+/// let plus = h.run(&states::basis_density(2, 0));
+/// assert!(pre.approx_eq(&plus, 1e-9));
+/// ```
+pub fn wlp(p: &Program, post: &CMatrix) -> CMatrix {
+    let dim = p.dim();
+    assert_eq!(post.rows(), dim, "postcondition dimension mismatch");
+    let dual = p.denotation().dual();
+    let id = CMatrix::identity(dim);
+    &id - &dual.apply(&(&id - post))
+}
+
+/// A quantum Hoare triple `{A} P {B}`.
+#[derive(Debug, Clone)]
+pub struct HoareTriple {
+    pre: CMatrix,
+    prog: Program,
+    post: CMatrix,
+}
+
+impl HoareTriple {
+    /// Builds `{pre} prog {post}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pre`/`post` are not effects of the program's dimension.
+    pub fn new(pre: &CMatrix, prog: &Program, post: &CMatrix) -> HoareTriple {
+        assert!(Effect::new(pre).is_some(), "precondition must be an effect");
+        assert!(
+            Effect::new(post).is_some(),
+            "postcondition must be an effect"
+        );
+        assert_eq!(pre.rows(), prog.dim());
+        assert_eq!(post.rows(), prog.dim());
+        HoareTriple {
+            pre: pre.clone(),
+            prog: prog.clone(),
+            post: post.clone(),
+        }
+    }
+
+    /// The precondition `A`.
+    pub fn pre(&self) -> &CMatrix {
+        &self.pre
+    }
+
+    /// The program `P`.
+    pub fn prog(&self) -> &Program {
+        &self.prog
+    }
+
+    /// The postcondition `B`.
+    pub fn post(&self) -> &CMatrix {
+        &self.post
+    }
+
+    /// Partial correctness `⊨par {A} P {B}` via the wlp characterization.
+    pub fn holds_partial(&self, tol: f64) -> bool {
+        qsim_linalg::lowner_le(&self.pre, &wlp(&self.prog, &self.post), tol)
+    }
+
+    /// Checks eq. (7.3.1) directly on random density probes (a redundancy
+    /// check on the wlp route, used in tests).
+    pub fn holds_on_probes(&self, probes: usize, seed: &mut u64, tol: f64) -> bool {
+        let dim = self.prog.dim();
+        (0..probes).all(|_| {
+            let rho = qsim_quantum::states::random_density(dim, seed);
+            let out = self.prog.run(&rho);
+            let lhs = (&self.pre * &rho).trace().re;
+            let rhs = (&self.post * &out).trace().re + rho.trace().re - out.trace().re;
+            lhs <= rhs + tol
+        })
+    }
+}
+
+/// A derivation in the propositional proof system of Figure 5 (the red
+/// rules), with atomic triples as leaves (Ax.In / Ax.UT statements are
+/// atomic propositions in the propositional fragment).
+#[derive(Debug, Clone)]
+pub enum QhlDerivation {
+    /// `{A} skip {A}` (Ax.Sk).
+    AxSkip {
+        /// Shared pre/postcondition.
+        a: CMatrix,
+    },
+    /// `{I} abort {O}` (Ax.Ab).
+    AxAbort,
+    /// An atomic triple taken as given; validity is checked semantically.
+    Atomic(HoareTriple),
+    /// Order rule (R.OR): strengthen the precondition to `a`, weaken the
+    /// postcondition to `b`.
+    Order {
+        /// Strengthened precondition (`a ⊑ inner pre`).
+        a: CMatrix,
+        /// Weakened postcondition (`inner post ⊑ b`).
+        b: CMatrix,
+        /// Sub-derivation for `{A′} P {B′}`.
+        inner: Box<QhlDerivation>,
+    },
+    /// Sequencing (R.SC).
+    Seq(Box<QhlDerivation>, Box<QhlDerivation>),
+    /// Branching (R.IF): one sub-derivation per branch, common post.
+    If(Vec<QhlDerivation>),
+    /// Looping (R.LP): `{B} P {C}` with `C = M₀†(A) + M₁†(B)` gives
+    /// `{C} while M = 1 do P {A}`.
+    Loop {
+        /// Postcondition `A` of the loop.
+        a: CMatrix,
+        /// Sub-derivation for the body.
+        inner: Box<QhlDerivation>,
+    },
+}
+
+/// Error raised when a Figure-5 derivation is malformed.
+#[derive(Debug, Clone)]
+pub struct QhlError {
+    detail: String,
+}
+
+impl std::fmt::Display for QhlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid QHL derivation: {}", self.detail)
+    }
+}
+
+impl std::error::Error for QhlError {}
+
+fn qhl_error(detail: impl Into<String>) -> QhlError {
+    QhlError {
+        detail: detail.into(),
+    }
+}
+
+const TOL: f64 = 1e-8;
+
+impl QhlDerivation {
+    /// The triple this derivation concludes for `prog`, checking every
+    /// rule's side conditions (Löwner inequalities of R.OR, the invariant
+    /// equation of R.LP, matching intermediate conditions, atomic-triple
+    /// validity) within `1e-8`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any violated side condition or structure mismatch.
+    pub fn conclude(&self, prog: &Program) -> Result<HoareTriple, QhlError> {
+        match (self, prog) {
+            (QhlDerivation::AxSkip { a }, Program::Skip(d)) => {
+                if a.rows() != *d {
+                    return Err(qhl_error("skip dimension mismatch"));
+                }
+                Ok(HoareTriple::new(a, prog, a))
+            }
+            (QhlDerivation::AxAbort, Program::Abort(d)) => Ok(HoareTriple::new(
+                &CMatrix::identity(*d),
+                prog,
+                &CMatrix::zeros(*d, *d),
+            )),
+            (QhlDerivation::Atomic(triple), _) => {
+                if !triple.holds_partial(TOL) {
+                    return Err(qhl_error("atomic triple does not hold"));
+                }
+                Ok(triple.clone())
+            }
+            (QhlDerivation::Order { a, b, inner }, _) => {
+                let sub = inner.conclude(prog)?;
+                if !qsim_linalg::lowner_le(a, sub.pre(), TOL) {
+                    return Err(qhl_error("R.OR: A ⋢ A′"));
+                }
+                if !qsim_linalg::lowner_le(sub.post(), b, TOL) {
+                    return Err(qhl_error("R.OR: B′ ⋢ B"));
+                }
+                Ok(HoareTriple::new(a, prog, b))
+            }
+            (QhlDerivation::Seq(d1, d2), Program::Seq(p1, p2)) => {
+                let t1 = d1.conclude(p1)?;
+                let t2 = d2.conclude(p2)?;
+                if !t1.post().approx_eq(t2.pre(), TOL) {
+                    return Err(qhl_error("R.SC: intermediate conditions differ"));
+                }
+                Ok(HoareTriple::new(t1.pre(), prog, t2.post()))
+            }
+            (QhlDerivation::If(branches), Program::Case(m, progs)) => {
+                if branches.len() != progs.len() {
+                    return Err(qhl_error("R.IF: branch count mismatch"));
+                }
+                let dim = prog.dim();
+                let mut pre = CMatrix::zeros(dim, dim);
+                let mut post: Option<CMatrix> = None;
+                for (i, (d, p)) in branches.iter().zip(progs).enumerate() {
+                    let t = d.conclude(p)?;
+                    match &post {
+                        None => post = Some(t.post().clone()),
+                        Some(b) if t.post().approx_eq(b, TOL) => {}
+                        Some(_) => return Err(qhl_error("R.IF: postconditions differ")),
+                    }
+                    let mi = m.measurement().operator(i);
+                    pre = &pre + &(&(&mi.adjoint() * t.pre()) * mi);
+                }
+                Ok(HoareTriple::new(
+                    &pre,
+                    prog,
+                    &post.ok_or_else(|| qhl_error("R.IF: empty case"))?,
+                ))
+            }
+            (QhlDerivation::Loop { a, inner }, Program::While(m, body)) => {
+                let t = inner.conclude(body)?;
+                let m0 = m.measurement().operator(0);
+                let m1 = m.measurement().operator(1);
+                let c = &(&(&m0.adjoint() * a) * m0) + &(&(&m1.adjoint() * t.pre()) * m1);
+                if !t.post().approx_eq(&c, TOL) {
+                    return Err(qhl_error("R.LP: C ≠ M₀†(A) + M₁†(B)"));
+                }
+                Ok(HoareTriple::new(&c, prog, a))
+            }
+            _ => Err(qhl_error("rule does not match program structure")),
+        }
+    }
+}
+
+/// Maps semantic effects (matrices) to their propositional terms and
+/// negation terms. Equal matrices share a term; compound terms (partition
+/// sums) can be pre-registered so side conditions like R.LP's invariant
+/// resolve to the right syntax.
+struct EffectRegistry {
+    entries: Vec<(CMatrix, Expr, Expr)>,
+    fresh: usize,
+}
+
+impl EffectRegistry {
+    fn new() -> EffectRegistry {
+        EffectRegistry {
+            entries: Vec::new(),
+            fresh: 0,
+        }
+    }
+
+    fn lookup(&self, m: &CMatrix) -> Option<(Expr, Expr)> {
+        self.entries
+            .iter()
+            .find(|(mat, _, _)| mat.approx_eq(m, TOL))
+            .map(|(_, t, n)| (t.clone(), n.clone()))
+    }
+
+    fn register(&mut self, m: &CMatrix, term: Expr, neg: Expr) {
+        self.entries.push((m.clone(), term, neg));
+    }
+
+    fn term_for(&mut self, m: &CMatrix, ctx: &mut NkatContext) -> (Expr, Expr) {
+        if let Some(found) = self.lookup(m) {
+            return found;
+        }
+        let name = format!("q{}", self.fresh);
+        let neg = format!("q{}_neg", self.fresh);
+        self.fresh += 1;
+        let (a, na) = ctx.declare_effect(&name, &neg);
+        let pair = (Expr::atom(a), Expr::atom(na));
+        self.register(m, pair.0.clone(), pair.1.clone());
+        pair
+    }
+}
+
+/// The result of compiling a QHL derivation via Theorem 7.8.
+#[derive(Debug)]
+pub struct EncodedQhl {
+    /// The generated NKAT vocabulary.
+    pub ctx: NkatContext,
+    /// The checked NKAT derivation.
+    pub derivation: NkatDerivation,
+    /// Index of the encoded conclusion `p·b̄ ≤ ā` among the facts.
+    pub conclusion: usize,
+    /// The encoding `p` of the program.
+    pub program_expr: Expr,
+    /// The term and negation of the precondition.
+    pub pre_terms: (Expr, Expr),
+    /// The term and negation of the postcondition.
+    pub post_terms: (Expr, Expr),
+}
+
+/// A planned derivation node carrying its encoding and effect terms.
+struct Node {
+    kind: Kind,
+    p: Expr,
+    pre: (Expr, Expr),
+    post: (Expr, Expr),
+}
+
+enum Kind {
+    Skip,
+    Abort,
+    Atomic {
+        hyp: usize,
+    },
+    Order {
+        inner: Box<Node>,
+        le_pre: usize,
+        le_post: usize,
+    },
+    Seq(Box<Node>, Box<Node>),
+    If {
+        branches: Vec<(Expr, Node)>,
+    },
+    Loop {
+        inner: Box<Node>,
+        m0: Expr,
+        m1: Expr,
+    },
+}
+
+/// Compiles a Figure-5 derivation into a checked NKAT derivation of the
+/// encoded inequality `Enc(P)·b̄ ≤ ā` — the constructive content of
+/// Theorem 7.8. Semantic effects become effect atoms (equal effects share
+/// an atom), measurements become partitions, the side conditions of R.OR
+/// and the atomic triples enter as Horn hypotheses.
+///
+/// # Errors
+///
+/// Fails if the derivation is invalid ([`QhlDerivation::conclude`]), the
+/// program cannot be encoded, or an internal algebra step fails to check
+/// (which would be a bug; the tests re-verify every emitted derivation).
+pub fn encode_qhl(
+    derivation: &QhlDerivation,
+    prog: &Program,
+    setting: &mut EncoderSetting,
+) -> Result<EncodedQhl, NkatError> {
+    let to_nkat = |s: String| NkatError::from(ProofError::custom("qhl-encode", s));
+    derivation
+        .conclude(prog)
+        .map_err(|e| to_nkat(e.to_string()))?;
+    let program_expr = setting
+        .encode(prog)
+        .map_err(|e| to_nkat(e.to_string()))?;
+
+    let mut ctx = NkatContext::new("e");
+    let mut registry = EffectRegistry::new();
+    let node = plan(derivation, prog, &mut ctx, &mut registry, setting)?;
+    let mut nkat = NkatDerivation::new(&ctx);
+    let conclusion = emit(&node, &mut nkat)?;
+    nkat.verify()?;
+    Ok(EncodedQhl {
+        ctx,
+        derivation: nkat,
+        conclusion,
+        program_expr,
+        pre_terms: node.pre.clone(),
+        post_terms: node.post.clone(),
+    })
+}
+
+fn plan(
+    d: &QhlDerivation,
+    prog: &Program,
+    ctx: &mut NkatContext,
+    reg: &mut EffectRegistry,
+    setting: &mut EncoderSetting,
+) -> Result<Node, NkatError> {
+    let to_nkat = |s: String| NkatError::from(ProofError::custom("qhl-encode", s));
+    let dim = prog.dim();
+    let identity = CMatrix::identity(dim);
+    let zero = CMatrix::zeros(dim, dim);
+    // I ↦ (e, 0) and O ↦ (0, e), lazily.
+    if reg.lookup(&identity).is_none() {
+        reg.register(&identity, Expr::atom(ctx.top()), Expr::zero());
+    }
+    if reg.lookup(&zero).is_none() {
+        reg.register(&zero, Expr::zero(), Expr::atom(ctx.top()));
+    }
+
+    match (d, prog) {
+        (QhlDerivation::AxSkip { a }, Program::Skip(_)) => {
+            let pair = reg.term_for(a, ctx);
+            Ok(Node {
+                kind: Kind::Skip,
+                p: Expr::one(),
+                pre: pair.clone(),
+                post: pair,
+            })
+        }
+        (QhlDerivation::AxAbort, Program::Abort(_)) => Ok(Node {
+            kind: Kind::Abort,
+            p: Expr::zero(),
+            pre: (Expr::atom(ctx.top()), Expr::zero()),
+            post: (Expr::zero(), Expr::atom(ctx.top())),
+        }),
+        (QhlDerivation::Atomic(triple), _) => {
+            let p = setting.encode(prog).map_err(|e| to_nkat(e.to_string()))?;
+            let pre = reg.term_for(triple.pre(), ctx);
+            let post = reg.term_for(triple.post(), ctx);
+            let hyp = ctx.add_hypothesis(Judgment::Le(p.mul(&post.1), pre.1.clone()));
+            Ok(Node {
+                kind: Kind::Atomic { hyp },
+                p,
+                pre,
+                post,
+            })
+        }
+        (QhlDerivation::Order { a, b, inner }, _) => {
+            let sub = plan(inner, prog, ctx, reg, setting)?;
+            let pre = reg.term_for(a, ctx);
+            let post = reg.term_for(b, ctx);
+            let le_pre = ctx.add_hypothesis(Judgment::Le(pre.0.clone(), sub.pre.0.clone()));
+            let le_post = ctx.add_hypothesis(Judgment::Le(sub.post.0.clone(), post.0.clone()));
+            let p = sub.p.clone();
+            Ok(Node {
+                kind: Kind::Order {
+                    inner: Box::new(sub),
+                    le_pre,
+                    le_post,
+                },
+                p,
+                pre,
+                post,
+            })
+        }
+        (QhlDerivation::Seq(d1, d2), Program::Seq(p1, p2)) => {
+            let s1 = plan(d1, p1, ctx, reg, setting)?;
+            let s2 = plan(d2, p2, ctx, reg, setting)?;
+            let p = s1.p.mul(&s2.p);
+            let pre = s1.pre.clone();
+            let post = s2.post.clone();
+            Ok(Node {
+                kind: Kind::Seq(Box::new(s1), Box::new(s2)),
+                p,
+                pre,
+                post,
+            })
+        }
+        (QhlDerivation::If(ds), Program::Case(m, progs)) => {
+            // Partition first (its hypothesis index precedes the branches').
+            let names: Vec<String> = (0..m.outcome_count())
+                .map(|i| m.name(i).to_owned())
+                .collect();
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            ctx.declare_partition(&name_refs);
+            // Pre-register each branch's pre/post so the compound
+            // precondition resolves componentwise, then build the node.
+            let mut branches = Vec::new();
+            let mut pre_terms = Vec::new();
+            let mut pre_negs = Vec::new();
+            let mut p_terms = Vec::new();
+            let mut post = None;
+            for ((db, pb), name) in ds.iter().zip(progs).zip(&names) {
+                let sub = plan(db, pb, ctx, reg, setting)?;
+                let mi = Expr::atom(Symbol::intern(name));
+                pre_terms.push(mi.mul(&sub.pre.0));
+                pre_negs.push(mi.mul(&sub.pre.1));
+                p_terms.push(mi.mul(&sub.p));
+                if post.is_none() {
+                    post = Some(sub.post.clone());
+                }
+                branches.push((mi, sub));
+            }
+            let pre = (Expr::sum(pre_terms), Expr::sum(pre_negs));
+            // Register the compound precondition's matrix so outer rules
+            // (e.g. R.SC) can refer to it.
+            if let Ok(t) = d.conclude(prog) {
+                if reg.lookup(t.pre()).is_none() {
+                    reg.register(t.pre(), pre.0.clone(), pre.1.clone());
+                }
+            }
+            Ok(Node {
+                kind: Kind::If { branches },
+                p: Expr::sum(p_terms),
+                pre,
+                post: post.ok_or_else(|| to_nkat("empty case".to_string()))?,
+            })
+        }
+        (QhlDerivation::Loop { a, inner }, Program::While(m, body)) => {
+            ctx.declare_partition(&[m.name(0), m.name(1)]);
+            let m0 = Expr::atom(Symbol::intern(m.name(0)));
+            let m1 = Expr::atom(Symbol::intern(m.name(1)));
+            let a_pair = reg.term_for(a, ctx);
+            // Inner triple {B} P {C}: fix B's term, then pre-register the
+            // compound C = m0·a + m1·b so the body's planning resolves its
+            // postcondition to the partition-sum shape.
+            let t_inner = inner
+                .conclude(body)
+                .map_err(|e| to_nkat(e.to_string()))?;
+            let b_pair = reg.term_for(t_inner.pre(), ctx);
+            let c_term = m0.mul(&a_pair.0).add(&m1.mul(&b_pair.0));
+            let c_neg = m0.mul(&a_pair.1).add(&m1.mul(&b_pair.1));
+            if reg.lookup(t_inner.post()).is_none() {
+                reg.register(t_inner.post(), c_term.clone(), c_neg.clone());
+            }
+            let sub = plan(inner, body, ctx, reg, setting)?;
+            let p = m1.mul(&sub.p).star().mul(&m0);
+            Ok(Node {
+                kind: Kind::Loop {
+                    inner: Box::new(sub),
+                    m0,
+                    m1,
+                },
+                p,
+                pre: (c_term, c_neg),
+                post: a_pair,
+            })
+        }
+        _ => Err(to_nkat("rule does not match program structure".to_string())),
+    }
+}
+
+/// Emits the Theorem 7.8 derivation for a node; returns the fact index of
+/// `p·(post negation) ≤ (pre negation)`.
+fn emit(node: &Node, nkat: &mut NkatDerivation) -> Result<usize, NkatError> {
+    match &node.kind {
+        // (Ax.Sk): 1·ā ≤ ā.
+        Kind::Skip => {
+            let start = Expr::one().mul(&node.post.1);
+            let chain = LeChain::with_hyps(&start, nkat.facts()).semiring(&node.pre.1)?;
+            nkat.nka(chain.into_proof())
+        }
+        // (Ax.Ab): 0·e ≤ 0.
+        Kind::Abort => {
+            let start = Expr::zero().mul(&node.post.1);
+            let chain = LeChain::with_hyps(&start, nkat.facts()).semiring(&Expr::zero())?;
+            nkat.nka(chain.into_proof())
+        }
+        Kind::Atomic { hyp } => Ok(*hyp),
+        // (R.OR): p·b̄ ≤ p·b̄′ ≤ ā′ ≤ ā, via two negation-reversals.
+        Kind::Order {
+            inner,
+            le_pre,
+            le_post,
+        } => {
+            let inner_idx = emit(inner, nkat)?;
+            let nb_le = nkat.neg_reverse(*le_post)?; // b̄ ≤ b̄′
+            let na_le = nkat.neg_reverse(*le_pre)?; // ā′ ≤ ā
+            let start = node.p.mul(&node.post.1);
+            let chain = LeChain::with_hyps(&start, nkat.facts())
+                .le_rw_at(&[1], Proof::Hyp(nb_le))?
+                .le_step(Proof::Hyp(inner_idx))?
+                .le_step(Proof::Hyp(na_le))?;
+            nkat.nka(chain.into_proof())
+        }
+        // (R.SC): p₁(p₂ c̄) ≤ p₁ b̄ ≤ ā.
+        Kind::Seq(s1, s2) => {
+            let i1 = emit(s1, nkat)?;
+            let i2 = emit(s2, nkat)?;
+            let start = node.p.mul(&node.post.1); // (p₁ p₂) c̄
+            let chain = LeChain::with_hyps(&start, nkat.facts())
+                .semiring(&s1.p.mul(&s2.p.mul(&node.post.1)))?
+                .le_rw_at(&[1], Proof::Hyp(i2))?
+                .le_step(Proof::Hyp(i1))?;
+            nkat.nka(chain.into_proof())
+        }
+        // (R.IF): (Σ mᵢ pᵢ)·b̄ = Σ mᵢ(pᵢ b̄) ≤ Σ mᵢ āᵢ.
+        Kind::If { branches } => {
+            let mut indices = Vec::new();
+            for (_, sub) in branches {
+                indices.push(emit(sub, nkat)?);
+            }
+            let start = node.p.mul(&node.post.1);
+            let distributed = Expr::sum(
+                branches
+                    .iter()
+                    .map(|(mi, sub)| mi.mul(&sub.p.mul(&node.post.1))),
+            );
+            let mut chain = LeChain::with_hyps(&start, nkat.facts()).semiring(&distributed)?;
+            // Rewrite each pᵢ·b̄ → āᵢ under its mᵢ·– context. Paths into
+            // the left-associated sum: term i of k sits at [0]^(k−1−i)
+            // then ([1] if i > 0), and the redex is its right factor.
+            let k = branches.len();
+            for (i, (_, _sub)) in branches.iter().enumerate() {
+                let mut path = vec![0usize; k - 1 - i];
+                if i > 0 {
+                    path.push(1);
+                }
+                path.push(1); // into Mul(mᵢ, redex)
+                let idx = indices[i];
+                chain = chain.le_rw_at(&path, Proof::Hyp(idx))?;
+            }
+            // Now at Σ mᵢ āᵢ = node.pre.1 (same shape by construction).
+            debug_assert_eq!(chain.current(), &node.pre.1);
+            nkat.nka(chain.into_proof())
+        }
+        // (R.LP): star induction on m₀ā + (m₁ p) c̄ ≤ c̄.
+        Kind::Loop { inner, m0, m1 } => {
+            let inner_idx = emit(inner, nkat)?;
+            let na = &node.post.1;
+            let c_neg = &node.pre.1; // m₀ ā + m₁ b̄
+            let m1p = m1.mul(&inner.p);
+            let premise_start = m0.mul(na).add(&m1p.mul(c_neg));
+            let premise = LeChain::with_hyps(&premise_start, nkat.facts())
+                .semiring(&m0.mul(na).add(&m1.mul(&inner.p.mul(c_neg))))?
+                .le_rw_at(&[1, 1], Proof::Hyp(inner_idx))?;
+            debug_assert_eq!(premise.current(), c_neg);
+            let ind = Proof::StarIndLeft(Box::new(premise.into_proof()));
+            // (m₁ p)* (m₀ ā) ≤ c̄ — reshape to ((m₁ p)* m₀) ā ≤ c̄.
+            let start = node.p.mul(na);
+            let chain = LeChain::with_hyps(&start, nkat.facts())
+                .semiring(&m1p.star().mul(&m0.mul(na)))?
+                .le_step(ind)?;
+            nkat.nka(chain.into_proof())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_linalg::Complex;
+    use qsim_quantum::{gates, states, Measurement};
+
+    fn coin_flip_loop() -> Program {
+        let meas = Measurement::computational_basis(2);
+        let h = Program::unitary("h", &gates::hadamard());
+        Program::while_loop(["m0", "m1"], &meas, h)
+    }
+
+    #[test]
+    fn wlp_of_structures() {
+        let h = Program::unitary("h", &gates::hadamard());
+        let x = Program::unitary("x", &gates::pauli_x());
+        // wlp(X, |1⟩⟨1|) = |0⟩⟨0|.
+        let pre = wlp(&x, &states::basis_density(2, 1));
+        assert!(pre.approx_eq(&states::basis_density(2, 0), 1e-9));
+        // wlp is multiplicative over seq.
+        let hx = h.then(&x);
+        let direct = wlp(&hx, &states::basis_density(2, 1));
+        let nested = wlp(&h, &wlp(&x, &states::basis_density(2, 1)));
+        assert!(direct.approx_eq(&nested, 1e-9));
+        // wlp(abort, B) = I (partial correctness ignores divergence).
+        let ab = Program::abort(2);
+        assert!(wlp(&ab, &states::basis_density(2, 0)).approx_eq(&CMatrix::identity(2), 1e-9));
+    }
+
+    #[test]
+    fn triple_validity_routes_agree() {
+        let mut seed = 5;
+        let w = coin_flip_loop();
+        // {I} while {|0⟩⟨0|}: the loop a.s. exits into |0⟩.
+        let t = HoareTriple::new(
+            &CMatrix::identity(2),
+            &w,
+            &states::basis_density(2, 0),
+        );
+        assert!(t.holds_partial(1e-7));
+        assert!(t.holds_on_probes(8, &mut seed, 1e-7));
+        // A false triple: {I} while {|1⟩⟨1|}.
+        let f = HoareTriple::new(
+            &CMatrix::identity(2),
+            &w,
+            &states::basis_density(2, 1),
+        );
+        assert!(!f.holds_partial(1e-7));
+    }
+
+    fn loop_derivation() -> (QhlDerivation, Program) {
+        // {C} while M = 1 do H {|0⟩⟨0|} with C = diag(1, ½), via the body
+        // triple {½·I} H {C} (C = M₀†(|0⟩⟨0|) + M₁†(½I) = diag(1, ½)).
+        let w = coin_flip_loop();
+        let half = CMatrix::identity(2).scale(Complex::from(0.5));
+        let c = CMatrix::from_real(&[&[1.0, 0.0], &[0.0, 0.5]]);
+        let h = Program::unitary("h", &gates::hadamard());
+        let body = QhlDerivation::Atomic(HoareTriple::new(&half, &h, &c));
+        (
+            QhlDerivation::Loop {
+                a: states::basis_density(2, 0),
+                inner: Box::new(body),
+            },
+            w,
+        )
+    }
+
+    #[test]
+    fn figure5_loop_rule_checks() {
+        let (d, w) = loop_derivation();
+        let t = d.conclude(&w).unwrap();
+        assert!(t.pre().approx_eq(
+            &CMatrix::from_real(&[&[1.0, 0.0], &[0.0, 0.5]]),
+            1e-9
+        ));
+        assert!(t.holds_partial(1e-7));
+    }
+
+    #[test]
+    fn theorem_7_8_loop_encoding() {
+        let (d, w) = loop_derivation();
+        let mut setting = EncoderSetting::new(2);
+        let encoded = encode_qhl(&d, &w, &mut setting).unwrap();
+        let conclusion = encoded.derivation.conclusion(encoded.conclusion);
+        // (m1 h)* m0 · ā ≤ m0 ā + m1 b̄.
+        assert_eq!(
+            conclusion.to_string(),
+            format!(
+                "{} {} ≤ {}",
+                encoded.program_expr, encoded.post_terms.1, encoded.pre_terms.1
+            )
+        );
+        encoded.derivation.verify().unwrap();
+    }
+
+    #[test]
+    fn theorem_7_8_sequencing_and_order() {
+        // {|+⟩⟨+|} H {|0⟩⟨0|} ; {|0⟩⟨0|} X {|1⟩⟨1|} with a final weakening.
+        let h = Program::unitary("h", &gates::hadamard());
+        let x = Program::unitary("x", &gates::pauli_x());
+        let prog = h.then(&x);
+        let plus = h.run(&states::basis_density(2, 0));
+        let t1 = HoareTriple::new(&plus, &h, &states::basis_density(2, 0));
+        let t2 = HoareTriple::new(
+            &states::basis_density(2, 0),
+            &x,
+            &states::basis_density(2, 1),
+        );
+        let seq = QhlDerivation::Seq(
+            Box::new(QhlDerivation::Atomic(t1)),
+            Box::new(QhlDerivation::Atomic(t2)),
+        );
+        let weakened = QhlDerivation::Order {
+            a: plus.scale(Complex::from(0.5)),
+            b: CMatrix::identity(2),
+            inner: Box::new(seq),
+        };
+        let mut setting = EncoderSetting::new(2);
+        let encoded = encode_qhl(&weakened, &prog, &mut setting).unwrap();
+        encoded.derivation.verify().unwrap();
+        let conclusion = encoded.derivation.conclusion(encoded.conclusion);
+        assert!(conclusion.to_string().contains("≤"));
+    }
+
+    #[test]
+    fn theorem_7_8_branching() {
+        // case M: branch 0 runs X ({|1⟩⟨1|'s pre} X {|1⟩⟨1|}), branch 1
+        // skips ({|1⟩⟨1|} skip {|1⟩⟨1|}).
+        let meas = Measurement::computational_basis(2);
+        let x = Program::unitary("x", &gates::pauli_x());
+        let prog = Program::case(["m0", "m1"], &meas, vec![x.clone(), Program::skip(2)]);
+        let one = states::basis_density(2, 1);
+        let t_x = HoareTriple::new(&states::basis_density(2, 0), &x, &one);
+        let d = QhlDerivation::If(vec![
+            QhlDerivation::Atomic(t_x),
+            QhlDerivation::AxSkip { a: one.clone() },
+        ]);
+        let t = d.conclude(&prog).unwrap();
+        // Pre = M0†(|0⟩⟨0|)M0 + M1†(|1⟩⟨1|)M1 = I.
+        assert!(t.pre().approx_eq(&CMatrix::identity(2), 1e-9));
+        let mut setting = EncoderSetting::new(2);
+        let encoded = encode_qhl(&d, &prog, &mut setting).unwrap();
+        encoded.derivation.verify().unwrap();
+    }
+
+    #[test]
+    fn invalid_derivations_are_rejected() {
+        let w = coin_flip_loop();
+        // Atomic triple that does not hold.
+        let bad = QhlDerivation::Atomic(HoareTriple::new(
+            &CMatrix::identity(2),
+            &w,
+            &states::basis_density(2, 1),
+        ));
+        assert!(bad.conclude(&w).is_err());
+        // Rule/program mismatch.
+        let skip_rule = QhlDerivation::AxSkip {
+            a: CMatrix::identity(2),
+        };
+        assert!(skip_rule.conclude(&w).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Extended positive operators `PO∞(H)` in canonical form (Section 3.2).
+
+use qsim_linalg::{is_psd, lowner_le, CMatrix, Complex, Subspace, TOL};
+
+/// An element of `PO∞(H)` in canonical form: a divergence subspace `V`
+/// and a finite PSD part `A` supported on `W = V⊥`.
+///
+/// `[ρ]` for `ρ ∈ PO(H)` embeds as `(V = 0, A = ρ)` (Remark 3.1);
+/// divergent classes such as `Σᵢ |0⟩⟨0|` are `(V = span|0⟩, A = 0)`.
+/// The Löwner-style order of Definition 3.3 becomes:
+/// `(V₁, A₁) ≤ (V₂, A₂)` iff `V₁ ⊆ V₂` and `P_{W₂} A₁ P_{W₂} ⊑ A₂`.
+///
+/// # Examples
+///
+/// ```
+/// use nka_qpath::ExtPosOp;
+/// use qsim_quantum::states;
+///
+/// let rho = ExtPosOp::from_operator(&states::basis_density(2, 0));
+/// let sigma = ExtPosOp::from_operator(&states::maximally_mixed(2));
+/// // ρ ≤ 2σ in the Löwner order, embedded faithfully:
+/// assert!(rho.le(&sigma.scaled(2.0)));
+/// assert!(!sigma.le(&rho));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExtPosOp {
+    dim: usize,
+    div: Subspace,
+    /// PSD, supported on `div`'s orthocomplement.
+    fin: CMatrix,
+}
+
+impl ExtPosOp {
+    /// The zero class `[O_H]`.
+    pub fn zero(dim: usize) -> ExtPosOp {
+        ExtPosOp {
+            dim,
+            div: Subspace::zero(dim),
+            fin: CMatrix::zeros(dim, dim),
+        }
+    }
+
+    /// Embeds a finite PSD operator (`ρ ↦ [ρ]`, Remark 3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is not square, not Hermitian, or not PSD within
+    /// `1e-7`.
+    pub fn from_operator(rho: &CMatrix) -> ExtPosOp {
+        assert!(rho.is_square(), "PO∞ element must be square");
+        assert!(rho.is_hermitian(1e-7), "PO∞ element must be Hermitian");
+        assert!(is_psd(rho, 1e-7), "PO∞ element must be PSD");
+        ExtPosOp {
+            dim: rho.rows(),
+            div: Subspace::zero(rho.rows()),
+            fin: rho.clone(),
+        }
+    }
+
+    /// A purely divergent class `Σᵢ P` for the projector `P` onto `div`
+    /// (finite part zero).
+    pub fn divergent(dim: usize, div: Subspace) -> ExtPosOp {
+        assert_eq!(div.ambient_dim(), dim);
+        ExtPosOp {
+            dim,
+            div,
+            fin: CMatrix::zeros(dim, dim),
+        }
+    }
+
+    /// Builds the canonical form from raw parts, compressing `fin` onto
+    /// the complement of `div`.
+    pub fn from_parts(div: Subspace, fin: &CMatrix) -> ExtPosOp {
+        let dim = div.ambient_dim();
+        let w = div.complement();
+        let pw = w.projector();
+        let compressed = &(&pw * fin) * &pw;
+        ExtPosOp {
+            dim,
+            div,
+            fin: compressed,
+        }
+    }
+
+    /// Hilbert-space dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The divergence subspace `V`.
+    pub fn divergence(&self) -> &Subspace {
+        &self.div
+    }
+
+    /// The finite part `A` (supported on `V⊥`).
+    pub fn finite_part(&self) -> &CMatrix {
+        &self.fin
+    }
+
+    /// Whether the class is an embedded finite operator.
+    pub fn is_finite(&self) -> bool {
+        self.div.dim() == 0
+    }
+
+    /// The sum of two classes (eq. 3.2.5 restricted to two operands):
+    /// divergence subspaces join, finite parts add and re-compress.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add(&self, other: &ExtPosOp) -> ExtPosOp {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        let div = self.div.join(&other.div);
+        ExtPosOp::from_parts(div, &(&self.fin + &other.fin))
+    }
+
+    /// Scales the finite part by a non-negative factor (the divergence
+    /// subspace is unchanged for `c > 0` and cleared for `c = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c < 0`.
+    pub fn scaled(&self, c: f64) -> ExtPosOp {
+        assert!(c >= 0.0, "PO∞ scaling must be non-negative");
+        if c == 0.0 {
+            return ExtPosOp::zero(self.dim);
+        }
+        ExtPosOp {
+            dim: self.dim,
+            div: self.div.clone(),
+            fin: self.fin.scale(Complex::from(c)),
+        }
+    }
+
+    /// The canonical-order comparison `self ≤ other` (Definition 3.3 via
+    /// the canonical-form theorem; see the crate docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn le(&self, other: &ExtPosOp) -> bool {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        if !self.div.is_subspace_of(&other.div, 1e-7) {
+            return false;
+        }
+        // Compress self's finite part onto other's finite subspace.
+        let w2 = other.div.complement();
+        let pw2 = w2.projector();
+        let compressed = &(&pw2 * &self.fin) * &pw2;
+        lowner_le(&compressed, &other.fin, 1e-7)
+    }
+
+    /// Equivalence of classes within numerical tolerance.
+    pub fn approx_eq(&self, other: &ExtPosOp) -> bool {
+        self.dim == other.dim
+            && self.div.approx_eq(&other.div, 1e-6)
+            && self.fin.approx_eq(&other.fin, 1e-6)
+    }
+
+    /// Trace of the finite part (diagnostic; divergent directions carry
+    /// "infinite trace" that this deliberately excludes).
+    pub fn finite_trace(&self) -> f64 {
+        self.fin.trace().re
+    }
+
+    /// Moves every eigendirection of the finite part with eigenvalue
+    /// exceeding `cap` into the divergence subspace. Used by star
+    /// evaluation to detect divergence.
+    pub fn absorb_large_directions(&self, cap: f64) -> ExtPosOp {
+        let eig = qsim_linalg::eigen::hermitian_eigen(&self.fin);
+        let mut div = self.div.clone();
+        let mut changed = false;
+        for (k, &val) in eig.values.iter().enumerate() {
+            if val > cap {
+                div = div.extended_with(&eig.vector(k), TOL);
+                changed = true;
+            }
+        }
+        if !changed {
+            return self.clone();
+        }
+        ExtPosOp::from_parts(div, &self.fin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_quantum::states;
+
+    fn ket(dim: usize, k: usize) -> Vec<Complex> {
+        let mut v = vec![Complex::ZERO; dim];
+        v[k] = Complex::ONE;
+        v
+    }
+
+    #[test]
+    fn embedding_preserves_lowner_order() {
+        // Remark 3.1: PO(H) embeds via ρ ↦ [ρ].
+        let mut seed = 11;
+        for _ in 0..10 {
+            let a = states::random_density(3, &mut seed).scale(Complex::from(0.5));
+            let b = states::random_density(3, &mut seed);
+            let sum = &a + &b; // a ⊑ a + b always
+            let ea = ExtPosOp::from_operator(&a);
+            let es = ExtPosOp::from_operator(&sum);
+            assert!(ea.le(&es));
+            assert!(ea.le(&ea));
+        }
+    }
+
+    #[test]
+    fn divergent_directions_are_distinguished() {
+        // Σ|0⟩⟨0| vs Σ|1⟩⟨1| (Remark 3.1): distinct, both below Σ I.
+        let d0 = ExtPosOp::divergent(2, Subspace::from_spanning(2, &[ket(2, 0)]));
+        let d1 = ExtPosOp::divergent(2, Subspace::from_spanning(2, &[ket(2, 1)]));
+        let full = ExtPosOp::divergent(2, Subspace::full(2));
+        assert!(!d0.approx_eq(&d1));
+        assert!(!d0.le(&d1));
+        assert!(!d1.le(&d0));
+        assert!(d0.le(&full));
+        assert!(d1.le(&full));
+        assert!(!full.le(&d0));
+    }
+
+    #[test]
+    fn finite_classes_sit_below_divergent_ones() {
+        let rho = ExtPosOp::from_operator(&states::basis_density(2, 0));
+        let d0 = ExtPosOp::divergent(2, Subspace::from_spanning(2, &[ket(2, 0)]));
+        assert!(rho.le(&d0));
+        assert!(!d0.le(&rho));
+        // … but a state with weight outside |0⟩ is NOT below Σ|0⟩⟨0|.
+        let mixed = ExtPosOp::from_operator(&states::maximally_mixed(2));
+        assert!(!mixed.le(&d0));
+    }
+
+    #[test]
+    fn addition_joins_divergence_and_compresses() {
+        let d0 = ExtPosOp::divergent(2, Subspace::from_spanning(2, &[ket(2, 0)]));
+        let rho = ExtPosOp::from_operator(&states::maximally_mixed(2));
+        let sum = d0.add(&rho);
+        assert_eq!(sum.divergence().dim(), 1);
+        // The |0⟩ component of ρ is absorbed into the divergence; only the
+        // |1⟩ component survives in the finite part.
+        assert!((sum.finite_trace() - 0.5).abs() < 1e-9);
+        // Σ|0⟩⟨0| + ρ still dominates ρ and d0.
+        assert!(d0.le(&sum));
+        assert!(rho.le(&sum));
+    }
+
+    #[test]
+    fn from_parts_compresses_cross_terms() {
+        // A finite part with support leaking into the divergence subspace
+        // is compressed onto the complement.
+        let div = Subspace::from_spanning(2, &[ket(2, 0)]);
+        let leaky = states::pure_state(&[Complex::ONE, Complex::ONE]); // |+⟩⟨+|
+        let x = ExtPosOp::from_parts(div, &leaky);
+        assert!((x.finite_part()[(0, 0)]).abs() < 1e-9);
+        assert!((x.finite_part()[(1, 1)].re - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_large_directions() {
+        let big = states::basis_density(2, 0).scale(Complex::from(1e9));
+        let x = ExtPosOp::from_operator(&(&big + &states::basis_density(2, 1)));
+        let absorbed = x.absorb_large_directions(1e6);
+        assert_eq!(absorbed.divergence().dim(), 1);
+        assert!((absorbed.finite_trace() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaling() {
+        let rho = ExtPosOp::from_operator(&states::maximally_mixed(2));
+        assert!((rho.scaled(4.0).finite_trace() - 4.0).abs() < 1e-9);
+        assert!(rho.scaled(0.0).approx_eq(&ExtPosOp::zero(2)));
+    }
+}

@@ -1,0 +1,199 @@
+//! Quantum interpretations of NKA expressions (Definition 4.1).
+
+use crate::action::Action;
+use qsim_quantum::Superoperator;
+use nka_syntax::{Expr, ExprNode, Symbol};
+use std::collections::HashMap;
+
+/// A quantum interpretation setting `int = (H, eval)`: a Hilbert-space
+/// dimension and an assignment of superoperators to alphabet symbols.
+///
+/// [`Interpretation::action`] is the map `Qint` of Definition 4.1;
+/// [`Interpretation::dual_action`] is the dual interpretation `Q†int` of
+/// Section 7.3 (atoms lift dualized, products compose with `⋄`).
+///
+/// # Examples
+///
+/// ```
+/// use nka_qpath::{Interpretation, ExtPosOp};
+/// use nka_syntax::{Expr, Symbol};
+/// use qsim_quantum::{gates, states, Superoperator};
+///
+/// let mut int = Interpretation::new(2);
+/// int.assign(Symbol::intern("h"), Superoperator::from_unitary(&gates::hadamard()));
+/// let e: Expr = "h h".parse()?;
+/// let rho = ExtPosOp::from_operator(&states::basis_density(2, 0));
+/// let out = int.action(&e).apply(&rho);
+/// assert!(out.approx_eq(&rho)); // H;H = id
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interpretation {
+    dim: usize,
+    eval: HashMap<Symbol, Superoperator>,
+}
+
+impl Interpretation {
+    /// An interpretation over a `dim`-dimensional Hilbert space with no
+    /// symbols assigned yet.
+    pub fn new(dim: usize) -> Interpretation {
+        Interpretation {
+            dim,
+            eval: HashMap::new(),
+        }
+    }
+
+    /// Assigns `eval(sym) = e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not an endomorphism of the interpretation space.
+    pub fn assign(&mut self, sym: Symbol, e: Superoperator) -> &mut Interpretation {
+        assert_eq!(e.dim_in(), self.dim, "superoperator dimension mismatch");
+        assert_eq!(e.dim_out(), self.dim, "superoperator dimension mismatch");
+        self.eval.insert(sym, e);
+        self
+    }
+
+    /// The Hilbert-space dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The superoperator assigned to `sym`, if any.
+    pub fn superoperator(&self, sym: Symbol) -> Option<&Superoperator> {
+        self.eval.get(&sym)
+    }
+
+    /// `Qint(e)` — the quantum path action of an expression
+    /// (Definition 4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` contains a symbol with no assignment.
+    pub fn action(&self, e: &Expr) -> Action {
+        match e.node() {
+            ExprNode::Zero => Action::zero(self.dim),
+            ExprNode::One => Action::identity(self.dim),
+            ExprNode::Atom(sym) => {
+                let sup = self
+                    .eval
+                    .get(sym)
+                    .unwrap_or_else(|| panic!("symbol {sym} has no interpretation"));
+                Action::lift(sup.clone())
+            }
+            ExprNode::Add(l, r) => self.action(l).plus(&self.action(r)),
+            ExprNode::Mul(l, r) => self.action(l).seq(&self.action(r)),
+            ExprNode::Star(inner) => self.action(inner).star(),
+        }
+    }
+
+    /// `Q†int(e)` — the dual interpretation (footnote 5 of the paper):
+    /// atoms are interpreted by their Schrödinger–Heisenberg duals and
+    /// products compose in the reversed (`⋄`) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` contains a symbol with no assignment.
+    pub fn dual_action(&self, e: &Expr) -> Action {
+        match e.node() {
+            ExprNode::Zero => Action::zero(self.dim),
+            ExprNode::One => Action::identity(self.dim),
+            ExprNode::Atom(sym) => {
+                let sup = self
+                    .eval
+                    .get(sym)
+                    .unwrap_or_else(|| panic!("symbol {sym} has no interpretation"));
+                Action::lift(sup.dual())
+            }
+            ExprNode::Add(l, r) => self.dual_action(l).plus(&self.dual_action(r)),
+            ExprNode::Mul(l, r) => self.dual_action(l).diamond(&self.dual_action(r)),
+            ExprNode::Star(inner) => self.dual_action(inner).star(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::actions_approx_eq;
+    use crate::ext_pos::ExtPosOp;
+    use qsim_quantum::{gates, states, Measurement};
+
+    fn loop_interpretation() -> Interpretation {
+        let m = Measurement::computational_basis(2);
+        let h = Superoperator::from_unitary(&gates::hadamard());
+        let mut int = Interpretation::new(2);
+        int.assign(Symbol::intern("m0"), m.branch(0));
+        int.assign(Symbol::intern("m1"), m.branch(1));
+        int.assign(Symbol::intern("h"), h);
+        int
+    }
+
+    fn e(src: &str) -> Expr {
+        src.parse().unwrap()
+    }
+
+    #[test]
+    fn while_loop_interpretation_terminates() {
+        // Enc(while M = 1 do H done) = (m1 h)* m0.
+        let int = loop_interpretation();
+        let action = int.action(&e("(m1 h)* m0"));
+        let rho = ExtPosOp::from_operator(&states::basis_density(2, 1));
+        let out = action.apply(&rho);
+        assert!(out.is_finite());
+        assert!((out.finite_trace() - 1.0).abs() < 1e-6);
+        // The output state is |0⟩⟨0| (the loop exits on outcome 0).
+        assert!((out.finite_part()[(0, 0)].re - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nka_axiom_instances_hold_under_interpretation() {
+        // Theorem 4.2 (soundness direction) on a few Figure-2 instances.
+        let int = loop_interpretation();
+        let pairs = [
+            ("1 + m1 h (m1 h)*", "(m1 h)*"),
+            ("(m1 h)* m1", "m1 (h m1)*"),
+            ("(m0 + m1)*", "(m0* m1)* m0*"),
+            ("m0 (m1 + h)", "m0 m1 + m0 h"),
+        ];
+        for (l, r) in pairs {
+            assert!(
+                actions_approx_eq(&int.action(&e(l)), &int.action(&e(r))),
+                "{l} vs {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn nka_non_theorems_fail_under_some_interpretation() {
+        // Completeness direction, observed through this interpretation:
+        // idempotence really is refuted by the model.
+        let int = loop_interpretation();
+        assert!(!actions_approx_eq(
+            &int.action(&e("m0 + m0")),
+            &int.action(&e("m0"))
+        ));
+    }
+
+    #[test]
+    fn dual_interpretation_reverses_composition() {
+        let int = loop_interpretation();
+        // Q†(m0 h) = ⟨h†⟩ ; ⟨m0†⟩ = Q(h m0) with dualized atoms.
+        let dual = int.dual_action(&e("m0 h"));
+        let mut dual_int = Interpretation::new(2);
+        for name in ["m0", "m1", "h"] {
+            let sym = Symbol::intern(name);
+            dual_int.assign(sym, int.superoperator(sym).unwrap().dual());
+        }
+        let reversed = dual_int.action(&e("h m0"));
+        assert!(actions_approx_eq(&dual, &reversed));
+    }
+
+    #[test]
+    #[should_panic(expected = "no interpretation")]
+    fn unassigned_symbol_panics() {
+        let int = Interpretation::new(2);
+        let _ = int.action(&e("mystery_symbol_xyz"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Quantum while-programs (Section 4.2 of Peng–Ying–Wu, PLDI 2022).
+//!
+//! The syntax
+//!
+//! ```text
+//! P ::= skip | abort | q := |0⟩ | q̄ := U[q̄] | P₁; P₂
+//!     | case M[q̄] →ᵢ Pᵢ end | while M[q̄] = 1 do P done
+//! ```
+//!
+//! with its denotational semantics `⟦P⟧` (Ying's equations, reproduced in
+//! [`Program::run`] and [`Program::denotation`]), the encoder `Enc` into
+//! NKA expressions with [`EncoderSetting`] (Definition 4.4), and the
+//! normal-form transformation of **Theorem 6.1** — every quantum while-
+//! program is equivalent (up to a classical-guard reset) to a single-loop
+//! program `P₀; while M do P₁ done` ([`normal_form::normalize`]).
+//!
+//! # Examples
+//!
+//! Build, run and encode a measure-and-flip loop:
+//!
+//! ```
+//! use nka_qprog::{Program, EncoderSetting};
+//! use qsim_quantum::{gates, states, Measurement, Superoperator};
+//!
+//! let meas = Measurement::computational_basis(2);
+//! let flip = Program::unitary("h", &gates::hadamard());
+//! let w = Program::while_loop(["m0", "m1"], &meas, flip);
+//! // Semantics: the loop almost surely exits into |0⟩.
+//! let out = w.run(&states::basis_density(2, 1));
+//! assert!((out[(0, 0)].re - 1.0).abs() < 1e-9);
+//! // Encoding: Enc(while) = (m1 h)* m0.
+//! let mut setting = EncoderSetting::new(2);
+//! let expr = setting.encode(&w).unwrap();
+//! assert_eq!(expr.to_string(), "(m1 h)* m0");
+//! ```
+
+pub mod encode;
+pub mod normal_form;
+pub mod program;
+pub mod semantics;
+
+pub use encode::{EncodeError, EncoderSetting};
+pub use program::Program;
+pub use semantics::Denotation;

@@ -1,0 +1,590 @@
+//! The normal form of quantum while-programs (Theorem 6.1).
+//!
+//! Every quantum while-program `P` over `H` is equivalent — up to a reset
+//! of an auxiliary *classical guard* space `C` — to a program with exactly
+//! one loop:
+//!
+//! ```text
+//! P; p_C := |0⟩   ≡   P₀; while M do P₁ done; p_C := |0⟩
+//! ```
+//!
+//! with `P₀, P₁` while-free. The construction is the induction of Appendix
+//! C.7: sequencing, branching and looping each introduce one fresh guard
+//! register that stores "where the control flow would have been", and the
+//! single loop dispatches on the guard value. Quantum no-cloning is never
+//! violated: only measurement *outcomes* are stored, in a classical
+//! register (computational-basis states manipulated by reset-style
+//! assignments).
+//!
+//! [`normalize`] implements the transformation; semantic equivalence is
+//! verified in the tests (and benchmarked in `nka-bench`). The Section-6
+//! worked example with its machine-checked NKA proof lives in `nka-apps`.
+
+use crate::program::Program;
+use qsim_linalg::CMatrix;
+use qsim_quantum::{Measurement, RegisterSpace, Superoperator};
+
+/// The result of [`normalize`]: a single-loop program over `H ⊗ C`.
+#[derive(Debug, Clone)]
+pub struct NormalForm {
+    h_dim: usize,
+    guard_dim: usize,
+    /// While-free prefix `P₀`.
+    p0: Program,
+    /// While-free loop body `P₁`.
+    p1: Program,
+    /// The loop measurement (outcome 0 exits, outcome 1 continues).
+    loop_meas: Measurement,
+    /// Encoder names for the loop measurement outcomes.
+    loop_names: [String; 2],
+}
+
+impl NormalForm {
+    /// Dimension of the original space `H`.
+    pub fn h_dim(&self) -> usize {
+        self.h_dim
+    }
+
+    /// Dimension of the classical guard space `C`.
+    pub fn guard_dim(&self) -> usize {
+        self.guard_dim
+    }
+
+    /// Total dimension `dim(H ⊗ C)`.
+    pub fn dim(&self) -> usize {
+        self.h_dim * self.guard_dim
+    }
+
+    /// The while-free prefix `P₀`.
+    pub fn prefix(&self) -> &Program {
+        &self.p0
+    }
+
+    /// The while-free loop body `P₁`.
+    pub fn body(&self) -> &Program {
+        &self.p1
+    }
+
+    /// The normal-form program `P₀; while M do P₁ done` (no reset).
+    pub fn program(&self) -> Program {
+        let w = Program::while_loop(
+            [self.loop_names[0].clone(), self.loop_names[1].clone()],
+            &self.loop_meas,
+            self.p1.clone(),
+        );
+        self.p0.then(&w)
+    }
+
+    /// The guard-reset statement `p_C := |0⟩` on `H ⊗ C`.
+    pub fn guard_reset(&self) -> Program {
+        guard_reset_program(self.h_dim, self.guard_dim)
+    }
+
+    /// The full right-hand side of Theorem 6.1:
+    /// `P₀; while M do P₁ done; p_C := |0⟩`.
+    pub fn program_with_reset(&self) -> Program {
+        self.program().then(&self.guard_reset())
+    }
+}
+
+/// `p_C := |0⟩` on `H ⊗ C` (`C` is the trailing tensor factor).
+fn guard_reset_program(h_dim: usize, guard_dim: usize) -> Program {
+    let mut space = RegisterSpace::new();
+    let _h = space.add_register("H", h_dim);
+    let c = space.add_register("C", guard_dim);
+    let kraus: Vec<CMatrix> = (0..guard_dim)
+        .map(|j| {
+            let ket0 = CMatrix::basis_ket(guard_dim, 0);
+            let ketj = CMatrix::basis_ket(guard_dim, j);
+            space.embed(&(&ket0 * &ketj.adjoint()), &[c])
+        })
+        .collect();
+    Program::elementary(
+        "c_reset",
+        Superoperator::from_kraus(h_dim * guard_dim, h_dim * guard_dim, kraus),
+    )
+}
+
+/// Embeds the original program into `H ⊗ C` (acting as identity on `C`).
+pub fn embed_original(p: &Program, guard_dim: usize) -> Program {
+    let h_dim = p.dim();
+    let mut space = RegisterSpace::new();
+    let h = space.add_register("H", h_dim);
+    let _c = space.add_register("C", guard_dim);
+    embed_program(p, &space, &[h])
+}
+
+/// Embeds every operator of `p` (whose space is the ordered product of
+/// `targets`) into `space`.
+fn embed_program(
+    p: &Program,
+    space: &RegisterSpace,
+    targets: &[qsim_quantum::registers::RegisterId],
+) -> Program {
+    let embed_superop = |op: &Superoperator| -> Superoperator {
+        let kraus = op
+            .kraus()
+            .iter()
+            .map(|k| space.embed(k, targets))
+            .collect();
+        Superoperator::from_kraus(space.dim(), space.dim(), kraus)
+    };
+    let embed_meas = |m: &Measurement| -> Measurement {
+        Measurement::new(
+            (0..m.outcome_count())
+                .map(|i| space.embed(m.operator(i), targets))
+                .collect(),
+        )
+    };
+    match p {
+        Program::Skip(_) => Program::skip(space.dim()),
+        Program::Abort(_) => Program::abort(space.dim()),
+        Program::Elementary(name, op) => Program::elementary(name, embed_superop(op)),
+        Program::Seq(a, b) => {
+            embed_program(a, space, targets).then(&embed_program(b, space, targets))
+        }
+        Program::Case(m, branches) => {
+            let names: Vec<String> = (0..m.outcome_count())
+                .map(|i| m.name(i).to_owned())
+                .collect();
+            Program::case(
+                names,
+                &embed_meas(m.measurement()),
+                branches
+                    .iter()
+                    .map(|b| embed_program(b, space, targets))
+                    .collect(),
+            )
+        }
+        Program::While(m, body) => Program::while_loop(
+            [m.name(0).to_owned(), m.name(1).to_owned()],
+            &embed_meas(m.measurement()),
+            embed_program(body, space, targets),
+        ),
+    }
+}
+
+/// `g := |v⟩` on guard register `g` of `space`.
+fn guard_assign(
+    space: &RegisterSpace,
+    g: qsim_quantum::registers::RegisterId,
+    value: usize,
+    name: &str,
+) -> Program {
+    let d = space.register_dim(g);
+    let kraus: Vec<CMatrix> = (0..d)
+        .map(|j| {
+            let ketv = CMatrix::basis_ket(d, value);
+            let ketj = CMatrix::basis_ket(d, j);
+            space.embed(&(&ketv * &ketj.adjoint()), &[g])
+        })
+        .collect();
+    Program::elementary(
+        name,
+        Superoperator::from_kraus(space.dim(), space.dim(), kraus),
+    )
+}
+
+/// The projective two-outcome test on guard `g`: outcome 1 iff the guard
+/// value lies in `in_set`, outcome 0 otherwise.
+fn guard_test(
+    space: &RegisterSpace,
+    g: qsim_quantum::registers::RegisterId,
+    in_set: &[usize],
+) -> Measurement {
+    let d = space.register_dim(g);
+    let mut p_in = CMatrix::zeros(d, d);
+    for &v in in_set {
+        p_in[(v, v)] = qsim_linalg::Complex::ONE;
+    }
+    let p_out = &CMatrix::identity(d) - &p_in;
+    Measurement::new(vec![space.embed(&p_out, &[g]), space.embed(&p_in, &[g])])
+}
+
+/// The projective multi-outcome measurement reading the guard value
+/// (`Meas[g]` of Section 6), with outcome `v` = projector on `|v⟩`.
+fn guard_read(
+    space: &RegisterSpace,
+    g: qsim_quantum::registers::RegisterId,
+) -> Measurement {
+    let d = space.register_dim(g);
+    Measurement::new(
+        (0..d)
+            .map(|v| {
+                let mut p = CMatrix::zeros(d, d);
+                p[(v, v)] = qsim_linalg::Complex::ONE;
+                space.embed(&p, &[g])
+            })
+            .collect(),
+    )
+}
+
+/// Normalizes a program into the single-loop form of Theorem 6.1.
+///
+/// The guard dimension grows with the loop structure of the program
+/// (one factor of `|branches| + 1` or `3` per compound construct), so the
+/// transformation is meant for programs of moderate nesting depth.
+///
+/// # Examples
+///
+/// ```
+/// use nka_qprog::normal_form::normalize;
+/// use nka_qprog::Program;
+/// use qsim_quantum::{gates, Measurement};
+///
+/// let meas = Measurement::computational_basis(2);
+/// let h = Program::unitary("h", &gates::hadamard());
+/// let w = Program::while_loop(["m0", "m1"], &meas, h.clone());
+/// let two_loops = w.then(&w);
+/// let nf = normalize(&two_loops);
+/// assert_eq!(nf.program().loop_count(), 1);
+/// assert!(nf.prefix().is_while_free());
+/// assert!(nf.body().is_while_free());
+/// ```
+pub fn normalize(p: &Program) -> NormalForm {
+    let mut counter = 0usize;
+    normalize_inner(p, &mut counter)
+}
+
+fn fresh(counter: &mut usize, stem: &str) -> String {
+    *counter += 1;
+    format!("{stem}_{counter}")
+}
+
+fn normalize_inner(p: &Program, counter: &mut usize) -> NormalForm {
+    match p {
+        // (a) While-free base: trivial guard C₁ (dimension 1); the loop
+        // test {M₀ = I, M₁ = 0} never fires.
+        _ if p.is_while_free() => {
+            let dim = p.dim();
+            let loop_meas = Measurement::new(vec![
+                CMatrix::identity(dim),
+                CMatrix::zeros(dim, dim),
+            ]);
+            NormalForm {
+                h_dim: dim,
+                guard_dim: 1,
+                p0: p.clone(),
+                p1: Program::skip(dim),
+                loop_meas,
+                loop_names: [fresh(counter, "gbase_exit"), fresh(counter, "gbase_loop")],
+            }
+        }
+        // (b) Sequencing.
+        Program::Seq(s1, s2) => {
+            let n1 = normalize_inner(s1, counter);
+            let n2 = normalize_inner(s2, counter);
+            let h_dim = n1.h_dim;
+            let mut space = RegisterSpace::new();
+            let h = space.add_register("H", h_dim);
+            let c1 = space.add_register("C1", n1.guard_dim);
+            let c2 = space.add_register("C2", n2.guard_dim);
+            let g = space.add_register("G", 3);
+            let stem = fresh(counter, "g");
+
+            let p10 = embed_program(&n1.p0, &space, &[h, c1]);
+            let p11 = embed_program(&n1.p1, &space, &[h, c1]);
+            let m1 = Measurement::new(vec![
+                space.embed(n1.loop_meas.operator(0), &[h, c1]),
+                space.embed(n1.loop_meas.operator(1), &[h, c1]),
+            ]);
+            let p20 = embed_program(&n2.p0, &space, &[h, c2]);
+            let p21 = embed_program(&n2.p1, &space, &[h, c2]);
+            let m2 = Measurement::new(vec![
+                space.embed(n2.loop_meas.operator(0), &[h, c2]),
+                space.embed(n2.loop_meas.operator(1), &[h, c2]),
+            ]);
+
+            let set0 = guard_assign(&space, g, 0, &format!("{stem}_set0"));
+            let set1 = guard_assign(&space, g, 1, &format!("{stem}_set1"));
+            let set2 = guard_assign(&space, g, 2, &format!("{stem}_set2"));
+
+            // p0' = P₁₀; g := |1⟩.
+            let p0 = p10.then(&set1);
+            // Body: if Meas[g] = 1 then (if M₁ then P₁₁ else P₂₀; g := 2)
+            //       else (if M₂ then P₂₁ else g := 0).
+            let inner1 = Program::if_then_else(
+                [n1.loop_names[0].clone(), n1.loop_names[1].clone()],
+                &m1,
+                p11,
+                p20.then(&set2),
+            );
+            let inner2 = Program::if_then_else(
+                [n2.loop_names[0].clone(), n2.loop_names[1].clone()],
+                &m2,
+                p21,
+                set0,
+            );
+            let body = Program::if_then_else(
+                [format!("{stem}_ne1"), format!("{stem}_eq1")],
+                &guard_test(&space, g, &[1]),
+                inner1,
+                inner2,
+            );
+            NormalForm {
+                h_dim,
+                guard_dim: n1.guard_dim * n2.guard_dim * 3,
+                p0,
+                p1: body,
+                loop_meas: guard_test(&space, g, &[1, 2]),
+                loop_names: [format!("{stem}_le0"), format!("{stem}_gt0")],
+            }
+        }
+        // (c) Branching.
+        Program::Case(m, branches) => {
+            let subs: Vec<NormalForm> = branches
+                .iter()
+                .map(|b| normalize_inner(b, counter))
+                .collect();
+            let h_dim = p.dim();
+            let k = subs.len();
+            let mut space = RegisterSpace::new();
+            let h = space.add_register("H", h_dim);
+            let cs: Vec<_> = subs
+                .iter()
+                .enumerate()
+                .map(|(i, n)| space.add_register(&format!("C{i}"), n.guard_dim))
+                .collect();
+            let g = space.add_register("G", k + 1);
+            let stem = fresh(counter, "g");
+
+            let meas_full = Measurement::new(
+                (0..k)
+                    .map(|i| space.embed(m.measurement().operator(i), &[h]))
+                    .collect(),
+            );
+            // p0' = case M →ᵢ (Pᵢ₀; g := |i+1⟩) end.
+            let prefix_branches: Vec<Program> = subs
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    embed_program(&n.p0, &space, &[h, cs[i]]).then(&guard_assign(
+                        &space,
+                        g,
+                        i + 1,
+                        &format!("{stem}_set{}", i + 1),
+                    ))
+                })
+                .collect();
+            let prefix_names: Vec<String> =
+                (0..k).map(|i| m.name(i).to_owned()).collect();
+            let p0 = Program::case(prefix_names, &meas_full, prefix_branches);
+
+            // Body: case Meas[g] →ᵥ … — guard value i+1 runs branch i's
+            // loop step, guard 0 is unreachable inside the loop (skip).
+            let mut body_branches = vec![Program::skip(space.dim())];
+            for (i, n) in subs.iter().enumerate() {
+                let mi = Measurement::new(vec![
+                    space.embed(n.loop_meas.operator(0), &[h, cs[i]]),
+                    space.embed(n.loop_meas.operator(1), &[h, cs[i]]),
+                ]);
+                let step = Program::if_then_else(
+                    [n.loop_names[0].clone(), n.loop_names[1].clone()],
+                    &mi,
+                    embed_program(&n.p1, &space, &[h, cs[i]]),
+                    guard_assign(&space, g, 0, &format!("{stem}_set0")),
+                );
+                body_branches.push(step);
+            }
+            let body_names: Vec<String> =
+                (0..=k).map(|v| format!("{stem}_val{v}")).collect();
+            let body = Program::case(body_names, &guard_read(&space, g), body_branches);
+
+            NormalForm {
+                h_dim,
+                guard_dim: subs.iter().map(|n| n.guard_dim).product::<usize>() * (k + 1),
+                p0,
+                p1: body,
+                loop_meas: guard_test(&space, g, &(1..=k).collect::<Vec<_>>()),
+                loop_names: [format!("{stem}_le0"), format!("{stem}_gt0")],
+            }
+        }
+        // Unreachable: covered by the while-free guard above.
+        Program::Skip(_) | Program::Abort(_) | Program::Elementary(..) => {
+            unreachable!("while-free programs are handled by the base case")
+        }
+        // (d) Looping.
+        Program::While(m, body) => {
+            let n = normalize_inner(body, counter);
+            let h_dim = p.dim();
+            let mut space = RegisterSpace::new();
+            let h = space.add_register("H", h_dim);
+            let c = space.add_register("C", n.guard_dim);
+            let g = space.add_register("G", 3);
+            let stem = fresh(counter, "g");
+
+            let m_outer = Measurement::new(vec![
+                space.embed(m.measurement().operator(0), &[h]),
+                space.embed(m.measurement().operator(1), &[h]),
+            ]);
+            let m_inner = Measurement::new(vec![
+                space.embed(n.loop_meas.operator(0), &[h, c]),
+                space.embed(n.loop_meas.operator(1), &[h, c]),
+            ]);
+            let p1_sub = embed_program(&n.p0, &space, &[h, c]);
+            let p2_sub = embed_program(&n.p1, &space, &[h, c]);
+
+            let set0 = guard_assign(&space, g, 0, &format!("{stem}_set0"));
+            let set1 = guard_assign(&space, g, 1, &format!("{stem}_set1"));
+            let set2 = guard_assign(&space, g, 2, &format!("{stem}_set2"));
+
+            let p0 = set1.clone();
+            // if Meas[g]=1 then (if M₁ then P₁; g := 2 else g := 0)
+            // else           (if M₂ then P₂       else g := 1).
+            let branch1 = Program::if_then_else(
+                [m.name(0).to_owned(), m.name(1).to_owned()],
+                &m_outer,
+                p1_sub.then(&set2),
+                set0,
+            );
+            let branch2 = Program::if_then_else(
+                [n.loop_names[0].clone(), n.loop_names[1].clone()],
+                &m_inner,
+                p2_sub,
+                set1,
+            );
+            let loop_body = Program::if_then_else(
+                [format!("{stem}_ne1"), format!("{stem}_eq1")],
+                &guard_test(&space, g, &[1]),
+                branch1,
+                branch2,
+            );
+            NormalForm {
+                h_dim,
+                guard_dim: n.guard_dim * 3,
+                p0,
+                p1: loop_body,
+                loop_meas: guard_test(&space, g, &[1, 2]),
+                loop_names: [format!("{stem}_le0"), format!("{stem}_gt0")],
+            }
+        }
+    }
+}
+
+/// Verifies semantic equivalence `⟦P ⊗ I_C; reset⟧ = ⟦NF; reset⟧` on a
+/// family of product probes `ρ_H ⊗ |0⟩⟨0|_C` (PSD spanning set on `H`),
+/// within `tol`.
+pub fn verify_normal_form(p: &Program, nf: &NormalForm, tol: f64) -> bool {
+    let h_dim = p.dim();
+    let guard_zero = qsim_quantum::states::basis_density(nf.guard_dim(), 0);
+    let original = embed_original(p, nf.guard_dim()).then(&nf.guard_reset());
+    let constructed = nf.program_with_reset();
+    // PSD spanning probes on H.
+    let mut probes: Vec<CMatrix> = Vec::new();
+    for i in 0..h_dim {
+        probes.push(qsim_quantum::states::basis_density(h_dim, i));
+    }
+    for i in 0..h_dim {
+        for j in (i + 1)..h_dim {
+            let mut plus = vec![qsim_linalg::Complex::ZERO; h_dim];
+            plus[i] = qsim_linalg::Complex::ONE;
+            plus[j] = qsim_linalg::Complex::ONE;
+            probes.push(qsim_quantum::states::pure_state(&plus));
+            let mut phase = vec![qsim_linalg::Complex::ZERO; h_dim];
+            phase[i] = qsim_linalg::Complex::ONE;
+            phase[j] = qsim_linalg::Complex::I;
+            probes.push(qsim_quantum::states::pure_state(&phase));
+        }
+    }
+    probes.iter().all(|rho_h| {
+        let input = rho_h.kron(&guard_zero);
+        original.run(&input).approx_eq(&constructed.run(&input), tol)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_quantum::gates;
+
+    fn coin_meas() -> Measurement {
+        Measurement::computational_basis(2)
+    }
+
+    fn coin_loop(tag: &str) -> Program {
+        let h = Program::unitary("h", &gates::hadamard());
+        Program::while_loop([format!("{tag}0"), format!("{tag}1")], &coin_meas(), h)
+    }
+
+    #[test]
+    fn base_case_is_identity_shaped() {
+        let x = Program::unitary("x", &gates::pauli_x());
+        let nf = normalize(&x);
+        assert_eq!(nf.guard_dim(), 1);
+        assert!(verify_normal_form(&x, &nf, 1e-8));
+    }
+
+    #[test]
+    fn two_sequential_loops_merge() {
+        // The paper's Section-6 example shape: two while loops in sequence.
+        let prog = coin_loop("m").then(&coin_loop("m"));
+        let nf = normalize(&prog);
+        assert_eq!(nf.program().loop_count(), 1);
+        assert!(nf.prefix().is_while_free());
+        assert!(nf.body().is_while_free());
+        assert!(verify_normal_form(&prog, &nf, 1e-7));
+    }
+
+    #[test]
+    fn loop_inside_case_merges() {
+        let x = Program::unitary("x", &gates::pauli_x());
+        let prog = Program::case(
+            ["n0", "n1"],
+            &coin_meas(),
+            vec![coin_loop("m"), x],
+        );
+        let nf = normalize(&prog);
+        assert_eq!(nf.program().loop_count(), 1);
+        assert!(verify_normal_form(&prog, &nf, 1e-7));
+    }
+
+    /// A loop that terminates after finitely many iterations from any
+    /// state: `while M[q] = 1 do X done` (the X flips `|1⟩` to `|0⟩`, so
+    /// the continue branch fires at most once per basis component). The
+    /// normal-form construction is gate-agnostic, so this exercises the
+    /// same guard bookkeeping as the Hadamard coin while keeping the
+    /// semantic fixpoints exact after two Neumann terms.
+    fn flip_loop(tag: &str) -> Program {
+        let x = Program::unitary("x", &gates::pauli_x());
+        Program::while_loop([format!("{tag}0"), format!("{tag}1")], &coin_meas(), x)
+    }
+
+    #[test]
+    fn nested_while_merges() {
+        // while N = 1 do (while M = 1 do X done) done — the inner loop
+        // exits with q = 0, which also exits the outer loop, so every
+        // basis state terminates within two outer iterations and the
+        // semantic fixpoints are exact.
+        let prog = Program::while_loop(["n0", "n1"], &coin_meas(), flip_loop("m"));
+        let nf = normalize(&prog);
+        assert_eq!(nf.program().loop_count(), 1);
+        assert!(nf.prefix().is_while_free());
+        assert!(nf.body().is_while_free());
+        assert!(verify_normal_form(&prog, &nf, 1e-6));
+    }
+
+    /// The probabilistic (Hadamard-coin) nested loop. The merged loop's
+    /// mass decays by a constant factor per *phase round-trip*, so the
+    /// fixpoint needs hundreds of iterations on a `dim ≈ 160` space —
+    /// minutes of CPU. Structurally identical to [`nested_while_merges`];
+    /// run with `cargo test -- --ignored` to include it.
+    #[test]
+    #[ignore = "expensive: probabilistic nested loop, minutes of CPU"]
+    fn nested_while_merges_probabilistic() {
+        let x = Program::unitary("x", &gates::pauli_x());
+        let inner = coin_loop("m").then(&x);
+        let prog = Program::while_loop(["n0", "n1"], &coin_meas(), inner);
+        let nf = normalize(&prog);
+        assert_eq!(nf.program().loop_count(), 1);
+        assert!(verify_normal_form(&prog, &nf, 1e-6));
+    }
+
+    #[test]
+    fn guard_dimensions_accumulate() {
+        let prog = coin_loop("m").then(&coin_loop("m"));
+        let nf = normalize(&prog);
+        // Each loop: base(1)·3 ⇒ 3; seq: 3·3·3 = 27.
+        assert_eq!(nf.guard_dim(), 27);
+        assert_eq!(nf.dim(), 54);
+    }
+}

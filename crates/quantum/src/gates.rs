@@ -1,0 +1,206 @@
+//! The standard unitary gate library.
+
+use qsim_linalg::{CMatrix, Complex};
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Pauli X.
+pub fn pauli_x() -> CMatrix {
+    CMatrix::from_real(&[&[0.0, 1.0], &[1.0, 0.0]])
+}
+
+/// Pauli Y.
+pub fn pauli_y() -> CMatrix {
+    CMatrix::from_rows(&[
+        vec![Complex::ZERO, -Complex::I],
+        vec![Complex::I, Complex::ZERO],
+    ])
+}
+
+/// Pauli Z.
+pub fn pauli_z() -> CMatrix {
+    CMatrix::from_real(&[&[1.0, 0.0], &[0.0, -1.0]])
+}
+
+/// Hadamard.
+pub fn hadamard() -> CMatrix {
+    CMatrix::from_real(&[
+        &[FRAC_1_SQRT_2, FRAC_1_SQRT_2],
+        &[FRAC_1_SQRT_2, -FRAC_1_SQRT_2],
+    ])
+}
+
+/// Phase gate S = diag(1, i).
+pub fn s_gate() -> CMatrix {
+    CMatrix::from_rows(&[
+        vec![Complex::ONE, Complex::ZERO],
+        vec![Complex::ZERO, Complex::I],
+    ])
+}
+
+/// T gate = diag(1, e^{iπ/4}).
+pub fn t_gate() -> CMatrix {
+    CMatrix::from_rows(&[
+        vec![Complex::ONE, Complex::ZERO],
+        vec![Complex::ZERO, Complex::cis(std::f64::consts::FRAC_PI_4)],
+    ])
+}
+
+/// Z-rotation `RZ(θ) = diag(e^{−iθ/2}, e^{iθ/2})`.
+pub fn rz(theta: f64) -> CMatrix {
+    CMatrix::from_rows(&[
+        vec![Complex::cis(-theta / 2.0), Complex::ZERO],
+        vec![Complex::ZERO, Complex::cis(theta / 2.0)],
+    ])
+}
+
+/// Y-rotation.
+pub fn ry(theta: f64) -> CMatrix {
+    let (s, c) = (theta / 2.0).sin_cos();
+    CMatrix::from_real(&[&[c, -s], &[s, c]])
+}
+
+/// X-rotation.
+pub fn rx(theta: f64) -> CMatrix {
+    let (s, c) = (theta / 2.0).sin_cos();
+    CMatrix::from_rows(&[
+        vec![Complex::from(c), -Complex::I * s],
+        vec![-Complex::I * s, Complex::from(c)],
+    ])
+}
+
+/// CNOT on two qubits (control = first tensor factor).
+pub fn cnot() -> CMatrix {
+    CMatrix::from_real(&[
+        &[1.0, 0.0, 0.0, 0.0],
+        &[0.0, 1.0, 0.0, 0.0],
+        &[0.0, 0.0, 0.0, 1.0],
+        &[0.0, 0.0, 1.0, 0.0],
+    ])
+}
+
+/// Controlled-Z on two qubits.
+pub fn cz() -> CMatrix {
+    CMatrix::from_real(&[
+        &[1.0, 0.0, 0.0, 0.0],
+        &[0.0, 1.0, 0.0, 0.0],
+        &[0.0, 0.0, 1.0, 0.0],
+        &[0.0, 0.0, 0.0, -1.0],
+    ])
+}
+
+/// SWAP on two qubits.
+pub fn swap() -> CMatrix {
+    CMatrix::from_real(&[
+        &[1.0, 0.0, 0.0, 0.0],
+        &[0.0, 0.0, 1.0, 0.0],
+        &[0.0, 1.0, 0.0, 0.0],
+        &[0.0, 0.0, 0.0, 1.0],
+    ])
+}
+
+/// The controlled version of a `d × d` unitary: `|0⟩⟨0| ⊗ I + |1⟩⟨1| ⊗ U`
+/// (control = first tensor factor, a qubit).
+///
+/// # Panics
+///
+/// Panics if `u` is not square.
+pub fn controlled(u: &CMatrix) -> CMatrix {
+    assert!(u.is_square(), "controlled() needs a square matrix");
+    let d = u.rows();
+    let mut out = CMatrix::zeros(2 * d, 2 * d);
+    for i in 0..d {
+        out[(i, i)] = Complex::ONE;
+        for j in 0..d {
+            out[(d + i, d + j)] = u[(i, j)];
+        }
+    }
+    out
+}
+
+/// The cyclic decrement unitary `Dec = |n−1⟩⟨0| + Σ_{j≥1} |j−1⟩⟨j|` on a
+/// dimension-`n` register (`j ↦ (j − 1) mod n`), used by the QSP
+/// construction of Appendix B.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn decrement(n: usize) -> CMatrix {
+    assert!(n > 0);
+    let mut m = CMatrix::zeros(n, n);
+    for j in 0..n {
+        let target = (j + n - 1) % n;
+        m[(target, j)] = Complex::ONE;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_unitary(m: &CMatrix) {
+        assert!(m.is_unitary(1e-12), "not unitary:\n{m}");
+    }
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for g in [
+            pauli_x(),
+            pauli_y(),
+            pauli_z(),
+            hadamard(),
+            s_gate(),
+            t_gate(),
+            rz(0.7),
+            ry(1.3),
+            rx(2.1),
+            cnot(),
+            cz(),
+            swap(),
+            controlled(&hadamard()),
+            decrement(5),
+        ] {
+            assert_unitary(&g);
+        }
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        // HZH = X.
+        let h = hadamard();
+        let hzh = &(&h * &pauli_z()) * &h;
+        assert!(hzh.approx_eq(&pauli_x(), 1e-12));
+        // S² = Z.
+        assert!((&s_gate() * &s_gate()).approx_eq(&pauli_z(), 1e-12));
+        // T² = S.
+        assert!((&t_gate() * &t_gate()).approx_eq(&s_gate(), 1e-12));
+    }
+
+    #[test]
+    fn cnot_flips_target_when_control_set() {
+        let v = cnot().mul_vec(&[
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::ONE, // |10⟩
+            Complex::ZERO,
+        ]);
+        assert!(v[3].approx_eq(Complex::ONE, 1e-12)); // |11⟩
+    }
+
+    #[test]
+    fn controlled_blocks() {
+        let cu = controlled(&pauli_x());
+        assert!(cu.approx_eq(&cnot(), 1e-12));
+    }
+
+    #[test]
+    fn decrement_cycles() {
+        let dec = decrement(3);
+        // |0⟩ ↦ |2⟩, |1⟩ ↦ |0⟩, |2⟩ ↦ |1⟩.
+        let v = dec.mul_vec(&[Complex::ONE, Complex::ZERO, Complex::ZERO]);
+        assert!(v[2].approx_eq(Complex::ONE, 1e-12));
+        let w = dec.mul_vec(&[Complex::ZERO, Complex::ONE, Complex::ZERO]);
+        assert!(w[0].approx_eq(Complex::ONE, 1e-12));
+    }
+}

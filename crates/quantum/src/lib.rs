@@ -1,0 +1,41 @@
+//! The quantum substrate: density operators, superoperators, measurements,
+//! gates, and composite registers.
+//!
+//! This crate implements the quantum preliminaries of Section 3.1 of
+//! Peng–Ying–Wu (PLDI 2022):
+//!
+//! * [`Superoperator`] — completely positive, trace-non-increasing maps in
+//!   Kraus form, with composition, sums, duals (the Schrödinger–Heisenberg
+//!   dual `E†`), and the Liouville (matrix) representation used for
+//!   fixed-point computations;
+//! * [`Measurement`] — general quantum measurements `{Mᵢ}` with
+//!   `Σ Mᵢ†Mᵢ = I`, their branch superoperators `Mᵢ(ρ) = Mᵢ ρ Mᵢ†`, and
+//!   projectivity checks;
+//! * [`gates`] — the standard unitary gate library;
+//! * [`RegisterSpace`] — composite Hilbert spaces with named registers and
+//!   operator embedding (how `q := U[q̄]` acts on a subsystem);
+//! * [`states`] — density-operator constructors.
+//!
+//! # Examples
+//!
+//! A measurement in the computational basis collapses the plus state:
+//!
+//! ```
+//! use qsim_quantum::{states, Measurement};
+//!
+//! let plus = states::pure_state(&states::plus_amplitudes(1));
+//! let meas = Measurement::computational_basis(2);
+//! let (p0, post0) = meas.outcome(&plus, 0);
+//! assert!((p0 - 0.5).abs() < 1e-10);
+//! assert!(post0.approx_eq(&states::basis_density(2, 0), 1e-10));
+//! ```
+
+pub mod gates;
+pub mod measurement;
+pub mod registers;
+pub mod states;
+pub mod superop;
+
+pub use measurement::Measurement;
+pub use registers::RegisterSpace;
+pub use superop::Superoperator;

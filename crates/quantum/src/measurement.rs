@@ -1,0 +1,216 @@
+//! Quantum measurements.
+
+use crate::Superoperator;
+use qsim_linalg::CMatrix;
+
+/// A quantum measurement `{Mᵢ}` with `Σᵢ Mᵢ†Mᵢ = I` (Section 3.1).
+///
+/// Outcome `i` occurs with probability `tr(Mᵢ ρ Mᵢ†)` and collapses the
+/// state to `Mᵢ ρ Mᵢ† / pᵢ`. The *branch superoperator*
+/// `Mᵢ(ρ) = Mᵢ ρ Mᵢ†` (unnormalized) is what the paper's denotational
+/// semantics composes with.
+///
+/// # Examples
+///
+/// ```
+/// use qsim_quantum::{states, Measurement};
+/// let meas = Measurement::computational_basis(2);
+/// assert!(meas.is_projective(1e-12));
+/// let rho = states::maximally_mixed(2);
+/// let (p, _) = meas.outcome(&rho, 1);
+/// assert!((p - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    dim: usize,
+    ops: Vec<CMatrix>,
+}
+
+impl Measurement {
+    /// Builds a measurement from its operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operators are not square matrices of equal dimension,
+    /// or if `Σ Mᵢ†Mᵢ ≠ I` within `1e-8`.
+    pub fn new(ops: Vec<CMatrix>) -> Measurement {
+        assert!(!ops.is_empty(), "measurement needs at least one operator");
+        let dim = ops[0].rows();
+        let mut sum = CMatrix::zeros(dim, dim);
+        for m in &ops {
+            assert!(m.is_square() && m.rows() == dim, "inconsistent operators");
+            sum = &sum + &(&m.adjoint() * m);
+        }
+        assert!(
+            sum.approx_eq(&CMatrix::identity(dim), 1e-8),
+            "measurement operators do not satisfy the completeness relation"
+        );
+        Measurement { dim, ops }
+    }
+
+    /// The computational-basis measurement `{|k⟩⟨k|}` in dimension `dim`.
+    pub fn computational_basis(dim: usize) -> Measurement {
+        let ops = (0..dim)
+            .map(|k| {
+                let ket = CMatrix::basis_ket(dim, k);
+                &ket * &ket.adjoint()
+            })
+            .collect();
+        Measurement::new(ops)
+    }
+
+    /// The two-outcome measurement `{P, I − P}` for a projector `P`
+    /// (outcome 0 = `P`, outcome 1 = `I − P`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a projector within `1e-8`.
+    pub fn from_projector(p: &CMatrix) -> Measurement {
+        assert!(
+            (p * p).approx_eq(p, 1e-8),
+            "from_projector needs an idempotent Hermitian matrix"
+        );
+        let complement = &CMatrix::identity(p.rows()) - p;
+        Measurement::new(vec![p.clone(), complement])
+    }
+
+    /// Hilbert-space dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of outcomes.
+    pub fn outcome_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The measurement operator of outcome `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn operator(&self, i: usize) -> &CMatrix {
+        &self.ops[i]
+    }
+
+    /// The branch superoperator `ρ ↦ Mᵢ ρ Mᵢ†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn branch(&self, i: usize) -> Superoperator {
+        Superoperator::from_kraus(self.dim, self.dim, vec![self.ops[i].clone()])
+    }
+
+    /// `(pᵢ, ρᵢ)` — the probability of outcome `i` on `rho` and the
+    /// *normalized* post-measurement state (the zero matrix if `pᵢ = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or dimensions mismatch.
+    pub fn outcome(&self, rho: &CMatrix, i: usize) -> (f64, CMatrix) {
+        let unnorm = self.branch(i).apply(rho);
+        let p = unnorm.trace().re;
+        if p <= 1e-14 {
+            (0.0, CMatrix::zeros(self.dim, self.dim))
+        } else {
+            (p, unnorm.scale(qsim_linalg::Complex::from(1.0 / p)))
+        }
+    }
+
+    /// Whether the measurement is projective: `Mᵢ Mⱼ = δᵢⱼ Mᵢ`.
+    pub fn is_projective(&self, tol: f64) -> bool {
+        for (i, mi) in self.ops.iter().enumerate() {
+            for (j, mj) in self.ops.iter().enumerate() {
+                let prod = mi * mj;
+                let expected = if i == j {
+                    mi.clone()
+                } else {
+                    CMatrix::zeros(self.dim, self.dim)
+                };
+                if !prod.approx_eq(&expected, tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use crate::states;
+    use qsim_linalg::Complex;
+
+    #[test]
+    fn computational_basis_is_projective_and_complete() {
+        let m = Measurement::computational_basis(3);
+        assert_eq!(m.outcome_count(), 3);
+        assert!(m.is_projective(1e-12));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut seed = 5;
+        let rho = states::random_density(4, &mut seed);
+        let m = Measurement::computational_basis(4);
+        let total: f64 = (0..4).map(|i| m.outcome(&rho, i).0).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn plus_state_measurement_collapse() {
+        let plus = states::pure_state(&[Complex::ONE, Complex::ONE]);
+        let m = Measurement::computational_basis(2);
+        let (p0, post) = m.outcome(&plus, 0);
+        assert!((p0 - 0.5).abs() < 1e-12);
+        assert!(post.approx_eq(&states::basis_density(2, 0), 1e-12));
+    }
+
+    #[test]
+    fn projector_measurement() {
+        // Measure in the Hadamard basis via P = |+⟩⟨+|.
+        let h = gates::hadamard();
+        let plus_proj = &(&h * &states::basis_density(2, 0)) * &h.adjoint();
+        let m = Measurement::from_projector(&plus_proj);
+        assert!(m.is_projective(1e-10));
+        let (p, _) = m.outcome(&states::basis_density(2, 0), 0);
+        assert!((p - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn non_projective_povm_detected() {
+        // A trine-style POVM: Mᵢ = |0⟩⟨vᵢ| with the vᵢ scaled trine
+        // vectors, so Σ Mᵢ†Mᵢ = Σ |vᵢ⟩⟨vᵢ| = I but no Mᵢ is a projector.
+        let f = (2.0 / 3.0_f64).sqrt();
+        let vecs = [
+            vec![Complex::from(f), Complex::ZERO],
+            vec![
+                Complex::from(-f / 2.0),
+                Complex::from(f * 3.0_f64.sqrt() / 2.0),
+            ],
+            vec![
+                Complex::from(-f / 2.0),
+                Complex::from(-f * 3.0_f64.sqrt() / 2.0),
+            ],
+        ];
+        let zero_ket = [Complex::ONE, Complex::ZERO];
+        let ops: Vec<CMatrix> = vecs.iter().map(|v| CMatrix::outer(&zero_ket, v)).collect();
+        let m = Measurement::new(ops);
+        assert!(!m.is_projective(1e-10));
+        // Probabilities still sum to one.
+        let mut seed = 9;
+        let rho = states::random_density(2, &mut seed);
+        let total: f64 = (0..3).map(|i| m.outcome(&rho, i).0).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "completeness")]
+    fn incomplete_measurement_rejected() {
+        let p = states::basis_density(2, 0);
+        let _ = Measurement::new(vec![p]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Composite Hilbert spaces with named registers.
+//!
+//! Quantum while-programs act on registers (`q := U[q̄]` applies a unitary
+//! to a *subset* of the variables); this module embeds operators on a
+//! subset of registers into the full tensor-product space, for registers of
+//! arbitrary (not necessarily qubit) dimensions — the QSP construction of
+//! Appendix B uses a counter register of dimension `n + 1` and a term
+//! register of dimension `L`.
+
+use qsim_linalg::CMatrix;
+
+/// A composite Hilbert space `H = H₀ ⊗ H₁ ⊗ …` of named registers.
+///
+/// # Examples
+///
+/// ```
+/// use qsim_quantum::{gates, RegisterSpace};
+///
+/// let mut space = RegisterSpace::new();
+/// let c = space.add_register("c", 3); // a qutrit counter
+/// let q = space.add_register("q", 2); // a qubit
+/// assert_eq!(space.dim(), 6);
+/// let x_on_q = space.embed(&gates::pauli_x(), &[q]);
+/// assert_eq!(x_on_q.rows(), 6);
+/// assert!(x_on_q.is_unitary(1e-12));
+/// # let _ = c;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RegisterSpace {
+    names: Vec<String>,
+    dims: Vec<usize>,
+}
+
+/// A handle to a register inside a [`RegisterSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegisterId(usize);
+
+impl RegisterSpace {
+    /// An empty space (dimension 1).
+    pub fn new() -> RegisterSpace {
+        RegisterSpace::default()
+    }
+
+    /// Appends a register of the given dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn add_register(&mut self, name: &str, dim: usize) -> RegisterId {
+        assert!(dim > 0, "register dimension must be positive");
+        self.names.push(name.to_owned());
+        self.dims.push(dim);
+        RegisterId(self.names.len() - 1)
+    }
+
+    /// Total dimension (product of register dimensions).
+    pub fn dim(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// The dimension of one register.
+    pub fn register_dim(&self, id: RegisterId) -> usize {
+        self.dims[id.0]
+    }
+
+    /// The name of one register.
+    pub fn register_name(&self, id: RegisterId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of registers.
+    pub fn register_count(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Decomposes a full-space basis index into per-register digits.
+    fn digits(&self, mut index: usize) -> Vec<usize> {
+        let mut out = vec![0; self.dims.len()];
+        for (k, &d) in self.dims.iter().enumerate().rev() {
+            out[k] = index % d;
+            index /= d;
+        }
+        out
+    }
+
+    /// Recomposes per-register digits into a full-space index.
+    fn index(&self, digits: &[usize]) -> usize {
+        let mut idx = 0;
+        for (k, &d) in self.dims.iter().enumerate() {
+            idx = idx * d + digits[k];
+        }
+        idx
+    }
+
+    /// Embeds an operator acting on the listed registers (in the given
+    /// order) into the full space, acting as the identity elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op`'s dimension differs from the product of the target
+    /// register dimensions, or if a register is listed twice.
+    pub fn embed(&self, op: &CMatrix, targets: &[RegisterId]) -> CMatrix {
+        let target_dim: usize = targets.iter().map(|t| self.dims[t.0]).product();
+        assert_eq!(op.rows(), target_dim, "operator/target dimension mismatch");
+        assert_eq!(op.cols(), target_dim, "operator must be square");
+        let mut seen = vec![false; self.dims.len()];
+        for t in targets {
+            assert!(!seen[t.0], "register listed twice in embed()");
+            seen[t.0] = true;
+        }
+
+        let full = self.dim();
+        let mut out = CMatrix::zeros(full, full);
+        // Index of the target-subspace basis element selected by digits.
+        let sub_index = |digits: &[usize]| -> usize {
+            let mut idx = 0;
+            for t in targets {
+                idx = idx * self.dims[t.0] + digits[t.0];
+            }
+            idx
+        };
+        for col in 0..full {
+            let col_digits = self.digits(col);
+            let sub_col = sub_index(&col_digits);
+            for sub_row in 0..target_dim {
+                let entry = op[(sub_row, sub_col)];
+                if entry.abs() == 0.0 {
+                    continue;
+                }
+                // Rebuild the full row index: non-target digits unchanged,
+                // target digits taken from sub_row.
+                let mut row_digits = col_digits.clone();
+                let mut rem = sub_row;
+                for t in targets.iter().rev() {
+                    row_digits[t.0] = rem % self.dims[t.0];
+                    rem /= self.dims[t.0];
+                }
+                out[(self.index(&row_digits), col)] = entry;
+            }
+        }
+        out
+    }
+
+    /// The projector `|k⟩⟨k|` on one register, embedded in the full space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range for the register.
+    pub fn basis_projector(&self, reg: RegisterId, k: usize) -> CMatrix {
+        let d = self.dims[reg.0];
+        assert!(k < d, "basis index out of range");
+        let mut p = CMatrix::zeros(d, d);
+        p[(k, k)] = qsim_linalg::Complex::ONE;
+        self.embed(&p, &[reg])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use qsim_linalg::Complex;
+
+    #[test]
+    fn embedding_on_first_of_two_qubits() {
+        let mut space = RegisterSpace::new();
+        let a = space.add_register("a", 2);
+        let _b = space.add_register("b", 2);
+        let x_on_a = space.embed(&gates::pauli_x(), &[a]);
+        let expected = gates::pauli_x().kron(&CMatrix::identity(2));
+        assert!(x_on_a.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn embedding_on_second_of_two_qubits() {
+        let mut space = RegisterSpace::new();
+        let _a = space.add_register("a", 2);
+        let b = space.add_register("b", 2);
+        let x_on_b = space.embed(&gates::pauli_x(), &[b]);
+        let expected = CMatrix::identity(2).kron(&gates::pauli_x());
+        assert!(x_on_b.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn two_register_embedding_with_reordered_targets() {
+        let mut space = RegisterSpace::new();
+        let a = space.add_register("a", 2);
+        let b = space.add_register("b", 2);
+        // CNOT with control b, target a: embed with targets [b, a].
+        let cx_ba = space.embed(&gates::cnot(), &[b, a]);
+        // |a b⟩ = |0 1⟩ (index 1) ↦ |1 1⟩ (index 3).
+        let v = cx_ba.mul_vec(&[Complex::ZERO, Complex::ONE, Complex::ZERO, Complex::ZERO]);
+        assert!(v[3].approx_eq(Complex::ONE, 1e-12));
+        assert!(cx_ba.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn mixed_dimension_registers() {
+        let mut space = RegisterSpace::new();
+        let c = space.add_register("c", 3);
+        let q = space.add_register("q", 2);
+        assert_eq!(space.dim(), 6);
+        let dec = space.embed(&gates::decrement(3), &[c]);
+        assert!(dec.is_unitary(1e-12));
+        // |c=0, q=1⟩ (index 1) ↦ |c=2, q=1⟩ (index 5).
+        let mut v = vec![Complex::ZERO; 6];
+        v[1] = Complex::ONE;
+        let w = dec.mul_vec(&v);
+        assert!(w[5].approx_eq(Complex::ONE, 1e-12));
+        let _ = q;
+    }
+
+    #[test]
+    fn basis_projectors_resolve_identity() {
+        let mut space = RegisterSpace::new();
+        let c = space.add_register("c", 3);
+        let _q = space.add_register("q", 2);
+        let sum = (0..3)
+            .map(|k| space.basis_projector(c, k))
+            .fold(CMatrix::zeros(6, 6), |acc, p| &acc + &p);
+        assert!(sum.approx_eq(&CMatrix::identity(6), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_targets_rejected() {
+        let mut space = RegisterSpace::new();
+        let a = space.add_register("a", 2);
+        let _ = space.embed(&gates::cnot(), &[a, a]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Density-operator constructors.
+
+use qsim_linalg::{CMatrix, Complex};
+
+/// The density operator `|ψ⟩⟨ψ|` of a pure state given by amplitudes.
+///
+/// The amplitudes are normalized first.
+///
+/// # Panics
+///
+/// Panics if all amplitudes are (numerically) zero.
+///
+/// # Examples
+///
+/// ```
+/// use qsim_quantum::states::pure_state;
+/// use qsim_linalg::Complex;
+/// let rho = pure_state(&[Complex::ONE, Complex::ONE]);
+/// assert!((rho.trace().re - 1.0).abs() < 1e-12);
+/// ```
+pub fn pure_state(amplitudes: &[Complex]) -> CMatrix {
+    let norm: f64 = amplitudes.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+    assert!(norm > 1e-12, "cannot normalize the zero vector");
+    let normalized: Vec<Complex> = amplitudes.iter().map(|&z| z * (1.0 / norm)).collect();
+    CMatrix::outer(&normalized, &normalized)
+}
+
+/// The basis density operator `|k⟩⟨k|` in dimension `dim`.
+///
+/// # Panics
+///
+/// Panics if `k >= dim`.
+pub fn basis_density(dim: usize, k: usize) -> CMatrix {
+    assert!(k < dim, "basis index out of range");
+    let mut amplitudes = vec![Complex::ZERO; dim];
+    amplitudes[k] = Complex::ONE;
+    pure_state(&amplitudes)
+}
+
+/// The maximally mixed state `I/dim`.
+pub fn maximally_mixed(dim: usize) -> CMatrix {
+    CMatrix::identity(dim).scale(Complex::from(1.0 / dim as f64))
+}
+
+/// Amplitudes of the `n`-qubit plus state `|+⟩^{⊗n}` (uniform).
+pub fn plus_amplitudes(n: usize) -> Vec<Complex> {
+    let dim = 1usize << n;
+    vec![Complex::from(1.0); dim]
+}
+
+/// A deterministic pseudo-random density operator (full rank with
+/// probability one), driven by a xorshift `seed` advanced in place.
+///
+/// Constructed as `A A† / tr(A A†)` for a random complex matrix `A`, which
+/// is PSD with unit trace by construction.
+pub fn random_density(dim: usize, seed: &mut u64) -> CMatrix {
+    let mut next = || {
+        let mut x = *seed;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *seed = if x == 0 { 0x9E3779B97F4A7C15 } else { x };
+        (*seed as f64 / u64::MAX as f64) - 0.5
+    };
+    let mut a = CMatrix::zeros(dim, dim);
+    for i in 0..dim {
+        for j in 0..dim {
+            a[(i, j)] = Complex::new(next(), next());
+        }
+    }
+    let psd = &a * &a.adjoint();
+    let tr = psd.trace().re;
+    psd.scale(Complex::from(1.0 / tr))
+}
+
+/// A deterministic pseudo-random *pure* density operator.
+pub fn random_pure(dim: usize, seed: &mut u64) -> CMatrix {
+    let mut next = || {
+        let mut x = *seed;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *seed = if x == 0 { 0x9E3779B97F4A7C15 } else { x };
+        (*seed as f64 / u64::MAX as f64) - 0.5
+    };
+    let amplitudes: Vec<Complex> = (0..dim).map(|_| Complex::new(next(), next())).collect();
+    pure_state(&amplitudes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_linalg::is_psd;
+
+    #[test]
+    fn pure_states_are_rank_one_projectors() {
+        let rho = pure_state(&[Complex::ONE, Complex::I]);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!((&rho * &rho).approx_eq(&rho, 1e-12));
+        assert!(is_psd(&rho, 1e-10));
+    }
+
+    #[test]
+    fn maximally_mixed_trace() {
+        let rho = maximally_mixed(4);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_densities_are_states() {
+        let mut seed = 42;
+        for dim in [2usize, 3, 4, 8] {
+            let rho = random_density(dim, &mut seed);
+            assert!((rho.trace().re - 1.0).abs() < 1e-10);
+            assert!(rho.is_hermitian(1e-10));
+            assert!(is_psd(&rho, 1e-9));
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_in_seed() {
+        let mut s1 = 7;
+        let mut s2 = 7;
+        assert!(random_density(3, &mut s1).approx_eq(&random_density(3, &mut s2), 0.0));
+    }
+}

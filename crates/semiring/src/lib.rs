@@ -1,0 +1,79 @@
+//! Semirings and exact arithmetic for the NKA decision procedure.
+//!
+//! This crate provides the scalar algebra underlying the semantic models of
+//! non-idempotent Kleene algebra (Peng, Ying, Wu — PLDI 2022):
+//!
+//! * [`ExtNat`] — the extended natural numbers `N̄ = N ∪ {∞}` of
+//!   Definition A.1, the coefficient semiring of formal power series.
+//! * [`BigInt`] / [`BigRational`] — arbitrary-precision exact arithmetic.
+//!   The zeroness check for Q-weighted automata (the finite part of the
+//!   decision procedure) performs Gaussian elimination whose intermediate
+//!   values can be exponential in the input size, so floating point would be
+//!   unsound. The offline dependency set contains no bignum crate, hence the
+//!   from-scratch implementation here.
+//! * The [`Semiring`] and [`StarSemiring`] traits tying them together.
+//!
+//! # Examples
+//!
+//! ```
+//! use nka_semiring::{ExtNat, Semiring, StarSemiring};
+//!
+//! let two = ExtNat::from(2u64);
+//! assert_eq!(two.star(), ExtNat::INFINITY);           // n* = ∞ for n ≥ 1
+//! assert_eq!(ExtNat::zero().star(), ExtNat::one());   // 0* = 1
+//! assert_eq!(ExtNat::INFINITY * ExtNat::zero(), ExtNat::zero()); // ∞·0 = 0
+//! ```
+
+mod bigint;
+mod extnat;
+mod rational;
+mod traits;
+
+pub use bigint::BigInt;
+pub use extnat::ExtNat;
+pub use rational::BigRational;
+pub use traits::{Semiring, StarSemiring};
+
+/// The Boolean semiring `({false, true}, ∨, ∧)`.
+///
+/// Used for the support automata (NFA view) inside the decision procedure.
+///
+/// # Examples
+///
+/// ```
+/// use nka_semiring::{Boolean, Semiring, StarSemiring};
+/// assert_eq!(Boolean(true).add(&Boolean(false)), Boolean(true));
+/// assert_eq!(Boolean(false).star(), Boolean(true));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Boolean(pub bool);
+
+impl Semiring for Boolean {
+    fn zero() -> Self {
+        Boolean(false)
+    }
+    fn one() -> Self {
+        Boolean(true)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Boolean(self.0 || other.0)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Boolean(self.0 && other.0)
+    }
+    fn is_zero(&self) -> bool {
+        !self.0
+    }
+}
+
+impl StarSemiring for Boolean {
+    fn star(&self) -> Self {
+        Boolean(true)
+    }
+}
+
+impl std::fmt::Display for Boolean {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", if self.0 { "1" } else { "0" })
+    }
+}

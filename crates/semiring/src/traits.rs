@@ -1,0 +1,51 @@
+//! The [`Semiring`] and [`StarSemiring`] traits.
+
+use std::fmt::Debug;
+
+/// A semiring `(S, +, ·, 0, 1)`.
+///
+/// Implementations must satisfy the usual laws: `+` is a commutative monoid
+/// with unit [`Semiring::zero`], `·` is a monoid with unit [`Semiring::one`],
+/// `·` distributes over `+`, and `0` annihilates `·`. The laws are exercised
+/// by property tests in each implementing crate.
+///
+/// # Examples
+///
+/// ```
+/// use nka_semiring::{ExtNat, Semiring};
+///
+/// fn dot<S: Semiring>(xs: &[S], ys: &[S]) -> S {
+///     xs.iter()
+///         .zip(ys)
+///         .fold(S::zero(), |acc, (x, y)| acc.add(&x.mul(y)))
+/// }
+///
+/// let a = [ExtNat::from(1u64), ExtNat::from(2u64)];
+/// let b = [ExtNat::from(3u64), ExtNat::from(4u64)];
+/// assert_eq!(dot(&a, &b), ExtNat::from(11u64));
+/// ```
+pub trait Semiring: Clone + PartialEq + Debug {
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Semiring addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Semiring multiplication.
+    fn mul(&self, other: &Self) -> Self;
+    /// Whether this element is the additive identity.
+    fn is_zero(&self) -> bool;
+    /// Whether this element is the multiplicative identity.
+    fn is_one(&self) -> bool {
+        *self == Self::one()
+    }
+}
+
+/// A semiring with a star operation satisfying `a* = 1 + a·a*`.
+///
+/// For [`crate::ExtNat`] this is Definition A.1 of the paper:
+/// `0* = 1` and `n* = ∞` for `n ≥ 1` (including `∞* = ∞`).
+pub trait StarSemiring: Semiring {
+    /// The Kleene star of a scalar.
+    fn star(&self) -> Self;
+}

@@ -1,0 +1,37 @@
+//! Formal power series over the extended naturals (Appendix A of the paper).
+//!
+//! A formal power series over an alphabet Σ is a function `f : Σ* → N̄`
+//! (Definition A.2). Rational power series — those denoted by expressions
+//! via the semantics map `{{−}}` (Definition A.4) — form a sound and
+//! complete model of NKA (Theorem A.6):
+//!
+//! ```text
+//! ⊢NKA e = f   ⇔   {{e}} = {{f}}
+//! ```
+//!
+//! Full series are infinite objects; this crate represents their
+//! **truncations to words of length ≤ L** ([`Series`]), which is exactly
+//! what is needed to use them as a brute-force oracle: two rational series
+//! differ iff they differ on some finite word, so the truncated semantics
+//! refutes equality, and the `nka-wfa` decision procedure confirms it. The
+//! two are cross-validated against each other in the integration tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use nka_series::{Series, eval};
+//! use nka_syntax::{Expr, Symbol, Word};
+//! use nka_semiring::ExtNat;
+//!
+//! let a = Symbol::intern("a");
+//! let e: Expr = "a* a*".parse()?;
+//! let s = eval(&e, &[a], 3);
+//! // (a* a*)[a^n] = n + 1: the number of ways to split a^n in two.
+//! let aa = Word::from_symbols([a, a]);
+//! assert_eq!(s.coeff(&aa), ExtNat::from(3u64));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod series;
+
+pub use series::{all_words, eval, Series};

@@ -1,0 +1,468 @@
+//! The NKA expression tree.
+
+use crate::Symbol;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::ops::{Add, Mul};
+use std::rc::Rc;
+
+/// The node of an [`Expr`] (Definition 2.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ExprNode {
+    /// The additive unit `0` (encodes `abort`).
+    Zero,
+    /// The multiplicative unit `1` (encodes `skip`).
+    One,
+    /// An atomic symbol `a ∈ Σ`.
+    Atom(Symbol),
+    /// A sum `e₁ + e₂`.
+    Add(Expr, Expr),
+    /// A product `e₁ · e₂` (sequential composition).
+    Mul(Expr, Expr),
+    /// Kleene star `e*`.
+    Star(Expr),
+}
+
+/// An NKA expression over the global alphabet — an element of `ExpΣ`
+/// (Definition 2.2 of the paper).
+///
+/// Expressions are immutable reference-counted trees: cloning is cheap and
+/// subterm sharing keeps the paper's large derivations (Appendix C.7)
+/// compact in memory. Equality is structural (α-identity of the term), *not*
+/// NKA-provable equality — use the decision procedure in `nka-core` for the
+/// latter.
+///
+/// # Examples
+///
+/// ```
+/// use nka_syntax::Expr;
+/// let p = Expr::atom_str("p");
+/// let q = Expr::atom_str("q");
+/// // (p + q)* built with operator sugar:
+/// let e = (&p + &q).star();
+/// assert_eq!(e.to_string(), "(p + q)*");
+/// assert_eq!(e, "(p+q)*".parse()?);
+/// # Ok::<(), nka_syntax::ParseExprError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Expr(Rc<ExprNode>);
+
+impl Expr {
+    /// The constant `0`.
+    pub fn zero() -> Expr {
+        Expr(Rc::new(ExprNode::Zero))
+    }
+
+    /// The constant `1`.
+    pub fn one() -> Expr {
+        Expr(Rc::new(ExprNode::One))
+    }
+
+    /// An atom for the given symbol.
+    pub fn atom(sym: Symbol) -> Expr {
+        Expr(Rc::new(ExprNode::Atom(sym)))
+    }
+
+    /// Convenience: intern `name` and wrap it as an atom.
+    pub fn atom_str(name: &str) -> Expr {
+        Expr::atom(Symbol::intern(name))
+    }
+
+    /// The sum `self + rhs` (no simplification; see [`Expr::simplified`]).
+    pub fn add(&self, rhs: &Expr) -> Expr {
+        Expr(Rc::new(ExprNode::Add(self.clone(), rhs.clone())))
+    }
+
+    /// The product `self · rhs`.
+    pub fn mul(&self, rhs: &Expr) -> Expr {
+        Expr(Rc::new(ExprNode::Mul(self.clone(), rhs.clone())))
+    }
+
+    /// The star `self*`.
+    pub fn star(&self) -> Expr {
+        Expr(Rc::new(ExprNode::Star(self.clone())))
+    }
+
+    /// Left-associated sum of `terms`; `0` for an empty iterator.
+    pub fn sum<I: IntoIterator<Item = Expr>>(terms: I) -> Expr {
+        let mut iter = terms.into_iter();
+        match iter.next() {
+            None => Expr::zero(),
+            Some(first) => iter.fold(first, |acc, t| acc.add(&t)),
+        }
+    }
+
+    /// Left-associated product of `factors`; `1` for an empty iterator.
+    pub fn product<I: IntoIterator<Item = Expr>>(factors: I) -> Expr {
+        let mut iter = factors.into_iter();
+        match iter.next() {
+            None => Expr::one(),
+            Some(first) => iter.fold(first, |acc, t| acc.mul(&t)),
+        }
+    }
+
+    /// A view of the root node.
+    pub fn node(&self) -> &ExprNode {
+        &self.0
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        match self.node() {
+            ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => 1,
+            ExprNode::Add(l, r) | ExprNode::Mul(l, r) => 1 + l.size() + r.size(),
+            ExprNode::Star(e) => 1 + e.size(),
+        }
+    }
+
+    /// Star-nesting depth (0 for star-free expressions).
+    pub fn star_height(&self) -> usize {
+        match self.node() {
+            ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => 0,
+            ExprNode::Add(l, r) | ExprNode::Mul(l, r) => l.star_height().max(r.star_height()),
+            ExprNode::Star(e) => 1 + e.star_height(),
+        }
+    }
+
+    /// The set of atoms occurring in the expression.
+    pub fn atoms(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut BTreeSet<Symbol>) {
+        match self.node() {
+            ExprNode::Zero | ExprNode::One => {}
+            ExprNode::Atom(s) => {
+                out.insert(*s);
+            }
+            ExprNode::Add(l, r) | ExprNode::Mul(l, r) => {
+                l.collect_atoms(out);
+                r.collect_atoms(out);
+            }
+            ExprNode::Star(e) => e.collect_atoms(out),
+        }
+    }
+
+    /// Substitutes expressions for atoms (simultaneous substitution).
+    ///
+    /// Atoms not in `map` are left unchanged. This is the syntactic engine
+    /// behind axiom-schema instantiation in `nka-core`.
+    pub fn subst_atoms(&self, map: &HashMap<Symbol, Expr>) -> Expr {
+        match self.node() {
+            ExprNode::Zero | ExprNode::One => self.clone(),
+            ExprNode::Atom(s) => map.get(s).cloned().unwrap_or_else(|| self.clone()),
+            ExprNode::Add(l, r) => l.subst_atoms(map).add(&r.subst_atoms(map)),
+            ExprNode::Mul(l, r) => l.subst_atoms(map).mul(&r.subst_atoms(map)),
+            ExprNode::Star(e) => e.subst_atoms(map).star(),
+        }
+    }
+
+    /// Whether the root is the constant `0`.
+    pub fn is_zero(&self) -> bool {
+        matches!(self.node(), ExprNode::Zero)
+    }
+
+    /// Whether the root is the constant `1`.
+    pub fn is_one(&self) -> bool {
+        matches!(self.node(), ExprNode::One)
+    }
+
+    /// A lightly simplified copy using only *sound* unit laws of NKA
+    /// (`e+0 = e`, `e·1 = e`, `e·0 = 0`, `0* = 1`): the result is provably
+    /// equal to the input in NKA. Note `e + e` is **not** collapsed — NKA
+    /// has no idempotence.
+    pub fn simplified(&self) -> Expr {
+        match self.node() {
+            ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => self.clone(),
+            ExprNode::Add(l, r) => {
+                let (l, r) = (l.simplified(), r.simplified());
+                if l.is_zero() {
+                    r
+                } else if r.is_zero() {
+                    l
+                } else {
+                    l.add(&r)
+                }
+            }
+            ExprNode::Mul(l, r) => {
+                let (l, r) = (l.simplified(), r.simplified());
+                if l.is_zero() || r.is_zero() {
+                    Expr::zero()
+                } else if l.is_one() {
+                    r
+                } else if r.is_one() {
+                    l
+                } else {
+                    l.mul(&r)
+                }
+            }
+            ExprNode::Star(e) => {
+                let e = e.simplified();
+                if e.is_zero() {
+                    Expr::one()
+                } else {
+                    e.star()
+                }
+            }
+        }
+    }
+
+    /// Iterates over all subterm positions in pre-order, calling `f` with
+    /// the path (child indices from the root) and the subterm.
+    pub fn visit_subterms<F: FnMut(&[usize], &Expr)>(&self, f: &mut F) {
+        fn go<F: FnMut(&[usize], &Expr)>(e: &Expr, path: &mut Vec<usize>, f: &mut F) {
+            f(path, e);
+            match e.node() {
+                ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => {}
+                ExprNode::Add(l, r) | ExprNode::Mul(l, r) => {
+                    path.push(0);
+                    go(l, path, f);
+                    path.pop();
+                    path.push(1);
+                    go(r, path, f);
+                    path.pop();
+                }
+                ExprNode::Star(inner) => {
+                    path.push(0);
+                    go(inner, path, f);
+                    path.pop();
+                }
+            }
+        }
+        go(self, &mut Vec::new(), f);
+    }
+
+    /// The subterm at `path` (child indices from the root), if the path is
+    /// valid.
+    pub fn subterm(&self, path: &[usize]) -> Option<&Expr> {
+        let mut cur = self;
+        for &i in path {
+            cur = match (cur.node(), i) {
+                (ExprNode::Add(l, _), 0) | (ExprNode::Mul(l, _), 0) => l,
+                (ExprNode::Add(_, r), 1) | (ExprNode::Mul(_, r), 1) => r,
+                (ExprNode::Star(e), 0) => e,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// Replaces the subterm at `path` with `replacement`, returning the new
+    /// expression; `None` if the path is invalid.
+    pub fn replace_at(&self, path: &[usize], replacement: &Expr) -> Option<Expr> {
+        if path.is_empty() {
+            return Some(replacement.clone());
+        }
+        let (head, rest) = (path[0], &path[1..]);
+        Some(match (self.node(), head) {
+            (ExprNode::Add(l, r), 0) => l.replace_at(rest, replacement)?.add(r),
+            (ExprNode::Add(l, r), 1) => l.add(&r.replace_at(rest, replacement)?),
+            (ExprNode::Mul(l, r), 0) => l.replace_at(rest, replacement)?.mul(r),
+            (ExprNode::Mul(l, r), 1) => l.mul(&r.replace_at(rest, replacement)?),
+            (ExprNode::Star(e), 0) => e.replace_at(rest, replacement)?.star(),
+            _ => return None,
+        })
+    }
+}
+
+impl Add for &Expr {
+    type Output = Expr;
+    fn add(self, rhs: &Expr) -> Expr {
+        Expr::add(self, rhs)
+    }
+}
+
+impl Mul for &Expr {
+    type Output = Expr;
+    fn mul(self, rhs: &Expr) -> Expr {
+        Expr::mul(self, rhs)
+    }
+}
+
+impl From<Symbol> for Expr {
+    fn from(sym: Symbol) -> Expr {
+        Expr::atom(sym)
+    }
+}
+
+/// Precedence levels for printing: `+` < `·` < `*`/atoms.
+fn fmt_prec(e: &Expr, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+    match e.node() {
+        ExprNode::Zero => write!(f, "0"),
+        ExprNode::One => write!(f, "1"),
+        ExprNode::Atom(s) => write!(f, "{s}"),
+        ExprNode::Add(l, r) => {
+            let need_paren = prec > 0;
+            if need_paren {
+                write!(f, "(")?;
+            }
+            fmt_prec(l, f, 0)?;
+            write!(f, " + ")?;
+            // Sums print left-associatively, so a right operand that is
+            // itself a sum needs parentheses to round-trip structurally.
+            fmt_prec(r, f, 1)?;
+            if need_paren {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        ExprNode::Mul(l, r) => {
+            let need_paren = prec > 1;
+            if need_paren {
+                write!(f, "(")?;
+            }
+            fmt_prec(l, f, 1)?;
+            write!(f, " ")?;
+            // Right operand of a product needs parens if it is itself a sum
+            // or a product (we print left-associatively).
+            fmt_prec(r, f, 2)?;
+            if need_paren {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        ExprNode::Star(inner) => {
+            match inner.node() {
+                ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => {
+                    fmt_prec(inner, f, 2)?;
+                }
+                _ => {
+                    write!(f, "(")?;
+                    fmt_prec(inner, f, 0)?;
+                    write!(f, ")")?;
+                }
+            }
+            write!(f, "*")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_prec(self, f, 0)
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Expr({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Expr {
+        Expr::atom_str(s)
+    }
+
+    #[test]
+    fn display_respects_precedence() {
+        let p = a("p");
+        let q = a("q");
+        let r = a("r");
+        assert_eq!((&(&p + &q) * &r).to_string(), "(p + q) r");
+        assert_eq!((&p + &(&q * &r)).to_string(), "p + q r");
+        assert_eq!((&p * &q).star().to_string(), "(p q)*");
+        assert_eq!(p.star().to_string(), "p*");
+        assert_eq!((&p * &(&q * &r)).to_string(), "p (q r)");
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        for src in [
+            "0",
+            "1",
+            "p",
+            "p + q",
+            "p q",
+            "p*",
+            "(p + q)*",
+            "(m0 p)* m1",
+            "(m0 p (m0 p + m1 1))* m1",
+            "p (q r)",
+            "(p + q) (r + s)",
+        ] {
+            let e: Expr = src.parse().unwrap();
+            let printed = e.to_string();
+            let reparsed: Expr = printed.parse().unwrap();
+            assert_eq!(e, reparsed, "roundtrip failed for {src} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn size_and_star_height() {
+        let e: Expr = "(p q)* + r*".parse().unwrap();
+        assert_eq!(e.size(), 7);
+        assert_eq!(e.star_height(), 1);
+        let nested: Expr = "((p*)* q)*".parse().unwrap();
+        assert_eq!(nested.star_height(), 3);
+    }
+
+    #[test]
+    fn atoms_collected() {
+        let e: Expr = "(m0 p)* m1 + 0 1".parse().unwrap();
+        let mut names: Vec<String> = e.atoms().iter().map(|s| s.name()).collect();
+        names.sort();
+        assert_eq!(names, vec!["m0", "m1", "p"]);
+    }
+
+    #[test]
+    fn substitution() {
+        let e: Expr = "(x y)* x".parse().unwrap();
+        let mut map = HashMap::new();
+        map.insert(Symbol::intern("x"), "p q".parse().unwrap());
+        map.insert(Symbol::intern("y"), Expr::one());
+        let sub = e.subst_atoms(&map);
+        assert_eq!(sub, "(p q 1)* (p q)".parse().unwrap());
+    }
+
+    #[test]
+    fn simplification_is_unit_laws_only() {
+        let e: Expr = "(p + 0) (1 q) + 0*".parse().unwrap();
+        assert_eq!(e.simplified(), "p q + 1".parse().unwrap());
+        // No idempotence: p + p must stay.
+        let pp: Expr = "p + p".parse().unwrap();
+        assert_eq!(pp.simplified(), pp);
+    }
+
+    #[test]
+    fn paths_and_replacement() {
+        let e: Expr = "(p q)* r".parse().unwrap();
+        // (Mul (Star (Mul p q)) r): path [0,0,1] is q.
+        assert_eq!(e.subterm(&[0, 0, 1]).unwrap(), &a("q"));
+        let replaced = e.replace_at(&[0, 0, 1], &a("z")).unwrap();
+        assert_eq!(replaced, "(p z)* r".parse().unwrap());
+        assert!(e.subterm(&[5]).is_none());
+        assert!(e.replace_at(&[1, 0], &a("z")).is_none());
+    }
+
+    #[test]
+    fn visit_subterms_preorder() {
+        let e: Expr = "p q*".parse().unwrap();
+        let mut seen = Vec::new();
+        e.visit_subterms(&mut |path, sub| seen.push((path.to_vec(), sub.to_string())));
+        assert_eq!(
+            seen,
+            vec![
+                (vec![], "p q*".to_string()),
+                (vec![0], "p".to_string()),
+                (vec![1], "q*".to_string()),
+                (vec![1, 0], "q".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn sum_and_product_helpers() {
+        assert_eq!(Expr::sum(std::iter::empty()), Expr::zero());
+        assert_eq!(Expr::product(std::iter::empty()), Expr::one());
+        let e = Expr::sum([a("x"), a("y"), a("z")]);
+        assert_eq!(e.to_string(), "x + y + z");
+        let m = Expr::product([a("x"), a("y"), a("z")]);
+        assert_eq!(m.to_string(), "x y z");
+    }
+}

@@ -1,0 +1,37 @@
+//! Syntax of NKA expressions (Definition 2.2 of Peng–Ying–Wu, PLDI 2022).
+//!
+//! An expression over an alphabet Σ is
+//!
+//! ```text
+//! e ::= 0 | 1 | a | e₁ + e₂ | e₁ · e₂ | e₁*        (a ∈ Σ)
+//! ```
+//!
+//! This crate provides interned [`Symbol`]s, the reference-counted [`Expr`]
+//! tree, a parser (multiplication by juxtaposition, as written in the
+//! paper), a precedence-aware pretty-printer, [`Word`]s over Σ, and a random
+//! expression generator used by the test suites and benchmarks of the
+//! downstream crates.
+//!
+//! # Examples
+//!
+//! ```
+//! use nka_syntax::Expr;
+//!
+//! // Enc(while M[q]=1 do P done) = (m1 p)* m0   — Section 4.2 of the paper.
+//! let loop_enc: Expr = "(m1 p)* m0".parse()?;
+//! assert_eq!(loop_enc.to_string(), "(m1 p)* m0");
+//! assert_eq!(loop_enc.size(), 6);
+//! # Ok::<(), nka_syntax::ParseExprError>(())
+//! ```
+
+mod expr;
+mod generator;
+mod parser;
+mod symbol;
+mod word;
+
+pub use expr::{Expr, ExprNode};
+pub use generator::{random_expr, ExprGenConfig};
+pub use parser::ParseExprError;
+pub use symbol::Symbol;
+pub use word::Word;

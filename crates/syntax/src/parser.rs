@@ -1,0 +1,268 @@
+//! Parser for NKA expressions.
+//!
+//! Grammar (multiplication by juxtaposition, as in the paper):
+//!
+//! ```text
+//! expr   := term ('+' term)*
+//! term   := factor factor*
+//! factor := base '*'*
+//! base   := '0' | '1' | ident | '(' expr ')'
+//! ident  := [a-zA-Z_][a-zA-Z0-9_']*
+//! ```
+
+use crate::{Expr, Symbol};
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when parsing an [`Expr`] from malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExprError {
+    message: String,
+    position: usize,
+}
+
+impl ParseExprError {
+    fn new(message: impl Into<String>, position: usize) -> Self {
+        ParseExprError {
+            message: message.into(),
+            position,
+        }
+    }
+
+    /// Byte offset in the input at which the error occurred.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.position)
+    }
+}
+
+impl std::error::Error for ParseExprError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Plus,
+    Star,
+    LParen,
+    RParen,
+    Zero,
+    One,
+    Ident(String),
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseExprError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'+' => {
+                tokens.push((Token::Plus, i));
+                i += 1;
+            }
+            b'*' => {
+                tokens.push((Token::Star, i));
+                i += 1;
+            }
+            b'(' => {
+                tokens.push((Token::LParen, i));
+                i += 1;
+            }
+            b')' => {
+                tokens.push((Token::RParen, i));
+                i += 1;
+            }
+            b'0' => {
+                tokens.push((Token::Zero, i));
+                i += 1;
+            }
+            b'1' => {
+                tokens.push((Token::One, i));
+                i += 1;
+            }
+            b'.' | b';' => i += 1, // optional explicit composition separators
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                {
+                    i += 1;
+                }
+                tokens.push((Token::Ident(input[start..i].to_owned()), start));
+            }
+            _ => {
+                return Err(ParseExprError::new(
+                    format!("unexpected character {:?}", b as char),
+                    i,
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.input_len, |(_, p)| *p)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseExprError> {
+        let mut acc = self.parse_term()?;
+        while self.peek() == Some(&Token::Plus) {
+            self.bump();
+            let rhs = self.parse_term()?;
+            acc = acc.add(&rhs);
+        }
+        Ok(acc)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseExprError> {
+        let mut acc = self.parse_factor()?;
+        loop {
+            match self.peek() {
+                Some(Token::Zero | Token::One | Token::Ident(_) | Token::LParen) => {
+                    let rhs = self.parse_factor()?;
+                    acc = acc.mul(&rhs);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, ParseExprError> {
+        let mut base = self.parse_base()?;
+        while self.peek() == Some(&Token::Star) {
+            self.bump();
+            base = base.star();
+        }
+        Ok(base)
+    }
+
+    fn parse_base(&mut self) -> Result<Expr, ParseExprError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Token::Zero) => Ok(Expr::zero()),
+            Some(Token::One) => Ok(Expr::one()),
+            Some(Token::Ident(name)) => Ok(Expr::atom(Symbol::intern(&name))),
+            Some(Token::LParen) => {
+                let inner = self.parse_expr()?;
+                match self.bump() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(ParseExprError::new("expected ')'", at)),
+                }
+            }
+            Some(tok) => Err(ParseExprError::new(
+                format!("unexpected token {tok:?}"),
+                at,
+            )),
+            None => Err(ParseExprError::new("unexpected end of input", at)),
+        }
+    }
+}
+
+impl FromStr for Expr {
+    type Err = ParseExprError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let tokens = tokenize(s)?;
+        let mut parser = Parser {
+            tokens,
+            pos: 0,
+            input_len: s.len(),
+        };
+        let expr = parser.parse_expr()?;
+        if parser.pos != parser.tokens.len() {
+            return Err(ParseExprError::new("trailing input", parser.here()));
+        }
+        Ok(expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExprNode;
+
+    #[test]
+    fn precedence_star_over_mul_over_add() {
+        let e: Expr = "a + b c*".parse().unwrap();
+        match e.node() {
+            ExprNode::Add(l, r) => {
+                assert_eq!(l.to_string(), "a");
+                assert_eq!(r.to_string(), "b c*");
+            }
+            _ => panic!("expected Add at root"),
+        }
+    }
+
+    #[test]
+    fn juxtaposition_is_left_associative() {
+        let e: Expr = "a b c".parse().unwrap();
+        assert_eq!(e, "(a b) c".parse().unwrap());
+    }
+
+    #[test]
+    fn iterated_star() {
+        let e: Expr = "a**".parse().unwrap();
+        assert_eq!(e, Expr::atom_str("a").star().star());
+    }
+
+    #[test]
+    fn identifiers_with_digits_and_primes() {
+        let e: Expr = "m0 u_inv p'".parse().unwrap();
+        let mut names: Vec<String> = e.atoms().iter().map(|s| s.name()).collect();
+        names.sort();
+        assert_eq!(names, vec!["m0", "p'", "u_inv"]);
+    }
+
+    #[test]
+    fn zero_one_are_constants_not_atoms() {
+        let e: Expr = "0 + 1".parse().unwrap();
+        assert!(e.atoms().is_empty());
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = "a + ?".parse::<Expr>().unwrap_err();
+        assert_eq!(err.position(), 4);
+        let err = "(a + b".parse::<Expr>().unwrap_err();
+        assert!(err.to_string().contains("expected ')'") || err.to_string().contains("end"));
+        let err = "a ) b".parse::<Expr>().unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+        assert!("".parse::<Expr>().is_err());
+        assert!("a + ".parse::<Expr>().is_err());
+        assert!("*".parse::<Expr>().is_err());
+    }
+
+    #[test]
+    fn separators_are_ignored() {
+        let e: Expr = "a; b . c".parse().unwrap();
+        assert_eq!(e, "a b c".parse().unwrap());
+    }
+}

@@ -1,0 +1,132 @@
+//! Words over the alphabet Σ.
+
+use crate::Symbol;
+use std::fmt;
+
+/// A finite word over Σ — an element of `Σ*`.
+///
+/// Words index the coefficients of formal power series (Definition A.2) and
+/// label the paths of weighted automata.
+///
+/// # Examples
+///
+/// ```
+/// use nka_syntax::{Symbol, Word};
+/// let a = Symbol::intern("a");
+/// let b = Symbol::intern("b");
+/// let w = Word::from_symbols([a, b, a]);
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w.to_string(), "a·b·a");
+/// assert_eq!(Word::epsilon().to_string(), "ε");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Word(Vec<Symbol>);
+
+impl Word {
+    /// The empty word ε.
+    pub fn epsilon() -> Word {
+        Word(Vec::new())
+    }
+
+    /// Builds a word from symbols.
+    pub fn from_symbols<I: IntoIterator<Item = Symbol>>(symbols: I) -> Word {
+        Word(symbols.into_iter().collect())
+    }
+
+    /// Length of the word.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is ε.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The symbols of the word.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.0
+    }
+
+    /// Concatenation `self · other`.
+    pub fn concat(&self, other: &Word) -> Word {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&other.0);
+        Word(v)
+    }
+
+    /// Appends one symbol.
+    pub fn push(&mut self, sym: Symbol) {
+        self.0.push(sym);
+    }
+
+    /// All ways of splitting `self` into a prefix and suffix
+    /// (`len + 1` splits, including the trivial ones).
+    pub fn splits(&self) -> impl Iterator<Item = (Word, Word)> + '_ {
+        (0..=self.0.len()).map(move |i| {
+            (
+                Word(self.0[..i].to_vec()),
+                Word(self.0[i..].to_vec()),
+            )
+        })
+    }
+}
+
+impl FromIterator<Symbol> for Word {
+    fn from_iter<I: IntoIterator<Item = Symbol>>(iter: I) -> Word {
+        Word::from_symbols(iter)
+    }
+}
+
+impl Extend<Symbol> for Word {
+    fn extend<I: IntoIterator<Item = Symbol>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "ε");
+        }
+        for (i, sym) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            write!(f, "{sym}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(names: &[&str]) -> Word {
+        Word::from_symbols(names.iter().map(|n| Symbol::intern(n)))
+    }
+
+    #[test]
+    fn concatenation() {
+        assert_eq!(w(&["a"]).concat(&w(&["b", "c"])), w(&["a", "b", "c"]));
+        assert_eq!(Word::epsilon().concat(&w(&["a"])), w(&["a"]));
+    }
+
+    #[test]
+    fn splits_enumerated() {
+        let word = w(&["a", "b"]);
+        let splits: Vec<_> = word.splits().collect();
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[0], (Word::epsilon(), w(&["a", "b"])));
+        assert_eq!(splits[1], (w(&["a"]), w(&["b"])));
+        assert_eq!(splits[2], (w(&["a", "b"]), Word::epsilon()));
+    }
+
+    #[test]
+    fn ordering_is_by_symbols() {
+        let mut words = [w(&["b"]), w(&["a", "a"]), Word::epsilon()];
+        words.sort();
+        assert_eq!(words[0], Word::epsilon());
+    }
+}

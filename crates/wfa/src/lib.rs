@@ -1,0 +1,52 @@
+//! Weighted finite automata and the decision procedure for the equational
+//! theory of NKA (Remark 2.1 / Theorem A.6 of Peng–Ying–Wu, PLDI 2022).
+//!
+//! By Theorem A.6, `⊢NKA e = f` iff the rational power series `{{e}}` and
+//! `{{f}}` over `N̄ = N ∪ {∞}` coincide. This crate decides that equality:
+//!
+//! 1. **Thompson construction** ([`thompson()`]): expression → ε-WFA over `N̄`
+//!    whose path weights sum to the series coefficients (with multiplicity —
+//!    this is where non-idempotence lives).
+//! 2. **ε-elimination** ([`EpsWfa::eliminate_epsilon`]): Kleene's all-pairs
+//!    algebraic-path algorithm computes the star of the ε-matrix using the
+//!    `N̄` scalar star (`0* = 1`, `n* = ∞`), producing an ε-free [`Wfa`].
+//! 3. **∞-support** ([`Wfa::infinity_support`]): the words with coefficient
+//!    `∞` form a regular language (a word has finitely many accepting paths
+//!    in an ε-free automaton, so its coefficient is `∞` iff some accepting
+//!    path crosses an `∞` weight); supports are compared as DFAs.
+//! 4. **Finite part** ([`Wfa::rational_part`] + [`zeroness`]): with `∞`
+//!    edges removed, the automaton is N-weighted and embeds in Q; the
+//!    difference automaton is restricted to the complement of the ∞-support
+//!    and tested for zeroness with the forward-basis (Tzeng/Schützenberger)
+//!    algorithm over **exact rationals**.
+//!
+//! The top-level entry point is [`decide::decide_eq`].
+//!
+//! # Examples
+//!
+//! ```
+//! use nka_wfa::decide::decide_eq;
+//! use nka_syntax::Expr;
+//!
+//! let lhs: Expr = "(p q)* p".parse()?;
+//! let rhs: Expr = "p (q p)*".parse()?;
+//! assert!(decide_eq(&lhs, &rhs)?);           // sliding — a theorem
+//!
+//! let idem: Expr = "p + p".parse()?;
+//! let p: Expr = "p".parse()?;
+//! assert!(!decide_eq(&idem, &p)?);           // idempotence — not a theorem
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod automaton;
+pub mod decide;
+pub mod ka;
+pub mod matrix;
+pub mod nfa;
+pub mod thompson;
+pub mod zeroness;
+
+pub use automaton::Wfa;
+pub use decide::{decide_eq, DecideError};
+pub use ka::{ka_equiv, saturate};
+pub use thompson::{thompson, EpsWfa};

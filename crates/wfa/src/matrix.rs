@@ -1,0 +1,254 @@
+//! Dense matrices and vectors over an arbitrary semiring.
+//!
+//! Automata transition weights are stored as small dense matrices; the
+//! decision procedure only ever handles a few hundred states, so dense
+//! representation is both simplest and fastest here.
+
+use nka_semiring::Semiring;
+
+/// A dense `rows × cols` matrix over a semiring.
+///
+/// # Examples
+///
+/// ```
+/// use nka_wfa::matrix::SMatrix;
+/// use nka_semiring::ExtNat;
+///
+/// let id = SMatrix::<ExtNat>::identity(2);
+/// let m = SMatrix::from_rows(vec![
+///     vec![ExtNat::from(1u64), ExtNat::from(2u64)],
+///     vec![ExtNat::from(0u64), ExtNat::from(1u64)],
+/// ]);
+/// assert_eq!(id.mul(&m), m);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SMatrix<S> {
+    rows: usize,
+    cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: Semiring> SMatrix<S> {
+    /// The `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        SMatrix {
+            rows,
+            cols,
+            data: vec![S::zero(); rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = SMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = S::one();
+        }
+        m
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(rows: Vec<Vec<S>>) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend(row);
+        }
+        SMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entrywise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a.add(b))
+            .collect();
+        SMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in mul");
+        let mut out: SMatrix<S> = SMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = &self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let prod = a.mul(&other[(k, j)]);
+                    out[(i, j)] = out[(i, j)].add(&prod);
+                }
+            }
+        }
+        out
+    }
+
+    /// Row vector × matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vec.len() != self.rows()`.
+    pub fn vec_mul(&self, vec: &[S]) -> Vec<S> {
+        assert_eq!(vec.len(), self.rows, "dimension mismatch in vec_mul");
+        let mut out = vec![S::zero(); self.cols];
+        for (i, v) in vec.iter().enumerate() {
+            if v.is_zero() {
+                continue;
+            }
+            for j in 0..self.cols {
+                out[j] = out[j].add(&v.mul(&self[(i, j)]));
+            }
+        }
+        out
+    }
+
+    /// Matrix × column vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vec.len() != self.cols()`.
+    pub fn mul_vec(&self, vec: &[S]) -> Vec<S> {
+        assert_eq!(vec.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut out = vec![S::zero(); self.rows];
+        for i in 0..self.rows {
+            for (j, v) in vec.iter().enumerate() {
+                out[i] = out[i].add(&self[(i, j)].mul(v));
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every entry, producing a matrix over another semiring.
+    pub fn map<T: Semiring>(&self, f: impl Fn(&S) -> T) -> SMatrix<T> {
+        SMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(f).collect(),
+        }
+    }
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dot<S: Semiring>(a: &[S], b: &[S]) -> S {
+    assert_eq!(a.len(), b.len(), "dimension mismatch in dot");
+    a.iter()
+        .zip(b)
+        .fold(S::zero(), |acc, (x, y)| acc.add(&x.mul(y)))
+}
+
+impl<S> std::ops::Index<(usize, usize)> for SMatrix<S> {
+    type Output = S;
+    fn index(&self, (i, j): (usize, usize)) -> &S {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<S> std::ops::IndexMut<(usize, usize)> for SMatrix<S> {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut S {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nka_semiring::{BigRational, ExtNat};
+
+    fn m2(a: u64, b: u64, c: u64, d: u64) -> SMatrix<ExtNat> {
+        SMatrix::from_rows(vec![
+            vec![ExtNat::from(a), ExtNat::from(b)],
+            vec![ExtNat::from(c), ExtNat::from(d)],
+        ])
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let m = m2(1, 2, 3, 4);
+        let id = SMatrix::<ExtNat>::identity(2);
+        assert_eq!(id.mul(&m), m);
+        assert_eq!(m.mul(&id), m);
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = m2(1, 2, 0, 1);
+        let b = m2(3, 0, 1, 1);
+        let prod = a.mul(&b);
+        assert_eq!(prod, m2(5, 2, 1, 1));
+    }
+
+    #[test]
+    fn vector_products_agree() {
+        let m = m2(1, 2, 3, 4);
+        let v = vec![ExtNat::from(1u64), ExtNat::from(1u64)];
+        assert_eq!(m.vec_mul(&v), vec![ExtNat::from(4u64), ExtNat::from(6u64)]);
+        assert_eq!(m.mul_vec(&v), vec![ExtNat::from(3u64), ExtNat::from(7u64)]);
+    }
+
+    #[test]
+    fn infinity_propagates_but_zero_annihilates() {
+        let inf = ExtNat::INFINITY;
+        let m = SMatrix::from_rows(vec![
+            vec![inf, ExtNat::from(0u64)],
+            vec![ExtNat::from(0u64), ExtNat::from(1u64)],
+        ]);
+        let v = vec![ExtNat::from(0u64), ExtNat::from(5u64)];
+        // ∞·0 = 0 keeps the first coordinate clean.
+        assert_eq!(m.vec_mul(&v), vec![ExtNat::from(0u64), ExtNat::from(5u64)]);
+    }
+
+    #[test]
+    fn map_changes_semiring() {
+        let m = m2(2, 0, 1, 3);
+        let q = m.map(|x| BigRational::from(x.finite().unwrap()));
+        assert_eq!(q[(1, 1)], BigRational::from(3u64));
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = vec![ExtNat::from(2u64), ExtNat::from(3u64)];
+        let b = vec![ExtNat::from(4u64), ExtNat::from(5u64)];
+        assert_eq!(dot(&a, &b), ExtNat::from(23u64));
+    }
+}

@@ -1,0 +1,310 @@
+//! Boolean automata: NFAs, subset construction, DFA algebra.
+//!
+//! These handle the ∞-support languages of the decision procedure
+//! (step 3 of the pipeline described in the crate docs).
+
+use nka_syntax::Symbol;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+/// Error raised when subset construction exceeds its state budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeterminizeOverflow {
+    /// The budget that was exceeded.
+    pub max_states: usize,
+}
+
+impl fmt::Display for DeterminizeOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "subset construction exceeded {} states",
+            self.max_states
+        )
+    }
+}
+
+impl std::error::Error for DeterminizeOverflow {}
+
+/// A nondeterministic finite automaton (no ε-transitions).
+#[derive(Debug, Clone, Default)]
+pub struct Nfa {
+    state_count: usize,
+    initial: BTreeSet<usize>,
+    accepting: BTreeSet<usize>,
+    transitions: BTreeMap<(usize, Symbol), BTreeSet<usize>>,
+}
+
+impl Nfa {
+    /// An NFA with `state_count` states and no edges.
+    pub fn new(state_count: usize) -> Nfa {
+        Nfa {
+            state_count,
+            ..Nfa::default()
+        }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// Marks `state` initial.
+    pub fn add_initial(&mut self, state: usize) {
+        debug_assert!(state < self.state_count);
+        self.initial.insert(state);
+    }
+
+    /// Marks `state` accepting.
+    pub fn add_accepting(&mut self, state: usize) {
+        debug_assert!(state < self.state_count);
+        self.accepting.insert(state);
+    }
+
+    /// Adds the transition `from --sym--> to`.
+    pub fn add_transition(&mut self, from: usize, sym: Symbol, to: usize) {
+        debug_assert!(from < self.state_count && to < self.state_count);
+        self.transitions.entry((from, sym)).or_default().insert(to);
+    }
+
+    /// Subset construction over the given alphabet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeterminizeOverflow`] if more than `max_states` subsets are
+    /// created (a safety valve — ∞-support automata are tiny in practice,
+    /// but subset construction is exponential in the worst case).
+    pub fn determinize(
+        &self,
+        alphabet: &[Symbol],
+        max_states: usize,
+    ) -> Result<Dfa, DeterminizeOverflow> {
+        let mut subsets: HashMap<Vec<usize>, usize> = HashMap::new();
+        let mut worklist = VecDeque::new();
+        let start: Vec<usize> = self.initial.iter().copied().collect();
+        subsets.insert(start.clone(), 0);
+        worklist.push_back(start);
+        let mut dfa = Dfa {
+            alphabet: alphabet.to_vec(),
+            transitions: Vec::new(),
+            accepting: Vec::new(),
+        };
+        dfa.transitions.push(vec![0; alphabet.len()]);
+        dfa.accepting.push(false);
+
+        while let Some(subset) = worklist.pop_front() {
+            let id = subsets[&subset];
+            dfa.accepting[id] = subset.iter().any(|q| self.accepting.contains(q));
+            for (ai, &sym) in alphabet.iter().enumerate() {
+                let mut next = BTreeSet::new();
+                for &q in &subset {
+                    if let Some(dsts) = self.transitions.get(&(q, sym)) {
+                        next.extend(dsts.iter().copied());
+                    }
+                }
+                let key: Vec<usize> = next.into_iter().collect();
+                let next_id = match subsets.get(&key) {
+                    Some(&i) => i,
+                    None => {
+                        let i = dfa.transitions.len();
+                        if i >= max_states {
+                            return Err(DeterminizeOverflow { max_states });
+                        }
+                        subsets.insert(key.clone(), i);
+                        dfa.transitions.push(vec![0; alphabet.len()]);
+                        dfa.accepting.push(false);
+                        worklist.push_back(key);
+                        i
+                    }
+                };
+                dfa.transitions[id][ai] = next_id;
+            }
+        }
+        Ok(dfa)
+    }
+}
+
+/// A complete deterministic finite automaton; state 0 is initial.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    alphabet: Vec<Symbol>,
+    /// `transitions[state][symbol_index]`.
+    transitions: Vec<Vec<usize>>,
+    accepting: Vec<bool>,
+}
+
+impl Dfa {
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The alphabet (shared index space with transitions).
+    pub fn alphabet(&self) -> &[Symbol] {
+        &self.alphabet
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting[state]
+    }
+
+    /// The successor of `state` under the symbol with alphabet index `ai`.
+    pub fn step(&self, state: usize, ai: usize) -> usize {
+        self.transitions[state][ai]
+    }
+
+    /// Runs the DFA on a word; symbols outside the alphabet send the run to
+    /// a (virtual) dead state, i.e. the word is rejected.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut state = 0usize;
+        for sym in word {
+            match self.alphabet.iter().position(|s| s == sym) {
+                Some(ai) => state = self.transitions[state][ai],
+                None => return false,
+            }
+        }
+        self.accepting[state]
+    }
+
+    /// Complements the acceptance condition (alphabet unchanged).
+    pub fn complement(&self) -> Dfa {
+        Dfa {
+            alphabet: self.alphabet.clone(),
+            transitions: self.transitions.clone(),
+            accepting: self.accepting.iter().map(|a| !a).collect(),
+        }
+    }
+
+    /// Whether the recognized language is empty.
+    pub fn is_empty_language(&self) -> bool {
+        !self.reachable().iter().any(|&s| self.accepting[s])
+    }
+
+    fn reachable(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.state_count()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut out = Vec::new();
+        while let Some(s) = stack.pop() {
+            out.push(s);
+            for &t in &self.transitions[s] {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Language equivalence via product-automaton search for a
+    /// distinguishing state pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two DFAs were built over different alphabets (callers
+    /// in this crate always determinize over the shared alphabet first).
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        assert_eq!(
+            self.alphabet, other.alphabet,
+            "DFA equivalence requires a common alphabet"
+        );
+        let mut seen = BTreeSet::new();
+        let mut worklist = vec![(0usize, 0usize)];
+        seen.insert((0usize, 0usize));
+        while let Some((a, b)) = worklist.pop() {
+            if self.accepting[a] != other.accepting[b] {
+                return false;
+            }
+            for ai in 0..self.alphabet.len() {
+                let next = (self.transitions[a][ai], other.transitions[b][ai]);
+                if seen.insert(next) {
+                    worklist.push(next);
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    /// NFA for the language a·b* over {a, b}.
+    fn a_then_bs() -> Nfa {
+        let mut nfa = Nfa::new(2);
+        nfa.add_initial(0);
+        nfa.add_accepting(1);
+        nfa.add_transition(0, sym("a"), 1);
+        nfa.add_transition(1, sym("b"), 1);
+        nfa
+    }
+
+    #[test]
+    fn determinize_and_run() {
+        let alphabet = [sym("a"), sym("b")];
+        let dfa = a_then_bs().determinize(&alphabet, 100).unwrap();
+        assert!(dfa.accepts(&[sym("a")]));
+        assert!(dfa.accepts(&[sym("a"), sym("b"), sym("b")]));
+        assert!(!dfa.accepts(&[]));
+        assert!(!dfa.accepts(&[sym("b")]));
+        assert!(!dfa.accepts(&[sym("a"), sym("a")]));
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let alphabet = [sym("a"), sym("b")];
+        let dfa = a_then_bs().determinize(&alphabet, 100).unwrap();
+        let comp = dfa.complement();
+        assert!(!comp.accepts(&[sym("a")]));
+        assert!(comp.accepts(&[]));
+        assert!(comp.accepts(&[sym("b")]));
+    }
+
+    #[test]
+    fn equivalence_of_different_presentations() {
+        let alphabet = [sym("a"), sym("b")];
+        // Same language, different NFA: extra useless state.
+        let mut other = Nfa::new(3);
+        other.add_initial(0);
+        other.add_accepting(1);
+        other.add_transition(0, sym("a"), 1);
+        other.add_transition(1, sym("b"), 1);
+        other.add_transition(2, sym("a"), 2);
+        let d1 = a_then_bs().determinize(&alphabet, 100).unwrap();
+        let d2 = other.determinize(&alphabet, 100).unwrap();
+        assert!(d1.equivalent(&d2));
+        assert!(!d1.equivalent(&d2.complement()));
+    }
+
+    #[test]
+    fn empty_language_detection() {
+        let alphabet = [sym("a")];
+        let mut nfa = Nfa::new(2);
+        nfa.add_initial(0);
+        nfa.add_accepting(1); // unreachable
+        let dfa = nfa.determinize(&alphabet, 100).unwrap();
+        assert!(dfa.is_empty_language());
+    }
+
+    #[test]
+    fn overflow_guard_fires() {
+        // An NFA whose determinization needs more than 1 state.
+        let alphabet = [sym("a"), sym("b")];
+        let result = a_then_bs().determinize(&alphabet, 1);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn words_outside_alphabet_are_rejected() {
+        let alphabet = [sym("a"), sym("b")];
+        let dfa = a_then_bs().determinize(&alphabet, 100).unwrap();
+        assert!(!dfa.accepts(&[sym("zzz_not_in_alphabet")]));
+    }
+}

@@ -1,0 +1,46 @@
+//! Appendix C.5: the completeness construction of Theorem 4.2.
+//!
+//! The quantum path model evaluates the C.5 interpretation into the
+//! coefficients of the formal power series `{{e}}` — finite coefficients
+//! as operator weight, infinite coefficients as divergence directions.
+//! This demo makes the correspondence visible.
+//!
+//! ```sh
+//! cargo run --example completeness_demo
+//! ```
+
+use nka_apps::completeness::CompletenessModel;
+use nka_quantum::series::eval;
+use nka_quantum::syntax::{Expr, Symbol};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let alphabet = vec![Symbol::intern("a"), Symbol::intern("b")];
+    let model = CompletenessModel::new(&alphabet, 2);
+    println!(
+        "C.5 model over Σ = {{a, b}}, words ≤ 2 — Hilbert dimension {}",
+        model.dim()
+    );
+
+    for src in ["a + a", "a* ", "a* a*", "(a + b)*", "1*", "1* a + b"] {
+        let e: Expr = src.parse()?;
+        let series = eval(&e, &alphabet, 2);
+        let result = model.apply_to_epsilon(&e);
+        println!("\nQint({src})([|ε⟩⟨ε|]):");
+        println!("  series {{{{{src}}}}} = {series}");
+        println!(
+            "  path model: divergence dim {}, finite trace {:.4}",
+            result.divergence().dim(),
+            result.finite_trace()
+        );
+        assert!(
+            model.check_c51_on_epsilon(&e),
+            "eq. C.5.1 must hold for {src}"
+        );
+        println!("  eq. C.5.1 verified ✓");
+    }
+
+    println!(
+        "\nThe path model distinguishes the weighted traces of every pair of\nnon-equivalent NKA expressions — that is Theorem 4.2's completeness."
+    );
+    Ok(())
+}

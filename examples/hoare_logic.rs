@@ -1,0 +1,64 @@
+//! Section 7: propositional quantum Hoare logic inside NKAT.
+//!
+//! Builds a Figure-5 derivation for a measured loop, validates it
+//! semantically, and compiles it into a checked NKAT derivation of the
+//! encoded inequality `p·b̄ ≤ ā` (Theorem 7.8).
+//!
+//! ```sh
+//! cargo run --example hoare_logic
+//! ```
+
+use nka_qprog::{EncoderSetting, Program};
+use nkat::qhl::{encode_qhl, wlp, HoareTriple, QhlDerivation};
+use qsim_linalg::{CMatrix, Complex};
+use qsim_quantum::{gates, states, Measurement};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The coin-flip loop: while M[q] = 1 do H done.
+    let meas = Measurement::computational_basis(2);
+    let h = Program::unitary("h", &gates::hadamard());
+    let w = Program::while_loop(["m0", "m1"], &meas, h.clone());
+    println!("program: {w}");
+
+    // Weakest liberal preconditions, computed from the dual semantics.
+    let post = states::basis_density(2, 0);
+    let pre = wlp(&w, &post);
+    println!("wlp(P, |0⟩⟨0|) =\n{pre}");
+
+    // A Figure-5 derivation: R.LP over an atomic body triple.
+    // Invariant C = M₀†(|0⟩⟨0|) + M₁†(½·I) = diag(1, ½).
+    let half = CMatrix::identity(2).scale(Complex::from(0.5));
+    let c = CMatrix::from_real(&[&[1.0, 0.0], &[0.0, 0.5]]);
+    let body = QhlDerivation::Atomic(HoareTriple::new(&half, &h, &c));
+    let derivation = QhlDerivation::Loop {
+        a: post.clone(),
+        inner: Box::new(body),
+    };
+    let triple = derivation.conclude(&w)?;
+    println!(
+        "\nFigure-5 derivation concludes {{C}} P {{|0⟩⟨0|}} with C =\n{}",
+        triple.pre()
+    );
+    assert!(triple.holds_partial(1e-7));
+    let mut seed = 99;
+    assert!(triple.holds_on_probes(16, &mut seed, 1e-7));
+    println!("partial correctness confirmed semantically (wlp + 16 probes)");
+
+    // Theorem 7.8: compile to NKAT.
+    let mut setting = EncoderSetting::new(2);
+    let encoded = encode_qhl(&derivation, &w, &mut setting)?;
+    encoded.derivation.verify()?;
+    println!("\nTheorem 7.8 encoding:");
+    println!("  program expression  p = {}", encoded.program_expr);
+    println!("  postcondition term  ā = {}", encoded.post_terms.1);
+    println!("  precondition negation c̄ = {}", encoded.pre_terms.1);
+    println!(
+        "  derived in NKAT:    {}",
+        encoded.derivation.conclusion(encoded.conclusion)
+    );
+    println!(
+        "  ({} facts total: context hypotheses + derivation steps)",
+        encoded.derivation.facts().len()
+    );
+    Ok(())
+}

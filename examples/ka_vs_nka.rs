@@ -1,0 +1,84 @@
+//! KA vs NKA: what the idempotent law buys, what it costs, and how
+//! Remark 2.1 recovers Kleene algebra *inside* NKA.
+//!
+//! ```sh
+//! cargo run --example ka_vs_nka
+//! ```
+//!
+//! The paper drops the idempotent law `p + p = p` because quantum
+//! branching is weighted: `m0 p0 + m1 p1` sums measurement branches, and
+//! collapsing equal summands would mis-count probability. This example
+//! walks the separating identities, then demonstrates Remark 2.1: the
+//! subset `1*K = {1*·p}` satisfies the KA axioms, and on it the NKA
+//! decision procedure and a classical language-equivalence check agree.
+
+use nka_quantum::syntax::Expr;
+use nka_quantum::wfa::ka::{ka_accepts, ka_equiv, saturate};
+use nka_quantum::wfa::{decide_eq, thompson};
+use nka_quantum::syntax::{Symbol, Word};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── 1. Identities that hold in KA but fail in NKA ────────────────
+    println!("identity                         KA     NKA");
+    println!("───────────────────────────────────────────");
+    let separating: [(&str, &str); 4] = [
+        ("p + p", "p"),
+        ("(p + q)*", "(p* q*)*"),
+        ("p * *", "p*"),
+        ("(p + 1)(p + 1)", "1 + p + p p"),
+    ];
+    for (l, r) in separating {
+        let (le, re): (Expr, Expr) = (l.parse()?, r.parse()?);
+        println!(
+            "{:20} = {:10} {:6} {}",
+            l,
+            r,
+            ka_equiv(&le, &re)?,
+            decide_eq(&le, &re)?
+        );
+    }
+
+    // The counting reason: {{p + p}}[p] = 2, not 1.
+    let pp: Expr = "p + p".parse()?;
+    let wfa = thompson(&pp).eliminate_epsilon();
+    let w = Word::from_symbols([Symbol::intern("p")]);
+    println!("\n{{{{p + p}}}}[\"p\"] = {} — NKA counts branches", wfa.coefficient(&w));
+
+    // ── 2. Identities that survive without idempotence ───────────────
+    println!("\nshared theorems (hold in both):");
+    for (l, r) in [
+        ("(p q)* p", "p (q p)*"),
+        ("(p + q)*", "(p* q)* p*"),
+        ("1 + p p*", "p*"),
+    ] {
+        let (le, re): (Expr, Expr) = (l.parse()?, r.parse()?);
+        assert!(decide_eq(&le, &re)? && ka_equiv(&le, &re)?);
+        println!("  {l} = {r}");
+    }
+
+    // ── 3. Remark 2.1: KA lives inside NKA as 1*K ────────────────────
+    // 1* has coefficient ∞ on ε, so 1*·e saturates every non-zero
+    // coefficient; ∞ + ∞ = ∞ restores idempotence.
+    println!("\nRemark 2.1 — the 1*K embedding:");
+    for (l, r) in separating {
+        let (le, re): (Expr, Expr) = (l.parse()?, r.parse()?);
+        let ok = decide_eq(&saturate(&le), &saturate(&re))?;
+        println!("  ⊢NKA 1*({l}) = 1*({r})  →  {ok}");
+        assert_eq!(ok, ka_equiv(&le, &re)?);
+    }
+    // And the embedding never conflates distinct languages.
+    let (pq, qp): (Expr, Expr) = ("p q".parse()?, "q p".parse()?);
+    assert!(!decide_eq(&saturate(&pq), &saturate(&qp))?);
+    println!("  ⊢NKA 1*(p q) = 1*(q p)  →  false   (refutations preserved)");
+
+    // ── 4. Membership queries on the support ─────────────────────────
+    let e: Expr = "(a b)* a".parse()?;
+    let a = Symbol::intern("a");
+    let b = Symbol::intern("b");
+    println!("\nL((a b)* a) membership: aba → {}, ab → {}",
+        ka_accepts(&e, &[a, b, a])?,
+        ka_accepts(&e, &[a, b])?,
+    );
+
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Prints the sizes and check times of the repository's flagship proof
+//! objects (used to fill EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run --example proof_sizes
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let t = Instant::now();
+    let unroll = nka_apps::compiler_opt::loop_unrolling_proof();
+    unroll.assert_checked();
+    println!(
+        "§5.1 unrolling:  {:>6} rule applications, build+check {:?}",
+        unroll.proof_size(),
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let boundary = nka_apps::compiler_opt::loop_boundary_proof();
+    boundary.assert_checked();
+    println!(
+        "§5.2 boundary:   {:>6} rule applications, build+check {:?}",
+        boundary.proof_size(),
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let qsp = nka_apps::qsp::qsp_optimization_proof();
+    qsp.assert_checked();
+    println!(
+        "App. B QSP:      {:>6} rule applications, build+check {:?}",
+        qsp.proof_size(),
+        t.elapsed()
+    );
+
+    let t = Instant::now();
+    let sec6 = nka_apps::normal_form_example::section6_proof();
+    let build = t.elapsed();
+    let t = Instant::now();
+    sec6.assert_checked();
+    println!(
+        "§6 normal form:  {:>6} rule applications, build {:?}, check {:?} ({} hypotheses)",
+        sec6.proof_size(),
+        build,
+        t.elapsed(),
+        sec6.hypotheses.len()
+    );
+}

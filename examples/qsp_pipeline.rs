@@ -1,0 +1,57 @@
+//! Appendix B: the quantum-signal-processing optimization, end to end.
+//!
+//! Builds the gate-level `qsp`/`qsp'` programs of Figure 6, checks every
+//! algebraic hypothesis against the concrete superoperators, replays the
+//! paper's NKA derivation, and confirms the optimization semantically.
+//!
+//! ```sh
+//! cargo run --example qsp_pipeline
+//! ```
+
+use nka_apps::qsp::{qsp_optimization_proof, QspInstance};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Appendix B: optimizing quantum signal processing ===\n");
+
+    // 1. Algebraic proof (dimension-independent).
+    let t = Instant::now();
+    let horn = qsp_optimization_proof();
+    horn.assert_checked();
+    println!(
+        "NKA derivation checked in {:?} ({} rule applications)",
+        t.elapsed(),
+        horn.proof_size()
+    );
+    println!("hypotheses:");
+    for h in &horn.hypotheses {
+        println!("  {h}");
+    }
+    println!("conclusion:\n  {}", horn.conclusion);
+
+    // 2. Gate-level instances for several (n, L).
+    for (n, l) in [(1, 2), (2, 2), (2, 3)] {
+        let t = Instant::now();
+        let inst = QspInstance::new(n, l);
+        let (enc, enc_opt) = inst.encodings()?;
+        println!(
+            "\nQSP instance n = {n}, L = {l} (dimension {}):",
+            inst.dim
+        );
+        println!("  Enc(qsp)  = {enc}");
+        println!("  Enc(qsp') = {enc_opt}");
+        assert!(inst.hypotheses_hold(1e-8));
+        println!("  all 8 hypotheses hold on the gate model");
+        assert!(inst.programs_equal(1e-7));
+        println!(
+            "  ⟦qsp⟧ = ⟦qsp'⟧ verified on {} probe states in {:?}",
+            inst.dim * inst.dim,
+            t.elapsed()
+        );
+    }
+
+    println!(
+        "\nEach loop iteration of qsp' saves the S and S⁻¹ reflections —\nthe optimization of Childs et al., certified algebraically once,\nfor every dimension."
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: algebraic reasoning about quantum programs in five minutes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use nka_quantum::nka::{decide_eq, theorems, Judgment, Proof};
+use nka_quantum::qpath::ExtPosOp;
+use nka_quantum::qprog::{EncoderSetting, Program};
+use nka_quantum::syntax::Expr;
+use qsim_quantum::{gates, states, Measurement};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. NKA expressions: the encodings of quantum while-programs.
+    let loop_enc: Expr = "(m1 h)* m0".parse()?;
+    println!("Enc(while M = 1 do H done) = {loop_enc}");
+
+    // 2. The decision procedure: ⊢NKA e = f iff {{e}} = {{f}} (Thm A.6).
+    let sliding_lhs: Expr = "(p q)* p".parse()?;
+    let sliding_rhs: Expr = "p (q p)*".parse()?;
+    println!(
+        "sliding law decidable:   {} = {}  →  {}",
+        sliding_lhs,
+        sliding_rhs,
+        decide_eq(&sliding_lhs, &sliding_rhs)
+    );
+    let idem: Expr = "p + p".parse()?;
+    let p: Expr = "p".parse()?;
+    println!(
+        "idempotence (KA only!):  {} = {}  →  {}",
+        idem,
+        p,
+        decide_eq(&idem, &p)
+    );
+
+    // 3. Machine-checked proofs: Figure 2 theorems as proof objects.
+    let proof = theorems::sliding(&"p".parse()?, &"q".parse()?);
+    let judgment = proof.check_closed()?;
+    println!("checked proof ({} rule applications): {judgment}", proof.size());
+
+    // 4. Horn-clause reasoning (Corollary 4.3): projective measurements.
+    let hyps = [
+        Judgment::Eq("m1 m1".parse()?, "m1".parse()?),
+        Judgment::Eq("m1 m0".parse()?, "0".parse()?),
+    ];
+    let hyp_proof = Proof::Hyp(0);
+    println!(
+        "hypothesis 0 under the Horn context: {}",
+        hyp_proof.check(&hyps)?
+    );
+
+    // 5. Programs, semantics, encoding, interpretation — all connected.
+    let meas = Measurement::computational_basis(2);
+    let h = Program::unitary("h", &gates::hadamard());
+    let program = Program::while_loop(["m0", "m1"], &meas, h);
+    let mut setting = EncoderSetting::new(2);
+    let enc = setting.encode(&program)?;
+    println!("\nprogram: {program}\nencoding: {enc}");
+
+    // Denotational semantics: the loop almost surely exits into |0⟩.
+    let out = program.run(&states::basis_density(2, 1));
+    println!("⟦P⟧(|1⟩⟨1|) trace = {:.6}", out.trace().re);
+
+    // Theorem 4.5: Qint(Enc(P)) = ⟨⟦P⟧⟩↑ — interpret the encoding in the
+    // quantum path model and compare.
+    let int = setting.interpretation();
+    let path_result = int
+        .action(&enc)
+        .apply(&ExtPosOp::from_operator(&states::basis_density(2, 1)));
+    let direct = program.run(&states::basis_density(2, 1));
+    assert!(path_result.finite_part().approx_eq(&direct, 1e-8));
+    println!("Theorem 4.5 verified: path-model interpretation = denotation");
+
+    Ok(())
+}

@@ -1,0 +1,160 @@
+//! `nka` — a command-line front end for the NKA toolkit.
+//!
+//! ```text
+//! nka decide  '<expr>' '<expr>'        decide ⊢NKA e = f
+//! nka ka      '<expr>' '<expr>'        decide ⊢KA e = f (Remark 2.1:
+//!                                      language equivalence, = NKA on 1*K)
+//! nka series  '<expr>' [max-len]       print the truncated power series
+//! nka prove   '<lhs>' '<rhs>' [hyp]…   search for a rewrite proof under
+//!                                      hypotheses of the form 'l = r'
+//! nka encode-demo                      encode a sample quantum program
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! cargo run --bin nka -- decide '(p q)* p' 'p (q p)*'
+//! cargo run --bin nka -- ka 'p + p' 'p'
+//! cargo run --bin nka -- series '(a + a)*' 4
+//! cargo run --bin nka -- prove 'm1 (m0 p + m1)' 'm1' 'm1 m1 = m1' 'm1 m0 = 0'
+//! ```
+
+use nka_core::prover::Prover;
+use nka_core::Judgment;
+use nka_series::eval;
+use nka_syntax::{Expr, Symbol};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("decide") if args.len() == 3 => decide(&args[1], &args[2]),
+        Some("ka") if args.len() == 3 => ka(&args[1], &args[2]),
+        Some("series") if args.len() >= 2 => series(&args[1], args.get(2).map(String::as_str)),
+        Some("prove") if args.len() >= 3 => prove(&args[1], &args[2], &args[3..]),
+        Some("encode-demo") => encode_demo(),
+        _ => {
+            eprintln!(
+                "usage:\n  nka decide '<expr>' '<expr>'\n  nka ka '<expr>' '<expr>'\n  nka series '<expr>' [max-len]\n  nka prove '<lhs>' '<rhs>' ['l = r'…]\n  nka encode-demo"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse(src: &str) -> Result<Expr, ExitCode> {
+    src.parse().map_err(|err| {
+        eprintln!("parse error in {src:?}: {err}");
+        ExitCode::FAILURE
+    })
+}
+
+fn decide(lhs: &str, rhs: &str) -> ExitCode {
+    let (Ok(l), Ok(r)) = (parse(lhs), parse(rhs)) else {
+        return ExitCode::FAILURE;
+    };
+    match nka_wfa::decide_eq(&l, &r) {
+        Ok(true) => {
+            println!("⊢NKA {l} = {r}");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("⊬NKA {l} = {r}   (the power series differ)");
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("resource budget exceeded: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn ka(lhs: &str, rhs: &str) -> ExitCode {
+    let (Ok(l), Ok(r)) = (parse(lhs), parse(rhs)) else {
+        return ExitCode::FAILURE;
+    };
+    match nka_wfa::ka::ka_equiv(&l, &r) {
+        Ok(true) => {
+            println!("⊢KA {l} = {r}   (equivalently ⊢NKA 1*({l}) = 1*({r}))");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("⊬KA {l} = {r}   (the languages differ)");
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("resource budget exceeded: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn series(src: &str, max_len: Option<&str>) -> ExitCode {
+    let Ok(e) = parse(src) else {
+        return ExitCode::FAILURE;
+    };
+    let len: usize = max_len.and_then(|s| s.parse().ok()).unwrap_or(3);
+    let alphabet: Vec<Symbol> = e.atoms().into_iter().collect();
+    let s = eval(&e, &alphabet, len);
+    println!("{{{{{e}}}}} up to length {len}:");
+    let mut any = false;
+    for (word, coeff) in s.iter() {
+        println!("  {coeff} · {word}");
+        any = true;
+    }
+    if !any {
+        println!("  (the zero series)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn prove(lhs: &str, rhs: &str, hyp_srcs: &[String]) -> ExitCode {
+    let (Ok(l), Ok(r)) = (parse(lhs), parse(rhs)) else {
+        return ExitCode::FAILURE;
+    };
+    let mut hyps = Vec::new();
+    for h in hyp_srcs {
+        let Some((hl, hr)) = h.split_once('=') else {
+            eprintln!("hypothesis {h:?} is not of the form 'l = r'");
+            return ExitCode::FAILURE;
+        };
+        let (Ok(hl), Ok(hr)) = (parse(hl.trim()), parse(hr.trim())) else {
+            return ExitCode::FAILURE;
+        };
+        hyps.push(Judgment::Eq(hl, hr));
+    }
+    let mut prover = Prover::new(&hyps);
+    prover.add_hypothesis_rules();
+    match prover.prove_eq(&l, &r) {
+        Some(proof) => {
+            let judgment = proof.check(&hyps).expect("prover output re-checks");
+            println!("proved: {judgment}");
+            println!("proof size: {} rule applications (re-checked)", proof.size());
+            match nka_core::render::render(&proof, &hyps) {
+                Ok(text) => print!("\n{text}"),
+                Err(err) => eprintln!("(rendering failed: {err})"),
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("no proof found within the search budget");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn encode_demo() -> ExitCode {
+    use nka_qprog::{EncoderSetting, Program};
+    use qsim_quantum::{gates, states, Measurement};
+
+    let meas = Measurement::computational_basis(2);
+    let h = Program::unitary("h", &gates::hadamard());
+    let w = Program::while_loop(["m0", "m1"], &meas, h);
+    let mut setting = EncoderSetting::new(2);
+    let enc = setting.encode(&w).expect("encoding succeeds");
+    println!("program:   {w}");
+    println!("encoding:  {enc}");
+    let out = w.run(&states::basis_density(2, 1));
+    println!("⟦P⟧(|1⟩⟨1|) = |0⟩⟨0| with trace {:.6}", out.trace().re);
+    ExitCode::SUCCESS
+}

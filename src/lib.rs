@@ -1,0 +1,63 @@
+//! # nka-quantum
+//!
+//! A from-scratch Rust reproduction of **“Algebraic Reasoning of Quantum
+//! Programs via Non-idempotent Kleene Algebra”** (Peng, Ying, Wu — PLDI
+//! 2022, extended version arXiv:2110.07018).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`semiring`] — `N̄ = N ∪ {∞}`, exact big rationals, semiring traits.
+//! * [`syntax`] — NKA expressions `ExpΣ` (Definition 2.2), parser, printer.
+//! * [`series`] — formal power series over `N̄` and the semantics `{{−}}`
+//!   (Appendix A), the ground-truth model used as a testing oracle.
+//! * [`wfa`] — weighted finite automata and the **decision procedure** for
+//!   the NKA equational theory (Remark 2.1 / Theorem A.6).
+//! * [`nka`] — the NKA axioms (Figure 3), a machine-checkable proof
+//!   calculus, the derived theorems of Figure 2, and Horn-clause reasoning
+//!   (Corollary 4.3).
+//! * [`linalg`] / [`quantum`] — the quantum substrate: complex matrices,
+//!   Hermitian eigendecomposition, superoperators, measurements.
+//! * [`qpath`] — the quantum path model `P(H)` over extended positive
+//!   operators `PO∞(H)` (Section 3) and quantum interpretations `Qint`
+//!   (Section 4.1).
+//! * [`qprog`] — quantum while-programs, denotational semantics, the
+//!   encoder `Enc` (Section 4.2), and the normal-form transformation of
+//!   Theorem 6.1.
+//! * [`nkat`] — effect algebra, partitions, NKAT (Section 7), and the
+//!   propositional quantum Hoare logic embedding (Theorem 7.8).
+//! * [`apps`] — the paper's worked applications: compiler-optimization
+//!   rules (Section 5), the QSP optimization (Appendix B), the normal-form
+//!   example (Section 6), and the completeness construction (Appendix C.5).
+//!
+//! # Quickstart
+//!
+//! Decide an NKA equation and check one of the paper's proofs:
+//!
+//! ```
+//! use nka_quantum::nka::{decide_eq, theorems};
+//! use nka_quantum::syntax::Expr;
+//!
+//! // denesting (Figure 2a): (p + q)* = (p*q)*p*
+//! let lhs: Expr = "(p + q)*".parse()?;
+//! let rhs: Expr = "(p* q)* p*".parse()?;
+//! assert!(decide_eq(&lhs, &rhs));
+//!
+//! // ... and the same fact as a machine-checked proof object.
+//! let p: Expr = "p".parse()?;
+//! let q: Expr = "q".parse()?;
+//! let proof = theorems::denesting_left(&p, &q);
+//! proof.check_closed()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use nka_apps as apps;
+pub use nka_core as nka;
+pub use nka_qpath as qpath;
+pub use nka_qprog as qprog;
+pub use nka_semiring as semiring;
+pub use nka_series as series;
+pub use nka_syntax as syntax;
+pub use nka_wfa as wfa;
+pub use nkat;
+pub use qsim_linalg as linalg;
+pub use qsim_quantum as quantum;

@@ -1,0 +1,147 @@
+//! Failure injection across the verification pipeline: every layer must
+//! *reject* wrong artifacts, not merely accept right ones. These tests
+//! deliberately break optimizations, starve resource budgets, and feed
+//! mismatched derivations, and assert the failure is reported (an error
+//! or a `false`), never a silent wrong answer.
+
+use nka_quantum::apps::compiler_opt::programs_equal_on_probes;
+use nka_quantum::nka::group::UnitaryGroup;
+use nka_quantum::qprog::Program;
+use nka_quantum::syntax::Expr;
+use nka_quantum::wfa::decide::{decide_eq_with, DecideOptions};
+use nka_quantum::qprog::EncoderSetting;
+use nkat::qhl::{encode_qhl, HoareTriple, QhlDerivation};
+use qsim_quantum::{gates, states, Measurement};
+
+fn e(src: &str) -> Expr {
+    src.parse().unwrap()
+}
+
+#[test]
+fn decision_procedure_rejects_coefficient_near_misses() {
+    // (a + a)(a + a) expands to four copies of `a a` — equal to exactly
+    // four, unequal to three or five. Support-level reasoning cannot see
+    // this; the weighted pipeline must.
+    let lhs = e("(a + a) (a + a)");
+    assert!(nka_quantum::nka::decide_eq(
+        &lhs,
+        &e("a a + a a + a a + a a")
+    ));
+    assert!(!nka_quantum::nka::decide_eq(&lhs, &e("a a + a a + a a")));
+    assert!(!nka_quantum::nka::decide_eq(
+        &lhs,
+        &e("a a + a a + a a + a a + a a")
+    ));
+}
+
+#[test]
+fn decision_procedure_distinguishes_infinite_multiplicities() {
+    // 1* a and (1 + 1)* a both have coefficient ∞ on "a" — equal; but
+    // 1* a and a differ (∞ vs 1).
+    assert!(nka_quantum::nka::decide_eq(&e("1* a"), &e("(1 + 1)* a")));
+    assert!(!nka_quantum::nka::decide_eq(&e("1* a"), &e("a")));
+}
+
+#[test]
+fn starved_state_budget_is_an_error_not_a_wrong_answer() {
+    let lhs = e("(a + b)* a (a + b) (a + b)");
+    let rhs = e("(a + b) (a + b) a (a + b)*");
+    let opts = DecideOptions {
+        max_dfa_states: 2,
+        ..DecideOptions::default()
+    };
+    // The subset construction cannot fit in 2 states; the procedure must
+    // surface the overflow instead of guessing.
+    assert!(decide_eq_with(&lhs, &rhs, &opts).is_err());
+    // With the default budget the same query resolves fine.
+    assert!(decide_eq_with(&lhs, &rhs, &DecideOptions::default()).is_ok());
+}
+
+#[test]
+fn semantic_validator_rejects_a_wrong_gate_fusion() {
+    // Fusing Rz(0.4); Rz(0.3) into Rz(0.8) — a plausible-looking typo —
+    // must fail the probe comparison. The Rz phase is sandwiched between
+    // Hadamards so it becomes an observable rotation (a bare Rz before a
+    // computational-basis measurement would be invisible).
+    let h = Program::unitary("h", &gates::hadamard());
+    let split = h
+        .then(&Program::unitary("rz1", &gates::rz(0.4)))
+        .then(&Program::unitary("rz2", &gates::rz(0.3)))
+        .then(&h);
+    let right = h
+        .then(&Program::unitary("rz12", &gates::rz(0.7)))
+        .then(&h);
+    let wrong = h
+        .then(&Program::unitary("rz_wrong", &gates::rz(0.8)))
+        .then(&h);
+    assert!(programs_equal_on_probes(&split, &right, 1e-9));
+    assert!(!programs_equal_on_probes(&split, &wrong, 1e-7));
+}
+
+#[test]
+fn semantic_validator_rejects_branch_fusion_of_unequal_branches() {
+    // `case M → {H | X}` is NOT `measure; H` — the classical "merge
+    // identical branches" intuition must not fire for distinct branches.
+    let meas = Measurement::computational_basis(2);
+    let h = Program::unitary("h", &gates::hadamard());
+    let x = Program::unitary("x", &gates::pauli_x());
+    let before = Program::case(["g0", "g1"], &meas, vec![h.clone(), x]);
+    let dephase = Program::case(
+        ["g0", "g1"],
+        &meas,
+        vec![Program::skip(2), Program::skip(2)],
+    );
+    let after = dephase.then(&h);
+    assert!(!programs_equal_on_probes(&before, &after, 1e-7));
+}
+
+#[test]
+fn hoare_triple_with_wrong_postcondition_is_refuted() {
+    // {|+⟩⟨+|} H {|1⟩⟨1|} is wrong (H|+⟩ = |0⟩).
+    let h = Program::unitary("h", &gates::hadamard());
+    let plus = h.run(&states::basis_density(2, 0));
+    let wrong = HoareTriple::new(&plus, &h, &states::basis_density(2, 1));
+    assert!(!wrong.holds_partial(1e-9));
+    let right = HoareTriple::new(&plus, &h, &states::basis_density(2, 0));
+    assert!(right.holds_partial(1e-9));
+}
+
+#[test]
+fn qhl_compiler_rejects_shape_mismatches() {
+    // A sequencing rule applied to a non-sequential program must error.
+    let h = Program::unitary("h", &gates::hadamard());
+    let id = states::basis_density(2, 0);
+    let t = HoareTriple::new(&id, &h, &id);
+    let seq = QhlDerivation::Seq(
+        Box::new(QhlDerivation::Atomic(t.clone())),
+        Box::new(QhlDerivation::Atomic(t)),
+    );
+    let mut setting = EncoderSetting::new(2);
+    assert!(encode_qhl(&seq, &h, &mut setting).is_err());
+}
+
+#[test]
+fn cancellation_certificates_fail_under_wrong_hypotheses() {
+    // A proof generated for group G must not check against the
+    // hypotheses of a *different* group (missing pairs).
+    let mut g = UnitaryGroup::new();
+    let (a, _) = g.declare("fa", "fa_inv");
+    let (b, _) = g.declare("fb", "fb_inv");
+    let proof = g.cancellation_proof(&[a, b]).unwrap();
+    proof.check(&g.hypotheses()).unwrap();
+
+    let mut smaller = UnitaryGroup::new();
+    smaller.declare("fa", "fa_inv");
+    assert!(proof.check(&smaller.hypotheses()).is_err());
+}
+
+#[test]
+fn probe_comparison_is_tolerance_sensitive_not_blind() {
+    // Two programs that differ by a tiny rotation: equal at loose
+    // tolerance, distinguished at tight tolerance — the comparison must
+    // actually measure, not settle for structural likeness.
+    let p1 = Program::unitary("rz", &gates::rz(0.0));
+    let p2 = Program::unitary("rz_eps", &gates::rz(1e-6));
+    assert!(programs_equal_on_probes(&p1, &p2, 1e-3));
+    assert!(!programs_equal_on_probes(&p1, &p2, 1e-9));
+}

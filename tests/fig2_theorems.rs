@@ -1,0 +1,134 @@
+//! FIG2A/FIG2B — every derivable formula of Figure 2 as (1) a checked
+//! proof object, (2) a decision-procedure fact, and (3) a law of the
+//! truncated power-series model.
+
+use nka_quantum::nka::{decide_eq, theorems, Judgment, Proof};
+use nka_quantum::series::eval;
+use nka_quantum::syntax::{Expr, Symbol};
+
+fn e(src: &str) -> Expr {
+    src.parse().unwrap()
+}
+
+fn assert_equation_everywhere(lhs: &str, rhs: &str, proof: &Proof) {
+    let (l, r) = (e(lhs), e(rhs));
+    // 1. Proof object.
+    let j = proof.check_closed().unwrap_or_else(|err| {
+        panic!("{lhs} = {rhs}: proof failed: {err}");
+    });
+    assert_eq!(j, Judgment::Eq(l.clone(), r.clone()), "{lhs} = {rhs}");
+    // 2. Decision procedure.
+    assert!(decide_eq(&l, &r), "decision procedure rejects {lhs} = {rhs}");
+    // 3. Truncated series oracle.
+    let alphabet: Vec<Symbol> = l.atoms().union(&r.atoms()).copied().collect();
+    assert_eq!(
+        eval(&l, &alphabet, 4),
+        eval(&r, &alphabet, 4),
+        "series differ for {lhs} = {rhs}"
+    );
+}
+
+#[test]
+fn fixed_point_right() {
+    assert_equation_everywhere("1 + p p*", "p*", &theorems::fixed_point_right(&e("p")));
+}
+
+#[test]
+fn fixed_point_left() {
+    assert_equation_everywhere("1 + p* p", "p*", &theorems::fixed_point_left(&e("p")));
+}
+
+#[test]
+fn product_star() {
+    assert_equation_everywhere(
+        "1 + p (q p)* q",
+        "(p q)*",
+        &theorems::product_star(&e("p"), &e("q")),
+    );
+}
+
+#[test]
+fn sliding() {
+    assert_equation_everywhere("(p q)* p", "p (q p)*", &theorems::sliding(&e("p"), &e("q")));
+}
+
+#[test]
+fn denesting_left() {
+    assert_equation_everywhere(
+        "(p + q)*",
+        "(p* q)* p*",
+        &theorems::denesting_left(&e("p"), &e("q")),
+    );
+}
+
+#[test]
+fn denesting_right() {
+    assert_equation_everywhere(
+        "(p + q)*",
+        "p* (q p*)*",
+        &theorems::denesting_right(&e("p"), &e("q")),
+    );
+}
+
+#[test]
+fn positivity() {
+    let proof = theorems::positivity(&e("p"));
+    assert_eq!(proof.check_closed().unwrap().to_string(), "0 ≤ p");
+}
+
+#[test]
+fn unrolling() {
+    assert_equation_everywhere("(p p)* (1 + p)", "p*", &theorems::unrolling(&e("p")));
+}
+
+#[test]
+fn monotone_star_is_a_horn_theorem() {
+    let hyps = [Judgment::Le(e("p"), e("q"))];
+    let proof = theorems::monotone_star(&e("p"), &e("q"), Proof::Hyp(0), &hyps);
+    assert_eq!(proof.check(&hyps).unwrap().to_string(), "p* ≤ q*");
+}
+
+#[test]
+fn swap_star_is_a_horn_theorem() {
+    let hyps = [Judgment::Eq(e("p q"), e("q p"))];
+    let proof = theorems::swap_star(&e("p"), &e("q"), Proof::Hyp(0), &hyps);
+    assert_eq!(proof.check(&hyps).unwrap().to_string(), "p* q = q p*");
+    // Semantically: instantiate p, q with commuting words and compare.
+    let inst_l = e("(a a)* a");
+    let inst_r = e("a (a a)*");
+    assert!(decide_eq(&inst_l, &inst_r));
+}
+
+#[test]
+fn star_rewrite_is_a_horn_theorem() {
+    let hyps = [Judgment::Eq(e("p q"), e("r p"))];
+    let proof = theorems::star_rewrite(&e("p"), &e("q"), &e("r"), Proof::Hyp(0), &hyps);
+    assert_eq!(proof.check(&hyps).unwrap().to_string(), "p q* = r* p");
+}
+
+#[test]
+fn theorems_hold_under_random_instantiation() {
+    use nka_quantum::syntax::{random_expr, ExprGenConfig};
+    let alphabet = vec![Symbol::intern("a"), Symbol::intern("b")];
+    let config = ExprGenConfig::new(alphabet).with_target_size(5);
+    let mut seed = 0xF162;
+    for _ in 0..8 {
+        let p = random_expr(&config, &mut seed);
+        let q = random_expr(&config, &mut seed);
+        theorems::fixed_point_right(&p).check_closed().unwrap();
+        theorems::sliding(&p, &q).check_closed().unwrap();
+        theorems::product_star(&p, &q).check_closed().unwrap();
+        theorems::denesting_left(&p, &q).check_closed().unwrap();
+        theorems::denesting_right(&p, &q).check_closed().unwrap();
+        theorems::unrolling(&p).check_closed().unwrap();
+        theorems::positivity(&p).check_closed().unwrap();
+    }
+}
+
+#[test]
+fn idempotence_is_not_provable_semantics() {
+    // The deleted axiom really is deleted: its instances fail in the model.
+    assert!(!decide_eq(&e("p + p"), &e("p")));
+    assert!(!decide_eq(&e("(p + 1)*"), &e("p*")));
+    assert!(!decide_eq(&e("p* p*"), &e("p*")));
+}

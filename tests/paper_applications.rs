@@ -1,0 +1,66 @@
+//! Acceptance tests for the paper's applications: §5 rules, §6 example,
+//! Appendix B QSP, Appendix C.5 completeness — the cross-crate versions
+//! of the per-module tests, kept small enough for CI.
+
+use nka_quantum::apps::{compiler_opt, completeness, normal_form_example, qsp};
+use nka_quantum::qprog::normal_form::{normalize, verify_normal_form};
+use nka_quantum::qprog::Program;
+use nka_quantum::syntax::Symbol;
+use qsim_quantum::{gates, Measurement};
+
+#[test]
+fn fig4_unrolling_full_story() {
+    let horn = compiler_opt::loop_unrolling_proof();
+    horn.assert_checked();
+    assert!(compiler_opt::unrolling_hypotheses_hold(1, 1e-9));
+    assert!(compiler_opt::verify_loop_unrolling_semantically(1, 1e-7));
+}
+
+#[test]
+fn fig4_boundary_full_story() {
+    let horn = compiler_opt::loop_boundary_proof();
+    horn.assert_checked();
+    assert!(compiler_opt::verify_loop_boundary_semantically(1, 1e-7));
+}
+
+#[test]
+fn sec6_full_story() {
+    let horn = normal_form_example::section6_proof();
+    horn.assert_checked();
+    assert!(normal_form_example::verify_section6_semantically(1e-7));
+}
+
+#[test]
+fn thm61_transformation_on_a_two_loop_program() {
+    let meas = Measurement::computational_basis(2);
+    let h = Program::unitary("h", &gates::hadamard());
+    let coin = Program::while_loop(["m0", "m1"], &meas, h);
+    let program = coin.then(&coin);
+    let nf = normalize(&program);
+    assert_eq!(nf.program().loop_count(), 1);
+    assert!(verify_normal_form(&program, &nf, 1e-6));
+}
+
+#[test]
+fn appendix_b_qsp_full_story() {
+    let horn = qsp::qsp_optimization_proof();
+    horn.assert_checked();
+    let inst = qsp::QspInstance::new(2, 2);
+    assert!(inst.hypotheses_hold(1e-8));
+    assert!(inst.programs_equal(1e-7));
+}
+
+#[test]
+fn appendix_c5_on_a_three_letter_alphabet() {
+    let alphabet = vec![
+        Symbol::intern("a"),
+        Symbol::intern("b"),
+        Symbol::intern("c"),
+    ];
+    let model = completeness::CompletenessModel::new(&alphabet, 1);
+    assert_eq!(model.dim(), 4);
+    for src in ["a", "a + b + c", "a*", "1*", "(a + b)* c"] {
+        let e = src.parse().unwrap();
+        assert!(model.check_c51_on_epsilon(&e), "C.5.1 failed for {src}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests (proptest) on the core algebraic structures:
+//! scalar semirings, exact rationals, expression syntax, canonical forms,
+//! and the truncated power-series model.
+
+use nka_quantum::nka::semiring_nf::{canon, semiring_equal};
+use nka_quantum::semiring::{BigInt, BigRational, ExtNat, Semiring, StarSemiring};
+use nka_quantum::series::eval;
+use nka_quantum::syntax::{Expr, Symbol};
+use proptest::prelude::*;
+
+fn extnat_strategy() -> impl Strategy<Value = ExtNat> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(ExtNat::from),
+        Just(ExtNat::INFINITY),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn extnat_semiring_laws(a in extnat_strategy(), b in extnat_strategy(), c in extnat_strategy()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * (b * c), (a * b) * c);
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a + ExtNat::zero(), a);
+        prop_assert_eq!(a * ExtNat::one(), a);
+        prop_assert_eq!(a * ExtNat::zero(), ExtNat::zero());
+    }
+
+    #[test]
+    fn extnat_star_satisfies_unfolding(a in extnat_strategy()) {
+        prop_assert_eq!(a.star(), ExtNat::one() + a * a.star());
+    }
+
+    #[test]
+    fn bigint_arithmetic_matches_i128(x in -1_000_000_000_000i128..1_000_000_000_000, y in -1_000_000_000_000i128..1_000_000_000_000) {
+        let (bx, by) = (BigInt::from(x), BigInt::from(y));
+        prop_assert_eq!((&bx + &by).to_i128(), Some(x + y));
+        prop_assert_eq!((&bx - &by).to_i128(), Some(x - y));
+        prop_assert_eq!((&bx * &by).to_i128(), Some(x * y));
+        if y != 0 {
+            let (q, r) = bx.div_rem(&by);
+            prop_assert_eq!(q.to_i128(), Some(x / y));
+            prop_assert_eq!(r.to_i128(), Some(x % y));
+        }
+    }
+
+    #[test]
+    fn bigint_display_roundtrip(x in any::<i128>()) {
+        let b = BigInt::from(x);
+        let parsed: BigInt = b.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn rational_field_laws(
+        an in -10_000i64..10_000, ad in 1i64..100,
+        bn in -10_000i64..10_000, bd in 1i64..100,
+        cn in -10_000i64..10_000, cd in 1i64..100,
+    ) {
+        let a = BigRational::new(an.into(), ad.into());
+        let b = BigRational::new(bn.into(), bd.into());
+        let c = BigRational::new(cn.into(), cd.into());
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+        }
+        prop_assert_eq!(&a - &a, BigRational::zero());
+    }
+}
+
+/// A recursive strategy for NKA expressions over {a, b}.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::zero()),
+        Just(Expr::one()),
+        Just(Expr::atom(Symbol::intern("a"))),
+        Just(Expr::atom(Symbol::intern("b"))),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.add(&r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.mul(&r)),
+            inner.prop_map(|x| x.star()),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn expr_display_parse_roundtrip(e in expr_strategy()) {
+        let printed = e.to_string();
+        let reparsed: Expr = printed.parse().unwrap();
+        prop_assert_eq!(reparsed, e);
+    }
+
+    #[test]
+    fn simplified_is_semiring_equal_modulo_star_units(e in expr_strategy()) {
+        // `simplified` uses unit laws and 0* = 1; the latter leaves the
+        // semiring fragment, so compare through the series model instead.
+        let alphabet = [Symbol::intern("a"), Symbol::intern("b")];
+        let s1 = eval(&e, &alphabet, 3);
+        let s2 = eval(&e.simplified(), &alphabet, 3);
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn canonical_form_roundtrips(e in expr_strategy()) {
+        let poly = canon(&e);
+        prop_assert_eq!(&canon(&poly.to_expr(true)), &poly);
+        prop_assert_eq!(&canon(&poly.to_expr(false)), &poly);
+        prop_assert!(semiring_equal(&e, &poly.to_expr(true)));
+    }
+
+    #[test]
+    fn series_semiring_laws(e1 in expr_strategy(), e2 in expr_strategy(), e3 in expr_strategy()) {
+        let alphabet = [Symbol::intern("a"), Symbol::intern("b")];
+        let len = 3;
+        let (s1, s2, s3) = (
+            eval(&e1, &alphabet, len),
+            eval(&e2, &alphabet, len),
+            eval(&e3, &alphabet, len),
+        );
+        prop_assert_eq!(s1.add(&s2), s2.add(&s1));
+        prop_assert_eq!(s1.add(&s2).add(&s3), s1.add(&s2.add(&s3)));
+        prop_assert_eq!(s1.mul(&s2).mul(&s3), s1.mul(&s2.mul(&s3)));
+        prop_assert_eq!(s1.mul(&s2.add(&s3)), s1.mul(&s2).add(&s1.mul(&s3)));
+    }
+
+    #[test]
+    fn series_star_satisfies_fixed_point(e in expr_strategy()) {
+        let alphabet = [Symbol::intern("a"), Symbol::intern("b")];
+        let f = eval(&e, &alphabet, 3);
+        let star = f.star();
+        // f* = 1 + f·f*.
+        let unfolded = nka_quantum::series::Series::one(3).add(&f.mul(&star));
+        prop_assert_eq!(star, unfolded);
+    }
+}

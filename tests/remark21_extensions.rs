@@ -1,0 +1,137 @@
+//! Cross-crate integration tests for the paper's side results made
+//! executable: the Remark 2.1 `1*K` KA embedding (`wfa::ka`), the
+//! footnote-4 classical fragment (`nkat::pvm`), and the future-work
+//! unitary-group embedding (`nka-core::group`).
+
+use nka_quantum::nka::group::UnitaryGroup;
+use nka_quantum::nka::Judgment;
+use nka_quantum::syntax::{random_expr, Expr, ExprGenConfig, Symbol};
+use nka_quantum::wfa::ka::{ka_equiv, saturate};
+use nka_quantum::wfa::decide_eq;
+use nkat::pvm::{is_pvm, pvm_hypotheses_hold, pvm_partition_hypotheses, DiagonalTest};
+use proptest::prelude::*;
+use qsim_quantum::Measurement;
+
+fn small_exprs() -> impl Strategy<Value = Expr> {
+    // Proptest drives the seed; the repo generator builds the tree. Sizes
+    // stay small so the saturated NKA pipeline is fast per case.
+    (0u64..u64::MAX).prop_map(|seed| {
+        let alphabet = vec![Symbol::intern("a"), Symbol::intern("b")];
+        let config = ExprGenConfig::new(alphabet).with_target_size(7);
+        let mut s = seed | 1;
+        random_expr(&config, &mut s)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Remark 2.1 as a property: the support-DFA KA decision and the NKA
+    /// decision on the saturated pair compute the same relation.
+    #[test]
+    fn ka_agrees_with_saturated_nka(e in small_exprs(), f in small_exprs()) {
+        let ka = ka_equiv(&e, &f).unwrap();
+        let nka = decide_eq(&saturate(&e), &saturate(&f)).unwrap();
+        prop_assert_eq!(ka, nka, "on {} vs {}", e, f);
+    }
+
+    /// KA equivalence is coarser than NKA equivalence: theoremhood in
+    /// NKA implies language equality, never the other way around.
+    #[test]
+    fn nka_equality_implies_ka_equality(e in small_exprs(), f in small_exprs()) {
+        if decide_eq(&e, &f).unwrap() {
+            prop_assert!(ka_equiv(&e, &f).unwrap());
+        }
+    }
+
+    /// The idempotent law holds throughout the image of saturation.
+    #[test]
+    fn image_of_saturation_is_idempotent(e in small_exprs()) {
+        let se = saturate(&e);
+        prop_assert!(decide_eq(&se.add(&se), &se).unwrap());
+    }
+
+    /// Boolean laws on random diagonal tests (dim 8, random subsets).
+    #[test]
+    fn diagonal_test_boolean_laws(a in 0u8.., b in 0u8.., c in 0u8..) {
+        let t = |mask: u8| DiagonalTest::from_indices(8, (0..8).filter(|i| mask >> i & 1 == 1));
+        let (a, b, c) = (t(a), t(b), t(c));
+        prop_assert_eq!(a.and(&b), b.and(&a));
+        prop_assert_eq!(a.or(&b.and(&c)), a.or(&b).and(&a.or(&c)));
+        prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        prop_assert_eq!(a.and(&a.not()), DiagonalTest::bottom(8));
+    }
+
+    /// Diagonal-test meet agrees with superoperator composition — the
+    /// algebra and the model stay in lockstep on random subsets.
+    #[test]
+    fn diagonal_meet_matches_model(a in 0u8.., b in 0u8..) {
+        let t = |mask: u8| DiagonalTest::from_indices(8, (0..8).filter(|i| mask >> i & 1 == 1));
+        let (a, b) = (t(a), t(b));
+        let composed = a.superoperator().compose(&b.superoperator());
+        prop_assert!(composed.approx_eq(&a.and(&b).superoperator(), 1e-12));
+    }
+
+    /// Generated cancellation certificates check for random words over a
+    /// three-letter unitary alphabet.
+    #[test]
+    fn random_uncompute_words_cancel(letters in proptest::collection::vec(0usize..3, 0..6)) {
+        let mut g = UnitaryGroup::new();
+        let pool = [
+            g.declare("ia", "ia_inv").0,
+            g.declare("ib", "ib_inv").0,
+            g.declare_involution("ih"),
+        ];
+        let word: Vec<Symbol> = letters.into_iter().map(|i| pool[i]).collect();
+        let proof = g.cancellation_proof(&word).unwrap();
+        let j = proof.check(&g.hypotheses()).unwrap();
+        let expected = UnitaryGroup::word_expr(&word)
+            .mul(&UnitaryGroup::word_expr(&g.inverse_word(&word)));
+        prop_assert_eq!(j, Judgment::Eq(expected, Expr::one()));
+    }
+}
+
+#[test]
+fn footnote4_pvm_classification_on_concrete_measurements() {
+    // Projective: computational basis and any diagonal-test PVM.
+    assert!(is_pvm(&Measurement::computational_basis(4), 1e-12));
+    let d = DiagonalTest::from_indices(4, [0, 3]);
+    assert!(is_pvm(&d.measurement(), 1e-12));
+    assert!(pvm_hypotheses_hold(&d.measurement(), 1e-12));
+
+    // The generated hypotheses match the §5.1 proof's premises in shape:
+    // for a two-outcome partition they include m1 m1 = m1 and m1 m0 = 0.
+    let syms = [Symbol::intern("f0"), Symbol::intern("f1")];
+    let hyps = pvm_partition_hypotheses(&syms);
+    let texts: Vec<String> = hyps.iter().map(ToString::to_string).collect();
+    assert!(texts.contains(&"f1 f1 = f1".to_owned()));
+    assert!(texts.contains(&"f1 f0 = 0".to_owned()));
+}
+
+#[test]
+fn ka_embedding_respects_program_encodings() {
+    // Loop peeling is hypothesis-free, so its two sides are equal in NKA
+    // and a fortiori language-equal — on encodings, both decisions agree
+    // with the checked proof.
+    let lhs: Expr = "(m1 p)* m0".parse().unwrap();
+    let rhs: Expr = "m0 + m1 (p ((m1 p)* m0))".parse().unwrap();
+    assert!(decide_eq(&lhs, &rhs).unwrap());
+    assert!(ka_equiv(&lhs, &rhs).unwrap());
+
+    // Unrolling (5.1.1) needs its projectivity hypotheses in *both*
+    // theories: without them the right-hand side admits words like
+    // `m0 p m1 m1` (take the inner branch, then exit) that the left-hand
+    // side never produces, so even the supports differ.
+    let u1: Expr = "(m0 p)* m1".parse().unwrap();
+    let u2: Expr = "(m0 p (m0 p + m1 1))* m1".parse().unwrap();
+    assert!(!decide_eq(&u1, &u2).unwrap());
+    assert!(!ka_equiv(&u1, &u2).unwrap());
+
+    // Where the theories *do* part ways on encodings: merging duplicated
+    // measurement branches. `case M → {P | P}` collapses classically
+    // (idempotence) but double-counts quantum probability mass.
+    let dup: Expr = "m0 p + m0 p".parse().unwrap();
+    let single: Expr = "m0 p".parse().unwrap();
+    assert!(ka_equiv(&dup, &single).unwrap());
+    assert!(!decide_eq(&dup, &single).unwrap());
+}

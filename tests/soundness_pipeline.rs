@@ -1,0 +1,134 @@
+//! Theorem 1.1 end to end: NKA equivalence of encodings implies equality
+//! of denotational semantics — exercised on randomly generated quantum
+//! while-programs.
+
+use nka_quantum::apps::compiler_opt::programs_equal_on_probes;
+use nka_quantum::nka::decide_eq;
+use nka_quantum::qpath::{action::actions_approx_eq, Action, ExtPosOp};
+use nka_quantum::qprog::{EncoderSetting, Program};
+use qsim_quantum::{gates, states, Measurement};
+
+/// A small random program generator over one qubit (loops kept shallow so
+/// semantics converge fast).
+fn random_program(seed: &mut u64, depth: usize) -> Program {
+    let mut next = || {
+        let mut x = *seed;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *seed = if x == 0 { 0x9E3779B97F4A7C15 } else { x };
+        *seed
+    };
+    let meas = Measurement::computational_basis(2);
+    let leaf = |roll: u64| -> Program {
+        match roll % 4 {
+            0 => Program::unitary("h", &gates::hadamard()),
+            1 => Program::unitary("x", &gates::pauli_x()),
+            2 => Program::skip(2),
+            _ => Program::unitary("t", &gates::t_gate()),
+        }
+    };
+    if depth == 0 {
+        return leaf(next());
+    }
+    match next() % 5 {
+        0 | 1 => random_program(seed, depth - 1).then(&random_program(seed, depth - 1)),
+        2 => Program::case(
+            ["m0", "m1"],
+            &meas,
+            vec![
+                random_program(seed, depth - 1),
+                random_program(seed, depth - 1),
+            ],
+        ),
+        3 => Program::while_loop(
+            ["m0", "m1"],
+            &meas,
+            // A Hadamard before the recursive body keeps exit probability
+            // bounded away from zero.
+            Program::unitary("h", &gates::hadamard()).then(&random_program(seed, depth - 1)),
+        ),
+        _ => leaf(next()),
+    }
+}
+
+#[test]
+fn theorem_1_1_on_random_program_pairs() {
+    let mut seed = 0x7EE1;
+    let mut equal_found = 0;
+    for _ in 0..30 {
+        let p1 = random_program(&mut seed, 2);
+        let p2 = random_program(&mut seed, 2);
+        let mut setting = EncoderSetting::new(2);
+        let e1 = setting.encode(&p1).unwrap();
+        let e2 = setting.encode(&p2).unwrap();
+        if decide_eq(&e1, &e2) {
+            equal_found += 1;
+            assert!(
+                programs_equal_on_probes(&p1, &p2, 1e-6),
+                "NKA-equal encodings with different semantics:\n  {p1}\n  {p2}"
+            );
+        }
+    }
+    // Syntactically identical draws do occur; the test is only vacuous if
+    // none did, in which case the deterministic pairs below still bite.
+    let _ = equal_found;
+}
+
+#[test]
+fn theorem_1_1_on_known_equal_pairs() {
+    let meas = Measurement::computational_basis(2);
+    let h = Program::unitary("h", &gates::hadamard());
+    let x = Program::unitary("x", &gates::pauli_x());
+
+    // skip; P ≡ P.
+    let lhs = Program::skip(2).then(&h);
+    let mut setting = EncoderSetting::new(2);
+    let e1 = setting.encode(&lhs).unwrap();
+    let e2 = setting.encode(&h).unwrap();
+    assert!(decide_eq(&e1, &e2));
+    assert!(programs_equal_on_probes(&lhs, &h, 1e-9));
+
+    // case M → (P; Q) | (P; R) ≡ … shares the prefix only semantically —
+    // NOT an NKA theorem (encodings differ); sanity-check the decision
+    // procedure refuses it.
+    let case_a = Program::case(["m0", "m1"], &meas, vec![h.then(&x), h.clone()]);
+    let mut setting = EncoderSetting::new(2);
+    let ea = setting.encode(&case_a).unwrap();
+    let eh = setting.encode(&h).unwrap();
+    assert!(!decide_eq(&ea, &eh));
+}
+
+#[test]
+fn theorem_4_5_on_random_programs() {
+    // Qint(Enc(P)) = ⟨⟦P⟧⟩↑ on the probe family.
+    let mut seed = 0x45_45;
+    for _ in 0..8 {
+        let p = random_program(&mut seed, 2);
+        let mut setting = EncoderSetting::new(2);
+        let enc = setting.encode(&p).unwrap();
+        let int = setting.interpretation();
+        let encoded_action = int.action(&enc);
+        let denot_action = Action::lift(p.denotation().to_superoperator());
+        assert!(
+            actions_approx_eq(&encoded_action, &denot_action),
+            "Theorem 4.5 failed for {p} (encoding {enc})"
+        );
+    }
+}
+
+#[test]
+fn interpretation_handles_divergent_programs() {
+    // while M = 1 do skip done diverges on |1⟩: the path-model result is
+    // still finite (trace mass is lost, not diverged — partial densities).
+    let meas = Measurement::computational_basis(2);
+    let w = Program::while_loop(["m0", "m1"], &meas, Program::skip(2));
+    let mut setting = EncoderSetting::new(2);
+    let enc = setting.encode(&w).unwrap();
+    let int = setting.interpretation();
+    let out = int
+        .action(&enc)
+        .apply(&ExtPosOp::from_operator(&states::basis_density(2, 1)));
+    assert!(out.is_finite());
+    assert!(out.finite_trace() < 1e-8);
+}
