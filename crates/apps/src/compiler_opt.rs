@@ -186,11 +186,8 @@ pub fn boundary_lemma(
         .rw_rev_at(&[0], theorems::product_star(u, &q.mul(u_inv)))
         .expect("boundary product-star")
         .semiring(
-            &one.add(
-                &u.mul(&q.mul(&u_inv.mul(u)).star())
-                    .mul(&q.mul(u_inv)),
-            )
-            .mul(m),
+            &one.add(&u.mul(&q.mul(&u_inv.mul(u)).star()).mul(&q.mul(u_inv)))
+                .mul(m),
         )
         .expect("boundary expose inverse")
         .rw_at(&[0, 1, 0, 1, 0, 1], hyp_uinvu)

@@ -208,8 +208,8 @@ mod tests {
     fn random_expressions_obey_c51() {
         use nka_syntax::{random_expr, ExprGenConfig};
         let m = model();
-        let config = ExprGenConfig::new(vec![Symbol::intern("a"), Symbol::intern("b")])
-            .with_target_size(7);
+        let config =
+            ExprGenConfig::new(vec![Symbol::intern("a"), Symbol::intern("b")]).with_target_size(7);
         let mut seed = 0xC5_15EED;
         for _ in 0..25 {
             let expr = random_expr(&config, &mut seed);

@@ -48,9 +48,17 @@ pub fn hypotheses() -> Vec<Judgment> {
     }
     for i in 0..3u32 {
         for j in 0..2u32 {
-            let gt = if i > j { format!("g{i}") } else { "0".to_owned() };
+            let gt = if i > j {
+                format!("g{i}")
+            } else {
+                "0".to_owned()
+            };
             hyps.push(Judgment::Eq(e(&format!("g{i} g_gt{j}")), e(&gt)));
-            let le = if i <= j { format!("g{i}") } else { "0".to_owned() };
+            let le = if i <= j {
+                format!("g{i}")
+            } else {
+                "0".to_owned()
+            };
             hyps.push(Judgment::Eq(e(&format!("g{i} g_le{j}")), e(&le)));
         }
     }
@@ -327,11 +335,7 @@ pub fn section6_proof() -> CheckedHornProof {
         )
         .expect("main star-rewrite")
         // Reshape so (g1, Z*) is a unit: ((m11 p1)* (g1 Z*)) g_le0.
-        .semiring(
-            &e("(m11 p1)*")
-                .mul(&e("g1").mul(&z.star()))
-                .mul(&e("g_le0")),
-        )
+        .semiring(&e("(m11 p1)*").mul(&e("g1").mul(&z.star())).mul(&e("g_le0")))
         .expect("main isolate g1 Z*")
         .rw_rev_at(&[0, 1, 1], theorems::fixed_point_right(&z))
         .expect("main unfold Z*")

@@ -35,14 +35,14 @@ fn e(src: &str) -> Expr {
 /// ```
 pub fn qsp_optimization_proof() -> CheckedHornProof {
     let hypotheses = vec![
-        Judgment::Eq(e("phi s"), e("s phi")),                   // 0
+        Judgment::Eq(e("phi s"), e("s phi")), // 0
         Judgment::Eq(e("(phi_inv d) s_inv"), e("s_inv (phi_inv d)")), // 1
-        Judgment::Eq(e("m1 s"), e("s m1")),                     // 2
-        Judgment::Eq(e("m0 s"), e("s m0")),                     // 3 (unused by the chain; listed by the paper via (5.2.1))
-        Judgment::Eq(e("r0 s"), e("r0")),                       // 4
-        Judgment::Eq(e("s_inv tau1"), e("tau1")),               // 5
-        Judgment::Eq(e("s s_inv"), e("1")),                     // 6
-        Judgment::Eq(e("s_inv s"), e("1")),                     // 7
+        Judgment::Eq(e("m1 s"), e("s m1")),   // 2
+        Judgment::Eq(e("m0 s"), e("s m0")), // 3 (unused by the chain; listed by the paper via (5.2.1))
+        Judgment::Eq(e("r0 s"), e("r0")),   // 4
+        Judgment::Eq(e("s_inv tau1"), e("tau1")), // 5
+        Judgment::Eq(e("s s_inv"), e("1")), // 6
+        Judgment::Eq(e("s_inv s"), e("1")), // 7
     ];
     let start = e("c0 p0 r0 (m1 phi s wc s_inv phi_inv d)* m0 (tau0 0 + tau1 1)");
     let target = e("c0 p0 r0 (m1 phi wc phi_inv d)* m0 (tau0 0 + tau1 1)");
@@ -67,7 +67,9 @@ pub fn qsp_optimization_proof() -> CheckedHornProof {
 
     let chain = EqChain::with_hyps(&start, &hypotheses)
         // Collapse the abort branch (τ0·0 + τ1·1 = τ1) and expose (φ s).
-        .semiring(&e("c0 p0 r0 (m1 ((phi s) (wc (s_inv (phi_inv d)))))* m0 tau1"))
+        .semiring(&e(
+            "c0 p0 r0 (m1 ((phi s) (wc (s_inv (phi_inv d)))))* m0 tau1",
+        ))
         .expect("qsp collapse abort")
         // φ s → s φ.
         .rw(Proof::Hyp(0))
@@ -76,7 +78,9 @@ pub fn qsp_optimization_proof() -> CheckedHornProof {
         .rw_rev(Proof::Hyp(1))
         .expect("qsp move s_inv right")
         // Expose m1 s and pull s to the front of the body.
-        .semiring(&e("c0 p0 r0 ((m1 s) (phi (wc ((phi_inv d) s_inv))))* m0 tau1"))
+        .semiring(&e(
+            "c0 p0 r0 ((m1 s) (phi (wc ((phi_inv d) s_inv))))* m0 tau1",
+        ))
         .expect("qsp expose m1 s")
         .rw(Proof::Hyp(2))
         .expect("qsp commute m1 s")
@@ -86,7 +90,9 @@ pub fn qsp_optimization_proof() -> CheckedHornProof {
         .rw_at(&[0, 1], lemma)
         .expect("qsp boundary lemma")
         // Absorb s into r0 and s⁻¹ into τ1.
-        .semiring(&e("c0 p0 ((r0 s) ((m1 phi wc phi_inv d)* (m0 (s_inv tau1))))"))
+        .semiring(&e(
+            "c0 p0 ((r0 s) ((m1 phi wc phi_inv d)* (m0 (s_inv tau1))))",
+        ))
         .expect("qsp expose absorptions")
         .rw(Proof::Hyp(4))
         .expect("qsp absorb r0 s")
@@ -199,8 +205,7 @@ impl QspInstance {
                 }
             }
         }
-        let w = (&reflection.kron(&CMatrix::identity(2)) * &select)
-            .scale(-Complex::I);
+        let w = (&reflection.kron(&CMatrix::identity(2)) * &select).scale(-Complex::I);
         // CW = |+⟩⟨+| ⊗ I + |−⟩⟨−| ⊗ W on (p, r, q), via the Hadamard
         // conjugation of the |0⟩/|1⟩-controlled W.
         let h2 = gates::hadamard().kron(&CMatrix::identity(2 * l));

@@ -6,9 +6,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nka_bench::random_exprs;
 use nka_series::eval;
-use nka_syntax::Symbol;
+use nka_syntax::{Expr, Symbol};
 use nka_wfa::decide::{decide_eq_with, DecideOptions};
 use nka_wfa::ka::{ka_equiv, saturate};
+use nka_wfa::Decider;
 use std::hint::black_box;
 
 fn bench_decide(c: &mut Criterion) {
@@ -20,9 +21,33 @@ fn bench_decide(c: &mut Criterion) {
         let exprs = random_exprs(8, size, 0xD5C1DE + size as u64);
         group.bench_with_input(BenchmarkId::from_parameter(size), &exprs, |b, exprs| {
             b.iter(|| {
+                // One cold engine per sweep: the honest end-to-end cost of
+                // compiling + deciding each pair exactly once.
+                let mut engine = Decider::new();
                 for pair in exprs.chunks(2) {
-                    let _ = nka_wfa::decide_eq(black_box(&pair[0]), black_box(&pair[1]));
+                    let _ = engine.decide(black_box(&pair[0]), black_box(&pair[1]));
                 }
+            });
+        });
+    }
+    group.finish();
+
+    // The same sweeps against a persistent engine: after the first
+    // iteration every verdict is a cache hit, so this arm measures the
+    // memoized steady state the serving layers will sit on.
+    let mut group = c.benchmark_group("decide/engine_warm");
+    group.sample_size(10);
+    for size in [10usize, 20, 40, 80] {
+        let exprs = random_exprs(8, size, 0xD5C1DE + size as u64);
+        let pairs: Vec<(Expr, Expr)> = exprs
+            .chunks(2)
+            .map(|pair| (pair[0].clone(), pair[1].clone()))
+            .collect();
+        let mut engine = Decider::new();
+        let _ = engine.decide_all(&pairs); // prime the caches
+        group.bench_with_input(BenchmarkId::from_parameter(size), &pairs, |b, pairs| {
+            b.iter(|| {
+                let _ = engine.decide_all(black_box(pairs));
             });
         });
     }

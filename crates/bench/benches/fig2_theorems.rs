@@ -47,13 +47,37 @@ fn bench_fig2(c: &mut Criterion) {
     }
     group.finish();
 
+    // Cold path: a fresh engine per decision (compile + determinize every
+    // time) — this is what a one-shot `decide_eq` call costs.
     let mut group = c.benchmark_group("fig2/decision_procedure");
     for (name, lhs, rhs) in figure2_equations() {
         let (l, r) = (e(lhs), e(rhs));
         group.bench_function(name, |b| {
-            b.iter(|| nka_wfa::decide_eq(black_box(&l), black_box(&r)).unwrap());
+            b.iter(|| {
+                nka_wfa::Decider::new()
+                    .decide(black_box(&l), black_box(&r))
+                    .unwrap()
+            });
         });
     }
+    group.finish();
+
+    // Warm path: all seven theorems through one shared engine, re-decided
+    // per iteration — verdicts come from the memoized caches.
+    let mut group = c.benchmark_group("fig2/decision_engine_warm");
+    let pairs: Vec<(Expr, Expr)> = figure2_equations()
+        .into_iter()
+        .map(|(_, lhs, rhs)| (e(lhs), e(rhs)))
+        .collect();
+    let mut engine = nka_wfa::Decider::new();
+    assert!(engine.decide_all(&pairs).into_iter().all(|v| v.unwrap()));
+    group.bench_function("all_theorems", |b| {
+        b.iter(|| {
+            for verdict in engine.decide_all(black_box(&pairs)) {
+                assert!(verdict.unwrap());
+            }
+        });
+    });
     group.finish();
 }
 

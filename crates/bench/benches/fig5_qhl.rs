@@ -47,9 +47,7 @@ fn seq_case() -> (QhlDerivation, Program) {
 fn bench_fig5(c: &mut Criterion) {
     for (name, (derivation, prog)) in [("loop", loop_case()), ("seq", seq_case())] {
         c.bench_function(&format!("fig5/{name}/semantic_side_conditions"), |b| {
-            b.iter(|| {
-                black_box(&derivation).conclude(black_box(&prog)).unwrap()
-            });
+            b.iter(|| black_box(&derivation).conclude(black_box(&prog)).unwrap());
         });
         c.bench_function(&format!("fig5/{name}/theorem78_compile"), |b| {
             b.iter(|| {

@@ -16,24 +16,16 @@ fn bench_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("scale_motivation");
     group.sample_size(10);
     for qubits in 1..=4usize {
-        group.bench_with_input(
-            BenchmarkId::new("algebraic", qubits),
-            &qubits,
-            |b, _| {
-                // The proof is literally the same object at every size.
-                b.iter(|| {
-                    let horn = loop_unrolling_proof();
-                    black_box(&horn).assert_checked();
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("semantic", qubits),
-            &qubits,
-            |b, &q| {
-                b.iter(|| assert!(verify_loop_unrolling_semantically(q, 1e-7)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("algebraic", qubits), &qubits, |b, _| {
+            // The proof is literally the same object at every size.
+            b.iter(|| {
+                let horn = loop_unrolling_proof();
+                black_box(&horn).assert_checked();
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("semantic", qubits), &qubits, |b, &q| {
+            b.iter(|| assert!(verify_loop_unrolling_semantically(q, 1e-7)));
+        });
     }
     group.finish();
 }

@@ -19,7 +19,10 @@ fn shapes() -> Vec<(&'static str, Program)> {
             "case",
             Program::case(["n0", "n1"], &meas, vec![coin.clone(), x.clone()]),
         ),
-        ("nested", Program::while_loop(["n0", "n1"], &meas, coin.then(&x))),
+        (
+            "nested",
+            Program::while_loop(["n0", "n1"], &meas, coin.then(&x)),
+        ),
     ]
 }
 
@@ -33,10 +36,7 @@ fn verify_shapes() -> Vec<(&'static str, Program)> {
     let coin = Program::while_loop(["m0", "m1"], &meas, h);
     vec![
         ("single", coin.clone()),
-        (
-            "case",
-            Program::case(["n0", "n1"], &meas, vec![coin, x]),
-        ),
+        ("case", Program::case(["n0", "n1"], &meas, vec![coin, x])),
     ]
 }
 

@@ -55,7 +55,11 @@ impl CMatrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        CMatrix { rows: r, cols: c, data }
+        CMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from real rows.
@@ -71,7 +75,11 @@ impl CMatrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend(row.iter().map(|&x| Complex::from(x)));
         }
-        CMatrix { rows: r, cols: c, data }
+        CMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// The rank-one matrix `|v⟩⟨w|`.

@@ -121,12 +121,7 @@ impl Subspace {
             tmp.residual(&r)
         };
         let norm: f64 = r.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
-        let scale: f64 = v
-            .iter()
-            .map(|z| z.norm_sqr())
-            .sum::<f64>()
-            .sqrt()
-            .max(1.0);
+        let scale: f64 = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt().max(1.0);
         if norm <= tol * scale {
             return self.clone();
         }
@@ -271,11 +266,7 @@ mod tests {
     #[test]
     fn support_and_kernel_partition() {
         // diag(0.5, 0, 0.25): support = span{e0, e2}, kernel = span{e1}.
-        let m = CMatrix::from_real(&[
-            &[0.5, 0.0, 0.0],
-            &[0.0, 0.0, 0.0],
-            &[0.0, 0.0, 0.25],
-        ]);
+        let m = CMatrix::from_real(&[&[0.5, 0.0, 0.0], &[0.0, 0.0, 0.0], &[0.0, 0.0, 0.25]]);
         let supp = Subspace::support_of_psd(&m, 1e-9);
         let ker = Subspace::kernel_of_psd(&m, 1e-9);
         assert_eq!(supp.dim(), 2);

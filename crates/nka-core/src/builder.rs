@@ -108,7 +108,10 @@ pub fn rewrite_once(
 ) -> Result<(Proof, Expr), ProofError> {
     let j = rule.check(hyps)?;
     let Judgment::Eq(l, r) = j else {
-        return Err(proof_error("rewrite", "rule is not an equation".to_string()));
+        return Err(proof_error(
+            "rewrite",
+            "rule is not an equation".to_string(),
+        ));
     };
     wrap_at_path(e, path, rule, &l, &r)
 }
@@ -195,7 +198,10 @@ impl EqChain {
     pub fn rw_at(self, path: &[usize], rule: Proof) -> Result<EqChain, ProofError> {
         let j = rule.check(&self.hyps)?;
         let Judgment::Eq(l, r) = j else {
-            return Err(proof_error("rewrite", format!("rule is not an equation: {j}")));
+            return Err(proof_error(
+                "rewrite",
+                format!("rule is not an equation: {j}"),
+            ));
         };
         let (step, new_current) = wrap_at_path(&self.current, path, rule, &l, &r)?;
         Ok(self.append(step, new_current))
@@ -218,7 +224,10 @@ impl EqChain {
     pub fn rw(self, rule: Proof) -> Result<EqChain, ProofError> {
         let j = rule.check(&self.hyps)?;
         let Judgment::Eq(l, _) = &j else {
-            return Err(proof_error("rewrite", format!("rule is not an equation: {j}")));
+            return Err(proof_error(
+                "rewrite",
+                format!("rule is not an equation: {j}"),
+            ));
         };
         let path = find_subterm(&self.current, l).ok_or_else(|| {
             proof_error(
@@ -278,7 +287,10 @@ impl EqChain {
         loop {
             let j = rule.check(&self.hyps)?;
             let Judgment::Eq(l, _) = &j else {
-                return Err(proof_error("rewrite", format!("rule is not an equation: {j}")));
+                return Err(proof_error(
+                    "rewrite",
+                    format!("rule is not an equation: {j}"),
+                ));
             };
             match find_subterm(&self.current, l) {
                 Some(path) => {
@@ -361,7 +373,10 @@ impl LeChain {
     pub fn le_step(self, rule: Proof) -> Result<LeChain, ProofError> {
         let j = rule.check(&self.hyps)?;
         let Judgment::Le(l, r) = &j else {
-            return Err(proof_error("le-step", format!("rule is not an inequation: {j}")));
+            return Err(proof_error(
+                "le-step",
+                format!("rule is not an inequation: {j}"),
+            ));
         };
         if l != &self.current {
             return Err(proof_error(
@@ -381,7 +396,10 @@ impl LeChain {
     pub fn eq_step(self, rule: Proof) -> Result<LeChain, ProofError> {
         let j = rule.check(&self.hyps)?;
         let Judgment::Eq(l, r) = &j else {
-            return Err(proof_error("eq-step", format!("rule is not an equation: {j}")));
+            return Err(proof_error(
+                "eq-step",
+                format!("rule is not an equation: {j}"),
+            ));
         };
         if l != &self.current {
             return Err(proof_error(
@@ -413,7 +431,10 @@ impl LeChain {
     pub fn le_rw_at(self, path: &[usize], rule: Proof) -> Result<LeChain, ProofError> {
         let j = rule.check(&self.hyps)?;
         let Judgment::Le(l, r) = &j else {
-            return Err(proof_error("le-rewrite", format!("rule is not an inequation: {j}")));
+            return Err(proof_error(
+                "le-rewrite",
+                format!("rule is not an inequation: {j}"),
+            ));
         };
         let (step, new_current) = wrap_le_at_path(&self.current, path, rule, l, r)?;
         Ok(self.append(step, new_current))
@@ -428,7 +449,10 @@ impl LeChain {
     pub fn eq_rw_at(self, path: &[usize], rule: Proof) -> Result<LeChain, ProofError> {
         let j = rule.check(&self.hyps)?;
         let Judgment::Eq(l, r) = &j else {
-            return Err(proof_error("eq-rewrite", format!("rule is not an equation: {j}")));
+            return Err(proof_error(
+                "eq-rewrite",
+                format!("rule is not an equation: {j}"),
+            ));
         };
         let (step, new_current) = wrap_at_path(&self.current, path, rule, l, r)?;
         Ok(self.append(step.as_le(), new_current))
@@ -442,7 +466,10 @@ impl LeChain {
     pub fn eq_rw(self, rule: Proof) -> Result<LeChain, ProofError> {
         let j = rule.check(&self.hyps)?;
         let Judgment::Eq(l, _) = &j else {
-            return Err(proof_error("eq-rewrite", format!("rule is not an equation: {j}")));
+            return Err(proof_error(
+                "eq-rewrite",
+                format!("rule is not an equation: {j}"),
+            ));
         };
         let path = find_subterm(&self.current, l).ok_or_else(|| {
             proof_error(
@@ -586,10 +613,7 @@ mod tests {
             .unwrap()
             .le_step(Proof::AxiomLe(LeAxiom::StarUnfold, vec![e("a")]))
             .unwrap();
-        assert_eq!(
-            chain.judgment().to_string(),
-            "1 + a (1 a)* ≤ a*"
-        );
+        assert_eq!(chain.judgment().to_string(), "1 + a (1 a)* ≤ a*");
         chain.into_proof().check_closed().unwrap();
     }
 
@@ -607,8 +631,8 @@ mod tests {
     #[test]
     fn le_rewrite_under_star_is_rejected() {
         let start = e("(1 + a a*)*");
-        let res = LeChain::new(&start)
-            .le_rw_at(&[0], Proof::AxiomLe(LeAxiom::StarUnfold, vec![e("a")]));
+        let res =
+            LeChain::new(&start).le_rw_at(&[0], Proof::AxiomLe(LeAxiom::StarUnfold, vec![e("a")]));
         assert!(res.is_err());
     }
 

@@ -275,7 +275,8 @@ mod tests {
         for w in words {
             let proof = g.cancellation_proof(&w).unwrap();
             let j = proof.check(&g.hypotheses()).unwrap();
-            let lhs = UnitaryGroup::word_expr(&w).mul(&UnitaryGroup::word_expr(&g.inverse_word(&w)));
+            let lhs =
+                UnitaryGroup::word_expr(&w).mul(&UnitaryGroup::word_expr(&g.inverse_word(&w)));
             assert_eq!(j, Judgment::Eq(lhs, Expr::one()), "word {w:?}");
         }
     }

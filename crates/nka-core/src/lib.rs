@@ -18,7 +18,8 @@
 //! * a small **auto-prover** ([`prover`]) that searches for rewrite proofs
 //!   under hypotheses;
 //! * [`decide_eq`] — the decision procedure for `⊢NKA e = f`
-//!   (re-exported from `nka-wfa`; Remark 2.1 / Theorem A.6).
+//!   (Remark 2.1 / Theorem A.6), a one-shot façade over the shared
+//!   budgeted [`Decider`] engine re-exported from `nka-wfa`.
 //!
 //! # Examples
 //!
@@ -51,16 +52,23 @@ pub use builder::{EqChain, LeChain};
 pub use group::UnitaryGroup;
 pub use judgment::Judgment;
 pub use proof::{Proof, ProofError};
+// The decision-procedure surface is the shared engine from `nka-wfa`;
+// re-exported here so downstream crates need only one import site.
+pub use nka_wfa::{DecideError, DecideOptions, Decider, DeciderStats};
 
 use nka_syntax::Expr;
 
 /// Decides `⊢NKA e = f` via the rational-power-series model
 /// (Theorem A.6).
 ///
-/// # Panics
+/// One-shot façade over the shared [`Decider`] engine; anything deciding
+/// more than one query should hold a [`Decider`] and reuse its caches.
 ///
-/// Panics on resource exhaustion in the subset construction; use
-/// [`nka_wfa::decide::decide_eq_with`] for explicit budget control.
+/// # Errors
+///
+/// Returns [`DecideError`] if the subset construction exceeds the default
+/// state budget — it never panics. Use [`Decider::with_budget`] for
+/// explicit budget control.
 ///
 /// # Examples
 ///
@@ -69,9 +77,9 @@ use nka_syntax::Expr;
 /// use nka_syntax::Expr;
 /// let double: Expr = "p* p*".parse()?;
 /// let single: Expr = "p*".parse()?;
-/// assert!(!decide_eq(&double, &single)); // p* p* counts splits — not idempotent
-/// # Ok::<(), nka_syntax::ParseExprError>(())
+/// assert!(!decide_eq(&double, &single)?); // p* p* counts splits — not idempotent
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn decide_eq(e: &Expr, f: &Expr) -> bool {
-    nka_wfa::decide_eq(e, f).expect("NKA decision procedure exceeded its resource budget")
+pub fn decide_eq(e: &Expr, f: &Expr) -> Result<bool, DecideError> {
+    nka_wfa::decide_eq(e, f)
 }

@@ -171,7 +171,10 @@ impl Proof {
             }
             Proof::AxiomLe(ax, args) => {
                 if args.is_empty() {
-                    return Err(ProofError::new("axiom-le", format!("axiom {ax} needs 1 argument")));
+                    return Err(ProofError::new(
+                        "axiom-le",
+                        format!("axiom {ax} needs 1 argument"),
+                    ));
                 }
                 let (l, r) = ax.instantiate(args);
                 Ok(Judgment::Le(l, r))
@@ -393,7 +396,10 @@ mod tests {
             "(1 a)* = a*"
         );
         let in_sum = Proof::CongAdd(Box::new(inner), Box::new(Proof::Refl(e("c"))));
-        assert_eq!(in_sum.check_closed().unwrap().to_string(), "1 a + c = a + c");
+        assert_eq!(
+            in_sum.check_closed().unwrap().to_string(),
+            "1 a + c = a + c"
+        );
     }
 
     #[test]

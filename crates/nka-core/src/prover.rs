@@ -35,7 +35,21 @@ use crate::judgment::Judgment;
 use crate::proof::Proof;
 use crate::semiring_nf::{canon, CanonPoly};
 use nka_syntax::Expr;
+use nka_wfa::{DecideError, Decider};
 use std::collections::{BTreeSet, VecDeque};
+
+/// The three-valued result of [`Prover::prove_or_refute`].
+#[derive(Debug, Clone)]
+pub enum ProveOutcome {
+    /// A machine-checkable proof of the goal was found.
+    Proved(Proof),
+    /// The goal is **not** an NKA theorem: the decision engine separated
+    /// the two power series (only possible for hypothesis-free goals,
+    /// where the engine is a complete oracle by Theorem A.6).
+    Refuted,
+    /// The search budget ran out; the goal may or may not be provable.
+    Exhausted,
+}
 
 /// A breadth-first rewrite prover; see the [module docs](self).
 #[derive(Debug, Clone)]
@@ -84,6 +98,32 @@ impl Prover {
     pub fn with_max_term_size(mut self, n: usize) -> Prover {
         self.max_term_size = n;
         self
+    }
+
+    /// [`Prover::prove_eq`] routed through the shared decision engine:
+    /// for hypothesis-free goals the engine is consulted first, so a
+    /// non-theorem is *refuted* immediately instead of burning the whole
+    /// search budget, and repeated goals benefit from `engine`'s caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecideError`] if the engine's subset construction exceeds
+    /// its state budget (the rewrite search itself never errors).
+    pub fn prove_or_refute(
+        &self,
+        engine: &mut Decider,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> Result<ProveOutcome, DecideError> {
+        // Under hypotheses the series model is only sound for *theorems of
+        // the pure theory*, so a semantic "no" refutes nothing; skip it.
+        if self.hyps.is_empty() && !engine.decide(lhs, rhs)? {
+            return Ok(ProveOutcome::Refuted);
+        }
+        Ok(match self.prove_eq(lhs, rhs) {
+            Some(proof) => ProveOutcome::Proved(proof),
+            None => ProveOutcome::Exhausted,
+        })
     }
 
     /// Searches for a proof of `lhs = rhs`; returns `None` when the budget
@@ -216,6 +256,58 @@ mod tests {
     fn unprovable_within_budget_returns_none() {
         let prover = Prover::new(&[]).with_max_expansions(50);
         assert!(prover.prove_eq(&e("a + a"), &e("a")).is_none());
+    }
+
+    #[test]
+    fn engine_refutes_non_theorems_without_search() {
+        // With an expansion budget of zero the rewrite search can prove
+        // nothing, so a Refuted outcome must come from the engine alone.
+        let prover = Prover::new(&[]).with_max_expansions(0);
+        let mut engine = Decider::new();
+        let outcome = prover
+            .prove_or_refute(&mut engine, &e("a + a"), &e("a"))
+            .unwrap();
+        assert!(matches!(outcome, ProveOutcome::Refuted));
+        assert_eq!(engine.stats().nka_queries, 1);
+    }
+
+    #[test]
+    fn engine_routed_proving_still_finds_proofs() {
+        let mut prover = Prover::new(&[]);
+        prover.add_rule(crate::theorems::fixed_point_left(&e("a")));
+        let mut engine = Decider::new();
+        let outcome = prover
+            .prove_or_refute(&mut engine, &e("a* a + 1"), &e("a*"))
+            .unwrap();
+        let ProveOutcome::Proved(proof) = outcome else {
+            panic!("expected a proof");
+        };
+        proof.check_closed().unwrap();
+    }
+
+    #[test]
+    fn refutation_is_skipped_under_hypotheses() {
+        // a = b ⊢ a = b is provable but semantically false without the
+        // hypothesis; the engine must not refute it.
+        let hyps = [Judgment::Eq(e("a"), e("b"))];
+        let mut prover = Prover::new(&hyps);
+        prover.add_hypothesis_rules();
+        let mut engine = Decider::new();
+        let outcome = prover
+            .prove_or_refute(&mut engine, &e("a"), &e("b"))
+            .unwrap();
+        assert!(matches!(outcome, ProveOutcome::Proved(_)));
+        // The (unsound-here) semantic oracle was never consulted.
+        assert_eq!(engine.stats().nka_queries, 0);
+    }
+
+    #[test]
+    fn budget_errors_propagate_from_the_engine() {
+        let prover = Prover::new(&[]);
+        let mut engine = Decider::with_budget(1);
+        assert!(prover
+            .prove_or_refute(&mut engine, &e("1* a"), &e("1* b"))
+            .is_err());
     }
 
     #[test]

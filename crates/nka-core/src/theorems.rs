@@ -83,8 +83,8 @@ pub fn fixed_point_left(p: &Expr) -> Proof {
         .expect("fixed_point_left swap reshape")
         .eq_rw_at(&[1], fixed_point_right(p))
         .expect("fixed_point_left swap fp");
-    let swap = Proof::StarIndLeft(Box::new(swap_premise.into_proof())); // p* p ≤ p p*
-    // … then 1 + p* p ≤ 1 + p p* ≤ p*.
+    // p* p ≤ p p*, then 1 + p* p ≤ 1 + p p* ≤ p*.
+    let swap = Proof::StarIndLeft(Box::new(swap_premise.into_proof()));
     let le = LeChain::new(&lhs)
         .le_rw_at(&[1], swap)
         .expect("fixed_point_left mono")
@@ -121,10 +121,7 @@ pub fn product_star(p: &Expr, q: &Expr) -> Proof {
 
     // ≥ : (p q)* ≤ 1 + p (q p)* q.
     // Premise: 1 + (p q)(1 + p (q p)* q) = 1 + p (1 + (q p)(q p)*) q → lhs.
-    let reshaped = one().add(
-        &p.mul(&one().add(&qp.mul(&qp.star())))
-            .mul(q),
-    );
+    let reshaped = one().add(&p.mul(&one().add(&qp.mul(&qp.star()))).mul(q));
     let premise = EqChain::new(&one().add(&pq.mul(&lhs)))
         .semiring(&reshaped)
         .expect("product_star reshape")
@@ -145,8 +142,9 @@ pub fn product_star(p: &Expr, q: &Expr) -> Proof {
         .expect("product_star slide reshape")
         .rw_at(&[1], fixed_point_right(&pq))
         .expect("product_star slide fp");
-    let slide = Proof::StarIndLeft(Box::new(slide_premise.into_proof().as_le())); // (q p)* q ≤ q (p q)*
-    // … then 1 + p ((q p)* q) ≤ 1 + p (q (p q)*) = 1 + (p q)(p q)* ≤ (p q)*.
+    // (q p)* q ≤ q (p q)*, then
+    // 1 + p ((q p)* q) ≤ 1 + p (q (p q)*) = 1 + (p q)(p q)* ≤ (p q)*.
+    let slide = Proof::StarIndLeft(Box::new(slide_premise.into_proof().as_le()));
     let le = LeChain::new(&lhs)
         .semiring(&one().add(&p.mul(&qp.star().mul(q))))
         .expect("product_star assoc")

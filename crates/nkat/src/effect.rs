@@ -160,9 +160,7 @@ mod tests {
         assert!(ab.approx_eq(&ba, 1e-10));
         // (3) a ⊕ e defined ⇒ a = 0.
         assert!(a.try_plus(&Effect::top(dim)).is_none());
-        assert!(Effect::bottom(dim)
-            .try_plus(&Effect::top(dim))
-            .is_some());
+        assert!(Effect::bottom(dim).try_plus(&Effect::top(dim)).is_some());
         // (4) unique negation: a ⊕ ā = e.
         let total = a.try_plus(&a.negation()).unwrap();
         assert!(total.approx_eq(&Effect::top(dim), 1e-10));

@@ -33,16 +33,13 @@ pub fn partition_actions(meas: &Measurement) -> Vec<Action> {
 /// composition of a partition entry with a predicate is again a
 /// predicate, namely `⟨C_{Mᵢ†AMᵢ}⟩↑`.
 pub fn partition_preserves_predicates(meas: &Measurement, effect: &Effect, tol: f64) -> bool {
-    partition_actions(meas)
-        .iter()
-        .enumerate()
-        .all(|(i, mi)| {
-            let lhs = mi.diamond(&predicate_action(effect));
-            let expected = effect.pre_measure(meas.operator(i));
-            let rhs = predicate_action(&expected);
-            let _ = tol;
-            actions_approx_eq(&lhs, &rhs)
-        })
+    partition_actions(meas).iter().enumerate().all(|(i, mi)| {
+        let lhs = mi.diamond(&predicate_action(effect));
+        let expected = effect.pre_measure(meas.operator(i));
+        let rhs = predicate_action(&expected);
+        let _ = tol;
+        actions_approx_eq(&lhs, &rhs)
+    })
 }
 
 /// Definition 7.4(3b) on the model: `Σᵢ mᵢ e = e`.
@@ -120,10 +117,7 @@ mod tests {
         let x = nka_qpath::ExtPosOp::from_operator(&states::basis_density(2, 0));
         let y = nka_qpath::ExtPosOp::from_operator(&states::basis_density(2, 1));
         assert!(action.apply(&x).approx_eq(&action.apply(&y)));
-        assert!(action
-            .apply(&x)
-            .finite_part()
-            .approx_eq(a.matrix(), 1e-9));
+        assert!(action.apply(&x).finite_part().approx_eq(a.matrix(), 1e-9));
     }
 
     #[test]
@@ -132,9 +126,8 @@ mod tests {
         // measurements do not commute as actions.
         let z = Measurement::computational_basis(2);
         let h = gates::hadamard();
-        let x_basis = Measurement::from_projector(&(&(&h
-            * &states::basis_density(2, 0))
-            * &h.adjoint()));
+        let x_basis =
+            Measurement::from_projector(&(&(&h * &states::basis_density(2, 0)) * &h.adjoint()));
         let mz = partition_actions(&z);
         let mx = partition_actions(&x_basis);
         let zx = mz[0].diamond(&mx[0]);

@@ -175,7 +175,9 @@ impl DiagonalTest {
         assert_eq!(self.dim, other.dim);
         DiagonalTest {
             dim: self.dim,
-            member: (0..self.dim).map(|i| self.member[i] && other.member[i]).collect(),
+            member: (0..self.dim)
+                .map(|i| self.member[i] && other.member[i])
+                .collect(),
         }
     }
 
@@ -185,7 +187,9 @@ impl DiagonalTest {
         assert_eq!(self.dim, other.dim);
         DiagonalTest {
             dim: self.dim,
-            member: (0..self.dim).map(|i| self.member[i] || other.member[i]).collect(),
+            member: (0..self.dim)
+                .map(|i| self.member[i] || other.member[i])
+                .collect(),
         }
     }
 
@@ -262,7 +266,11 @@ mod tests {
 
     #[test]
     fn pvm_hypothesis_generator_shapes() {
-        let syms = [Symbol::intern("n0"), Symbol::intern("n1"), Symbol::intern("n2")];
+        let syms = [
+            Symbol::intern("n0"),
+            Symbol::intern("n1"),
+            Symbol::intern("n2"),
+        ];
         let hyps = pvm_partition_hypotheses(&syms);
         assert_eq!(hyps.len(), 9);
         assert_eq!(hyps[0].to_string(), "n0 n0 = n0");
@@ -349,8 +357,7 @@ mod tests {
             Complex::ZERO,
         ]);
         let d2 = DiagonalTest::from_indices(4, [0]);
-        let observed =
-            &d2.superoperator().apply(&plus) + &d2.not().superoperator().apply(&plus);
+        let observed = &d2.superoperator().apply(&plus) + &d2.not().superoperator().apply(&plus);
         assert!(!observed.approx_eq(&plus, 1e-6));
     }
 

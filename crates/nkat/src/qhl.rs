@@ -361,9 +361,7 @@ pub fn encode_qhl(
     derivation
         .conclude(prog)
         .map_err(|e| to_nkat(e.to_string()))?;
-    let program_expr = setting
-        .encode(prog)
-        .map_err(|e| to_nkat(e.to_string()))?;
+    let program_expr = setting.encode(prog).map_err(|e| to_nkat(e.to_string()))?;
 
     let mut ctx = NkatContext::new("e");
     let mut registry = EffectRegistry::new();
@@ -507,9 +505,7 @@ fn plan(
             // Inner triple {B} P {C}: fix B's term, then pre-register the
             // compound C = m0·a + m1·b so the body's planning resolves its
             // postcondition to the partition-sum shape.
-            let t_inner = inner
-                .conclude(body)
-                .map_err(|e| to_nkat(e.to_string()))?;
+            let t_inner = inner.conclude(body).map_err(|e| to_nkat(e.to_string()))?;
             let b_pair = reg.term_for(t_inner.pre(), ctx);
             let c_term = m0.mul(&a_pair.0).add(&m1.mul(&b_pair.0));
             let c_neg = m0.mul(&a_pair.1).add(&m1.mul(&b_pair.1));
@@ -663,19 +659,11 @@ mod tests {
         let mut seed = 5;
         let w = coin_flip_loop();
         // {I} while {|0⟩⟨0|}: the loop a.s. exits into |0⟩.
-        let t = HoareTriple::new(
-            &CMatrix::identity(2),
-            &w,
-            &states::basis_density(2, 0),
-        );
+        let t = HoareTriple::new(&CMatrix::identity(2), &w, &states::basis_density(2, 0));
         assert!(t.holds_partial(1e-7));
         assert!(t.holds_on_probes(8, &mut seed, 1e-7));
         // A false triple: {I} while {|1⟩⟨1|}.
-        let f = HoareTriple::new(
-            &CMatrix::identity(2),
-            &w,
-            &states::basis_density(2, 1),
-        );
+        let f = HoareTriple::new(&CMatrix::identity(2), &w, &states::basis_density(2, 1));
         assert!(!f.holds_partial(1e-7));
     }
 
@@ -700,10 +688,9 @@ mod tests {
     fn figure5_loop_rule_checks() {
         let (d, w) = loop_derivation();
         let t = d.conclude(&w).unwrap();
-        assert!(t.pre().approx_eq(
-            &CMatrix::from_real(&[&[1.0, 0.0], &[0.0, 0.5]]),
-            1e-9
-        ));
+        assert!(t
+            .pre()
+            .approx_eq(&CMatrix::from_real(&[&[1.0, 0.0], &[0.0, 0.5]]), 1e-9));
         assert!(t.holds_partial(1e-7));
     }
 

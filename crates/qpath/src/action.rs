@@ -220,8 +220,7 @@ fn apply_star(a: &Action, x: &ExtPosOp, policy: &StarPolicy) -> ExtPosOp {
         current = a.apply_with(&current, policy);
         // Judge convergence on mass that is genuinely new: compress the
         // incoming term against the already-divergent subspace.
-        let projected =
-            ExtPosOp::from_parts(total.divergence().clone(), current.finite_part());
+        let projected = ExtPosOp::from_parts(total.divergence().clone(), current.finite_part());
         let mass = projected.finite_trace();
         mass_history.push(mass);
         recent_terms.push(projected.finite_part().clone());
@@ -245,7 +244,8 @@ fn apply_star(a: &Action, x: &ExtPosOp, policy: &StarPolicy) -> ExtPosOp {
         let stalled = iter >= policy.warmup
             && mass_history.len() > policy.stall_window
             && mass > policy.tolerance
-            && mass >= policy.stall_ratio * mass_history[mass_history.len() - 1 - policy.stall_window];
+            && mass
+                >= policy.stall_ratio * mass_history[mass_history.len() - 1 - policy.stall_window];
         if stalled {
             // The recurring terms' supports span the divergent directions.
             let mut div = total.divergence().clone();
@@ -411,7 +411,10 @@ mod tests {
     fn sliding_law_holds_in_the_model() {
         // (ab)* a = a (ba)*.
         let m = Measurement::computational_basis(2);
-        let a = Action::lift(m.branch(0).compose(&Superoperator::from_unitary(&gates::hadamard())));
+        let a = Action::lift(
+            m.branch(0)
+                .compose(&Superoperator::from_unitary(&gates::hadamard())),
+        );
         let b = Action::lift(m.branch(1));
         let lhs = a.seq(&b).star().seq(&a);
         let rhs = a.seq(&b.seq(&a).star());

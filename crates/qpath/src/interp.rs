@@ -1,8 +1,8 @@
 //! Quantum interpretations of NKA expressions (Definition 4.1).
 
 use crate::action::Action;
-use qsim_quantum::Superoperator;
 use nka_syntax::{Expr, ExprNode, Symbol};
+use qsim_quantum::Superoperator;
 use std::collections::HashMap;
 
 /// A quantum interpretation setting `int = (H, eval)`: a Hilbert-space

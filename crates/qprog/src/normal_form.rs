@@ -122,11 +122,7 @@ fn embed_program(
     targets: &[qsim_quantum::registers::RegisterId],
 ) -> Program {
     let embed_superop = |op: &Superoperator| -> Superoperator {
-        let kraus = op
-            .kraus()
-            .iter()
-            .map(|k| space.embed(k, targets))
-            .collect();
+        let kraus = op.kraus().iter().map(|k| space.embed(k, targets)).collect();
         Superoperator::from_kraus(space.dim(), space.dim(), kraus)
     };
     let embed_meas = |m: &Measurement| -> Measurement {
@@ -203,10 +199,7 @@ fn guard_test(
 
 /// The projective multi-outcome measurement reading the guard value
 /// (`Meas[g]` of Section 6), with outcome `v` = projector on `|v⟩`.
-fn guard_read(
-    space: &RegisterSpace,
-    g: qsim_quantum::registers::RegisterId,
-) -> Measurement {
+fn guard_read(space: &RegisterSpace, g: qsim_quantum::registers::RegisterId) -> Measurement {
     let d = space.register_dim(g);
     Measurement::new(
         (0..d)
@@ -257,10 +250,8 @@ fn normalize_inner(p: &Program, counter: &mut usize) -> NormalForm {
         // test {M₀ = I, M₁ = 0} never fires.
         _ if p.is_while_free() => {
             let dim = p.dim();
-            let loop_meas = Measurement::new(vec![
-                CMatrix::identity(dim),
-                CMatrix::zeros(dim, dim),
-            ]);
+            let loop_meas =
+                Measurement::new(vec![CMatrix::identity(dim), CMatrix::zeros(dim, dim)]);
             NormalForm {
                 h_dim: dim,
                 guard_dim: 1,
@@ -366,8 +357,7 @@ fn normalize_inner(p: &Program, counter: &mut usize) -> NormalForm {
                     ))
                 })
                 .collect();
-            let prefix_names: Vec<String> =
-                (0..k).map(|i| m.name(i).to_owned()).collect();
+            let prefix_names: Vec<String> = (0..k).map(|i| m.name(i).to_owned()).collect();
             let p0 = Program::case(prefix_names, &meas_full, prefix_branches);
 
             // Body: case Meas[g] →ᵥ … — guard value i+1 runs branch i's
@@ -386,8 +376,7 @@ fn normalize_inner(p: &Program, counter: &mut usize) -> NormalForm {
                 );
                 body_branches.push(step);
             }
-            let body_names: Vec<String> =
-                (0..=k).map(|v| format!("{stem}_val{v}")).collect();
+            let body_names: Vec<String> = (0..=k).map(|v| format!("{stem}_val{v}")).collect();
             let body = Program::case(body_names, &guard_read(&space, g), body_branches);
 
             NormalForm {
@@ -488,7 +477,9 @@ pub fn verify_normal_form(p: &Program, nf: &NormalForm, tol: f64) -> bool {
     }
     probes.iter().all(|rho_h| {
         let input = rho_h.kron(&guard_zero);
-        original.run(&input).approx_eq(&constructed.run(&input), tol)
+        original
+            .run(&input)
+            .approx_eq(&constructed.run(&input), tol)
     })
 }
 
@@ -528,11 +519,7 @@ mod tests {
     #[test]
     fn loop_inside_case_merges() {
         let x = Program::unitary("x", &gates::pauli_x());
-        let prog = Program::case(
-            ["n0", "n1"],
-            &coin_meas(),
-            vec![coin_loop("m"), x],
-        );
+        let prog = Program::case(["n0", "n1"], &coin_meas(), vec![coin_loop("m"), x]);
         let nf = normalize(&prog);
         assert_eq!(nf.program().loop_count(), 1);
         assert!(verify_normal_form(&prog, &nf, 1e-7));

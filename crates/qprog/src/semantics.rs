@@ -309,8 +309,6 @@ mod tests {
     fn seq_composes() {
         let x = Program::unitary("x", &gates::pauli_x());
         let both = x.then(&x);
-        assert!(both
-            .denotation()
-            .approx_eq(&Denotation::identity(2), 1e-10));
+        assert!(both.denotation().approx_eq(&Denotation::identity(2), 1e-10));
     }
 }

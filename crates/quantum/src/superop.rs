@@ -90,7 +90,8 @@ impl Superoperator {
             for i in 0..dim {
                 let mut basis = vec![qsim_linalg::Complex::ZERO; dim];
                 basis[i] = qsim_linalg::Complex::ONE;
-                kraus.push(CMatrix::outer(&v, &basis).scale(qsim_linalg::Complex::from(val.sqrt())));
+                kraus
+                    .push(CMatrix::outer(&v, &basis).scale(qsim_linalg::Complex::from(val.sqrt())));
             }
         }
         Superoperator::from_kraus(dim, dim, kraus)

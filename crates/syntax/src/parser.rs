@@ -177,10 +177,7 @@ impl Parser {
                     _ => Err(ParseExprError::new("expected ')'", at)),
                 }
             }
-            Some(tok) => Err(ParseExprError::new(
-                format!("unexpected token {tok:?}"),
-                at,
-            )),
+            Some(tok) => Err(ParseExprError::new(format!("unexpected token {tok:?}"), at)),
             None => Err(ParseExprError::new("unexpected end of input", at)),
         }
     }

@@ -63,12 +63,7 @@ impl Word {
     /// All ways of splitting `self` into a prefix and suffix
     /// (`len + 1` splits, including the trivial ones).
     pub fn splits(&self) -> impl Iterator<Item = (Word, Word)> + '_ {
-        (0..=self.0.len()).map(move |i| {
-            (
-                Word(self.0[..i].to_vec()),
-                Word(self.0[i..].to_vec()),
-            )
-        })
+        (0..=self.0.len()).map(move |i| (Word(self.0[..i].to_vec()), Word(self.0[i..].to_vec())))
     }
 }
 

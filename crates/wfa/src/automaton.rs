@@ -242,10 +242,7 @@ mod tests {
     fn rational_part_matches_on_finite_words() {
         let wfa = wfa_of("a a + a a + b");
         let q = wfa.rational_part();
-        assert_eq!(
-            q.coefficient(&word(&["a", "a"])),
-            BigRational::from(2u64)
-        );
+        assert_eq!(q.coefficient(&word(&["a", "a"])), BigRational::from(2u64));
         assert_eq!(q.coefficient(&word(&["b"])), BigRational::from(1u64));
         assert_eq!(q.coefficient(&word(&["a"])), BigRational::zero());
     }

@@ -4,10 +4,9 @@
 //! decided by comparing ∞-supports as regular languages and finite parts as
 //! Q-weighted automata. See the crate documentation for the pipeline.
 
+use crate::engine::Decider;
 use crate::nfa::DeterminizeOverflow;
-use crate::thompson::thompson;
-use crate::zeroness::{is_zero_series, is_zero_series_f64, restrict_to_language};
-use nka_syntax::{Expr, Symbol};
+use nka_syntax::Expr;
 use std::fmt;
 
 /// Error raised by [`decide_eq`] when a resource bound is exceeded.
@@ -78,41 +77,17 @@ pub fn decide_eq(e: &Expr, f: &Expr) -> Result<bool, DecideError> {
 }
 
 /// [`decide_eq`] with explicit resource options.
+///
+/// This is a one-shot convenience over [`Decider`]: it builds a fresh
+/// engine, decides, and throws the caches away. Callers with more than one
+/// query should hold a [`Decider`] and reuse it.
+///
+/// # Errors
+///
+/// Returns [`DecideError`] if a subset construction exceeds
+/// `opts.max_dfa_states`.
 pub fn decide_eq_with(e: &Expr, f: &Expr, opts: &DecideOptions) -> Result<bool, DecideError> {
-    // Shared alphabet: the union of the two expressions' atoms. A word using
-    // a symbol absent from an expression has coefficient 0 there, so this is
-    // the only alphabet on which the series can differ.
-    let mut alphabet: Vec<Symbol> = e.atoms().into_iter().collect();
-    for s in f.atoms() {
-        if !alphabet.contains(&s) {
-            alphabet.push(s);
-        }
-    }
-
-    let we = thompson(e).eliminate_epsilon();
-    let wf = thompson(f).eliminate_epsilon();
-
-    // Step 1: compare ∞-supports as regular languages.
-    let de = we
-        .infinity_support()
-        .determinize(&alphabet, opts.max_dfa_states)?;
-    let df = wf
-        .infinity_support()
-        .determinize(&alphabet, opts.max_dfa_states)?;
-    if !de.equivalent(&df) {
-        return Ok(false);
-    }
-
-    // Step 2: compare finite parts on the complement of the ∞-support.
-    let qe = we.rational_part();
-    let qf = wf.rational_part();
-    let diff = qe.difference(&qf, |w| -w.clone());
-    let restricted = restrict_to_language(&diff, &de.complement());
-    Ok(if opts.float_ablation {
-        is_zero_series_f64(&restricted, 1e-9)
-    } else {
-        is_zero_series(&restricted)
-    })
+    Decider::with_options(opts.clone()).decide(e, f)
 }
 
 #[cfg(test)]
@@ -191,7 +166,10 @@ mod tests {
         use nka_series::eval;
         use nka_syntax::{random_expr, ExprGenConfig};
 
-        let alphabet = vec![Symbol::intern("a"), Symbol::intern("b")];
+        let alphabet = vec![
+            nka_syntax::Symbol::intern("a"),
+            nka_syntax::Symbol::intern("b"),
+        ];
         let config = ExprGenConfig::new(alphabet.clone()).with_target_size(8);
         let mut seed = 0x5EED_1234_5678_9ABC;
         let mut exprs = Vec::new();

@@ -1,0 +1,407 @@
+//! The budgeted decision engine: one reusable surface for every NKA / KA
+//! equivalence query in the workspace.
+//!
+//! The free functions [`crate::decide_eq`] and [`crate::ka_equiv`] are
+//! one-shot conveniences; anything that decides *more than one* query — the
+//! auto-prover, the `nka` CLI, the benches, batch test oracles — should hold
+//! a [`Decider`] instead. The engine owns the resource policy
+//! ([`DecideOptions`]) and memoizes every expensive intermediate across
+//! queries:
+//!
+//! * compiled ε-free automata (Thompson + ε-elimination) per expression,
+//!   together with their rational parts;
+//! * determinized ∞-support and support DFAs per (expression, alphabet);
+//! * final verdicts per unordered query pair.
+//!
+//! Deciding `e = f` and then `e = g` therefore compiles `e` once; deciding
+//! the same pair twice is a hash lookup. All entry points return
+//! `Result` — the engine never panics on budget exhaustion, it reports
+//! [`DecideError`] and leaves the caches intact so a caller may retry with
+//! a larger budget via a fresh engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use nka_wfa::engine::Decider;
+//! use nka_syntax::Expr;
+//!
+//! let mut engine = Decider::new();
+//! let lhs: Expr = "(p q)* p".parse()?;
+//! let rhs: Expr = "p (q p)*".parse()?;
+//! assert!(engine.decide(&lhs, &rhs)?);       // sliding — a theorem
+//! assert!(engine.decide(&lhs, &rhs)?);       // answered from the cache
+//! assert_eq!(engine.stats().answer_hits, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::automaton::Wfa;
+use crate::decide::{DecideError, DecideOptions};
+use crate::ka::support_nfa;
+use crate::nfa::Dfa;
+use crate::thompson::thompson;
+use crate::zeroness::{is_zero_series, is_zero_series_f64, restrict_to_language};
+use nka_semiring::{BigRational, ExtNat};
+use nka_syntax::{Expr, Symbol};
+use std::cell::OnceCell;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+/// An expression compiled down to its ε-free weighted automaton. The
+/// rational (finite-part) embedding is computed lazily: KA queries and NKA
+/// queries refuted at the ∞-support step never need it.
+#[derive(Debug)]
+struct Compiled {
+    wfa: Wfa<ExtNat>,
+    rational: OnceCell<Wfa<BigRational>>,
+}
+
+impl Compiled {
+    fn rational(&self) -> &Wfa<BigRational> {
+        self.rational.get_or_init(|| self.wfa.rational_part())
+    }
+}
+
+/// Cache-effectiveness counters, exposed for tests, logging, and the CLI's
+/// `--stats` output. All counters are cumulative over the engine's life.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeciderStats {
+    /// NKA queries answered (including cache hits).
+    pub nka_queries: u64,
+    /// KA (language-equivalence) queries answered (including cache hits).
+    pub ka_queries: u64,
+    /// Queries answered directly from the verdict cache.
+    pub answer_hits: u64,
+    /// Expression compilations served from the automaton cache.
+    pub compile_hits: u64,
+    /// Expressions compiled fresh (Thompson + ε-elimination).
+    pub compile_misses: u64,
+    /// Determinizations served from the DFA cache.
+    pub dfa_hits: u64,
+    /// Subset constructions actually run.
+    pub dfa_misses: u64,
+}
+
+/// The memoizing, budgeted decision engine. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct Decider {
+    opts: DecideOptions,
+    exprs: HashMap<Expr, Rc<Compiled>>,
+    /// Determinized ∞-support DFAs, keyed by (expression, sorted alphabet).
+    infinity_dfas: HashMap<(Expr, Vec<Symbol>), Rc<Dfa>>,
+    /// Determinized support DFAs (the KA side), same keying.
+    support_dfas: HashMap<(Expr, Vec<Symbol>), Rc<Dfa>>,
+    nka_verdicts: HashMap<(Expr, Expr), bool>,
+    ka_verdicts: HashMap<(Expr, Expr), bool>,
+    stats: DeciderStats,
+}
+
+impl Decider {
+    /// An engine with the default options (100 000-state budget, exact
+    /// arithmetic).
+    #[must_use]
+    pub fn new() -> Decider {
+        Decider::default()
+    }
+
+    /// An engine with explicit options.
+    #[must_use]
+    pub fn with_options(opts: DecideOptions) -> Decider {
+        Decider {
+            opts,
+            ..Decider::default()
+        }
+    }
+
+    /// An engine with the given subset-construction state budget.
+    #[must_use]
+    pub fn with_budget(max_dfa_states: usize) -> Decider {
+        Decider::with_options(DecideOptions {
+            max_dfa_states,
+            ..DecideOptions::default()
+        })
+    }
+
+    /// The resource options this engine enforces.
+    #[must_use]
+    pub fn options(&self) -> &DecideOptions {
+        &self.opts
+    }
+
+    /// Cache-effectiveness counters.
+    #[must_use]
+    pub fn stats(&self) -> DeciderStats {
+        self.stats
+    }
+
+    /// Decides `⊢NKA e = f` (Remark 2.1 / Theorem A.6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecideError`] if a subset construction exceeds the
+    /// engine's state budget. Errors are not cached; retrying the same
+    /// query on an engine with a larger budget starts from whatever
+    /// intermediates did fit.
+    pub fn decide(&mut self, e: &Expr, f: &Expr) -> Result<bool, DecideError> {
+        self.stats.nka_queries += 1;
+        if let Some(hit) = lookup_symmetric(&self.nka_verdicts, e, f) {
+            self.stats.answer_hits += 1;
+            return Ok(hit);
+        }
+
+        let alphabet = shared_alphabet(e, f);
+        // Step 1: the ∞-supports must coincide as regular languages.
+        let de = self.infinity_dfa(e, &alphabet)?;
+        let df = self.infinity_dfa(f, &alphabet)?;
+        let verdict = if !de.equivalent(&df) {
+            false
+        } else {
+            // Step 2: the finite parts must agree outside the ∞-support.
+            let ce = self.compile(e);
+            let cf = self.compile(f);
+            let diff = ce.rational().difference(cf.rational(), |w| -w.clone());
+            let restricted = restrict_to_language(&diff, &de.complement());
+            if self.opts.float_ablation {
+                is_zero_series_f64(&restricted, 1e-9)
+            } else {
+                is_zero_series(&restricted)
+            }
+        };
+        self.nka_verdicts.insert((e.clone(), f.clone()), verdict);
+        Ok(verdict)
+    }
+
+    /// Decides `⊢KA e = f`, i.e. language equivalence of the supports
+    /// (Kozen's completeness theorem; equivalently `⊢NKA 1*e = 1*f`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecideError`] on subset-construction overflow.
+    pub fn ka_equiv(&mut self, e: &Expr, f: &Expr) -> Result<bool, DecideError> {
+        self.stats.ka_queries += 1;
+        if let Some(hit) = lookup_symmetric(&self.ka_verdicts, e, f) {
+            self.stats.answer_hits += 1;
+            return Ok(hit);
+        }
+        let alphabet = shared_alphabet(e, f);
+        let de = self.support_dfa(e, &alphabet)?;
+        let df = self.support_dfa(f, &alphabet)?;
+        let verdict = de.equivalent(&df);
+        self.ka_verdicts.insert((e.clone(), f.clone()), verdict);
+        Ok(verdict)
+    }
+
+    /// Decides a batch of NKA queries, returning one verdict per input
+    /// pair **in input order**. Expressions shared between pairs are
+    /// compiled once; a budget overflow in one pair does not abort the
+    /// rest of the batch.
+    pub fn decide_all(&mut self, pairs: &[(Expr, Expr)]) -> Vec<Result<bool, DecideError>> {
+        pairs.iter().map(|(e, f)| self.decide(e, f)).collect()
+    }
+
+    /// Membership `w ∈ L(e)` on the memoized support DFA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecideError`] on subset-construction overflow.
+    pub fn ka_accepts(&mut self, e: &Expr, word: &[Symbol]) -> Result<bool, DecideError> {
+        let mut alphabet: BTreeSet<Symbol> = e.atoms();
+        alphabet.extend(word.iter().copied());
+        let alphabet: Vec<Symbol> = alphabet.into_iter().collect();
+        let dfa = self.support_dfa(e, &alphabet)?;
+        Ok(dfa.accepts(word))
+    }
+
+    /// The compiled ε-free automaton of `e`, memoized.
+    fn compile(&mut self, e: &Expr) -> Rc<Compiled> {
+        if let Some(hit) = self.exprs.get(e) {
+            self.stats.compile_hits += 1;
+            return Rc::clone(hit);
+        }
+        self.stats.compile_misses += 1;
+        let wfa = thompson(e).eliminate_epsilon();
+        let compiled = Rc::new(Compiled {
+            wfa,
+            rational: OnceCell::new(),
+        });
+        self.exprs.insert(e.clone(), Rc::clone(&compiled));
+        compiled
+    }
+
+    /// The determinized ∞-support of `e` over `alphabet`, memoized.
+    fn infinity_dfa(&mut self, e: &Expr, alphabet: &[Symbol]) -> Result<Rc<Dfa>, DecideError> {
+        let key = (e.clone(), alphabet.to_vec());
+        if let Some(hit) = self.infinity_dfas.get(&key) {
+            self.stats.dfa_hits += 1;
+            return Ok(Rc::clone(hit));
+        }
+        let compiled = self.compile(e);
+        self.stats.dfa_misses += 1;
+        let dfa = Rc::new(
+            compiled
+                .wfa
+                .infinity_support()
+                .determinize(alphabet, self.opts.max_dfa_states)?,
+        );
+        self.infinity_dfas.insert(key, Rc::clone(&dfa));
+        Ok(dfa)
+    }
+
+    /// The determinized support of `e` over `alphabet`, memoized.
+    fn support_dfa(&mut self, e: &Expr, alphabet: &[Symbol]) -> Result<Rc<Dfa>, DecideError> {
+        let key = (e.clone(), alphabet.to_vec());
+        if let Some(hit) = self.support_dfas.get(&key) {
+            self.stats.dfa_hits += 1;
+            return Ok(Rc::clone(hit));
+        }
+        let compiled = self.compile(e);
+        self.stats.dfa_misses += 1;
+        let dfa =
+            Rc::new(support_nfa(&compiled.wfa).determinize(alphabet, self.opts.max_dfa_states)?);
+        self.support_dfas.insert(key, Rc::clone(&dfa));
+        Ok(dfa)
+    }
+}
+
+/// The canonical (sorted) union of the two expressions' atom sets — the
+/// only alphabet on which their series can differ.
+fn shared_alphabet(e: &Expr, f: &Expr) -> Vec<Symbol> {
+    let mut atoms = e.atoms();
+    atoms.extend(f.atoms());
+    atoms.into_iter().collect()
+}
+
+/// Verdicts are symmetric, so probe the cache under both orientations.
+fn lookup_symmetric(cache: &HashMap<(Expr, Expr), bool>, e: &Expr, f: &Expr) -> Option<bool> {
+    cache
+        .get(&(e.clone(), f.clone()))
+        .or_else(|| cache.get(&(f.clone(), e.clone())))
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(src: &str) -> Expr {
+        src.parse().unwrap()
+    }
+
+    #[test]
+    fn engine_agrees_with_one_shot_decision() {
+        let mut engine = Decider::new();
+        let cases = [
+            ("(p q)* p", "p (q p)*", true),
+            ("1 + p p*", "p*", true),
+            ("p + p", "p", false),
+            ("1* p", "1* q", false),
+        ];
+        for (l, r, expected) in cases {
+            assert_eq!(engine.decide(&e(l), &e(r)).unwrap(), expected, "{l} = {r}");
+        }
+    }
+
+    #[test]
+    fn repeated_query_hits_the_verdict_cache() {
+        let mut engine = Decider::new();
+        let (l, r) = (e("(p + q)*"), e("(p* q)* p*"));
+        assert!(engine.decide(&l, &r).unwrap());
+        let misses_after_first = engine.stats().compile_misses;
+        assert!(engine.decide(&l, &r).unwrap());
+        let s = engine.stats();
+        assert_eq!(s.answer_hits, 1);
+        // The second query did not recompile anything.
+        assert_eq!(s.compile_misses, misses_after_first);
+        // Symmetric orientation is also a hit.
+        assert!(engine.decide(&r, &l).unwrap());
+        assert_eq!(engine.stats().answer_hits, 2);
+    }
+
+    #[test]
+    fn shared_expressions_compile_once_across_queries() {
+        let mut engine = Decider::new();
+        let (x, y, z) = (e("(a b)*"), e("1 + a (b a)* b"), e("a*"));
+        assert!(engine.decide(&x, &y).unwrap());
+        assert!(!engine.decide(&x, &z).unwrap());
+        let s = engine.stats();
+        // Three distinct expressions over the same alphabet {a, b}: three
+        // compilations, and the second query reuses x's automaton and DFA.
+        assert_eq!(s.compile_misses, 3);
+        assert!(s.compile_hits >= 1 || s.dfa_hits >= 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_an_error_not_a_panic() {
+        // One DFA state can never fit the subset construction of a live
+        // ∞-support automaton over a non-empty alphabet.
+        let mut engine = Decider::with_budget(1);
+        let err = engine.decide(&e("1* a"), &e("1* a a")).unwrap_err();
+        assert!(err.to_string().contains("out of budget"), "{err}");
+        // The engine stays usable, and a bigger budget succeeds.
+        let mut engine = Decider::with_budget(100_000);
+        assert!(!engine.decide(&e("1* a"), &e("1* a a")).unwrap());
+    }
+
+    #[test]
+    fn decide_all_preserves_input_order_and_survives_overflow() {
+        let mut engine = Decider::with_budget(64);
+        let pairs = vec![
+            (e("p"), e("p")),
+            (e("p + p"), e("p")),
+            (e("(p q)* p"), e("p (q p)*")),
+        ];
+        let verdicts = engine.decide_all(&pairs);
+        assert_eq!(verdicts.len(), 3);
+        assert_eq!(verdicts[0].as_ref().unwrap(), &true);
+        assert_eq!(verdicts[1].as_ref().unwrap(), &false);
+        assert_eq!(verdicts[2].as_ref().unwrap(), &true);
+    }
+
+    #[test]
+    fn decide_all_batch_shares_the_expression_cache() {
+        let mut engine = Decider::new();
+        let x = e("(a + b)*");
+        let pairs: Vec<(Expr, Expr)> = ["(a* b)* a*", "a* (b a*)*", "a* b*"]
+            .iter()
+            .map(|r| (x.clone(), e(r)))
+            .collect();
+        let verdicts = engine.decide_all(&pairs);
+        assert_eq!(
+            verdicts.into_iter().map(Result::unwrap).collect::<Vec<_>>(),
+            vec![true, true, false]
+        );
+        // x compiled once, reused twice.
+        assert_eq!(engine.stats().compile_misses, 4);
+        assert!(engine.stats().compile_hits >= 2 || engine.stats().dfa_hits >= 2);
+    }
+
+    #[test]
+    fn ka_and_nka_caches_are_independent() {
+        let mut engine = Decider::new();
+        let (l, r) = (e("p + p"), e("p"));
+        assert!(engine.ka_equiv(&l, &r).unwrap());
+        assert!(!engine.decide(&l, &r).unwrap());
+        // Same pair again, both sides cached.
+        assert!(engine.ka_equiv(&l, &r).unwrap());
+        assert!(!engine.decide(&l, &r).unwrap());
+        assert_eq!(engine.stats().answer_hits, 2);
+    }
+
+    #[test]
+    fn float_ablation_option_is_honoured() {
+        let mut engine = Decider::with_options(DecideOptions {
+            float_ablation: true,
+            ..DecideOptions::default()
+        });
+        assert!(engine.decide(&e("(p q)* p"), &e("p (q p)*")).unwrap());
+        assert!(!engine.decide(&e("p + p"), &e("p")).unwrap());
+    }
+
+    #[test]
+    fn ka_accepts_uses_the_memoized_support() {
+        let mut engine = Decider::new();
+        let a = Symbol::intern("a");
+        let b = Symbol::intern("b");
+        assert!(engine.ka_accepts(&e("a b*"), &[a, b, b]).unwrap());
+        assert!(!engine.ka_accepts(&e("a b*"), &[b]).unwrap());
+    }
+}

@@ -132,15 +132,7 @@ pub fn ka_equiv(e: &Expr, f: &Expr) -> Result<bool, DecideError> {
 /// Returns [`DecideError`] if a subset construction exceeds
 /// `max_dfa_states`.
 pub fn ka_equiv_with(e: &Expr, f: &Expr, max_dfa_states: usize) -> Result<bool, DecideError> {
-    let mut alphabet: Vec<Symbol> = e.atoms().into_iter().collect();
-    for s in f.atoms() {
-        if !alphabet.contains(&s) {
-            alphabet.push(s);
-        }
-    }
-    let de = support_dfa(e, &alphabet, max_dfa_states)?;
-    let df = support_dfa(f, &alphabet, max_dfa_states)?;
-    Ok(de.equivalent(&df))
+    crate::engine::Decider::with_budget(max_dfa_states).ka_equiv(e, f)
 }
 
 /// The syntactic embedding `e ↦ 1*·e` of Remark 2.1.
@@ -159,14 +151,7 @@ pub fn saturate(e: &Expr) -> Expr {
 ///
 /// Returns [`DecideError`] on subset-construction overflow.
 pub fn ka_accepts(e: &Expr, word: &[Symbol]) -> Result<bool, DecideError> {
-    let mut alphabet: Vec<Symbol> = e.atoms().into_iter().collect();
-    for s in word {
-        if !alphabet.contains(s) {
-            alphabet.push(*s);
-        }
-    }
-    let dfa = support_dfa(e, &alphabet, 100_000)?;
-    Ok(dfa.accepts(word))
+    crate::engine::Decider::new().ka_accepts(e, word)
 }
 
 #[cfg(test)]

@@ -20,7 +20,10 @@
 //!    and tested for zeroness with the forward-basis (Tzeng/Schützenberger)
 //!    algorithm over **exact rationals**.
 //!
-//! The top-level entry point is [`decide::decide_eq`].
+//! The top-level entry point for a single query is [`decide::decide_eq`];
+//! repeated queries should go through the memoizing, budgeted
+//! [`engine::Decider`], which owns the resource policy ([`DecideOptions`])
+//! and caches compiled automata, determinized DFAs, and verdicts.
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@
 
 pub mod automaton;
 pub mod decide;
+pub mod engine;
 pub mod ka;
 pub mod matrix;
 pub mod nfa;
@@ -47,6 +51,7 @@ pub mod thompson;
 pub mod zeroness;
 
 pub use automaton::Wfa;
-pub use decide::{decide_eq, DecideError};
+pub use decide::{decide_eq, DecideError, DecideOptions};
+pub use engine::{Decider, DeciderStats};
 pub use ka::{ka_equiv, saturate};
 pub use thompson::{thompson, EpsWfa};

@@ -16,11 +16,7 @@ pub struct DeterminizeOverflow {
 
 impl fmt::Display for DeterminizeOverflow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "subset construction exceeded {} states",
-            self.max_states
-        )
+        write!(f, "subset construction exceeded {} states", self.max_states)
     }
 }
 

@@ -91,10 +91,7 @@ impl EpsWfa {
             let m = raw.entry(a).or_insert_with(|| SMatrix::zeros(n, n));
             m[(i, j)] += ExtNat::from(1u64);
         }
-        let transitions = raw
-            .into_iter()
-            .map(|(a, m)| (a, m.mul(&closure)))
-            .collect();
+        let transitions = raw.into_iter().map(|(a, m)| (a, m.mul(&closure))).collect();
 
         Wfa::new(n, initial, final_weights, transitions)
     }
@@ -237,11 +234,7 @@ mod tests {
         // {{(a + a)*}}[a^n] = 2^n.
         for n in 0..6u32 {
             let word: Vec<&str> = std::iter::repeat_n("a", n as usize).collect();
-            assert_eq!(
-                coeff("(a + a)*", &word),
-                ExtNat::from(2u64.pow(n)),
-                "a^{n}"
-            );
+            assert_eq!(coeff("(a + a)*", &word), ExtNat::from(2u64.pow(n)), "a^{n}");
         }
     }
 

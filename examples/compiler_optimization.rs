@@ -75,9 +75,7 @@ fn main() {
     println!("\n=== falsification check ===");
     let p1 = unrolling1_program(1);
     let p2 = unrolling2_program(1);
-    println!(
-        "Unrolling1 = {p1}\nUnrolling2 = {p2}\n(projective measurement ⇒ equal, as proved)"
-    );
+    println!("Unrolling1 = {p1}\nUnrolling2 = {p2}\n(projective measurement ⇒ equal, as proved)");
 
     // The extended rule catalog: every rule re-checked algebraically and
     // re-validated on its two-qubit witness pair.
@@ -101,7 +99,6 @@ fn main() {
         .expect("catalog contains dead-loop");
     print!(
         "{}",
-        render(&dead_loop.proof.proof, &dead_loop.proof.hypotheses)
-            .expect("checked proofs render")
+        render(&dead_loop.proof.proof, &dead_loop.proof.hypotheses).expect("checked proofs render")
     );
 }

@@ -13,9 +13,9 @@
 //! decision procedure and a classical language-equivalence check agree.
 
 use nka_quantum::syntax::Expr;
+use nka_quantum::syntax::{Symbol, Word};
 use nka_quantum::wfa::ka::{ka_accepts, ka_equiv, saturate};
 use nka_quantum::wfa::{decide_eq, thompson};
-use nka_quantum::syntax::{Symbol, Word};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── 1. Identities that hold in KA but fail in NKA ────────────────
@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pp: Expr = "p + p".parse()?;
     let wfa = thompson(&pp).eliminate_epsilon();
     let w = Word::from_symbols([Symbol::intern("p")]);
-    println!("\n{{{{p + p}}}}[\"p\"] = {} — NKA counts branches", wfa.coefficient(&w));
+    println!(
+        "\n{{{{p + p}}}}[\"p\"] = {} — NKA counts branches",
+        wfa.coefficient(&w)
+    );
 
     // ── 2. Identities that survive without idempotence ───────────────
     println!("\nshared theorems (hold in both):");
@@ -75,7 +78,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let e: Expr = "(a b)* a".parse()?;
     let a = Symbol::intern("a");
     let b = Symbol::intern("b");
-    println!("\nL((a b)* a) membership: aba → {}, ab → {}",
+    println!(
+        "\nL((a b)* a) membership: aba → {}, ab → {}",
         ka_accepts(&e, &[a, b, a])?,
         ka_accepts(&e, &[a, b])?,
     );

@@ -33,7 +33,10 @@ fn main() {
 
     let t = Instant::now();
     assert!(verify_section6_semantically(1e-7));
-    println!("semantic equivalence on H_p ⊗ C₃ verified in {:?}", t.elapsed());
+    println!(
+        "semantic equivalence on H_p ⊗ C₃ verified in {:?}",
+        t.elapsed()
+    );
 
     println!("\n=== Theorem 6.1: general transformation ===");
     let meas = Measurement::computational_basis(2);

@@ -34,10 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t = Instant::now();
         let inst = QspInstance::new(n, l);
         let (enc, enc_opt) = inst.encodings()?;
-        println!(
-            "\nQSP instance n = {n}, L = {l} (dimension {}):",
-            inst.dim
-        );
+        println!("\nQSP instance n = {n}, L = {l} (dimension {}):", inst.dim);
         println!("  Enc(qsp)  = {enc}");
         println!("  Enc(qsp') = {enc_opt}");
         assert!(inst.hypotheses_hold(1e-8));

@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "sliding law decidable:   {} = {}  →  {}",
         sliding_lhs,
         sliding_rhs,
-        decide_eq(&sliding_lhs, &sliding_rhs)
+        decide_eq(&sliding_lhs, &sliding_rhs)?
     );
     let idem: Expr = "p + p".parse()?;
     let p: Expr = "p".parse()?;
@@ -30,13 +30,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "idempotence (KA only!):  {} = {}  →  {}",
         idem,
         p,
-        decide_eq(&idem, &p)
+        decide_eq(&idem, &p)?
     );
 
     // 3. Machine-checked proofs: Figure 2 theorems as proof objects.
     let proof = theorems::sliding(&"p".parse()?, &"q".parse()?);
     let judgment = proof.check_closed()?;
-    println!("checked proof ({} rule applications): {judgment}", proof.size());
+    println!(
+        "checked proof ({} rule applications): {judgment}",
+        proof.size()
+    );
 
     // 4. Horn-clause reasoning (Corollary 4.3): projective measurements.
     let hyps = [

@@ -1,145 +1,248 @@
 //! `nka` — a command-line front end for the NKA toolkit.
 //!
 //! ```text
-//! nka decide  '<expr>' '<expr>'        decide ⊢NKA e = f
-//! nka ka      '<expr>' '<expr>'        decide ⊢KA e = f (Remark 2.1:
+//! nka [--budget N] [--stats] decide '<expr>' '<expr>'
+//!                                      decide ⊢NKA e = f
+//! nka [--budget N] [--stats] ka '<expr>' '<expr>'
+//!                                      decide ⊢KA e = f (Remark 2.1:
 //!                                      language equivalence, = NKA on 1*K)
 //! nka series  '<expr>' [max-len]       print the truncated power series
-//! nka prove   '<lhs>' '<rhs>' [hyp]…   search for a rewrite proof under
+//! nka [--budget N] prove '<lhs>' '<rhs>' [hyp]…
+//!                                      search for a rewrite proof under
 //!                                      hypotheses of the form 'l = r'
 //! nka encode-demo                      encode a sample quantum program
 //! ```
+//!
+//! All decision subcommands run on the shared budgeted [`Decider`] engine;
+//! `--budget N` caps every subset construction at `N` DFA states (default
+//! 100 000) and `--stats` prints the engine's cache counters to stderr.
+//!
+//! Exit codes: `0` the judgment holds / a proof was found; `1` it does not
+//! hold (or no proof was found within the search budget); `2` usage or
+//! parse error; `3` the decision engine ran out of its state budget.
 //!
 //! Examples:
 //!
 //! ```sh
 //! cargo run --bin nka -- decide '(p q)* p' 'p (q p)*'
+//! cargo run --bin nka -- --budget 500000 decide '(p q)* p' 'p (q p)*'
 //! cargo run --bin nka -- ka 'p + p' 'p'
 //! cargo run --bin nka -- series '(a + a)*' 4
 //! cargo run --bin nka -- prove 'm1 (m0 p + m1)' 'm1' 'm1 m1 = m1' 'm1 m0 = 0'
 //! ```
 
-use nka_core::prover::Prover;
-use nka_core::Judgment;
+use nka_core::prover::{ProveOutcome, Prover};
+use nka_core::{DecideError, Decider, Judgment};
 use nka_series::eval;
 use nka_syntax::{Expr, Symbol};
 use std::process::ExitCode;
 
+/// `println!` that tolerates a closed stdout (`nka … | head` must exit
+/// cleanly, not panic on EPIPE like the std macro does).
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+/// `print!` with the same EPIPE tolerance.
+macro_rules! out_raw {
+    ($($arg:tt)*) => {{
+        use std::io::Write;
+        let _ = write!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+const EXIT_OK: u8 = 0;
+const EXIT_NO: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_BUDGET: u8 = 3;
+
+const USAGE: &str = "usage:\n  nka [--budget N] [--stats] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] ka '<expr>' '<expr>'\n  nka series '<expr>' [max-len]\n  nka [--budget N] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka encode-demo\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse error, 3 budget exceeded";
+
+fn usage() -> ExitCode {
+    eprintln!("{USAGE}");
+    ExitCode::from(EXIT_USAGE)
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("decide") if args.len() == 3 => decide(&args[1], &args[2]),
-        Some("ka") if args.len() == 3 => ka(&args[1], &args[2]),
-        Some("series") if args.len() >= 2 => series(&args[1], args.get(2).map(String::as_str)),
-        Some("prove") if args.len() >= 3 => prove(&args[1], &args[2], &args[3..]),
-        Some("encode-demo") => encode_demo(),
-        _ => {
-            eprintln!(
-                "usage:\n  nka decide '<expr>' '<expr>'\n  nka ka '<expr>' '<expr>'\n  nka series '<expr>' [max-len]\n  nka prove '<lhs>' '<rhs>' ['l = r'…]\n  nka encode-demo"
-            );
-            ExitCode::FAILURE
+    let mut budget: usize = 100_000;
+    let mut stats = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--budget" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--budget needs a value");
+                    return usage();
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => budget = n,
+                    _ => {
+                        eprintln!("--budget needs a positive integer, got {value:?}");
+                        return usage();
+                    }
+                }
+            }
+            "--stats" => stats = true,
+            "--help" | "-h" => {
+                // An explicit help request is a success, not a usage error.
+                out!("{USAGE}");
+                return ExitCode::from(EXIT_OK);
+            }
+            _ => rest.push(arg),
         }
     }
+
+    let mut engine = Decider::with_budget(budget);
+    let code = match rest.first().map(String::as_str) {
+        Some("decide") if rest.len() == 3 => decide(&mut engine, &rest[1], &rest[2]),
+        Some("ka") if rest.len() == 3 => ka(&mut engine, &rest[1], &rest[2]),
+        Some("series") if rest.len() >= 2 => series(&rest[1], rest.get(2).map(String::as_str)),
+        Some("prove") if rest.len() >= 3 => prove(&mut engine, &rest[1], &rest[2], &rest[3..]),
+        Some("encode-demo") => encode_demo(),
+        _ => return usage(),
+    };
+    if stats {
+        let s = engine.stats();
+        eprintln!(
+            "engine stats: {} NKA + {} KA queries, {} verdict hits, {} compiles ({} cached), {} determinizations ({} cached)",
+            s.nka_queries,
+            s.ka_queries,
+            s.answer_hits,
+            s.compile_misses,
+            s.compile_hits,
+            s.dfa_misses,
+            s.dfa_hits,
+        );
+    }
+    code
 }
 
 fn parse(src: &str) -> Result<Expr, ExitCode> {
     src.parse().map_err(|err| {
         eprintln!("parse error in {src:?}: {err}");
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_USAGE)
     })
 }
 
-fn decide(lhs: &str, rhs: &str) -> ExitCode {
+fn budget_exceeded(err: &DecideError) -> ExitCode {
+    eprintln!("resource budget exceeded: {err}");
+    eprintln!("hint: retry with a larger --budget");
+    ExitCode::from(EXIT_BUDGET)
+}
+
+fn decide(engine: &mut Decider, lhs: &str, rhs: &str) -> ExitCode {
     let (Ok(l), Ok(r)) = (parse(lhs), parse(rhs)) else {
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
-    match nka_wfa::decide_eq(&l, &r) {
+    match engine.decide(&l, &r) {
         Ok(true) => {
-            println!("⊢NKA {l} = {r}");
-            ExitCode::SUCCESS
+            out!("⊢NKA {l} = {r}");
+            ExitCode::from(EXIT_OK)
         }
         Ok(false) => {
-            println!("⊬NKA {l} = {r}   (the power series differ)");
-            ExitCode::FAILURE
+            out!("⊬NKA {l} = {r}   (the power series differ)");
+            ExitCode::from(EXIT_NO)
         }
-        Err(err) => {
-            eprintln!("resource budget exceeded: {err}");
-            ExitCode::FAILURE
-        }
+        Err(err) => budget_exceeded(&err),
     }
 }
 
-fn ka(lhs: &str, rhs: &str) -> ExitCode {
+fn ka(engine: &mut Decider, lhs: &str, rhs: &str) -> ExitCode {
     let (Ok(l), Ok(r)) = (parse(lhs), parse(rhs)) else {
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
-    match nka_wfa::ka::ka_equiv(&l, &r) {
+    match engine.ka_equiv(&l, &r) {
         Ok(true) => {
-            println!("⊢KA {l} = {r}   (equivalently ⊢NKA 1*({l}) = 1*({r}))");
-            ExitCode::SUCCESS
+            out!("⊢KA {l} = {r}   (equivalently ⊢NKA 1*({l}) = 1*({r}))");
+            ExitCode::from(EXIT_OK)
         }
         Ok(false) => {
-            println!("⊬KA {l} = {r}   (the languages differ)");
-            ExitCode::FAILURE
+            out!("⊬KA {l} = {r}   (the languages differ)");
+            ExitCode::from(EXIT_NO)
         }
-        Err(err) => {
-            eprintln!("resource budget exceeded: {err}");
-            ExitCode::FAILURE
-        }
+        Err(err) => budget_exceeded(&err),
     }
 }
 
 fn series(src: &str, max_len: Option<&str>) -> ExitCode {
     let Ok(e) = parse(src) else {
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
     let len: usize = max_len.and_then(|s| s.parse().ok()).unwrap_or(3);
     let alphabet: Vec<Symbol> = e.atoms().into_iter().collect();
     let s = eval(&e, &alphabet, len);
-    println!("{{{{{e}}}}} up to length {len}:");
+    out!("{{{{{e}}}}} up to length {len}:");
     let mut any = false;
     for (word, coeff) in s.iter() {
-        println!("  {coeff} · {word}");
+        out!("  {coeff} · {word}");
         any = true;
     }
     if !any {
-        println!("  (the zero series)");
+        out!("  (the zero series)");
     }
-    ExitCode::SUCCESS
+    ExitCode::from(EXIT_OK)
 }
 
-fn prove(lhs: &str, rhs: &str, hyp_srcs: &[String]) -> ExitCode {
+fn prove(engine: &mut Decider, lhs: &str, rhs: &str, hyp_srcs: &[String]) -> ExitCode {
     let (Ok(l), Ok(r)) = (parse(lhs), parse(rhs)) else {
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_USAGE);
     };
     let mut hyps = Vec::new();
     for h in hyp_srcs {
         let Some((hl, hr)) = h.split_once('=') else {
             eprintln!("hypothesis {h:?} is not of the form 'l = r'");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         };
         let (Ok(hl), Ok(hr)) = (parse(hl.trim()), parse(hr.trim())) else {
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         };
         hyps.push(Judgment::Eq(hl, hr));
     }
     let mut prover = Prover::new(&hyps);
     prover.add_hypothesis_rules();
-    match prover.prove_eq(&l, &r) {
-        Some(proof) => {
-            let judgment = proof.check(&hyps).expect("prover output re-checks");
-            println!("proved: {judgment}");
-            println!("proof size: {} rule applications (re-checked)", proof.size());
+    match prover.prove_or_refute(engine, &l, &r) {
+        Ok(ProveOutcome::Proved(proof)) => {
+            let judgment = match proof.check(&hyps) {
+                Ok(judgment) => judgment,
+                Err(err) => {
+                    eprintln!("internal error: prover output failed to re-check: {err}");
+                    return ExitCode::from(EXIT_NO);
+                }
+            };
+            out!("proved: {judgment}");
+            out!(
+                "proof size: {} rule applications (re-checked)",
+                proof.size()
+            );
             match nka_core::render::render(&proof, &hyps) {
-                Ok(text) => print!("\n{text}"),
+                Ok(text) => out_raw!("\n{text}"),
                 Err(err) => eprintln!("(rendering failed: {err})"),
             }
-            ExitCode::SUCCESS
+            ExitCode::from(EXIT_OK)
         }
-        None => {
-            println!("no proof found within the search budget");
-            ExitCode::FAILURE
+        Ok(ProveOutcome::Refuted) => {
+            out!("refuted: ⊬NKA {l} = {r}   (the power series differ)");
+            ExitCode::from(EXIT_NO)
         }
+        Ok(ProveOutcome::Exhausted) => {
+            // A hypothesis-free goal that reached Exhausted was already
+            // decided *true* by the engine (false would have been Refuted,
+            // an overflow would have been Err), so the search failed on a
+            // genuine theorem; say so instead of leaving its status open.
+            if hyps.is_empty() {
+                out!(
+                    "⊢NKA {l} = {r} holds (by decision), but no rewrite proof was found within the search budget"
+                );
+            } else {
+                out!("no proof found within the search budget");
+            }
+            ExitCode::from(EXIT_NO)
+        }
+        Err(err) => budget_exceeded(&err),
     }
 }
 
@@ -152,9 +255,9 @@ fn encode_demo() -> ExitCode {
     let w = Program::while_loop(["m0", "m1"], &meas, h);
     let mut setting = EncoderSetting::new(2);
     let enc = setting.encode(&w).expect("encoding succeeds");
-    println!("program:   {w}");
-    println!("encoding:  {enc}");
+    out!("program:   {w}");
+    out!("encoding:  {enc}");
     let out = w.run(&states::basis_density(2, 1));
-    println!("⟦P⟧(|1⟩⟨1|) = |0⟩⟨0| with trace {:.6}", out.trace().re);
-    ExitCode::SUCCESS
+    out!("⟦P⟧(|1⟩⟨1|) = |0⟩⟨0| with trace {:.6}", out.trace().re);
+    ExitCode::from(EXIT_OK)
 }

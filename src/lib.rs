@@ -40,7 +40,7 @@
 //! // denesting (Figure 2a): (p + q)* = (p*q)*p*
 //! let lhs: Expr = "(p + q)*".parse()?;
 //! let rhs: Expr = "(p* q)* p*".parse()?;
-//! assert!(decide_eq(&lhs, &rhs));
+//! assert!(decide_eq(&lhs, &rhs)?);
 //!
 //! // ... and the same fact as a machine-checked proof object.
 //! let p: Expr = "p".parse()?;

@@ -5,7 +5,7 @@
 use nka_quantum::semiring::ExtNat;
 use nka_quantum::series::{all_words, eval};
 use nka_quantum::syntax::{random_expr, Expr, ExprGenConfig, Symbol};
-use nka_quantum::wfa::{decide_eq, thompson};
+use nka_quantum::wfa::{decide_eq, thompson, Decider};
 
 fn e(src: &str) -> Expr {
     src.parse().unwrap()
@@ -65,7 +65,9 @@ fn congruence_of_contexts() {
 
 #[test]
 fn multiplicity_separations() {
-    // The quantitative separations that distinguish NKA from KA.
+    // The quantitative separations that distinguish NKA from KA, decided
+    // as one batch on the shared engine (the repeated subterms hit the
+    // compiled-automaton cache).
     let unequal = [
         ("a + a", "a"),
         ("a + a", "a + a + a"),
@@ -73,8 +75,10 @@ fn multiplicity_separations() {
         ("a* + a*", "a*"),
         ("(a a)* + a (a a)*", "a* + a*"),
     ];
-    for (l, r) in unequal {
-        assert!(!decide_eq(&e(l), &e(r)).unwrap(), "{l} vs {r}");
+    let mut engine = Decider::new();
+    let pairs: Vec<(Expr, Expr)> = unequal.iter().map(|(l, r)| (e(l), e(r))).collect();
+    for ((l, r), verdict) in unequal.iter().zip(engine.decide_all(&pairs)) {
+        assert!(!verdict.unwrap(), "{l} vs {r}");
     }
     // … while their KA-shadows (supports) are equal: the same pairs are
     // support-equivalent, so the refutation really is about multiplicity.
@@ -100,9 +104,6 @@ fn infinity_support_separations() {
         ("1* a + b", "a + 1* b"),
         ("(1 + a)*", "a*"),
     ];
-    for (l, r) in unequal {
-        assert!(!decide_eq(&e(l), &e(r)).unwrap(), "{l} vs {r}");
-    }
     let equal = [
         ("1* 1*", "1*"),
         ("1* + 1*", "1*"),
@@ -110,9 +111,25 @@ fn infinity_support_separations() {
         ("(1 + 1)*", "1*"),
         ("(a* )*", "(a* a*)*"),
     ];
-    for (l, r) in equal {
-        assert!(decide_eq(&e(l), &e(r)).unwrap(), "{l} vs {r}");
+    // One batch through the engine; `decide_all` keeps input order, so the
+    // expected verdicts line up positionally.
+    let mut engine = Decider::new();
+    let pairs: Vec<(Expr, Expr)> = unequal
+        .iter()
+        .chain(&equal)
+        .map(|(l, r)| (e(l), e(r)))
+        .collect();
+    let verdicts = engine.decide_all(&pairs);
+    assert_eq!(verdicts.len(), unequal.len() + equal.len());
+    for ((l, r), verdict) in unequal.iter().chain(&equal).zip(&verdicts) {
+        let expected = !unequal.iter().any(|(ul, ur)| ul == l && ur == r);
+        assert_eq!(
+            *verdict.as_ref().unwrap(),
+            expected,
+            "{l} vs {r} (batch order preserved)"
+        );
     }
+    assert!(engine.stats().compile_misses > 0);
 }
 
 #[test]

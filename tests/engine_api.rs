@@ -1,0 +1,92 @@
+//! The budgeted `Decider` engine exercised through the umbrella crate's
+//! public surface: memoization, budget plumbing, batch ordering, and the
+//! prover/engine integration — i.e. the contract every downstream layer
+//! (CLI, benches, auto-prover) relies on.
+
+use nka_quantum::nka::prover::{ProveOutcome, Prover};
+use nka_quantum::nka::{DecideOptions, Decider};
+use nka_quantum::syntax::Expr;
+
+fn e(src: &str) -> Expr {
+    src.parse().unwrap()
+}
+
+#[test]
+fn repeated_queries_are_cache_hits() {
+    let mut engine = Decider::new();
+    let (l, r) = (e("(p q)* p"), e("p (q p)*"));
+    assert!(engine.decide(&l, &r).unwrap());
+    let after_first = engine.stats();
+    assert_eq!(after_first.answer_hits, 0);
+    assert_eq!(after_first.compile_misses, 2);
+
+    assert!(engine.decide(&l, &r).unwrap());
+    assert!(engine.decide(&r, &l).unwrap()); // symmetric orientation too
+    let after_third = engine.stats();
+    assert_eq!(after_third.answer_hits, 2);
+    // No recompilation happened after the first query.
+    assert_eq!(after_third.compile_misses, after_first.compile_misses);
+}
+
+#[test]
+fn budget_surfaces_as_error_and_larger_budget_succeeds() {
+    let (l, r) = (e("1* (a + b)*"), e("1* (a* b*)*"));
+    let mut tiny = Decider::with_options(DecideOptions {
+        max_dfa_states: 1,
+        ..DecideOptions::default()
+    });
+    let err = tiny.decide(&l, &r).unwrap_err();
+    assert!(err.to_string().contains("budget"), "unexpected: {err}");
+
+    let mut roomy = Decider::with_budget(100_000);
+    // Both sides saturate language-equal expressions (Remark 2.1), so a
+    // sufficient budget decides the pair positively instead of erring.
+    assert!(roomy.decide(&l, &r).unwrap());
+}
+
+#[test]
+fn decide_all_is_order_preserving_with_partial_failures() {
+    // A budget that admits the small pairs but not the ∞-support blow-up
+    // pair in the middle: the batch must keep going and keep order.
+    let pairs = vec![
+        (e("a"), e("a")),
+        (e("1* (a + b) (a + b) (a + b)"), e("1* b a a")),
+        (e("a + a"), e("a")),
+    ];
+    let mut engine = Decider::with_budget(4);
+    let verdicts = engine.decide_all(&pairs);
+    assert_eq!(verdicts.len(), 3);
+    assert_eq!(verdicts[0].as_ref().unwrap(), &true);
+    assert!(verdicts[1].is_err(), "middle pair should exceed 4 states");
+    assert_eq!(verdicts[2].as_ref().unwrap(), &false);
+}
+
+#[test]
+fn prover_routes_refutation_through_engine() {
+    let prover = Prover::new(&[]);
+    let mut engine = Decider::new();
+    match prover.prove_or_refute(&mut engine, &e("p + p"), &e("p")) {
+        Ok(ProveOutcome::Refuted) => {}
+        other => panic!("expected refutation, got {other:?}"),
+    }
+    // The refutation consumed exactly one engine query…
+    assert_eq!(engine.stats().nka_queries, 1);
+    // …and asking again is a verdict-cache hit.
+    let _ = prover.prove_or_refute(&mut engine, &e("p + p"), &e("p"));
+    assert_eq!(engine.stats().answer_hits, 1);
+}
+
+#[test]
+fn ka_and_nka_surfaces_share_one_engine() {
+    let mut engine = Decider::new();
+    let (l, r) = (e("p + p"), e("p"));
+    assert!(engine.ka_equiv(&l, &r).unwrap()); // idempotence holds in KA
+    assert!(!engine.decide(&l, &r).unwrap()); // …but not in NKA
+    let s = engine.stats();
+    assert_eq!(s.ka_queries, 1);
+    assert_eq!(s.nka_queries, 1);
+    // Both pipelines compiled each side exactly once in total; every
+    // later automaton access was a cache hit.
+    assert_eq!(s.compile_misses, 2);
+    assert!(s.compile_hits >= 2);
+}

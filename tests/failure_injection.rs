@@ -6,10 +6,10 @@
 
 use nka_quantum::apps::compiler_opt::programs_equal_on_probes;
 use nka_quantum::nka::group::UnitaryGroup;
+use nka_quantum::qprog::EncoderSetting;
 use nka_quantum::qprog::Program;
 use nka_quantum::syntax::Expr;
 use nka_quantum::wfa::decide::{decide_eq_with, DecideOptions};
-use nka_quantum::qprog::EncoderSetting;
 use nkat::qhl::{encode_qhl, HoareTriple, QhlDerivation};
 use qsim_quantum::{gates, states, Measurement};
 
@@ -23,23 +23,27 @@ fn decision_procedure_rejects_coefficient_near_misses() {
     // four, unequal to three or five. Support-level reasoning cannot see
     // this; the weighted pipeline must.
     let lhs = e("(a + a) (a + a)");
-    assert!(nka_quantum::nka::decide_eq(
-        &lhs,
-        &e("a a + a a + a a + a a")
-    ));
-    assert!(!nka_quantum::nka::decide_eq(&lhs, &e("a a + a a + a a")));
-    assert!(!nka_quantum::nka::decide_eq(
-        &lhs,
-        &e("a a + a a + a a + a a + a a")
-    ));
+    let mut engine = nka_quantum::nka::Decider::new();
+    assert!(engine
+        .decide(&lhs, &e("a a + a a + a a + a a"))
+        .expect("within budget"));
+    assert!(!engine
+        .decide(&lhs, &e("a a + a a + a a"))
+        .expect("within budget"));
+    assert!(!engine
+        .decide(&lhs, &e("a a + a a + a a + a a + a a"))
+        .expect("within budget"));
 }
 
 #[test]
 fn decision_procedure_distinguishes_infinite_multiplicities() {
     // 1* a and (1 + 1)* a both have coefficient ∞ on "a" — equal; but
     // 1* a and a differ (∞ vs 1).
-    assert!(nka_quantum::nka::decide_eq(&e("1* a"), &e("(1 + 1)* a")));
-    assert!(!nka_quantum::nka::decide_eq(&e("1* a"), &e("a")));
+    let mut engine = nka_quantum::nka::Decider::new();
+    assert!(engine
+        .decide(&e("1* a"), &e("(1 + 1)* a"))
+        .expect("within budget"));
+    assert!(!engine.decide(&e("1* a"), &e("a")).expect("within budget"));
 }
 
 #[test]
@@ -68,9 +72,7 @@ fn semantic_validator_rejects_a_wrong_gate_fusion() {
         .then(&Program::unitary("rz1", &gates::rz(0.4)))
         .then(&Program::unitary("rz2", &gates::rz(0.3)))
         .then(&h);
-    let right = h
-        .then(&Program::unitary("rz12", &gates::rz(0.7)))
-        .then(&h);
+    let right = h.then(&Program::unitary("rz12", &gates::rz(0.7))).then(&h);
     let wrong = h
         .then(&Program::unitary("rz_wrong", &gates::rz(0.8)))
         .then(&h);

@@ -2,12 +2,23 @@
 //! proof object, (2) a decision-procedure fact, and (3) a law of the
 //! truncated power-series model.
 
-use nka_quantum::nka::{decide_eq, theorems, Judgment, Proof};
+use nka_quantum::nka::{theorems, Decider, Judgment, Proof};
 use nka_quantum::series::eval;
 use nka_quantum::syntax::{Expr, Symbol};
+use std::cell::RefCell;
 
 fn e(src: &str) -> Expr {
     src.parse().unwrap()
+}
+
+thread_local! {
+    /// One shared engine per test thread: theorems reuse subterms heavily,
+    /// so the compiled-automaton cache pays off across assertions.
+    static ENGINE: RefCell<Decider> = RefCell::new(Decider::new());
+}
+
+fn decide_eq(l: &Expr, r: &Expr) -> bool {
+    ENGINE.with(|engine| engine.borrow_mut().decide(l, r).expect("within budget"))
 }
 
 fn assert_equation_everywhere(lhs: &str, rhs: &str, proof: &Proof) {
@@ -18,7 +29,10 @@ fn assert_equation_everywhere(lhs: &str, rhs: &str, proof: &Proof) {
     });
     assert_eq!(j, Judgment::Eq(l.clone(), r.clone()), "{lhs} = {rhs}");
     // 2. Decision procedure.
-    assert!(decide_eq(&l, &r), "decision procedure rejects {lhs} = {rhs}");
+    assert!(
+        decide_eq(&l, &r),
+        "decision procedure rejects {lhs} = {rhs}"
+    );
     // 3. Truncated series oracle.
     let alphabet: Vec<Symbol> = l.atoms().union(&r.atoms()).copied().collect();
     assert_eq!(

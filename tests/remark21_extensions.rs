@@ -6,8 +6,8 @@
 use nka_quantum::nka::group::UnitaryGroup;
 use nka_quantum::nka::Judgment;
 use nka_quantum::syntax::{random_expr, Expr, ExprGenConfig, Symbol};
-use nka_quantum::wfa::ka::{ka_equiv, saturate};
 use nka_quantum::wfa::decide_eq;
+use nka_quantum::wfa::ka::{ka_equiv, saturate};
 use nkat::pvm::{is_pvm, pvm_hypotheses_hold, pvm_partition_hypotheses, DiagonalTest};
 use proptest::prelude::*;
 use qsim_quantum::Measurement;

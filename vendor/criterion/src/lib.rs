@@ -1,0 +1,361 @@
+//! A minimal, offline, API-compatible stand-in for the subset of
+//! [Criterion.rs](https://github.com/bheisler/criterion.rs) 0.5 that this
+//! workspace's bench targets use. See `vendor/README.md` for scope.
+//!
+//! The harness really measures: each benchmark is warmed up for
+//! `warm_up_time`, then `sample_size` samples are timed, where each sample runs
+//! enough iterations to fill `measurement_time / sample_size`. Results are
+//! printed to stdout as `name  time: [min median mean]` per iteration.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark manager: global configuration plus a name filter.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    /// Run each benchmark body exactly once (set by `--test`, the flag
+    /// `cargo test --benches` passes to libtest-style harnesses).
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter: None,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window a benchmark's samples should fill.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (`--test`, `--bench`, and an optional
+    /// positional name filter), matching the flags Cargo passes to
+    /// `harness = false` bench targets.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags (real Criterion's or libtest's) that take a value.
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" | "--logfile" => {
+                    let _ = args.next();
+                }
+                "--bench" | "--profile-time" | "--quick" | "--verbose" | "--quiet" | "--noplot"
+                | "--exact" | "--nocapture" => {}
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and local configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a function under `group-name/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        run_one(&cfg, &full, f);
+        self
+    }
+
+    /// Benchmarks a function with an explicit input under `group-name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finishes the group (a no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, converted to the last path segment of the name.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the function part).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything acceptable as a benchmark id: a `BenchmarkId` or a plain name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// The timing driver handed to each benchmark closure.
+pub struct Bencher {
+    /// Iterations per timed sample (chosen during warm-up).
+    iters_per_sample: u64,
+    /// Per-sample mean iteration times, filled by `iter`.
+    sample_means_ns: Vec<f64>,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times per sample to fill the
+    /// configured measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let n = self.iters_per_sample.max(1);
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.sample_means_ns
+            .push(elapsed.as_secs_f64() * 1e9 / n as f64);
+    }
+}
+
+fn run_one<F>(cfg: &Criterion, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &cfg.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if cfg.test_mode {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            sample_means_ns: Vec::new(),
+            test_mode: true,
+        };
+        f(&mut b);
+        println!("test {name} ... ok");
+        return;
+    }
+
+    // Warm-up: run single iterations until the warm-up window elapses,
+    // estimating the per-iteration cost as we go.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < cfg.warm_up_time {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            sample_means_ns: Vec::new(),
+            test_mode: false,
+        };
+        f(&mut b);
+        warm_iters += 1;
+        if warm_iters >= 10 && warm_start.elapsed() >= cfg.warm_up_time / 2 {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+    let per_sample_budget = cfg.measurement_time.as_secs_f64() / cfg.sample_size as f64;
+    let iters_per_sample = ((per_sample_budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+    let mut b = Bencher {
+        iters_per_sample,
+        sample_means_ns: Vec::new(),
+        test_mode: false,
+    };
+    for _ in 0..cfg.sample_size {
+        f(&mut b);
+    }
+
+    let mut samples = b.sample_means_ns;
+    if samples.is_empty() {
+        println!("{name:<50} (no samples — closure never called iter)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).into_benchmark_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(40).into_benchmark_id(), "40");
+    }
+
+    #[test]
+    fn harness_runs_and_measures() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut calls = 0usize;
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Collection strategies (only `vec` is needed by this workspace).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Generates `Vec`s whose length is drawn from `sizes` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    assert!(sizes.start < sizes.end, "empty size range");
+    VecStrategy { element, sizes }
+}
+
+/// The result of [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.sizes.end - self.sizes.start) as u64;
+        let len = self.sizes.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

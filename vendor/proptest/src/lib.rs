@@ -1,0 +1,99 @@
+//! A minimal, offline, API-compatible stand-in for the subset of
+//! [proptest](https://github.com/proptest-rs/proptest) 1.x that this
+//! workspace's tests use. See `vendor/README.md` for scope.
+//!
+//! Design notes:
+//!
+//! * [`strategy::Strategy`] is a *generator* trait: `generate(&mut TestRng)`
+//!   produces one value. There is no shrinking — on failure the harness
+//!   reports the case index and the deterministic per-test seed, which is
+//!   enough to reproduce (generation is a pure function of the seed).
+//! * The [`proptest!`] macro expands each contained `fn` to a plain test
+//!   that loops `ProptestConfig::cases` times over freshly generated
+//!   inputs; `prop_assert!`/`prop_assert_eq!` are plain assertions.
+
+pub mod collection;
+mod macros;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let x = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&x));
+            let y = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&y));
+            let z = (0u8..).generate(&mut rng);
+            let _ = z; // full range; nothing to check beyond type
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![(0u64..10).prop_map(|n| n as i64), Just(-1i64),];
+        let mut rng = TestRng::deterministic("oneof_and_map_compose");
+        let mut saw_neg = false;
+        let mut saw_small = false;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                -1 => saw_neg = true,
+                n if (0..10).contains(&n) => saw_small = true,
+                other => panic!("out-of-range value {other}"),
+            }
+        }
+        assert!(saw_neg && saw_small);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let leaf = Just(Tree::Leaf);
+        let strat = leaf.prop_recursive(4, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+        });
+        let mut rng = TestRng::deterministic("recursive_strategies_terminate");
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut rng)) <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself, with config, doc comments and several bindings.
+        #[test]
+        fn macro_roundtrip(a in 0u32..100, b in 0u32..100) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert!(a < 100 && b < 100, "bounds violated: {} {}", a, b);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(0usize..3, 0..6)) {
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! The `proptest!` entry-point macro and the `prop_assert*` family.
+
+/// Declares property tests: each contained `fn` with `arg in strategy`
+/// bindings becomes a plain `#[test]` looping over generated cases.
+///
+/// Supports the optional leading `#![proptest_config(...)]` attribute used
+/// to set the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr;
+     $( $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                // Build each strategy once (bound to the argument's own
+                // name, shadowed by the generated value inside the loop);
+                // generation then only consults the RNG.
+                $( let $arg = ($strat); )+
+                for __case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($l:expr, $r:expr $(,)?) => { assert_eq!($l, $r) };
+    ($l:expr, $r:expr, $($fmt:tt)+) => { assert_eq!($l, $r, $($fmt)+) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($l:expr, $r:expr $(,)?) => { assert_ne!($l, $r) };
+    ($l:expr, $r:expr, $($fmt:tt)+) => { assert_ne!($l, $r, $($fmt)+) };
+}
