@@ -1,0 +1,90 @@
+//! BATCH-WARM — the steady-state claim behind `nka batch`: a stream of
+//! queries on one warm [`Session`] versus a fresh engine per query.
+//!
+//! The stream is 100 queries (50 distinct NKA/KA pairs, each issued
+//! twice, as real batch files repeat themselves), so the one-session
+//! arms exercise every cache class: expression compilations, DFA
+//! determinizations, and whole-verdict hits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nka_bench::random_exprs;
+use nka_core::api::{Query, Session};
+use std::hint::black_box;
+
+/// 100 queries: 50 distinct (NkaEq/KaEq alternating over random pairs),
+/// each appearing twice.
+fn query_stream() -> Vec<Query> {
+    let exprs = random_exprs(100, 10, 0xBA7C4);
+    let distinct: Vec<Query> = exprs
+        .chunks(2)
+        .enumerate()
+        .map(|(i, pair)| {
+            let (lhs, rhs) = (pair[0].clone(), pair[1].clone());
+            if i % 2 == 0 {
+                Query::NkaEq { lhs, rhs }
+            } else {
+                Query::KaEq { lhs, rhs }
+            }
+        })
+        .collect();
+    assert_eq!(distinct.len(), 50);
+    let mut stream = distinct.clone();
+    stream.extend(distinct);
+    stream
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let queries = query_stream();
+    assert_eq!(queries.len(), 100);
+
+    // One throwaway engine per query: what a loop over one-shot
+    // `decide_eq` calls (or spawning `nka decide` per query) costs.
+    let mut group = c.benchmark_group("api/batch_cold_engines");
+    group.sample_size(10);
+    group.bench_function("100_queries", |b| {
+        b.iter(|| {
+            for query in &queries {
+                let mut session = Session::new();
+                black_box(session.run(black_box(query)));
+            }
+        });
+    });
+    group.finish();
+
+    // One session for the whole stream, built fresh each iteration: the
+    // honest `nka batch` cost including first-time compilations.
+    let mut group = c.benchmark_group("api/batch_one_session");
+    group.sample_size(10);
+    group.bench_function("100_queries", |b| {
+        b.iter(|| {
+            let mut session = Session::new();
+            for query in &queries {
+                black_box(session.run(black_box(query)));
+            }
+        });
+    });
+    group.finish();
+
+    // A persistent pre-warmed session: the serving steady state, where
+    // every query is a verdict-cache hit.
+    let mut group = c.benchmark_group("api/batch_warm_session");
+    group.sample_size(10);
+    let mut session = Session::new();
+    let _ = session.run_all(&queries); // prime every cache class
+    assert!(session.stats().answer_hits > 0);
+    group.bench_function("100_queries", |b| {
+        b.iter(|| {
+            for query in &queries {
+                black_box(session.run(black_box(query)));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = nka_bench::criterion_config();
+    targets = bench_batch
+}
+criterion_main!(benches);

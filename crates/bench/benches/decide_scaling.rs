@@ -5,8 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nka_bench::random_exprs;
+use nka_core::api::{Query, Session};
 use nka_series::eval;
-use nka_syntax::{Expr, Symbol};
+use nka_syntax::Symbol;
 use nka_wfa::decide::{decide_eq_with, DecideOptions};
 use nka_wfa::ka::{ka_equiv, saturate};
 use nka_wfa::Decider;
@@ -32,22 +33,29 @@ fn bench_decide(c: &mut Criterion) {
     }
     group.finish();
 
-    // The same sweeps against a persistent engine: after the first
+    // The same sweeps against a persistent warm `Session` — the Query
+    // API steady state `nka batch`/`nka serve` sit on: after the first
     // iteration every verdict is a cache hit, so this arm measures the
-    // memoized steady state the serving layers will sit on.
-    let mut group = c.benchmark_group("decide/engine_warm");
+    // memoized lookup plus the per-query accounting (stats delta +
+    // timing) of the API layer.
+    let mut group = c.benchmark_group("decide/session_warm");
     group.sample_size(10);
     for size in [10usize, 20, 40, 80] {
         let exprs = random_exprs(8, size, 0xD5C1DE + size as u64);
-        let pairs: Vec<(Expr, Expr)> = exprs
+        let queries: Vec<Query> = exprs
             .chunks(2)
-            .map(|pair| (pair[0].clone(), pair[1].clone()))
+            .map(|pair| Query::NkaEq {
+                lhs: pair[0].clone(),
+                rhs: pair[1].clone(),
+            })
             .collect();
-        let mut engine = Decider::new();
-        let _ = engine.decide_all(&pairs); // prime the caches
-        group.bench_with_input(BenchmarkId::from_parameter(size), &pairs, |b, pairs| {
+        let mut session = Session::new();
+        let _ = session.run_all(&queries); // prime the caches
+        group.bench_with_input(BenchmarkId::from_parameter(size), &queries, |b, queries| {
             b.iter(|| {
-                let _ = engine.decide_all(black_box(pairs));
+                for query in queries {
+                    black_box(session.run(black_box(query)));
+                }
             });
         });
     }

@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nka_bench::figure2_equations;
+use nka_core::api::{Query, Session, Verdict};
 use nka_core::theorems;
 use nka_syntax::Expr;
 use std::hint::black_box;
@@ -62,19 +63,27 @@ fn bench_fig2(c: &mut Criterion) {
     }
     group.finish();
 
-    // Warm path: all seven theorems through one shared engine, re-decided
-    // per iteration — verdicts come from the memoized caches.
-    let mut group = c.benchmark_group("fig2/decision_engine_warm");
-    let pairs: Vec<(Expr, Expr)> = figure2_equations()
+    // Warm path: all seven theorems through one shared `Session`,
+    // re-queried per iteration — verdicts come from the memoized caches
+    // via the Query API the serving layers use.
+    let mut group = c.benchmark_group("fig2/decision_session_warm");
+    let queries: Vec<Query> = figure2_equations()
         .into_iter()
-        .map(|(_, lhs, rhs)| (e(lhs), e(rhs)))
+        .map(|(_, lhs, rhs)| Query::NkaEq {
+            lhs: e(lhs),
+            rhs: e(rhs),
+        })
         .collect();
-    let mut engine = nka_wfa::Decider::new();
-    assert!(engine.decide_all(&pairs).into_iter().all(|v| v.unwrap()));
+    let mut session = Session::new();
+    assert!(session
+        .run_all(&queries)
+        .iter()
+        .all(|resp| resp.verdict == Verdict::Holds));
     group.bench_function("all_theorems", |b| {
         b.iter(|| {
-            for verdict in engine.decide_all(black_box(&pairs)) {
-                assert!(verdict.unwrap());
+            for query in &queries {
+                let resp = session.run(black_box(query));
+                assert_eq!(resp.verdict, Verdict::Holds);
             }
         });
     });

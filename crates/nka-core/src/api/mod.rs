@@ -1,0 +1,709 @@
+//! Query API v1: one typed request/response surface for the whole toolkit.
+//!
+//! Every consumer of the decision machinery — the `nka` CLI, benches,
+//! integration tests, other processes driving `nka serve` — speaks this
+//! API instead of the per-module free functions. A [`Session`] owns the
+//! memoizing [`Decider`] engine, the auto-prover configuration, and the
+//! series evaluator behind a single entry point,
+//! [`Session::run`], which maps a [`Query`] to a structured [`Response`].
+//!
+//! The free functions (`nka_core::decide_eq`, `nka_wfa::ka_equiv`,
+//! `nka_series::eval`) remain as documented *one-shot conveniences*; any
+//! caller issuing more than one query should hold a `Session` so the
+//! engine's expression/DFA/verdict caches amortize across the stream.
+//!
+//! Each [`Query`] variant is one judgment form of Peng–Ying–Wu
+//! (PLDI 2022):
+//!
+//! * [`Query::NkaEq`] — `⊢NKA e = f`, decided via the rational
+//!   power-series model (Remark 2.1 / Theorem A.6);
+//! * [`Query::KaEq`] — `⊢KA e = f`, language equivalence of supports,
+//!   i.e. the `1*K` embedding of Remark 2.1 (equivalently
+//!   `⊢NKA 1*e = 1*f`);
+//! * [`Query::Series`] — the truncated semantics `{{e}}` of
+//!   Definition A.4, the ground-truth oracle model;
+//! * [`Query::Prove`] — rewrite-proof search under Horn-clause
+//!   hypotheses (Corollary 4.3), producing a machine-checkable
+//!   [`Proof`] object on success.
+//!
+//! Outcomes are a [`Verdict`] — holds / refuted / proved (with proof
+//! size) / search-exhausted / budget-exhausted — plus the engine-counter
+//! delta ([`Response::stats_delta`]) and wall-clock time attributable to
+//! the query. Failures *of the query itself* (malformed input) are the
+//! typed [`ApiError`], which carries byte-span parse diagnostics and can
+//! render `^^^` carets.
+//!
+//! The [`wire`] submodule defines the line-oriented JSONL encoding of
+//! queries and responses used by `nka batch` and `nka serve`; [`json`]
+//! is the dependency-free JSON support underneath it.
+//!
+//! # Examples
+//!
+//! ```
+//! use nka_core::api::{Query, Session, Verdict};
+//!
+//! let mut session = Session::new();
+//! let resp = session.run(&Query::nka_eq("(p q)* p", "p (q p)*")?);
+//! assert_eq!(resp.verdict, Verdict::Holds);
+//! // Same query again: answered from the verdict cache.
+//! let resp = session.run(&Query::nka_eq("(p q)* p", "p (q p)*")?);
+//! assert_eq!(resp.stats_delta.answer_hits, 1);
+//! assert_eq!(resp.stats_delta.compile_misses, 0);
+//! # Ok::<(), nka_core::api::ApiError>(())
+//! ```
+
+pub mod json;
+pub mod wire;
+
+use crate::judgment::Judgment;
+use crate::proof::Proof;
+use crate::prover::{ProveOutcome, Prover};
+use nka_semiring::ExtNat;
+use nka_syntax::{Expr, ParseExprError, Symbol, Word};
+use nka_wfa::{DecideOptions, Decider, DeciderStats};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A typed request against the NKA theory. See the [module docs](self)
+/// for the paper construct behind each variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Decide `⊢NKA lhs = rhs` (Remark 2.1 / Theorem A.6: equality of
+    /// rational power series over `N̄`).
+    NkaEq {
+        /// Left-hand side.
+        lhs: Expr,
+        /// Right-hand side.
+        rhs: Expr,
+    },
+    /// Decide `⊢KA lhs = rhs` — language equivalence of the supports
+    /// (Kozen's completeness theorem via the `1*K` embedding of
+    /// Remark 2.1).
+    KaEq {
+        /// Left-hand side.
+        lhs: Expr,
+        /// Right-hand side.
+        rhs: Expr,
+    },
+    /// Evaluate the truncated power series `{{expr}}` (Definition A.4)
+    /// on words of length ≤ `max_len` over the expression's own atoms.
+    Series {
+        /// The expression to evaluate.
+        expr: Expr,
+        /// Truncation length (words of length ≤ `max_len`).
+        max_len: usize,
+    },
+    /// Search for a rewrite proof of `lhs = rhs` under Horn-clause
+    /// hypotheses (Corollary 4.3). Hypothesis-free goals are first
+    /// routed through the decision engine, so non-theorems come back
+    /// [`Verdict::Refuted`] without burning the search budget.
+    Prove {
+        /// Goal left-hand side.
+        lhs: Expr,
+        /// Goal right-hand side.
+        rhs: Expr,
+        /// Hypotheses `l = r`, usable as rewrite rules in either
+        /// direction.
+        hyps: Vec<(Expr, Expr)>,
+    },
+}
+
+/// The discriminant of a [`Query`], used for display and wire encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// [`Query::NkaEq`].
+    NkaEq,
+    /// [`Query::KaEq`].
+    KaEq,
+    /// [`Query::Series`].
+    Series,
+    /// [`Query::Prove`].
+    Prove,
+}
+
+impl QueryKind {
+    /// The wire-format `op` name (`nka_eq`, `ka_eq`, `series`, `prove`).
+    #[must_use]
+    pub fn op(self) -> &'static str {
+        match self {
+            QueryKind::NkaEq => "nka_eq",
+            QueryKind::KaEq => "ka_eq",
+            QueryKind::Series => "series",
+            QueryKind::Prove => "prove",
+        }
+    }
+}
+
+impl fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.op())
+    }
+}
+
+/// Default truncation length for [`Query::Series`] built from the wire
+/// format without an explicit `max_len` (matches the CLI default).
+pub const DEFAULT_SERIES_MAX_LEN: usize = 3;
+
+impl Query {
+    /// The discriminant of this query.
+    #[must_use]
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            Query::NkaEq { .. } => QueryKind::NkaEq,
+            Query::KaEq { .. } => QueryKind::KaEq,
+            Query::Series { .. } => QueryKind::Series,
+            Query::Prove { .. } => QueryKind::Prove,
+        }
+    }
+
+    /// Builds an [`Query::NkaEq`] from source text.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Parse`] (with span) if either side fails to parse.
+    pub fn nka_eq(lhs: &str, rhs: &str) -> Result<Query, ApiError> {
+        Ok(Query::NkaEq {
+            lhs: parse_field("lhs", lhs)?,
+            rhs: parse_field("rhs", rhs)?,
+        })
+    }
+
+    /// Builds a [`Query::KaEq`] from source text.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Parse`] (with span) if either side fails to parse.
+    pub fn ka_eq(lhs: &str, rhs: &str) -> Result<Query, ApiError> {
+        Ok(Query::KaEq {
+            lhs: parse_field("lhs", lhs)?,
+            rhs: parse_field("rhs", rhs)?,
+        })
+    }
+
+    /// Builds a [`Query::Series`] from source text.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Parse`] (with span) if the expression fails to parse.
+    pub fn series(expr: &str, max_len: usize) -> Result<Query, ApiError> {
+        Ok(Query::Series {
+            expr: parse_field("expr", expr)?,
+            max_len,
+        })
+    }
+
+    /// Builds a [`Query::Prove`] from source text; each hypothesis is a
+    /// `"l = r"` string.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Parse`] on a malformed expression,
+    /// [`ApiError::Malformed`] on a hypothesis without `=`.
+    pub fn prove<S: AsRef<str>>(lhs: &str, rhs: &str, hyps: &[S]) -> Result<Query, ApiError> {
+        let mut parsed = Vec::with_capacity(hyps.len());
+        for h in hyps {
+            parsed.push(parse_hypothesis(h.as_ref())?);
+        }
+        Ok(Query::Prove {
+            lhs: parse_field("lhs", lhs)?,
+            rhs: parse_field("rhs", rhs)?,
+            hyps: parsed,
+        })
+    }
+}
+
+/// Parses one `"l = r"` hypothesis.
+fn parse_hypothesis(src: &str) -> Result<(Expr, Expr), ApiError> {
+    let Some((l, r)) = src.split_once('=') else {
+        return Err(ApiError::Malformed(format!(
+            "hypothesis {src:?} is not of the form 'l = r'"
+        )));
+    };
+    Ok((parse_field("hyp", l.trim())?, parse_field("hyp", r.trim())?))
+}
+
+fn parse_field(field: &'static str, src: &str) -> Result<Expr, ApiError> {
+    src.parse().map_err(|err| ApiError::Parse {
+        field,
+        src: src.to_owned(),
+        err,
+    })
+}
+
+/// The structured outcome of a query: what the theory says.
+///
+/// Resource exhaustion is a verdict, not an error — the query was
+/// well-formed, the engine just hit its configured ceiling; only
+/// malformed input is an [`ApiError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The judgment holds (`⊢NKA` / `⊢KA` per the query).
+    Holds,
+    /// The judgment does not hold: the engine separated the two series
+    /// (or languages), or refuted a hypothesis-free proof goal.
+    Refuted,
+    /// A machine-checked proof was found ([`Response::proof`] carries
+    /// the proof object).
+    Proved {
+        /// Number of rule applications in the checked proof.
+        proof_size: usize,
+    },
+    /// The proof search ran out of its expansion budget.
+    Exhausted {
+        /// For hypothesis-free goals the engine has already decided the
+        /// goal (`Some(true)`: it holds, only the *rewrite* search
+        /// failed); under hypotheses the status is genuinely open
+        /// (`None`).
+        holds_by_decision: Option<bool>,
+    },
+    /// The truncated power series of a [`Query::Series`] request: the
+    /// non-zero coefficients in word order.
+    Series {
+        /// Truncation length the series was computed to.
+        max_len: usize,
+        /// `(word, coefficient)` pairs, shortest word first.
+        terms: Vec<(Word, ExtNat)>,
+    },
+    /// The decision engine exceeded its state budget
+    /// ([`DecideOptions::max_dfa_states`]); retry with a larger budget.
+    BudgetExhausted {
+        /// Human-readable description of the exceeded bound.
+        detail: String,
+    },
+}
+
+impl Verdict {
+    /// Whether this verdict establishes the queried judgment
+    /// (holds / proved / a computed series).
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        matches!(
+            self,
+            Verdict::Holds | Verdict::Proved { .. } | Verdict::Series { .. }
+        )
+    }
+
+    /// The wire-format verdict name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::Holds => "holds",
+            Verdict::Refuted => "refuted",
+            Verdict::Proved { .. } => "proved",
+            Verdict::Exhausted { .. } => "exhausted",
+            Verdict::Series { .. } => "series",
+            Verdict::BudgetExhausted { .. } => "budget_exhausted",
+        }
+    }
+}
+
+/// The structured result of [`Session::run`].
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Which kind of query this answers.
+    pub kind: QueryKind,
+    /// The outcome.
+    pub verdict: Verdict,
+    /// The checked proof object for [`Verdict::Proved`] (so callers can
+    /// re-check or render it); `None` otherwise.
+    pub proof: Option<Proof>,
+    /// Engine-counter activity attributable to this query
+    /// ([`DeciderStats::delta_since`] across the call).
+    pub stats_delta: DeciderStats,
+    /// Cumulative engine counters over the session's life.
+    pub stats_total: DeciderStats,
+    /// Wall-clock time spent answering.
+    pub elapsed: Duration,
+}
+
+/// A malformed query: the unified error type of the API layer.
+///
+/// Resource exhaustion is *not* an `ApiError` — see
+/// [`Verdict::BudgetExhausted`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// An expression failed to parse. Carries the field name (`lhs`,
+    /// `rhs`, `expr`, `hyp`), the offending source, and the span-bearing
+    /// parser error.
+    Parse {
+        /// Which query field the source came from.
+        field: &'static str,
+        /// The source text that failed to parse.
+        src: String,
+        /// The underlying parser error (byte span included).
+        err: ParseExprError,
+    },
+    /// A malformed wire-level request: bad JSON, unknown `op`, missing
+    /// or ill-typed key, hypothesis without `=`, …
+    Malformed(String),
+}
+
+impl ApiError {
+    /// Multi-line rendering with a `^^^` caret under the offending span
+    /// for parse errors — what the CLI prints to stderr.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            ApiError::Parse { field, src, err } => {
+                format!(
+                    "parse error in {field}:\n  {}",
+                    err.caret(src).replace('\n', "\n  ")
+                )
+            }
+            ApiError::Malformed(msg) => format!("malformed request: {msg}"),
+        }
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::Parse { field, src, err } => {
+                write!(f, "parse error in {field} {src:?}: {err}")
+            }
+            ApiError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApiError::Parse { err, .. } => Some(err),
+            ApiError::Malformed(_) => None,
+        }
+    }
+}
+
+/// Configuration for a [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionOptions {
+    /// Resource policy of the underlying decision engine.
+    pub decide: DecideOptions,
+    /// Expansion budget of the auto-prover ([`Prover`]) per
+    /// [`Query::Prove`].
+    pub prove_max_expansions: usize,
+    /// Term-size bound of the auto-prover per [`Query::Prove`].
+    pub prove_max_term_size: usize,
+    /// Cap on the number of *potential* words `Σ^{≤max_len}` a
+    /// [`Query::Series`] may span (the truncated evaluation materializes
+    /// at most one coefficient per word, so this bounds its memory). A
+    /// request over the cap answers [`Verdict::BudgetExhausted`] —
+    /// a wire client cannot OOM the process with a huge `max_len`.
+    pub series_max_words: u64,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            decide: DecideOptions::default(),
+            prove_max_expansions: 2000,
+            prove_max_term_size: 120,
+            series_max_words: 1_000_000,
+        }
+    }
+}
+
+/// `min(|Σ^{≤max_len}|, cap + 1)` where `|Σ^{≤max_len}| = Σ_{i=0..=max_len} k^i`
+/// — the word count, computed only far enough to compare against `cap`
+/// (so a pathological `max_len` costs at most `cap` loop steps, and in
+/// practice ~log(cap) for any alphabet with two or more symbols).
+fn potential_words(alphabet_len: usize, max_len: usize, cap: u64) -> u64 {
+    let k = alphabet_len as u64;
+    let mut total: u64 = 0;
+    let mut layer: u64 = 1; // k^0
+    for _ in 0..=max_len {
+        total = total.saturating_add(layer);
+        if total > cap {
+            return cap.saturating_add(1);
+        }
+        layer = layer.saturating_mul(k);
+        if layer == 0 {
+            break; // empty alphabet: only ε, ever
+        }
+    }
+    total
+}
+
+/// The stateful query facade: one warm engine for a whole stream of
+/// queries. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct Session {
+    engine: Decider,
+    opts: SessionOptions,
+    queries_run: u64,
+}
+
+impl Session {
+    /// A session with default options (100 000-state budget, exact
+    /// arithmetic, 2000-expansion proof search).
+    #[must_use]
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// A session with explicit options.
+    #[must_use]
+    pub fn with_options(opts: SessionOptions) -> Session {
+        Session {
+            engine: Decider::with_options(opts.decide.clone()),
+            opts,
+            queries_run: 0,
+        }
+    }
+
+    /// A session whose engine enforces the given subset-construction
+    /// state budget.
+    #[must_use]
+    pub fn with_budget(max_dfa_states: usize) -> Session {
+        Session::with_options(SessionOptions {
+            decide: DecideOptions {
+                max_dfa_states,
+                ..DecideOptions::default()
+            },
+            ..SessionOptions::default()
+        })
+    }
+
+    /// The session's configuration.
+    #[must_use]
+    pub fn options(&self) -> &SessionOptions {
+        &self.opts
+    }
+
+    /// Cumulative engine counters.
+    #[must_use]
+    pub fn stats(&self) -> DeciderStats {
+        self.engine.stats()
+    }
+
+    /// Number of queries answered by this session.
+    #[must_use]
+    pub fn queries_run(&self) -> u64 {
+        self.queries_run
+    }
+
+    /// Direct access to the underlying engine, for callers that need
+    /// surfaces the query API does not model (e.g. word membership).
+    pub fn engine_mut(&mut self) -> &mut Decider {
+        &mut self.engine
+    }
+
+    /// Answers one query. Never panics and never returns a Rust error:
+    /// every outcome — including budget exhaustion — is a [`Verdict`].
+    pub fn run(&mut self, query: &Query) -> Response {
+        let before = self.engine.stats();
+        let start = Instant::now();
+        let (verdict, proof) = self.dispatch(query);
+        let elapsed = start.elapsed();
+        let total = self.engine.stats();
+        self.queries_run += 1;
+        Response {
+            kind: query.kind(),
+            verdict,
+            proof,
+            stats_delta: total.delta_since(&before),
+            stats_total: total,
+            elapsed,
+        }
+    }
+
+    /// Answers a batch in input order on the one warm engine.
+    pub fn run_all(&mut self, queries: &[Query]) -> Vec<Response> {
+        queries.iter().map(|q| self.run(q)).collect()
+    }
+
+    fn dispatch(&mut self, query: &Query) -> (Verdict, Option<Proof>) {
+        match query {
+            Query::NkaEq { lhs, rhs } => (decision(self.engine.decide(lhs, rhs)), None),
+            Query::KaEq { lhs, rhs } => (decision(self.engine.ka_equiv(lhs, rhs)), None),
+            Query::Series { expr, max_len } => {
+                let alphabet: Vec<Symbol> = expr.atoms().into_iter().collect();
+                let cap = self.opts.series_max_words;
+                if potential_words(alphabet.len(), *max_len, cap) > cap {
+                    return (
+                        Verdict::BudgetExhausted {
+                            detail: format!(
+                                "series truncation ≤{max_len} over {} symbols spans more \
+                                 than the session cap of {cap} words",
+                                alphabet.len()
+                            ),
+                        },
+                        None,
+                    );
+                }
+                let series = nka_series::eval(expr, &alphabet, *max_len);
+                let terms = series.iter().map(|(w, c)| (w.clone(), c)).collect();
+                (
+                    Verdict::Series {
+                        max_len: *max_len,
+                        terms,
+                    },
+                    None,
+                )
+            }
+            Query::Prove { lhs, rhs, hyps } => {
+                let judgments: Vec<Judgment> = hyps
+                    .iter()
+                    .map(|(l, r)| Judgment::Eq(l.clone(), r.clone()))
+                    .collect();
+                let mut prover = Prover::new(&judgments)
+                    .with_max_expansions(self.opts.prove_max_expansions)
+                    .with_max_term_size(self.opts.prove_max_term_size);
+                prover.add_hypothesis_rules();
+                match prover.prove_or_refute(&mut self.engine, lhs, rhs) {
+                    Ok(ProveOutcome::Proved(proof)) => (
+                        Verdict::Proved {
+                            proof_size: proof.size(),
+                        },
+                        Some(proof),
+                    ),
+                    Ok(ProveOutcome::Refuted) => (Verdict::Refuted, None),
+                    Ok(ProveOutcome::Exhausted) => {
+                        // Hypothesis-free goals reached Exhausted only
+                        // after the engine decided them true (false would
+                        // have been Refuted, overflow would be Err).
+                        let holds_by_decision = judgments.is_empty().then_some(true);
+                        (Verdict::Exhausted { holds_by_decision }, None)
+                    }
+                    Err(err) => (
+                        Verdict::BudgetExhausted {
+                            detail: err.to_string(),
+                        },
+                        None,
+                    ),
+                }
+            }
+        }
+    }
+}
+
+fn decision(result: Result<bool, nka_wfa::DecideError>) -> Verdict {
+    match result {
+        Ok(true) => Verdict::Holds,
+        Ok(false) => Verdict::Refuted,
+        Err(err) => Verdict::BudgetExhausted {
+            detail: err.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nka_and_ka_verdicts_disagree_on_idempotence() {
+        let mut session = Session::new();
+        let nka = session.run(&Query::nka_eq("p + p", "p").unwrap());
+        assert_eq!(nka.verdict, Verdict::Refuted);
+        let ka = session.run(&Query::ka_eq("p + p", "p").unwrap());
+        assert_eq!(ka.verdict, Verdict::Holds);
+        assert_eq!(session.queries_run(), 2);
+        // Both queries ran on the one engine: each side compiled once.
+        assert_eq!(session.stats().compile_misses, 2);
+    }
+
+    #[test]
+    fn series_query_reports_terms() {
+        let mut session = Session::new();
+        let resp = session.run(&Query::series("a + a", 2).unwrap());
+        let Verdict::Series { max_len, terms } = &resp.verdict else {
+            panic!("expected a series verdict, got {:?}", resp.verdict);
+        };
+        assert_eq!(*max_len, 2);
+        assert_eq!(terms.len(), 1);
+        assert_eq!(terms[0].1, ExtNat::from(2u64));
+        // Series evaluation never touches the engine.
+        assert_eq!(resp.stats_delta, DeciderStats::default());
+    }
+
+    #[test]
+    fn prove_query_returns_a_checkable_proof() {
+        let mut session = Session::new();
+        let query = Query::prove("m1 (m0 p + m1)", "m1", &["m1 m1 = m1", "m1 m0 = 0"]).unwrap();
+        let resp = session.run(&query);
+        let Verdict::Proved { proof_size } = resp.verdict else {
+            panic!("expected a proof, got {:?}", resp.verdict);
+        };
+        assert!(proof_size > 0);
+        let proof = resp.proof.expect("proof object present");
+        let Query::Prove { lhs, rhs, hyps } = &query else {
+            unreachable!()
+        };
+        let judgments: Vec<Judgment> = hyps
+            .iter()
+            .map(|(l, r)| Judgment::Eq(l.clone(), r.clone()))
+            .collect();
+        assert_eq!(proof.check(&judgments).unwrap(), Judgment::eq(lhs, rhs));
+    }
+
+    #[test]
+    fn exhausted_search_on_a_theorem_reports_holds_by_decision() {
+        // Sliding is a theorem but unprovable by the bare rewrite search
+        // (no rules registered beyond hypotheses, of which there are none).
+        let mut session = Session::new();
+        let resp = session.run(&Query::prove::<&str>("(p q)* p", "p (q p)*", &[]).unwrap());
+        assert_eq!(
+            resp.verdict,
+            Verdict::Exhausted {
+                holds_by_decision: Some(true)
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_series_requests_are_capped_not_evaluated() {
+        // (a + b)* over length ≤ 63 spans 2^64 − 1 words; evaluating it
+        // would OOM. The session must answer with a budget verdict
+        // instead (a wire client controls max_len).
+        let mut session = Session::new();
+        let resp = session.run(&Query::series("(a + b)*", 63).unwrap());
+        let Verdict::BudgetExhausted { detail } = &resp.verdict else {
+            panic!("expected a budget verdict, got {:?}", resp.verdict);
+        };
+        assert!(detail.contains("session cap"), "{detail}");
+        // A single-symbol alphabet with a pathological max_len is also
+        // rejected promptly rather than looping for 2^64 iterations.
+        let resp = session.run(&Query::series("a*", usize::MAX).unwrap());
+        assert!(matches!(resp.verdict, Verdict::BudgetExhausted { .. }));
+        // In-cap requests still answer.
+        let resp = session.run(&Query::series("(a + b)*", 5).unwrap());
+        assert!(matches!(resp.verdict, Verdict::Series { .. }));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_verdict() {
+        let mut session = Session::with_budget(1);
+        let resp = session.run(&Query::nka_eq("1* a", "1* a a").unwrap());
+        let Verdict::BudgetExhausted { detail } = &resp.verdict else {
+            panic!("expected budget exhaustion, got {:?}", resp.verdict);
+        };
+        assert!(detail.contains("out of budget"), "{detail}");
+        assert!(!resp.verdict.is_positive());
+    }
+
+    #[test]
+    fn parse_errors_carry_field_and_span() {
+        let err = Query::nka_eq("a + ?", "a").unwrap_err();
+        let ApiError::Parse { field, src, err } = &err else {
+            panic!("expected a parse error, got {err:?}");
+        };
+        assert_eq!(*field, "lhs");
+        assert_eq!(src, "a + ?");
+        assert_eq!(err.span(), (4, 5));
+        let rendered = ApiError::Parse {
+            field,
+            src: src.clone(),
+            err: err.clone(),
+        }
+        .render();
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+
+    #[test]
+    fn malformed_hypotheses_are_rejected() {
+        let err = Query::prove("a", "a", &["no equals sign"]).unwrap_err();
+        assert!(matches!(err, ApiError::Malformed(_)), "{err:?}");
+    }
+}

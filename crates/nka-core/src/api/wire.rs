@@ -1,0 +1,380 @@
+//! The line-oriented wire format of `nka batch` and `nka serve`.
+//!
+//! One request per line, one response line per request. Requests are
+//! either a JSON object (JSONL) or the bare shorthand `e = f`:
+//!
+//! ```text
+//! {"op":"nka_eq","lhs":"(p q)* p","rhs":"p (q p)*"}
+//! {"op":"ka_eq","lhs":"p + p","rhs":"p"}
+//! {"op":"series","expr":"(a + a)*","max_len":4}
+//! {"op":"prove","lhs":"m1 (m0 p + m1)","rhs":"m1","hyps":["m1 m1 = m1","m1 m0 = 0"]}
+//! (p q)* p = p (q p)*
+//! # comments and blank lines are skipped
+//! ```
+//!
+//! The `op` names match [`QueryKind::op`]. `max_len` defaults to
+//! [`DEFAULT_SERIES_MAX_LEN`]; `hyps` defaults to empty. Unknown keys
+//! are ignored, which makes every *response* line a valid *request*
+//! line for the same query — the JSONL stream round-trips
+//! (`decode_request(encode_response(q, …)) == q`).
+//!
+//! Responses repeat the query fields and add `verdict` (a
+//! [`Verdict::name`]), verdict-specific payload (`proof_size`,
+//! `holds_by_decision`, `terms`, `detail`), the engine-counter delta
+//! under `stats`, and wall-clock `micros`. Words in `terms` are
+//! space-separated symbol names with `""` for ε; coefficients are
+//! decimal strings or `"∞"` (strings, so arbitrary-precision values
+//! survive).
+
+use super::json::Json;
+use super::{ApiError, Query, Response, Verdict, DEFAULT_SERIES_MAX_LEN};
+#[cfg(doc)]
+use super::{QueryKind, Session};
+use nka_syntax::Word;
+use nka_wfa::DeciderStats;
+
+/// Decodes one request line. `Ok(None)` means the line is skippable —
+/// blank or a `#` comment.
+///
+/// # Errors
+///
+/// [`ApiError::Malformed`] for bad JSON / unknown `op` / missing keys,
+/// [`ApiError::Parse`] (span-bearing) for an unparsable expression.
+pub fn decode_request(line: &str) -> Result<Option<Query>, ApiError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    if !line.starts_with('{') {
+        // Bare `e = f` shorthand for an NKA equality query.
+        let Some((lhs, rhs)) = line.split_once('=') else {
+            return Err(ApiError::Malformed(format!(
+                "expected a JSON object or 'e = f', got {line:?}"
+            )));
+        };
+        return Query::nka_eq(lhs.trim(), rhs.trim()).map(Some);
+    }
+    let value = Json::parse(line).map_err(|msg| ApiError::Malformed(format!("bad JSON: {msg}")))?;
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::Malformed("missing string key \"op\"".to_owned()))?;
+    let query = match op {
+        "nka_eq" => Query::nka_eq(str_key(&value, "lhs")?, str_key(&value, "rhs")?)?,
+        "ka_eq" => Query::ka_eq(str_key(&value, "lhs")?, str_key(&value, "rhs")?)?,
+        "series" => {
+            let max_len = match value.get("max_len") {
+                None => DEFAULT_SERIES_MAX_LEN,
+                Some(v) => usize::try_from(v.as_i64().ok_or_else(|| {
+                    ApiError::Malformed("\"max_len\" must be an integer".to_owned())
+                })?)
+                .map_err(|_| ApiError::Malformed("\"max_len\" must be ≥ 0".to_owned()))?,
+            };
+            Query::series(str_key(&value, "expr")?, max_len)?
+        }
+        "prove" => {
+            let hyps: Vec<&str> = match value.get("hyps") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| ApiError::Malformed("\"hyps\" must be an array".to_owned()))?
+                    .iter()
+                    .map(|h| {
+                        h.as_str().ok_or_else(|| {
+                            ApiError::Malformed("\"hyps\" entries must be strings".to_owned())
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            Query::prove(str_key(&value, "lhs")?, str_key(&value, "rhs")?, &hyps)?
+        }
+        other => {
+            return Err(ApiError::Malformed(format!(
+                "unknown op {other:?} (expected nka_eq, ka_eq, series, or prove)"
+            )))
+        }
+    };
+    Ok(Some(query))
+}
+
+fn str_key<'a>(value: &'a Json, key: &str) -> Result<&'a str, ApiError> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::Malformed(format!("missing string key {key:?}")))
+}
+
+/// The query's own fields, as they appear in both request and response
+/// lines.
+fn query_fields(query: &Query) -> Vec<(String, Json)> {
+    let mut fields = vec![("op".to_owned(), Json::Str(query.kind().op().to_owned()))];
+    match query {
+        Query::NkaEq { lhs, rhs } | Query::KaEq { lhs, rhs } => {
+            fields.push(("lhs".to_owned(), Json::Str(lhs.to_string())));
+            fields.push(("rhs".to_owned(), Json::Str(rhs.to_string())));
+        }
+        Query::Series { expr, max_len } => {
+            fields.push(("expr".to_owned(), Json::Str(expr.to_string())));
+            fields.push((
+                "max_len".to_owned(),
+                Json::Int(i64::try_from(*max_len).unwrap_or(i64::MAX)),
+            ));
+        }
+        Query::Prove { lhs, rhs, hyps } => {
+            fields.push(("lhs".to_owned(), Json::Str(lhs.to_string())));
+            fields.push(("rhs".to_owned(), Json::Str(rhs.to_string())));
+            fields.push((
+                "hyps".to_owned(),
+                Json::Arr(
+                    hyps.iter()
+                        .map(|(l, r)| Json::Str(format!("{l} = {r}")))
+                        .collect(),
+                ),
+            ));
+        }
+    }
+    fields
+}
+
+/// Encodes a query as one JSONL request line (no trailing newline).
+/// [`decode_request`] inverts this exactly: the pretty-printer is
+/// precedence-aware, so expressions reparse to equal [`Query`] values.
+#[must_use]
+pub fn encode_request(query: &Query) -> String {
+    Json::Obj(query_fields(query)).to_string()
+}
+
+fn word_string(word: &Word) -> String {
+    word.symbols()
+        .iter()
+        .map(|s| s.name())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn stats_json(stats: &DeciderStats) -> Json {
+    let int = |n: u64| Json::Int(i64::try_from(n).unwrap_or(i64::MAX));
+    Json::Obj(vec![
+        ("nka_queries".to_owned(), int(stats.nka_queries)),
+        ("ka_queries".to_owned(), int(stats.ka_queries)),
+        ("answer_hits".to_owned(), int(stats.answer_hits)),
+        ("compile_hits".to_owned(), int(stats.compile_hits)),
+        ("compile_misses".to_owned(), int(stats.compile_misses)),
+        ("dfa_hits".to_owned(), int(stats.dfa_hits)),
+        ("dfa_misses".to_owned(), int(stats.dfa_misses)),
+    ])
+}
+
+/// Encodes one response as a JSONL line (no trailing newline). The
+/// line repeats the query fields, so it is itself decodable as the
+/// originating request — see the [module docs](self).
+#[must_use]
+pub fn encode_response(query: &Query, resp: &Response) -> String {
+    let mut fields = query_fields(query);
+    fields.push((
+        "verdict".to_owned(),
+        Json::Str(resp.verdict.name().to_owned()),
+    ));
+    match &resp.verdict {
+        Verdict::Holds | Verdict::Refuted => {}
+        Verdict::Proved { proof_size } => {
+            fields.push((
+                "proof_size".to_owned(),
+                Json::Int(i64::try_from(*proof_size).unwrap_or(i64::MAX)),
+            ));
+        }
+        Verdict::Exhausted { holds_by_decision } => {
+            fields.push((
+                "holds_by_decision".to_owned(),
+                match holds_by_decision {
+                    Some(b) => Json::Bool(*b),
+                    None => Json::Null,
+                },
+            ));
+        }
+        Verdict::Series { terms, .. } => {
+            fields.push((
+                "terms".to_owned(),
+                Json::Arr(
+                    terms
+                        .iter()
+                        .map(|(w, c)| {
+                            Json::Obj(vec![
+                                ("word".to_owned(), Json::Str(word_string(w))),
+                                ("coeff".to_owned(), Json::Str(c.to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Verdict::BudgetExhausted { detail } => {
+            fields.push(("detail".to_owned(), Json::Str(detail.clone())));
+        }
+    }
+    fields.push(("stats".to_owned(), stats_json(&resp.stats_delta)));
+    fields.push((
+        "micros".to_owned(),
+        Json::Int(i64::try_from(resp.elapsed.as_micros()).unwrap_or(i64::MAX)),
+    ));
+    Json::Obj(fields).to_string()
+}
+
+/// Encodes a request-level failure as a JSONL line: `verdict` is
+/// `"error"` and `error` holds the rendered message (single-line; the
+/// caret rendering stays on the human surface).
+#[must_use]
+pub fn encode_error(err: &ApiError) -> String {
+    let mut fields = vec![
+        ("verdict".to_owned(), Json::Str("error".to_owned())),
+        ("error".to_owned(), Json::Str(err.to_string())),
+    ];
+    if let ApiError::Parse { field, err, .. } = err {
+        let (start, end) = err.span();
+        fields.push(("field".to_owned(), Json::Str((*field).to_owned())));
+        fields.push((
+            "span".to_owned(),
+            Json::Arr(vec![
+                Json::Int(i64::try_from(start).unwrap_or(i64::MAX)),
+                Json::Int(i64::try_from(end).unwrap_or(i64::MAX)),
+            ]),
+        ));
+    }
+    Json::Obj(fields).to_string()
+}
+
+/// Human-readable one-line rendering of a response, used by `nka batch`
+/// and `nka serve` without `--json`.
+#[must_use]
+pub fn encode_response_text(query: &Query, resp: &Response) -> String {
+    match (query, &resp.verdict) {
+        (Query::NkaEq { lhs, rhs }, Verdict::Holds) => format!("⊢NKA {lhs} = {rhs}"),
+        (Query::NkaEq { lhs, rhs }, Verdict::Refuted) => {
+            format!("⊬NKA {lhs} = {rhs}   (the power series differ)")
+        }
+        (Query::KaEq { lhs, rhs }, Verdict::Holds) => format!("⊢KA {lhs} = {rhs}"),
+        (Query::KaEq { lhs, rhs }, Verdict::Refuted) => {
+            format!("⊬KA {lhs} = {rhs}   (the languages differ)")
+        }
+        (Query::Series { expr, .. }, Verdict::Series { max_len, terms }) => {
+            let mut line = format!("{{{{{expr}}}}} ≤{max_len}:");
+            if terms.is_empty() {
+                line.push_str(" 0");
+            } else {
+                for (i, (w, c)) in terms.iter().enumerate() {
+                    line.push_str(if i == 0 { " " } else { " + " });
+                    line.push_str(&format!("{c}·{w}"));
+                }
+            }
+            line
+        }
+        (Query::Prove { lhs, rhs, .. }, Verdict::Proved { proof_size }) => {
+            format!("proved: {lhs} = {rhs}   ({proof_size} rule applications)")
+        }
+        (Query::Prove { lhs, rhs, .. }, Verdict::Refuted) => {
+            format!("refuted: ⊬NKA {lhs} = {rhs}   (the power series differ)")
+        }
+        (Query::Prove { lhs, rhs, .. }, Verdict::Exhausted { holds_by_decision }) => {
+            match holds_by_decision {
+                Some(true) => format!(
+                    "⊢NKA {lhs} = {rhs} holds (by decision), but no rewrite proof was found within the search budget"
+                ),
+                _ => format!("no proof of {lhs} = {rhs} found within the search budget"),
+            }
+        }
+        (_, Verdict::BudgetExhausted { detail }) => {
+            format!("budget exhausted: {detail}")
+        }
+        // Remaining combinations cannot be produced by `Session::run`
+        // (e.g. a Series verdict for an equality query); render them
+        // generically rather than panicking on a hand-built Response.
+        (_, verdict) => format!("{}: {}", query.kind(), verdict.name()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Session;
+
+    #[test]
+    fn requests_round_trip_through_the_wire() {
+        let lines = [
+            r#"{"op":"nka_eq","lhs":"(p q)* p","rhs":"p (q p)*"}"#,
+            r#"{"op":"ka_eq","lhs":"p + p","rhs":"p"}"#,
+            r#"{"op":"series","expr":"(a + a)*","max_len":4}"#,
+            r#"{"op":"series","expr":"b"}"#,
+            r#"{"op":"prove","lhs":"m1 (m0 p + m1)","rhs":"m1","hyps":["m1 m1 = m1","m1 m0 = 0"]}"#,
+            "(p q)* p = p (q p)*",
+        ];
+        for line in lines {
+            let query = decode_request(line).unwrap().expect("a query");
+            let encoded = encode_request(&query);
+            let again = decode_request(&encoded).unwrap().expect("a query");
+            assert_eq!(query, again, "round-trip failed for {line:?}");
+        }
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_skipped() {
+        assert_eq!(decode_request("").unwrap(), None);
+        assert_eq!(decode_request("   ").unwrap(), None);
+        assert_eq!(decode_request("# a comment").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        assert!(matches!(
+            decode_request("{\"op\":\"sing\"}"),
+            Err(ApiError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_request("{\"lhs\":\"a\"}"),
+            Err(ApiError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_request("{not json"),
+            Err(ApiError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_request("no equality here"),
+            Err(ApiError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_request("a + ? = a"),
+            Err(ApiError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn response_lines_reparse_as_their_request() {
+        let mut session = Session::new();
+        let queries = [
+            decode_request(r#"{"op":"nka_eq","lhs":"1 + p p*","rhs":"p*"}"#)
+                .unwrap()
+                .unwrap(),
+            decode_request(r#"{"op":"series","expr":"1*","max_len":1}"#)
+                .unwrap()
+                .unwrap(),
+        ];
+        for query in queries {
+            let resp = session.run(&query);
+            let line = encode_response(&query, &resp);
+            let reparsed = decode_request(&line).unwrap().expect("a query");
+            assert_eq!(reparsed, query, "response line did not reparse: {line}");
+        }
+    }
+
+    #[test]
+    fn series_terms_carry_infinite_coefficients_as_strings() {
+        let mut session = Session::new();
+        let query = decode_request(r#"{"op":"series","expr":"1* a","max_len":1}"#)
+            .unwrap()
+            .unwrap();
+        let resp = session.run(&query);
+        let line = encode_response(&query, &resp);
+        assert!(line.contains("\"∞\""), "{line}");
+        let value = Json::parse(&line).unwrap();
+        assert_eq!(value.get("verdict").and_then(Json::as_str), Some("series"));
+    }
+}

@@ -19,7 +19,11 @@
 //!   under hypotheses;
 //! * [`decide_eq`] — the decision procedure for `⊢NKA e = f`
 //!   (Remark 2.1 / Theorem A.6), a one-shot façade over the shared
-//!   budgeted [`Decider`] engine re-exported from `nka-wfa`.
+//!   budgeted [`Decider`] engine re-exported from `nka-wfa`;
+//! * the **query API v1** ([`api`]) — the typed [`Session`]/[`Query`]
+//!   facade with structured [`Verdict`]s and the JSONL wire format;
+//!   the primary surface for every multi-query consumer (CLI, benches,
+//!   batch files, the `nka serve` loop).
 //!
 //! # Examples
 //!
@@ -37,6 +41,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod api;
 pub mod axioms;
 pub mod builder;
 pub mod group;
@@ -47,6 +52,7 @@ pub mod render;
 pub mod semiring_nf;
 pub mod theorems;
 
+pub use api::{ApiError, Query, QueryKind, Response, Session, SessionOptions, Verdict};
 pub use axioms::{EqAxiom, LeAxiom};
 pub use builder::{EqChain, LeChain};
 pub use group::UnitaryGroup;

@@ -15,29 +15,70 @@ use std::fmt;
 use std::str::FromStr;
 
 /// Error returned when parsing an [`Expr`] from malformed input.
+///
+/// Carries the half-open byte span `[start, end)` of the offending input
+/// (the span of the unexpected token, or an empty span at the end of the
+/// input), so diagnostics can point at the exact source location — see
+/// [`ParseExprError::caret`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseExprError {
     message: String,
-    position: usize,
+    start: usize,
+    end: usize,
 }
 
 impl ParseExprError {
-    fn new(message: impl Into<String>, position: usize) -> Self {
+    fn new(message: impl Into<String>, start: usize, end: usize) -> Self {
         ParseExprError {
             message: message.into(),
-            position,
+            start,
+            end,
         }
     }
 
     /// Byte offset in the input at which the error occurred.
     pub fn position(&self) -> usize {
-        self.position
+        self.start
+    }
+
+    /// The half-open byte span `[start, end)` of the offending token.
+    /// An empty span (`start == end`) means the error is *at* that point —
+    /// typically an unexpected end of input.
+    pub fn span(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+
+    /// The bare message, without the byte-offset suffix of `Display`.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Renders the source with a `^^^` caret line under the offending span:
+    ///
+    /// ```text
+    /// a + ?
+    ///     ^ unexpected character '?'
+    /// ```
+    ///
+    /// `src` must be the string this error was produced from; columns are
+    /// counted in characters, so multi-byte input aligns correctly.
+    pub fn caret(&self, src: &str) -> String {
+        let start = self.start.min(src.len());
+        let end = self.end.clamp(start, src.len());
+        let col = src[..start].chars().count();
+        let width = src[start..end].chars().count().max(1);
+        format!(
+            "{src}\n{pad}{carets} {msg}",
+            pad = " ".repeat(col),
+            carets = "^".repeat(width),
+            msg = self.message
+        )
     }
 }
 
 impl fmt::Display for ParseExprError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at byte {}", self.message, self.position)
+        write!(f, "{} at byte {}", self.message, self.start)
     }
 }
 
@@ -54,36 +95,40 @@ enum Token {
     Ident(String),
 }
 
-fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseExprError> {
+/// A token plus its half-open byte span in the source.
+type Spanned = (Token, usize, usize);
+
+fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseExprError> {
     let mut tokens = Vec::new();
     let bytes = input.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
         let b = bytes[i];
+        let single = |t| (t, i, i + 1);
         match b {
             b' ' | b'\t' | b'\n' | b'\r' => i += 1,
             b'+' => {
-                tokens.push((Token::Plus, i));
+                tokens.push(single(Token::Plus));
                 i += 1;
             }
             b'*' => {
-                tokens.push((Token::Star, i));
+                tokens.push(single(Token::Star));
                 i += 1;
             }
             b'(' => {
-                tokens.push((Token::LParen, i));
+                tokens.push(single(Token::LParen));
                 i += 1;
             }
             b')' => {
-                tokens.push((Token::RParen, i));
+                tokens.push(single(Token::RParen));
                 i += 1;
             }
             b'0' => {
-                tokens.push((Token::Zero, i));
+                tokens.push(single(Token::Zero));
                 i += 1;
             }
             b'1' => {
-                tokens.push((Token::One, i));
+                tokens.push(single(Token::One));
                 i += 1;
             }
             b'.' | b';' => i += 1, // optional explicit composition separators
@@ -94,13 +139,16 @@ fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseExprError> {
                 {
                     i += 1;
                 }
-                tokens.push((Token::Ident(input[start..i].to_owned()), start));
+                tokens.push((Token::Ident(input[start..i].to_owned()), start, i));
             }
             _ => {
+                // Span the whole character, not just its first byte.
+                let ch = input[i..].chars().next().expect("non-empty remainder");
                 return Err(ParseExprError::new(
-                    format!("unexpected character {:?}", b as char),
+                    format!("unexpected character {ch:?}"),
                     i,
-                ))
+                    i + ch.len_utf8(),
+                ));
             }
         }
     }
@@ -108,24 +156,25 @@ fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseExprError> {
 }
 
 struct Parser {
-    tokens: Vec<(Token, usize)>,
+    tokens: Vec<Spanned>,
     pos: usize,
     input_len: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos).map(|(t, _)| t)
+        self.tokens.get(self.pos).map(|(t, _, _)| t)
     }
 
-    fn here(&self) -> usize {
+    /// The span of the current token, or the empty end-of-input span.
+    fn here(&self) -> (usize, usize) {
         self.tokens
             .get(self.pos)
-            .map_or(self.input_len, |(_, p)| *p)
+            .map_or((self.input_len, self.input_len), |&(_, s, e)| (s, e))
     }
 
     fn bump(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        let t = self.tokens.get(self.pos).map(|(t, _, _)| t.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -165,20 +214,29 @@ impl Parser {
     }
 
     fn parse_base(&mut self) -> Result<Expr, ParseExprError> {
-        let at = self.here();
+        let (at, at_end) = self.here();
         match self.bump() {
             Some(Token::Zero) => Ok(Expr::zero()),
             Some(Token::One) => Ok(Expr::one()),
             Some(Token::Ident(name)) => Ok(Expr::atom(Symbol::intern(&name))),
             Some(Token::LParen) => {
                 let inner = self.parse_expr()?;
+                let (close, close_end) = self.here();
                 match self.bump() {
                     Some(Token::RParen) => Ok(inner),
-                    _ => Err(ParseExprError::new("expected ')'", at)),
+                    _ => Err(ParseExprError::new(
+                        format!("expected ')' to close the '(' at byte {at}"),
+                        close,
+                        close_end,
+                    )),
                 }
             }
-            Some(tok) => Err(ParseExprError::new(format!("unexpected token {tok:?}"), at)),
-            None => Err(ParseExprError::new("unexpected end of input", at)),
+            Some(tok) => Err(ParseExprError::new(
+                format!("unexpected token {tok:?}"),
+                at,
+                at_end,
+            )),
+            None => Err(ParseExprError::new("unexpected end of input", at, at_end)),
         }
     }
 }
@@ -195,7 +253,8 @@ impl FromStr for Expr {
         };
         let expr = parser.parse_expr()?;
         if parser.pos != parser.tokens.len() {
-            return Err(ParseExprError::new("trailing input", parser.here()));
+            let (start, end) = parser.here();
+            return Err(ParseExprError::new("trailing input", start, end));
         }
         Ok(expr)
     }
@@ -242,6 +301,54 @@ mod tests {
     fn zero_one_are_constants_not_atoms() {
         let e: Expr = "0 + 1".parse().unwrap();
         assert!(e.atoms().is_empty());
+    }
+
+    #[test]
+    fn error_spans() {
+        let err = "a + ?".parse::<Expr>().unwrap_err();
+        assert_eq!(err.span(), (4, 5));
+        // An unexpected multi-character token spans the whole token.
+        let err = "a * abc + +".parse::<Expr>().unwrap_err();
+        assert_eq!(err.span(), (10, 11));
+        // End-of-input errors carry the empty span at the end.
+        let err = "a + ".parse::<Expr>().unwrap_err();
+        assert_eq!(err.span(), (4, 4));
+        // Multi-byte characters span all their bytes.
+        let err = "a + λ".parse::<Expr>().unwrap_err();
+        assert_eq!(err.span(), (4, 6));
+    }
+
+    #[test]
+    fn caret_rendering_points_at_the_offence() {
+        let src = "a + ?";
+        let err = src.parse::<Expr>().unwrap_err();
+        let rendered = err.caret(src);
+        assert_eq!(rendered, "a + ?\n    ^ unexpected character '?'");
+        // A multi-byte character spans two bytes but renders one caret.
+        let src = "a + λ";
+        let err = src.parse::<Expr>().unwrap_err();
+        let rendered = err.caret(src);
+        assert_eq!(rendered, "a + λ\n    ^ unexpected character 'λ'");
+        // End-of-input: a single caret one past the last character.
+        let src = "(a + b";
+        let err = src.parse::<Expr>().unwrap_err();
+        let rendered = err.caret(src);
+        assert!(
+            rendered.starts_with("(a + b\n      ^"),
+            "unexpected rendering: {rendered:?}"
+        );
+    }
+
+    #[test]
+    fn unclosed_paren_names_the_opener() {
+        let err = "(a + b".parse::<Expr>().unwrap_err();
+        assert!(err.to_string().contains("')'"), "{err}");
+        assert!(err.to_string().contains("byte 0"), "{err}");
+        // The span sits at the point where ')' was expected, not the '('.
+        assert_eq!(err.span(), (6, 6));
+        // A stray closer mid-expression is reported at the closer.
+        let err = "(a ) b )".parse::<Expr>().unwrap_err();
+        assert_eq!(err.span(), (7, 8));
     }
 
     #[test]

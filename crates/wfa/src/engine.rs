@@ -81,6 +81,25 @@ pub struct DeciderStats {
     pub dfa_misses: u64,
 }
 
+impl DeciderStats {
+    /// The counter-wise difference `self - earlier`; counters are
+    /// monotone, so with two snapshots of the same engine this is the
+    /// activity attributable to the queries in between. Saturates at
+    /// zero if the snapshots are swapped.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &DeciderStats) -> DeciderStats {
+        DeciderStats {
+            nka_queries: self.nka_queries.saturating_sub(earlier.nka_queries),
+            ka_queries: self.ka_queries.saturating_sub(earlier.ka_queries),
+            answer_hits: self.answer_hits.saturating_sub(earlier.answer_hits),
+            compile_hits: self.compile_hits.saturating_sub(earlier.compile_hits),
+            compile_misses: self.compile_misses.saturating_sub(earlier.compile_misses),
+            dfa_hits: self.dfa_hits.saturating_sub(earlier.dfa_hits),
+            dfa_misses: self.dfa_misses.saturating_sub(earlier.dfa_misses),
+        }
+    }
+}
+
 /// The memoizing, budgeted decision engine. See the [module docs](self).
 #[derive(Debug, Default)]
 pub struct Decider {
@@ -339,6 +358,42 @@ mod tests {
         // The engine stays usable, and a bigger budget succeeds.
         let mut engine = Decider::with_budget(100_000);
         assert!(!engine.decide(&e("1* a"), &e("1* a a")).unwrap());
+    }
+
+    #[test]
+    fn zero_budget_errors_on_the_first_query_not_vacuously_succeeds() {
+        // Regression: `with_budget(0)` used to admit the initial subset
+        // for free, so trivial queries (empty alphabet, self-comparisons)
+        // "succeeded" under a budget that can hold no state at all.
+        let mut engine = Decider::with_budget(0);
+        for (l, r) in [("1", "1"), ("0", "0"), ("a", "a"), ("p q", "p q")] {
+            let err = engine.decide(&e(l), &e(r)).unwrap_err();
+            assert!(
+                err.to_string().contains("out of budget"),
+                "{l} = {r}: {err}"
+            );
+        }
+        assert!(engine.ka_equiv(&e("a"), &e("a")).is_err());
+        assert!(engine.ka_accepts(&e("a"), &[Symbol::intern("a")]).is_err());
+    }
+
+    #[test]
+    fn stats_deltas_between_snapshots() {
+        let mut engine = Decider::new();
+        let before = engine.stats();
+        assert!(engine.decide(&e("(p q)* p"), &e("p (q p)*")).unwrap());
+        let mid = engine.stats();
+        let first = mid.delta_since(&before);
+        assert_eq!(first.nka_queries, 1);
+        assert_eq!(first.compile_misses, 2);
+        assert_eq!(first.answer_hits, 0);
+        assert!(engine.decide(&e("(p q)* p"), &e("p (q p)*")).unwrap());
+        let second = engine.stats().delta_since(&mid);
+        assert_eq!(second.nka_queries, 1);
+        assert_eq!(second.answer_hits, 1);
+        assert_eq!(second.compile_misses, 0);
+        // Swapped snapshots saturate instead of underflowing.
+        assert_eq!(before.delta_since(&mid).nka_queries, 0);
     }
 
     #[test]

@@ -75,6 +75,13 @@ impl Nfa {
         alphabet: &[Symbol],
         max_states: usize,
     ) -> Result<Dfa, DeterminizeOverflow> {
+        // The initial subset counts against the budget too: a zero budget
+        // must fail on every input rather than "succeed" with a vacuous
+        // one-state DFA (which would let pathological options masquerade
+        // as real verdicts).
+        if max_states == 0 {
+            return Err(DeterminizeOverflow { max_states });
+        }
         let mut subsets: HashMap<Vec<usize>, usize> = HashMap::new();
         let mut worklist = VecDeque::new();
         let start: Vec<usize> = self.initial.iter().copied().collect();

@@ -12,12 +12,18 @@
 //! subset `1*K = {1*·p}` satisfies the KA axioms, and on it the NKA
 //! decision procedure and a classical language-equivalence check agree.
 
+use nka_quantum::api::{Query, Session, Verdict};
 use nka_quantum::syntax::Expr;
 use nka_quantum::syntax::{Symbol, Word};
-use nka_quantum::wfa::ka::{ka_accepts, ka_equiv, saturate};
-use nka_quantum::wfa::{decide_eq, thompson};
+use nka_quantum::wfa::ka::saturate;
+use nka_quantum::wfa::thompson;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Every equivalence question below goes through one warm `Session`
+    // (Query API v1): both theories, one engine, shared caches.
+    let mut session = Session::new();
+    let mut holds = |query: Query| session.run(&query).verdict == Verdict::Holds;
+
     // ── 1. Identities that hold in KA but fail in NKA ────────────────
     println!("identity                         KA     NKA");
     println!("───────────────────────────────────────────");
@@ -28,13 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("(p + 1)(p + 1)", "1 + p + p p"),
     ];
     for (l, r) in separating {
-        let (le, re): (Expr, Expr) = (l.parse()?, r.parse()?);
         println!(
             "{:20} = {:10} {:6} {}",
             l,
             r,
-            ka_equiv(&le, &re)?,
-            decide_eq(&le, &re)?
+            holds(Query::ka_eq(l, r)?),
+            holds(Query::nka_eq(l, r)?)
         );
     }
 
@@ -54,8 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("(p + q)*", "(p* q)* p*"),
         ("1 + p p*", "p*"),
     ] {
-        let (le, re): (Expr, Expr) = (l.parse()?, r.parse()?);
-        assert!(decide_eq(&le, &re)? && ka_equiv(&le, &re)?);
+        assert!(holds(Query::nka_eq(l, r)?) && holds(Query::ka_eq(l, r)?));
         println!("  {l} = {r}");
     }
 
@@ -65,23 +69,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nRemark 2.1 — the 1*K embedding:");
     for (l, r) in separating {
         let (le, re): (Expr, Expr) = (l.parse()?, r.parse()?);
-        let ok = decide_eq(&saturate(&le), &saturate(&re))?;
+        let ok = holds(Query::NkaEq {
+            lhs: saturate(&le),
+            rhs: saturate(&re),
+        });
         println!("  ⊢NKA 1*({l}) = 1*({r})  →  {ok}");
-        assert_eq!(ok, ka_equiv(&le, &re)?);
+        assert_eq!(ok, holds(Query::ka_eq(l, r)?));
     }
     // And the embedding never conflates distinct languages.
     let (pq, qp): (Expr, Expr) = ("p q".parse()?, "q p".parse()?);
-    assert!(!decide_eq(&saturate(&pq), &saturate(&qp))?);
+    assert!(!holds(Query::NkaEq {
+        lhs: saturate(&pq),
+        rhs: saturate(&qp),
+    }));
     println!("  ⊢NKA 1*(p q) = 1*(q p)  →  false   (refutations preserved)");
 
     // ── 4. Membership queries on the support ─────────────────────────
+    // Word membership is below the query API; reach the warm engine
+    // directly through the session's escape hatch.
     let e: Expr = "(a b)* a".parse()?;
     let a = Symbol::intern("a");
     let b = Symbol::intern("b");
     println!(
         "\nL((a b)* a) membership: aba → {}, ab → {}",
-        ka_accepts(&e, &[a, b, a])?,
-        ka_accepts(&e, &[a, b])?,
+        session.engine_mut().ka_accepts(&e, &[a, b, a])?,
+        session.engine_mut().ka_accepts(&e, &[a, b])?,
     );
 
     Ok(())

@@ -4,7 +4,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use nka_quantum::nka::{decide_eq, theorems, Judgment, Proof};
+use nka_quantum::api::{Query, Session, Verdict};
+use nka_quantum::nka::{theorems, Judgment, Proof};
 use nka_quantum::qpath::ExtPosOp;
 use nka_quantum::qprog::{EncoderSetting, Program};
 use nka_quantum::syntax::Expr;
@@ -15,22 +16,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let loop_enc: Expr = "(m1 h)* m0".parse()?;
     println!("Enc(while M = 1 do H done) = {loop_enc}");
 
-    // 2. The decision procedure: ⊢NKA e = f iff {{e}} = {{f}} (Thm A.6).
-    let sliding_lhs: Expr = "(p q)* p".parse()?;
-    let sliding_rhs: Expr = "p (q p)*".parse()?;
+    // 2. The decision procedure through the Query API (v1): a `Session`
+    //    owns one warm engine; ⊢NKA e = f iff {{e}} = {{f}} (Thm A.6).
+    let mut session = Session::new();
+    let sliding = session.run(&Query::nka_eq("(p q)* p", "p (q p)*")?);
     println!(
-        "sliding law decidable:   {} = {}  →  {}",
-        sliding_lhs,
-        sliding_rhs,
-        decide_eq(&sliding_lhs, &sliding_rhs)?
+        "sliding law decidable:   (p q)* p = p (q p)*  →  {} (in {:?})",
+        sliding.verdict == Verdict::Holds,
+        sliding.elapsed
     );
-    let idem: Expr = "p + p".parse()?;
-    let p: Expr = "p".parse()?;
+    let idem = session.run(&Query::nka_eq("p + p", "p")?);
     println!(
-        "idempotence (KA only!):  {} = {}  →  {}",
-        idem,
-        p,
-        decide_eq(&idem, &p)?
+        "idempotence (KA only!):  p + p = p  →  {}",
+        idem.verdict == Verdict::Holds
     );
 
     // 3. Machine-checked proofs: Figure 2 theorems as proof objects.

@@ -1,47 +1,63 @@
 //! `nka` — a command-line front end for the NKA toolkit.
 //!
+//! Every subcommand is a thin adapter over the Query API v1
+//! ([`nka_core::api`]): arguments become a typed [`Query`], one warm
+//! [`Session`] answers it, and the structured [`Verdict`] is rendered as
+//! text or (with `--json`) one JSON line.
+//!
 //! ```text
-//! nka [--budget N] [--stats] decide '<expr>' '<expr>'
+//! nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'
 //!                                      decide ⊢NKA e = f
-//! nka [--budget N] [--stats] ka '<expr>' '<expr>'
+//! nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'
 //!                                      decide ⊢KA e = f (Remark 2.1:
 //!                                      language equivalence, = NKA on 1*K)
-//! nka series  '<expr>' [max-len]       print the truncated power series
-//! nka [--budget N] prove '<lhs>' '<rhs>' [hyp]…
+//! nka [--json] series '<expr>' [max-len]
+//!                                      print the truncated power series
+//! nka [--budget N] [--json] prove '<lhs>' '<rhs>' [hyp]…
 //!                                      search for a rewrite proof under
 //!                                      hypotheses of the form 'l = r'
+//! nka [--budget N] [--stats] [--json] batch [FILE]
+//!                                      run a stream of queries (JSONL or
+//!                                      'e = f' per line; FILE or '-' =
+//!                                      stdin) on one warm engine
+//! nka [--budget N] [--stats] [--json] serve
+//!                                      line-oriented request/response
+//!                                      loop on stdin/stdout
 //! nka encode-demo                      encode a sample quantum program
 //! ```
 //!
-//! All decision subcommands run on the shared budgeted [`Decider`] engine;
-//! `--budget N` caps every subset construction at `N` DFA states (default
-//! 100 000) and `--stats` prints the engine's cache counters to stderr.
+//! `--budget N` caps every subset construction at `N` DFA states
+//! (default 100 000) and `--stats` prints the engine's cache counters to
+//! stderr at exit. The wire format of `batch`/`serve` is documented in
+//! [`nka_core::api::wire`].
 //!
-//! Exit codes: `0` the judgment holds / a proof was found; `1` it does not
-//! hold (or no proof was found within the search budget); `2` usage or
-//! parse error; `3` the decision engine ran out of its state budget.
+//! Exit codes: `0` the judgment holds / a proof was found / output was
+//! produced; `1` it does not hold (or no proof was found within the
+//! search budget); `2` usage or parse error; `3` the decision engine ran
+//! out of its state budget. `batch` exits `0` when every line was
+//! answered (whatever the verdicts), `2` if any line was malformed, else
+//! `3` if any query exhausted the budget. `serve` always exits `0` at
+//! end of input.
 //!
 //! Examples:
 //!
 //! ```sh
 //! cargo run --bin nka -- decide '(p q)* p' 'p (q p)*'
-//! cargo run --bin nka -- --budget 500000 decide '(p q)* p' 'p (q p)*'
-//! cargo run --bin nka -- ka 'p + p' 'p'
+//! cargo run --bin nka -- --json ka 'p + p' 'p'
 //! cargo run --bin nka -- series '(a + a)*' 4
 //! cargo run --bin nka -- prove 'm1 (m0 p + m1)' 'm1' 'm1 m1 = m1' 'm1 m0 = 0'
+//! echo '(p q)* p = p (q p)*' | cargo run --bin nka -- batch --json
 //! ```
 
-use nka_core::prover::{ProveOutcome, Prover};
-use nka_core::{DecideError, Decider, Judgment};
-use nka_series::eval;
-use nka_syntax::{Expr, Symbol};
+use nka_core::api::{wire, ApiError, Query, Session, Verdict};
+use nka_core::Judgment;
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 /// `println!` that tolerates a closed stdout (`nka … | head` must exit
 /// cleanly, not panic on EPIPE like the std macro does).
 macro_rules! out {
     ($($arg:tt)*) => {{
-        use std::io::Write;
         let _ = writeln!(std::io::stdout(), $($arg)*);
     }};
 }
@@ -49,7 +65,6 @@ macro_rules! out {
 /// `print!` with the same EPIPE tolerance.
 macro_rules! out_raw {
     ($($arg:tt)*) => {{
-        use std::io::Write;
         let _ = write!(std::io::stdout(), $($arg)*);
     }};
 }
@@ -59,7 +74,7 @@ const EXIT_NO: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_BUDGET: u8 = 3;
 
-const USAGE: &str = "usage:\n  nka [--budget N] [--stats] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] ka '<expr>' '<expr>'\n  nka series '<expr>' [max-len]\n  nka [--budget N] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka encode-demo\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse error, 3 budget exceeded";
+const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] serve\n  nka encode-demo\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; batch: 0 all answered, 2 any malformed line,\nelse 3 any budget-exhausted query; serve: 0 at end of input";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -69,6 +84,7 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut budget: usize = 100_000;
     let mut stats = false;
+    let mut json = false;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -87,6 +103,7 @@ fn main() -> ExitCode {
                 }
             }
             "--stats" => stats = true,
+            "--json" => json = true,
             "--help" | "-h" => {
                 // An explicit help request is a success, not a usage error.
                 out!("{USAGE}");
@@ -96,17 +113,41 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut engine = Decider::with_budget(budget);
+    let mut session = Session::with_budget(budget);
     let code = match rest.first().map(String::as_str) {
-        Some("decide") if rest.len() == 3 => decide(&mut engine, &rest[1], &rest[2]),
-        Some("ka") if rest.len() == 3 => ka(&mut engine, &rest[1], &rest[2]),
-        Some("series") if rest.len() >= 2 => series(&rest[1], rest.get(2).map(String::as_str)),
-        Some("prove") if rest.len() >= 3 => prove(&mut engine, &rest[1], &rest[2], &rest[3..]),
+        Some("decide") if rest.len() == 3 => {
+            one_shot(&mut session, json, Query::nka_eq(&rest[1], &rest[2]))
+        }
+        Some("ka") if rest.len() == 3 => {
+            one_shot(&mut session, json, Query::ka_eq(&rest[1], &rest[2]))
+        }
+        Some("series") if rest.len() >= 2 => {
+            let max_len = match rest.get(2) {
+                None => nka_core::api::DEFAULT_SERIES_MAX_LEN,
+                Some(raw) => match raw.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("max-len must be a non-negative integer, got {raw:?}");
+                        return usage();
+                    }
+                },
+            };
+            one_shot(&mut session, json, Query::series(&rest[1], max_len))
+        }
+        Some("prove") if rest.len() >= 3 => one_shot(
+            &mut session,
+            json,
+            Query::prove(&rest[1], &rest[2], &rest[3..]),
+        ),
+        Some("batch") if rest.len() <= 2 => {
+            batch(&mut session, json, rest.get(1).map(String::as_str))
+        }
+        Some("serve") if rest.len() == 1 => serve(&mut session, json),
         Some("encode-demo") => encode_demo(),
         _ => return usage(),
     };
     if stats {
-        let s = engine.stats();
+        let s = session.stats();
         eprintln!(
             "engine stats: {} NKA + {} KA queries, {} verdict hits, {} compiles ({} cached), {} determinizations ({} cached)",
             s.nka_queries,
@@ -121,129 +162,145 @@ fn main() -> ExitCode {
     code
 }
 
-fn parse(src: &str) -> Result<Expr, ExitCode> {
-    src.parse().map_err(|err| {
-        eprintln!("parse error in {src:?}: {err}");
-        ExitCode::from(EXIT_USAGE)
-    })
-}
-
-fn budget_exceeded(err: &DecideError) -> ExitCode {
-    eprintln!("resource budget exceeded: {err}");
-    eprintln!("hint: retry with a larger --budget");
-    ExitCode::from(EXIT_BUDGET)
-}
-
-fn decide(engine: &mut Decider, lhs: &str, rhs: &str) -> ExitCode {
-    let (Ok(l), Ok(r)) = (parse(lhs), parse(rhs)) else {
-        return ExitCode::from(EXIT_USAGE);
-    };
-    match engine.decide(&l, &r) {
-        Ok(true) => {
-            out!("⊢NKA {l} = {r}");
-            ExitCode::from(EXIT_OK)
-        }
-        Ok(false) => {
-            out!("⊬NKA {l} = {r}   (the power series differ)");
-            ExitCode::from(EXIT_NO)
-        }
-        Err(err) => budget_exceeded(&err),
+/// Exit code for one answered query.
+fn verdict_exit(verdict: &Verdict) -> u8 {
+    match verdict {
+        Verdict::Holds | Verdict::Proved { .. } | Verdict::Series { .. } => EXIT_OK,
+        Verdict::Refuted | Verdict::Exhausted { .. } => EXIT_NO,
+        Verdict::BudgetExhausted { .. } => EXIT_BUDGET,
     }
 }
 
-fn ka(engine: &mut Decider, lhs: &str, rhs: &str) -> ExitCode {
-    let (Ok(l), Ok(r)) = (parse(lhs), parse(rhs)) else {
-        return ExitCode::from(EXIT_USAGE);
-    };
-    match engine.ka_equiv(&l, &r) {
-        Ok(true) => {
-            out!("⊢KA {l} = {r}   (equivalently ⊢NKA 1*({l}) = 1*({r}))");
-            ExitCode::from(EXIT_OK)
-        }
-        Ok(false) => {
-            out!("⊬KA {l} = {r}   (the languages differ)");
-            ExitCode::from(EXIT_NO)
-        }
-        Err(err) => budget_exceeded(&err),
-    }
-}
-
-fn series(src: &str, max_len: Option<&str>) -> ExitCode {
-    let Ok(e) = parse(src) else {
-        return ExitCode::from(EXIT_USAGE);
-    };
-    let len: usize = max_len.and_then(|s| s.parse().ok()).unwrap_or(3);
-    let alphabet: Vec<Symbol> = e.atoms().into_iter().collect();
-    let s = eval(&e, &alphabet, len);
-    out!("{{{{{e}}}}} up to length {len}:");
-    let mut any = false;
-    for (word, coeff) in s.iter() {
-        out!("  {coeff} · {word}");
-        any = true;
-    }
-    if !any {
-        out!("  (the zero series)");
-    }
-    ExitCode::from(EXIT_OK)
-}
-
-fn prove(engine: &mut Decider, lhs: &str, rhs: &str, hyp_srcs: &[String]) -> ExitCode {
-    let (Ok(l), Ok(r)) = (parse(lhs), parse(rhs)) else {
-        return ExitCode::from(EXIT_USAGE);
-    };
-    let mut hyps = Vec::new();
-    for h in hyp_srcs {
-        let Some((hl, hr)) = h.split_once('=') else {
-            eprintln!("hypothesis {h:?} is not of the form 'l = r'");
+/// Runs one CLI-argument query through the session and renders it.
+fn one_shot(session: &mut Session, json: bool, query: Result<Query, ApiError>) -> ExitCode {
+    let query = match query {
+        Ok(query) => query,
+        Err(err) => {
+            eprintln!("{}", err.render());
             return ExitCode::from(EXIT_USAGE);
-        };
-        let (Ok(hl), Ok(hr)) = (parse(hl.trim()), parse(hr.trim())) else {
-            return ExitCode::from(EXIT_USAGE);
-        };
-        hyps.push(Judgment::Eq(hl, hr));
-    }
-    let mut prover = Prover::new(&hyps);
-    prover.add_hypothesis_rules();
-    match prover.prove_or_refute(engine, &l, &r) {
-        Ok(ProveOutcome::Proved(proof)) => {
-            let judgment = match proof.check(&hyps) {
-                Ok(judgment) => judgment,
+        }
+    };
+    let resp = session.run(&query);
+    if json {
+        out!("{}", wire::encode_response(&query, &resp));
+    } else if let (Query::Series { expr, .. }, Verdict::Series { max_len, terms }) =
+        (&query, &resp.verdict)
+    {
+        // The wire rendering is one line per response; interactively a
+        // term per line reads better.
+        out!("{{{{{expr}}}}} up to length {max_len}:");
+        for (word, coeff) in terms {
+            out!("  {coeff} · {word}");
+        }
+        if terms.is_empty() {
+            out!("  (the zero series)");
+        }
+    } else {
+        out!("{}", wire::encode_response_text(&query, &resp));
+        if let Verdict::BudgetExhausted { .. } = resp.verdict {
+            eprintln!("hint: retry with a larger --budget");
+        }
+        // The full proof rendering stays a human-surface extra.
+        if let (Query::Prove { hyps, .. }, Some(proof)) = (&query, &resp.proof) {
+            let judgments: Vec<Judgment> = hyps
+                .iter()
+                .map(|(l, r)| Judgment::Eq(l.clone(), r.clone()))
+                .collect();
+            match proof.check(&judgments) {
+                Ok(_) => match nka_core::render::render(proof, &judgments) {
+                    Ok(text) => out_raw!("\n{text}"),
+                    Err(err) => eprintln!("(rendering failed: {err})"),
+                },
                 Err(err) => {
                     eprintln!("internal error: prover output failed to re-check: {err}");
                     return ExitCode::from(EXIT_NO);
                 }
-            };
-            out!("proved: {judgment}");
-            out!(
-                "proof size: {} rule applications (re-checked)",
-                proof.size()
-            );
-            match nka_core::render::render(&proof, &hyps) {
-                Ok(text) => out_raw!("\n{text}"),
-                Err(err) => eprintln!("(rendering failed: {err})"),
             }
-            ExitCode::from(EXIT_OK)
         }
-        Ok(ProveOutcome::Refuted) => {
-            out!("refuted: ⊬NKA {l} = {r}   (the power series differ)");
-            ExitCode::from(EXIT_NO)
-        }
-        Ok(ProveOutcome::Exhausted) => {
-            // A hypothesis-free goal that reached Exhausted was already
-            // decided *true* by the engine (false would have been Refuted,
-            // an overflow would have been Err), so the search failed on a
-            // genuine theorem; say so instead of leaving its status open.
-            if hyps.is_empty() {
-                out!(
-                    "⊢NKA {l} = {r} holds (by decision), but no rewrite proof was found within the search budget"
-                );
-            } else {
-                out!("no proof found within the search budget");
-            }
-            ExitCode::from(EXIT_NO)
-        }
-        Err(err) => budget_exceeded(&err),
     }
+    ExitCode::from(verdict_exit(&resp.verdict))
+}
+
+/// Handles one wire line for `batch`/`serve`; returns its exit class.
+fn run_line(session: &mut Session, json: bool, line: &str) -> Option<u8> {
+    match wire::decode_request(line) {
+        Ok(None) => None, // blank / comment
+        Ok(Some(query)) => {
+            let resp = session.run(&query);
+            if json {
+                out!("{}", wire::encode_response(&query, &resp));
+            } else {
+                out!("{}", wire::encode_response_text(&query, &resp));
+            }
+            Some(verdict_exit(&resp.verdict))
+        }
+        Err(err) => {
+            if json {
+                out!("{}", wire::encode_error(&err));
+            } else {
+                out!("error: {err}");
+            }
+            eprintln!("{}", err.render());
+            Some(EXIT_USAGE)
+        }
+    }
+}
+
+/// Folds per-line exit classes into the batch exit code: malformed input
+/// dominates, then budget exhaustion; verdicts themselves are data, not
+/// failures.
+fn fold_exit(acc: u8, line_code: u8) -> u8 {
+    match (acc, line_code) {
+        (EXIT_USAGE, _) | (_, EXIT_USAGE) => EXIT_USAGE,
+        (EXIT_BUDGET, _) | (_, EXIT_BUDGET) => EXIT_BUDGET,
+        _ => EXIT_OK,
+    }
+}
+
+/// `nka batch [FILE]`: the whole stream shares this one warm session, so
+/// repeated expressions and queries amortize to cache hits.
+fn batch(session: &mut Session, json: bool, source: Option<&str>) -> ExitCode {
+    let reader: Box<dyn BufRead> = match source {
+        None | Some("-") => Box::new(std::io::stdin().lock()),
+        Some(path) => match std::fs::File::open(path) {
+            Ok(file) => Box::new(std::io::BufReader::new(file)),
+            Err(err) => {
+                eprintln!("cannot open {path:?}: {err}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+    };
+    let mut code = EXIT_OK;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = match line {
+            Ok(line) => line,
+            Err(err) => {
+                eprintln!("read error on line {}: {err}", lineno + 1);
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        if let Some(line_code) = run_line(session, json, &line) {
+            if line_code == EXIT_USAGE {
+                eprintln!("  (line {})", lineno + 1);
+            }
+            code = fold_exit(code, line_code);
+        }
+    }
+    ExitCode::from(code)
+}
+
+/// `nka serve`: request/response loop for driving from another process —
+/// one response line per request line, flushed immediately.
+fn serve(session: &mut Session, json: bool) -> ExitCode {
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        run_line(session, json, &line);
+        if std::io::stdout().flush().is_err() {
+            break; // downstream went away; exit quietly
+        }
+    }
+    ExitCode::from(EXIT_OK)
 }
 
 fn encode_demo() -> ExitCode {

@@ -15,6 +15,9 @@
 //! * [`nka`] — the NKA axioms (Figure 3), a machine-checkable proof
 //!   calculus, the derived theorems of Figure 2, and Horn-clause reasoning
 //!   (Corollary 4.3).
+//! * [`api`] — **Query API v1**: the typed [`Session`]/[`Query`] facade
+//!   with structured [`Verdict`]s, plus the JSONL wire format behind
+//!   `nka batch` and `nka serve`.
 //! * [`linalg`] / [`quantum`] — the quantum substrate: complex matrices,
 //!   Hermitian eigendecomposition, superoperators, measurements.
 //! * [`qpath`] — the quantum path model `P(H)` over extended positive
@@ -52,6 +55,9 @@
 
 pub use nka_apps as apps;
 pub use nka_core as nka;
+// Query API v1 — the typed request/response surface; see `nka_core::api`.
+pub use nka_core::api;
+pub use nka_core::api::{ApiError, Query, Response, Session, Verdict};
 pub use nka_qpath as qpath;
 pub use nka_qprog as qprog;
 pub use nka_semiring as semiring;

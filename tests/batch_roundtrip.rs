@@ -1,0 +1,222 @@
+//! The JSONL batch surface, end to end: the checked-in 50-query file
+//! must decode, run on one warm `Session` (exercising the verdict
+//! cache), encode to machine-parseable JSONL, and *re*-decode to the
+//! same queries — plus the same stream driven through the real `nka`
+//! binary in both `batch` and `serve` modes.
+
+use nka_quantum::api::json::Json;
+use nka_quantum::api::{wire, Query, Session, Verdict};
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BATCH_FILE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/batch_50.jsonl");
+
+fn load_queries() -> Vec<Query> {
+    let text = std::fs::read_to_string(BATCH_FILE).expect("fixture readable");
+    text.lines()
+        .map(|line| {
+            wire::decode_request(line)
+                .unwrap_or_else(|err| panic!("bad fixture line {line:?}: {err}"))
+                .expect("no skippable lines in the fixture")
+        })
+        .collect()
+}
+
+#[test]
+fn fixture_has_50_queries_and_round_trips() {
+    let queries = load_queries();
+    assert_eq!(queries.len(), 50);
+    for query in &queries {
+        let encoded = wire::encode_request(query);
+        let again = wire::decode_request(&encoded)
+            .unwrap()
+            .expect("round-trip decodes");
+        assert_eq!(&again, query, "request round-trip failed: {encoded}");
+    }
+}
+
+#[test]
+fn one_warm_session_answers_the_file_with_cache_hits() {
+    let queries = load_queries();
+    let mut session = Session::new();
+    let responses = session.run_all(&queries);
+    assert_eq!(responses.len(), 50);
+
+    // The acceptance bar: the stream amortizes — at least one whole
+    // cache class is exercised (the fixture repeats queries, so verdict
+    // hits must appear; shared expressions also produce compile hits).
+    let stats = session.stats();
+    assert!(stats.answer_hits >= 1, "no verdict-cache hits: {stats:?}");
+    assert!(stats.compile_hits >= 1, "no compile-cache hits: {stats:?}");
+
+    // Every response line is parseable JSON that reparses to its query.
+    for (query, resp) in queries.iter().zip(&responses) {
+        let line = wire::encode_response(query, resp);
+        let value = Json::parse(&line)
+            .unwrap_or_else(|err| panic!("response not valid JSON ({err}): {line}"));
+        let verdict = value.get("verdict").and_then(Json::as_str).unwrap();
+        assert!(
+            ["holds", "refuted", "proved", "exhausted", "series"].contains(&verdict),
+            "unexpected verdict {verdict} in {line}"
+        );
+        let reparsed = wire::decode_request(&line).unwrap().expect("reparses");
+        assert_eq!(&reparsed, query, "print → reparse diverged: {line}");
+    }
+
+    // Spot-check content: proofs proved, series populated.
+    assert!(responses
+        .iter()
+        .any(|r| matches!(r.verdict, Verdict::Proved { proof_size } if proof_size > 0)));
+    assert!(responses
+        .iter()
+        .any(|r| matches!(&r.verdict, Verdict::Series { terms, .. } if !terms.is_empty())));
+}
+
+#[test]
+fn nka_batch_binary_emits_one_json_line_per_query() {
+    let output = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["--stats", "batch", "--json", BATCH_FILE])
+        .output()
+        .expect("nka binary runs");
+    assert!(
+        output.status.success(),
+        "batch exited {:?}: {}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("UTF-8 output");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 50, "expected one response per query");
+    for line in &lines {
+        let value = Json::parse(line)
+            .unwrap_or_else(|err| panic!("unparseable output line ({err}): {line}"));
+        assert!(value.get("op").is_some(), "missing op: {line}");
+        assert!(value.get("verdict").is_some(), "missing verdict: {line}");
+        assert!(value.get("micros").is_some(), "missing micros: {line}");
+    }
+    // --stats goes to stderr, and the warm stream must show verdict hits.
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("verdict hits"), "stderr: {stderr}");
+}
+
+#[test]
+fn hundred_query_stream_stays_on_one_warm_session() {
+    // The fixture twice over = a 100-query stream on stdin. One process,
+    // one session: the second half must be pure verdict-cache hits, and
+    // every answer one machine-parseable JSON line.
+    let fixture = std::fs::read_to_string(BATCH_FILE).unwrap();
+    let stream = format!("{fixture}{fixture}");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["--stats", "batch", "--json"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(stream.as_bytes())
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 100);
+    let mut answer_hits = 0i64;
+    for line in &lines {
+        let value = Json::parse(line)
+            .unwrap_or_else(|err| panic!("unparseable output line ({err}): {line}"));
+        answer_hits += value
+            .get("stats")
+            .and_then(|s| s.get("answer_hits"))
+            .and_then(Json::as_i64)
+            .unwrap_or(0);
+    }
+    // Engine-backed queries in the fixture (36 of 50, the rest are
+    // series/prove) all repeat in the second half; plus the fixture's
+    // own internal repeats.
+    assert!(answer_hits >= 36, "only {answer_hits} verdict hits");
+}
+
+#[test]
+fn nka_batch_exit_codes_classify_the_stream() {
+    // A malformed line: exit 2, and the good lines still answer.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["batch", "--json"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"p = p\nnot a request\np + p = p\n")
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(stdout.lines().count(), 3, "{stdout}");
+    assert!(stdout.contains("\"error\""), "{stdout}");
+
+    // A budget-exhausted query (tiny budget): exit 3.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["--budget", "1", "batch", "--json"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"1* a = 1* a a\n")
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    assert_eq!(output.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&output.stdout).contains("budget_exhausted"));
+}
+
+#[test]
+fn nka_serve_answers_line_per_line() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["serve", "--json"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"{\"op\":\"nka_eq\",\"lhs\":\"1 + p p*\",\"rhs\":\"p*\"}\n\
+              {\"op\":\"nka_eq\",\"lhs\":\"1 + p p*\",\"rhs\":\"p*\"}\n\
+              {\"op\":\"oops\"}\n",
+        )
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    assert_eq!(output.status.code(), Some(0), "serve always exits 0 at EOF");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    let first = Json::parse(lines[0]).unwrap();
+    assert_eq!(first.get("verdict").and_then(Json::as_str), Some("holds"));
+    // The repeated request was served from the warm engine's cache.
+    let second = Json::parse(lines[1]).unwrap();
+    assert_eq!(
+        second
+            .get("stats")
+            .and_then(|s| s.get("answer_hits"))
+            .and_then(Json::as_i64),
+        Some(1),
+        "{stdout}"
+    );
+    let third = Json::parse(lines[2]).unwrap();
+    assert_eq!(third.get("verdict").and_then(Json::as_str), Some("error"));
+}
