@@ -107,7 +107,7 @@ pub fn loop_unrolling_proof() -> CheckedHornProof {
         .rw_at(&[0], theorems::unrolling(&e("m0 p")))
         .expect("5.1 unrolling");
 
-    let conclusion = Judgment::Eq(e("(m0 p)* m1"), start.clone());
+    let conclusion = Judgment::Eq(e("(m0 p)* m1"), start);
     CheckedHornProof {
         hypotheses,
         conclusion,

@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nka_bench::random_exprs;
-use nka_core::api::{Query, Session};
+use nka_core::api::{run_batch_parallel, Query, Session, SessionOptions};
 use std::hint::black_box;
 
 /// 100 queries: 50 distinct (NkaEq/KaEq alternating over random pairs),
@@ -19,7 +19,7 @@ fn query_stream() -> Vec<Query> {
         .chunks(2)
         .enumerate()
         .map(|(i, pair)| {
-            let (lhs, rhs) = (pair[0].clone(), pair[1].clone());
+            let (lhs, rhs) = (pair[0], pair[1]);
             if i % 2 == 0 {
                 Query::NkaEq { lhs, rhs }
             } else {
@@ -79,6 +79,26 @@ fn bench_batch(c: &mut Criterion) {
             }
         });
     });
+    group.finish();
+
+    // The sharded batch path behind `nka batch --jobs N`: fresh worker
+    // sessions per iteration (cost-comparable to batch_one_session).
+    // On a single hardware thread the extra jobs measure pure sharding
+    // overhead (thread spawn + per-worker cache misses on shared
+    // expressions); with real cores they measure the speedup.
+    let mut group = c.benchmark_group("api/batch_parallel");
+    group.sample_size(10);
+    for jobs in [1usize, 2, 4] {
+        group.bench_function(format!("{jobs}_jobs"), |b| {
+            b.iter(|| {
+                black_box(run_batch_parallel(
+                    black_box(&queries),
+                    &SessionOptions::default(),
+                    jobs,
+                ));
+            });
+        });
+    }
     group.finish();
 }
 

@@ -45,8 +45,8 @@ fn bench_decide(c: &mut Criterion) {
         let queries: Vec<Query> = exprs
             .chunks(2)
             .map(|pair| Query::NkaEq {
-                lhs: pair[0].clone(),
-                rhs: pair[1].clone(),
+                lhs: pair[0],
+                rhs: pair[1],
             })
             .collect();
         let mut session = Session::new();

@@ -1,0 +1,96 @@
+//! INTERN — the cost model of the hash-consing arena behind Expr API v2.
+//!
+//! Two regimes on the Figure 2 theorem terms (both sides of all seven
+//! equations):
+//!
+//! * **cold** — every iteration renames the atoms to fresh symbols, so
+//!   each build inserts never-before-seen nodes: the full intern path
+//!   (hash, stripe lock, leak-allocate, two map writes). This is the
+//!   cost a *first-ever* query pays per node.
+//! * **warm** — every iteration rebuilds the same terms node-by-node,
+//!   so each build is pure lookup (hash, stripe lock, map hit): the
+//!   steady-state cost of re-materializing a known term, and an upper
+//!   bound on what `parse` adds over the arena itself.
+//!
+//! `handle_ops` measures what the redesign bought: `clone`/`eq`/`hash`
+//! on a ~45-node term, which were O(size) on the v1 `Rc` tree and must
+//! be O(1) flat on handles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nka_bench::figure2_equations;
+use nka_syntax::{Expr, ExprNode, Symbol};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::hint::black_box;
+
+/// Rebuilds `e` bottom-up through the public constructors with atoms
+/// remapped by `rename`; every node goes through the interner.
+fn rebuild_with(e: &Expr, rename: &dyn Fn(Symbol) -> Symbol) -> Expr {
+    match e.node() {
+        ExprNode::Zero => Expr::zero(),
+        ExprNode::One => Expr::one(),
+        ExprNode::Atom(s) => Expr::atom(rename(*s)),
+        ExprNode::Add(l, r) => rebuild_with(l, rename).add(&rebuild_with(r, rename)),
+        ExprNode::Mul(l, r) => rebuild_with(l, rename).mul(&rebuild_with(r, rename)),
+        ExprNode::Star(inner) => rebuild_with(inner, rename).star(),
+    }
+}
+
+fn fig2_terms() -> Vec<Expr> {
+    figure2_equations()
+        .into_iter()
+        .flat_map(|(_, lhs, rhs)| [lhs.parse().unwrap(), rhs.parse().unwrap()])
+        .collect()
+}
+
+fn bench_intern(c: &mut Criterion) {
+    let terms = fig2_terms();
+    let total_nodes: usize = terms.iter().map(Expr::size).sum();
+    assert!(total_nodes > 40, "Fig. 2 corpus unexpectedly small");
+
+    // Cold: fresh atom namespace per iteration → every node is an
+    // arena insert. The epoch counter lives across iterations so no
+    // name is ever reused.
+    let mut group = c.benchmark_group("intern");
+    group.sample_size(10);
+    let mut epoch = 0u64;
+    group.bench_function("fig2_cold", |b| {
+        b.iter(|| {
+            epoch += 1;
+            let rename = |s: Symbol| Symbol::intern(&format!("{}_{epoch}", s.name()));
+            for t in &terms {
+                black_box(rebuild_with(black_box(t), &rename));
+            }
+        });
+    });
+
+    // Warm: identical structure every iteration → every node is an
+    // arena hit.
+    group.bench_function("fig2_warm", |b| {
+        b.iter(|| {
+            for t in &terms {
+                black_box(rebuild_with(black_box(t), &|s| s));
+            }
+        });
+    });
+
+    // The O(1) handle operations the Decider's warm path is built on.
+    let big = terms.iter().fold(Expr::one(), |acc, t| acc.mul(t)).star();
+    group.bench_function("handle_ops", |b| {
+        b.iter(|| {
+            let copy = *black_box(&big);
+            let eq = black_box(&copy) == black_box(&big);
+            let mut h = DefaultHasher::new();
+            black_box(&big).hash(&mut h);
+            black_box((copy, eq, h.finish()));
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = nka_bench::criterion_config();
+    targets = bench_intern
+}
+criterion_main!(benches);

@@ -37,6 +37,12 @@
 //! queries and responses used by `nka batch` and `nka serve`; [`json`]
 //! is the dependency-free JSON support underneath it.
 //!
+//! Since Expr API v2, expressions are hash-consed `Copy` handles and a
+//! `Session` is `Send + Sync`, so a batch can be sharded across worker
+//! sessions on scoped threads — [`run_batch_parallel`] (surfaced as
+//! `nka batch --jobs N`) answers a query stream in input order with
+//! verdicts identical to the single-session path.
+//!
 //! # Examples
 //!
 //! ```
@@ -59,8 +65,9 @@ use crate::judgment::Judgment;
 use crate::proof::Proof;
 use crate::prover::{ProveOutcome, Prover};
 use nka_semiring::ExtNat;
-use nka_syntax::{Expr, ParseExprError, Symbol, Word};
+use nka_syntax::{Expr, ExprId, ParseExprError, Symbol, Word};
 use nka_wfa::{DecideOptions, Decider, DeciderStats};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -210,6 +217,46 @@ impl Query {
             hyps: parsed,
         })
     }
+
+    /// The expressions this query mentions, in field order (both sides
+    /// of an equality, the series operand, goal plus hypotheses).
+    pub fn exprs(&self) -> Vec<Expr> {
+        match self {
+            Query::NkaEq { lhs, rhs } | Query::KaEq { lhs, rhs } => vec![*lhs, *rhs],
+            Query::Series { expr, .. } => vec![*expr],
+            Query::Prove { lhs, rhs, hyps } => {
+                let mut out = vec![*lhs, *rhs];
+                for (l, r) in hyps {
+                    out.push(*l);
+                    out.push(*r);
+                }
+                out
+            }
+        }
+    }
+
+    /// Term-size accounting for this query: `(expr_nodes,
+    /// expr_subterms)` — total *tree* node count of all mentioned
+    /// expressions versus the number of *distinct* interned subterms
+    /// across them. The gap is the sharing the hash-consing arena
+    /// recovered; both are surfaced in the JSON verdict payload and
+    /// `nka --stats` so cache effectiveness is observable.
+    #[must_use]
+    pub fn term_stats(&self) -> (u64, u64) {
+        term_stats_of(&self.exprs())
+    }
+}
+
+/// `(total tree nodes, distinct interned subterms)` across `exprs` —
+/// the computation behind [`Query::term_stats`], shared with the
+/// session's memo so a cache miss walks the terms exactly once.
+fn term_stats_of(exprs: &[Expr]) -> (u64, u64) {
+    let nodes = exprs.iter().map(|e| e.size() as u64).sum();
+    let mut distinct: HashSet<ExprId> = HashSet::new();
+    for e in exprs {
+        e.collect_subterm_ids(&mut distinct);
+    }
+    (nodes, distinct.len() as u64)
 }
 
 /// Parses one `"l = r"` hypothesis.
@@ -312,6 +359,13 @@ pub struct Response {
     pub stats_delta: DeciderStats,
     /// Cumulative engine counters over the session's life.
     pub stats_total: DeciderStats,
+    /// Total tree-node count of the query's expressions
+    /// ([`Query::term_stats`]).
+    pub expr_nodes: u64,
+    /// Distinct interned subterms across the query's expressions — its
+    /// arena footprint; `expr_nodes / expr_subterms` is the sharing
+    /// factor hash-consing recovered.
+    pub expr_subterms: u64,
     /// Wall-clock time spent answering.
     pub elapsed: Duration,
 }
@@ -427,11 +481,65 @@ fn potential_words(alphabet_len: usize, max_len: usize, cap: u64) -> u64 {
 
 /// The stateful query facade: one warm engine for a whole stream of
 /// queries. See the [module docs](self).
+///
+/// Since Expr API v2 a `Session` is `Send + Sync` (statically asserted
+/// below): expressions are arena handles and the engine's caches hold
+/// `Arc`s, so sessions can be moved into worker threads — that is what
+/// [`run_batch_parallel`] does.
 #[derive(Debug, Default)]
 pub struct Session {
     engine: Decider,
     opts: SessionOptions,
     queries_run: u64,
+    expr_nodes_seen: u64,
+    expr_subterms_seen: u64,
+    /// Memoized [`Query::term_stats`] keyed by the query's root
+    /// expression ids. Term stats are pure functions of the (interned,
+    /// immutable) terms, and the warm serving path repeats queries — a
+    /// DAG walk per repeat would dominate sub-microsecond cache hits.
+    term_stats_cache: HashMap<TermKey, (u64, u64)>,
+}
+
+/// The root-id key of [`Session::run`]'s term-stats memo. Equality /
+/// series queries get inline `Copy` keys so warm probes allocate
+/// nothing; only `Prove` (root pair + hypotheses) boxes its ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum TermKey {
+    One(ExprId),
+    Two(ExprId, ExprId),
+    Many(Box<[ExprId]>),
+}
+
+impl TermKey {
+    fn of(query: &Query) -> TermKey {
+        match query {
+            Query::NkaEq { lhs, rhs } | Query::KaEq { lhs, rhs } => {
+                TermKey::Two(lhs.id(), rhs.id())
+            }
+            Query::Series { expr, .. } => TermKey::One(expr.id()),
+            Query::Prove { lhs, rhs, hyps } => {
+                let mut ids = Vec::with_capacity(2 + 2 * hyps.len());
+                ids.push(lhs.id());
+                ids.push(rhs.id());
+                for (l, r) in hyps {
+                    ids.push(l.id());
+                    ids.push(r.id());
+                }
+                TermKey::Many(ids.into_boxed_slice())
+            }
+        }
+    }
+}
+
+/// Compile-time proof of the Expr API v2 thread-safety contract at the
+/// API layer; the parallel batch path depends on it.
+#[allow(dead_code)]
+fn _static_assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Session>();
+    check::<Query>();
+    check::<Response>();
+    check::<ApiError>();
 }
 
 impl Session {
@@ -448,7 +556,7 @@ impl Session {
         Session {
             engine: Decider::with_options(opts.decide.clone()),
             opts,
-            queries_run: 0,
+            ..Session::default()
         }
     }
 
@@ -483,27 +591,61 @@ impl Session {
         self.queries_run
     }
 
+    /// Cumulative tree-node count of all expressions queried through
+    /// this session ([`Query::term_stats`] summed over its life).
+    #[must_use]
+    pub fn expr_nodes_seen(&self) -> u64 {
+        self.expr_nodes_seen
+    }
+
+    /// Cumulative per-query distinct-subterm counts over the session's
+    /// life. Compare with [`Session::expr_nodes_seen`] for the sharing
+    /// factor, and with `nka_syntax::interned_expr_count()` for the
+    /// process-wide arena footprint.
+    #[must_use]
+    pub fn expr_subterms_seen(&self) -> u64 {
+        self.expr_subterms_seen
+    }
+
     /// Direct access to the underlying engine, for callers that need
     /// surfaces the query API does not model (e.g. word membership).
     pub fn engine_mut(&mut self) -> &mut Decider {
         &mut self.engine
     }
 
+    /// [`Query::term_stats`] through the session's memo: a warm repeat
+    /// costs one allocation-free map probe on the root ids instead of
+    /// a DAG walk.
+    fn term_stats_memo(&mut self, query: &Query) -> (u64, u64) {
+        let key = TermKey::of(query);
+        if let Some(&hit) = self.term_stats_cache.get(&key) {
+            return hit;
+        }
+        let computed = term_stats_of(&query.exprs());
+        self.term_stats_cache.insert(key, computed);
+        computed
+    }
+
     /// Answers one query. Never panics and never returns a Rust error:
     /// every outcome — including budget exhaustion — is a [`Verdict`].
     pub fn run(&mut self, query: &Query) -> Response {
         let before = self.engine.stats();
+        let (expr_nodes, expr_subterms) = self.term_stats_memo(query);
         let start = Instant::now();
         let (verdict, proof) = self.dispatch(query);
         let elapsed = start.elapsed();
         let total = self.engine.stats();
         self.queries_run += 1;
+        self.expr_nodes_seen += expr_nodes;
+        self.expr_subterms_seen += expr_subterms;
         Response {
             kind: query.kind(),
             verdict,
             proof,
             stats_delta: total.delta_since(&before),
             stats_total: total,
+            expr_nodes,
+            expr_subterms,
             elapsed,
         }
     }
@@ -543,10 +685,8 @@ impl Session {
                 )
             }
             Query::Prove { lhs, rhs, hyps } => {
-                let judgments: Vec<Judgment> = hyps
-                    .iter()
-                    .map(|(l, r)| Judgment::Eq(l.clone(), r.clone()))
-                    .collect();
+                let judgments: Vec<Judgment> =
+                    hyps.iter().map(|(l, r)| Judgment::Eq(*l, *r)).collect();
                 let mut prover = Prover::new(&judgments)
                     .with_max_expansions(self.opts.prove_max_expansions)
                     .with_max_term_size(self.opts.prove_max_term_size);
@@ -586,6 +726,58 @@ fn decision(result: Result<bool, nka_wfa::DecideError>) -> Verdict {
             detail: err.to_string(),
         },
     }
+}
+
+/// Answers a batch of queries on `jobs` worker [`Session`]s running on
+/// scoped threads, returning one [`Response`] per query **in input
+/// order**. This is the engine behind `nka batch --jobs N`.
+///
+/// Queries are sharded round-robin (query `i` goes to worker
+/// `i % jobs`), so a stream with repeated neighborhoods still spreads
+/// across workers. Each worker owns a private engine built from `opts`
+/// — verdicts are exact and deterministic regardless of cache state, so
+/// the verdict set is identical to a single-session run; only the
+/// per-response `stats_delta` differs (an expression shared *across*
+/// shards compiles once per worker rather than once overall — that is
+/// the throughput trade).
+///
+/// `jobs` is clamped to `1..=queries.len()`; `jobs <= 1` degenerates to
+/// [`Session::run_all`] on the calling thread with no thread overhead.
+/// Workers inherit expressions by handle (`Expr: Send + Sync`) — no
+/// term is re-parsed or deep-copied to cross the thread boundary.
+#[must_use]
+pub fn run_batch_parallel(queries: &[Query], opts: &SessionOptions, jobs: usize) -> Vec<Response> {
+    let jobs = jobs.clamp(1, queries.len().max(1));
+    if jobs <= 1 {
+        return Session::with_options(opts.clone()).run_all(queries);
+    }
+    let mut slots: Vec<Option<Response>> = Vec::new();
+    slots.resize_with(queries.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut session = Session::with_options(opts.clone());
+                    queries
+                        .iter()
+                        .enumerate()
+                        .skip(worker)
+                        .step_by(jobs)
+                        .map(|(i, q)| (i, session.run(q)))
+                        .collect::<Vec<(usize, Response)>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, resp) in handle.join().expect("batch worker panicked") {
+                slots[i] = Some(resp);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every query answered exactly once"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -631,10 +823,7 @@ mod tests {
         let Query::Prove { lhs, rhs, hyps } = &query else {
             unreachable!()
         };
-        let judgments: Vec<Judgment> = hyps
-            .iter()
-            .map(|(l, r)| Judgment::Eq(l.clone(), r.clone()))
-            .collect();
+        let judgments: Vec<Judgment> = hyps.iter().map(|(l, r)| Judgment::Eq(*l, *r)).collect();
         assert_eq!(proof.check(&judgments).unwrap(), Judgment::eq(lhs, rhs));
     }
 
@@ -705,5 +894,73 @@ mod tests {
     fn malformed_hypotheses_are_rejected() {
         let err = Query::prove("a", "a", &["no equals sign"]).unwrap_err();
         assert!(matches!(err, ApiError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn responses_carry_term_size_accounting() {
+        let mut session = Session::new();
+        // p + p against p: 3 + 1 tree nodes, 2 distinct subterms
+        // ({p, p + p}; `p` is shared across both sides by interning).
+        let resp = session.run(&Query::nka_eq("p + p", "p").unwrap());
+        assert_eq!(resp.expr_nodes, 4);
+        assert_eq!(resp.expr_subterms, 2);
+        assert_eq!(session.expr_nodes_seen(), 4);
+        assert_eq!(session.expr_subterms_seen(), 2);
+        let resp = session.run(&Query::series("q*", 1).unwrap());
+        assert_eq!(resp.expr_nodes, 2);
+        assert_eq!(resp.expr_subterms, 2);
+        assert_eq!(session.expr_nodes_seen(), 6);
+        assert_eq!(session.queries_run(), 2);
+    }
+
+    #[test]
+    fn parallel_batch_matches_single_session_verdicts() {
+        let queries: Vec<Query> = [
+            Query::nka_eq("(p q)* p", "p (q p)*").unwrap(),
+            Query::ka_eq("p + p", "p").unwrap(),
+            Query::nka_eq("p + p", "p").unwrap(),
+            Query::series("(a + a)*", 3).unwrap(),
+            Query::prove("m1 (m0 p + m1)", "m1", &["m1 m1 = m1", "m1 m0 = 0"]).unwrap(),
+            Query::nka_eq("1 + p p*", "p*").unwrap(),
+            Query::nka_eq("(p q)* p", "p (q p)*").unwrap(), // repeat
+        ]
+        .into_iter()
+        .collect();
+        let sequential = Session::new().run_all(&queries);
+        for jobs in [1, 2, 4, 16, 0] {
+            let parallel = run_batch_parallel(&queries, &SessionOptions::default(), jobs);
+            assert_eq!(parallel.len(), queries.len());
+            for (i, (seq, par)) in sequential.iter().zip(&parallel).enumerate() {
+                assert_eq!(seq.verdict, par.verdict, "query {i} at jobs={jobs}");
+                assert_eq!(seq.kind, par.kind, "query {i} at jobs={jobs}");
+                assert_eq!(seq.expr_nodes, par.expr_nodes, "query {i} at jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_batch_budget_verdicts_are_deterministic() {
+        let queries = vec![
+            Query::nka_eq("1* a", "1* a a").unwrap(),
+            Query::nka_eq("p", "p").unwrap(),
+        ];
+        let opts = SessionOptions {
+            decide: DecideOptions {
+                max_dfa_states: 1,
+                ..DecideOptions::default()
+            },
+            ..SessionOptions::default()
+        };
+        let responses = run_batch_parallel(&queries, &opts, 2);
+        assert!(matches!(
+            responses[0].verdict,
+            Verdict::BudgetExhausted { .. }
+        ));
+        // With a 1-state budget even `p = p` overflows — the point is
+        // the worker answers rather than panics, in input order.
+        assert!(matches!(
+            responses[1].verdict,
+            Verdict::BudgetExhausted { .. }
+        ));
     }
 }

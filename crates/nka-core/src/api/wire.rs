@@ -20,8 +20,10 @@
 //!
 //! Responses repeat the query fields and add `verdict` (a
 //! [`Verdict::name`]), verdict-specific payload (`proof_size`,
-//! `holds_by_decision`, `terms`, `detail`), the engine-counter delta
-//! under `stats`, and wall-clock `micros`. Words in `terms` are
+//! `holds_by_decision`, `terms`, `detail`), the term-size accounting
+//! `expr_nodes`/`expr_subterms` (tree nodes vs distinct interned
+//! subterms — see `Query::term_stats`), the engine-counter delta under
+//! `stats`, and wall-clock `micros`. Words in `terms` are
 //! space-separated symbol names with `""` for ε; coefficients are
 //! decimal strings or `"∞"` (strings, so arbitrary-precision values
 //! survive).
@@ -212,6 +214,14 @@ pub fn encode_response(query: &Query, resp: &Response) -> String {
             fields.push(("detail".to_owned(), Json::Str(detail.clone())));
         }
     }
+    fields.push((
+        "expr_nodes".to_owned(),
+        Json::Int(i64::try_from(resp.expr_nodes).unwrap_or(i64::MAX)),
+    ));
+    fields.push((
+        "expr_subterms".to_owned(),
+        Json::Int(i64::try_from(resp.expr_subterms).unwrap_or(i64::MAX)),
+    ));
     fields.push(("stats".to_owned(), stats_json(&resp.stats_delta)));
     fields.push((
         "micros".to_owned(),

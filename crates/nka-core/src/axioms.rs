@@ -56,7 +56,7 @@ impl Pat {
         match self {
             Pat::Zero => Expr::zero(),
             Pat::One => Expr::one(),
-            Pat::Var(i) => args[*i].clone(),
+            Pat::Var(i) => args[*i],
             Pat::Add(l, r) => l.instantiate(args).add(&r.instantiate(args)),
             Pat::Mul(l, r) => l.instantiate(args).mul(&r.instantiate(args)),
             Pat::Star(p) => p.instantiate(args).star(),
@@ -77,7 +77,7 @@ impl Pat {
                 match &bindings[*i] {
                     Some(bound) => bound == expr,
                     None => {
-                        bindings[*i] = Some(expr.clone());
+                        bindings[*i] = Some(*expr);
                         true
                     }
                 }

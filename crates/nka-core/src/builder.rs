@@ -47,35 +47,35 @@ fn wrap_at_path(
                 format!("subterm is {e}, rule rewrites {l}"),
             ));
         }
-        return Ok((rule, r.clone()));
+        return Ok((rule, *r));
     }
     let (head, rest) = (path[0], &path[1..]);
     match (e.node(), head) {
         (ExprNode::Add(a, b), 0) => {
             let (inner, new_a) = wrap_at_path(a, rest, rule, l, r)?;
             Ok((
-                Proof::CongAdd(Box::new(inner), Box::new(Proof::Refl(b.clone()))),
+                Proof::CongAdd(Box::new(inner), Box::new(Proof::Refl(*b))),
                 new_a.add(b),
             ))
         }
         (ExprNode::Add(a, b), 1) => {
             let (inner, new_b) = wrap_at_path(b, rest, rule, l, r)?;
             Ok((
-                Proof::CongAdd(Box::new(Proof::Refl(a.clone())), Box::new(inner)),
+                Proof::CongAdd(Box::new(Proof::Refl(*a)), Box::new(inner)),
                 a.add(&new_b),
             ))
         }
         (ExprNode::Mul(a, b), 0) => {
             let (inner, new_a) = wrap_at_path(a, rest, rule, l, r)?;
             Ok((
-                Proof::CongMul(Box::new(inner), Box::new(Proof::Refl(b.clone()))),
+                Proof::CongMul(Box::new(inner), Box::new(Proof::Refl(*b))),
                 new_a.mul(b),
             ))
         }
         (ExprNode::Mul(a, b), 1) => {
             let (inner, new_b) = wrap_at_path(b, rest, rule, l, r)?;
             Ok((
-                Proof::CongMul(Box::new(Proof::Refl(a.clone())), Box::new(inner)),
+                Proof::CongMul(Box::new(Proof::Refl(*a)), Box::new(inner)),
                 a.mul(&new_b),
             ))
         }
@@ -148,9 +148,9 @@ impl EqChain {
     pub fn with_hyps(start: &Expr, hyps: &[Judgment]) -> EqChain {
         EqChain {
             hyps: hyps.to_vec(),
-            start: start.clone(),
-            current: start.clone(),
-            proof: Proof::Refl(start.clone()),
+            start: *start,
+            current: *start,
+            proof: Proof::Refl(*start),
         }
     }
 
@@ -182,9 +182,9 @@ impl EqChain {
     ///
     /// Fails if `current` and `target` differ in that fragment.
     pub fn semiring(self, target: &Expr) -> Result<EqChain, ProofError> {
-        let step = Proof::BySemiring(self.current.clone(), target.clone());
+        let step = Proof::BySemiring(self.current, *target);
         step.check(&self.hyps)?;
-        let target = target.clone();
+        let target = *target;
         Ok(self.append(step, target))
     }
 
@@ -335,8 +335,8 @@ impl LeChain {
     pub fn with_hyps(start: &Expr, hyps: &[Judgment]) -> LeChain {
         LeChain {
             hyps: hyps.to_vec(),
-            start: start.clone(),
-            current: start.clone(),
+            start: *start,
+            current: *start,
             proof: None,
         }
     }
@@ -384,7 +384,7 @@ impl LeChain {
                 format!("rule starts at {l}, chain is at {}", self.current),
             ));
         }
-        let r = r.clone();
+        let r = *r;
         Ok(self.append(rule, r))
     }
 
@@ -407,7 +407,7 @@ impl LeChain {
                 format!("rule starts at {l}, chain is at {}", self.current),
             ));
         }
-        let r = r.clone();
+        let r = *r;
         Ok(self.append(rule.as_le(), r))
     }
 
@@ -417,7 +417,7 @@ impl LeChain {
     ///
     /// Fails if the two differ in that fragment.
     pub fn semiring(self, target: &Expr) -> Result<LeChain, ProofError> {
-        let step = Proof::BySemiring(self.current.clone(), target.clone());
+        let step = Proof::BySemiring(self.current, *target);
         self.eq_step(step)
     }
 
@@ -496,35 +496,35 @@ fn wrap_le_at_path(
                 format!("subterm is {e}, rule rewrites {l}"),
             ));
         }
-        return Ok((rule, r.clone()));
+        return Ok((rule, *r));
     }
     let (head, rest) = (path[0], &path[1..]);
     match (e.node(), head) {
         (ExprNode::Add(a, b), 0) => {
             let (inner, new_a) = wrap_le_at_path(a, rest, rule, l, r)?;
             Ok((
-                Proof::MonoAdd(Box::new(inner), Box::new(Proof::LeRefl(b.clone()))),
+                Proof::MonoAdd(Box::new(inner), Box::new(Proof::LeRefl(*b))),
                 new_a.add(b),
             ))
         }
         (ExprNode::Add(a, b), 1) => {
             let (inner, new_b) = wrap_le_at_path(b, rest, rule, l, r)?;
             Ok((
-                Proof::MonoAdd(Box::new(Proof::LeRefl(a.clone())), Box::new(inner)),
+                Proof::MonoAdd(Box::new(Proof::LeRefl(*a)), Box::new(inner)),
                 a.add(&new_b),
             ))
         }
         (ExprNode::Mul(a, b), 0) => {
             let (inner, new_a) = wrap_le_at_path(a, rest, rule, l, r)?;
             Ok((
-                Proof::MonoMul(Box::new(inner), Box::new(Proof::LeRefl(b.clone()))),
+                Proof::MonoMul(Box::new(inner), Box::new(Proof::LeRefl(*b))),
                 new_a.mul(b),
             ))
         }
         (ExprNode::Mul(a, b), 1) => {
             let (inner, new_b) = wrap_le_at_path(b, rest, rule, l, r)?;
             Ok((
-                Proof::MonoMul(Box::new(Proof::LeRefl(a.clone())), Box::new(inner)),
+                Proof::MonoMul(Box::new(Proof::LeRefl(*a)), Box::new(inner)),
                 a.mul(&new_b),
             ))
         }

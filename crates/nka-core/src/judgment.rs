@@ -29,12 +29,12 @@ pub enum Judgment {
 impl Judgment {
     /// Builds an equation judgment.
     pub fn eq(lhs: &Expr, rhs: &Expr) -> Judgment {
-        Judgment::Eq(lhs.clone(), rhs.clone())
+        Judgment::Eq(*lhs, *rhs)
     }
 
     /// Builds an inequation judgment.
     pub fn le(lhs: &Expr, rhs: &Expr) -> Judgment {
-        Judgment::Le(lhs.clone(), rhs.clone())
+        Judgment::Le(*lhs, *rhs)
     }
 
     /// The left-hand side.
@@ -60,7 +60,7 @@ impl Judgment {
     /// are returned unchanged (`≤` is not symmetric).
     pub fn flipped(&self) -> Judgment {
         match self {
-            Judgment::Eq(l, r) => Judgment::Eq(r.clone(), l.clone()),
+            Judgment::Eq(l, r) => Judgment::Eq(*r, *l),
             le @ Judgment::Le(..) => le.clone(),
         }
     }

@@ -120,7 +120,7 @@ impl Proof {
                 let (j1, j2) = (p1.check(hyps)?, p2.check(hyps)?);
                 match (&j1, &j2) {
                     (Judgment::Eq(a, b), Judgment::Eq(b2, c)) if b == b2 => {
-                        Ok(Judgment::Eq(a.clone(), c.clone()))
+                        Ok(Judgment::Eq(*a, *c))
                     }
                     _ => Err(ProofError::new(
                         "trans",
@@ -181,7 +181,7 @@ impl Proof {
             }
             Proof::BySemiring(l, r) => {
                 if semiring_equal(l, r) {
-                    Ok(Judgment::Eq(l.clone(), r.clone()))
+                    Ok(Judgment::Eq(*l, *r))
                 } else {
                     Err(ProofError::new(
                         "by-semiring",
@@ -194,7 +194,7 @@ impl Proof {
                 let (j1, j2) = (p1.check(hyps)?, p2.check(hyps)?);
                 match (&j1, &j2) {
                     (Judgment::Le(a, b), Judgment::Le(b2, c)) if b == b2 => {
-                        Ok(Judgment::Le(a.clone(), c.clone()))
+                        Ok(Judgment::Le(*a, *c))
                     }
                     _ => Err(ProofError::new(
                         "le-trans",
@@ -206,7 +206,7 @@ impl Proof {
                 let (j1, j2) = (p1.check(hyps)?, p2.check(hyps)?);
                 match (&j1, &j2) {
                     (Judgment::Le(a, b), Judgment::Le(b2, a2)) if a == a2 && b == b2 => {
-                        Ok(Judgment::Eq(a.clone(), b.clone()))
+                        Ok(Judgment::Eq(*a, *b))
                     }
                     _ => Err(ProofError::new(
                         "antisym",
@@ -271,7 +271,7 @@ impl Proof {
                         format!("inner r {r2} differs from bound {r}"),
                     ));
                 }
-                Ok(Judgment::Le(p_expr.star().mul(q), r.clone()))
+                Ok(Judgment::Le(p_expr.star().mul(q), *r))
             }
             Proof::StarIndRight(p) => {
                 let j = p.check(hyps)?;
@@ -299,7 +299,7 @@ impl Proof {
                         format!("inner r {r2} differs from bound {r}"),
                     ));
                 }
-                Ok(Judgment::Le(q.mul(&p_expr.star()), r.clone()))
+                Ok(Judgment::Le(q.mul(&p_expr.star()), *r))
             }
             Proof::Hyp(i) => hyps.get(*i).cloned().ok_or_else(|| {
                 ProofError::new("hyp", format!("hypothesis index {i} out of range"))

@@ -132,7 +132,7 @@ impl Prover {
         let goal = canon(rhs);
         let start_class = canon(lhs);
         if start_class == goal {
-            return Some(Proof::BySemiring(lhs.clone(), rhs.clone()));
+            return Some(Proof::BySemiring(*lhs, *rhs));
         }
 
         // Pre-check rules once: keep only equations, in both orientations.
@@ -147,7 +147,7 @@ impl Prover {
         let mut visited: BTreeSet<CanonPoly> = BTreeSet::new();
         visited.insert(start_class);
         let mut queue: VecDeque<(Expr, Proof)> = VecDeque::new();
-        queue.push_back((lhs.clone(), Proof::Refl(lhs.clone())));
+        queue.push_back((*lhs, Proof::Refl(*lhs)));
         let mut expansions = 0;
 
         while let Some((expr, proof)) = queue.pop_front() {
@@ -160,18 +160,12 @@ impl Prover {
             // the representative, so matching stays purely syntactic while
             // effectively working modulo the semiring axioms.
             let class_here = canon(&expr);
-            let variants = [
-                expr.clone(),
-                class_here.to_expr(true),
-                class_here.to_expr(false),
-            ];
+            let variants = [expr, class_here.to_expr(true), class_here.to_expr(false)];
             for (vi, variant) in variants.iter().enumerate() {
                 let to_variant = if vi == 0 {
                     proof.clone()
                 } else {
-                    proof
-                        .clone()
-                        .then(Proof::BySemiring(expr.clone(), variant.clone()))
+                    proof.clone().then(Proof::BySemiring(expr, *variant))
                 };
                 for rule in &oriented {
                     let Ok(Judgment::Eq(l, _)) = rule.check(&self.hyps) else {
@@ -196,7 +190,7 @@ impl Prover {
                         if class == goal {
                             let total = to_variant
                                 .then(step)
-                                .then(Proof::BySemiring(new_expr, rhs.clone()));
+                                .then(Proof::BySemiring(new_expr, *rhs));
                             return Some(total);
                         }
                         if visited.insert(class) {

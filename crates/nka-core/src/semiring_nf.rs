@@ -118,7 +118,7 @@ impl CanonPoly {
                 Expr::product(factors)
             };
             for _ in 0..coeff {
-                terms.push(product.clone());
+                terms.push(product);
             }
         }
         Expr::sum(terms)

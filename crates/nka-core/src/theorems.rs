@@ -36,7 +36,7 @@ fn zero() -> Expr {
 
 /// `1 + p p* ≤ p*` — the star-unfolding axiom, as a proof.
 pub fn star_unfold_le(p: &Expr) -> Proof {
-    Proof::AxiomLe(LeAxiom::StarUnfold, vec![p.clone()])
+    Proof::AxiomLe(LeAxiom::StarUnfold, vec![*p])
 }
 
 /// Figure 2a (fixed-point, right form): `1 + p p* = p*`.
@@ -50,7 +50,7 @@ pub fn fixed_point_right(p: &Expr) -> Proof {
         .expect("fixed_point_right premise");
     let ind = Proof::StarIndLeft(Box::new(premise.into_proof())); // p* 1 ≤ 1 + p p*
     let ge = LeChain::new(&ps)
-        .eq_step(Proof::BySemiring(ps.clone(), ps.mul(&one())))
+        .eq_step(Proof::BySemiring(ps, ps.mul(&one())))
         .expect("fixed_point_right unit")
         .le_step(ind)
         .expect("fixed_point_right induction");
@@ -71,7 +71,7 @@ pub fn fixed_point_left(p: &Expr) -> Proof {
         .expect("fixed_point_left fp-right");
     let ind = Proof::StarIndLeft(Box::new(premise_eq.into_proof().as_le())); // p* 1 ≤ 1 + p* p
     let ge = LeChain::new(&ps)
-        .eq_step(Proof::BySemiring(ps.clone(), ps.mul(&one())))
+        .eq_step(Proof::BySemiring(ps, ps.mul(&one())))
         .expect("fixed_point_left unit")
         .le_step(ind)
         .expect("fixed_point_left induction");
@@ -105,7 +105,7 @@ pub fn monotone_star(p: &Expr, q: &Expr, le_pq: Proof, hyps: &[Judgment]) -> Pro
     let ind = Proof::StarIndLeft(Box::new(premise.into_proof())); // p* 1 ≤ q*
     let ps = p.star();
     LeChain::with_hyps(&ps, hyps)
-        .eq_step(Proof::BySemiring(ps.clone(), ps.mul(&one())))
+        .eq_step(Proof::BySemiring(ps, ps.mul(&one())))
         .expect("monotone_star unit")
         .le_step(ind)
         .expect("monotone_star induction")
@@ -130,7 +130,7 @@ pub fn product_star(p: &Expr, q: &Expr) -> Proof {
     // premise judgment: 1 + (p q) lhs = lhs  ⇒ star induction (left).
     let ind = Proof::StarIndLeft(Box::new(premise.into_proof().as_le())); // (p q)* 1 ≤ lhs
     let ge = LeChain::new(&rhs)
-        .eq_step(Proof::BySemiring(rhs.clone(), rhs.mul(&one())))
+        .eq_step(Proof::BySemiring(rhs, rhs.mul(&one())))
         .expect("product_star unit")
         .le_step(ind)
         .expect("product_star induction");
@@ -218,7 +218,7 @@ pub fn denesting_left(p: &Expr, q: &Expr) -> Proof {
     let ind = Proof::StarIndLeft(Box::new(premise.into_proof().as_le())); // (p+q)* 1 ≤ rhs
     let lhs_star = p_plus_q.star();
     let le = LeChain::new(&lhs_star)
-        .eq_step(Proof::BySemiring(lhs_star.clone(), lhs_star.mul(&one())))
+        .eq_step(Proof::BySemiring(lhs_star, lhs_star.mul(&one())))
         .expect("denesting unit")
         .le_step(ind)
         .expect("denesting induction");
@@ -298,7 +298,7 @@ pub fn unrolling(p: &Expr) -> Proof {
         .expect("unrolling reshape 3");
     let ind = Proof::StarIndRight(Box::new(premise_eq.into_proof().as_le())); // 1 p* ≤ lhs
     let ge = LeChain::new(&ps)
-        .eq_step(Proof::BySemiring(ps.clone(), one().mul(&ps)))
+        .eq_step(Proof::BySemiring(ps, one().mul(&ps)))
         .expect("unrolling unit")
         .le_step(ind)
         .expect("unrolling induction");

@@ -273,7 +273,7 @@ impl EffectRegistry {
         self.entries
             .iter()
             .find(|(mat, _, _)| mat.approx_eq(m, TOL))
-            .map(|(_, t, n)| (t.clone(), n.clone()))
+            .map(|(_, t, n)| (*t, *n))
     }
 
     fn register(&mut self, m: &CMatrix, term: Expr, neg: Expr) {
@@ -289,7 +289,7 @@ impl EffectRegistry {
         self.fresh += 1;
         let (a, na) = ctx.declare_effect(&name, &neg);
         let pair = (Expr::atom(a), Expr::atom(na));
-        self.register(m, pair.0.clone(), pair.1.clone());
+        self.register(m, pair.0, pair.1);
         pair
     }
 }
@@ -374,8 +374,8 @@ pub fn encode_qhl(
         derivation: nkat,
         conclusion,
         program_expr,
-        pre_terms: node.pre.clone(),
-        post_terms: node.post.clone(),
+        pre_terms: node.pre,
+        post_terms: node.post,
     })
 }
 
@@ -404,7 +404,7 @@ fn plan(
             Ok(Node {
                 kind: Kind::Skip,
                 p: Expr::one(),
-                pre: pair.clone(),
+                pre: pair,
                 post: pair,
             })
         }
@@ -418,7 +418,7 @@ fn plan(
             let p = setting.encode(prog).map_err(|e| to_nkat(e.to_string()))?;
             let pre = reg.term_for(triple.pre(), ctx);
             let post = reg.term_for(triple.post(), ctx);
-            let hyp = ctx.add_hypothesis(Judgment::Le(p.mul(&post.1), pre.1.clone()));
+            let hyp = ctx.add_hypothesis(Judgment::Le(p.mul(&post.1), pre.1));
             Ok(Node {
                 kind: Kind::Atomic { hyp },
                 p,
@@ -430,9 +430,9 @@ fn plan(
             let sub = plan(inner, prog, ctx, reg, setting)?;
             let pre = reg.term_for(a, ctx);
             let post = reg.term_for(b, ctx);
-            let le_pre = ctx.add_hypothesis(Judgment::Le(pre.0.clone(), sub.pre.0.clone()));
-            let le_post = ctx.add_hypothesis(Judgment::Le(sub.post.0.clone(), post.0.clone()));
-            let p = sub.p.clone();
+            let le_pre = ctx.add_hypothesis(Judgment::Le(pre.0, sub.pre.0));
+            let le_post = ctx.add_hypothesis(Judgment::Le(sub.post.0, post.0));
+            let p = sub.p;
             Ok(Node {
                 kind: Kind::Order {
                     inner: Box::new(sub),
@@ -448,8 +448,8 @@ fn plan(
             let s1 = plan(d1, p1, ctx, reg, setting)?;
             let s2 = plan(d2, p2, ctx, reg, setting)?;
             let p = s1.p.mul(&s2.p);
-            let pre = s1.pre.clone();
-            let post = s2.post.clone();
+            let pre = s1.pre;
+            let post = s2.post;
             Ok(Node {
                 kind: Kind::Seq(Box::new(s1), Box::new(s2)),
                 p,
@@ -478,7 +478,7 @@ fn plan(
                 pre_negs.push(mi.mul(&sub.pre.1));
                 p_terms.push(mi.mul(&sub.p));
                 if post.is_none() {
-                    post = Some(sub.post.clone());
+                    post = Some(sub.post);
                 }
                 branches.push((mi, sub));
             }
@@ -487,7 +487,7 @@ fn plan(
             // (e.g. R.SC) can refer to it.
             if let Ok(t) = d.conclude(prog) {
                 if reg.lookup(t.pre()).is_none() {
-                    reg.register(t.pre(), pre.0.clone(), pre.1.clone());
+                    reg.register(t.pre(), pre.0, pre.1);
                 }
             }
             Ok(Node {
@@ -510,7 +510,7 @@ fn plan(
             let c_term = m0.mul(&a_pair.0).add(&m1.mul(&b_pair.0));
             let c_neg = m0.mul(&a_pair.1).add(&m1.mul(&b_pair.1));
             if reg.lookup(t_inner.post()).is_none() {
-                reg.register(t_inner.post(), c_term.clone(), c_neg.clone());
+                reg.register(t_inner.post(), c_term, c_neg);
             }
             let sub = plan(inner, body, ctx, reg, setting)?;
             let p = m1.mul(&sub.p).star().mul(&m0);

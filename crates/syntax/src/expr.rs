@@ -1,13 +1,26 @@
-//! The NKA expression tree.
+//! Hash-consed NKA expressions: the Expr API v2.
+//!
+//! Every distinct expression structure is interned exactly once in a
+//! process-global, lock-striped arena; an [`Expr`] is a `Copy` handle
+//! (an [`ExprId`] plus a direct node reference), so `Eq`, `Hash`, and
+//! `clone` are all O(1) and two expressions are structurally equal *iff*
+//! their handles are equal. The arena is append-only and shared across
+//! threads, which makes `Expr: Send + Sync` — sessions and engines built
+//! on top of it can move across threads freely.
 
 use crate::Symbol;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::hash::{BuildHasher, Hash, Hasher, RandomState};
 use std::ops::{Add, Mul};
-use std::rc::Rc;
+use std::sync::{Mutex, OnceLock};
 
 /// The node of an [`Expr`] (Definition 2.2).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Children are themselves interned handles, so a node is a few machine
+/// words and node equality/hashing is O(1) — the property the
+/// hash-consing arena relies on to deduplicate bottom-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExprNode {
     /// The additive unit `0` (encodes `abort`).
     Zero,
@@ -23,14 +36,48 @@ pub enum ExprNode {
     Star(Expr),
 }
 
+/// The dense, process-unique identity of an interned expression — the
+/// canonical name of one element of `ExpΣ` (Definition 2.2 of the
+/// paper: `e ::= 0 | 1 | a | e₁ + e₂ | e₁ · e₂ | e₁*`).
+///
+/// Because the arena deduplicates structurally (hash-consing), two
+/// expressions denote the same id exactly when they are α-identical
+/// terms of `ExpΣ`; the id is therefore a sound *and complete* key for
+/// syntactic equality, and downstream caches (the `Decider` engine's
+/// automaton, DFA, and verdict maps) key on it instead of on whole
+/// trees. Note the identification is *syntactic* — NKA-provable
+/// equality (`⊢NKA e = f`) is still the decision procedure's job.
+///
+/// Ids are `Copy`, 4 bytes, and totally ordered (arbitrarily but
+/// consistently within a process), which makes normalized symmetric
+/// cache keys like `(min(id₁, id₂), max(id₁, id₂))` trivial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(u32);
+
+impl ExprId {
+    /// The raw arena index (stable for the life of the process).
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
 /// An NKA expression over the global alphabet — an element of `ExpΣ`
 /// (Definition 2.2 of the paper).
 ///
-/// Expressions are immutable reference-counted trees: cloning is cheap and
-/// subterm sharing keeps the paper's large derivations (Appendix C.7)
-/// compact in memory. Equality is structural (α-identity of the term), *not*
-/// NKA-provable equality — use the decision procedure in `nka-core` for the
-/// latter.
+/// Since API v2 an `Expr` is a *hash-consed handle*: the expression
+/// structure lives in a process-global interning arena and the handle is
+/// `Copy` (4-byte [`ExprId`] + node reference). Consequences:
+///
+/// * `==`, `Hash`, and `clone`/copy are **O(1)** — equality is id
+///   equality, which coincides with structural (α-)identity of the term
+///   by the hash-consing invariant;
+/// * shared subterms are stored once, so the paper's large derivations
+///   (Appendix C.7) stay compact in memory;
+/// * `Expr: Send + Sync` — expressions flow freely across threads.
+///
+/// Equality is structural, *not* NKA-provable equality — use the
+/// decision procedure in `nka-core` for the latter.
 ///
 /// # Examples
 ///
@@ -42,25 +89,128 @@ pub enum ExprNode {
 /// let e = (&p + &q).star();
 /// assert_eq!(e.to_string(), "(p + q)*");
 /// assert_eq!(e, "(p+q)*".parse()?);
+/// // Hash-consing: rebuilding the same structure yields the same handle.
+/// assert_eq!(e.id(), p.add(&q).star().id());
 /// # Ok::<(), nka_syntax::ParseExprError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Expr(Rc<ExprNode>);
+#[derive(Clone, Copy)]
+pub struct Expr {
+    id: ExprId,
+    node: &'static ExprNode,
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Expr) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Expr {}
+
+impl Hash for Expr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+/// Number of lock stripes in the interning arena. Interning hashes the
+/// node to pick a stripe, so concurrent builders (e.g. the parallel
+/// batch workers) contend only 1/16th of the time.
+const SHARD_BITS: u32 = 4;
+const SHARDS: usize = 1 << SHARD_BITS;
+/// Per-stripe capacity: ids are `u32` with the stripe in the low bits.
+const MAX_PER_SHARD: usize = 1 << (32 - SHARD_BITS);
+
+struct Shard {
+    /// node → global id. Keys borrow the leaked nodes, so each node is
+    /// stored once.
+    ids: HashMap<&'static ExprNode, u32>,
+    /// local index (`id >> SHARD_BITS`) → node.
+    nodes: Vec<&'static ExprNode>,
+}
+
+struct ExprPool {
+    /// One fixed hasher instance so shard choice is a pure function of
+    /// the node for the life of the process.
+    hasher: RandomState,
+    shards: [Mutex<Shard>; SHARDS],
+}
+
+fn pool() -> &'static ExprPool {
+    static POOL: OnceLock<ExprPool> = OnceLock::new();
+    POOL.get_or_init(|| ExprPool {
+        hasher: RandomState::new(),
+        shards: std::array::from_fn(|_| {
+            Mutex::new(Shard {
+                ids: HashMap::new(),
+                nodes: Vec::new(),
+            })
+        }),
+    })
+}
+
+/// Interns `node`, returning its unique handle. Nodes are allocated
+/// once and leaked — the arena is append-only for the process life,
+/// which is what lets handles carry `&'static` node references with no
+/// per-read locking.
+///
+/// # Panics
+///
+/// Panics if a stripe of the arena exceeds 2²⁸ distinct nodes, or if a
+/// stripe mutex was poisoned by a panic on another thread.
+fn intern(node: ExprNode) -> Expr {
+    let pool = pool();
+    let shard_idx = (pool.hasher.hash_one(node) as usize) & (SHARDS - 1);
+    let mut shard = pool.shards[shard_idx]
+        .lock()
+        .expect("expression interner poisoned");
+    if let Some(&id) = shard.ids.get(&node) {
+        let node = shard.nodes[(id >> SHARD_BITS) as usize];
+        return Expr {
+            id: ExprId(id),
+            node,
+        };
+    }
+    let local = shard.nodes.len();
+    assert!(local < MAX_PER_SHARD, "expression arena overflow");
+    let id = ((local as u32) << SHARD_BITS) | shard_idx as u32;
+    let leaked: &'static ExprNode = Box::leak(Box::new(node));
+    shard.nodes.push(leaked);
+    shard.ids.insert(leaked, id);
+    Expr {
+        id: ExprId(id),
+        node: leaked,
+    }
+}
+
+/// Total number of distinct expressions interned so far in this process
+/// — the arena footprint behind every live [`Expr`]. Monotone;
+/// observable via `nka --stats` as a cache-effectiveness signal.
+#[must_use]
+pub fn interned_expr_count() -> usize {
+    pool()
+        .shards
+        .iter()
+        .map(|s| s.lock().expect("expression interner poisoned").nodes.len())
+        .sum()
+}
 
 impl Expr {
     /// The constant `0`.
     pub fn zero() -> Expr {
-        Expr(Rc::new(ExprNode::Zero))
+        static ZERO: OnceLock<Expr> = OnceLock::new();
+        *ZERO.get_or_init(|| intern(ExprNode::Zero))
     }
 
     /// The constant `1`.
     pub fn one() -> Expr {
-        Expr(Rc::new(ExprNode::One))
+        static ONE: OnceLock<Expr> = OnceLock::new();
+        *ONE.get_or_init(|| intern(ExprNode::One))
     }
 
     /// An atom for the given symbol.
     pub fn atom(sym: Symbol) -> Expr {
-        Expr(Rc::new(ExprNode::Atom(sym)))
+        intern(ExprNode::Atom(sym))
     }
 
     /// Convenience: intern `name` and wrap it as an atom.
@@ -70,17 +220,17 @@ impl Expr {
 
     /// The sum `self + rhs` (no simplification; see [`Expr::simplified`]).
     pub fn add(&self, rhs: &Expr) -> Expr {
-        Expr(Rc::new(ExprNode::Add(self.clone(), rhs.clone())))
+        intern(ExprNode::Add(*self, *rhs))
     }
 
     /// The product `self · rhs`.
     pub fn mul(&self, rhs: &Expr) -> Expr {
-        Expr(Rc::new(ExprNode::Mul(self.clone(), rhs.clone())))
+        intern(ExprNode::Mul(*self, *rhs))
     }
 
     /// The star `self*`.
     pub fn star(&self) -> Expr {
-        Expr(Rc::new(ExprNode::Star(self.clone())))
+        intern(ExprNode::Star(*self))
     }
 
     /// Left-associated sum of `terms`; `0` for an empty iterator.
@@ -101,62 +251,148 @@ impl Expr {
         }
     }
 
-    /// A view of the root node.
+    /// The interned identity of this expression. Equal ids ⇔ equal
+    /// (α-identical) terms; see [`ExprId`].
+    #[must_use]
+    pub fn id(&self) -> ExprId {
+        self.id
+    }
+
+    /// Resolves an id back to its expression, if one was interned under
+    /// it in this process.
+    #[must_use]
+    pub fn from_id(id: ExprId) -> Option<Expr> {
+        let shard = pool().shards[(id.0 as usize) & (SHARDS - 1)]
+            .lock()
+            .expect("expression interner poisoned");
+        shard
+            .nodes
+            .get((id.0 >> SHARD_BITS) as usize)
+            .map(|&node| Expr { id, node })
+    }
+
+    /// A view of the root node. O(1) — the handle carries the node
+    /// reference; no arena lock is taken.
     pub fn node(&self) -> &ExprNode {
-        &self.0
+        self.node
     }
 
-    /// Number of nodes in the tree.
+    /// Number of nodes in the expression read as a *tree* (shared
+    /// subterms counted with multiplicity, saturating at `usize::MAX`).
+    ///
+    /// Computed by a memoized walk over the interned DAG, so deeply
+    /// shared expressions (whose tree reading is exponentially larger
+    /// than their arena footprint) still cost linear time.
     pub fn size(&self) -> usize {
+        fn go(e: &Expr, memo: &mut HashMap<ExprId, usize>) -> usize {
+            if let Some(&n) = memo.get(&e.id) {
+                return n;
+            }
+            let n = match e.node() {
+                ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => 1,
+                ExprNode::Add(l, r) | ExprNode::Mul(l, r) => 1usize
+                    .saturating_add(go(l, memo))
+                    .saturating_add(go(r, memo)),
+                ExprNode::Star(e) => 1usize.saturating_add(go(e, memo)),
+            };
+            memo.insert(e.id, n);
+            n
+        }
+        go(self, &mut HashMap::new())
+    }
+
+    /// Number of *distinct* interned subterms of this expression
+    /// (itself included) — its true arena footprint, as opposed to the
+    /// tree reading of [`Expr::size`]. The gap between the two is the
+    /// sharing the hash-consing arena recovered.
+    pub fn subterm_count(&self) -> usize {
+        let mut seen = HashSet::new();
+        self.collect_subterm_ids(&mut seen);
+        seen.len()
+    }
+
+    /// Inserts the ids of all distinct subterms (self included) into
+    /// `out`. Exposed so callers can take unions across several
+    /// expressions (e.g. per-query footprint accounting in the API).
+    pub fn collect_subterm_ids(&self, out: &mut HashSet<ExprId>) {
+        if !out.insert(self.id) {
+            return;
+        }
         match self.node() {
-            ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => 1,
-            ExprNode::Add(l, r) | ExprNode::Mul(l, r) => 1 + l.size() + r.size(),
-            ExprNode::Star(e) => 1 + e.size(),
+            ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => {}
+            ExprNode::Add(l, r) | ExprNode::Mul(l, r) => {
+                l.collect_subterm_ids(out);
+                r.collect_subterm_ids(out);
+            }
+            ExprNode::Star(e) => e.collect_subterm_ids(out),
         }
     }
 
-    /// Star-nesting depth (0 for star-free expressions).
+    /// Star-nesting depth (0 for star-free expressions). Memoized over
+    /// the interned DAG like [`Expr::size`].
     pub fn star_height(&self) -> usize {
-        match self.node() {
-            ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => 0,
-            ExprNode::Add(l, r) | ExprNode::Mul(l, r) => l.star_height().max(r.star_height()),
-            ExprNode::Star(e) => 1 + e.star_height(),
+        fn go(e: &Expr, memo: &mut HashMap<ExprId, usize>) -> usize {
+            if let Some(&n) = memo.get(&e.id) {
+                return n;
+            }
+            let n = match e.node() {
+                ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => 0,
+                ExprNode::Add(l, r) | ExprNode::Mul(l, r) => go(l, memo).max(go(r, memo)),
+                ExprNode::Star(e) => 1 + go(e, memo),
+            };
+            memo.insert(e.id, n);
+            n
         }
+        go(self, &mut HashMap::new())
     }
 
     /// The set of atoms occurring in the expression.
     pub fn atoms(&self) -> BTreeSet<Symbol> {
         let mut out = BTreeSet::new();
-        self.collect_atoms(&mut out);
+        let mut seen = HashSet::new();
+        self.collect_atoms(&mut out, &mut seen);
         out
     }
 
-    fn collect_atoms(&self, out: &mut BTreeSet<Symbol>) {
+    fn collect_atoms(&self, out: &mut BTreeSet<Symbol>, seen: &mut HashSet<ExprId>) {
+        if !seen.insert(self.id) {
+            return;
+        }
         match self.node() {
             ExprNode::Zero | ExprNode::One => {}
             ExprNode::Atom(s) => {
                 out.insert(*s);
             }
             ExprNode::Add(l, r) | ExprNode::Mul(l, r) => {
-                l.collect_atoms(out);
-                r.collect_atoms(out);
+                l.collect_atoms(out, seen);
+                r.collect_atoms(out, seen);
             }
-            ExprNode::Star(e) => e.collect_atoms(out),
+            ExprNode::Star(e) => e.collect_atoms(out, seen),
         }
     }
 
     /// Substitutes expressions for atoms (simultaneous substitution).
     ///
     /// Atoms not in `map` are left unchanged. This is the syntactic engine
-    /// behind axiom-schema instantiation in `nka-core`.
+    /// behind axiom-schema instantiation in `nka-core`. Memoized per
+    /// distinct subterm, so substitution into a heavily shared
+    /// expression is linear in its arena footprint.
     pub fn subst_atoms(&self, map: &HashMap<Symbol, Expr>) -> Expr {
-        match self.node() {
-            ExprNode::Zero | ExprNode::One => self.clone(),
-            ExprNode::Atom(s) => map.get(s).cloned().unwrap_or_else(|| self.clone()),
-            ExprNode::Add(l, r) => l.subst_atoms(map).add(&r.subst_atoms(map)),
-            ExprNode::Mul(l, r) => l.subst_atoms(map).mul(&r.subst_atoms(map)),
-            ExprNode::Star(e) => e.subst_atoms(map).star(),
+        fn go(e: &Expr, map: &HashMap<Symbol, Expr>, memo: &mut HashMap<ExprId, Expr>) -> Expr {
+            if let Some(&done) = memo.get(&e.id()) {
+                return done;
+            }
+            let out = match e.node() {
+                ExprNode::Zero | ExprNode::One => *e,
+                ExprNode::Atom(s) => map.get(s).copied().unwrap_or(*e),
+                ExprNode::Add(l, r) => go(l, map, memo).add(&go(r, map, memo)),
+                ExprNode::Mul(l, r) => go(l, map, memo).mul(&go(r, map, memo)),
+                ExprNode::Star(inner) => go(inner, map, memo).star(),
+            };
+            memo.insert(e.id(), out);
+            out
         }
+        go(self, map, &mut HashMap::new())
     }
 
     /// Whether the root is the constant `0`.
@@ -172,41 +408,49 @@ impl Expr {
     /// A lightly simplified copy using only *sound* unit laws of NKA
     /// (`e+0 = e`, `e·1 = e`, `e·0 = 0`, `0* = 1`): the result is provably
     /// equal to the input in NKA. Note `e + e` is **not** collapsed — NKA
-    /// has no idempotence.
+    /// has no idempotence. Memoized per distinct subterm.
     pub fn simplified(&self) -> Expr {
-        match self.node() {
-            ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => self.clone(),
-            ExprNode::Add(l, r) => {
-                let (l, r) = (l.simplified(), r.simplified());
-                if l.is_zero() {
-                    r
-                } else if r.is_zero() {
-                    l
-                } else {
-                    l.add(&r)
-                }
+        fn go(e: &Expr, memo: &mut HashMap<ExprId, Expr>) -> Expr {
+            if let Some(&done) = memo.get(&e.id()) {
+                return done;
             }
-            ExprNode::Mul(l, r) => {
-                let (l, r) = (l.simplified(), r.simplified());
-                if l.is_zero() || r.is_zero() {
-                    Expr::zero()
-                } else if l.is_one() {
-                    r
-                } else if r.is_one() {
-                    l
-                } else {
-                    l.mul(&r)
+            let out = match e.node() {
+                ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => *e,
+                ExprNode::Add(l, r) => {
+                    let (l, r) = (go(l, memo), go(r, memo));
+                    if l.is_zero() {
+                        r
+                    } else if r.is_zero() {
+                        l
+                    } else {
+                        l.add(&r)
+                    }
                 }
-            }
-            ExprNode::Star(e) => {
-                let e = e.simplified();
-                if e.is_zero() {
-                    Expr::one()
-                } else {
-                    e.star()
+                ExprNode::Mul(l, r) => {
+                    let (l, r) = (go(l, memo), go(r, memo));
+                    if l.is_zero() || r.is_zero() {
+                        Expr::zero()
+                    } else if l.is_one() {
+                        r
+                    } else if r.is_one() {
+                        l
+                    } else {
+                        l.mul(&r)
+                    }
                 }
-            }
+                ExprNode::Star(inner) => {
+                    let inner = go(inner, memo);
+                    if inner.is_zero() {
+                        Expr::one()
+                    } else {
+                        inner.star()
+                    }
+                }
+            };
+            memo.insert(e.id(), out);
+            out
         }
+        go(self, &mut HashMap::new())
     }
 
     /// Iterates over all subterm positions in pre-order, calling `f` with
@@ -253,7 +497,7 @@ impl Expr {
     /// expression; `None` if the path is invalid.
     pub fn replace_at(&self, path: &[usize], replacement: &Expr) -> Option<Expr> {
         if path.is_empty() {
-            return Some(replacement.clone());
+            return Some(*replacement);
         }
         let (head, rest) = (path[0], &path[1..]);
         Some(match (self.node(), head) {
@@ -285,6 +529,16 @@ impl From<Symbol> for Expr {
     fn from(sym: Symbol) -> Expr {
         Expr::atom(sym)
     }
+}
+
+/// Compile-time proof of the API v2 thread-safety contract: handles into
+/// the global arena move and share across threads.
+#[allow(dead_code)]
+fn _static_assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Expr>();
+    check::<ExprId>();
+    check::<ExprNode>();
 }
 
 /// Precedence levels for printing: `+` < `·` < `*`/atoms.
@@ -394,12 +648,51 @@ mod tests {
     }
 
     #[test]
+    fn hash_consing_dedupes_equal_structure() {
+        let e1: Expr = "(p q)* + r*".parse().unwrap();
+        let e2 = &(&a("p") * &a("q")).star() + &a("r").star();
+        assert_eq!(e1, e2);
+        assert_eq!(e1.id(), e2.id());
+        // Distinct structure, distinct id.
+        let e3: Expr = "(q p)* + r*".parse().unwrap();
+        assert_ne!(e1.id(), e3.id());
+        // Handles resolve back through the arena.
+        assert_eq!(Expr::from_id(e1.id()), Some(e1));
+        assert!(interned_expr_count() >= e1.subterm_count());
+    }
+
+    #[test]
+    fn constants_are_singletons() {
+        assert_eq!(Expr::zero().id(), Expr::zero().id());
+        assert_eq!(Expr::one().id(), Expr::one().id());
+        assert_ne!(Expr::zero().id(), Expr::one().id());
+        assert_eq!(Expr::zero(), "0".parse().unwrap());
+        assert_eq!(Expr::one(), "1".parse().unwrap());
+    }
+
+    #[test]
     fn size_and_star_height() {
         let e: Expr = "(p q)* + r*".parse().unwrap();
         assert_eq!(e.size(), 7);
         assert_eq!(e.star_height(), 1);
         let nested: Expr = "((p*)* q)*".parse().unwrap();
         assert_eq!(nested.star_height(), 3);
+    }
+
+    #[test]
+    fn subterm_count_sees_through_sharing() {
+        // p + p: three tree nodes, two distinct subterms.
+        let pp: Expr = "p + p".parse().unwrap();
+        assert_eq!(pp.size(), 3);
+        assert_eq!(pp.subterm_count(), 2);
+        // Doubling via self-multiplication: tree size grows
+        // exponentially, footprint linearly.
+        let mut e = a("x");
+        for _ in 0..20 {
+            e = e.mul(&e);
+        }
+        assert_eq!(e.size(), (1 << 21) - 1);
+        assert_eq!(e.subterm_count(), 21);
     }
 
     #[test]
@@ -464,5 +757,20 @@ mod tests {
         assert_eq!(e.to_string(), "x + y + z");
         let m = Expr::product([a("x"), a("y"), a("z")]);
         assert_eq!(m.to_string(), "x y z");
+    }
+
+    #[test]
+    fn interning_is_thread_safe() {
+        // Concurrent builders of the same terms agree on handles.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let e: Expr = "(m0 p)* m1 + (q r)*".parse().unwrap();
+                    e.id()
+                })
+            })
+            .collect();
+        let ids: Vec<ExprId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
     }
 }

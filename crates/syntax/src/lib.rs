@@ -6,11 +6,12 @@
 //! e ::= 0 | 1 | a | e₁ + e₂ | e₁ · e₂ | e₁*        (a ∈ Σ)
 //! ```
 //!
-//! This crate provides interned [`Symbol`]s, the reference-counted [`Expr`]
-//! tree, a parser (multiplication by juxtaposition, as written in the
-//! paper), a precedence-aware pretty-printer, [`Word`]s over Σ, and a random
-//! expression generator used by the test suites and benchmarks of the
-//! downstream crates.
+//! This crate provides interned [`Symbol`]s, the hash-consed [`Expr`]
+//! handle over a process-global arena (API v2: `Copy` handles with O(1)
+//! equality/hashing, identified by [`ExprId`]), a parser (multiplication
+//! by juxtaposition, as written in the paper), a precedence-aware
+//! pretty-printer, [`Word`]s over Σ, and a random expression generator
+//! used by the test suites and benchmarks of the downstream crates.
 //!
 //! # Examples
 //!
@@ -30,7 +31,7 @@ mod parser;
 mod symbol;
 mod word;
 
-pub use expr::{Expr, ExprNode};
+pub use expr::{interned_expr_count, Expr, ExprId, ExprNode};
 pub use generator::{random_expr, ExprGenConfig};
 pub use parser::ParseExprError;
 pub use symbol::Symbol;

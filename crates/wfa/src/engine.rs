@@ -19,6 +19,24 @@
 //! [`DecideError`] and leaves the caches intact so a caller may retry with
 //! a larger budget via a fresh engine.
 //!
+//! # Cache keying (Expr API v2)
+//!
+//! Every cache is keyed on [`ExprId`] — the hash-consed identity of an
+//! expression — plus a per-engine interned alphabet id for the DFA maps,
+//! so keys are small `Copy` integers and every probe is **allocation-
+//! free**. (Regression note: the v1 engine keyed on whole `Expr` trees
+//! and `Vec<Symbol>` alphabets, so each `infinity_dfa`/`support_dfa`
+//! probe built an owned `(e.clone(), alphabet.to_vec())` key and the
+//! symmetric verdict lookup cloned both expressions under *both*
+//! orientations per read. With interned ids the symmetric caches key on
+//! the normalized pair `(min(id₁, id₂), max(id₁, id₂))` and probe once.
+//! Keep it that way — cache probes are the warm-path inner loop.)
+//!
+//! The engine is `Send + Sync` (statically asserted below): compiled
+//! automata are held behind `Arc` and expressions are arena handles, so
+//! whole engines — and the `nka_core::api::Session`s wrapping them —
+//! can move across worker threads for parallel batch sharding.
+//!
 //! # Examples
 //!
 //! ```
@@ -41,10 +59,9 @@ use crate::nfa::Dfa;
 use crate::thompson::thompson;
 use crate::zeroness::{is_zero_series, is_zero_series_f64, restrict_to_language};
 use nka_semiring::{BigRational, ExtNat};
-use nka_syntax::{Expr, Symbol};
-use std::cell::OnceCell;
+use nka_syntax::{Expr, ExprId, Symbol};
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
 
 /// An expression compiled down to its ε-free weighted automaton. The
 /// rational (finite-part) embedding is computed lazily: KA queries and NKA
@@ -52,7 +69,7 @@ use std::rc::Rc;
 #[derive(Debug)]
 struct Compiled {
     wfa: Wfa<ExtNat>,
-    rational: OnceCell<Wfa<BigRational>>,
+    rational: OnceLock<Wfa<BigRational>>,
 }
 
 impl Compiled {
@@ -60,6 +77,10 @@ impl Compiled {
         self.rational.get_or_init(|| self.wfa.rational_part())
     }
 }
+
+/// A per-engine dense id for an interned (sorted) alphabet; pairs with
+/// [`ExprId`] to form the `Copy` DFA-cache keys.
+type AlphabetId = u32;
 
 /// Cache-effectiveness counters, exposed for tests, logging, and the CLI's
 /// `--stats` output. All counters are cumulative over the engine's life.
@@ -98,20 +119,52 @@ impl DeciderStats {
             dfa_misses: self.dfa_misses.saturating_sub(earlier.dfa_misses),
         }
     }
+
+    /// The counter-wise sum `self + other` (saturating) — for
+    /// aggregating per-query deltas or per-worker totals, e.g. across
+    /// the workers of a parallel batch.
+    #[must_use]
+    pub fn merged(&self, other: &DeciderStats) -> DeciderStats {
+        DeciderStats {
+            nka_queries: self.nka_queries.saturating_add(other.nka_queries),
+            ka_queries: self.ka_queries.saturating_add(other.ka_queries),
+            answer_hits: self.answer_hits.saturating_add(other.answer_hits),
+            compile_hits: self.compile_hits.saturating_add(other.compile_hits),
+            compile_misses: self.compile_misses.saturating_add(other.compile_misses),
+            dfa_hits: self.dfa_hits.saturating_add(other.dfa_hits),
+            dfa_misses: self.dfa_misses.saturating_add(other.dfa_misses),
+        }
+    }
 }
 
 /// The memoizing, budgeted decision engine. See the [module docs](self).
 #[derive(Debug, Default)]
 pub struct Decider {
     opts: DecideOptions,
-    exprs: HashMap<Expr, Rc<Compiled>>,
-    /// Determinized ∞-support DFAs, keyed by (expression, sorted alphabet).
-    infinity_dfas: HashMap<(Expr, Vec<Symbol>), Rc<Dfa>>,
+    exprs: HashMap<ExprId, Arc<Compiled>>,
+    /// Sorted alphabets seen by this engine, interned to dense ids so
+    /// DFA-cache keys are `Copy` and probes never allocate. Probed via
+    /// `&[Symbol]` (the `Borrow` impl of `Box<[Symbol]>`).
+    alphabets: HashMap<Box<[Symbol]>, AlphabetId>,
+    /// Determinized ∞-support DFAs, keyed by (expression id, alphabet id).
+    infinity_dfas: HashMap<(ExprId, AlphabetId), Arc<Dfa>>,
     /// Determinized support DFAs (the KA side), same keying.
-    support_dfas: HashMap<(Expr, Vec<Symbol>), Rc<Dfa>>,
-    nka_verdicts: HashMap<(Expr, Expr), bool>,
-    ka_verdicts: HashMap<(Expr, Expr), bool>,
+    support_dfas: HashMap<(ExprId, AlphabetId), Arc<Dfa>>,
+    /// Verdict caches, keyed on the *normalized* unordered pair
+    /// `(min(id₁, id₂), max(id₁, id₂))` — one probe answers both
+    /// orientations of a symmetric query.
+    nka_verdicts: HashMap<(ExprId, ExprId), bool>,
+    ka_verdicts: HashMap<(ExprId, ExprId), bool>,
     stats: DeciderStats,
+}
+
+/// Compile-time proof that whole engines (caches included) move and
+/// share across threads — the contract the parallel batch path relies on.
+#[allow(dead_code)]
+fn _static_assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Decider>();
+    check::<DeciderStats>();
 }
 
 impl Decider {
@@ -162,7 +215,8 @@ impl Decider {
     /// intermediates did fit.
     pub fn decide(&mut self, e: &Expr, f: &Expr) -> Result<bool, DecideError> {
         self.stats.nka_queries += 1;
-        if let Some(hit) = lookup_symmetric(&self.nka_verdicts, e, f) {
+        let key = pair_key(e, f);
+        if let Some(&hit) = self.nka_verdicts.get(&key) {
             self.stats.answer_hits += 1;
             return Ok(hit);
         }
@@ -185,7 +239,7 @@ impl Decider {
                 is_zero_series(&restricted)
             }
         };
-        self.nka_verdicts.insert((e.clone(), f.clone()), verdict);
+        self.nka_verdicts.insert(key, verdict);
         Ok(verdict)
     }
 
@@ -197,7 +251,8 @@ impl Decider {
     /// Returns [`DecideError`] on subset-construction overflow.
     pub fn ka_equiv(&mut self, e: &Expr, f: &Expr) -> Result<bool, DecideError> {
         self.stats.ka_queries += 1;
-        if let Some(hit) = lookup_symmetric(&self.ka_verdicts, e, f) {
+        let key = pair_key(e, f);
+        if let Some(&hit) = self.ka_verdicts.get(&key) {
             self.stats.answer_hits += 1;
             return Ok(hit);
         }
@@ -205,7 +260,7 @@ impl Decider {
         let de = self.support_dfa(e, &alphabet)?;
         let df = self.support_dfa(f, &alphabet)?;
         let verdict = de.equivalent(&df);
-        self.ka_verdicts.insert((e.clone(), f.clone()), verdict);
+        self.ka_verdicts.insert(key, verdict);
         Ok(verdict)
     }
 
@@ -231,52 +286,63 @@ impl Decider {
     }
 
     /// The compiled ε-free automaton of `e`, memoized.
-    fn compile(&mut self, e: &Expr) -> Rc<Compiled> {
-        if let Some(hit) = self.exprs.get(e) {
+    fn compile(&mut self, e: &Expr) -> Arc<Compiled> {
+        if let Some(hit) = self.exprs.get(&e.id()) {
             self.stats.compile_hits += 1;
-            return Rc::clone(hit);
+            return Arc::clone(hit);
         }
         self.stats.compile_misses += 1;
         let wfa = thompson(e).eliminate_epsilon();
-        let compiled = Rc::new(Compiled {
+        let compiled = Arc::new(Compiled {
             wfa,
-            rational: OnceCell::new(),
+            rational: OnceLock::new(),
         });
-        self.exprs.insert(e.clone(), Rc::clone(&compiled));
+        self.exprs.insert(e.id(), Arc::clone(&compiled));
         compiled
     }
 
+    /// The dense id of `alphabet` in this engine's alphabet table. The
+    /// probe borrows the slice; only a first-seen alphabet is copied in.
+    fn alphabet_id(&mut self, alphabet: &[Symbol]) -> AlphabetId {
+        if let Some(&id) = self.alphabets.get(alphabet) {
+            return id;
+        }
+        let id = AlphabetId::try_from(self.alphabets.len()).expect("alphabet table overflow");
+        self.alphabets.insert(alphabet.into(), id);
+        id
+    }
+
     /// The determinized ∞-support of `e` over `alphabet`, memoized.
-    fn infinity_dfa(&mut self, e: &Expr, alphabet: &[Symbol]) -> Result<Rc<Dfa>, DecideError> {
-        let key = (e.clone(), alphabet.to_vec());
+    fn infinity_dfa(&mut self, e: &Expr, alphabet: &[Symbol]) -> Result<Arc<Dfa>, DecideError> {
+        let key = (e.id(), self.alphabet_id(alphabet));
         if let Some(hit) = self.infinity_dfas.get(&key) {
             self.stats.dfa_hits += 1;
-            return Ok(Rc::clone(hit));
+            return Ok(Arc::clone(hit));
         }
         let compiled = self.compile(e);
         self.stats.dfa_misses += 1;
-        let dfa = Rc::new(
+        let dfa = Arc::new(
             compiled
                 .wfa
                 .infinity_support()
                 .determinize(alphabet, self.opts.max_dfa_states)?,
         );
-        self.infinity_dfas.insert(key, Rc::clone(&dfa));
+        self.infinity_dfas.insert(key, Arc::clone(&dfa));
         Ok(dfa)
     }
 
     /// The determinized support of `e` over `alphabet`, memoized.
-    fn support_dfa(&mut self, e: &Expr, alphabet: &[Symbol]) -> Result<Rc<Dfa>, DecideError> {
-        let key = (e.clone(), alphabet.to_vec());
+    fn support_dfa(&mut self, e: &Expr, alphabet: &[Symbol]) -> Result<Arc<Dfa>, DecideError> {
+        let key = (e.id(), self.alphabet_id(alphabet));
         if let Some(hit) = self.support_dfas.get(&key) {
             self.stats.dfa_hits += 1;
-            return Ok(Rc::clone(hit));
+            return Ok(Arc::clone(hit));
         }
         let compiled = self.compile(e);
         self.stats.dfa_misses += 1;
         let dfa =
-            Rc::new(support_nfa(&compiled.wfa).determinize(alphabet, self.opts.max_dfa_states)?);
-        self.support_dfas.insert(key, Rc::clone(&dfa));
+            Arc::new(support_nfa(&compiled.wfa).determinize(alphabet, self.opts.max_dfa_states)?);
+        self.support_dfas.insert(key, Arc::clone(&dfa));
         Ok(dfa)
     }
 }
@@ -289,12 +355,12 @@ fn shared_alphabet(e: &Expr, f: &Expr) -> Vec<Symbol> {
     atoms.into_iter().collect()
 }
 
-/// Verdicts are symmetric, so probe the cache under both orientations.
-fn lookup_symmetric(cache: &HashMap<(Expr, Expr), bool>, e: &Expr, f: &Expr) -> Option<bool> {
-    cache
-        .get(&(e.clone(), f.clone()))
-        .or_else(|| cache.get(&(f.clone(), e.clone())))
-        .copied()
+/// Verdicts are symmetric; the cache key is the unordered pair of
+/// interned ids, normalized by the total order on [`ExprId`] so one
+/// allocation-free probe answers both orientations.
+fn pair_key(e: &Expr, f: &Expr) -> (ExprId, ExprId) {
+    let (a, b) = (e.id(), f.id());
+    (a.min(b), a.max(b))
 }
 
 #[cfg(test)]
@@ -417,7 +483,7 @@ mod tests {
         let x = e("(a + b)*");
         let pairs: Vec<(Expr, Expr)> = ["(a* b)* a*", "a* (b a*)*", "a* b*"]
             .iter()
-            .map(|r| (x.clone(), e(r)))
+            .map(|r| (x, e(r)))
             .collect();
         let verdicts = engine.decide_all(&pairs);
         assert_eq!(

@@ -16,10 +16,11 @@
 //! nka [--budget N] [--json] prove '<lhs>' '<rhs>' [hyp]…
 //!                                      search for a rewrite proof under
 //!                                      hypotheses of the form 'l = r'
-//! nka [--budget N] [--stats] [--json] batch [FILE]
+//! nka [--budget N] [--stats] [--json] [--jobs N] batch [FILE]
 //!                                      run a stream of queries (JSONL or
 //!                                      'e = f' per line; FILE or '-' =
-//!                                      stdin) on one warm engine
+//!                                      stdin) on one warm engine, or
+//!                                      sharded over N worker sessions
 //! nka [--budget N] [--stats] [--json] serve
 //!                                      line-oriented request/response
 //!                                      loop on stdin/stdout
@@ -27,8 +28,16 @@
 //! ```
 //!
 //! `--budget N` caps every subset construction at `N` DFA states
-//! (default 100 000) and `--stats` prints the engine's cache counters to
-//! stderr at exit. The wire format of `batch`/`serve` is documented in
+//! (default 100 000) and `--stats` prints the engine's cache counters,
+//! per-stream expression-size accounting, and the process-wide interner
+//! footprint to stderr at exit. `--jobs N` (batch only) shards the
+//! stream across `N` parallel worker sessions ([`run_batch_parallel`]);
+//! verdicts, output order, and exit codes are identical to `--jobs 1`.
+//! Note `--jobs` needs the whole work-list before sharding, so it reads
+//! the stream to EOF and buffers all responses (O(stream) memory, no
+//! output until the input closes) — keep the default `--jobs 1`, which
+//! streams line-by-line in O(1) memory, for live pipelines.
+//! The wire format of `batch`/`serve` is documented in
 //! [`nka_core::api::wire`].
 //!
 //! Exit codes: `0` the judgment holds / a proof was found / output was
@@ -49,8 +58,9 @@
 //! echo '(p q)* p = p (q p)*' | cargo run --bin nka -- batch --json
 //! ```
 
-use nka_core::api::{wire, ApiError, Query, Session, Verdict};
+use nka_core::api::{run_batch_parallel, wire, ApiError, Query, Session, SessionOptions, Verdict};
 use nka_core::Judgment;
+use nka_wfa::{DecideOptions, DeciderStats};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
@@ -74,17 +84,56 @@ const EXIT_NO: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_BUDGET: u8 = 3;
 
-const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] serve\n  nka encode-demo\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; batch: 0 all answered, 2 any malformed line,\nelse 3 any budget-exhausted query; serve: 0 at end of input";
+const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] [--jobs N] batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] serve\n  nka encode-demo\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n--jobs N shards a batch across N parallel worker sessions; verdicts,\noutput order, and exit codes are identical to --jobs 1.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; batch: 0 all answered, 2 any malformed line,\nelse 3 any budget-exhausted query; serve: 0 at end of input";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
     ExitCode::from(EXIT_USAGE)
 }
 
+/// What `--stats` reports at exit: engine counters plus the Expr API v2
+/// term-size accounting, from whichever sessions answered the stream.
+struct StatsReport {
+    stats: DeciderStats,
+    expr_nodes: u64,
+    expr_subterms: u64,
+}
+
+impl StatsReport {
+    fn of_session(session: &Session) -> StatsReport {
+        StatsReport {
+            stats: session.stats(),
+            expr_nodes: session.expr_nodes_seen(),
+            expr_subterms: session.expr_subterms_seen(),
+        }
+    }
+
+    fn print(&self) {
+        let s = &self.stats;
+        eprintln!(
+            "engine stats: {} NKA + {} KA queries, {} verdict hits, {} compiles ({} cached), {} determinizations ({} cached)",
+            s.nka_queries,
+            s.ka_queries,
+            s.answer_hits,
+            s.compile_misses,
+            s.compile_hits,
+            s.dfa_misses,
+            s.dfa_hits,
+        );
+        eprintln!(
+            "expr stats: {} tree nodes over {} distinct subterms queried; {} expressions interned process-wide",
+            self.expr_nodes,
+            self.expr_subterms,
+            nka_syntax::interned_expr_count(),
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let mut budget: usize = 100_000;
     let mut stats = false;
     let mut json = false;
+    let mut jobs: usize = 1;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -102,6 +151,19 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--jobs" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--jobs needs a value");
+                    return usage();
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => jobs = n,
+                    _ => {
+                        eprintln!("--jobs needs a positive integer, got {value:?}");
+                        return usage();
+                    }
+                }
+            }
             "--stats" => stats = true,
             "--json" => json = true,
             "--help" | "-h" => {
@@ -113,7 +175,15 @@ fn main() -> ExitCode {
         }
     }
 
+    if jobs > 1 && rest.first().map(String::as_str) != Some("batch") {
+        eprintln!("--jobs only applies to batch");
+        return usage();
+    }
+
     let mut session = Session::with_budget(budget);
+    // The parallel batch path runs on worker sessions, not `session`;
+    // it reports its aggregated stats here.
+    let mut report: Option<StatsReport> = None;
     let code = match rest.first().map(String::as_str) {
         Some("decide") if rest.len() == 3 => {
             one_shot(&mut session, json, Query::nka_eq(&rest[1], &rest[2]))
@@ -139,25 +209,24 @@ fn main() -> ExitCode {
             json,
             Query::prove(&rest[1], &rest[2], &rest[3..]),
         ),
-        Some("batch") if rest.len() <= 2 => {
+        Some("batch") if rest.len() <= 2 && jobs <= 1 => {
             batch(&mut session, json, rest.get(1).map(String::as_str))
         }
+        Some("batch") if rest.len() <= 2 => batch_parallel(
+            budget,
+            json,
+            jobs,
+            rest.get(1).map(String::as_str),
+            &mut report,
+        ),
         Some("serve") if rest.len() == 1 => serve(&mut session, json),
         Some("encode-demo") => encode_demo(),
         _ => return usage(),
     };
     if stats {
-        let s = session.stats();
-        eprintln!(
-            "engine stats: {} NKA + {} KA queries, {} verdict hits, {} compiles ({} cached), {} determinizations ({} cached)",
-            s.nka_queries,
-            s.ka_queries,
-            s.answer_hits,
-            s.compile_misses,
-            s.compile_hits,
-            s.dfa_misses,
-            s.dfa_hits,
-        );
+        report
+            .unwrap_or_else(|| StatsReport::of_session(&session))
+            .print();
     }
     code
 }
@@ -202,10 +271,7 @@ fn one_shot(session: &mut Session, json: bool, query: Result<Query, ApiError>) -
         }
         // The full proof rendering stays a human-surface extra.
         if let (Query::Prove { hyps, .. }, Some(proof)) = (&query, &resp.proof) {
-            let judgments: Vec<Judgment> = hyps
-                .iter()
-                .map(|(l, r)| Judgment::Eq(l.clone(), r.clone()))
-                .collect();
+            let judgments: Vec<Judgment> = hyps.iter().map(|(l, r)| Judgment::Eq(*l, *r)).collect();
             match proof.check(&judgments) {
                 Ok(_) => match nka_core::render::render(proof, &judgments) {
                     Ok(text) => out_raw!("\n{text}"),
@@ -221,26 +287,41 @@ fn one_shot(session: &mut Session, json: bool, query: Result<Query, ApiError>) -
     ExitCode::from(verdict_exit(&resp.verdict))
 }
 
+/// Emits one answered query as an output line. The sequential and
+/// parallel batch paths are contractually required to produce identical
+/// output (the CI `--jobs 4` diff enforces it), so both go through
+/// here.
+fn emit_response(query: &Query, resp: &nka_core::api::Response, json: bool) {
+    if json {
+        out!("{}", wire::encode_response(query, resp));
+    } else {
+        out!("{}", wire::encode_response_text(query, resp));
+    }
+}
+
+/// Emits one request-level error: an output line plus the caret
+/// rendering on stderr. Shared by both batch paths for the same
+/// reason as [`emit_response`].
+fn emit_error(err: &ApiError, json: bool) {
+    if json {
+        out!("{}", wire::encode_error(err));
+    } else {
+        out!("error: {err}");
+    }
+    eprintln!("{}", err.render());
+}
+
 /// Handles one wire line for `batch`/`serve`; returns its exit class.
 fn run_line(session: &mut Session, json: bool, line: &str) -> Option<u8> {
     match wire::decode_request(line) {
         Ok(None) => None, // blank / comment
         Ok(Some(query)) => {
             let resp = session.run(&query);
-            if json {
-                out!("{}", wire::encode_response(&query, &resp));
-            } else {
-                out!("{}", wire::encode_response_text(&query, &resp));
-            }
+            emit_response(&query, &resp, json);
             Some(verdict_exit(&resp.verdict))
         }
         Err(err) => {
-            if json {
-                out!("{}", wire::encode_error(&err));
-            } else {
-                out!("error: {err}");
-            }
-            eprintln!("{}", err.render());
+            emit_error(&err, json);
             Some(EXIT_USAGE)
         }
     }
@@ -285,6 +366,104 @@ fn batch(session: &mut Session, json: bool, source: Option<&str>) -> ExitCode {
             }
             code = fold_exit(code, line_code);
         }
+    }
+    ExitCode::from(code)
+}
+
+/// One decoded input line of a parallel batch: skippable, an index into
+/// the query/response vectors, or a malformed line kept in place so
+/// output order and exit codes match the sequential path.
+enum BatchLine {
+    Skip,
+    Query(usize),
+    Error(usize, ApiError),
+}
+
+/// `nka batch --jobs N`: decode the whole stream up front, shard the
+/// well-formed queries across `N` worker sessions
+/// ([`run_batch_parallel`]), then emit one output line per input line
+/// in input order — byte-for-byte the same verdicts and exit code as
+/// the sequential path, with only the per-response `stats`/`micros`
+/// fields reflecting the sharded execution. A mid-stream read error
+/// matches the sequential path too: the lines read before it are still
+/// answered and printed, then the error reports and the exit is `2`.
+fn batch_parallel(
+    budget: usize,
+    json: bool,
+    jobs: usize,
+    source: Option<&str>,
+    report: &mut Option<StatsReport>,
+) -> ExitCode {
+    let reader: Box<dyn BufRead> = match source {
+        None | Some("-") => Box::new(std::io::stdin().lock()),
+        Some(path) => match std::fs::File::open(path) {
+            Ok(file) => Box::new(std::io::BufReader::new(file)),
+            Err(err) => {
+                eprintln!("cannot open {path:?}: {err}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+    };
+    let mut lines: Vec<BatchLine> = Vec::new();
+    let mut queries: Vec<Query> = Vec::new();
+    let mut read_error: Option<String> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = match line {
+            Ok(line) => line,
+            Err(err) => {
+                // Like the sequential path, the lines already read are
+                // still answered; the error is reported after them.
+                read_error = Some(format!("read error on line {}: {err}", lineno + 1));
+                break;
+            }
+        };
+        let decoded = match wire::decode_request(&line) {
+            Ok(None) => BatchLine::Skip,
+            Ok(Some(query)) => {
+                queries.push(query);
+                BatchLine::Query(queries.len() - 1)
+            }
+            Err(err) => BatchLine::Error(lineno + 1, err),
+        };
+        lines.push(decoded);
+    }
+
+    let opts = SessionOptions {
+        decide: DecideOptions {
+            max_dfa_states: budget,
+            ..DecideOptions::default()
+        },
+        ..SessionOptions::default()
+    };
+    let responses = run_batch_parallel(&queries, &opts, jobs);
+    let mut agg = StatsReport {
+        stats: DeciderStats::default(),
+        expr_nodes: 0,
+        expr_subterms: 0,
+    };
+    let mut code = EXIT_OK;
+    for decoded in &lines {
+        match decoded {
+            BatchLine::Skip => {}
+            BatchLine::Query(i) => {
+                let (query, resp) = (&queries[*i], &responses[*i]);
+                emit_response(query, resp, json);
+                agg.stats = agg.stats.merged(&resp.stats_delta);
+                agg.expr_nodes += resp.expr_nodes;
+                agg.expr_subterms += resp.expr_subterms;
+                code = fold_exit(code, verdict_exit(&resp.verdict));
+            }
+            BatchLine::Error(lineno, err) => {
+                emit_error(err, json);
+                eprintln!("  (line {lineno})");
+                code = fold_exit(code, EXIT_USAGE);
+            }
+        }
+    }
+    *report = Some(agg);
+    if let Some(msg) = read_error {
+        eprintln!("{msg}");
+        return ExitCode::from(EXIT_USAGE);
     }
     ExitCode::from(code)
 }

@@ -181,6 +181,82 @@ fn nka_batch_exit_codes_classify_the_stream() {
     assert!(String::from_utf8_lossy(&output.stdout).contains("budget_exhausted"));
 }
 
+/// Strips the volatile per-response fields (`stats`, `micros`) from a
+/// JSONL line, leaving the stable projection — query fields, verdict,
+/// verdict payload, and term-size accounting — that must be identical
+/// across execution strategies.
+fn stable_projection(line: &str) -> Vec<(String, String)> {
+    let Json::Obj(fields) = Json::parse(line).expect("valid JSON line") else {
+        panic!("response line is not an object: {line}");
+    };
+    fields
+        .into_iter()
+        .filter(|(k, _)| k != "stats" && k != "micros")
+        .map(|(k, v)| (k, v.to_string()))
+        .collect()
+}
+
+#[test]
+fn nka_batch_jobs_4_matches_sequential_output() {
+    let sequential = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["batch", "--json", BATCH_FILE])
+        .output()
+        .expect("nka binary runs");
+    let parallel = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["--jobs", "4", "--stats", "batch", "--json", BATCH_FILE])
+        .output()
+        .expect("nka binary runs");
+    assert_eq!(sequential.status.code(), Some(0));
+    assert_eq!(parallel.status.code(), Some(0));
+    let seq = String::from_utf8(sequential.stdout).unwrap();
+    let par = String::from_utf8(parallel.stdout).unwrap();
+    assert_eq!(seq.lines().count(), 50);
+    assert_eq!(par.lines().count(), 50);
+    for (i, (s, p)) in seq.lines().zip(par.lines()).enumerate() {
+        assert_eq!(
+            stable_projection(s),
+            stable_projection(p),
+            "line {} diverged between --jobs 1 and --jobs 4",
+            i + 1
+        );
+    }
+    // --stats aggregates across the workers.
+    let stderr = String::from_utf8_lossy(&parallel.stderr);
+    assert!(stderr.contains("engine stats"), "stderr: {stderr}");
+    assert!(stderr.contains("expr stats"), "stderr: {stderr}");
+}
+
+#[test]
+fn nka_batch_jobs_preserves_exit_codes_and_error_lines() {
+    // Same malformed stream as the sequential exit-code test, sharded:
+    // classification and line-per-line output must not change.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["--jobs", "3", "batch", "--json"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"p = p\nnot a request\np + p = p\n")
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(stdout.lines().count(), 3, "{stdout}");
+    assert!(stdout.contains("\"error\""), "{stdout}");
+
+    // --jobs outside batch is a usage error.
+    let output = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["--jobs", "2", "decide", "p", "p"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+}
+
 #[test]
 fn nka_serve_answers_line_per_line() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_nka"))

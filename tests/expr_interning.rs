@@ -1,0 +1,184 @@
+//! Expr API v2 contract tests: interned (handle) equality coincides with
+//! structural equality, expressions survive parser round-trips, sharing
+//! accounting is consistent, and the thread-safety guarantees hold
+//! statically for the whole decision stack.
+
+use nka_quantum::syntax::{
+    interned_expr_count, random_expr, Expr, ExprGenConfig, ExprId, ExprNode, Symbol,
+};
+use nka_quantum::wfa::Decider;
+use nka_quantum::{Query, Response, Session};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// The static heart of the API v2 redesign: everything from a bare
+/// expression handle to a whole warm session crosses threads. This
+/// compiles only if the bounds hold.
+#[test]
+fn expr_session_and_decider_are_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Expr>();
+    assert_send_sync::<ExprId>();
+    assert_send_sync::<ExprNode>();
+    assert_send_sync::<Decider>();
+    assert_send_sync::<Session>();
+    assert_send_sync::<Query>();
+    assert_send_sync::<Response>();
+}
+
+/// Structural equality computed the pre-v2 way — by walking both trees —
+/// as the independent oracle for handle equality.
+fn struct_eq(a: &Expr, b: &Expr) -> bool {
+    match (a.node(), b.node()) {
+        (ExprNode::Zero, ExprNode::Zero) | (ExprNode::One, ExprNode::One) => true,
+        (ExprNode::Atom(x), ExprNode::Atom(y)) => x == y,
+        (ExprNode::Add(al, ar), ExprNode::Add(bl, br))
+        | (ExprNode::Mul(al, ar), ExprNode::Mul(bl, br)) => struct_eq(al, bl) && struct_eq(ar, br),
+        (ExprNode::Star(x), ExprNode::Star(y)) => struct_eq(x, y),
+        _ => false,
+    }
+}
+
+/// Rebuilds an expression node-by-node through the public constructors,
+/// without consulting the original's identity — if hash-consing works,
+/// the rebuild lands on the same handle.
+fn rebuild(e: &Expr) -> Expr {
+    match e.node() {
+        ExprNode::Zero => Expr::zero(),
+        ExprNode::One => Expr::one(),
+        ExprNode::Atom(s) => Expr::atom(*s),
+        ExprNode::Add(l, r) => rebuild(l).add(&rebuild(r)),
+        ExprNode::Mul(l, r) => rebuild(l).mul(&rebuild(r)),
+        ExprNode::Star(inner) => rebuild(inner).star(),
+    }
+}
+
+fn gen_config() -> ExprGenConfig {
+    ExprGenConfig::new(vec![
+        Symbol::intern("a"),
+        Symbol::intern("b"),
+        Symbol::intern("c"),
+    ])
+    .with_target_size(14)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Interned equality ⇔ structural equality, on random generator
+    /// pairs (mostly unequal) and on independent rebuilds (always
+    /// equal).
+    #[test]
+    fn interned_equality_is_structural_equality(seed in any::<u64>()) {
+        let config = gen_config();
+        let mut state = seed | 1;
+        let e = random_expr(&config, &mut state);
+        let f = random_expr(&config, &mut state);
+        prop_assert_eq!(e == f, struct_eq(&e, &f));
+        prop_assert_eq!(e.id() == f.id(), struct_eq(&e, &f));
+        // An independent reconstruction is the same handle.
+        let r = rebuild(&e);
+        prop_assert!(struct_eq(&e, &r));
+        prop_assert_eq!(e.id(), r.id());
+    }
+
+    /// Display → parse lands on the same interned handle.
+    #[test]
+    fn parser_roundtrip_preserves_identity(seed in any::<u64>()) {
+        let config = gen_config();
+        let mut state = seed | 1;
+        let e = random_expr(&config, &mut state);
+        let reparsed: Expr = e.to_string().parse().unwrap();
+        prop_assert_eq!(e, reparsed);
+        prop_assert_eq!(e.id(), reparsed.id());
+    }
+
+    /// Size accounting: the tree reading dominates the arena footprint,
+    /// both are positive, and `from_id` resolves every subterm.
+    #[test]
+    fn sharing_accounting_is_consistent(seed in any::<u64>()) {
+        let config = gen_config();
+        let mut state = seed | 1;
+        let e = random_expr(&config, &mut state);
+        prop_assert!(e.subterm_count() >= 1);
+        prop_assert!(e.size() >= e.subterm_count());
+        prop_assert!(interned_expr_count() >= e.subterm_count());
+        let mut ids = std::collections::HashSet::new();
+        e.collect_subterm_ids(&mut ids);
+        prop_assert_eq!(ids.len(), e.subterm_count());
+        for id in ids {
+            let sub = Expr::from_id(id).expect("subterm resolves");
+            prop_assert_eq!(sub.id(), id);
+        }
+    }
+
+    /// Substitution respects interning: substituting through shared
+    /// structure agrees with the naive tree-walk result.
+    #[test]
+    fn substitution_agrees_with_tree_semantics(seed in any::<u64>()) {
+        let config = gen_config();
+        let mut state = seed | 1;
+        let e = random_expr(&config, &mut state);
+        let mut map = HashMap::new();
+        map.insert(Symbol::intern("a"), random_expr(&config, &mut state));
+        map.insert(Symbol::intern("b"), Expr::one());
+        fn naive(e: &Expr, map: &HashMap<Symbol, Expr>) -> Expr {
+            match e.node() {
+                ExprNode::Zero | ExprNode::One => *e,
+                ExprNode::Atom(s) => map.get(s).copied().unwrap_or(*e),
+                ExprNode::Add(l, r) => naive(l, map).add(&naive(r, map)),
+                ExprNode::Mul(l, r) => naive(l, map).mul(&naive(r, map)),
+                ExprNode::Star(inner) => naive(inner, map).star(),
+            }
+        }
+        prop_assert_eq!(e.subst_atoms(&map), naive(&e, &map));
+    }
+}
+
+/// Handles built concurrently in many threads agree with handles built
+/// serially — the arena is one process-global structure.
+#[test]
+fn concurrent_interning_converges() {
+    let sources = [
+        "(m0 p)* m1",
+        "(p + q)* (r + 0 1)*",
+        "p p p p + q q q q",
+        "1* (a b c)*",
+    ];
+    let serial: Vec<ExprId> = sources
+        .iter()
+        .map(|s| s.parse::<Expr>().unwrap().id())
+        .collect();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                sources
+                    .iter()
+                    .map(|s| s.parse::<Expr>().unwrap().id())
+                    .collect::<Vec<ExprId>>()
+            })
+        })
+        .collect();
+    for handle in handles {
+        assert_eq!(handle.join().unwrap(), serial);
+    }
+}
+
+/// A session moved into another thread keeps its warm caches — the
+/// property `run_batch_parallel` and future serving PRs rely on.
+#[test]
+fn sessions_move_across_threads_warm() {
+    let mut session = Session::new();
+    let query = Query::nka_eq("(p q)* p", "p (q p)*").unwrap();
+    let cold = session.run(&query);
+    assert!(cold.stats_delta.compile_misses > 0);
+    let handle = std::thread::spawn(move || {
+        let resp = session.run(&query);
+        (resp.stats_delta.answer_hits, session)
+    });
+    let (hits, mut session) = handle.join().unwrap();
+    assert_eq!(hits, 1, "verdict cache survived the move");
+    // And back on the main thread, still warm.
+    let resp = session.run(&Query::nka_eq("(p q)* p", "p (q p)*").unwrap());
+    assert_eq!(resp.stats_delta.answer_hits, 1);
+}

@@ -27,7 +27,7 @@ fn assert_equation_everywhere(lhs: &str, rhs: &str, proof: &Proof) {
     let j = proof.check_closed().unwrap_or_else(|err| {
         panic!("{lhs} = {rhs}: proof failed: {err}");
     });
-    assert_eq!(j, Judgment::Eq(l.clone(), r.clone()), "{lhs} = {rhs}");
+    assert_eq!(j, Judgment::Eq(l, r), "{lhs} = {rhs}");
     // 2. Decision procedure.
     assert!(
         decide_eq(&l, &r),

@@ -11,7 +11,7 @@ pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, sizes }
 }
 
-/// The result of [`vec`].
+/// The result of [`vec()`].
 #[derive(Clone)]
 pub struct VecStrategy<S> {
     element: S,
