@@ -18,7 +18,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nka_bench::figure2_equations;
-use nka_syntax::{Expr, ExprNode, Symbol};
+use nka_syntax::{Expr, ExprNode, ScratchScope, Symbol};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::hint::black_box;
@@ -29,10 +29,10 @@ fn rebuild_with(e: &Expr, rename: &dyn Fn(Symbol) -> Symbol) -> Expr {
     match e.node() {
         ExprNode::Zero => Expr::zero(),
         ExprNode::One => Expr::one(),
-        ExprNode::Atom(s) => Expr::atom(rename(*s)),
-        ExprNode::Add(l, r) => rebuild_with(l, rename).add(&rebuild_with(r, rename)),
-        ExprNode::Mul(l, r) => rebuild_with(l, rename).mul(&rebuild_with(r, rename)),
-        ExprNode::Star(inner) => rebuild_with(inner, rename).star(),
+        ExprNode::Atom(s) => Expr::atom(rename(s)),
+        ExprNode::Add(l, r) => rebuild_with(&l, rename).add(&rebuild_with(&r, rename)),
+        ExprNode::Mul(l, r) => rebuild_with(&l, rename).mul(&rebuild_with(&r, rename)),
+        ExprNode::Star(inner) => rebuild_with(&inner, rename).star(),
     }
 }
 
@@ -71,6 +71,25 @@ fn bench_intern(c: &mut Criterion) {
             for t in &terms {
                 black_box(rebuild_with(black_box(t), &|s| s));
             }
+        });
+    });
+
+    // Scratch lifecycle (Arena lifecycle v1): intern the corpus into a
+    // scratch scope and retire it, every iteration. This is the
+    // reclamation constant the auto-prover pays per query — compare
+    // with `fig2_cold` (persistent insert, never reclaimed): the gap is
+    // the cost of truncate-and-evict on retirement, and slot reuse
+    // means steady-state memory stays flat no matter how many
+    // iterations run.
+    group.bench_function("scratch_scope_churn", |b| {
+        let rename = |s: Symbol| Symbol::intern(&format!("{}_scr", s.name()));
+        b.iter(|| {
+            let scope = ScratchScope::enter();
+            for t in &terms {
+                black_box(rebuild_with(black_box(t), &rename));
+            }
+            black_box(scope.live_nodes());
+            drop(scope); // retire: truncation + dedup-map eviction
         });
     });
 

@@ -445,6 +445,16 @@ pub struct SessionOptions {
     /// request over the cap answers [`Verdict::BudgetExhausted`] —
     /// a wire client cannot OOM the process with a huge `max_len`.
     pub series_max_words: u64,
+    /// Engine-recycling backstop: after this many queries the session
+    /// drops its `Decider` (and term-stats memo) and starts a fresh one,
+    /// bounding cache growth under unbounded *distinct* traffic. The
+    /// expression arena itself is governed separately (prover scratch is
+    /// scope-reclaimed; the persistent region grows only with distinct
+    /// persistent terms). Cumulative [`Session::stats`] survive
+    /// recycling; verdicts are unaffected (caches are pure memoization).
+    /// `None` (the default) never recycles. Surfaced as
+    /// `nka serve|batch --max-queries-per-worker N`.
+    pub recycle_after_queries: Option<u64>,
 }
 
 impl Default for SessionOptions {
@@ -454,8 +464,37 @@ impl Default for SessionOptions {
             prove_max_expansions: 2000,
             prove_max_term_size: 120,
             series_max_words: 1_000_000,
+            recycle_after_queries: None,
         }
     }
+}
+
+/// A point-in-time snapshot of the memory the session (and the process
+/// arena under it) is holding — the observability half of the arena
+/// lifecycle. See [`Session::memory_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Distinct expressions in the persistent arena region
+    /// (process-wide; grows only with distinct persistent terms).
+    pub arena_persistent_nodes: usize,
+    /// Scratch nodes currently live in unretired scopes (process-wide;
+    /// bounded by the in-flight queries' search frontiers).
+    pub scratch_live_nodes: usize,
+    /// `arena_persistent_nodes + scratch_live_nodes` — the figure a
+    /// bounded-memory serving process watches (`nka serve
+    /// --max-arena-nodes`).
+    pub arena_resident_nodes: usize,
+    /// Scratch nodes retired (storage reclaimed) since process start;
+    /// the prover's transient search terms all end up here.
+    pub scratch_retired_total: u64,
+    /// Scratch scopes retired since process start (the cache-eviction
+    /// epoch of `nka_syntax::scratch_epoch`).
+    pub scratch_scopes_retired: u64,
+    /// Times this session recycled its engine
+    /// ([`SessionOptions::recycle_after_queries`]).
+    pub engine_recycles: u64,
+    /// Queries answered by this session ([`Session::queries_run`]).
+    pub queries_run: u64,
 }
 
 /// `min(|Σ^{≤max_len}|, cap + 1)` where `|Σ^{≤max_len}| = Σ_{i=0..=max_len} k^i`
@@ -498,6 +537,20 @@ pub struct Session {
     /// immutable) terms, and the warm serving path repeats queries — a
     /// DAG walk per repeat would dominate sub-microsecond cache hits.
     term_stats_cache: HashMap<TermKey, (u64, u64)>,
+    /// Entries of `term_stats_cache` keyed (partly) on scratch ids;
+    /// they must be evicted when the scratch epoch advances (retired
+    /// ids are reused by later scopes). Zero on the wire paths, which
+    /// only ever query persistent terms.
+    term_stats_scratch_keys: usize,
+    /// The scratch epoch `term_stats_cache` is consistent with.
+    seen_scratch_epoch: u64,
+    /// Engine counters accumulated by engines retired through
+    /// [`SessionOptions::recycle_after_queries`]; [`Session::stats`]
+    /// reports `retired_stats + engine.stats()` so recycling never
+    /// loses observability.
+    retired_stats: DeciderStats,
+    engine_recycles: u64,
+    queries_since_recycle: u64,
 }
 
 /// The root-id key of [`Session::run`]'s term-stats memo. Equality /
@@ -511,6 +564,16 @@ enum TermKey {
 }
 
 impl TermKey {
+    /// Whether any root id is scratch — such keys are evicted when the
+    /// scratch epoch advances.
+    fn has_scratch(&self) -> bool {
+        match self {
+            TermKey::One(a) => a.is_scratch(),
+            TermKey::Two(a, b) => a.is_scratch() || b.is_scratch(),
+            TermKey::Many(ids) => ids.iter().any(|id| id.is_scratch()),
+        }
+    }
+
     fn of(query: &Query) -> TermKey {
         match query {
             Query::NkaEq { lhs, rhs } | Query::KaEq { lhs, rhs } => {
@@ -579,10 +642,40 @@ impl Session {
         &self.opts
     }
 
-    /// Cumulative engine counters.
+    /// Cumulative engine counters over the session's life — including
+    /// activity on engines since retired by
+    /// [`SessionOptions::recycle_after_queries`].
     #[must_use]
     pub fn stats(&self) -> DeciderStats {
-        self.engine.stats()
+        self.retired_stats.merged(&self.engine.stats())
+    }
+
+    /// Times this session recycled its engine.
+    #[must_use]
+    pub fn engine_recycles(&self) -> u64 {
+        self.engine_recycles
+    }
+
+    /// A snapshot of the session's (and the process arena's) memory
+    /// accounting: persistent vs scratch nodes, reclamation totals, and
+    /// recycling counts. This is the observability surface behind
+    /// `nka --stats` and the CI memory-soak gate.
+    #[must_use]
+    pub fn memory_stats(&self) -> MemoryStats {
+        // Capture each counter once and derive the sum from the
+        // captured values, so the snapshot is internally consistent
+        // even while other threads intern or retire concurrently.
+        let arena_persistent_nodes = nka_syntax::interned_expr_count();
+        let scratch_live_nodes = nka_syntax::scratch_live_nodes();
+        MemoryStats {
+            arena_persistent_nodes,
+            scratch_live_nodes,
+            arena_resident_nodes: arena_persistent_nodes + scratch_live_nodes,
+            scratch_retired_total: nka_syntax::scratch_retired_total(),
+            scratch_scopes_retired: nka_syntax::scratch_epoch(),
+            engine_recycles: self.engine_recycles,
+            queries_run: self.queries_run,
+        }
     }
 
     /// Number of queries answered by this session.
@@ -622,13 +715,69 @@ impl Session {
             return hit;
         }
         let computed = term_stats_of(&query.exprs());
+        if key.has_scratch() {
+            if self.term_stats_scratch_keys == 0 {
+                self.seen_scratch_epoch = nka_syntax::scratch_epoch();
+            }
+            self.term_stats_scratch_keys += 1;
+        }
         self.term_stats_cache.insert(key, computed);
         computed
+    }
+
+    /// Evicts scratch-keyed memo entries if any scope retired since the
+    /// last query (mirrors the `Decider`'s own epoch hygiene); O(1)
+    /// unless this session actually cached scratch-rooted queries.
+    fn sync_scratch_epoch(&mut self) {
+        // Warm-path fast exit: no scratch keys cached ⇒ nothing a stale
+        // epoch could mis-serve, so skip even the atomic epoch load.
+        if self.term_stats_scratch_keys == 0 {
+            return;
+        }
+        let epoch = nka_syntax::scratch_epoch();
+        if epoch == self.seen_scratch_epoch {
+            return;
+        }
+        self.seen_scratch_epoch = epoch;
+        self.term_stats_cache.retain(|key, _| !key.has_scratch());
+        self.term_stats_scratch_keys = 0;
+    }
+
+    /// Applies [`SessionOptions::recycle_after_queries`]: once the
+    /// current engine has answered that many queries, retire it (caches
+    /// and all) and start fresh, folding its counters into the
+    /// session-cumulative stats. Runs between queries only, so verdicts
+    /// and per-query deltas are unaffected.
+    fn maybe_recycle(&mut self) {
+        let Some(limit) = self.opts.recycle_after_queries else {
+            return;
+        };
+        if limit == 0 || self.queries_since_recycle < limit {
+            return;
+        }
+        self.retired_stats = self.retired_stats.merged(&self.engine.stats());
+        self.engine = Decider::with_options(self.opts.decide.clone());
+        self.term_stats_cache.clear();
+        self.term_stats_scratch_keys = 0;
+        self.engine_recycles += 1;
+        self.queries_since_recycle = 0;
+    }
+
+    /// The cold half of per-query governance, behind one fused branch
+    /// in [`Session::run`] so the warm path pays a single predictable
+    /// compare for both policies.
+    #[cold]
+    fn pre_query_governance(&mut self) {
+        self.maybe_recycle();
+        self.sync_scratch_epoch();
     }
 
     /// Answers one query. Never panics and never returns a Rust error:
     /// every outcome — including budget exhaustion — is a [`Verdict`].
     pub fn run(&mut self, query: &Query) -> Response {
+        if self.opts.recycle_after_queries.is_some() || self.term_stats_scratch_keys > 0 {
+            self.pre_query_governance();
+        }
         let before = self.engine.stats();
         let (expr_nodes, expr_subterms) = self.term_stats_memo(query);
         let start = Instant::now();
@@ -636,14 +785,22 @@ impl Session {
         let elapsed = start.elapsed();
         let total = self.engine.stats();
         self.queries_run += 1;
+        self.queries_since_recycle += 1;
         self.expr_nodes_seen += expr_nodes;
         self.expr_subterms_seen += expr_subterms;
+        // Merging the retired-engine counters is off the warm path: a
+        // never-recycled session (`retired_stats` all zero) skips it.
+        let stats_total = if self.engine_recycles == 0 {
+            total
+        } else {
+            self.retired_stats.merged(&total)
+        };
         Response {
             kind: query.kind(),
             verdict,
             proof,
             stats_delta: total.delta_since(&before),
-            stats_total: total,
+            stats_total,
             expr_nodes,
             expr_subterms,
             elapsed,
@@ -747,37 +904,58 @@ fn decision(result: Result<bool, nka_wfa::DecideError>) -> Verdict {
 /// term is re-parsed or deep-copied to cross the thread boundary.
 #[must_use]
 pub fn run_batch_parallel(queries: &[Query], opts: &SessionOptions, jobs: usize) -> Vec<Response> {
+    run_batch_parallel_traced(queries, opts, jobs).0
+}
+
+/// [`run_batch_parallel`] plus worker-level accounting: the second
+/// component is the total number of engine recycles
+/// ([`SessionOptions::recycle_after_queries`]) performed across all
+/// worker sessions — what `nka batch --jobs N --max-queries-per-worker
+/// M --stats` reports.
+#[must_use]
+pub fn run_batch_parallel_traced(
+    queries: &[Query],
+    opts: &SessionOptions,
+    jobs: usize,
+) -> (Vec<Response>, u64) {
     let jobs = jobs.clamp(1, queries.len().max(1));
     if jobs <= 1 {
-        return Session::with_options(opts.clone()).run_all(queries);
+        let mut session = Session::with_options(opts.clone());
+        let responses = session.run_all(queries);
+        return (responses, session.engine_recycles());
     }
     let mut slots: Vec<Option<Response>> = Vec::new();
     slots.resize_with(queries.len(), || None);
+    let mut recycles = 0u64;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|worker| {
                 scope.spawn(move || {
                     let mut session = Session::with_options(opts.clone());
-                    queries
+                    let answered = queries
                         .iter()
                         .enumerate()
                         .skip(worker)
                         .step_by(jobs)
                         .map(|(i, q)| (i, session.run(q)))
-                        .collect::<Vec<(usize, Response)>>()
+                        .collect::<Vec<(usize, Response)>>();
+                    (answered, session.engine_recycles())
                 })
             })
             .collect();
         for handle in handles {
-            for (i, resp) in handle.join().expect("batch worker panicked") {
+            let (answered, worker_recycles) = handle.join().expect("batch worker panicked");
+            recycles += worker_recycles;
+            for (i, resp) in answered {
                 slots[i] = Some(resp);
             }
         }
     });
-    slots
+    let responses = slots
         .into_iter()
         .map(|slot| slot.expect("every query answered exactly once"))
-        .collect()
+        .collect();
+    (responses, recycles)
 }
 
 #[cfg(test)]
@@ -911,6 +1089,56 @@ mod tests {
         assert_eq!(resp.expr_subterms, 2);
         assert_eq!(session.expr_nodes_seen(), 6);
         assert_eq!(session.queries_run(), 2);
+    }
+
+    #[test]
+    fn recycling_preserves_cumulative_stats_and_verdicts() {
+        let mut session = Session::with_options(SessionOptions {
+            recycle_after_queries: Some(2),
+            ..SessionOptions::default()
+        });
+        let q = Query::nka_eq("(p q)* p", "p (q p)*").unwrap();
+        for _ in 0..5 {
+            assert_eq!(session.run(&q).verdict, Verdict::Holds);
+        }
+        // Limit 2: engines retire before queries 3 and 5.
+        assert_eq!(session.queries_run(), 5);
+        assert_eq!(session.engine_recycles(), 2);
+        // Cumulative stats span all engine generations…
+        assert_eq!(session.stats().nka_queries, 5);
+        // …and each fresh engine recompiled the pair (2 sides × 3 gens).
+        assert_eq!(session.stats().compile_misses, 6);
+        let mem = session.memory_stats();
+        assert_eq!(mem.engine_recycles, 2);
+        assert_eq!(mem.queries_run, 5);
+        assert_eq!(
+            mem.arena_resident_nodes,
+            mem.arena_persistent_nodes + mem.scratch_live_nodes
+        );
+    }
+
+    #[test]
+    fn prove_queries_reclaim_their_search_scratch() {
+        let mut session = Session::new();
+        let before = session.memory_stats();
+        // Unique atoms: no sibling test pre-interns this search space.
+        let q = Query::prove(
+            "apiU (apiU apiM)",
+            "apiM (apiU apiU)",
+            &["apiU apiM = apiM apiU"],
+        )
+        .unwrap();
+        let resp = session.run(&q);
+        assert!(matches!(resp.verdict, Verdict::Proved { .. }));
+        let after = session.memory_stats();
+        assert!(after.scratch_retired_total > before.scratch_retired_total);
+        assert!(after.scratch_scopes_retired > before.scratch_scopes_retired);
+        // The proof the caller got is fully persistent.
+        let proof = resp.proof.expect("proof object");
+        let _ = proof.map_exprs(&mut |e| {
+            assert!(!e.id().is_scratch());
+            *e
+        });
     }
 
     #[test]

@@ -84,9 +84,9 @@ impl Pat {
             }
             (Pat::Add(pl, pr), ExprNode::Add(el, er))
             | (Pat::Mul(pl, pr), ExprNode::Mul(el, er)) => {
-                pl.matches(el, bindings) && pr.matches(er, bindings)
+                pl.matches(&el, bindings) && pr.matches(&er, bindings)
             }
-            (Pat::Star(p), ExprNode::Star(e)) => p.matches(e, bindings),
+            (Pat::Star(p), ExprNode::Star(e)) => p.matches(&e, bindings),
             _ => false,
         }
     }

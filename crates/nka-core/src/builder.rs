@@ -52,35 +52,35 @@ fn wrap_at_path(
     let (head, rest) = (path[0], &path[1..]);
     match (e.node(), head) {
         (ExprNode::Add(a, b), 0) => {
-            let (inner, new_a) = wrap_at_path(a, rest, rule, l, r)?;
+            let (inner, new_a) = wrap_at_path(&a, rest, rule, l, r)?;
             Ok((
-                Proof::CongAdd(Box::new(inner), Box::new(Proof::Refl(*b))),
-                new_a.add(b),
+                Proof::CongAdd(Box::new(inner), Box::new(Proof::Refl(b))),
+                new_a.add(&b),
             ))
         }
         (ExprNode::Add(a, b), 1) => {
-            let (inner, new_b) = wrap_at_path(b, rest, rule, l, r)?;
+            let (inner, new_b) = wrap_at_path(&b, rest, rule, l, r)?;
             Ok((
-                Proof::CongAdd(Box::new(Proof::Refl(*a)), Box::new(inner)),
+                Proof::CongAdd(Box::new(Proof::Refl(a)), Box::new(inner)),
                 a.add(&new_b),
             ))
         }
         (ExprNode::Mul(a, b), 0) => {
-            let (inner, new_a) = wrap_at_path(a, rest, rule, l, r)?;
+            let (inner, new_a) = wrap_at_path(&a, rest, rule, l, r)?;
             Ok((
-                Proof::CongMul(Box::new(inner), Box::new(Proof::Refl(*b))),
-                new_a.mul(b),
+                Proof::CongMul(Box::new(inner), Box::new(Proof::Refl(b))),
+                new_a.mul(&b),
             ))
         }
         (ExprNode::Mul(a, b), 1) => {
-            let (inner, new_b) = wrap_at_path(b, rest, rule, l, r)?;
+            let (inner, new_b) = wrap_at_path(&b, rest, rule, l, r)?;
             Ok((
-                Proof::CongMul(Box::new(Proof::Refl(*a)), Box::new(inner)),
+                Proof::CongMul(Box::new(Proof::Refl(a)), Box::new(inner)),
                 a.mul(&new_b),
             ))
         }
         (ExprNode::Star(a), 0) => {
-            let (inner, new_a) = wrap_at_path(a, rest, rule, l, r)?;
+            let (inner, new_a) = wrap_at_path(&a, rest, rule, l, r)?;
             Ok((Proof::CongStar(Box::new(inner)), new_a.star()))
         }
         _ => Err(proof_error(
@@ -501,30 +501,30 @@ fn wrap_le_at_path(
     let (head, rest) = (path[0], &path[1..]);
     match (e.node(), head) {
         (ExprNode::Add(a, b), 0) => {
-            let (inner, new_a) = wrap_le_at_path(a, rest, rule, l, r)?;
+            let (inner, new_a) = wrap_le_at_path(&a, rest, rule, l, r)?;
             Ok((
-                Proof::MonoAdd(Box::new(inner), Box::new(Proof::LeRefl(*b))),
-                new_a.add(b),
+                Proof::MonoAdd(Box::new(inner), Box::new(Proof::LeRefl(b))),
+                new_a.add(&b),
             ))
         }
         (ExprNode::Add(a, b), 1) => {
-            let (inner, new_b) = wrap_le_at_path(b, rest, rule, l, r)?;
+            let (inner, new_b) = wrap_le_at_path(&b, rest, rule, l, r)?;
             Ok((
-                Proof::MonoAdd(Box::new(Proof::LeRefl(*a)), Box::new(inner)),
+                Proof::MonoAdd(Box::new(Proof::LeRefl(a)), Box::new(inner)),
                 a.add(&new_b),
             ))
         }
         (ExprNode::Mul(a, b), 0) => {
-            let (inner, new_a) = wrap_le_at_path(a, rest, rule, l, r)?;
+            let (inner, new_a) = wrap_le_at_path(&a, rest, rule, l, r)?;
             Ok((
-                Proof::MonoMul(Box::new(inner), Box::new(Proof::LeRefl(*b))),
-                new_a.mul(b),
+                Proof::MonoMul(Box::new(inner), Box::new(Proof::LeRefl(b))),
+                new_a.mul(&b),
             ))
         }
         (ExprNode::Mul(a, b), 1) => {
-            let (inner, new_b) = wrap_le_at_path(b, rest, rule, l, r)?;
+            let (inner, new_b) = wrap_le_at_path(&b, rest, rule, l, r)?;
             Ok((
-                Proof::MonoMul(Box::new(Proof::LeRefl(*a)), Box::new(inner)),
+                Proof::MonoMul(Box::new(Proof::LeRefl(a)), Box::new(inner)),
                 a.mul(&new_b),
             ))
         }

@@ -265,13 +265,13 @@ impl Proof {
                         format!("premise LHS must be q + p r, got {lhs}"),
                     ));
                 };
-                if r2 != r {
+                if r2 != *r {
                     return Err(ProofError::new(
                         "star-ind-left",
                         format!("inner r {r2} differs from bound {r}"),
                     ));
                 }
-                Ok(Judgment::Le(p_expr.star().mul(q), *r))
+                Ok(Judgment::Le(p_expr.star().mul(&q), *r))
             }
             Proof::StarIndRight(p) => {
                 let j = p.check(hyps)?;
@@ -293,7 +293,7 @@ impl Proof {
                         format!("premise LHS must be q + r p, got {lhs}"),
                     ));
                 };
-                if r2 != r {
+                if r2 != *r {
                     return Err(ProofError::new(
                         "star-ind-right",
                         format!("inner r {r2} differs from bound {r}"),
@@ -315,6 +315,38 @@ impl Proof {
     /// hypothesis.
     pub fn check_closed(&self) -> Result<Judgment, ProofError> {
         self.check(&[])
+    }
+
+    /// Rebuilds the proof with every stored expression mapped through
+    /// `f`. The map must be a *congruence on terms* (map equal
+    /// expressions to equal expressions and commute with the term
+    /// constructors) for the result to check to the mapped judgment —
+    /// `nka_syntax::promote` is one such map, and promotion of
+    /// scratch-built proofs into the persistent arena (before their
+    /// `ScratchScope` retires) is what this hook exists for.
+    #[must_use]
+    pub fn map_exprs(&self, f: &mut dyn FnMut(&Expr) -> Expr) -> Proof {
+        let mut map1 = |p: &Proof| Box::new(p.map_exprs(f));
+        match self {
+            Proof::Refl(e) => Proof::Refl(f(e)),
+            Proof::LeRefl(e) => Proof::LeRefl(f(e)),
+            Proof::BySemiring(l, r) => Proof::BySemiring(f(l), f(r)),
+            Proof::Axiom(ax, args) => Proof::Axiom(*ax, args.iter().map(&mut *f).collect()),
+            Proof::AxiomLe(ax, args) => Proof::AxiomLe(*ax, args.iter().map(&mut *f).collect()),
+            Proof::Sym(p) => Proof::Sym(map1(p)),
+            Proof::CongStar(p) => Proof::CongStar(map1(p)),
+            Proof::EqToLe(p) => Proof::EqToLe(map1(p)),
+            Proof::StarIndLeft(p) => Proof::StarIndLeft(map1(p)),
+            Proof::StarIndRight(p) => Proof::StarIndRight(map1(p)),
+            Proof::Trans(p, q) => Proof::Trans(map1(p), map1(q)),
+            Proof::CongAdd(p, q) => Proof::CongAdd(map1(p), map1(q)),
+            Proof::CongMul(p, q) => Proof::CongMul(map1(p), map1(q)),
+            Proof::LeTrans(p, q) => Proof::LeTrans(map1(p), map1(q)),
+            Proof::AntiSym(p, q) => Proof::AntiSym(map1(p), map1(q)),
+            Proof::MonoAdd(p, q) => Proof::MonoAdd(map1(p), map1(q)),
+            Proof::MonoMul(p, q) => Proof::MonoMul(map1(p), map1(q)),
+            Proof::Hyp(i) => Proof::Hyp(*i),
+        }
     }
 
     /// Transitivity combinator: `self` then `other`.

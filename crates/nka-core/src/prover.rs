@@ -34,7 +34,8 @@ use crate::builder::rewrite_once;
 use crate::judgment::Judgment;
 use crate::proof::Proof;
 use crate::semiring_nf::{canon, CanonPoly};
-use nka_syntax::Expr;
+use nka_syntax::{Expr, ScratchScope};
+
 use nka_wfa::{DecideError, Decider};
 use std::collections::{BTreeSet, VecDeque};
 
@@ -105,6 +106,14 @@ impl Prover {
     /// non-theorem is *refuted* immediately instead of burning the whole
     /// search budget, and repeated goals benefit from `engine`'s caches.
     ///
+    /// The rewrite search runs inside a [`ScratchScope`]: every
+    /// transient frontier term it materializes is interned into the
+    /// thread-local scratch region and **reclaimed when the query
+    /// answers**, so adversarially distinct `Prove` traffic cannot grow
+    /// the process arena (see `tests/arena_soak.rs`). A found proof is
+    /// [promoted](nka_syntax::promote) into the persistent arena before
+    /// the scope retires — callers receive only persistent handles.
+    ///
     /// # Errors
     ///
     /// Returns [`DecideError`] if the engine's subset construction exceeds
@@ -117,11 +126,24 @@ impl Prover {
     ) -> Result<ProveOutcome, DecideError> {
         // Under hypotheses the series model is only sound for *theorems of
         // the pure theory*, so a semantic "no" refutes nothing; skip it.
+        // (Deliberately outside the scratch scope: the goal ids the engine
+        // caches must be the caller's persistent ones.)
         if self.hyps.is_empty() && !engine.decide(lhs, rhs)? {
             return Ok(ProveOutcome::Refuted);
         }
+        let scope = ScratchScope::enter();
         Ok(match self.prove_eq(lhs, rhs) {
-            Some(proof) => ProveOutcome::Proved(proof),
+            Some(proof) => {
+                // The proof references scratch-built intermediate terms;
+                // rebuild it persistently so it outlives the scope. One
+                // memo spans the whole tree: proof steps mention the
+                // same goal-sized terms over and over, and each distinct
+                // subterm should be rebuilt exactly once.
+                let mut memo = std::collections::HashMap::new();
+                let promoted = proof.map_exprs(&mut |e| nka_syntax::promote_memoized(e, &mut memo));
+                drop(scope);
+                ProveOutcome::Proved(promoted)
+            }
             None => ProveOutcome::Exhausted,
         })
     }
@@ -302,6 +324,33 @@ mod tests {
         assert!(prover
             .prove_or_refute(&mut engine, &e("1* a"), &e("1* b"))
             .is_err());
+    }
+
+    #[test]
+    fn search_scratch_is_reclaimed_and_proofs_are_promoted() {
+        use nka_syntax::scratch_retired_total;
+        // Hypothesis-ful goal: the engine is skipped and the rewrite
+        // search runs entirely inside a scratch scope.
+        // Atoms unique to this test, so no sibling test pre-interns the
+        // search frontier persistently.
+        let hyps = [Judgment::Eq(e("scU scM"), e("scM scU"))];
+        let mut prover = Prover::new(&hyps);
+        prover.add_hypothesis_rules();
+        let (lhs, rhs) = (e("scU (scU scM)"), e("scM (scU scU)"));
+        let mut engine = Decider::new();
+        let retired_before = scratch_retired_total();
+        let outcome = prover.prove_or_refute(&mut engine, &lhs, &rhs).unwrap();
+        let ProveOutcome::Proved(proof) = outcome else {
+            panic!("expected a proof, got {outcome:?}");
+        };
+        // The search interned transient terms and retired them all.
+        assert!(scratch_retired_total() > retired_before);
+        // The promoted proof references no scratch ids and still checks.
+        let _ = proof.map_exprs(&mut |ex| {
+            assert!(!ex.id().is_scratch(), "scratch id escaped promotion");
+            *ex
+        });
+        assert_eq!(proof.check(&hyps).unwrap(), Judgment::eq(&lhs, &rhs));
     }
 
     #[test]

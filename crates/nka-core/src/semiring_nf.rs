@@ -145,10 +145,10 @@ pub fn canon(e: &Expr) -> CanonPoly {
     match e.node() {
         ExprNode::Zero => CanonPoly::zero(),
         ExprNode::One => CanonPoly::one(),
-        ExprNode::Atom(s) => CanonPoly::letter(CanonLetter::Atom(*s)),
-        ExprNode::Add(l, r) => canon(l).add(&canon(r)),
-        ExprNode::Mul(l, r) => canon(l).mul(&canon(r)),
-        ExprNode::Star(inner) => CanonPoly::letter(CanonLetter::Star(canon(inner))),
+        ExprNode::Atom(s) => CanonPoly::letter(CanonLetter::Atom(s)),
+        ExprNode::Add(l, r) => canon(&l).add(&canon(&r)),
+        ExprNode::Mul(l, r) => canon(&l).mul(&canon(&r)),
+        ExprNode::Star(inner) => CanonPoly::letter(CanonLetter::Star(canon(&inner))),
     }
 }
 

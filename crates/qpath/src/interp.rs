@@ -78,13 +78,13 @@ impl Interpretation {
             ExprNode::Atom(sym) => {
                 let sup = self
                     .eval
-                    .get(sym)
+                    .get(&sym)
                     .unwrap_or_else(|| panic!("symbol {sym} has no interpretation"));
                 Action::lift(sup.clone())
             }
-            ExprNode::Add(l, r) => self.action(l).plus(&self.action(r)),
-            ExprNode::Mul(l, r) => self.action(l).seq(&self.action(r)),
-            ExprNode::Star(inner) => self.action(inner).star(),
+            ExprNode::Add(l, r) => self.action(&l).plus(&self.action(&r)),
+            ExprNode::Mul(l, r) => self.action(&l).seq(&self.action(&r)),
+            ExprNode::Star(inner) => self.action(&inner).star(),
         }
     }
 
@@ -102,13 +102,13 @@ impl Interpretation {
             ExprNode::Atom(sym) => {
                 let sup = self
                     .eval
-                    .get(sym)
+                    .get(&sym)
                     .unwrap_or_else(|| panic!("symbol {sym} has no interpretation"));
                 Action::lift(sup.dual())
             }
-            ExprNode::Add(l, r) => self.dual_action(l).plus(&self.dual_action(r)),
-            ExprNode::Mul(l, r) => self.dual_action(l).diamond(&self.dual_action(r)),
-            ExprNode::Star(inner) => self.dual_action(inner).star(),
+            ExprNode::Add(l, r) => self.dual_action(&l).plus(&self.dual_action(&r)),
+            ExprNode::Mul(l, r) => self.dual_action(&l).diamond(&self.dual_action(&r)),
+            ExprNode::Star(inner) => self.dual_action(&inner).star(),
         }
     }
 }

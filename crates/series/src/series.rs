@@ -224,10 +224,10 @@ pub fn eval(expr: &Expr, _alphabet: &[Symbol], max_len: usize) -> Series {
     match expr.node() {
         ExprNode::Zero => Series::zero(max_len),
         ExprNode::One => Series::one(max_len),
-        ExprNode::Atom(s) => Series::atom(*s, max_len),
-        ExprNode::Add(l, r) => eval(l, _alphabet, max_len).add(&eval(r, _alphabet, max_len)),
-        ExprNode::Mul(l, r) => eval(l, _alphabet, max_len).mul(&eval(r, _alphabet, max_len)),
-        ExprNode::Star(e) => eval(e, _alphabet, max_len).star(),
+        ExprNode::Atom(s) => Series::atom(s, max_len),
+        ExprNode::Add(l, r) => eval(&l, _alphabet, max_len).add(&eval(&r, _alphabet, max_len)),
+        ExprNode::Mul(l, r) => eval(&l, _alphabet, max_len).mul(&eval(&r, _alphabet, max_len)),
+        ExprNode::Star(e) => eval(&e, _alphabet, max_len).star(),
     }
 }
 

@@ -1,25 +1,57 @@
-//! Hash-consed NKA expressions: the Expr API v2.
+//! Hash-consed NKA expressions with an epoch/scope arena lifecycle.
 //!
-//! Every distinct expression structure is interned exactly once in a
-//! process-global, lock-striped arena; an [`Expr`] is a `Copy` handle
-//! (an [`ExprId`] plus a direct node reference), so `Eq`, `Hash`, and
-//! `clone` are all O(1) and two expressions are structurally equal *iff*
-//! their handles are equal. The arena is append-only and shared across
-//! threads, which makes `Expr: Send + Sync` — sessions and engines built
-//! on top of it can move across threads freely.
+//! Every distinct expression structure is interned exactly once; an
+//! [`Expr`] is a 4-byte `Copy` handle (an [`ExprId`]), so `Eq`, `Hash`,
+//! and `clone` are all O(1) and two expressions are structurally equal
+//! *iff* their handles are equal. Since Arena lifecycle v1 the arena has
+//! **two regions**:
+//!
+//! * the **persistent region** — process-global, lock-striped,
+//!   append-only. Nodes live in atomically published pages, so resolving
+//!   a persistent handle ([`Expr::node`]) takes no lock. Persistent ids
+//!   are stable for the life of the process and may cross threads
+//!   freely; everything interned outside a scratch scope lands here.
+//! * the **scratch region** — thread-local and *reclaimable*. While a
+//!   [`ScratchScope`] is open on a thread, newly seen structures intern
+//!   into the scratch region instead of the global arena; when the scope
+//!   is retired (dropped), their storage is truncated and reused by the
+//!   next scope. This is what keeps a long-lived server's arena bounded
+//!   by its *persistent* working set rather than by every transient term
+//!   an auto-prover search ever materialized (see the soak test
+//!   `tests/arena_soak.rs`).
+//!
+//! The lifecycle contract: a scratch handle is valid only on its owning
+//! thread and only until its scope is retired. Anything that must
+//! outlive the scope — a found proof, a result term — is rebuilt into
+//! the persistent region with [`promote`] (or
+//! [`ScratchScope::promote`]) before retirement. Resolving a retired
+//! scratch id panics if the slot is gone, or silently aliases a later
+//! scope's term if the slot was reused — a logic error the scope API is
+//! designed to make hard to write. Downstream caches keyed on [`ExprId`]
+//! (the `Decider` engine, session memos) observe [`scratch_epoch`] and
+//! evict scratch-keyed entries when it advances, so retirement never
+//! leaves dangling keys behind.
+//!
+//! Memory observability: [`interned_expr_count`] (persistent nodes),
+//! [`scratch_live_nodes`], [`arena_resident_nodes`] (their sum), and
+//! [`scratch_retired_total`] — surfaced through `Session::memory_stats`
+//! and `nka --stats`.
 
 use crate::Symbol;
+use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
-use std::hash::{BuildHasher, Hash, Hasher, RandomState};
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::marker::PhantomData;
 use std::ops::{Add, Mul};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// The node of an [`Expr`] (Definition 2.2).
 ///
-/// Children are themselves interned handles, so a node is a few machine
-/// words and node equality/hashing is O(1) — the property the
-/// hash-consing arena relies on to deduplicate bottom-up.
+/// Children are themselves interned handles (ids), so a node is a few
+/// machine words, `Copy`, and node equality/hashing is O(1) — the
+/// property the hash-consing arena relies on to deduplicate bottom-up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExprNode {
     /// The additive unit `0` (encodes `abort`).
@@ -36,9 +68,9 @@ pub enum ExprNode {
     Star(Expr),
 }
 
-/// The dense, process-unique identity of an interned expression — the
-/// canonical name of one element of `ExpΣ` (Definition 2.2 of the
-/// paper: `e ::= 0 | 1 | a | e₁ + e₂ | e₁ · e₂ | e₁*`).
+/// The dense identity of an interned expression — the canonical name of
+/// one element of `ExpΣ` (Definition 2.2 of the paper:
+/// `e ::= 0 | 1 | a | e₁ + e₂ | e₁ · e₂ | e₁*`).
 ///
 /// Because the arena deduplicates structurally (hash-consing), two
 /// expressions denote the same id exactly when they are α-identical
@@ -51,30 +83,52 @@ pub enum ExprNode {
 /// Ids are `Copy`, 4 bytes, and totally ordered (arbitrarily but
 /// consistently within a process), which makes normalized symmetric
 /// cache keys like `(min(id₁, id₂), max(id₁, id₂))` trivial.
+///
+/// Since Arena lifecycle v1 the top bit distinguishes the two arena
+/// regions: a **persistent** id (bit 31 clear) is stable for the life
+/// of the process; a **scratch** id (bit 31 set, see
+/// [`ExprId::is_scratch`]) belongs to the thread-local scratch region of
+/// the [`ScratchScope`] that interned it and is reclaimed when that
+/// scope is retired. Caches that key on ids must treat the two classes
+/// differently: persistent keys are forever, scratch keys must be
+/// evicted when [`scratch_epoch`] advances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ExprId(u32);
 
 impl ExprId {
-    /// The raw arena index (stable for the life of the process).
+    /// The raw arena index. Stable for the life of the process for
+    /// persistent ids; valid only while the owning scope lives for
+    /// scratch ids.
     #[must_use]
     pub fn index(self) -> u32 {
         self.0
+    }
+
+    /// Whether this id names a node in a thread-local scratch region
+    /// (reclaimed on [`ScratchScope`] retirement) rather than the
+    /// persistent arena.
+    #[must_use]
+    pub fn is_scratch(self) -> bool {
+        self.0 & SCRATCH_BIT != 0
     }
 }
 
 /// An NKA expression over the global alphabet — an element of `ExpΣ`
 /// (Definition 2.2 of the paper).
 ///
-/// Since API v2 an `Expr` is a *hash-consed handle*: the expression
-/// structure lives in a process-global interning arena and the handle is
-/// `Copy` (4-byte [`ExprId`] + node reference). Consequences:
+/// An `Expr` is a *hash-consed handle*: the expression structure lives
+/// in an interning arena and the handle is `Copy` (a 4-byte
+/// [`ExprId`]). Consequences:
 ///
 /// * `==`, `Hash`, and `clone`/copy are **O(1)** — equality is id
 ///   equality, which coincides with structural (α-)identity of the term
 ///   by the hash-consing invariant;
 /// * shared subterms are stored once, so the paper's large derivations
 ///   (Appendix C.7) stay compact in memory;
-/// * `Expr: Send + Sync` — expressions flow freely across threads.
+/// * `Expr: Send + Sync` — *persistent* expressions flow freely across
+///   threads. Scratch expressions (built inside a [`ScratchScope`]) are
+///   resolvable only on their owning thread and only until the scope is
+///   retired; [`promote`] rebuilds them persistently.
 ///
 /// Equality is structural, *not* NKA-provable equality — use the
 /// decision procedure in `nka-core` for the latter.
@@ -93,119 +147,415 @@ impl ExprId {
 /// assert_eq!(e.id(), p.add(&q).star().id());
 /// # Ok::<(), nka_syntax::ParseExprError>(())
 /// ```
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Expr {
     id: ExprId,
-    node: &'static ExprNode,
 }
 
-impl PartialEq for Expr {
-    fn eq(&self, other: &Expr) -> bool {
-        self.id == other.id
-    }
-}
-
-impl Eq for Expr {}
-
-impl Hash for Expr {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        self.id.hash(state);
-    }
-}
-
-/// Number of lock stripes in the interning arena. Interning hashes the
+/// Number of lock stripes in the persistent arena. Interning hashes the
 /// node to pick a stripe, so concurrent builders (e.g. the parallel
 /// batch workers) contend only 1/16th of the time.
 const SHARD_BITS: u32 = 4;
 const SHARDS: usize = 1 << SHARD_BITS;
-/// Per-stripe capacity: ids are `u32` with the stripe in the low bits.
-const MAX_PER_SHARD: usize = 1 << (32 - SHARD_BITS);
+/// Bit 31 of an [`ExprId`] marks the thread-local scratch region;
+/// persistent ids use bits 0..31 (`local_index << SHARD_BITS | shard`).
+const SCRATCH_BIT: u32 = 1 << 31;
+/// Per-stripe capacity of the persistent region.
+const MAX_PER_SHARD: usize = 1 << (31 - SHARD_BITS);
+/// Capacity of a thread's scratch region.
+const MAX_SCRATCH: usize = (SCRATCH_BIT - 1) as usize;
 
-struct Shard {
-    /// node → global id. Keys borrow the leaked nodes, so each node is
-    /// stored once.
-    ids: HashMap<&'static ExprNode, u32>,
-    /// local index (`id >> SHARD_BITS`) → node.
-    nodes: Vec<&'static ExprNode>,
+/// Persistent nodes live in append-only pages of doubling size
+/// (`FIRST_PAGE`, `FIRST_PAGE`·2, `FIRST_PAGE`·4, …) so a fixed, small
+/// page table covers the whole id space and a published page never
+/// moves — that is what makes [`Expr::node`] lock-free for persistent
+/// handles.
+const FIRST_PAGE_BITS: u32 = 9;
+const FIRST_PAGE: u32 = 1 << FIRST_PAGE_BITS;
+/// Pages 0..24 of doubling size cover well past `MAX_PER_SHARD`.
+const MAX_PAGES: usize = 24;
+
+/// Maps a shard-local index to its (page, offset) coordinates.
+fn page_of(local: u32) -> (usize, usize) {
+    let m = local + FIRST_PAGE;
+    let page = m.ilog2() - FIRST_PAGE_BITS;
+    let start = (1u32 << (FIRST_PAGE_BITS + page)) - FIRST_PAGE;
+    (page as usize, (local - start) as usize)
+}
+
+fn page_capacity(page: usize) -> usize {
+    1usize << (FIRST_PAGE_BITS as usize + page)
+}
+
+/// The write-side state of one stripe: the dedup map. `ids.len()` is
+/// also the next free local index, since every insert goes through it.
+struct ShardMap {
+    ids: HashMap<ExprNode, u32>,
+}
+
+/// The read-side state of one stripe: atomically published node pages.
+/// Writers (holding the stripe mutex) fill slots exactly once; readers
+/// resolve ids with two acquire loads and no lock.
+struct ShardStore {
+    pages: [OnceLock<Box<[OnceLock<ExprNode>]>>; MAX_PAGES],
 }
 
 struct ExprPool {
     /// One fixed hasher instance so shard choice is a pure function of
     /// the node for the life of the process.
     hasher: RandomState,
-    shards: [Mutex<Shard>; SHARDS],
+    maps: [Mutex<ShardMap>; SHARDS],
+    stores: [ShardStore; SHARDS],
 }
 
 fn pool() -> &'static ExprPool {
     static POOL: OnceLock<ExprPool> = OnceLock::new();
     POOL.get_or_init(|| ExprPool {
         hasher: RandomState::new(),
-        shards: std::array::from_fn(|_| {
-            Mutex::new(Shard {
+        maps: std::array::from_fn(|_| {
+            Mutex::new(ShardMap {
                 ids: HashMap::new(),
-                nodes: Vec::new(),
             })
+        }),
+        stores: std::array::from_fn(|_| ShardStore {
+            pages: [const { OnceLock::new() }; MAX_PAGES],
         }),
     })
 }
 
-/// Interns `node`, returning its unique handle. Nodes are allocated
-/// once and leaked — the arena is append-only for the process life,
-/// which is what lets handles carry `&'static` node references with no
-/// per-read locking.
+fn shard_of(pool: &ExprPool, node: &ExprNode) -> usize {
+    (pool.hasher.hash_one(node) as usize) & (SHARDS - 1)
+}
+
+/// The thread-local scratch region: a truncatable arena for the terms a
+/// [`ScratchScope`] interns. `nodes` is append-only while scopes are
+/// open and truncated to the scope watermark on retirement, so slot
+/// storage (and the dedup map) are *reused* across scopes — the
+/// reclamation the append-only persistent region cannot offer.
+struct ScratchRegion {
+    nodes: Vec<ExprNode>,
+    ids: HashMap<ExprNode, u32>,
+    /// Number of live scopes on this thread.
+    depth: u32,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<ScratchRegion> = RefCell::new(ScratchRegion {
+        nodes: Vec::new(),
+        ids: HashMap::new(),
+        depth: 0,
+    });
+}
+
+/// Scratch nodes currently live across all threads.
+static SCRATCH_LIVE: AtomicUsize = AtomicUsize::new(0);
+/// Scratch nodes retired (reclaimed) since process start.
+static SCRATCH_RETIRED: AtomicU64 = AtomicU64::new(0);
+/// Scopes retired since process start; doubles as the cache-invalidation
+/// epoch for scratch-keyed downstream caches.
+static SCRATCH_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Whether `node` directly references a scratch subterm. Persistent
+/// nodes must never do so — a persistent id outlives every scope, so a
+/// scratch child would dangle.
+fn has_scratch_child(node: &ExprNode) -> bool {
+    match node {
+        ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => false,
+        ExprNode::Add(l, r) | ExprNode::Mul(l, r) => l.id.is_scratch() || r.id.is_scratch(),
+        ExprNode::Star(e) => e.id.is_scratch(),
+    }
+}
+
+/// Interns `node` into the **persistent** region, bypassing any open
+/// scratch scope.
 ///
 /// # Panics
 ///
-/// Panics if a stripe of the arena exceeds 2²⁸ distinct nodes, or if a
-/// stripe mutex was poisoned by a panic on another thread.
-fn intern(node: ExprNode) -> Expr {
+/// Panics if `node` references scratch subterms (promote them first), if
+/// a stripe exceeds its capacity, or if a stripe mutex was poisoned by a
+/// panic on another thread.
+fn intern_global(node: ExprNode) -> Expr {
+    assert!(
+        !has_scratch_child(&node),
+        "a persistent expression cannot reference scratch subterms; \
+         promote them with nka_syntax::promote before the scope retires"
+    );
     let pool = pool();
-    let shard_idx = (pool.hasher.hash_one(node) as usize) & (SHARDS - 1);
-    let mut shard = pool.shards[shard_idx]
+    let shard_idx = shard_of(pool, &node);
+    let mut map = pool.maps[shard_idx]
         .lock()
         .expect("expression interner poisoned");
-    if let Some(&id) = shard.ids.get(&node) {
-        let node = shard.nodes[(id >> SHARD_BITS) as usize];
+    if let Some(&local) = map.ids.get(&node) {
         return Expr {
-            id: ExprId(id),
-            node,
+            id: ExprId((local << SHARD_BITS) | shard_idx as u32),
         };
     }
-    let local = shard.nodes.len();
+    let local = map.ids.len();
     assert!(local < MAX_PER_SHARD, "expression arena overflow");
-    let id = ((local as u32) << SHARD_BITS) | shard_idx as u32;
-    let leaked: &'static ExprNode = Box::leak(Box::new(node));
-    shard.nodes.push(leaked);
-    shard.ids.insert(leaked, id);
+    let local = local as u32;
+    let (page, offset) = page_of(local);
+    let slots = pool.stores[shard_idx].pages[page].get_or_init(|| {
+        (0..page_capacity(page))
+            .map(|_| OnceLock::new())
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+    });
+    slots[offset]
+        .set(node)
+        .expect("fresh persistent arena slot written twice");
+    map.ids.insert(node, local);
     Expr {
-        id: ExprId(id),
-        node: leaked,
+        id: ExprId((local << SHARD_BITS) | shard_idx as u32),
     }
 }
 
-/// Total number of distinct expressions interned so far in this process
-/// — the arena footprint behind every live [`Expr`]. Monotone;
-/// observable via `nka --stats` as a cache-effectiveness signal.
+/// Read-only probe of the persistent region.
+fn global_probe(node: &ExprNode) -> Option<Expr> {
+    let pool = pool();
+    let shard_idx = shard_of(pool, node);
+    let map = pool.maps[shard_idx]
+        .lock()
+        .expect("expression interner poisoned");
+    map.ids.get(node).map(|&local| Expr {
+        id: ExprId((local << SHARD_BITS) | shard_idx as u32),
+    })
+}
+
+/// Resolves a persistent id to its node: two acquire loads, no lock.
+fn global_node(raw: u32) -> ExprNode {
+    let shard_idx = (raw as usize) & (SHARDS - 1);
+    let (page, offset) = page_of(raw >> SHARD_BITS);
+    *pool().stores[shard_idx].pages[page]
+        .get()
+        .and_then(|slots| slots[offset].get())
+        .expect("persistent ExprId does not resolve (forged id?)")
+}
+
+/// Interns `node`, returning its unique handle.
+///
+/// Resolution order: the current thread's scratch region first (so a
+/// term first seen as scratch keeps one identity for the scope's life),
+/// then the persistent region; a miss interns into the scratch region
+/// when a [`ScratchScope`] is open on this thread, else persistently.
+fn intern(node: ExprNode) -> Expr {
+    SCRATCH.with(|cell| {
+        let mut region = cell.borrow_mut();
+        if region.depth == 0 {
+            drop(region);
+            return intern_global(node);
+        }
+        if let Some(&idx) = region.ids.get(&node) {
+            return Expr {
+                id: ExprId(SCRATCH_BIT | idx),
+            };
+        }
+        if let Some(hit) = global_probe(&node) {
+            return hit;
+        }
+        let idx = region.nodes.len();
+        assert!(idx < MAX_SCRATCH, "scratch arena overflow");
+        region.nodes.push(node);
+        region.ids.insert(node, idx as u32);
+        SCRATCH_LIVE.fetch_add(1, Ordering::Relaxed);
+        Expr {
+            id: ExprId(SCRATCH_BIT | idx as u32),
+        }
+    })
+}
+
+/// A RAII scratch scope: while alive, newly seen structures interned on
+/// this thread land in the thread-local scratch region; dropping the
+/// scope **retires** them — their storage is truncated for reuse and
+/// [`scratch_epoch`] advances so id-keyed caches can evict.
+///
+/// Scopes nest LIFO (enforced at retirement). Terms that must outlive
+/// the scope are rebuilt persistently with [`ScratchScope::promote`].
+/// The auto-prover wraps each proof search in one scope, which is what
+/// keeps `Prove` traffic from growing the process arena.
+///
+/// # Examples
+///
+/// ```
+/// use nka_syntax::{arena_resident_nodes, Expr, ScratchScope};
+/// let resident = arena_resident_nodes();
+/// let kept = {
+///     let scope = ScratchScope::enter();
+///     let transient: Expr = "(x y)* x y x".parse()?;
+///     assert!(transient.id().is_scratch());
+///     scope.promote(&transient.star())
+/// };
+/// // The scope retired its scratch; only the promoted term persists.
+/// assert!(!kept.id().is_scratch());
+/// assert!(arena_resident_nodes() <= resident + kept.subterm_count());
+/// # Ok::<(), nka_syntax::ParseExprError>(())
+/// ```
+pub struct ScratchScope {
+    watermark: usize,
+    depth: u32,
+    /// Scratch regions are thread-local; the scope must retire on the
+    /// thread that opened it.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl ScratchScope {
+    /// Opens a scratch scope on the current thread.
+    #[must_use]
+    pub fn enter() -> ScratchScope {
+        SCRATCH.with(|cell| {
+            let mut region = cell.borrow_mut();
+            region.depth += 1;
+            ScratchScope {
+                watermark: region.nodes.len(),
+                depth: region.depth,
+                _not_send: PhantomData,
+            }
+        })
+    }
+
+    /// Scratch nodes this scope (and any nested scopes) have interned so
+    /// far.
+    #[must_use]
+    pub fn live_nodes(&self) -> usize {
+        SCRATCH.with(|cell| cell.borrow().nodes.len() - self.watermark)
+    }
+
+    /// Rebuilds `e` into the persistent arena so it survives this
+    /// scope's retirement. See [`promote`].
+    #[must_use]
+    pub fn promote(&self, e: &Expr) -> Expr {
+        promote(e)
+    }
+}
+
+impl Drop for ScratchScope {
+    fn drop(&mut self) {
+        SCRATCH.with(|cell| {
+            let mut region = cell.borrow_mut();
+            // LIFO misuse (e.g. scopes swapped across an early drop)
+            // would silently retire a live scope's terms; fail loudly
+            // instead — unless we are already unwinding, where drop
+            // order is LIFO by construction and a double panic aborts.
+            if region.depth != self.depth && !std::thread::panicking() {
+                panic!(
+                    "ScratchScope retired out of LIFO order \
+                     (depth {} live, this scope is level {})",
+                    region.depth, self.depth
+                );
+            }
+            region.depth = self.depth - 1;
+            let retired = region.nodes.len().saturating_sub(self.watermark);
+            if retired > 0 {
+                region.nodes.truncate(self.watermark);
+                let watermark = self.watermark;
+                region.ids.retain(|_, idx| (*idx as usize) < watermark);
+                SCRATCH_LIVE.fetch_sub(retired, Ordering::Relaxed);
+                SCRATCH_RETIRED.fetch_add(retired as u64, Ordering::Relaxed);
+                SCRATCH_EPOCH.fetch_add(1, Ordering::Release);
+            }
+        });
+    }
+}
+
+/// Rebuilds `e` into the **persistent** region, returning the
+/// equivalent persistent handle (memoized per distinct subterm, so the
+/// cost is linear in `e`'s arena footprint). Persistent inputs come
+/// back unchanged; scratch inputs must still be live. This is how
+/// results that outlive a [`ScratchScope`] — found proofs, promoted
+/// lemmas — escape retirement.
+///
+/// Note the promoted handle is a *persistent twin*: while the scope is
+/// still open, the original scratch handle stays live and in-scope
+/// rebuilds of the same structure keep resolving to the scratch id, so
+/// the twin compares `!=` to them (handle equality is per-region
+/// identity). Promote at the scope boundary — as the prover does — and
+/// let the scratch ids retire, rather than mixing the two on one
+/// code path.
+#[must_use]
+pub fn promote(e: &Expr) -> Expr {
+    promote_memoized(e, &mut HashMap::new())
+}
+
+/// [`promote`] threading a caller-held memo, for promoting many
+/// expressions that share subterms (e.g. every term mentioned by a
+/// proof tree): each distinct subterm is rebuilt once across the whole
+/// traversal instead of once per mention.
+#[must_use]
+pub fn promote_memoized(e: &Expr, memo: &mut HashMap<ExprId, Expr>) -> Expr {
+    fn go(e: Expr, memo: &mut HashMap<ExprId, Expr>) -> Expr {
+        if !e.id.is_scratch() {
+            return e;
+        }
+        if let Some(&done) = memo.get(&e.id) {
+            return done;
+        }
+        let out = match e.node() {
+            ExprNode::Zero => Expr::zero(),
+            ExprNode::One => Expr::one(),
+            ExprNode::Atom(s) => intern_global(ExprNode::Atom(s)),
+            ExprNode::Add(l, r) => intern_global(ExprNode::Add(go(l, memo), go(r, memo))),
+            ExprNode::Mul(l, r) => intern_global(ExprNode::Mul(go(l, memo), go(r, memo))),
+            ExprNode::Star(inner) => intern_global(ExprNode::Star(go(inner, memo))),
+        };
+        memo.insert(e.id, out);
+        out
+    }
+    go(*e, memo)
+}
+
+/// Number of distinct expressions in the **persistent** region — the
+/// arena footprint that survives every scratch scope. Monotone;
+/// observable via `nka --stats` and the CI memory-soak gate.
 #[must_use]
 pub fn interned_expr_count() -> usize {
     pool()
-        .shards
+        .maps
         .iter()
-        .map(|s| s.lock().expect("expression interner poisoned").nodes.len())
+        .map(|s| s.lock().expect("expression interner poisoned").ids.len())
         .sum()
 }
 
+/// Scratch nodes currently live (unretired) across all threads.
+#[must_use]
+pub fn scratch_live_nodes() -> usize {
+    SCRATCH_LIVE.load(Ordering::Relaxed)
+}
+
+/// Total resident arena nodes: persistent plus live scratch. This is
+/// the number a bounded-memory serving process watches.
+#[must_use]
+pub fn arena_resident_nodes() -> usize {
+    interned_expr_count() + scratch_live_nodes()
+}
+
+/// Scratch nodes retired (storage reclaimed) since process start. The
+/// gap between this and [`interned_expr_count`]'s growth is the memory
+/// the scope lifecycle saved.
+#[must_use]
+pub fn scratch_retired_total() -> u64 {
+    SCRATCH_RETIRED.load(Ordering::Relaxed)
+}
+
+/// The scratch-retirement epoch: advances every time a scope retires
+/// nodes, on any thread. Caches keyed on [`ExprId`] snapshot this and
+/// evict their scratch-keyed entries when it moves — retired ids are
+/// reused by later scopes, so a stale scratch key would otherwise alias
+/// a different term.
+#[must_use]
+pub fn scratch_epoch() -> u64 {
+    SCRATCH_EPOCH.load(Ordering::Acquire)
+}
+
 impl Expr {
-    /// The constant `0`.
+    /// The constant `0`. Always persistent.
     pub fn zero() -> Expr {
         static ZERO: OnceLock<Expr> = OnceLock::new();
-        *ZERO.get_or_init(|| intern(ExprNode::Zero))
+        *ZERO.get_or_init(|| intern_global(ExprNode::Zero))
     }
 
-    /// The constant `1`.
+    /// The constant `1`. Always persistent.
     pub fn one() -> Expr {
         static ONE: OnceLock<Expr> = OnceLock::new();
-        *ONE.get_or_init(|| intern(ExprNode::One))
+        *ONE.get_or_init(|| intern_global(ExprNode::One))
     }
 
     /// An atom for the given symbol.
@@ -258,23 +608,47 @@ impl Expr {
         self.id
     }
 
-    /// Resolves an id back to its expression, if one was interned under
-    /// it in this process.
+    /// Resolves an id back to its expression, if it is currently
+    /// resolvable: persistent ids resolve once interned in this
+    /// process; scratch ids only on their owning thread while their
+    /// scope is live (a retired slot returns `None` until reused).
     #[must_use]
     pub fn from_id(id: ExprId) -> Option<Expr> {
-        let shard = pool().shards[(id.0 as usize) & (SHARDS - 1)]
-            .lock()
-            .expect("expression interner poisoned");
-        shard
-            .nodes
-            .get((id.0 >> SHARD_BITS) as usize)
-            .map(|&node| Expr { id, node })
+        if id.is_scratch() {
+            let idx = (id.0 & !SCRATCH_BIT) as usize;
+            SCRATCH.with(|cell| (idx < cell.borrow().nodes.len()).then_some(Expr { id }))
+        } else {
+            let shard_idx = (id.0 as usize) & (SHARDS - 1);
+            let local = (id.0 >> SHARD_BITS) as usize;
+            let map = pool().maps[shard_idx]
+                .lock()
+                .expect("expression interner poisoned");
+            (local < map.ids.len()).then_some(Expr { id })
+        }
     }
 
-    /// A view of the root node. O(1) — the handle carries the node
-    /// reference; no arena lock is taken.
-    pub fn node(&self) -> &ExprNode {
-        self.node
+    /// The root node, by value (nodes are a few `Copy` words).
+    /// Persistent handles resolve lock-free; scratch handles read the
+    /// owning thread's scratch region.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a *stale* scratch handle — one whose [`ScratchScope`]
+    /// has been retired (promote what must outlive the scope), or one
+    /// that crossed to a thread that does not own it.
+    pub fn node(&self) -> ExprNode {
+        let raw = self.id.0;
+        if raw & SCRATCH_BIT == 0 {
+            return global_node(raw);
+        }
+        let idx = (raw & !SCRATCH_BIT) as usize;
+        SCRATCH.with(|cell| match cell.borrow().nodes.get(idx) {
+            Some(&node) => node,
+            None => panic!(
+                "stale scratch ExprId {idx}: its ScratchScope was retired (or the handle \
+                 crossed threads); promote expressions that must outlive their scope"
+            ),
+        })
     }
 
     /// Number of nodes in the expression read as a *tree* (shared
@@ -284,7 +658,7 @@ impl Expr {
     /// shared expressions (whose tree reading is exponentially larger
     /// than their arena footprint) still cost linear time.
     pub fn size(&self) -> usize {
-        fn go(e: &Expr, memo: &mut HashMap<ExprId, usize>) -> usize {
+        fn go(e: Expr, memo: &mut HashMap<ExprId, usize>) -> usize {
             if let Some(&n) = memo.get(&e.id) {
                 return n;
             }
@@ -298,7 +672,7 @@ impl Expr {
             memo.insert(e.id, n);
             n
         }
-        go(self, &mut HashMap::new())
+        go(*self, &mut HashMap::new())
     }
 
     /// Number of *distinct* interned subterms of this expression
@@ -331,7 +705,7 @@ impl Expr {
     /// Star-nesting depth (0 for star-free expressions). Memoized over
     /// the interned DAG like [`Expr::size`].
     pub fn star_height(&self) -> usize {
-        fn go(e: &Expr, memo: &mut HashMap<ExprId, usize>) -> usize {
+        fn go(e: Expr, memo: &mut HashMap<ExprId, usize>) -> usize {
             if let Some(&n) = memo.get(&e.id) {
                 return n;
             }
@@ -343,7 +717,7 @@ impl Expr {
             memo.insert(e.id, n);
             n
         }
-        go(self, &mut HashMap::new())
+        go(*self, &mut HashMap::new())
     }
 
     /// The set of atoms occurring in the expression.
@@ -361,7 +735,7 @@ impl Expr {
         match self.node() {
             ExprNode::Zero | ExprNode::One => {}
             ExprNode::Atom(s) => {
-                out.insert(*s);
+                out.insert(s);
             }
             ExprNode::Add(l, r) | ExprNode::Mul(l, r) => {
                 l.collect_atoms(out, seen);
@@ -378,13 +752,13 @@ impl Expr {
     /// distinct subterm, so substitution into a heavily shared
     /// expression is linear in its arena footprint.
     pub fn subst_atoms(&self, map: &HashMap<Symbol, Expr>) -> Expr {
-        fn go(e: &Expr, map: &HashMap<Symbol, Expr>, memo: &mut HashMap<ExprId, Expr>) -> Expr {
+        fn go(e: Expr, map: &HashMap<Symbol, Expr>, memo: &mut HashMap<ExprId, Expr>) -> Expr {
             if let Some(&done) = memo.get(&e.id()) {
                 return done;
             }
             let out = match e.node() {
-                ExprNode::Zero | ExprNode::One => *e,
-                ExprNode::Atom(s) => map.get(s).copied().unwrap_or(*e),
+                ExprNode::Zero | ExprNode::One => e,
+                ExprNode::Atom(s) => map.get(&s).copied().unwrap_or(e),
                 ExprNode::Add(l, r) => go(l, map, memo).add(&go(r, map, memo)),
                 ExprNode::Mul(l, r) => go(l, map, memo).mul(&go(r, map, memo)),
                 ExprNode::Star(inner) => go(inner, map, memo).star(),
@@ -392,7 +766,7 @@ impl Expr {
             memo.insert(e.id(), out);
             out
         }
-        go(self, map, &mut HashMap::new())
+        go(*self, map, &mut HashMap::new())
     }
 
     /// Whether the root is the constant `0`.
@@ -410,12 +784,12 @@ impl Expr {
     /// equal to the input in NKA. Note `e + e` is **not** collapsed — NKA
     /// has no idempotence. Memoized per distinct subterm.
     pub fn simplified(&self) -> Expr {
-        fn go(e: &Expr, memo: &mut HashMap<ExprId, Expr>) -> Expr {
+        fn go(e: Expr, memo: &mut HashMap<ExprId, Expr>) -> Expr {
             if let Some(&done) = memo.get(&e.id()) {
                 return done;
             }
             let out = match e.node() {
-                ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => *e,
+                ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => e,
                 ExprNode::Add(l, r) => {
                     let (l, r) = (go(l, memo), go(r, memo));
                     if l.is_zero() {
@@ -450,14 +824,14 @@ impl Expr {
             memo.insert(e.id(), out);
             out
         }
-        go(self, &mut HashMap::new())
+        go(*self, &mut HashMap::new())
     }
 
     /// Iterates over all subterm positions in pre-order, calling `f` with
     /// the path (child indices from the root) and the subterm.
     pub fn visit_subterms<F: FnMut(&[usize], &Expr)>(&self, f: &mut F) {
-        fn go<F: FnMut(&[usize], &Expr)>(e: &Expr, path: &mut Vec<usize>, f: &mut F) {
-            f(path, e);
+        fn go<F: FnMut(&[usize], &Expr)>(e: Expr, path: &mut Vec<usize>, f: &mut F) {
+            f(path, &e);
             match e.node() {
                 ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => {}
                 ExprNode::Add(l, r) | ExprNode::Mul(l, r) => {
@@ -475,13 +849,13 @@ impl Expr {
                 }
             }
         }
-        go(self, &mut Vec::new(), f);
+        go(*self, &mut Vec::new(), f);
     }
 
     /// The subterm at `path` (child indices from the root), if the path is
     /// valid.
-    pub fn subterm(&self, path: &[usize]) -> Option<&Expr> {
-        let mut cur = self;
+    pub fn subterm(&self, path: &[usize]) -> Option<Expr> {
+        let mut cur = *self;
         for &i in path {
             cur = match (cur.node(), i) {
                 (ExprNode::Add(l, _), 0) | (ExprNode::Mul(l, _), 0) => l,
@@ -501,9 +875,9 @@ impl Expr {
         }
         let (head, rest) = (path[0], &path[1..]);
         Some(match (self.node(), head) {
-            (ExprNode::Add(l, r), 0) => l.replace_at(rest, replacement)?.add(r),
+            (ExprNode::Add(l, r), 0) => l.replace_at(rest, replacement)?.add(&r),
             (ExprNode::Add(l, r), 1) => l.add(&r.replace_at(rest, replacement)?),
-            (ExprNode::Mul(l, r), 0) => l.replace_at(rest, replacement)?.mul(r),
+            (ExprNode::Mul(l, r), 0) => l.replace_at(rest, replacement)?.mul(&r),
             (ExprNode::Mul(l, r), 1) => l.mul(&r.replace_at(rest, replacement)?),
             (ExprNode::Star(e), 0) => e.replace_at(rest, replacement)?.star(),
             _ => return None,
@@ -531,8 +905,9 @@ impl From<Symbol> for Expr {
     }
 }
 
-/// Compile-time proof of the API v2 thread-safety contract: handles into
-/// the global arena move and share across threads.
+/// Compile-time proof of the API v2 thread-safety contract: handles move
+/// and share across threads. (Scratch handles additionally resolve only
+/// on their owning thread — a runtime, not a type-level, property.)
 #[allow(dead_code)]
 fn _static_assert_send_sync() {
     fn check<T: Send + Sync>() {}
@@ -552,11 +927,11 @@ fn fmt_prec(e: &Expr, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
             if need_paren {
                 write!(f, "(")?;
             }
-            fmt_prec(l, f, 0)?;
+            fmt_prec(&l, f, 0)?;
             write!(f, " + ")?;
             // Sums print left-associatively, so a right operand that is
             // itself a sum needs parentheses to round-trip structurally.
-            fmt_prec(r, f, 1)?;
+            fmt_prec(&r, f, 1)?;
             if need_paren {
                 write!(f, ")")?;
             }
@@ -567,11 +942,11 @@ fn fmt_prec(e: &Expr, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
             if need_paren {
                 write!(f, "(")?;
             }
-            fmt_prec(l, f, 1)?;
+            fmt_prec(&l, f, 1)?;
             write!(f, " ")?;
             // Right operand of a product needs parens if it is itself a sum
             // or a product (we print left-associatively).
-            fmt_prec(r, f, 2)?;
+            fmt_prec(&r, f, 2)?;
             if need_paren {
                 write!(f, ")")?;
             }
@@ -580,11 +955,11 @@ fn fmt_prec(e: &Expr, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
         ExprNode::Star(inner) => {
             match inner.node() {
                 ExprNode::Zero | ExprNode::One | ExprNode::Atom(_) => {
-                    fmt_prec(inner, f, 2)?;
+                    fmt_prec(&inner, f, 2)?;
                 }
                 _ => {
                     write!(f, "(")?;
-                    fmt_prec(inner, f, 0)?;
+                    fmt_prec(&inner, f, 0)?;
                     write!(f, ")")?;
                 }
             }
@@ -726,7 +1101,7 @@ mod tests {
     fn paths_and_replacement() {
         let e: Expr = "(p q)* r".parse().unwrap();
         // (Mul (Star (Mul p q)) r): path [0,0,1] is q.
-        assert_eq!(e.subterm(&[0, 0, 1]).unwrap(), &a("q"));
+        assert_eq!(e.subterm(&[0, 0, 1]).unwrap(), a("q"));
         let replaced = e.replace_at(&[0, 0, 1], &a("z")).unwrap();
         assert_eq!(replaced, "(p z)* r".parse().unwrap());
         assert!(e.subterm(&[5]).is_none());
@@ -772,5 +1147,107 @@ mod tests {
             .collect();
         let ids: Vec<ExprId> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// The scratch counters (`scratch_live_nodes`, …) are process-global
+    /// and only scope-using tests touch them; serialize those tests so
+    /// their exact-count assertions don't race each other.
+    fn scope_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn scratch_scope_reclaims_new_terms() {
+        let _serial = scope_test_lock();
+        // Persistent baseline terms, so the scope has something global
+        // to dedup against.
+        let base: Expr = "scrA scrB".parse().unwrap();
+        let live_before = scratch_live_nodes();
+        let retired_before = scratch_retired_total();
+        {
+            let scope = ScratchScope::enter();
+            // Known structure stays persistent even inside the scope.
+            let again: Expr = "scrA scrB".parse().unwrap();
+            assert_eq!(again, base);
+            assert!(!again.id().is_scratch());
+            // New structure goes to scratch and dedups within the scope.
+            let s1 = base.star();
+            let s2 = base.star();
+            assert!(s1.id().is_scratch());
+            assert_eq!(s1, s2);
+            assert_eq!(s1.to_string(), "(scrA scrB)*");
+            assert_eq!(scope.live_nodes(), 1);
+            assert_eq!(scratch_live_nodes(), live_before + 1);
+        }
+        // Retirement reclaimed every scratch node and advanced the epoch.
+        assert_eq!(scratch_live_nodes(), live_before);
+        assert_eq!(scratch_retired_total(), retired_before + 1);
+    }
+
+    #[test]
+    fn promote_survives_retirement() {
+        let _serial = scope_test_lock();
+        let epoch_before = scratch_epoch();
+        let kept = {
+            let scope = ScratchScope::enter();
+            let t: Expr = "prA (prB + prA)".parse().unwrap();
+            assert!(t.id().is_scratch());
+            scope.promote(&t)
+        };
+        assert!(!kept.id().is_scratch());
+        assert!(scratch_epoch() > epoch_before);
+        // The promoted term is fully resolvable after retirement.
+        assert_eq!(kept.to_string(), "prA (prB + prA)");
+        assert_eq!(kept, "prA (prB + prA)".parse().unwrap());
+        assert!(!kept.subterm(&[1]).unwrap().id().is_scratch());
+    }
+
+    #[test]
+    fn scopes_nest_lifo_and_truncate_to_watermarks() {
+        let _serial = scope_test_lock();
+        let outer = ScratchScope::enter();
+        let t_outer = a("nestX").add(&a("nestY"));
+        assert!(t_outer.id().is_scratch());
+        let live_at_inner = scratch_live_nodes();
+        {
+            let _inner = ScratchScope::enter();
+            let t_inner = t_outer.mul(&t_outer).star();
+            assert!(t_inner.id().is_scratch());
+            assert!(scratch_live_nodes() > live_at_inner);
+        }
+        // Inner retirement reclaimed only the inner terms.
+        assert_eq!(scratch_live_nodes(), live_at_inner);
+        assert_eq!(t_outer.to_string(), "nestX + nestY");
+        drop(outer);
+    }
+
+    #[test]
+    fn stale_scratch_ids_do_not_resolve() {
+        let _serial = scope_test_lock();
+        let id = {
+            let _scope = ScratchScope::enter();
+            let t = a("staleP").add(&a("staleQ")).star();
+            assert!(t.id().is_scratch());
+            assert_eq!(Expr::from_id(t.id()), Some(t));
+            t.id()
+        };
+        assert_eq!(Expr::from_id(id), None);
+    }
+
+    #[test]
+    fn rebuilding_scratch_structure_after_retirement_is_persistent() {
+        // A term first seen as scratch gets a fresh persistent identity
+        // when rebuilt after the scope — and stays self-consistent.
+        let _serial = scope_test_lock();
+        {
+            let _scope = ScratchScope::enter();
+            let t: Expr = "rebA rebB rebC".parse().unwrap();
+            assert!(t.id().is_scratch());
+        }
+        let t: Expr = "rebA rebB rebC".parse().unwrap();
+        assert!(!t.id().is_scratch());
+        assert_eq!(t, "rebA rebB rebC".parse().unwrap());
     }
 }

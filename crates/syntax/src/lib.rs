@@ -31,7 +31,10 @@ mod parser;
 mod symbol;
 mod word;
 
-pub use expr::{interned_expr_count, Expr, ExprId, ExprNode};
+pub use expr::{
+    arena_resident_nodes, interned_expr_count, promote, promote_memoized, scratch_epoch,
+    scratch_live_nodes, scratch_retired_total, Expr, ExprId, ExprNode, ScratchScope,
+};
 pub use generator::{random_expr, ExprGenConfig};
 pub use parser::ParseExprError;
 pub use symbol::Symbol;

@@ -138,6 +138,17 @@ impl DeciderStats {
 }
 
 /// The memoizing, budgeted decision engine. See the [module docs](self).
+///
+/// # Scratch-epoch hygiene (Arena lifecycle v1)
+///
+/// Cache keys are [`ExprId`]s, and scratch ids (interned under a
+/// `nka_syntax::ScratchScope`) are *reused* after their scope retires.
+/// The engine therefore snapshots [`nka_syntax::scratch_epoch`] and, on
+/// observing an advance at any public entry point, evicts every cache
+/// entry whose key involves a scratch id — persistent-keyed entries
+/// survive untouched, so retirement costs the warm path nothing (the
+/// common case, where no scratch id ever entered the engine, is a
+/// single integer compare).
 #[derive(Debug, Default)]
 pub struct Decider {
     opts: DecideOptions,
@@ -155,6 +166,13 @@ pub struct Decider {
     /// orientations of a symmetric query.
     nka_verdicts: HashMap<(ExprId, ExprId), bool>,
     ka_verdicts: HashMap<(ExprId, ExprId), bool>,
+    /// The scratch-retirement epoch the caches are consistent with.
+    seen_scratch_epoch: u64,
+    /// Number of live cache entries keyed (partly) on scratch ids; when
+    /// zero, an epoch advance needs no scan at all.
+    scratch_keyed: usize,
+    /// Scratch-keyed purges performed (observability for tests/stats).
+    scratch_purges: u64,
     stats: DeciderStats,
 }
 
@@ -205,6 +223,52 @@ impl Decider {
         self.stats
     }
 
+    /// How many times this engine evicted scratch-keyed cache entries
+    /// after observing a scratch-epoch advance. Stays zero for engines
+    /// that only ever see persistent expressions.
+    #[must_use]
+    pub fn scratch_purges(&self) -> u64 {
+        self.scratch_purges
+    }
+
+    /// Brings the caches in line with the current scratch epoch: if any
+    /// scope retired since the last call *and* this engine holds
+    /// scratch-keyed entries, those entries are evicted (their ids may
+    /// since name different terms). Called at every public entry point;
+    /// O(1) unless both conditions hold.
+    fn sync_scratch_epoch(&mut self) {
+        // Warm-path fast exit: with no scratch-keyed entries there is
+        // nothing a stale epoch could mis-serve — skip even the atomic
+        // epoch load. `seen_scratch_epoch` is (re)captured whenever the
+        // first scratch-keyed entry goes in (`note_scratch_key`).
+        if self.scratch_keyed == 0 {
+            return;
+        }
+        let epoch = nka_syntax::scratch_epoch();
+        if epoch == self.seen_scratch_epoch {
+            return;
+        }
+        self.seen_scratch_epoch = epoch;
+        self.exprs.retain(|id, _| !id.is_scratch());
+        self.infinity_dfas.retain(|(id, _), _| !id.is_scratch());
+        self.support_dfas.retain(|(id, _), _| !id.is_scratch());
+        self.nka_verdicts
+            .retain(|(a, b), _| !a.is_scratch() && !b.is_scratch());
+        self.ka_verdicts
+            .retain(|(a, b), _| !a.is_scratch() && !b.is_scratch());
+        self.scratch_keyed = 0;
+        self.scratch_purges += 1;
+    }
+
+    /// Records that a scratch-keyed cache entry is being inserted; the
+    /// first one pins the epoch the entry is valid under.
+    fn note_scratch_key(&mut self) {
+        if self.scratch_keyed == 0 {
+            self.seen_scratch_epoch = nka_syntax::scratch_epoch();
+        }
+        self.scratch_keyed += 1;
+    }
+
     /// Decides `⊢NKA e = f` (Remark 2.1 / Theorem A.6).
     ///
     /// # Errors
@@ -214,6 +278,7 @@ impl Decider {
     /// query on an engine with a larger budget starts from whatever
     /// intermediates did fit.
     pub fn decide(&mut self, e: &Expr, f: &Expr) -> Result<bool, DecideError> {
+        self.sync_scratch_epoch();
         self.stats.nka_queries += 1;
         let key = pair_key(e, f);
         if let Some(&hit) = self.nka_verdicts.get(&key) {
@@ -239,6 +304,9 @@ impl Decider {
                 is_zero_series(&restricted)
             }
         };
+        if key.0.is_scratch() || key.1.is_scratch() {
+            self.note_scratch_key();
+        }
         self.nka_verdicts.insert(key, verdict);
         Ok(verdict)
     }
@@ -250,6 +318,7 @@ impl Decider {
     ///
     /// Returns [`DecideError`] on subset-construction overflow.
     pub fn ka_equiv(&mut self, e: &Expr, f: &Expr) -> Result<bool, DecideError> {
+        self.sync_scratch_epoch();
         self.stats.ka_queries += 1;
         let key = pair_key(e, f);
         if let Some(&hit) = self.ka_verdicts.get(&key) {
@@ -260,6 +329,9 @@ impl Decider {
         let de = self.support_dfa(e, &alphabet)?;
         let df = self.support_dfa(f, &alphabet)?;
         let verdict = de.equivalent(&df);
+        if key.0.is_scratch() || key.1.is_scratch() {
+            self.note_scratch_key();
+        }
         self.ka_verdicts.insert(key, verdict);
         Ok(verdict)
     }
@@ -278,6 +350,7 @@ impl Decider {
     ///
     /// Returns [`DecideError`] on subset-construction overflow.
     pub fn ka_accepts(&mut self, e: &Expr, word: &[Symbol]) -> Result<bool, DecideError> {
+        self.sync_scratch_epoch();
         let mut alphabet: BTreeSet<Symbol> = e.atoms();
         alphabet.extend(word.iter().copied());
         let alphabet: Vec<Symbol> = alphabet.into_iter().collect();
@@ -297,6 +370,9 @@ impl Decider {
             wfa,
             rational: OnceLock::new(),
         });
+        if e.id().is_scratch() {
+            self.note_scratch_key();
+        }
         self.exprs.insert(e.id(), Arc::clone(&compiled));
         compiled
     }
@@ -327,6 +403,9 @@ impl Decider {
                 .infinity_support()
                 .determinize(alphabet, self.opts.max_dfa_states)?,
         );
+        if key.0.is_scratch() {
+            self.note_scratch_key();
+        }
         self.infinity_dfas.insert(key, Arc::clone(&dfa));
         Ok(dfa)
     }
@@ -342,6 +421,9 @@ impl Decider {
         self.stats.dfa_misses += 1;
         let dfa =
             Arc::new(support_nfa(&compiled.wfa).determinize(alphabet, self.opts.max_dfa_states)?);
+        if key.0.is_scratch() {
+            self.note_scratch_key();
+        }
         self.support_dfas.insert(key, Arc::clone(&dfa));
         Ok(dfa)
     }
@@ -515,6 +597,37 @@ mod tests {
         });
         assert!(engine.decide(&e("(p q)* p"), &e("p (q p)*")).unwrap());
         assert!(!engine.decide(&e("p + p"), &e("p")).unwrap());
+    }
+
+    #[test]
+    fn scratch_keyed_entries_are_evicted_on_epoch_advance() {
+        let mut engine = Decider::new();
+        let (l, r) = (e("epochA"), e("epochB"));
+        assert!(!engine.decide(&l, &r).unwrap());
+        {
+            let _scope = nka_syntax::ScratchScope::enter();
+            let scratch = l.star().mul(&r.star()).star();
+            assert!(scratch.id().is_scratch());
+            // Caches a compiled automaton, DFA, and verdict under a
+            // scratch id.
+            assert!(engine.decide(&scratch, &scratch).unwrap());
+            assert_eq!(engine.scratch_purges(), 0);
+        }
+        // The scope retired; the next entry point must purge the
+        // scratch-keyed entries (their id may name a different term
+        // now) while the persistent verdict stays a cache hit.
+        let hits_before = engine.stats().answer_hits;
+        assert!(!engine.decide(&l, &r).unwrap());
+        assert_eq!(engine.stats().answer_hits, hits_before + 1);
+        assert_eq!(engine.scratch_purges(), 1);
+        // A second retirement with no scratch-keyed entries left is a
+        // no-op, not another scan.
+        {
+            let _scope = nka_syntax::ScratchScope::enter();
+            let _ = l.star().star().star();
+        }
+        assert!(!engine.decide(&l, &r).unwrap());
+        assert_eq!(engine.scratch_purges(), 1);
     }
 
     #[test]

@@ -154,12 +154,12 @@ impl Builder {
             ExprNode::Atom(a) => {
                 let s = self.fresh();
                 let t = self.fresh();
-                self.sym_edges.push((s, *a, t));
+                self.sym_edges.push((s, a, t));
                 (s, t)
             }
             ExprNode::Add(l, r) => {
-                let (ls, la) = self.build(l);
-                let (rs, ra) = self.build(r);
+                let (ls, la) = self.build(&l);
+                let (rs, ra) = self.build(&r);
                 let s = self.fresh();
                 let t = self.fresh();
                 self.eps_edges.push((s, ls));
@@ -169,13 +169,13 @@ impl Builder {
                 (s, t)
             }
             ExprNode::Mul(l, r) => {
-                let (ls, la) = self.build(l);
-                let (rs, ra) = self.build(r);
+                let (ls, la) = self.build(&l);
+                let (rs, ra) = self.build(&r);
                 self.eps_edges.push((la, rs));
                 (ls, ra)
             }
             ExprNode::Star(inner) => {
-                let (is, ia) = self.build(inner);
+                let (is, ia) = self.build(&inner);
                 let s = self.fresh();
                 let t = self.fresh();
                 self.eps_edges.push((s, is)); // enter the loop

@@ -16,12 +16,14 @@
 //! nka [--budget N] [--json] prove '<lhs>' '<rhs>' [hyp]…
 //!                                      search for a rewrite proof under
 //!                                      hypotheses of the form 'l = r'
-//! nka [--budget N] [--stats] [--json] [--jobs N] batch [FILE]
+//! nka [--budget N] [--stats] [--json] [--jobs N]
+//!     [--max-queries-per-worker N] batch [FILE]
 //!                                      run a stream of queries (JSONL or
 //!                                      'e = f' per line; FILE or '-' =
 //!                                      stdin) on one warm engine, or
 //!                                      sharded over N worker sessions
-//! nka [--budget N] [--stats] [--json] serve
+//! nka [--budget N] [--stats] [--json] [--max-queries-per-worker N]
+//!     [--max-arena-nodes N] serve
 //!                                      line-oriented request/response
 //!                                      loop on stdin/stdout
 //! nka encode-demo                      encode a sample quantum program
@@ -29,14 +31,23 @@
 //!
 //! `--budget N` caps every subset construction at `N` DFA states
 //! (default 100 000) and `--stats` prints the engine's cache counters,
-//! per-stream expression-size accounting, and the process-wide interner
-//! footprint to stderr at exit. `--jobs N` (batch only) shards the
-//! stream across `N` parallel worker sessions ([`run_batch_parallel`]);
-//! verdicts, output order, and exit codes are identical to `--jobs 1`.
-//! Note `--jobs` needs the whole work-list before sharding, so it reads
-//! the stream to EOF and buffers all responses (O(stream) memory, no
-//! output until the input closes) — keep the default `--jobs 1`, which
-//! streams line-by-line in O(1) memory, for live pipelines.
+//! per-stream expression-size accounting, and the arena lifecycle
+//! footprint (persistent vs scratch nodes, reclamation totals) to
+//! stderr at exit. `--jobs N` (batch only) shards the stream across `N`
+//! parallel worker sessions ([`run_batch_parallel_traced`]); verdicts, output
+//! order, and exit codes are identical to `--jobs 1`. The parallel path
+//! reads and answers the stream in bounded chunks, so it works on live
+//! pipelines in O(chunk) memory (each chunk's responses flush before
+//! the next chunk is read; `--jobs 1` remains fully line-by-line).
+//!
+//! Memory governance (`serve`/`batch`): `--max-queries-per-worker N`
+//! recycles a worker session's engine caches after `N` queries, and
+//! `--max-queries-per-worker`-recycled workers keep cumulative
+//! `--stats`; `serve --max-arena-nodes M` exits with code `3` once the
+//! process-wide resident arena exceeds `M` nodes — the supervisor
+//! restart is the only way to shed *persistent* arena growth, and the
+//! exit is the defense-in-depth backstop behind the scoped reclamation
+//! the prover already does per query.
 //! The wire format of `batch`/`serve` is documented in
 //! [`nka_core::api::wire`].
 //!
@@ -45,8 +56,8 @@
 //! search budget); `2` usage or parse error; `3` the decision engine ran
 //! out of its state budget. `batch` exits `0` when every line was
 //! answered (whatever the verdicts), `2` if any line was malformed, else
-//! `3` if any query exhausted the budget. `serve` always exits `0` at
-//! end of input.
+//! `3` if any query exhausted the budget. `serve` exits `0` at end of
+//! input, or `3` when `--max-arena-nodes` trips mid-stream.
 //!
 //! Examples:
 //!
@@ -58,7 +69,9 @@
 //! echo '(p q)* p = p (q p)*' | cargo run --bin nka -- batch --json
 //! ```
 
-use nka_core::api::{run_batch_parallel, wire, ApiError, Query, Session, SessionOptions, Verdict};
+use nka_core::api::{
+    run_batch_parallel_traced, wire, ApiError, Query, Session, SessionOptions, Verdict,
+};
 use nka_core::Judgment;
 use nka_wfa::{DecideOptions, DeciderStats};
 use std::io::{BufRead, Write};
@@ -84,7 +97,7 @@ const EXIT_NO: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_BUDGET: u8 = 3;
 
-const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] [--jobs N] batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] serve\n  nka encode-demo\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n--jobs N shards a batch across N parallel worker sessions; verdicts,\noutput order, and exit codes are identical to --jobs 1.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; batch: 0 all answered, 2 any malformed line,\nelse 3 any budget-exhausted query; serve: 0 at end of input";
+const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] [--jobs N] [--max-queries-per-worker N]\n      batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] [--max-queries-per-worker N]\n      [--max-arena-nodes N] serve\n  nka encode-demo\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n--jobs N shards a batch across N parallel worker sessions in bounded\nchunks; verdicts, output order, and exit codes are identical to\n--jobs 1. --max-queries-per-worker N recycles a session's engine\ncaches every N queries (memory backstop; verdicts unchanged);\nserve --max-arena-nodes N exits 3 once the process-wide resident\nexpression arena exceeds N nodes, so a supervisor can restart it.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; batch: 0 all answered, 2 any malformed line,\nelse 3 any budget-exhausted query; serve: 0 at end of input, 3 if\n--max-arena-nodes tripped";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -97,6 +110,7 @@ struct StatsReport {
     stats: DeciderStats,
     expr_nodes: u64,
     expr_subterms: u64,
+    engine_recycles: u64,
 }
 
 impl StatsReport {
@@ -105,6 +119,7 @@ impl StatsReport {
             stats: session.stats(),
             expr_nodes: session.expr_nodes_seen(),
             expr_subterms: session.expr_subterms_seen(),
+            engine_recycles: session.engine_recycles(),
         }
     }
 
@@ -126,6 +141,15 @@ impl StatsReport {
             self.expr_subterms,
             nka_syntax::interned_expr_count(),
         );
+        eprintln!(
+            "arena stats: {} resident nodes ({} persistent + {} live scratch), {} scratch retired over {} scopes, {} engine recycles",
+            nka_syntax::arena_resident_nodes(),
+            nka_syntax::interned_expr_count(),
+            nka_syntax::scratch_live_nodes(),
+            nka_syntax::scratch_retired_total(),
+            nka_syntax::scratch_epoch(),
+            self.engine_recycles,
+        );
     }
 }
 
@@ -134,6 +158,8 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut json = false;
     let mut jobs: usize = 1;
+    let mut max_queries_per_worker: Option<u64> = None;
+    let mut max_arena_nodes: Option<usize> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -164,6 +190,34 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--max-queries-per-worker" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--max-queries-per-worker needs a value");
+                    return usage();
+                };
+                match value.parse::<u64>() {
+                    Ok(n) if n > 0 => max_queries_per_worker = Some(n),
+                    _ => {
+                        eprintln!(
+                            "--max-queries-per-worker needs a positive integer, got {value:?}"
+                        );
+                        return usage();
+                    }
+                }
+            }
+            "--max-arena-nodes" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--max-arena-nodes needs a value");
+                    return usage();
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => max_arena_nodes = Some(n),
+                    _ => {
+                        eprintln!("--max-arena-nodes needs a positive integer, got {value:?}");
+                        return usage();
+                    }
+                }
+            }
             "--stats" => stats = true,
             "--json" => json = true,
             "--help" | "-h" => {
@@ -175,16 +229,33 @@ fn main() -> ExitCode {
         }
     }
 
-    if jobs > 1 && rest.first().map(String::as_str) != Some("batch") {
+    let command = rest.first().map(String::as_str);
+    if jobs > 1 && command != Some("batch") {
         eprintln!("--jobs only applies to batch");
         return usage();
     }
+    if max_queries_per_worker.is_some() && !matches!(command, Some("batch") | Some("serve")) {
+        eprintln!("--max-queries-per-worker only applies to batch and serve");
+        return usage();
+    }
+    if max_arena_nodes.is_some() && command != Some("serve") {
+        eprintln!("--max-arena-nodes only applies to serve");
+        return usage();
+    }
 
-    let mut session = Session::with_budget(budget);
+    let opts = SessionOptions {
+        decide: DecideOptions {
+            max_dfa_states: budget,
+            ..DecideOptions::default()
+        },
+        recycle_after_queries: max_queries_per_worker,
+        ..SessionOptions::default()
+    };
+    let mut session = Session::with_options(opts.clone());
     // The parallel batch path runs on worker sessions, not `session`;
     // it reports its aggregated stats here.
     let mut report: Option<StatsReport> = None;
-    let code = match rest.first().map(String::as_str) {
+    let code = match command {
         Some("decide") if rest.len() == 3 => {
             one_shot(&mut session, json, Query::nka_eq(&rest[1], &rest[2]))
         }
@@ -213,13 +284,13 @@ fn main() -> ExitCode {
             batch(&mut session, json, rest.get(1).map(String::as_str))
         }
         Some("batch") if rest.len() <= 2 => batch_parallel(
-            budget,
+            &opts,
             json,
             jobs,
             rest.get(1).map(String::as_str),
             &mut report,
         ),
-        Some("serve") if rest.len() == 1 => serve(&mut session, json),
+        Some("serve") if rest.len() == 1 => serve(&mut session, json, max_arena_nodes),
         Some("encode-demo") => encode_demo(),
         _ => return usage(),
     };
@@ -371,24 +442,34 @@ fn batch(session: &mut Session, json: bool, source: Option<&str>) -> ExitCode {
 }
 
 /// One decoded input line of a parallel batch: skippable, an index into
-/// the query/response vectors, or a malformed line kept in place so
-/// output order and exit codes match the sequential path.
+/// the chunk's query/response vectors, or a malformed line kept in
+/// place so output order and exit codes match the sequential path.
 enum BatchLine {
     Skip,
     Query(usize),
     Error(usize, ApiError),
 }
 
-/// `nka batch --jobs N`: decode the whole stream up front, shard the
-/// well-formed queries across `N` worker sessions
-/// ([`run_batch_parallel`]), then emit one output line per input line
-/// in input order — byte-for-byte the same verdicts and exit code as
-/// the sequential path, with only the per-response `stats`/`micros`
-/// fields reflecting the sharded execution. A mid-stream read error
-/// matches the sequential path too: the lines read before it are still
-/// answered and printed, then the error reports and the exit is `2`.
+/// Input lines a parallel batch reads and answers per chunk. Bounds the
+/// memory of `--jobs N` to O(chunk) and gives live pipelines output at
+/// chunk granularity (PR 3's parallel path buffered the entire stream
+/// to EOF — the documented limitation this fixes). Large enough that
+/// each chunk amortizes its worker threads' spawn cost.
+const PARALLEL_CHUNK_LINES: usize = 256;
+
+/// `nka batch --jobs N`: read the stream in chunks of
+/// [`PARALLEL_CHUNK_LINES`], shard each chunk's well-formed queries
+/// across `N` worker sessions ([`run_batch_parallel_traced`]), and emit one
+/// output line per input line in input order before reading the next
+/// chunk — byte-for-byte the same verdicts and exit code as the
+/// sequential path, with only the per-response `stats`/`micros` fields
+/// reflecting the sharded execution. (Worker caches reset per chunk;
+/// verdicts are cache-independent, so only throughput varies.) A
+/// mid-stream read error matches the sequential path too: the lines
+/// read before it are still answered and printed, then the error
+/// reports and the exit is `2`.
 fn batch_parallel(
-    budget: usize,
+    opts: &SessionOptions,
     json: bool,
     jobs: usize,
     source: Option<&str>,
@@ -404,62 +485,77 @@ fn batch_parallel(
             }
         },
     };
-    let mut lines: Vec<BatchLine> = Vec::new();
-    let mut queries: Vec<Query> = Vec::new();
-    let mut read_error: Option<String> = None;
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = match line {
-            Ok(line) => line,
-            Err(err) => {
-                // Like the sequential path, the lines already read are
-                // still answered; the error is reported after them.
-                read_error = Some(format!("read error on line {}: {err}", lineno + 1));
-                break;
-            }
-        };
-        let decoded = match wire::decode_request(&line) {
-            Ok(None) => BatchLine::Skip,
-            Ok(Some(query)) => {
-                queries.push(query);
-                BatchLine::Query(queries.len() - 1)
-            }
-            Err(err) => BatchLine::Error(lineno + 1, err),
-        };
-        lines.push(decoded);
-    }
-
-    let opts = SessionOptions {
-        decide: DecideOptions {
-            max_dfa_states: budget,
-            ..DecideOptions::default()
-        },
-        ..SessionOptions::default()
-    };
-    let responses = run_batch_parallel(&queries, &opts, jobs);
     let mut agg = StatsReport {
         stats: DeciderStats::default(),
         expr_nodes: 0,
         expr_subterms: 0,
+        engine_recycles: 0,
     };
     let mut code = EXIT_OK;
-    for decoded in &lines {
-        match decoded {
-            BatchLine::Skip => {}
-            BatchLine::Query(i) => {
-                let (query, resp) = (&queries[*i], &responses[*i]);
-                emit_response(query, resp, json);
-                agg.stats = agg.stats.merged(&resp.stats_delta);
-                agg.expr_nodes += resp.expr_nodes;
-                agg.expr_subterms += resp.expr_subterms;
-                code = fold_exit(code, verdict_exit(&resp.verdict));
-            }
-            BatchLine::Error(lineno, err) => {
-                emit_error(err, json);
-                eprintln!("  (line {lineno})");
-                code = fold_exit(code, EXIT_USAGE);
+    let mut read_error: Option<String> = None;
+    let mut lineno = 0usize;
+
+    let mut lines: Vec<BatchLine> = Vec::new();
+    let mut queries: Vec<Query> = Vec::new();
+    let mut input = reader.lines();
+    loop {
+        // Fill one chunk (or stop early on EOF / read error).
+        lines.clear();
+        queries.clear();
+        while lines.len() < PARALLEL_CHUNK_LINES {
+            lineno += 1;
+            match input.next() {
+                None => break,
+                Some(Ok(line)) => {
+                    let decoded = match wire::decode_request(&line) {
+                        Ok(None) => BatchLine::Skip,
+                        Ok(Some(query)) => {
+                            queries.push(query);
+                            BatchLine::Query(queries.len() - 1)
+                        }
+                        Err(err) => BatchLine::Error(lineno, err),
+                    };
+                    lines.push(decoded);
+                }
+                Some(Err(err)) => {
+                    // Like the sequential path, the lines already read
+                    // are still answered; the error reports after them.
+                    read_error = Some(format!("read error on line {lineno}: {err}"));
+                    break;
+                }
             }
         }
+        if lines.is_empty() {
+            break;
+        }
+
+        // Answer and flush this chunk before reading the next.
+        let (responses, recycles) = run_batch_parallel_traced(&queries, opts, jobs);
+        agg.engine_recycles += recycles;
+        for decoded in &lines {
+            match decoded {
+                BatchLine::Skip => {}
+                BatchLine::Query(i) => {
+                    let (query, resp) = (&queries[*i], &responses[*i]);
+                    emit_response(query, resp, json);
+                    agg.stats = agg.stats.merged(&resp.stats_delta);
+                    agg.expr_nodes += resp.expr_nodes;
+                    agg.expr_subterms += resp.expr_subterms;
+                    code = fold_exit(code, verdict_exit(&resp.verdict));
+                }
+                BatchLine::Error(lineno, err) => {
+                    emit_error(err, json);
+                    eprintln!("  (line {lineno})");
+                    code = fold_exit(code, EXIT_USAGE);
+                }
+            }
+        }
+        let _ = std::io::stdout().flush();
+        if read_error.is_some() {
+            break;
+        }
     }
+
     *report = Some(agg);
     if let Some(msg) = read_error {
         eprintln!("{msg}");
@@ -469,14 +565,29 @@ fn batch_parallel(
 }
 
 /// `nka serve`: request/response loop for driving from another process —
-/// one response line per request line, flushed immediately.
-fn serve(session: &mut Session, json: bool) -> ExitCode {
+/// one response line per request line, flushed immediately. With
+/// `--max-arena-nodes N`, the loop stops with exit code `3` once the
+/// process-wide resident expression arena exceeds `N` nodes: recycling
+/// the *process* is the only way to shed persistent-arena growth, so a
+/// supervisor is expected to restart it (engine caches recycle
+/// in-process via `--max-queries-per-worker` long before this trips).
+fn serve(session: &mut Session, json: bool, max_arena_nodes: Option<usize>) -> ExitCode {
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let Ok(line) = line else { break };
         run_line(session, json, &line);
         if std::io::stdout().flush().is_err() {
             break; // downstream went away; exit quietly
+        }
+        if let Some(cap) = max_arena_nodes {
+            let resident = nka_syntax::arena_resident_nodes();
+            if resident > cap {
+                eprintln!(
+                    "arena cap exceeded: {resident} resident expression nodes > \
+                     --max-arena-nodes {cap}; exiting for worker recycling"
+                );
+                return ExitCode::from(EXIT_BUDGET);
+            }
         }
     }
     ExitCode::from(EXIT_OK)

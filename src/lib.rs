@@ -57,7 +57,9 @@ pub use nka_apps as apps;
 pub use nka_core as nka;
 // Query API v1 — the typed request/response surface; see `nka_core::api`.
 pub use nka_core::api;
-pub use nka_core::api::{run_batch_parallel, ApiError, Query, Response, Session, Verdict};
+pub use nka_core::api::{
+    run_batch_parallel, ApiError, MemoryStats, Query, Response, Session, SessionOptions, Verdict,
+};
 pub use nka_qpath as qpath;
 pub use nka_qprog as qprog;
 pub use nka_semiring as semiring;

@@ -1,0 +1,174 @@
+//! Memory-soak gate for the arena lifecycle (Arena lifecycle v1).
+//!
+//! The PR 3 arena was append-only and the auto-prover interned every
+//! transient search term, so a long-lived `serve` process grew without
+//! bound under adversarially *distinct* `Prove` traffic (ROADMAP open
+//! item). This suite is the enforced, observable boundedness property:
+//! it drives 10 000 distinct `Prove` queries through one `Session` and
+//! asserts the resident arena stays within a constant of the
+//! *persistent query set* — not O(total search terms) — because every
+//! search frontier is scratch-interned and retired when its query
+//! answers.
+//!
+//! CI runs this file as its own release-mode step with `--nocapture`,
+//! so the counts below land in the build log. `ARENA_SOAK_QUERIES`
+//! overrides the query count (e.g. for quick local runs).
+
+use nka_quantum::syntax::{
+    arena_resident_nodes, interned_expr_count, scratch_live_nodes, scratch_retired_total,
+};
+use nka_quantum::{Query, Session, SessionOptions, Verdict};
+use std::sync::Mutex;
+
+/// Both tests assert on process-global arena counters inside
+/// before/after windows; run them serially so neither perturbs the
+/// other's window (cargo test runs `#[test]`s on parallel threads).
+fn soak_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn soak_queries() -> usize {
+    std::env::var("ARENA_SOAK_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}
+
+/// A distinct 14-letter word over `{sa, sb}` per index — fixed small
+/// alphabet (so the symbol table stays constant), distinct structure
+/// (so every query is genuinely new to the arena).
+fn word(i: usize) -> String {
+    (0..14)
+        .map(|b| if (i >> b) & 1 == 1 { "sa" } else { "sb" })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[test]
+fn distinct_prove_traffic_keeps_the_arena_bounded() {
+    let _serial = soak_lock();
+    let n = soak_queries();
+    // Unprovable goals under commuting hypotheses: `sx w = w sy` needs
+    // sx to *become* sy, which no rule allows — every search exhausts
+    // its (small) expansion budget after materializing a frontier of
+    // transient rewrite terms. That frontier is exactly the memory the
+    // scope lifecycle must reclaim.
+    let hyps = ["sx sa = sa sx", "sx sb = sb sx"];
+    let queries: Vec<Query> = (0..n)
+        .map(|i| {
+            let w = word(i);
+            Query::prove(&format!("sx {w}"), &format!("{w} sy"), &hyps).expect("well-formed")
+        })
+        .collect();
+
+    // Everything the queries themselves intern is now resident: this is
+    // the persistent query set the soak is allowed to cost.
+    let persistent_before = interned_expr_count();
+    let resident_before = arena_resident_nodes();
+    let retired_before = scratch_retired_total();
+
+    let mut session = Session::with_options(SessionOptions {
+        // Small per-query search budget: the soak measures arena
+        // behavior, not prover power. Each exhausted search still
+        // interns a few dozen scratch terms.
+        prove_max_expansions: 12,
+        ..SessionOptions::default()
+    });
+    for (i, query) in queries.iter().enumerate() {
+        let resp = session.run(query);
+        assert!(
+            matches!(resp.verdict, Verdict::Exhausted { .. }),
+            "query {i}: expected an exhausted search, got {:?}",
+            resp.verdict
+        );
+    }
+
+    let persistent_after = interned_expr_count();
+    let resident_after = arena_resident_nodes();
+    let retired = scratch_retired_total() - retired_before;
+    let persistent_growth = persistent_after - persistent_before;
+    let mem = session.memory_stats();
+    println!(
+        "soak: {n} distinct Prove queries; persistent arena {persistent_before} -> \
+         {persistent_after} nodes (+{persistent_growth}), resident {resident_before} -> \
+         {resident_after}, scratch retired {retired} over {} scopes, live scratch {}",
+        mem.scratch_scopes_retired,
+        scratch_live_nodes(),
+    );
+
+    // The boundedness gate. Searching must not grow the persistent
+    // arena at all beyond a constant slack (lazily interned constants
+    // and the like) — O(1), not O(n), not O(search terms)…
+    assert!(
+        persistent_growth <= 16,
+        "prover search leaked {persistent_growth} persistent arena nodes over {n} queries \
+         (bound: 16 total)"
+    );
+    // …and every search's scratch must be retired, not left resident.
+    assert_eq!(
+        resident_after - persistent_after,
+        resident_before - persistent_before,
+        "live scratch nodes leaked across queries"
+    );
+    // The gate is only meaningful if the searches really churned: on
+    // average well over one transient term per query was reclaimed.
+    assert!(
+        retired >= 10 * n as u64,
+        "searches retired only {retired} scratch nodes over {n} queries — \
+         the soak no longer exercises the scratch path"
+    );
+}
+
+#[test]
+fn proved_queries_persist_only_their_promoted_proofs() {
+    let _serial = soak_lock();
+    // Provable goals (one commutation at the left edge, then pure
+    // reassociation): the found proof's terms are *supposed* to outlive
+    // the query — they are promoted into the persistent arena — but the
+    // growth must be O(proof), with the rest of the search frontier
+    // still reclaimed.
+    let n = 200;
+    let hyps = ["sx sa = sa sx", "sx sb = sb sx"];
+    let queries: Vec<Query> = (0..n)
+        .map(|i| {
+            let w = word(i);
+            Query::prove(&format!("sx sa {w}"), &format!("sa sx {w}"), &hyps).expect("well-formed")
+        })
+        .collect();
+
+    let persistent_before = interned_expr_count();
+    let retired_before = scratch_retired_total();
+    let mut session = Session::with_options(SessionOptions {
+        prove_max_expansions: 80,
+        ..SessionOptions::default()
+    });
+    let mut proved = 0usize;
+    let mut proof_nodes = 0u64;
+    for query in &queries {
+        let resp = session.run(query);
+        if let Verdict::Proved { proof_size } = resp.verdict {
+            proved += 1;
+            proof_nodes += proof_size as u64;
+        }
+    }
+    let persistent_growth = interned_expr_count() - persistent_before;
+    let retired = scratch_retired_total() - retired_before;
+    println!(
+        "promotion: {proved}/{n} proved ({proof_nodes} total rule applications); \
+         persistent +{persistent_growth} nodes, scratch retired {retired}"
+    );
+    assert!(proved > 0, "no goal proved — promotion path unexercised");
+    // Promoted proofs cost persistent nodes, but bounded by the proofs
+    // themselves (each rule application mentions a handful of terms of
+    // ~16 nodes), and far less than the search frontiers explored.
+    assert!(
+        (persistent_growth as u64) <= 64 * proof_nodes.max(1),
+        "promotion leaked {persistent_growth} persistent nodes for {proof_nodes} proof steps"
+    );
+    assert!(
+        retired > 0,
+        "proved searches should still retire their unused frontier"
+    );
+}

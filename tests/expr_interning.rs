@@ -33,8 +33,10 @@ fn struct_eq(a: &Expr, b: &Expr) -> bool {
         (ExprNode::Zero, ExprNode::Zero) | (ExprNode::One, ExprNode::One) => true,
         (ExprNode::Atom(x), ExprNode::Atom(y)) => x == y,
         (ExprNode::Add(al, ar), ExprNode::Add(bl, br))
-        | (ExprNode::Mul(al, ar), ExprNode::Mul(bl, br)) => struct_eq(al, bl) && struct_eq(ar, br),
-        (ExprNode::Star(x), ExprNode::Star(y)) => struct_eq(x, y),
+        | (ExprNode::Mul(al, ar), ExprNode::Mul(bl, br)) => {
+            struct_eq(&al, &bl) && struct_eq(&ar, &br)
+        }
+        (ExprNode::Star(x), ExprNode::Star(y)) => struct_eq(&x, &y),
         _ => false,
     }
 }
@@ -46,10 +48,10 @@ fn rebuild(e: &Expr) -> Expr {
     match e.node() {
         ExprNode::Zero => Expr::zero(),
         ExprNode::One => Expr::one(),
-        ExprNode::Atom(s) => Expr::atom(*s),
-        ExprNode::Add(l, r) => rebuild(l).add(&rebuild(r)),
-        ExprNode::Mul(l, r) => rebuild(l).mul(&rebuild(r)),
-        ExprNode::Star(inner) => rebuild(inner).star(),
+        ExprNode::Atom(s) => Expr::atom(s),
+        ExprNode::Add(l, r) => rebuild(&l).add(&rebuild(&r)),
+        ExprNode::Mul(l, r) => rebuild(&l).mul(&rebuild(&r)),
+        ExprNode::Star(inner) => rebuild(&inner).star(),
     }
 }
 
@@ -125,10 +127,10 @@ proptest! {
         fn naive(e: &Expr, map: &HashMap<Symbol, Expr>) -> Expr {
             match e.node() {
                 ExprNode::Zero | ExprNode::One => *e,
-                ExprNode::Atom(s) => map.get(s).copied().unwrap_or(*e),
-                ExprNode::Add(l, r) => naive(l, map).add(&naive(r, map)),
-                ExprNode::Mul(l, r) => naive(l, map).mul(&naive(r, map)),
-                ExprNode::Star(inner) => naive(inner, map).star(),
+                ExprNode::Atom(s) => map.get(&s).copied().unwrap_or(*e),
+                ExprNode::Add(l, r) => naive(&l, map).add(&naive(&r, map)),
+                ExprNode::Mul(l, r) => naive(&l, map).mul(&naive(&r, map)),
+                ExprNode::Star(inner) => naive(&inner, map).star(),
             }
         }
         prop_assert_eq!(e.subst_atoms(&map), naive(&e, &map));

@@ -1,0 +1,151 @@
+//! Arena lifecycle contract tests: retiring a scratch scope never
+//! invalidates anything persistent — cached verdicts for persistent
+//! terms survive (decide-after-prove parity with a fresh session), the
+//! parallel batch stays verdict-identical under worker recycling, and
+//! the scope/promote API upholds its identity guarantees.
+
+use nka_quantum::syntax::{random_expr, Expr, ExprGenConfig, ScratchScope, Symbol};
+use nka_quantum::{Query, Session, SessionOptions, Verdict};
+use proptest::prelude::*;
+
+fn gen_config() -> ExprGenConfig {
+    ExprGenConfig::new(vec![
+        Symbol::intern("a"),
+        Symbol::intern("b"),
+        Symbol::intern("c"),
+    ])
+    .with_target_size(10)
+}
+
+/// A session whose prover gives up quickly — these tests exercise the
+/// scope lifecycle around the search, not the search itself.
+fn session() -> Session {
+    Session::with_options(SessionOptions {
+        prove_max_expansions: 30,
+        ..SessionOptions::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The satellite contract: run equality queries (persistent terms,
+    /// verdicts cached), churn the arena with `Prove` traffic (each
+    /// query spins up and retires a scratch scope), then re-decide.
+    /// The warm session must (a) answer from its cache and (b) agree
+    /// with a fresh session on every pair.
+    #[test]
+    fn retiring_scratch_scopes_preserves_persistent_verdicts(seed in any::<u64>()) {
+        let config = gen_config();
+        let mut state = seed | 1;
+        let pairs: Vec<(Expr, Expr)> = (0..4)
+            .map(|_| (random_expr(&config, &mut state), random_expr(&config, &mut state)))
+            .collect();
+
+        let mut warm = session();
+        let first: Vec<Verdict> = pairs
+            .iter()
+            .map(|&(lhs, rhs)| warm.run(&Query::NkaEq { lhs, rhs }).verdict)
+            .collect();
+
+        // Scratch churn, both through the API (the prover's scope) and
+        // through raw scopes on this thread.
+        for &(lhs, rhs) in &pairs {
+            let hyp = (pairs[0].0, pairs[0].1);
+            let _ = warm.run(&Query::Prove { lhs, rhs, hyps: vec![hyp] });
+        }
+        {
+            let _scope = ScratchScope::enter();
+            let _junk = pairs[0].0.star().mul(&pairs[1].0.star()).star();
+        }
+
+        let mut fresh = session();
+        for (i, &(lhs, rhs)) in pairs.iter().enumerate() {
+            let again = warm.run(&Query::NkaEq { lhs, rhs });
+            let cold = fresh.run(&Query::NkaEq { lhs, rhs });
+            // Same verdict as before the churn, …
+            prop_assert_eq!(&again.verdict, &first[i], "pair {} changed verdict", i);
+            // … still served from the (persistent-keyed) cache, …
+            prop_assert!(
+                again.stats_delta.answer_hits >= 1,
+                "pair {} was recomputed: scratch retirement evicted a persistent entry",
+                i
+            );
+            // … and equal to what a scratch-naive session computes.
+            prop_assert_eq!(&again.verdict, &cold.verdict, "pair {} diverged from fresh", i);
+        }
+    }
+
+    /// Promotion is an identity on meaning: a term built inside a scope
+    /// and promoted is structurally identical to the same term built
+    /// outside any scope.
+    #[test]
+    fn promotion_commutes_with_persistent_interning(seed in any::<u64>()) {
+        let config = gen_config();
+        let mut state = seed | 1;
+        let reference = random_expr(&config, &mut state);
+        let promoted = {
+            let scope = ScratchScope::enter();
+            // Rebuild something derived from the reference in-scope.
+            let derived = reference.star().add(&reference);
+            scope.promote(&derived)
+        };
+        prop_assert!(!promoted.id().is_scratch());
+        // Building the same derivation persistently lands on the same id.
+        let direct = reference.star().add(&reference);
+        prop_assert_eq!(promoted, direct);
+        prop_assert_eq!(promoted.to_string(), direct.to_string());
+    }
+}
+
+#[test]
+fn recycled_parallel_workers_stay_verdict_identical() {
+    use nka_quantum::run_batch_parallel;
+    let config = gen_config();
+    let mut state = 0x5eed_u64;
+    let queries: Vec<Query> = (0..24)
+        .map(|i| {
+            let lhs = random_expr(&config, &mut state);
+            let rhs = if i % 3 == 0 {
+                lhs
+            } else {
+                random_expr(&config, &mut state)
+            };
+            Query::NkaEq { lhs, rhs }
+        })
+        .collect();
+    let baseline = run_batch_parallel(&queries, &SessionOptions::default(), 1);
+    let recycled_opts = SessionOptions {
+        recycle_after_queries: Some(2),
+        ..SessionOptions::default()
+    };
+    for jobs in [1, 3] {
+        let responses = run_batch_parallel(&queries, &recycled_opts, jobs);
+        for (i, (base, got)) in baseline.iter().zip(&responses).enumerate() {
+            assert_eq!(base.verdict, got.verdict, "query {i} at jobs={jobs}");
+        }
+    }
+}
+
+#[test]
+fn session_memory_stats_are_coherent() {
+    let mut session = session();
+    let resp = session.run(
+        &Query::prove(
+            "memA (memA memB)",
+            "memB (memA memA)",
+            &["memA memB = memB memA"],
+        )
+        .unwrap(),
+    );
+    assert!(matches!(resp.verdict, Verdict::Proved { .. }));
+    let mem = session.memory_stats();
+    assert_eq!(
+        mem.arena_resident_nodes,
+        mem.arena_persistent_nodes + mem.scratch_live_nodes
+    );
+    assert!(mem.scratch_retired_total >= 1, "prove retired no scratch");
+    assert!(mem.scratch_scopes_retired >= 1);
+    assert_eq!(mem.queries_run, 1);
+    assert_eq!(mem.engine_recycles, 0);
+}
