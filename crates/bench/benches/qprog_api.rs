@@ -1,0 +1,82 @@
+//! QPROG-API — the quantum workload surface: what a `prog_eq` /
+//! `hoare` wire query costs end to end (parse → encode-under-scratch →
+//! decide/wlp → retire), and how the promote-on-equal policy amortizes
+//! repeated equal comparisons.
+//!
+//! Three arms:
+//!
+//! * `prog_eq_cold` — 16 distinct refuted pairs, fresh session per
+//!   sweep: the adversarial-traffic steady state (nothing promotes, the
+//!   scratch region churns, every decide compiles).
+//! * `prog_eq_warm` — one equal pair re-issued on a warm session: after
+//!   the first decide promotes the encodings, repeats are an encode
+//!   (onto persistent ids) plus a verdict-cache hit.
+//! * `hoare` — one triple checked per iteration: wlp is a dense
+//!   Liouville computation, so this floor is numeric, not algebraic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nka_core::api::{Query, Session, Verdict};
+use std::hint::black_box;
+
+const GATES: [&str; 6] = ["h", "x", "y", "z", "s", "t"];
+
+/// A distinct single-qubit 5-gate program per index (base-6 digits).
+fn gate_word(i: usize) -> String {
+    let mut k = i;
+    let gates = (0..5)
+        .map(|_| {
+            let g = format!("{} q0", GATES[k % 6]);
+            k /= 6;
+            g
+        })
+        .collect::<Vec<_>>()
+        .join("; ");
+    format!("qubits 1; {gates}")
+}
+
+fn bench_prog_eq(c: &mut Criterion) {
+    // Refuted pairs: p vs p;z — nothing promotes, full churn.
+    let cold_pairs: Vec<Query> = (0..16)
+        .map(|i| {
+            let p = gate_word(i);
+            Query::prog_eq(&p, &format!("{p}; z q0")).expect("well-formed")
+        })
+        .collect();
+    let mut group = c.benchmark_group("qprog/prog_eq_cold");
+    group.sample_size(10);
+    group.bench_function("16_refuted_pairs", |b| {
+        b.iter(|| {
+            let mut session = Session::new();
+            for query in &cold_pairs {
+                black_box(session.run(black_box(query)));
+            }
+        });
+    });
+    group.finish();
+
+    // One equal pair on a warm session: post-promotion steady state.
+    let equal = Query::prog_eq(
+        "qubits 2; h q0; cnot q0 q1; skip",
+        "qubits 2; skip; h q0; cnot q0 q1",
+    )
+    .expect("well-formed");
+    let mut warm_session = Session::new();
+    let first = warm_session.run(&equal);
+    assert!(matches!(first.verdict, Verdict::ProgEq { holds: true, .. }));
+    let mut group = c.benchmark_group("qprog/prog_eq_warm");
+    group.bench_function("equal_pair_repeat", |b| {
+        b.iter(|| black_box(warm_session.run(black_box(&equal))));
+    });
+    group.finish();
+
+    let triple = Query::hoare("ket(1)", "qubits 1; x q0; h q0", "0.5 I").expect("well-formed");
+    let mut session = Session::new();
+    let mut group = c.benchmark_group("qprog/hoare");
+    group.bench_function("one_qubit_triple", |b| {
+        b.iter(|| black_box(session.run(black_box(&triple))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prog_eq);
+criterion_main!(benches);

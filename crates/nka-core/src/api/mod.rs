@@ -24,7 +24,28 @@
 //!   Definition A.4, the ground-truth oracle model;
 //! * [`Query::Prove`] — rewrite-proof search under Horn-clause
 //!   hypotheses (Corollary 4.3), producing a machine-checkable
-//!   [`Proof`] object on success.
+//!   [`Proof`] object on success;
+//! * [`Query::ProgEq`] — equivalence of two quantum while-programs via
+//!   the encoder `Enc` (Definition 4.4): both programs are encoded
+//!   under one shared [`EncoderSetting`] and `Enc(p) = Enc(q)` is
+//!   decided on the warm engine (sound by Theorem 4.5 — an algebraic
+//!   `holds` implies the denotations coincide; the converse direction
+//!   is checked against superoperator semantics by the differential
+//!   test suite);
+//! * [`Query::Hoare`] — a propositional quantum Hoare triple
+//!   `{A} P {B}` (Section 7.3), checked semantically through the wlp
+//!   characterization `A ⊑ wlp(P, B)`; the verdict carries the encoded
+//!   inequality `Enc(P)·b̄ ≤ ā` of **Theorem 7.8**.
+//!
+//! Programs and effects arrive as source text in the surface language
+//! of [`nka_qprog::surface`]; parse failures carry the same byte-span
+//! caret diagnostics as expression queries
+//! ([`ApiError::ParseProgram`]). Program encodings are interned through
+//! a [`nka_syntax::ScratchScope`] per query and retired when the query
+//! answers — only decided-*equal* `ProgEq` encodings are promoted into
+//! the persistent arena (they are the ones worth keeping warm), so
+//! adversarially distinct program traffic cannot grow a long-lived
+//! serving process.
 //!
 //! Outcomes are a [`Verdict`] — holds / refuted / proved (with proof
 //! size) / search-exhausted / budget-exhausted — plus the engine-counter
@@ -64,9 +85,13 @@ pub mod wire;
 use crate::judgment::Judgment;
 use crate::proof::Proof;
 use crate::prover::{ProveOutcome, Prover};
+use nka_qprog::{
+    hoare::HoareTriple, EncoderSetting, ParseProgError, SurfaceEffect, SurfaceProgram,
+};
 use nka_semiring::ExtNat;
-use nka_syntax::{Expr, ExprId, ParseExprError, Symbol, Word};
+use nka_syntax::{Expr, ExprId, ParseExprError, ScratchScope, Symbol, Word};
 use nka_wfa::{DecideOptions, Decider, DeciderStats};
+use qsim_linalg::CMatrix;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -113,6 +138,28 @@ pub enum Query {
         /// direction.
         hyps: Vec<(Expr, Expr)>,
     },
+    /// Decide whether two quantum while-programs are algebraically
+    /// equivalent: encode both under one shared [`EncoderSetting`]
+    /// (Definition 4.4) and decide `⊢NKA Enc(p) = Enc(q)` on the warm
+    /// engine. Sound for program equivalence by Theorem 4.5.
+    ProgEq {
+        /// Left program, in the [`nka_qprog::surface`] language.
+        p: SurfaceProgram,
+        /// Right program (same declared qubit count as `p`).
+        q: SurfaceProgram,
+    },
+    /// Check the quantum Hoare triple `{pre} prog {post}` (partial
+    /// correctness, Section 7.3) via the wlp characterization
+    /// `pre ⊑ wlp(prog, post)`; the verdict carries the Theorem 7.8
+    /// encoded inequality `Enc(prog)·b̄ ≤ ā`.
+    Hoare {
+        /// Precondition `A`, in the effect surface language.
+        pre: SurfaceEffect,
+        /// The program `P`.
+        prog: SurfaceProgram,
+        /// Postcondition `B`.
+        post: SurfaceEffect,
+    },
 }
 
 /// The discriminant of a [`Query`], used for display and wire encoding.
@@ -126,10 +173,15 @@ pub enum QueryKind {
     Series,
     /// [`Query::Prove`].
     Prove,
+    /// [`Query::ProgEq`].
+    ProgEq,
+    /// [`Query::Hoare`].
+    Hoare,
 }
 
 impl QueryKind {
-    /// The wire-format `op` name (`nka_eq`, `ka_eq`, `series`, `prove`).
+    /// The wire-format `op` name (`nka_eq`, `ka_eq`, `series`, `prove`,
+    /// `prog_eq`, `hoare`).
     #[must_use]
     pub fn op(self) -> &'static str {
         match self {
@@ -137,6 +189,8 @@ impl QueryKind {
             QueryKind::KaEq => "ka_eq",
             QueryKind::Series => "series",
             QueryKind::Prove => "prove",
+            QueryKind::ProgEq => "prog_eq",
+            QueryKind::Hoare => "hoare",
         }
     }
 }
@@ -160,6 +214,8 @@ impl Query {
             Query::KaEq { .. } => QueryKind::KaEq,
             Query::Series { .. } => QueryKind::Series,
             Query::Prove { .. } => QueryKind::Prove,
+            Query::ProgEq { .. } => QueryKind::ProgEq,
+            Query::Hoare { .. } => QueryKind::Hoare,
         }
     }
 
@@ -218,8 +274,48 @@ impl Query {
         })
     }
 
+    /// Builds a [`Query::ProgEq`] from two program sources.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::ParseProgram`] (with span) if either program fails
+    /// to parse, [`ApiError::Malformed`] if the qubit counts differ.
+    /// (Encoder-name collisions cannot arise from surface programs —
+    /// names derive injectively from gate × qubit — so encodability is
+    /// not pre-checked here; [`Session::run`] still answers defensively
+    /// if a future front end breaks that invariant.)
+    pub fn prog_eq(p: &str, q: &str) -> Result<Query, ApiError> {
+        let p = parse_prog_field("p", p)?;
+        let q = parse_prog_field("q", q)?;
+        if p.qubits() != q.qubits() {
+            return Err(ApiError::Malformed(format!(
+                "prog_eq compares programs over equal qubit counts, got {} vs {}",
+                p.qubits(),
+                q.qubits()
+            )));
+        }
+        Ok(Query::ProgEq { p, q })
+    }
+
+    /// Builds a [`Query::Hoare`] from a precondition, program, and
+    /// postcondition. The effects parse against the program's declared
+    /// qubit count.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::ParseProgram`] (with span) on any parse or
+    /// effect-validity failure.
+    pub fn hoare(pre: &str, prog: &str, post: &str) -> Result<Query, ApiError> {
+        let prog = parse_prog_field("prog", prog)?;
+        let pre = parse_effect_field("pre", pre, prog.qubits())?;
+        let post = parse_effect_field("post", post, prog.qubits())?;
+        Ok(Query::Hoare { pre, prog, post })
+    }
+
     /// The expressions this query mentions, in field order (both sides
     /// of an equality, the series operand, goal plus hypotheses).
+    /// Program queries mention none: their encodings are
+    /// scratch-transient, built and retired inside [`Session::run`].
     pub fn exprs(&self) -> Vec<Expr> {
         match self {
             Query::NkaEq { lhs, rhs } | Query::KaEq { lhs, rhs } => vec![*lhs, *rhs],
@@ -232,6 +328,7 @@ impl Query {
                 }
                 out
             }
+            Query::ProgEq { .. } | Query::Hoare { .. } => Vec::new(),
         }
     }
 
@@ -241,10 +338,38 @@ impl Query {
     /// across them. The gap is the sharing the hash-consing arena
     /// recovered; both are surfaced in the JSON verdict payload and
     /// `nka --stats` so cache effectiveness is observable.
+    ///
+    /// For program queries, `expr_nodes` counts the program AST nodes
+    /// and `expr_subterms` is 0: their encodings live in a scratch
+    /// scope and leave no persistent arena footprint.
     #[must_use]
     pub fn term_stats(&self) -> (u64, u64) {
-        term_stats_of(&self.exprs())
+        match self {
+            Query::ProgEq { p, q } => ((p.program().size() + q.program().size()) as u64, 0),
+            Query::Hoare { prog, .. } => (prog.program().size() as u64, 0),
+            _ => term_stats_of(&self.exprs()),
+        }
     }
+}
+
+fn parse_prog_field(field: &'static str, src: &str) -> Result<SurfaceProgram, ApiError> {
+    SurfaceProgram::parse(src).map_err(|err| ApiError::ParseProgram {
+        field,
+        src: src.to_owned(),
+        err,
+    })
+}
+
+fn parse_effect_field(
+    field: &'static str,
+    src: &str,
+    qubits: usize,
+) -> Result<SurfaceEffect, ApiError> {
+    SurfaceEffect::parse(src, qubits).map_err(|err| ApiError::ParseProgram {
+        field,
+        src: src.to_owned(),
+        err,
+    })
 }
 
 /// `(total tree nodes, distinct interned subterms)` across `exprs` —
@@ -311,6 +436,29 @@ pub enum Verdict {
         /// `(word, coefficient)` pairs, shortest word first.
         terms: Vec<(Word, ExtNat)>,
     },
+    /// The outcome of a [`Query::ProgEq`]: the algebraic decision plus
+    /// the shared-setting encodings it was made on (rendered, because
+    /// the underlying terms are scratch-scoped; only decided-equal
+    /// encodings are promoted to the persistent arena).
+    ProgEq {
+        /// Whether `⊢NKA Enc(p) = Enc(q)` — by Theorem 4.5 this implies
+        /// `⟦p⟧ = ⟦q⟧`.
+        holds: bool,
+        /// `Enc(p)`, rendered.
+        enc_p: String,
+        /// `Enc(q)`, rendered.
+        enc_q: String,
+    },
+    /// The outcome of a [`Query::Hoare`]: partial correctness by the
+    /// wlp check, plus the encoded inequality `Enc(P)·b̄ ≤ ā` of
+    /// Theorem 7.8 (same rendering as `nkat::qhl::encode_qhl`'s
+    /// conclusion on an atomic derivation).
+    Hoare {
+        /// Whether `⊨par {A} P {B}` (i.e. `A ⊑ wlp(P, B)`).
+        holds: bool,
+        /// The encoded inequality, e.g. `(m1_q0 h_q0)* m0_q0 q1_neg ≤ q0_neg`.
+        encoded: String,
+    },
     /// The decision engine exceeded its state budget
     /// ([`DecideOptions::max_dfa_states`]); retry with a larger budget.
     BudgetExhausted {
@@ -324,13 +472,16 @@ impl Verdict {
     /// (holds / proved / a computed series).
     #[must_use]
     pub fn is_positive(&self) -> bool {
-        matches!(
-            self,
-            Verdict::Holds | Verdict::Proved { .. } | Verdict::Series { .. }
-        )
+        match self {
+            Verdict::Holds | Verdict::Proved { .. } | Verdict::Series { .. } => true,
+            Verdict::ProgEq { holds, .. } | Verdict::Hoare { holds, .. } => *holds,
+            Verdict::Refuted | Verdict::Exhausted { .. } | Verdict::BudgetExhausted { .. } => false,
+        }
     }
 
-    /// The wire-format verdict name.
+    /// The wire-format verdict name. Program verdicts reuse
+    /// `holds`/`refuted` (their payload fields distinguish them), so
+    /// stream consumers and exit-code rules need no new cases.
     #[must_use]
     pub fn name(&self) -> &'static str {
         match self {
@@ -339,6 +490,13 @@ impl Verdict {
             Verdict::Proved { .. } => "proved",
             Verdict::Exhausted { .. } => "exhausted",
             Verdict::Series { .. } => "series",
+            Verdict::ProgEq { holds, .. } | Verdict::Hoare { holds, .. } => {
+                if *holds {
+                    "holds"
+                } else {
+                    "refuted"
+                }
+            }
             Verdict::BudgetExhausted { .. } => "budget_exhausted",
         }
     }
@@ -387,6 +545,17 @@ pub enum ApiError {
         /// The underlying parser error (byte span included).
         err: ParseExprError,
     },
+    /// A program or effect failed to parse in the quantum surface
+    /// language. Same shape as [`ApiError::Parse`] — field name
+    /// (`p`, `q`, `pre`, `prog`, `post`), source, span-bearing error.
+    ParseProgram {
+        /// Which query field the source came from.
+        field: &'static str,
+        /// The source text that failed to parse.
+        src: String,
+        /// The underlying surface-language error (byte span included).
+        err: ParseProgError,
+    },
     /// A malformed wire-level request: bad JSON, unknown `op`, missing
     /// or ill-typed key, hypothesis without `=`, …
     Malformed(String),
@@ -404,7 +573,24 @@ impl ApiError {
                     err.caret(src).replace('\n', "\n  ")
                 )
             }
+            ApiError::ParseProgram { field, src, err } => {
+                format!(
+                    "parse error in {field}:\n  {}",
+                    err.caret(src).replace('\n', "\n  ")
+                )
+            }
             ApiError::Malformed(msg) => format!("malformed request: {msg}"),
+        }
+    }
+
+    /// The byte span of the offending input for parse errors (either
+    /// surface), `None` for wire-level malformations.
+    #[must_use]
+    pub fn span(&self) -> Option<(usize, usize)> {
+        match self {
+            ApiError::Parse { err, .. } => Some(err.span()),
+            ApiError::ParseProgram { err, .. } => Some(err.span()),
+            ApiError::Malformed(_) => None,
         }
     }
 }
@@ -413,6 +599,9 @@ impl fmt::Display for ApiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ApiError::Parse { field, src, err } => {
+                write!(f, "parse error in {field} {src:?}: {err}")
+            }
+            ApiError::ParseProgram { field, src, err } => {
                 write!(f, "parse error in {field} {src:?}: {err}")
             }
             ApiError::Malformed(msg) => write!(f, "malformed request: {msg}"),
@@ -424,6 +613,7 @@ impl std::error::Error for ApiError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ApiError::Parse { err, .. } => Some(err),
+            ApiError::ParseProgram { err, .. } => Some(err),
             ApiError::Malformed(_) => None,
         }
     }
@@ -574,12 +764,14 @@ impl TermKey {
         }
     }
 
-    fn of(query: &Query) -> TermKey {
+    /// The memo key of an expression query; `None` for program
+    /// queries, whose (cheap, AST-sized) term stats bypass the memo.
+    fn of(query: &Query) -> Option<TermKey> {
         match query {
             Query::NkaEq { lhs, rhs } | Query::KaEq { lhs, rhs } => {
-                TermKey::Two(lhs.id(), rhs.id())
+                Some(TermKey::Two(lhs.id(), rhs.id()))
             }
-            Query::Series { expr, .. } => TermKey::One(expr.id()),
+            Query::Series { expr, .. } => Some(TermKey::One(expr.id())),
             Query::Prove { lhs, rhs, hyps } => {
                 let mut ids = Vec::with_capacity(2 + 2 * hyps.len());
                 ids.push(lhs.id());
@@ -588,8 +780,9 @@ impl TermKey {
                     ids.push(l.id());
                     ids.push(r.id());
                 }
-                TermKey::Many(ids.into_boxed_slice())
+                Some(TermKey::Many(ids.into_boxed_slice()))
             }
+            Query::ProgEq { .. } | Query::Hoare { .. } => None,
         }
     }
 }
@@ -710,7 +903,10 @@ impl Session {
     /// costs one allocation-free map probe on the root ids instead of
     /// a DAG walk.
     fn term_stats_memo(&mut self, query: &Query) -> (u64, u64) {
-        let key = TermKey::of(query);
+        let Some(key) = TermKey::of(query) else {
+            // Program queries: AST-proportional, no ids to key on.
+            return query.term_stats();
+        };
         if let Some(&hit) = self.term_stats_cache.get(&key) {
             return hit;
         }
@@ -871,8 +1067,97 @@ impl Session {
                     ),
                 }
             }
+            Query::ProgEq { p, q } => (self.dispatch_prog_eq(p, q), None),
+            Query::Hoare { pre, prog, post } => (hoare_verdict(pre, prog, post), None),
         }
     }
+
+    /// `⊢NKA Enc(p) = Enc(q)` on the warm engine. The shared-setting
+    /// encodings are interned through a [`ScratchScope`] and retired
+    /// with the query; **only decided-equal encodings are promoted**
+    /// into the persistent arena (a repeat of the same equal pair then
+    /// resolves to persistent ids and hits the verdict cache), so
+    /// distinct refuted traffic leaves no footprint — the program half
+    /// of the PR 4 memory model, gated by the arena soak.
+    fn dispatch_prog_eq(&mut self, p: &SurfaceProgram, q: &SurfaceProgram) -> Verdict {
+        let scope = ScratchScope::enter();
+        let mut setting = EncoderSetting::new(p.dim());
+        let encoded = setting
+            .encode(p.program())
+            .and_then(|ep| setting.encode(q.program()).map(|eq| (ep, eq)));
+        let (ep, eq) = match encoded {
+            Ok(pair) => pair,
+            // Unreachable for surface programs (encoder names derive
+            // injectively from gate × qubit); answer rather than panic
+            // if a future front end reaches here with colliding names.
+            Err(err) => {
+                return Verdict::BudgetExhausted {
+                    detail: format!("encoding failed: {err}"),
+                }
+            }
+        };
+        let enc_p = ep.to_string();
+        let enc_q = eq.to_string();
+        let verdict = match self.engine.decide(&ep, &eq) {
+            Ok(holds) => {
+                if holds {
+                    let mut memo = HashMap::new();
+                    let _ = nka_syntax::promote_memoized(&ep, &mut memo);
+                    let _ = nka_syntax::promote_memoized(&eq, &mut memo);
+                }
+                Verdict::ProgEq {
+                    holds,
+                    enc_p,
+                    enc_q,
+                }
+            }
+            Err(err) => Verdict::BudgetExhausted {
+                detail: err.to_string(),
+            },
+        };
+        drop(scope);
+        verdict
+    }
+}
+
+/// Checks `{pre} prog {post}` through the wlp characterization and
+/// renders the Theorem 7.8 encoded inequality `Enc(P)·b̄ ≤ ā`.
+///
+/// The effect-term naming mirrors `nkat::qhl::encode_qhl` on an atomic
+/// derivation — `I ↦ (e, 0)`, `O ↦ (0, e)`, then fresh `q0`, `q1`, …
+/// in pre-before-post order with `_neg` negations, equal matrices
+/// sharing a term — so the rendered inequality matches the conclusion
+/// the derivation compiler emits (asserted by an integration test).
+fn hoare_verdict(pre: &SurfaceEffect, prog: &SurfaceProgram, post: &SurfaceEffect) -> Verdict {
+    let triple = HoareTriple::new(pre.matrix(), prog.program(), post.matrix());
+    let holds = triple.holds_partial(1e-8);
+
+    const TOL: f64 = 1e-8;
+    let dim = prog.dim();
+    let identity = CMatrix::identity(dim);
+    let zero = CMatrix::zeros(dim, dim);
+    let scope = ScratchScope::enter();
+    let top = Expr::atom(Symbol::intern("e"));
+    // (matrix, negation term) in registration order.
+    let mut registry: Vec<(CMatrix, Expr)> = vec![(identity, Expr::zero()), (zero, top)];
+    let mut fresh = 0usize;
+    fn neg_term_for(registry: &mut Vec<(CMatrix, Expr)>, fresh: &mut usize, m: &CMatrix) -> Expr {
+        if let Some((_, neg)) = registry.iter().find(|(mat, _)| mat.approx_eq(m, TOL)) {
+            return *neg;
+        }
+        let neg = Expr::atom(Symbol::intern(&format!("q{fresh}_neg")));
+        *fresh += 1;
+        registry.push((m.clone(), neg));
+        neg
+    }
+    let pre_neg = neg_term_for(&mut registry, &mut fresh, pre.matrix());
+    let post_neg = neg_term_for(&mut registry, &mut fresh, post.matrix());
+    let encoded = match EncoderSetting::new(dim).encode(prog.program()) {
+        Ok(enc) => format!("{} ≤ {pre_neg}", enc.mul(&post_neg)),
+        Err(err) => format!("(encoding failed: {err})"),
+    };
+    drop(scope);
+    Verdict::Hoare { holds, encoded }
 }
 
 fn decision(result: Result<bool, nka_wfa::DecideError>) -> Verdict {
@@ -1142,6 +1427,148 @@ mod tests {
     }
 
     #[test]
+    fn prog_eq_decides_program_equivalence() {
+        let mut session = Session::new();
+        // skip-elimination and reassociation are NKA-equalities.
+        let q = Query::prog_eq("qubits 1; skip; h q0; x q0", "qubits 1; h q0; skip; x q0").unwrap();
+        let resp = session.run(&q);
+        let Verdict::ProgEq {
+            holds,
+            enc_p,
+            enc_q,
+        } = &resp.verdict
+        else {
+            panic!("expected a ProgEq verdict, got {:?}", resp.verdict);
+        };
+        assert!(*holds);
+        assert_eq!(enc_p, "1 h_q0 x_q0");
+        assert_eq!(enc_q, "h_q0 1 x_q0");
+        assert!(resp.verdict.is_positive());
+        assert_eq!(resp.verdict.name(), "holds");
+        // h ≠ x as encodings (and as programs).
+        let q = Query::prog_eq("qubits 1; h q0", "qubits 1; x q0").unwrap();
+        let resp = session.run(&q);
+        assert!(matches!(resp.verdict, Verdict::ProgEq { holds: false, .. }));
+        assert_eq!(resp.verdict.name(), "refuted");
+        // Loop unrolling: while ≡ its first unfolding (star fixpoint).
+        let q = Query::prog_eq(
+            "qubits 1; while q0 { h q0 }",
+            "qubits 1; if q0 { h q0; while q0 { h q0 } }",
+        )
+        .unwrap();
+        assert!(matches!(
+            session.run(&q).verdict,
+            Verdict::ProgEq { holds: true, .. }
+        ));
+    }
+
+    #[test]
+    fn prog_eq_scratch_is_reclaimed_and_equal_encodings_promote() {
+        let mut session = Session::new();
+        // Distinct refuted comparisons leave no persistent footprint.
+        let refuted = Query::prog_eq(
+            "qubits 2; h q0; cnot q0 q1; z q1",
+            "qubits 2; h q1; cnot q1 q0; s q0",
+        )
+        .unwrap();
+        let resp = session.run(&refuted);
+        assert!(matches!(resp.verdict, Verdict::ProgEq { holds: false, .. }));
+        let before = nka_syntax::interned_expr_count();
+        for _ in 0..20 {
+            let resp = session.run(&refuted);
+            assert!(matches!(resp.verdict, Verdict::ProgEq { holds: false, .. }));
+        }
+        assert_eq!(
+            nka_syntax::interned_expr_count(),
+            before,
+            "refuted ProgEq queries must not grow the persistent arena"
+        );
+        // An equal pair promotes its encodings once; repeats hit the
+        // verdict cache on the persistent ids.
+        let equal = Query::prog_eq("qubits 2; cz q0 q1; skip", "qubits 2; cz q0 q1").unwrap();
+        let first = session.run(&equal);
+        assert!(matches!(first.verdict, Verdict::ProgEq { holds: true, .. }));
+        let promoted = nka_syntax::interned_expr_count();
+        // Run 2 re-encodes onto the *promoted* (persistent) ids — the
+        // scratch-keyed verdict from run 1 was purged with its scope,
+        // so this run re-decides once and caches persistently…
+        let second = session.run(&equal);
+        assert!(matches!(
+            second.verdict,
+            Verdict::ProgEq { holds: true, .. }
+        ));
+        // …and from run 3 on the pair is a pure verdict-cache hit.
+        let warm = session.run(&equal);
+        assert!(matches!(warm.verdict, Verdict::ProgEq { holds: true, .. }));
+        assert_eq!(
+            nka_syntax::interned_expr_count(),
+            promoted,
+            "a repeated equal pair must re-resolve to its promoted encodings"
+        );
+        assert_eq!(warm.stats_delta.answer_hits, 1, "{:?}", warm.stats_delta);
+        assert_eq!(warm.stats_delta.compile_misses, 0, "{:?}", warm.stats_delta);
+        // Program queries report AST nodes, no arena subterms.
+        assert!(warm.expr_nodes > 0);
+        assert_eq!(warm.expr_subterms, 0);
+    }
+
+    #[test]
+    fn hoare_checks_wlp_and_carries_the_encoded_inequality() {
+        let mut session = Session::new();
+        // {|1⟩⟨1|} x {|1⟩⟨1|'s image} — X maps |1⟩ to |0⟩.
+        let good = Query::hoare("ket(1)", "qubits 1; x q0", "ket(0)").unwrap();
+        let resp = session.run(&good);
+        let Verdict::Hoare { holds, encoded } = &resp.verdict else {
+            panic!("expected a Hoare verdict, got {:?}", resp.verdict);
+        };
+        assert!(*holds);
+        assert_eq!(encoded, "x_q0 q1_neg ≤ q0_neg");
+        // A false triple: X does not fix |1⟩.
+        let bad = Query::hoare("ket(1)", "qubits 1; x q0", "ket(1)").unwrap();
+        let resp = session.run(&bad);
+        let Verdict::Hoare { holds, encoded } = &resp.verdict else {
+            panic!("expected a Hoare verdict, got {:?}", resp.verdict);
+        };
+        assert!(!*holds);
+        // pre == post here, so both sides share the q0 terms.
+        assert_eq!(encoded, "x_q0 q0_neg ≤ q0_neg");
+        // Identity/zero effects use the e/0 special terms.
+        let top = Query::hoare("I", "qubits 1; abort", "0").unwrap();
+        let resp = session.run(&top);
+        let Verdict::Hoare { holds, encoded } = &resp.verdict else {
+            panic!("expected a Hoare verdict, got {:?}", resp.verdict);
+        };
+        assert!(*holds, "abort satisfies every partial-correctness triple");
+        assert_eq!(encoded, "0 e ≤ 0");
+        // Hoare queries never touch the decision engine.
+        assert_eq!(resp.stats_delta, DeciderStats::default());
+    }
+
+    #[test]
+    fn program_query_construction_errors_are_typed() {
+        // Parse errors carry field + span.
+        let err = Query::prog_eq("qubits 1; frob q0", "qubits 1; skip").unwrap_err();
+        let ApiError::ParseProgram { field, err, .. } = &err else {
+            panic!("expected a program parse error, got {err:?}");
+        };
+        assert_eq!(*field, "p");
+        assert_eq!(err.span(), (10, 14));
+        // Qubit-count mismatch is malformed, not a verdict.
+        let err = Query::prog_eq("qubits 1; skip", "qubits 2; skip").unwrap_err();
+        assert!(matches!(err, ApiError::Malformed(_)), "{err:?}");
+        // Effects parse against the program's qubit count.
+        let err = Query::hoare("ket(01)", "qubits 1; skip", "I").unwrap_err();
+        let ApiError::ParseProgram { field, .. } = &err else {
+            panic!("expected a program parse error, got {err:?}");
+        };
+        assert_eq!(*field, "pre");
+        assert!(err.render().contains('^'), "{}", err.render());
+        // Non-effects are rejected at construction.
+        let err = Query::hoare("I", "qubits 1; skip", "2 I").unwrap_err();
+        assert!(matches!(err, ApiError::ParseProgram { field: "post", .. }));
+    }
+
+    #[test]
     fn parallel_batch_matches_single_session_verdicts() {
         let queries: Vec<Query> = [
             Query::nka_eq("(p q)* p", "p (q p)*").unwrap(),
@@ -1151,6 +1578,9 @@ mod tests {
             Query::prove("m1 (m0 p + m1)", "m1", &["m1 m1 = m1", "m1 m0 = 0"]).unwrap(),
             Query::nka_eq("1 + p p*", "p*").unwrap(),
             Query::nka_eq("(p q)* p", "p (q p)*").unwrap(), // repeat
+            Query::prog_eq("qubits 1; skip; h q0", "qubits 1; h q0").unwrap(),
+            Query::prog_eq("qubits 1; h q0", "qubits 1; x q0").unwrap(),
+            Query::hoare("ket(1)", "qubits 1; x q0", "ket(0)").unwrap(),
         ]
         .into_iter()
         .collect();

@@ -74,6 +74,12 @@ pub fn decode_request(line: &str) -> Result<Option<Query>, ApiError> {
             };
             Query::series(str_key(&value, "expr")?, max_len)?
         }
+        "prog_eq" => Query::prog_eq(str_key(&value, "p")?, str_key(&value, "q")?)?,
+        "hoare" => Query::hoare(
+            str_key(&value, "pre")?,
+            str_key(&value, "prog")?,
+            str_key(&value, "post")?,
+        )?,
         "prove" => {
             let hyps: Vec<&str> = match value.get("hyps") {
                 None => Vec::new(),
@@ -92,7 +98,7 @@ pub fn decode_request(line: &str) -> Result<Option<Query>, ApiError> {
         }
         other => {
             return Err(ApiError::Malformed(format!(
-                "unknown op {other:?} (expected nka_eq, ka_eq, series, or prove)"
+                "unknown op {other:?} (expected nka_eq, ka_eq, series, prove, prog_eq, or hoare)"
             )))
         }
     };
@@ -133,6 +139,15 @@ fn query_fields(query: &Query) -> Vec<(String, Json)> {
                         .collect(),
                 ),
             ));
+        }
+        Query::ProgEq { p, q } => {
+            fields.push(("p".to_owned(), Json::Str(p.source().to_owned())));
+            fields.push(("q".to_owned(), Json::Str(q.source().to_owned())));
+        }
+        Query::Hoare { pre, prog, post } => {
+            fields.push(("pre".to_owned(), Json::Str(pre.source().to_owned())));
+            fields.push(("prog".to_owned(), Json::Str(prog.source().to_owned())));
+            fields.push(("post".to_owned(), Json::Str(post.source().to_owned())));
         }
     }
     fields
@@ -210,6 +225,15 @@ pub fn encode_response(query: &Query, resp: &Response) -> String {
                 ),
             ));
         }
+        Verdict::ProgEq { enc_p, enc_q, .. } => {
+            // `verdict` already says holds/refuted; the payload is the
+            // shared-setting encodings the decision was made on.
+            fields.push(("enc_p".to_owned(), Json::Str(enc_p.clone())));
+            fields.push(("enc_q".to_owned(), Json::Str(enc_q.clone())));
+        }
+        Verdict::Hoare { encoded, .. } => {
+            fields.push(("encoded".to_owned(), Json::Str(encoded.clone())));
+        }
         Verdict::BudgetExhausted { detail } => {
             fields.push(("detail".to_owned(), Json::Str(detail.clone())));
         }
@@ -239,9 +263,12 @@ pub fn encode_error(err: &ApiError) -> String {
         ("verdict".to_owned(), Json::Str("error".to_owned())),
         ("error".to_owned(), Json::Str(err.to_string())),
     ];
-    if let ApiError::Parse { field, err, .. } = err {
-        let (start, end) = err.span();
-        fields.push(("field".to_owned(), Json::Str((*field).to_owned())));
+    let field = match err {
+        ApiError::Parse { field, .. } | ApiError::ParseProgram { field, .. } => Some(*field),
+        ApiError::Malformed(_) => None,
+    };
+    if let (Some(field), Some((start, end))) = (field, err.span()) {
+        fields.push(("field".to_owned(), Json::Str(field.to_owned())));
         fields.push((
             "span".to_owned(),
             Json::Arr(vec![
@@ -292,6 +319,20 @@ pub fn encode_response_text(query: &Query, resp: &Response) -> String {
                 _ => format!("no proof of {lhs} = {rhs} found within the search budget"),
             }
         }
+        (Query::ProgEq { .. }, Verdict::ProgEq { holds, enc_p, enc_q }) => {
+            if *holds {
+                format!("programs equivalent: ⊢NKA {enc_p} = {enc_q}")
+            } else {
+                format!("programs differ: ⊬NKA {enc_p} = {enc_q}   (the encodings separate)")
+            }
+        }
+        (Query::Hoare { pre, prog, post }, Verdict::Hoare { holds, encoded }) => {
+            if *holds {
+                format!("⊨par {{{pre}}} {prog} {{{post}}}   (Thm 7.8: {encoded})")
+            } else {
+                format!("⊭par {{{pre}}} {prog} {{{post}}}   (pre ⋢ wlp; Thm 7.8 target: {encoded})")
+            }
+        }
         (_, Verdict::BudgetExhausted { detail }) => {
             format!("budget exhausted: {detail}")
         }
@@ -315,6 +356,8 @@ mod tests {
             r#"{"op":"series","expr":"(a + a)*","max_len":4}"#,
             r#"{"op":"series","expr":"b"}"#,
             r#"{"op":"prove","lhs":"m1 (m0 p + m1)","rhs":"m1","hyps":["m1 m1 = m1","m1 m0 = 0"]}"#,
+            r#"{"op":"prog_eq","p":"qubits 1; h q0; skip","q":"qubits 1; h q0"}"#,
+            r#"{"op":"hoare","pre":"ket(1)","prog":"qubits 1; x q0","post":"ket(0)"}"#,
             "(p q)* p = p (q p)*",
         ];
         for line in lines {
@@ -364,6 +407,12 @@ mod tests {
                 .unwrap()
                 .unwrap(),
             decode_request(r#"{"op":"series","expr":"1*","max_len":1}"#)
+                .unwrap()
+                .unwrap(),
+            decode_request(r#"{"op":"prog_eq","p":"qubits 1; h q0; h q0","q":"qubits 1; skip"}"#)
+                .unwrap()
+                .unwrap(),
+            decode_request(r#"{"op":"hoare","pre":"0.5 I","prog":"qubits 1; h q0","post":"I"}"#)
                 .unwrap()
                 .unwrap(),
         ];

@@ -12,101 +12,16 @@
 //! every propositional QHL proof is subsumed by NKAT reasoning.
 
 use crate::context::{NkatContext, NkatDerivation, NkatError};
-use crate::effect::Effect;
 use nka_core::{Judgment, LeChain, Proof, ProofError};
 use nka_qprog::{EncoderSetting, Program};
 use nka_syntax::{Expr, Symbol};
 use qsim_linalg::CMatrix;
 
-/// The weakest liberal precondition `wlp(P, B) = I − ⟦P⟧†(I − B)`.
-///
-/// # Panics
-///
-/// Panics on dimension mismatch.
-///
-/// # Examples
-///
-/// ```
-/// use nkat::qhl::wlp;
-/// use nka_qprog::Program;
-/// use qsim_quantum::{gates, states};
-///
-/// // wlp(H, |0⟩⟨0|) = |+⟩⟨+|.
-/// let h = Program::unitary("h", &gates::hadamard());
-/// let pre = wlp(&h, &states::basis_density(2, 0));
-/// let plus = h.run(&states::basis_density(2, 0));
-/// assert!(pre.approx_eq(&plus, 1e-9));
-/// ```
-pub fn wlp(p: &Program, post: &CMatrix) -> CMatrix {
-    let dim = p.dim();
-    assert_eq!(post.rows(), dim, "postcondition dimension mismatch");
-    let dual = p.denotation().dual();
-    let id = CMatrix::identity(dim);
-    &id - &dual.apply(&(&id - post))
-}
-
-/// A quantum Hoare triple `{A} P {B}`.
-#[derive(Debug, Clone)]
-pub struct HoareTriple {
-    pre: CMatrix,
-    prog: Program,
-    post: CMatrix,
-}
-
-impl HoareTriple {
-    /// Builds `{pre} prog {post}`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pre`/`post` are not effects of the program's dimension.
-    pub fn new(pre: &CMatrix, prog: &Program, post: &CMatrix) -> HoareTriple {
-        assert!(Effect::new(pre).is_some(), "precondition must be an effect");
-        assert!(
-            Effect::new(post).is_some(),
-            "postcondition must be an effect"
-        );
-        assert_eq!(pre.rows(), prog.dim());
-        assert_eq!(post.rows(), prog.dim());
-        HoareTriple {
-            pre: pre.clone(),
-            prog: prog.clone(),
-            post: post.clone(),
-        }
-    }
-
-    /// The precondition `A`.
-    pub fn pre(&self) -> &CMatrix {
-        &self.pre
-    }
-
-    /// The program `P`.
-    pub fn prog(&self) -> &Program {
-        &self.prog
-    }
-
-    /// The postcondition `B`.
-    pub fn post(&self) -> &CMatrix {
-        &self.post
-    }
-
-    /// Partial correctness `⊨par {A} P {B}` via the wlp characterization.
-    pub fn holds_partial(&self, tol: f64) -> bool {
-        qsim_linalg::lowner_le(&self.pre, &wlp(&self.prog, &self.post), tol)
-    }
-
-    /// Checks eq. (7.3.1) directly on random density probes (a redundancy
-    /// check on the wlp route, used in tests).
-    pub fn holds_on_probes(&self, probes: usize, seed: &mut u64, tol: f64) -> bool {
-        let dim = self.prog.dim();
-        (0..probes).all(|_| {
-            let rho = qsim_quantum::states::random_density(dim, seed);
-            let out = self.prog.run(&rho);
-            let lhs = (&self.pre * &rho).trace().re;
-            let rhs = (&self.post * &out).trace().re + rho.trace().re - out.trace().re;
-            lhs <= rhs + tol
-        })
-    }
-}
+// The semantic half of QHL — triples and the wlp characterization —
+// lives with the programs it speaks about (`nka_qprog::hoare`), so the
+// Query API can reach it without a crate cycle. Re-exported here under
+// the historical paths; everything below builds on them.
+pub use nka_qprog::hoare::{wlp, HoareTriple};
 
 /// A derivation in the propositional proof system of Figure 5 (the red
 /// rules), with atomic triples as leaves (Ax.In / Ax.UT statements are
@@ -637,35 +552,9 @@ mod tests {
         Program::while_loop(["m0", "m1"], &meas, h)
     }
 
-    #[test]
-    fn wlp_of_structures() {
-        let h = Program::unitary("h", &gates::hadamard());
-        let x = Program::unitary("x", &gates::pauli_x());
-        // wlp(X, |1⟩⟨1|) = |0⟩⟨0|.
-        let pre = wlp(&x, &states::basis_density(2, 1));
-        assert!(pre.approx_eq(&states::basis_density(2, 0), 1e-9));
-        // wlp is multiplicative over seq.
-        let hx = h.then(&x);
-        let direct = wlp(&hx, &states::basis_density(2, 1));
-        let nested = wlp(&h, &wlp(&x, &states::basis_density(2, 1)));
-        assert!(direct.approx_eq(&nested, 1e-9));
-        // wlp(abort, B) = I (partial correctness ignores divergence).
-        let ab = Program::abort(2);
-        assert!(wlp(&ab, &states::basis_density(2, 0)).approx_eq(&CMatrix::identity(2), 1e-9));
-    }
-
-    #[test]
-    fn triple_validity_routes_agree() {
-        let mut seed = 5;
-        let w = coin_flip_loop();
-        // {I} while {|0⟩⟨0|}: the loop a.s. exits into |0⟩.
-        let t = HoareTriple::new(&CMatrix::identity(2), &w, &states::basis_density(2, 0));
-        assert!(t.holds_partial(1e-7));
-        assert!(t.holds_on_probes(8, &mut seed, 1e-7));
-        // A false triple: {I} while {|1⟩⟨1|}.
-        let f = HoareTriple::new(&CMatrix::identity(2), &w, &states::basis_density(2, 1));
-        assert!(!f.holds_partial(1e-7));
-    }
+    // `wlp`/`HoareTriple` unit tests moved with the code to
+    // `nka_qprog::hoare`; these exercise the Figure-5 derivations and
+    // the Theorem 7.8 compiler on top of the re-exported names.
 
     fn loop_derivation() -> (QhlDerivation, Program) {
         // {C} while M = 1 do H {|0⟩⟨0|} with C = diag(1, ½), via the body

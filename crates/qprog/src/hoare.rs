@@ -1,0 +1,170 @@
+//! Quantum Hoare triples and the weakest liberal precondition
+//! (Section 7.3 of the paper — the *semantic* half).
+//!
+//! A quantum Hoare triple `{A} P {B}` asserts partial correctness
+//! (eq. 7.3.1): `tr(Aρ) ≤ tr(B⟦P⟧ρ) + tr(ρ) − tr(⟦P⟧ρ)`, equivalently
+//! `A ⊑ wlp(P, B) = I − ⟦P⟧†(I − B)` ([`wlp`], [`HoareTriple`]).
+//!
+//! These used to live in `nkat::qhl`; they moved here because they are
+//! facts about *programs and their denotations*, not about the NKAT
+//! algebra — which lets the Query API (which cannot depend on `nkat`
+//! without a crate cycle) answer `hoare` wire queries through the same
+//! machinery Theorem 7.8's derivation compiler uses. `nkat::qhl`
+//! re-exports both names, so existing call sites are unaffected.
+
+use crate::program::Program;
+use qsim_linalg::{is_psd, lowner_le, CMatrix};
+
+/// Whether `a` is an effect (quantum predicate): square, Hermitian,
+/// PSD, and `a ⊑ I`, all within `tol`. The same validation
+/// `nkat::Effect::new` performs, restated here so the semantic layer
+/// does not need the effect-algebra crate.
+#[must_use]
+pub fn is_effect(a: &CMatrix, tol: f64) -> bool {
+    a.is_square()
+        && a.is_hermitian(tol)
+        && is_psd(a, tol)
+        && lowner_le(a, &CMatrix::identity(a.rows()), tol)
+}
+
+/// The weakest liberal precondition `wlp(P, B) = I − ⟦P⟧†(I − B)`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use nka_qprog::hoare::wlp;
+/// use nka_qprog::Program;
+/// use qsim_quantum::{gates, states};
+///
+/// // wlp(H, |0⟩⟨0|) = |+⟩⟨+|.
+/// let h = Program::unitary("h", &gates::hadamard());
+/// let pre = wlp(&h, &states::basis_density(2, 0));
+/// let plus = h.run(&states::basis_density(2, 0));
+/// assert!(pre.approx_eq(&plus, 1e-9));
+/// ```
+pub fn wlp(p: &Program, post: &CMatrix) -> CMatrix {
+    let dim = p.dim();
+    assert_eq!(post.rows(), dim, "postcondition dimension mismatch");
+    let dual = p.denotation().dual();
+    let id = CMatrix::identity(dim);
+    &id - &dual.apply(&(&id - post))
+}
+
+/// A quantum Hoare triple `{A} P {B}`.
+#[derive(Debug, Clone)]
+pub struct HoareTriple {
+    pre: CMatrix,
+    prog: Program,
+    post: CMatrix,
+}
+
+impl HoareTriple {
+    /// Builds `{pre} prog {post}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pre`/`post` are not effects of the program's dimension.
+    pub fn new(pre: &CMatrix, prog: &Program, post: &CMatrix) -> HoareTriple {
+        assert!(is_effect(pre, 1e-8), "precondition must be an effect");
+        assert!(is_effect(post, 1e-8), "postcondition must be an effect");
+        assert_eq!(pre.rows(), prog.dim());
+        assert_eq!(post.rows(), prog.dim());
+        HoareTriple {
+            pre: pre.clone(),
+            prog: prog.clone(),
+            post: post.clone(),
+        }
+    }
+
+    /// The precondition `A`.
+    pub fn pre(&self) -> &CMatrix {
+        &self.pre
+    }
+
+    /// The program `P`.
+    pub fn prog(&self) -> &Program {
+        &self.prog
+    }
+
+    /// The postcondition `B`.
+    pub fn post(&self) -> &CMatrix {
+        &self.post
+    }
+
+    /// Partial correctness `⊨par {A} P {B}` via the wlp characterization.
+    pub fn holds_partial(&self, tol: f64) -> bool {
+        lowner_le(&self.pre, &wlp(&self.prog, &self.post), tol)
+    }
+
+    /// Checks eq. (7.3.1) directly on random density probes (a redundancy
+    /// check on the wlp route, used in tests).
+    pub fn holds_on_probes(&self, probes: usize, seed: &mut u64, tol: f64) -> bool {
+        let dim = self.prog.dim();
+        (0..probes).all(|_| {
+            let rho = qsim_quantum::states::random_density(dim, seed);
+            let out = self.prog.run(&rho);
+            let lhs = (&self.pre * &rho).trace().re;
+            let rhs = (&self.post * &out).trace().re + rho.trace().re - out.trace().re;
+            lhs <= rhs + tol
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_quantum::{gates, states, Measurement};
+
+    fn coin_flip_loop() -> Program {
+        let meas = Measurement::computational_basis(2);
+        let h = Program::unitary("h", &gates::hadamard());
+        Program::while_loop(["m0", "m1"], &meas, h)
+    }
+
+    #[test]
+    fn wlp_of_structures() {
+        let h = Program::unitary("h", &gates::hadamard());
+        let x = Program::unitary("x", &gates::pauli_x());
+        // wlp(X, |1⟩⟨1|) = |0⟩⟨0|.
+        let pre = wlp(&x, &states::basis_density(2, 1));
+        assert!(pre.approx_eq(&states::basis_density(2, 0), 1e-9));
+        // wlp is multiplicative over seq.
+        let hx = h.then(&x);
+        let direct = wlp(&hx, &states::basis_density(2, 1));
+        let nested = wlp(&h, &wlp(&x, &states::basis_density(2, 1)));
+        assert!(direct.approx_eq(&nested, 1e-9));
+        // wlp(abort, B) = I (partial correctness ignores divergence).
+        let ab = Program::abort(2);
+        assert!(wlp(&ab, &states::basis_density(2, 0)).approx_eq(&CMatrix::identity(2), 1e-9));
+    }
+
+    #[test]
+    fn triple_validity_routes_agree() {
+        let mut seed = 5;
+        let w = coin_flip_loop();
+        // {I} while {|0⟩⟨0|}: the loop a.s. exits into |0⟩.
+        let t = HoareTriple::new(&CMatrix::identity(2), &w, &states::basis_density(2, 0));
+        assert!(t.holds_partial(1e-7));
+        assert!(t.holds_on_probes(8, &mut seed, 1e-7));
+        // A false triple: {I} while {|1⟩⟨1|}.
+        let f = HoareTriple::new(&CMatrix::identity(2), &w, &states::basis_density(2, 1));
+        assert!(!f.holds_partial(1e-7));
+    }
+
+    #[test]
+    fn effect_validation() {
+        assert!(is_effect(&CMatrix::identity(2), 1e-8));
+        assert!(is_effect(&CMatrix::zeros(2, 2), 1e-8));
+        assert!(is_effect(&states::basis_density(2, 1), 1e-8));
+        // 2·I exceeds the identity.
+        let two = CMatrix::identity(2).scale(qsim_linalg::Complex::from(2.0));
+        assert!(!is_effect(&two, 1e-8));
+        // A non-Hermitian matrix is not an effect.
+        let nh = CMatrix::from_real(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        assert!(!is_effect(&nh, 1e-8));
+    }
+}

@@ -9,10 +9,15 @@
 //!
 //! with its denotational semantics `⟦P⟧` (Ying's equations, reproduced in
 //! [`Program::run`] and [`Program::denotation`]), the encoder `Enc` into
-//! NKA expressions with [`EncoderSetting`] (Definition 4.4), and the
+//! NKA expressions with [`EncoderSetting`] (Definition 4.4), the
 //! normal-form transformation of **Theorem 6.1** — every quantum while-
 //! program is equivalent (up to a classical-guard reset) to a single-loop
-//! program `P₀; while M do P₁ done` ([`normal_form::normalize`]).
+//! program `P₀; while M do P₁ done` ([`normal_form::normalize`]) — plus
+//! the two front-end layers the Query API serves quantum workloads
+//! through: the textual [`surface`] language (programs and effects as
+//! source text with byte-span caret diagnostics) and the semantic half
+//! of quantum Hoare logic ([`hoare`]: triples and the wlp
+//! characterization, re-exported by `nkat::qhl`).
 //!
 //! # Examples
 //!
@@ -35,10 +40,25 @@
 //! ```
 
 pub mod encode;
+pub mod hoare;
 pub mod normal_form;
 pub mod program;
 pub mod semantics;
+pub mod surface;
 
 pub use encode::{EncodeError, EncoderSetting};
+pub use hoare::{wlp, HoareTriple};
 pub use program::Program;
 pub use semantics::Denotation;
+pub use surface::{ParseProgError, SurfaceEffect, SurfaceProgram};
+
+/// The program AST and its building blocks are shared across threads by
+/// the parallel batch path; keep that contract compile-checked.
+#[allow(dead_code)]
+fn _static_assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Program>();
+    check::<SurfaceProgram>();
+    check::<SurfaceEffect>();
+    check::<HoareTriple>();
+}

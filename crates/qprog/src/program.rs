@@ -3,7 +3,7 @@
 use qsim_linalg::CMatrix;
 use qsim_quantum::{Measurement, Superoperator};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A measurement whose outcomes carry encoder names (the symbols the
 /// branches will receive under `Enc`, Definition 4.4).
@@ -64,13 +64,13 @@ pub enum Program {
     Abort(usize),
     /// An elementary statement (`q := |0⟩` or `q̄ := U[q̄]`) with its
     /// encoder name.
-    Elementary(String, Rc<Superoperator>),
+    Elementary(String, Arc<Superoperator>),
     /// `P₁; P₂`.
-    Seq(Rc<Program>, Rc<Program>),
+    Seq(Arc<Program>, Arc<Program>),
     /// `case M[q̄] →ᵢ Pᵢ end`.
     Case(NamedMeasurement, Vec<Program>),
     /// `while M[q̄] = 1 do P done` — outcome 1 continues, outcome 0 exits.
-    While(NamedMeasurement, Rc<Program>),
+    While(NamedMeasurement, Arc<Program>),
 }
 
 impl Program {
@@ -91,7 +91,7 @@ impl Program {
     /// Panics if `u` is not unitary within `1e-8`.
     pub fn unitary(name: &str, u: &CMatrix) -> Program {
         assert!(u.is_unitary(1e-8), "Program::unitary needs a unitary");
-        Program::Elementary(name.to_owned(), Rc::new(Superoperator::from_unitary(u)))
+        Program::Elementary(name.to_owned(), Arc::new(Superoperator::from_unitary(u)))
     }
 
     /// An elementary statement from an arbitrary superoperator — used for
@@ -107,7 +107,7 @@ impl Program {
             op.is_trace_nonincreasing(1e-7),
             "elementary superoperators must be trace-non-increasing"
         );
-        Program::Elementary(name.to_owned(), Rc::new(op))
+        Program::Elementary(name.to_owned(), Arc::new(op))
     }
 
     /// The initialization `q := |0⟩` on a register of dimension `reg_dim`
@@ -123,7 +123,7 @@ impl Program {
             .collect();
         Program::Elementary(
             name.to_owned(),
-            Rc::new(Superoperator::from_kraus(dim, dim, kraus)),
+            Arc::new(Superoperator::from_kraus(dim, dim, kraus)),
         )
     }
 
@@ -134,7 +134,7 @@ impl Program {
     /// Panics on dimension mismatch.
     pub fn then(&self, then: &Program) -> Program {
         assert_eq!(self.dim(), then.dim(), "sequencing dimension mismatch");
-        Program::Seq(Rc::new(self.clone()), Rc::new(then.clone()))
+        Program::Seq(Arc::new(self.clone()), Arc::new(then.clone()))
     }
 
     /// `case M[q̄] →ᵢ branches[i] end` with outcome names.
@@ -174,7 +174,7 @@ impl Program {
         let named = NamedMeasurement::new(names, meas);
         assert_eq!(named.outcome_count(), 2, "while needs a 2-outcome test");
         assert_eq!(body.dim(), meas.dim(), "body dimension mismatch");
-        Program::While(named, Rc::new(body))
+        Program::While(named, Arc::new(body))
     }
 
     /// `if M[q̄] = 1 then p1 else p2` — syntax sugar for a two-branch case

@@ -1,0 +1,909 @@
+//! The textual surface language for quantum while-programs and effects.
+//!
+//! This is the front end of the quantum workload API: `prog_eq` and
+//! `hoare` wire queries carry programs (and pre/postconditions) as
+//! source text in this language, hand-parsed with the same byte-span
+//! caret diagnostics as `nka_syntax::ParseExprError`.
+//!
+//! # Program grammar
+//!
+//! ```text
+//! program := 'qubits' NAT ';' seq?
+//! seq     := stmt (';' stmt)* ';'?
+//! stmt    := 'skip' | 'abort'
+//!          | 'init' QUBIT              -- q := |0⟩ on one qubit
+//!          | GATE QUBIT+               -- h q0 | cnot q0 q1 | …
+//!          | 'if' QUBIT block ('else' block)?
+//!          | 'while' QUBIT block       -- while M[q] = 1 do … done
+//! block   := '{' seq? '}'
+//! QUBIT   := 'q' NAT                   -- q0, q1, …
+//! GATE    := h | x | y | z | s | t | cnot | cz | swap
+//! ```
+//!
+//! `if`/`while` measure one qubit in the computational basis; outcome 1
+//! selects the `if` branch / continues the loop, outcome 0 selects
+//! `else` / exits — exactly the paper's `while M[q̄] = 1 do P done`.
+//! A missing `else` block and an empty `{}` both mean `skip`.
+//!
+//! Encoder names (Definition 4.4) are derived deterministically, so two
+//! programs parsed for one comparison share symbols exactly when they
+//! share elementary operations: gate `h q0` ↦ `h_q0`, `cnot q0 q1` ↦
+//! `cnot_q0_q1`, `init q2` ↦ `init_q2`, and measuring qubit `k` names
+//! its outcomes `m0_qk` / `m1_qk`. The derivation is injective (one
+//! name, one superoperator), so [`crate::EncoderSetting`] never sees a
+//! collision on surface programs.
+//!
+//! # Effect grammar
+//!
+//! Pre/postconditions of `hoare` queries are diagonal-friendly effect
+//! expressions over the same qubit count:
+//!
+//! ```text
+//! effect := term ('+' term)*
+//! term   := factor ('*'? factor)*     -- '*' optional: 0.5 I ≡ 0.5 * I
+//! factor := NUMBER                    -- scalar (alone: NUMBER · I)
+//!         | 'I'                       -- identity
+//!         | 'ket' '(' BITS ')'        -- |bits⟩⟨bits|, one bit per qubit
+//!         | QUBIT '=' (0|1)           -- projector on one qubit's value
+//! ```
+//!
+//! The parsed matrix must be an effect (`0 ⊑ E ⊑ I`, [`crate::hoare::is_effect`]);
+//! `0.7 ket(01) + 0.3 q0=1` parses, `2 I` is rejected with a span.
+//!
+//! # Examples
+//!
+//! ```
+//! use nka_qprog::surface::SurfaceProgram;
+//!
+//! let p = SurfaceProgram::parse("qubits 1; h q0; while q0 { h q0 }")?;
+//! assert_eq!(p.qubits(), 1);
+//! // The coin-flip loop almost surely exits into |0⟩.
+//! let out = p.program().run(&qsim_quantum::states::basis_density(2, 1));
+//! assert!(out.trace().re > 0.0);
+//! # Ok::<(), nka_qprog::surface::ParseProgError>(())
+//! ```
+
+use crate::program::Program;
+use qsim_linalg::{CMatrix, Complex};
+use qsim_quantum::{gates, Measurement, RegisterSpace, Superoperator};
+use std::fmt;
+
+/// Hard cap on the declared qubit count. Programs act on a
+/// `2^n`-dimensional space and `hoare` queries materialize the
+/// `4^n × 4^n` Liouville matrix of the denotation, so this bounds the
+/// memory any single wire request can demand (n = 5 ⇒ 1024² complex
+/// entries ≈ 16 MiB, answered in well under a second).
+pub const MAX_QUBITS: usize = 5;
+
+/// Error raised when parsing a surface program or effect fails.
+///
+/// Mirrors `nka_syntax::ParseExprError`: carries the half-open byte
+/// span `[start, end)` of the offending input and renders a `^^^`
+/// caret line — the wire layer surfaces both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProgError {
+    message: String,
+    start: usize,
+    end: usize,
+}
+
+impl ParseProgError {
+    fn new(message: impl Into<String>, start: usize, end: usize) -> ParseProgError {
+        ParseProgError {
+            message: message.into(),
+            start,
+            end,
+        }
+    }
+
+    /// Byte offset in the input at which the error occurred.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.start
+    }
+
+    /// The half-open byte span `[start, end)` of the offending token.
+    /// An empty span (`start == end`) means the error is *at* that
+    /// point — typically an unexpected end of input.
+    #[must_use]
+    pub fn span(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+
+    /// The bare message, without the byte-offset suffix of `Display`.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Renders the source with a `^^^` caret line under the offending
+    /// span — the same renderer as `ParseExprError::caret`
+    /// ([`nka_syntax::render_caret`]), so the two error surfaces cannot
+    /// drift apart:
+    ///
+    /// ```text
+    /// qubits 1; frob q0
+    ///           ^^^^ unknown gate or statement "frob"
+    /// ```
+    #[must_use]
+    pub fn caret(&self, src: &str) -> String {
+        nka_syntax::render_caret(src, self.start, self.end, &self.message)
+    }
+}
+
+impl fmt::Display for ParseProgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.start)
+    }
+}
+
+impl std::error::Error for ParseProgError {}
+
+/// A parsed program plus the exact source it came from.
+///
+/// Equality (and the wire round-trip `decode(encode(q)) == q`) is *by
+/// source text*: two different spellings of the same program compare
+/// unequal, which is what a request/response protocol wants.
+#[derive(Debug, Clone)]
+pub struct SurfaceProgram {
+    src: String,
+    qubits: usize,
+    prog: Program,
+}
+
+impl PartialEq for SurfaceProgram {
+    fn eq(&self, other: &Self) -> bool {
+        self.src == other.src
+    }
+}
+
+impl Eq for SurfaceProgram {}
+
+impl fmt::Display for SurfaceProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.src)
+    }
+}
+
+impl SurfaceProgram {
+    /// Parses a program from surface syntax.
+    ///
+    /// # Errors
+    ///
+    /// A span-bearing [`ParseProgError`] on any lexical, syntactic, or
+    /// arity/range error (unknown gate, out-of-range qubit, …).
+    pub fn parse(src: &str) -> Result<SurfaceProgram, ParseProgError> {
+        let tokens = tokenize(src)?;
+        let mut p = Parser::new(tokens, src.len());
+        let (qubits, prog) = p.parse_program()?;
+        Ok(SurfaceProgram {
+            src: src.to_owned(),
+            qubits,
+            prog,
+        })
+    }
+
+    /// The source text, verbatim.
+    #[must_use]
+    pub fn source(&self) -> &str {
+        &self.src
+    }
+
+    /// The declared qubit count.
+    #[must_use]
+    pub fn qubits(&self) -> usize {
+        self.qubits
+    }
+
+    /// The Hilbert-space dimension `2^qubits`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        1 << self.qubits
+    }
+
+    /// The parsed program.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.prog
+    }
+}
+
+/// A parsed effect (pre/postcondition) plus its exact source. Equality
+/// is by source text and qubit count, like [`SurfaceProgram`].
+#[derive(Debug, Clone)]
+pub struct SurfaceEffect {
+    src: String,
+    qubits: usize,
+    matrix: CMatrix,
+}
+
+impl PartialEq for SurfaceEffect {
+    fn eq(&self, other: &Self) -> bool {
+        self.src == other.src && self.qubits == other.qubits
+    }
+}
+
+impl Eq for SurfaceEffect {}
+
+impl fmt::Display for SurfaceEffect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.src)
+    }
+}
+
+impl SurfaceEffect {
+    /// Parses an effect over `qubits` qubits and validates it
+    /// ([`crate::hoare::is_effect`] within `1e-8`).
+    ///
+    /// # Errors
+    ///
+    /// A span-bearing [`ParseProgError`] on syntax errors or when the
+    /// parsed matrix is not an effect (e.g. `2 I`).
+    pub fn parse(src: &str, qubits: usize) -> Result<SurfaceEffect, ParseProgError> {
+        if qubits == 0 || qubits > MAX_QUBITS {
+            return Err(ParseProgError::new(
+                format!("effects need a qubit count in 1..={MAX_QUBITS}, got {qubits}"),
+                0,
+                src.len(),
+            ));
+        }
+        let tokens = tokenize(src)?;
+        let mut p = Parser::new(tokens, src.len());
+        let matrix = p.parse_effect(qubits)?;
+        if !crate::hoare::is_effect(&matrix, 1e-8) {
+            return Err(ParseProgError::new(
+                "not an effect: the matrix must satisfy 0 \u{2291} E \u{2291} I",
+                0,
+                src.len(),
+            ));
+        }
+        Ok(SurfaceEffect {
+            src: src.to_owned(),
+            qubits,
+            matrix,
+        })
+    }
+
+    /// The source text, verbatim.
+    #[must_use]
+    pub fn source(&self) -> &str {
+        &self.src
+    }
+
+    /// The qubit count this effect was parsed against.
+    #[must_use]
+    pub fn qubits(&self) -> usize {
+        self.qubits
+    }
+
+    /// The validated effect matrix (`2^qubits` square).
+    #[must_use]
+    pub fn matrix(&self) -> &CMatrix {
+        &self.matrix
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    /// A number, raw text preserved (`ket(010)` needs the leading zero).
+    Num(String),
+    Semi,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Eq,
+    Plus,
+    Star,
+}
+
+/// A token plus its half-open byte span in the source.
+type Spanned = (Token, usize, usize);
+
+fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseProgError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let single = |t| (t, i, i + 1);
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b';' => {
+                tokens.push(single(Token::Semi));
+                i += 1;
+            }
+            b'{' => {
+                tokens.push(single(Token::LBrace));
+                i += 1;
+            }
+            b'}' => {
+                tokens.push(single(Token::RBrace));
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(single(Token::LParen));
+                i += 1;
+            }
+            b')' => {
+                tokens.push(single(Token::RParen));
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(single(Token::Eq));
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(single(Token::Plus));
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(single(Token::Star));
+                i += 1;
+            }
+            _ if b.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                tokens.push((Token::Num(input[start..i].to_owned()), start, i));
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push((Token::Ident(input[start..i].to_owned()), start, i));
+            }
+            _ => {
+                let ch = input[i..].chars().next().expect("non-empty remainder");
+                return Err(ParseProgError::new(
+                    format!("unexpected character {ch:?}"),
+                    i,
+                    i + ch.len_utf8(),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// The gate table: surface name ↦ (matrix, qubit arity).
+fn gate_table(name: &str) -> Option<(CMatrix, usize)> {
+    match name {
+        "h" => Some((gates::hadamard(), 1)),
+        "x" => Some((gates::pauli_x(), 1)),
+        "y" => Some((gates::pauli_y(), 1)),
+        "z" => Some((gates::pauli_z(), 1)),
+        "s" => Some((gates::s_gate(), 1)),
+        "t" => Some((gates::t_gate(), 1)),
+        "cnot" => Some((gates::cnot(), 2)),
+        "cz" => Some((gates::cz(), 2)),
+        "swap" => Some((gates::swap(), 2)),
+        _ => None,
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Spanned>, input_len: usize) -> Parser {
+        Parser {
+            tokens,
+            pos: 0,
+            input_len,
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _, _)| t)
+    }
+
+    /// The span of the current token, or the empty end-of-input span.
+    fn here(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos)
+            .map_or((self.input_len, self.input_len), |&(_, s, e)| (s, e))
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> ParseProgError {
+        let (s, e) = self.here();
+        ParseProgError::new(msg, s, e)
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseProgError> {
+        if self.peek() == Some(want) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {what}")))
+        }
+    }
+
+    /// `'q' NAT` — a qubit reference, range-checked against `qubits`.
+    fn parse_qubit(&mut self, qubits: usize) -> Result<usize, ParseProgError> {
+        let (s, e) = self.here();
+        match self.bump() {
+            Some(Token::Ident(name)) => {
+                let idx = name
+                    .strip_prefix('q')
+                    .and_then(|d| {
+                        (!d.is_empty() && d.bytes().all(|b| b.is_ascii_digit())).then_some(d)
+                    })
+                    .and_then(|d| d.parse::<usize>().ok())
+                    .ok_or_else(|| {
+                        ParseProgError::new(format!("expected a qubit like q0, got {name:?}"), s, e)
+                    })?;
+                if idx >= qubits {
+                    return Err(ParseProgError::new(
+                        format!(
+                            "qubit q{idx} out of range: the program declares {qubits} qubit(s)"
+                        ),
+                        s,
+                        e,
+                    ));
+                }
+                Ok(idx)
+            }
+            _ => Err(ParseProgError::new("expected a qubit like q0", s, e)),
+        }
+    }
+
+    /// `program := 'qubits' NAT ';' seq?`
+    fn parse_program(&mut self) -> Result<(usize, Program), ParseProgError> {
+        let (s, e) = self.here();
+        match self.bump() {
+            Some(Token::Ident(kw)) if kw == "qubits" => {}
+            _ => {
+                return Err(ParseProgError::new(
+                    "a program starts with 'qubits N;'",
+                    s,
+                    e,
+                ))
+            }
+        }
+        let (ns, ne) = self.here();
+        let qubits = match self.bump() {
+            Some(Token::Num(raw)) if !raw.contains('.') => raw
+                .parse::<usize>()
+                .map_err(|_| ParseProgError::new(format!("bad qubit count {raw:?}"), ns, ne))?,
+            _ => return Err(ParseProgError::new("expected the qubit count", ns, ne)),
+        };
+        if qubits == 0 || qubits > MAX_QUBITS {
+            return Err(ParseProgError::new(
+                format!("qubit count must be in 1..={MAX_QUBITS}, got {qubits}"),
+                ns,
+                ne,
+            ));
+        }
+        self.expect(&Token::Semi, "';' after the qubit count")?;
+        let space = qubit_space(qubits);
+        let prog = self.parse_seq(&space, qubits, /* in_block: */ false)?;
+        if self.pos != self.tokens.len() {
+            return Err(self.err_here("trailing input"));
+        }
+        Ok((qubits, prog))
+    }
+
+    /// `seq := stmt (';' stmt)* ';'?` — empty means `skip`. When
+    /// `in_block`, the sequence ends at `}` (not consumed here).
+    fn parse_seq(
+        &mut self,
+        space: &QubitSpace,
+        qubits: usize,
+        in_block: bool,
+    ) -> Result<Program, ParseProgError> {
+        let dim = 1usize << qubits;
+        let mut acc: Option<Program> = None;
+        loop {
+            // Skip stray separators, stop at the closer / end.
+            while self.peek() == Some(&Token::Semi) {
+                self.bump();
+            }
+            match self.peek() {
+                None => break,
+                Some(Token::RBrace) if in_block => break,
+                _ => {}
+            }
+            let stmt = self.parse_stmt(space, qubits)?;
+            acc = Some(match acc {
+                None => stmt,
+                Some(prev) => prev.then(&stmt),
+            });
+            // Statements are ';'-separated; a block closer or EOF may
+            // follow the last one directly.
+            match self.peek() {
+                Some(Token::Semi) => {}
+                None => break,
+                Some(Token::RBrace) if in_block => break,
+                _ => return Err(self.err_here("expected ';' between statements")),
+            }
+        }
+        Ok(acc.unwrap_or_else(|| Program::skip(dim)))
+    }
+
+    /// `block := '{' seq? '}'`
+    fn parse_block(
+        &mut self,
+        space: &QubitSpace,
+        qubits: usize,
+    ) -> Result<Program, ParseProgError> {
+        self.expect(&Token::LBrace, "'{'")?;
+        let body = self.parse_seq(space, qubits, true)?;
+        self.expect(&Token::RBrace, "'}'")?;
+        Ok(body)
+    }
+
+    fn parse_stmt(&mut self, space: &QubitSpace, qubits: usize) -> Result<Program, ParseProgError> {
+        let dim = 1usize << qubits;
+        let (s, e) = self.here();
+        let Some(Token::Ident(head)) = self.bump() else {
+            return Err(ParseProgError::new("expected a statement", s, e));
+        };
+        match head.as_str() {
+            "skip" => Ok(Program::skip(dim)),
+            "abort" => Ok(Program::abort(dim)),
+            "init" => {
+                let q = self.parse_qubit(qubits)?;
+                Ok(Program::elementary(&format!("init_q{q}"), space.reset(q)))
+            }
+            "if" => {
+                let q = self.parse_qubit(qubits)?;
+                let then_branch = self.parse_block(space, qubits)?;
+                let has_else = matches!(self.peek(), Some(Token::Ident(k)) if k == "else");
+                let else_branch = if has_else {
+                    self.bump();
+                    self.parse_block(space, qubits)?
+                } else {
+                    Program::skip(dim)
+                };
+                Ok(Program::if_then_else(
+                    [format!("m0_q{q}"), format!("m1_q{q}")],
+                    &space.measure(q),
+                    then_branch,
+                    else_branch,
+                ))
+            }
+            "while" => {
+                let q = self.parse_qubit(qubits)?;
+                let body = self.parse_block(space, qubits)?;
+                Ok(Program::while_loop(
+                    [format!("m0_q{q}"), format!("m1_q{q}")],
+                    &space.measure(q),
+                    body,
+                ))
+            }
+            gate => {
+                let Some((matrix, arity)) = gate_table(gate) else {
+                    return Err(ParseProgError::new(
+                        format!("unknown gate or statement {gate:?}"),
+                        s,
+                        e,
+                    ));
+                };
+                let mut targets = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    let (qs, qe) = self.here();
+                    let q = self.parse_qubit(qubits)?;
+                    if targets.contains(&q) {
+                        return Err(ParseProgError::new(
+                            format!("gate {gate:?} lists qubit q{q} twice"),
+                            qs,
+                            qe,
+                        ));
+                    }
+                    targets.push(q);
+                }
+                let name = std::iter::once(gate.to_owned())
+                    .chain(targets.iter().map(|q| format!("q{q}")))
+                    .collect::<Vec<_>>()
+                    .join("_");
+                Ok(Program::unitary(
+                    &name,
+                    &space.embed_gate(&matrix, &targets),
+                ))
+            }
+        }
+    }
+
+    /// `effect := term ('+' term)*`
+    fn parse_effect(&mut self, qubits: usize) -> Result<CMatrix, ParseProgError> {
+        let mut acc = self.parse_effect_term(qubits)?;
+        while self.peek() == Some(&Token::Plus) {
+            self.bump();
+            let rhs = self.parse_effect_term(qubits)?;
+            acc = &acc + &rhs;
+        }
+        if self.pos != self.tokens.len() {
+            return Err(self.err_here("trailing input"));
+        }
+        Ok(acc)
+    }
+
+    /// `term := factor ('*'? factor)*` — scalars multiply, matrix
+    /// factors compose; a pure-scalar term means `scalar · I`.
+    fn parse_effect_term(&mut self, qubits: usize) -> Result<CMatrix, ParseProgError> {
+        let dim = 1usize << qubits;
+        let mut scalar = 1.0f64;
+        let mut matrix: Option<CMatrix> = None;
+        let mut first = true;
+        loop {
+            match self.peek() {
+                Some(Token::Star) if !first => {
+                    self.bump();
+                }
+                Some(Token::Num(_) | Token::Ident(_)) if !first => {}
+                _ if first => {}
+                _ => break,
+            }
+            let (s, e) = self.here();
+            match self.bump() {
+                Some(Token::Num(raw)) => {
+                    let v: f64 = raw
+                        .parse()
+                        .map_err(|_| ParseProgError::new(format!("bad number {raw:?}"), s, e))?;
+                    scalar *= v;
+                }
+                Some(Token::Ident(name)) if name == "I" => {
+                    let m = CMatrix::identity(dim);
+                    matrix = Some(matrix.map_or(m.clone(), |prev| &prev * &m));
+                }
+                Some(Token::Ident(name)) if name == "ket" => {
+                    self.expect(&Token::LParen, "'(' after ket")?;
+                    let (bs, be) = self.here();
+                    let bits = match self.bump() {
+                        Some(Token::Num(raw)) => raw,
+                        _ => {
+                            return Err(ParseProgError::new("expected a bitstring like 01", bs, be))
+                        }
+                    };
+                    if bits.len() != qubits || !bits.bytes().all(|b| b == b'0' || b == b'1') {
+                        return Err(ParseProgError::new(
+                            format!("ket needs one bit per qubit ({qubits} here), got {bits:?}"),
+                            bs,
+                            be,
+                        ));
+                    }
+                    self.expect(&Token::RParen, "')'")?;
+                    // Qubit 0 is the first tensor factor, i.e. the most
+                    // significant bit of the basis index.
+                    let index = bits
+                        .bytes()
+                        .fold(0usize, |acc, b| (acc << 1) | usize::from(b == b'1'));
+                    let mut m = CMatrix::zeros(dim, dim);
+                    m[(index, index)] = Complex::ONE;
+                    matrix = Some(matrix.map_or(m.clone(), |prev| &prev * &m));
+                }
+                Some(Token::Ident(name)) => {
+                    // `qK = B`: projector on one qubit's value.
+                    self.pos -= 1; // re-read as a qubit reference
+                    let q = self.parse_qubit(qubits)?;
+                    self.expect(&Token::Eq, "'=' after the qubit")?;
+                    let (vs, ve) = self.here();
+                    let bit = match self.bump() {
+                        Some(Token::Num(raw)) if raw == "0" => 0usize,
+                        Some(Token::Num(raw)) if raw == "1" => 1usize,
+                        _ => {
+                            return Err(ParseProgError::new(
+                                format!("expected 0 or 1 after {name}="),
+                                vs,
+                                ve,
+                            ))
+                        }
+                    };
+                    let m = qubit_space(qubits).projector(q, bit);
+                    matrix = Some(matrix.map_or(m.clone(), |prev| &prev * &m));
+                }
+                _ => {
+                    return Err(ParseProgError::new(
+                        "expected a number, I, ket(bits), or qK=b",
+                        s,
+                        e,
+                    ))
+                }
+            }
+            first = false;
+        }
+        let base = matrix.unwrap_or_else(|| CMatrix::identity(dim));
+        Ok(base.scale(Complex::from(scalar)))
+    }
+}
+
+/// The `n`-qubit register space with its embedding helpers, built once
+/// per parse.
+struct QubitSpace {
+    space: RegisterSpace,
+    regs: Vec<qsim_quantum::registers::RegisterId>,
+}
+
+fn qubit_space(qubits: usize) -> QubitSpace {
+    let mut space = RegisterSpace::new();
+    let regs = (0..qubits)
+        .map(|k| space.add_register(&format!("q{k}"), 2))
+        .collect();
+    QubitSpace { space, regs }
+}
+
+impl QubitSpace {
+    /// A gate on the listed qubits, identity elsewhere.
+    fn embed_gate(&self, gate: &CMatrix, targets: &[usize]) -> CMatrix {
+        let ids: Vec<_> = targets.iter().map(|&q| self.regs[q]).collect();
+        self.space.embed(gate, &ids)
+    }
+
+    /// The computational-basis measurement of one qubit, embedded.
+    fn measure(&self, q: usize) -> Measurement {
+        Measurement::new(vec![self.projector(q, 0), self.projector(q, 1)])
+    }
+
+    /// `|b⟩⟨b|` on one qubit, embedded.
+    fn projector(&self, q: usize, b: usize) -> CMatrix {
+        self.space.basis_projector(self.regs[q], b)
+    }
+
+    /// The reset channel `q := |0⟩` on one qubit, embedded: Kraus
+    /// operators `|0⟩⟨i|` on the target qubit tensor identity.
+    fn reset(&self, q: usize) -> Superoperator {
+        let dim = self.space.dim();
+        let kraus = (0..2)
+            .map(|i| {
+                let ket0 = CMatrix::basis_ket(2, 0);
+                let keti = CMatrix::basis_ket(2, i);
+                let local = &ket0 * &keti.adjoint();
+                self.space.embed(&local, &[self.regs[q]])
+            })
+            .collect();
+        Superoperator::from_kraus(dim, dim, kraus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EncoderSetting;
+    use qsim_quantum::states;
+
+    #[test]
+    fn parses_and_encodes_like_the_handbuilt_program() {
+        let p = SurfaceProgram::parse("qubits 1; while q0 { h q0 }").unwrap();
+        let mut setting = EncoderSetting::new(2);
+        let enc = setting.encode(p.program()).unwrap();
+        assert_eq!(enc.to_string(), "(m1_q0 h_q0)* m0_q0");
+        // Semantics: the coin-flip loop a.s. exits into |0⟩.
+        let out = p.program().run(&states::basis_density(2, 1));
+        assert!(out.approx_eq(&states::basis_density(2, 0), 1e-9));
+    }
+
+    #[test]
+    fn sequencing_and_two_qubit_gates() {
+        let p = SurfaceProgram::parse("qubits 2; h q0; cnot q0 q1").unwrap();
+        assert_eq!(p.dim(), 4);
+        // |00⟩ ↦ the Bell state: ρ has ¼ mass on each corner.
+        let out = p.program().run(&states::basis_density(4, 0));
+        assert!((out[(0, 0)].re - 0.5).abs() < 1e-9);
+        assert!((out[(3, 3)].re - 0.5).abs() < 1e-9);
+        assert!((out[(0, 3)].re - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn if_else_and_init() {
+        let p = SurfaceProgram::parse("qubits 1; if q0 { x q0 } else { skip }; init q0").unwrap();
+        let mut setting = EncoderSetting::new(2);
+        let enc = setting.encode(p.program()).unwrap();
+        // case order is outcome order: m0 (else) first.
+        assert_eq!(enc.to_string(), "(m0_q0 1 + m1_q0 x_q0) init_q0");
+        // Whatever the input, the trailing init lands in |0⟩.
+        let mut seed = 11;
+        let rho = states::random_density(2, &mut seed);
+        let out = p.program().run(&rho);
+        assert!(out.approx_eq(&states::basis_density(2, 0), 1e-9));
+    }
+
+    #[test]
+    fn empty_blocks_and_missing_else_mean_skip() {
+        let a = SurfaceProgram::parse("qubits 1; if q0 { x q0 }").unwrap();
+        let b = SurfaceProgram::parse("qubits 1; if q0 { x q0 } else { }").unwrap();
+        let mut setting = EncoderSetting::new(2);
+        assert_eq!(
+            setting.encode(a.program()).unwrap(),
+            setting.encode(b.program()).unwrap()
+        );
+        // An empty program is skip.
+        let e = SurfaceProgram::parse("qubits 2;").unwrap();
+        assert_eq!(setting.encode(e.program()).unwrap().to_string(), "1");
+    }
+
+    #[test]
+    fn error_spans_point_at_the_offence() {
+        let src = "qubits 1; frob q0";
+        let err = SurfaceProgram::parse(src).unwrap_err();
+        assert_eq!(err.span(), (10, 14));
+        assert!(
+            err.caret(src).contains("^^^^ unknown gate"),
+            "{}",
+            err.caret(src)
+        );
+
+        let err = SurfaceProgram::parse("qubits 1; h q3").unwrap_err();
+        assert_eq!(err.span(), (12, 14));
+        assert!(err.message().contains("out of range"));
+
+        let err = SurfaceProgram::parse("qubits 1; while q0 { h q0").unwrap_err();
+        assert_eq!(err.span(), (25, 25)); // empty span at end of input
+
+        let err = SurfaceProgram::parse("qubits 9; skip").unwrap_err();
+        assert!(err.message().contains("1..=5"), "{}", err.message());
+
+        let err = SurfaceProgram::parse("qubits 2; swap q1 q1").unwrap_err();
+        assert!(err.message().contains("twice"));
+
+        let err = SurfaceProgram::parse("qubits 1; h q0 x q0").unwrap_err();
+        assert!(err.message().contains("';'"), "{}", err.message());
+    }
+
+    #[test]
+    fn effects_parse_scale_and_project() {
+        let id = SurfaceEffect::parse("I", 1).unwrap();
+        assert!(id.matrix().approx_eq(&CMatrix::identity(2), 1e-12));
+        let half = SurfaceEffect::parse("0.5 I", 1).unwrap();
+        assert!(half.matrix().approx_eq(&states::maximally_mixed(2), 1e-12));
+        let k = SurfaceEffect::parse("ket(10)", 2).unwrap();
+        assert!(k.matrix().approx_eq(&states::basis_density(4, 2), 1e-12));
+        let q = SurfaceEffect::parse("q1=1", 2).unwrap();
+        // q1 = 1 holds on indices 1 and 3 (q0 is the high bit).
+        assert!((q.matrix()[(1, 1)].re - 1.0).abs() < 1e-12);
+        assert!((q.matrix()[(3, 3)].re - 1.0).abs() < 1e-12);
+        assert!(q.matrix()[(0, 0)].abs() < 1e-12);
+        // Mixed sum with explicit star.
+        let m = SurfaceEffect::parse("0.5 * ket(0) + 0.25 ket(1)", 1).unwrap();
+        assert!((m.matrix()[(0, 0)].re - 0.5).abs() < 1e-12);
+        assert!((m.matrix()[(1, 1)].re - 0.25).abs() < 1e-12);
+        // Product of commuting projectors.
+        let p = SurfaceEffect::parse("q0=1 q1=0", 2).unwrap();
+        assert!(p.matrix().approx_eq(&states::basis_density(4, 2), 1e-12));
+        // The zero effect.
+        let z = SurfaceEffect::parse("0", 1).unwrap();
+        assert!(z.matrix().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_effects_are_rejected_with_spans() {
+        let err = SurfaceEffect::parse("2 I", 1).unwrap_err();
+        assert!(err.message().contains("not an effect"), "{}", err.message());
+        let err = SurfaceEffect::parse("ket(01)", 1).unwrap_err();
+        assert!(err.message().contains("one bit per qubit"));
+        assert_eq!(err.span(), (4, 6));
+        let err = SurfaceEffect::parse("q0=2", 1).unwrap_err();
+        assert!(err.message().contains("0 or 1"));
+        assert!(SurfaceEffect::parse("I +", 1).is_err());
+        assert!(SurfaceEffect::parse("", 1).is_err());
+    }
+
+    #[test]
+    fn surface_equality_is_by_source() {
+        let a = SurfaceProgram::parse("qubits 1; h q0").unwrap();
+        let b = SurfaceProgram::parse("qubits 1; h q0").unwrap();
+        let c = SurfaceProgram::parse("qubits 1;  h q0").unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c); // different spelling, different wire value
+    }
+}

@@ -63,17 +63,27 @@ impl ParseExprError {
     /// `src` must be the string this error was produced from; columns are
     /// counted in characters, so multi-byte input aligns correctly.
     pub fn caret(&self, src: &str) -> String {
-        let start = self.start.min(src.len());
-        let end = self.end.clamp(start, src.len());
-        let col = src[..start].chars().count();
-        let width = src[start..end].chars().count().max(1);
-        format!(
-            "{src}\n{pad}{carets} {msg}",
-            pad = " ".repeat(col),
-            carets = "^".repeat(width),
-            msg = self.message
-        )
+        render_caret(src, self.start, self.end, &self.message)
     }
+}
+
+/// Renders `src` with a `^^^` caret line under the byte span
+/// `[start, end)` followed by `msg` — the shared diagnostic shape of
+/// every span-bearing parse error in the workspace ([`ParseExprError`]
+/// here, `ParseProgError` in the quantum surface language). Columns are
+/// counted in characters, so multi-byte input aligns; an empty or
+/// out-of-range span renders a single caret at the clamped position.
+#[must_use]
+pub fn render_caret(src: &str, start: usize, end: usize, msg: &str) -> String {
+    let start = start.min(src.len());
+    let end = end.clamp(start, src.len());
+    let col = src[..start].chars().count();
+    let width = src[start..end].chars().count().max(1);
+    format!(
+        "{src}\n{pad}{carets} {msg}",
+        pad = " ".repeat(col),
+        carets = "^".repeat(width),
+    )
 }
 
 impl fmt::Display for ParseExprError {

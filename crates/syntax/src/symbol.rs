@@ -66,6 +66,28 @@ impl Symbol {
     pub fn id(&self) -> u32 {
         self.0
     }
+
+    /// Number of distinct names interned process-wide. Monotone: the
+    /// symbol table is append-only (unlike the expression arena it has
+    /// no scratch region), so this is the observability surface for
+    /// its growth under distinct-name traffic — soak-tested and
+    /// bounded in `tests/arena_soak.rs`.
+    pub fn interned_count() -> usize {
+        interner()
+            .lock()
+            .expect("symbol interner poisoned")
+            .names
+            .len()
+    }
+
+    /// Total bytes of interned name text, counting both copies the
+    /// table holds (the id→name vector and the name→id map key). A
+    /// lower bound on the table's heap footprint — map/vec overhead
+    /// adds a small constant per name on top.
+    pub fn interned_bytes() -> usize {
+        let table = interner().lock().expect("symbol interner poisoned");
+        2 * table.names.iter().map(String::len).sum::<usize>()
+    }
 }
 
 impl fmt::Display for Symbol {

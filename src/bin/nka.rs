@@ -16,6 +16,14 @@
 //! nka [--budget N] [--json] prove '<lhs>' '<rhs>' [hyp]…
 //!                                      search for a rewrite proof under
 //!                                      hypotheses of the form 'l = r'
+//! nka [--budget N] [--stats] [--json] prog-eq '<prog>' '<prog>'
+//!                                      decide Enc(p) = Enc(q) for two
+//!                                      quantum while-programs (Def. 4.4,
+//!                                      sound by Thm 4.5)
+//! nka [--stats] [--json] hoare '<effect>' '<prog>' '<effect>'
+//!                                      check {pre} prog {post} via wlp;
+//!                                      the verdict carries the Thm 7.8
+//!                                      encoded inequality
 //! nka [--budget N] [--stats] [--json] [--jobs N]
 //!     [--max-queries-per-worker N] batch [FILE]
 //!                                      run a stream of queries (JSONL or
@@ -97,7 +105,7 @@ const EXIT_NO: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_BUDGET: u8 = 3;
 
-const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] [--jobs N] [--max-queries-per-worker N]\n      batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] [--max-queries-per-worker N]\n      [--max-arena-nodes N] serve\n  nka encode-demo\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n--jobs N shards a batch across N parallel worker sessions in bounded\nchunks; verdicts, output order, and exit codes are identical to\n--jobs 1. --max-queries-per-worker N recycles a session's engine\ncaches every N queries (memory backstop; verdicts unchanged);\nserve --max-arena-nodes N exits 3 once the process-wide resident\nexpression arena exceeds N nodes, so a supervisor can restart it.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; batch: 0 all answered, 2 any malformed line,\nelse 3 any budget-exhausted query; serve: 0 at end of input, 3 if\n--max-arena-nodes tripped";
+const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] prog-eq '<prog>' '<prog>'\n  nka [--stats] [--json] hoare '<effect>' '<prog>' '<effect>'\n  nka [--budget N] [--stats] [--json] [--jobs N] [--max-queries-per-worker N]\n      batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] [--max-queries-per-worker N]\n      [--max-arena-nodes N] serve\n  nka encode-demo\n\nprog-eq decides Enc(p) = Enc(q) for two quantum while-programs (one\nshared encoder setting, Definition 4.4); hoare checks the triple\n{pre} prog {post} via wlp and reports the Theorem 7.8 encoding.\nPrograms: 'qubits N; h q0; cnot q0 q1; if q0 {…} else {…}; while q0 {…}'\n(gates: h x y z s t cnot cz swap; also init qK, skip, abort).\nEffects: sums of scaled projectors, e.g. 'I', '0.5 I', 'ket(01)', 'q0=1'.\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps],\n   prog_eq [p, q], hoare [pre, prog, post])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n--jobs N shards a batch across N parallel worker sessions in bounded\nchunks; verdicts, output order, and exit codes are identical to\n--jobs 1. --max-queries-per-worker N recycles a session's engine\ncaches every N queries (memory backstop; verdicts unchanged);\nserve --max-arena-nodes N exits 3 once the process-wide resident\nexpression arena exceeds N nodes, so a supervisor can restart it.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; batch: 0 all answered, 2 any malformed line,\nelse 3 any budget-exhausted query; serve: 0 at end of input, 3 if\n--max-arena-nodes tripped";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -280,6 +288,14 @@ fn main() -> ExitCode {
             json,
             Query::prove(&rest[1], &rest[2], &rest[3..]),
         ),
+        Some("prog-eq") if rest.len() == 3 => {
+            one_shot(&mut session, json, Query::prog_eq(&rest[1], &rest[2]))
+        }
+        Some("hoare") if rest.len() == 4 => one_shot(
+            &mut session,
+            json,
+            Query::hoare(&rest[1], &rest[2], &rest[3]),
+        ),
         Some("batch") if rest.len() <= 2 && jobs <= 1 => {
             batch(&mut session, json, rest.get(1).map(String::as_str))
         }
@@ -302,12 +318,14 @@ fn main() -> ExitCode {
     code
 }
 
-/// Exit code for one answered query.
+/// Exit code for one answered query. Positive verdicts (holds /
+/// proved / series / an equivalent program pair / a valid triple) exit
+/// 0, negative ones 1, resource exhaustion 3.
 fn verdict_exit(verdict: &Verdict) -> u8 {
     match verdict {
-        Verdict::Holds | Verdict::Proved { .. } | Verdict::Series { .. } => EXIT_OK,
-        Verdict::Refuted | Verdict::Exhausted { .. } => EXIT_NO,
         Verdict::BudgetExhausted { .. } => EXIT_BUDGET,
+        v if v.is_positive() => EXIT_OK,
+        _ => EXIT_NO,
     }
 }
 

@@ -24,8 +24,9 @@
 //!   operators `PO∞(H)` (Section 3) and quantum interpretations `Qint`
 //!   (Section 4.1).
 //! * [`qprog`] — quantum while-programs, denotational semantics, the
-//!   encoder `Enc` (Section 4.2), and the normal-form transformation of
-//!   Theorem 6.1.
+//!   encoder `Enc` (Section 4.2), the normal-form transformation of
+//!   Theorem 6.1, the textual surface language behind the `prog_eq` /
+//!   `hoare` workload queries, and Hoare triples + wlp.
 //! * [`nkat`] — effect algebra, partitions, NKAT (Section 7), and the
 //!   propositional quantum Hoare logic embedding (Theorem 7.8).
 //! * [`apps`] — the paper's worked applications: compiler-optimization

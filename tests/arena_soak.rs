@@ -15,7 +15,7 @@
 //! overrides the query count (e.g. for quick local runs).
 
 use nka_quantum::syntax::{
-    arena_resident_nodes, interned_expr_count, scratch_live_nodes, scratch_retired_total,
+    arena_resident_nodes, interned_expr_count, scratch_live_nodes, scratch_retired_total, Symbol,
 };
 use nka_quantum::{Query, Session, SessionOptions, Verdict};
 use std::sync::Mutex;
@@ -171,4 +171,185 @@ fn proved_queries_persist_only_their_promoted_proofs() {
         retired > 0,
         "proved searches should still retire their unused frontier"
     );
+}
+
+/// A distinct single-qubit program per index: a 6-gate sequence
+/// spelled by the base-6 digits of `i` (6⁶ ≈ 47k distinct shapes).
+/// The alphabet stays constant (six `<gate>_q0` names) while every
+/// program is structurally new; six gates keeps the per-query exact
+/// decide ~10 ms — the zeroness check scales steeply with encoding
+/// length, so the soak measures arena behavior, not decider power.
+fn gate_word(i: usize) -> String {
+    const GATES: [&str; 6] = ["h", "x", "y", "z", "s", "t"];
+    let mut k = i;
+    let gates = (0..6)
+        .map(|_| {
+            let g = format!("{} q0", GATES[k % 6]);
+            k /= 6;
+            g
+        })
+        .collect::<Vec<_>>()
+        .join("; ");
+    format!("qubits 1; {gates}")
+}
+
+/// ProgEq soak sizes: the full 10k in release (the CI gate and the
+/// acceptance criterion), a smoke-sized sample under the debug-profile
+/// tier-1 `cargo test` where each exact decide is ~10× slower.
+/// `ARENA_SOAK_QUERIES` overrides both.
+fn prog_eq_soak_queries() -> usize {
+    std::env::var("ARENA_SOAK_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) { 200 } else { 10_000 })
+}
+
+#[test]
+fn distinct_prog_eq_traffic_keeps_the_arena_bounded() {
+    let _serial = soak_lock();
+    let n = prog_eq_soak_queries();
+    // Refuted pairs: p vs p-with-a-z-appended — always algebraically
+    // distinct, so nothing is ever promoted. This is the quantum
+    // workload's half of the PR 4 memory model: program encodings are
+    // scratch-interned per query and retired when it answers, so 10k
+    // distinct ProgEq queries must add zero persistent arena nodes.
+    let queries: Vec<Query> = (0..n)
+        .map(|i| {
+            let p = gate_word(i);
+            let q = format!("{p}; z q0");
+            Query::prog_eq(&p, &q).expect("well-formed")
+        })
+        .collect();
+
+    let persistent_before = interned_expr_count();
+    let resident_before = arena_resident_nodes();
+    let retired_before = scratch_retired_total();
+    let symbols_before = Symbol::interned_count();
+
+    let mut session = Session::new();
+    for (i, query) in queries.iter().enumerate() {
+        let resp = session.run(query);
+        assert!(
+            matches!(resp.verdict, Verdict::ProgEq { holds: false, .. }),
+            "query {i}: expected a refuted ProgEq, got {:?}",
+            resp.verdict
+        );
+    }
+
+    let persistent_growth = interned_expr_count() - persistent_before;
+    let retired = scratch_retired_total() - retired_before;
+    let symbol_growth = Symbol::interned_count() - symbols_before;
+    println!(
+        "prog_eq soak: {n} distinct refuted pairs; persistent +{persistent_growth} nodes, \
+         resident {resident_before} -> {}, scratch retired {retired}, symbols +{symbol_growth}",
+        arena_resident_nodes(),
+    );
+    // The acceptance gate: zero persistent growth for refuted traffic
+    // (a small slack for lazily interned constants, as in the Prove
+    // soak above).
+    assert!(
+        persistent_growth <= 16,
+        "refuted ProgEq traffic leaked {persistent_growth} persistent arena nodes over {n} queries"
+    );
+    assert_eq!(
+        arena_resident_nodes() - interned_expr_count(),
+        resident_before - persistent_before,
+        "live scratch nodes leaked across ProgEq queries"
+    );
+    // Each pair's two encodings span ~10 scratch subterms (6/7-gate
+    // products minus shared constants); well over half must churn
+    // through the scratch region every query.
+    assert!(
+        retired >= 6 * n as u64,
+        "ProgEq encodings retired only {retired} scratch nodes over {n} queries"
+    );
+    // Surface programs derive encoder names from gate × qubit, so the
+    // symbol table cannot grow with query *count*, only with the
+    // (constant) alphabet — the bounded-alphabet half of the ROADMAP
+    // `Symbol` note.
+    assert!(
+        symbol_growth <= 8,
+        "program traffic grew the symbol table by {symbol_growth} names"
+    );
+}
+
+#[test]
+fn equal_prog_eq_pairs_persist_only_their_promoted_encodings() {
+    let _serial = soak_lock();
+    // Equal pairs (skip-padding): the decided-equal encodings are
+    // promoted — growth must be O(encoding), not O(scratch searched),
+    // and a repeat of the same pair must add nothing.
+    let n = if cfg!(debug_assertions) { 25 } else { 100 };
+    let queries: Vec<Query> = (0..n)
+        .map(|i| {
+            let p = gate_word(i);
+            let q = format!("qubits 1; skip; {}", &p["qubits 1; ".len()..]);
+            Query::prog_eq(&p, &q).expect("well-formed")
+        })
+        .collect();
+
+    let persistent_before = interned_expr_count();
+    let mut session = Session::new();
+    for query in &queries {
+        let resp = session.run(query);
+        assert!(matches!(resp.verdict, Verdict::ProgEq { holds: true, .. }));
+    }
+    let persistent_growth = interned_expr_count() - persistent_before;
+    // Each 14-gate pair promotes ≤ ~2×15 subterms (shared across the
+    // sides and across queries with common prefixes).
+    println!("prog_eq promotion: {n} equal pairs promoted +{persistent_growth} nodes");
+    assert!(
+        persistent_growth <= 64 * n,
+        "equal-pair promotion leaked {persistent_growth} nodes over {n} queries"
+    );
+    // Re-running the same queries must be pure cache traffic.
+    let promoted = interned_expr_count();
+    for query in &queries {
+        let resp = session.run(query);
+        assert!(matches!(resp.verdict, Verdict::ProgEq { holds: true, .. }));
+    }
+    assert_eq!(
+        interned_expr_count(),
+        promoted,
+        "repeated equal pairs re-promoted their encodings"
+    );
+}
+
+#[test]
+fn distinct_atom_names_grow_the_symbol_table_linearly_but_tiny() {
+    let _serial = soak_lock();
+    let n = soak_queries();
+    // The unbounded direction of the ROADMAP `Symbol` note: raw
+    // expression traffic with fresh atom names. The table is
+    // append-only by design (symbols are identity — folding them into
+    // the scratch lifecycle would re-key live engine caches); this
+    // soak measures the cost so the README can state it: each name
+    // costs its text twice (vec + map key) plus container overhead.
+    let symbols_before = Symbol::interned_count();
+    let bytes_before = Symbol::interned_bytes();
+    let mut session = Session::new();
+    let mut name_text = 0usize;
+    for i in 0..n {
+        let name = format!("symsoak{i}");
+        name_text += name.len();
+        let resp = session.run(&Query::nka_eq(&name, &name).expect("well-formed"));
+        assert!(matches!(resp.verdict, Verdict::Holds));
+    }
+    let grown = Symbol::interned_count() - symbols_before;
+    let bytes = Symbol::interned_bytes() - bytes_before;
+    println!(
+        "symbol soak: {n} distinct atom names -> +{grown} symbols, +{bytes} name-text bytes \
+         ({:.1} bytes/name text; map/vec overhead adds ~48 bytes/name)",
+        bytes as f64 / grown.max(1) as f64
+    );
+    assert_eq!(grown, n, "every distinct name interns exactly once");
+    // The measured bound documented in README's memory model: name
+    // text is stored twice, nothing else scales with traffic.
+    assert_eq!(bytes, 2 * name_text);
+    // Re-interning the same names is free.
+    let stable = Symbol::interned_count();
+    for i in 0..n.min(100) {
+        let _ = Symbol::intern(&format!("symsoak{i}"));
+    }
+    assert_eq!(Symbol::interned_count(), stable);
 }

@@ -1,0 +1,198 @@
+//! The golden quantum-workload corpus, end to end: the checked-in
+//! 25-query `prog_eq`/`hoare` fixture must decode, answer with its
+//! recorded `expect` verdicts on an in-process `Session` (the oracle),
+//! and produce the *same* verdicts through the real `nka batch --json`
+//! binary — sequentially and sharded over `--jobs 4` workers.
+
+use nka_quantum::api::json::Json;
+use nka_quantum::api::{wire, Query, Session, Verdict};
+use std::process::Command;
+
+const CORPUS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/qprog_25.jsonl");
+
+/// `(query, expected verdict name)` per corpus line, via the wire
+/// decoder (which ignores the `expect` key) plus a raw-JSON read of it.
+fn load_corpus() -> Vec<(Query, String)> {
+    let text = std::fs::read_to_string(CORPUS).expect("fixture readable");
+    text.lines()
+        .filter_map(|line| {
+            let query = wire::decode_request(line)
+                .unwrap_or_else(|err| panic!("bad fixture line {line:?}: {err}"))?;
+            let expect = Json::parse(line)
+                .expect("fixture line is JSON")
+                .get("expect")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("fixture line lacks expect: {line}"))
+                .to_owned();
+            Some((query, expect))
+        })
+        .collect()
+}
+
+#[test]
+fn fixture_has_25_program_queries_with_expectations() {
+    let corpus = load_corpus();
+    assert_eq!(corpus.len(), 25);
+    let prog_eq = corpus
+        .iter()
+        .filter(|(q, _)| matches!(q, Query::ProgEq { .. }))
+        .count();
+    let hoare = corpus
+        .iter()
+        .filter(|(q, _)| matches!(q, Query::Hoare { .. }))
+        .count();
+    assert_eq!(prog_eq + hoare, 25, "corpus is prog_eq/hoare only");
+    assert!(prog_eq >= 10, "prog_eq underrepresented: {prog_eq}");
+    assert!(hoare >= 10, "hoare underrepresented: {hoare}");
+    // Both verdicts in both operations.
+    for (op, want) in [
+        ("prog_eq", "holds"),
+        ("prog_eq", "refuted"),
+        ("hoare", "holds"),
+        ("hoare", "refuted"),
+    ] {
+        assert!(
+            corpus.iter().any(|(q, e)| q.kind().op() == op && e == want),
+            "no {op} query expecting {want}"
+        );
+    }
+}
+
+/// The in-process oracle: one warm session must answer every corpus
+/// line with its recorded verdict.
+#[test]
+fn oracle_session_answers_the_recorded_verdicts() {
+    let corpus = load_corpus();
+    let mut session = Session::new();
+    for (i, (query, expect)) in corpus.iter().enumerate() {
+        let resp = session.run(query);
+        assert_eq!(
+            resp.verdict.name(),
+            expect,
+            "line {}: {:?} answered {:?}",
+            i + 1,
+            query.kind(),
+            resp.verdict
+        );
+        match (&query, &resp.verdict) {
+            (Query::ProgEq { .. }, Verdict::ProgEq { enc_p, enc_q, .. }) => {
+                assert!(!enc_p.is_empty() && !enc_q.is_empty());
+            }
+            (Query::Hoare { .. }, Verdict::Hoare { encoded, .. }) => {
+                assert!(encoded.contains('≤'), "no inequality in {encoded:?}");
+            }
+            (q, v) => panic!("mismatched verdict shape: {q:?} → {v:?}"),
+        }
+    }
+}
+
+/// Runs `nka batch --json` over the corpus with the given extra args;
+/// returns the stable projection of each output line (per-execution
+/// `stats`/`micros` dropped) plus the verdict names.
+fn batch_lines(extra: &[&str]) -> Vec<(String, String)> {
+    let output = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(extra.iter().copied().chain(["batch", "--json", CORPUS]))
+        .output()
+        .expect("nka binary runs");
+    assert!(
+        output.status.success(),
+        "batch exited {:?}: {}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("UTF-8 output");
+    stdout
+        .lines()
+        .map(|line| {
+            let value = Json::parse(line)
+                .unwrap_or_else(|err| panic!("unparseable output line ({err}): {line}"));
+            let verdict = value
+                .get("verdict")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("missing verdict: {line}"))
+                .to_owned();
+            // Stable projection: drop the per-execution fields, keep
+            // query fields + verdict payload for the seq-vs-jobs diff.
+            let mut stable: Vec<String> = Vec::new();
+            let Json::Obj(fields) = &value else {
+                panic!("response is not an object: {line}")
+            };
+            for (k, v) in fields {
+                if k != "stats" && k != "micros" {
+                    stable.push(format!("{k}={v}"));
+                }
+            }
+            (stable.join(","), verdict)
+        })
+        .collect()
+}
+
+/// The api's rendered inequality must be byte-identical to what the
+/// Theorem 7.8 derivation compiler (`nkat::qhl::encode_qhl`) concludes
+/// for the same triple taken as an atomic derivation — the two layers
+/// share the effect-naming convention (`I ↦ e/0`, fresh `qN`/`qN_neg`
+/// in pre-before-post order, equal effects sharing a term).
+#[test]
+fn hoare_encoding_matches_the_theorem_7_8_compiler() {
+    use nka_quantum::nkat::qhl::{encode_qhl, HoareTriple, QhlDerivation};
+    use nka_quantum::qprog::EncoderSetting;
+
+    let mut session = Session::new();
+    let mut checked = 0;
+    for (query, expect) in load_corpus() {
+        // encode_qhl only accepts derivations that conclude, i.e.
+        // triples that hold.
+        let Query::Hoare { pre, prog, post } = &query else {
+            continue;
+        };
+        if expect != "holds" {
+            continue;
+        }
+        let resp = session.run(&query);
+        let Verdict::Hoare { holds, encoded } = &resp.verdict else {
+            panic!("expected a Hoare verdict")
+        };
+        assert!(*holds);
+        let triple = HoareTriple::new(pre.matrix(), prog.program(), post.matrix());
+        let derivation = QhlDerivation::Atomic(triple);
+        let mut setting = EncoderSetting::new(prog.dim());
+        let compiled = encode_qhl(&derivation, prog.program(), &mut setting)
+            .unwrap_or_else(|err| panic!("encode_qhl failed for {query:?}: {err}"));
+        let conclusion = compiled
+            .derivation
+            .conclusion(compiled.conclusion)
+            .to_string();
+        assert_eq!(
+            encoded, &conclusion,
+            "api inequality diverged from the derivation compiler"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 5, "only {checked} holding hoare lines checked");
+}
+
+#[test]
+fn nka_batch_matches_the_oracle_sequentially_and_parallel() {
+    let corpus = load_corpus();
+    let sequential = batch_lines(&[]);
+    assert_eq!(sequential.len(), 25, "one response line per query");
+    for (i, ((_, verdict), (_, expect))) in sequential.iter().zip(&corpus).enumerate() {
+        assert_eq!(
+            verdict,
+            expect,
+            "line {} verdict drifted from oracle",
+            i + 1
+        );
+    }
+    // --jobs 4 must be byte-identical on the stable projection.
+    let parallel = batch_lines(&["--jobs", "4"]);
+    assert_eq!(parallel.len(), 25);
+    for (i, (seq, par)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            seq,
+            par,
+            "line {}: --jobs 4 diverged from sequential",
+            i + 1
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Differential oracle for the `ProgEq` quantum workload: the
+//! *algebraic* verdict (decide `Enc(p) = Enc(q)` per Definition 4.4 on
+//! the warm engine) against *superoperator semantics* ground truth
+//! (`Program::run` on a spanning basis of densities).
+//!
+//! Theorem 4.5 makes the encoder sound — `⊢NKA Enc(p) = Enc(q)` implies
+//! `⟦p⟧ = ⟦q⟧` — but not complete (e.g. `h q0; h q0` vs `skip`:
+//! semantically equal, algebraically distinct). The differential
+//! properties pin down exactly the sound direction, in both
+//! orientations:
+//!
+//! * **equal direction** — `p` against an encoding-preserving rewrite
+//!   of `p` must answer `holds`, and the semantics must agree;
+//! * **distinct direction** — independently generated pairs: whenever
+//!   the semantics *differ* the verdict must be `refuted`
+//!   (contrapositive of soundness), and whenever the verdict is
+//!   `holds` the semantics must agree.
+//!
+//! Cases are generated from the recipe AST in `tests/support` with the
+//! shim's deterministic per-test seed (CI runs this suite in release
+//! mode; the seed is fixed by construction, so failures reproduce).
+
+mod support;
+
+use nka_quantum::{Query, Session, Verdict};
+use proptest::prelude::*;
+use support::{rewrite_preserving, semantically_equal, small_programs, RProg};
+
+/// Runs a `ProgEq` query on a warm session; panics on anything but a
+/// program verdict (the budget is far above these term sizes).
+fn prog_eq_holds(session: &mut Session, p: &RProg, q: &RProg) -> bool {
+    let query = Query::prog_eq(&p.to_string(), &q.to_string())
+        .unwrap_or_else(|err| panic!("generated pair malformed: {err}\n  p: {p}\n  q: {q}"));
+    match session.run(&query).verdict {
+        Verdict::ProgEq { holds, .. } => holds,
+        other => panic!("expected a ProgEq verdict, got {other:?}\n  p: {p}\n  q: {q}"),
+    }
+}
+
+const SEM_TOL: f64 = 1e-7;
+
+/// 256 cases per property in release (the acceptance bar; CI runs this
+/// suite in the release-test job), a smoke-sized sample under the
+/// debug-profile `cargo test` so the exact-arithmetic decides don't
+/// dominate the tier-1 wall clock.
+const CASES: u32 = if cfg!(debug_assertions) { 32 } else { 256 };
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Equal direction: an encoding-preserving rewrite keeps both the
+    /// algebraic verdict (`holds`) and the denotational semantics.
+    #[test]
+    fn rewritten_programs_stay_equal(p in small_programs(), rounds in 1usize..4) {
+        let mut rng = TestRng::deterministic(&format!("rewrite::{p}::{rounds}"));
+        let q = rewrite_preserving(&p, &mut rng, rounds);
+        let mut session = Session::new();
+        prop_assert!(
+            prog_eq_holds(&mut session, &p, &q),
+            "rewrite broke the encoding equality\n  p: {}\n  q: {}",
+            p,
+            q
+        );
+        // The oracle agrees: Enc-equality implies ⟦p⟧ = ⟦q⟧ (Thm 4.5).
+        let (sp, sq) = (p.parse(), q.parse());
+        prop_assert!(
+            semantically_equal(&sp, &sq, SEM_TOL),
+            "algebra said equal, semantics disagree\n  p: {}\n  q: {}",
+            p,
+            q
+        );
+    }
+
+    /// Distinct direction: on independent pairs the algebraic verdict
+    /// must never contradict the superoperator oracle — semantic
+    /// difference forces `refuted`; `holds` forces semantic equality.
+    #[test]
+    fn verdicts_are_sound_on_independent_pairs(p in small_programs(), seed in 0u64..1 << 32) {
+        // Draw the partner over the same qubit count (prog_eq requires
+        // it) from an independent deterministic stream.
+        let mut rng = TestRng::deterministic(&format!("partner::{seed}"));
+        let q = loop {
+            let candidate = small_programs().generate(&mut rng);
+            if candidate.qubits == p.qubits {
+                break candidate;
+            }
+        };
+        let mut session = Session::new();
+        let alg_equal = prog_eq_holds(&mut session, &p, &q);
+        let sem_equal = semantically_equal(&p.parse(), &q.parse(), SEM_TOL);
+        if alg_equal {
+            prop_assert!(
+                sem_equal,
+                "UNSOUND: algebra proved equality the semantics refute\n  p: {}\n  q: {}",
+                p,
+                q
+            );
+        }
+        if !sem_equal {
+            prop_assert!(
+                !alg_equal,
+                "UNSOUND: semantically distinct programs decided equal\n  p: {}\n  q: {}",
+                p,
+                q
+            );
+        }
+    }
+}
+
+/// The suite must exercise both verdicts — a generator drifting into
+/// all-equal or all-distinct pairs would silently gut the properties
+/// above, so the mix is asserted here.
+#[test]
+fn generator_reaches_both_verdicts() {
+    let mut rng = TestRng::deterministic("generator_reaches_both_verdicts");
+    let mut session = Session::new();
+    let strat = small_programs();
+    let (mut holds, mut refuted) = (0usize, 0usize);
+    for _ in 0..64 {
+        let p = strat.generate(&mut rng);
+        let rewritten = rewrite_preserving(&p, &mut rng.clone(), 1);
+        if prog_eq_holds(&mut session, &p, &rewritten) {
+            holds += 1;
+        }
+        let partner = loop {
+            let c = strat.generate(&mut rng);
+            if c.qubits == p.qubits {
+                break c;
+            }
+        };
+        if !prog_eq_holds(&mut session, &p, &partner) {
+            refuted += 1;
+        }
+    }
+    assert!(holds >= 60, "only {holds}/64 rewritten pairs held");
+    assert!(refuted >= 32, "only {refuted}/64 independent pairs refuted");
+}
+
+/// Loop coverage pinned down explicitly: unrolling is an equality, one
+/// extra iteration of the body is not (unless the body is involutive —
+/// not the case for the `x` mixer against `skip` tails).
+#[test]
+fn while_unrolling_is_equal_but_body_changes_are_not() {
+    let mut session = Session::new();
+    let q = Query::prog_eq(
+        "qubits 2; while q0 { h q1; x q0 }",
+        "qubits 2; if q0 { h q1; x q0; while q0 { h q1; x q0 } } else { }",
+    )
+    .unwrap();
+    assert!(matches!(
+        session.run(&q).verdict,
+        Verdict::ProgEq { holds: true, .. }
+    ));
+    let q = Query::prog_eq(
+        "qubits 2; while q0 { h q1; x q0 }",
+        "qubits 2; while q0 { h q1; h q1; x q0 }",
+    )
+    .unwrap();
+    assert!(matches!(
+        session.run(&q).verdict,
+        Verdict::ProgEq { holds: false, .. }
+    ));
+}

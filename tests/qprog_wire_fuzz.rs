@@ -1,0 +1,189 @@
+//! Wire-robustness regression tests for the quantum workload ops:
+//! malformed `prog_eq`/`hoare` lines must come back as *structured*
+//! errors (JSON `verdict:"error"` with `field` and byte `span`; caret
+//! rendering on stderr), must NOT kill the stream — every subsequent
+//! line still answers — and the batch exit code is 2 only once EOF is
+//! reached, exactly the PR 2 semantics for malformed expression lines.
+
+use nka_quantum::api::json::Json;
+use nka_quantum::api::{wire, ApiError};
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// Malformed program/effect lines paired with the field the error must
+/// blame and a fragment the message must contain.
+fn malformed_lines() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        // Truncated program text (open block at end of input).
+        (
+            r#"{"op":"prog_eq","p":"qubits 1; while q0 { h q0","q":"qubits 1; skip"}"#,
+            "p",
+            "expected",
+        ),
+        // Unknown gate name.
+        (
+            r#"{"op":"prog_eq","p":"qubits 1; h q0","q":"qubits 1; frob q0"}"#,
+            "q",
+            "unknown gate",
+        ),
+        // Qubit out of range.
+        (
+            r#"{"op":"prog_eq","p":"qubits 2; cnot q0 q5","q":"qubits 2; skip"}"#,
+            "p",
+            "out of range",
+        ),
+        // Missing header.
+        (
+            r#"{"op":"prog_eq","p":"h q0","q":"qubits 1; skip"}"#,
+            "p",
+            "qubits",
+        ),
+        // Truncated effect / wrong bit width for the program.
+        (
+            r#"{"op":"hoare","pre":"ket(01)","prog":"qubits 1; x q0","post":"I"}"#,
+            "pre",
+            "one bit per qubit",
+        ),
+        // Not an effect (exceeds the identity).
+        (
+            r#"{"op":"hoare","pre":"2 I","prog":"qubits 1; x q0","post":"I"}"#,
+            "pre",
+            "not an effect",
+        ),
+        // Unexpected character in the effect language.
+        (
+            r#"{"op":"hoare","pre":"I ? I","prog":"qubits 1; x q0","post":"I"}"#,
+            "pre",
+            "unexpected character",
+        ),
+        // Gate listed with the same qubit twice.
+        (
+            r#"{"op":"prog_eq","p":"qubits 2; swap q1 q1","q":"qubits 2; skip"}"#,
+            "p",
+            "twice",
+        ),
+    ]
+}
+
+#[test]
+fn decode_rejects_each_line_with_field_and_span() {
+    for (line, field, fragment) in malformed_lines() {
+        let err =
+            wire::decode_request(line).expect_err(&format!("line should be rejected: {line}"));
+        let ApiError::ParseProgram {
+            field: got_field,
+            err: prog_err,
+            ..
+        } = &err
+        else {
+            panic!("expected a program parse error for {line}, got {err:?}");
+        };
+        assert_eq!(*got_field, field, "wrong field blamed for {line}");
+        let (start, end) = prog_err.span();
+        assert!(start <= end, "inverted span for {line}");
+        assert!(
+            err.to_string().contains(fragment),
+            "message {:?} lacks {fragment:?}",
+            err.to_string()
+        );
+        // The caret rendering marks a column (the structured span).
+        assert!(err.render().contains('^'), "{}", err.render());
+        // The encoded error line is machine-parseable JSON with the
+        // span attached.
+        let encoded = wire::encode_error(&err);
+        let value = Json::parse(&encoded).expect("error line is JSON");
+        assert_eq!(value.get("verdict").and_then(Json::as_str), Some("error"));
+        assert_eq!(value.get("field").and_then(Json::as_str), Some(field));
+        let span = value.get("span").and_then(Json::as_array).expect("span");
+        assert_eq!(span.len(), 2);
+    }
+    // Dimension mismatch is a wire-level malformation (no span — the
+    // sources are individually fine).
+    let err = wire::decode_request(r#"{"op":"prog_eq","p":"qubits 1; skip","q":"qubits 2; skip"}"#)
+        .expect_err("mismatched qubit counts");
+    assert!(matches!(err, ApiError::Malformed(_)), "{err:?}");
+}
+
+/// One batch stream interleaving every malformed line with good
+/// queries: each line answers (error or verdict) in order, the stream
+/// survives to EOF, and only then does the exit code report 2.
+#[test]
+fn batch_stream_survives_malformed_program_lines() {
+    let good = r#"{"op":"prog_eq","p":"qubits 1; skip; h q0","q":"qubits 1; h q0"}"#;
+    let mut input = String::new();
+    let cases = malformed_lines();
+    for (line, _, _) in &cases {
+        input.push_str(line);
+        input.push('\n');
+        input.push_str(good);
+        input.push('\n');
+    }
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["batch", "--json"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("nka binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write batch input");
+    let output = child.wait_with_output().expect("batch completes");
+
+    // Exit 2 (malformed input seen), but only after the whole stream.
+    assert_eq!(output.status.code(), Some(2));
+    let stdout = String::from_utf8(output.stdout).expect("UTF-8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines.len(),
+        2 * cases.len(),
+        "every line must answer: {stdout}"
+    );
+    for (i, line) in lines.iter().enumerate() {
+        let value = Json::parse(line).unwrap_or_else(|e| panic!("line {i} not JSON ({e}): {line}"));
+        let verdict = value.get("verdict").and_then(Json::as_str).unwrap();
+        if i % 2 == 0 {
+            assert_eq!(verdict, "error", "line {i}: {line}");
+            assert!(value.get("span").is_some(), "line {i} lacks span: {line}");
+        } else {
+            assert_eq!(verdict, "holds", "good line {i} must still answer: {line}");
+        }
+    }
+    // The caret renderings land on stderr, one per malformed line.
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.matches('^').count() >= cases.len(), "{stderr}");
+}
+
+/// Same stream through `serve`: errors answer in-line and the loop
+/// keeps serving; serve exits 0 at end of input (errors are responses,
+/// not failures — PR 2 semantics).
+#[test]
+fn serve_stream_survives_malformed_program_lines() {
+    let (bad, _, _) = malformed_lines()[1];
+    let good = r#"{"op":"hoare","pre":"ket(1)","prog":"qubits 1; x q0","post":"ket(0)"}"#;
+    let input = format!("{bad}\n{good}\n");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["serve", "--json"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("nka binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write serve input");
+    let output = child.wait_with_output().expect("serve completes");
+    assert_eq!(output.status.code(), Some(0), "serve exits 0 at EOF");
+    let stdout = String::from_utf8(output.stdout).expect("UTF-8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].contains("\"error\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"holds\""), "{}", lines[1]);
+}

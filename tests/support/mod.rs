@@ -1,0 +1,369 @@
+//! Shared test support for the quantum workload suites: a
+//! shrinking-friendly random program generator, NKA-preserving program
+//! rewrites, and the superoperator-semantics ground-truth oracle.
+//!
+//! Programs are generated as *recipes* ([`RProg`]/[`RStmt`]) — a small
+//! AST over qubit indices that renders to the `nka_qprog::surface`
+//! language — rather than as raw source strings, so a failing case
+//! prints as a structured value and (under a shrinking proptest
+//! implementation) would shrink recipe-node by recipe-node; the
+//! offline shim reproduces cases from its deterministic per-test seed
+//! instead.
+//!
+//! `while` recipes are generated in a *terminating shape*: the body
+//! never touches the guard qubit except for a final `x`/`h` mixer on
+//! it. After the measurement collapses the guard to `|1⟩`, the body
+//! leaves it there and the mixer then moves at least half of the
+//! remaining mass to the exit outcome (`x`: all of it, `h`: exactly
+//! half), so `Program::run`'s fixpoint iteration converges in ≲ 40
+//! rounds and the differential oracle stays fast.
+
+use nka_quantum::linalg::CMatrix;
+use nka_quantum::qprog::SurfaceProgram;
+use proptest::prelude::TestRng;
+use proptest::strategy::Strategy;
+use std::fmt;
+
+/// One-qubit gates the generator draws from.
+pub const GATES1: [&str; 6] = ["h", "x", "y", "z", "s", "t"];
+/// Two-qubit gates the generator draws from.
+pub const GATES2: [&str; 3] = ["cnot", "cz", "swap"];
+
+/// A recipe statement; renders 1:1 to the surface language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RStmt {
+    Skip,
+    Abort,
+    Init(usize),
+    Gate1(&'static str, usize),
+    Gate2(&'static str, usize, usize),
+    If(usize, Vec<RStmt>, Vec<RStmt>),
+    /// `While(guard, body)` — by construction `body` avoids the guard
+    /// qubit and ends with an `x`/`h` mixer on it (see module docs).
+    While(usize, Vec<RStmt>),
+}
+
+/// A recipe program: qubit count plus top-level statement list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RProg {
+    pub qubits: usize,
+    pub body: Vec<RStmt>,
+}
+
+fn render_seq(stmts: &[RStmt], out: &mut String) {
+    for (i, s) in stmts.iter().enumerate() {
+        if i > 0 {
+            out.push_str("; ");
+        }
+        render_stmt(s, out);
+    }
+    if stmts.is_empty() {
+        out.push_str("skip");
+    }
+}
+
+fn render_stmt(s: &RStmt, out: &mut String) {
+    match s {
+        RStmt::Skip => out.push_str("skip"),
+        RStmt::Abort => out.push_str("abort"),
+        RStmt::Init(q) => {
+            out.push_str("init q");
+            out.push_str(&q.to_string());
+        }
+        RStmt::Gate1(g, q) => {
+            out.push_str(g);
+            out.push_str(" q");
+            out.push_str(&q.to_string());
+        }
+        RStmt::Gate2(g, a, b) => {
+            out.push_str(&format!("{g} q{a} q{b}"));
+        }
+        RStmt::If(q, then_b, else_b) => {
+            out.push_str(&format!("if q{q} {{ "));
+            render_seq(then_b, out);
+            out.push_str(" } else { ");
+            render_seq(else_b, out);
+            out.push_str(" }");
+        }
+        RStmt::While(q, body) => {
+            out.push_str(&format!("while q{q} {{ "));
+            render_seq(body, out);
+            out.push_str(" }");
+        }
+    }
+}
+
+impl fmt::Display for RProg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = format!("qubits {}; ", self.qubits);
+        render_seq(&self.body, &mut out);
+        f.write_str(&out)
+    }
+}
+
+impl RProg {
+    /// Renders and parses the recipe; the surface parser accepting the
+    /// rendering is itself part of what the suites exercise.
+    pub fn parse(&self) -> SurfaceProgram {
+        let src = self.to_string();
+        SurfaceProgram::parse(&src)
+            .unwrap_or_else(|err| panic!("generated program failed to parse: {}\n{src}", err))
+    }
+}
+
+fn pick(rng: &mut TestRng, n: usize) -> usize {
+    rng.below(n as u64) as usize
+}
+
+/// A random qubit not in `forbidden`; `None` if every qubit is.
+fn free_qubit(rng: &mut TestRng, qubits: usize, forbidden: &[usize]) -> Option<usize> {
+    let allowed: Vec<usize> = (0..qubits).filter(|q| !forbidden.contains(q)).collect();
+    if allowed.is_empty() {
+        None
+    } else {
+        Some(allowed[pick(rng, allowed.len())])
+    }
+}
+
+/// One random statement. `depth` bounds the remaining nesting;
+/// `forbidden` are guard qubits of enclosing loops (never touched, so
+/// the loops terminate — see module docs).
+fn gen_stmt(rng: &mut TestRng, qubits: usize, depth: usize, forbidden: &[usize]) -> RStmt {
+    // Weight simple statements heavily; nesting only while depth
+    // lasts. Loops are deliberately rare and small-bodied: every
+    // `while` becomes a Kleene star in the encoding, and the exact
+    // decision procedure's cost is driven by star count × alphabet
+    // size (`ProgStrategy::generate` adds the complementary caps on
+    // loop and statement counts).
+    let max = if depth == 0 { 7 } else { 10 };
+    loop {
+        match pick(rng, max) {
+            0 => return RStmt::Skip,
+            1 => return RStmt::Abort,
+            2 => {
+                if let Some(q) = free_qubit(rng, qubits, forbidden) {
+                    return RStmt::Init(q);
+                }
+            }
+            3..=5 => {
+                if let Some(q) = free_qubit(rng, qubits, forbidden) {
+                    return RStmt::Gate1(GATES1[pick(rng, GATES1.len())], q);
+                }
+            }
+            6 => {
+                if let Some(a) = free_qubit(rng, qubits, forbidden) {
+                    if let Some(b) = free_qubit(rng, qubits, &[forbidden, &[a]].concat()) {
+                        return RStmt::Gate2(GATES2[pick(rng, GATES2.len())], a, b);
+                    }
+                }
+            }
+            7 | 8 => {
+                if let Some(q) = free_qubit(rng, qubits, forbidden) {
+                    let then_b = gen_seq(rng, qubits, depth - 1, forbidden, 2);
+                    let else_b = gen_seq(rng, qubits, depth - 1, forbidden, 2);
+                    return RStmt::If(q, then_b, else_b);
+                }
+            }
+            _ => {
+                if let Some(q) = free_qubit(rng, qubits, forbidden) {
+                    let inner_forbidden = [forbidden, &[q]].concat();
+                    let mut body = gen_seq(rng, qubits, depth - 1, &inner_forbidden, 1);
+                    let mixer = if rng.below(2) == 0 { "x" } else { "h" };
+                    body.push(RStmt::Gate1(mixer, q));
+                    return RStmt::While(q, body);
+                }
+            }
+        }
+    }
+}
+
+fn while_count(stmts: &[RStmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            RStmt::While(_, b) => 1 + while_count(b),
+            RStmt::If(_, t, e) => while_count(t) + while_count(e),
+            _ => 0,
+        })
+        .sum()
+}
+
+fn stmt_count(stmts: &[RStmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            RStmt::While(_, b) => 1 + stmt_count(b),
+            RStmt::If(_, t, e) => 1 + stmt_count(t) + stmt_count(e),
+            _ => 1,
+        })
+        .sum()
+}
+
+fn gen_seq(
+    rng: &mut TestRng,
+    qubits: usize,
+    depth: usize,
+    forbidden: &[usize],
+    max_len: usize,
+) -> Vec<RStmt> {
+    let len = pick(rng, max_len + 1);
+    (0..len)
+        .map(|_| gen_stmt(rng, qubits, depth, forbidden))
+        .collect()
+}
+
+/// Random programs over `1..=max_qubits` qubits with nesting depth
+/// `≤ max_depth` and a handful of statements per block.
+#[derive(Clone, Debug)]
+pub struct ProgStrategy {
+    pub max_qubits: usize,
+    pub max_depth: usize,
+}
+
+impl Strategy for ProgStrategy {
+    type Value = RProg;
+
+    fn generate(&self, rng: &mut TestRng) -> RProg {
+        let qubits = 1 + pick(rng, self.max_qubits);
+        loop {
+            let body = gen_seq(rng, qubits, self.max_depth, &[], 4);
+            // Keep the decide-side cost envelope bounded: each `while`
+            // is a star (plus two fresh measurement symbols) in the
+            // encoding, and the exact equivalence check is the
+            // expensive half of the differential oracle. Two loops and
+            // ~a dozen statements keeps the slowest decided pair in
+            // the tens of milliseconds while still covering nested
+            // control flow.
+            if while_count(&body) <= 2 && stmt_count(&body) <= 12 {
+                return RProg { qubits, body };
+            }
+        }
+    }
+}
+
+/// The default differential-suite generator: ≤ 3 qubits, depth ≤ 5
+/// (the ISSUE's envelope; dimensions stay ≤ 8 so the density-basis
+/// oracle is fast).
+#[must_use]
+pub fn small_programs() -> ProgStrategy {
+    ProgStrategy {
+        max_qubits: 3,
+        max_depth: 5,
+    }
+}
+
+/// Applies `rounds` random *encoding-preserving* rewrites: the result
+/// `q` satisfies `⊢NKA Enc(p) = Enc(q)` by construction (and therefore
+/// `⟦p⟧ = ⟦q⟧` by Theorem 4.5) — the "equal direction" of the
+/// differential property.
+#[must_use]
+pub fn rewrite_preserving(p: &RProg, rng: &mut TestRng, rounds: usize) -> RProg {
+    let mut out = p.clone();
+    // At most one unfolding per chain: each unroll duplicates a whole
+    // starred body in the encoding, and stacking them multiplies the
+    // decide cost without adding property coverage.
+    let mut unrolled = false;
+    for _ in 0..rounds {
+        let before = while_count(&out.body);
+        out = rewrite_once(&out, !unrolled, rng);
+        if while_count(&out.body) > before {
+            unrolled = true;
+        }
+    }
+    out
+}
+
+fn rewrite_once(p: &RProg, allow_unroll: bool, rng: &mut TestRng) -> RProg {
+    let mut body = p.body.clone();
+    // Candidate rewrites; all are NKA equalities of the encodings:
+    //   0: insert `skip` anywhere            (1 · e = e)
+    //   1: unroll the first top-level while  (star unfolding)
+    //   2: pad after a top-level abort       (0 · e = 0)
+    let unrollable = if allow_unroll {
+        body.iter().position(|s| matches!(s, RStmt::While(..)))
+    } else {
+        None
+    };
+    let abort_at = body.iter().position(|s| matches!(s, RStmt::Abort));
+    loop {
+        match pick(rng, 3) {
+            0 => {
+                let at = pick(rng, body.len() + 1);
+                body.insert(at, RStmt::Skip);
+                break;
+            }
+            1 => {
+                if let Some(i) = unrollable {
+                    let RStmt::While(q, inner) = body[i].clone() else {
+                        unreachable!()
+                    };
+                    let mut then_b = inner.clone();
+                    then_b.push(RStmt::While(q, inner));
+                    body[i] = RStmt::If(q, then_b, Vec::new());
+                    break;
+                }
+            }
+            _ => {
+                if let Some(i) = abort_at {
+                    // Anything sequenced after an abort is absorbed.
+                    let junk = match pick(rng, 2) {
+                        0 => RStmt::Skip,
+                        _ => RStmt::Gate1(GATES1[pick(rng, GATES1.len())], pick(rng, p.qubits)),
+                    };
+                    body.insert(i + 1, junk);
+                    break;
+                }
+            }
+        }
+    }
+    RProg {
+        qubits: p.qubits,
+        body,
+    }
+}
+
+/// A spanning set of `dim²` genuine density matrices for the Hermitian
+/// operators on `C^dim`: the basis projectors `|i⟩⟨i|`, plus for each
+/// `i < j` the normalized `(|i⟩+|j⟩)` and `(|i⟩+i|j⟩)` pure states.
+/// `Program::run` is linear, so agreement on these decides equality of
+/// denotations.
+#[must_use]
+pub fn density_basis(dim: usize) -> Vec<CMatrix> {
+    use nka_quantum::linalg::Complex;
+    let mut out = Vec::with_capacity(dim * dim);
+    for i in 0..dim {
+        let mut m = CMatrix::zeros(dim, dim);
+        m[(i, i)] = Complex::ONE;
+        out.push(m);
+    }
+    let half = Complex::from(0.5);
+    for i in 0..dim {
+        for j in (i + 1)..dim {
+            // (|i⟩+|j⟩)(⟨i|+⟨j|) / 2
+            let mut m = CMatrix::zeros(dim, dim);
+            m[(i, i)] = half;
+            m[(j, j)] = half;
+            m[(i, j)] = half;
+            m[(j, i)] = half;
+            out.push(m);
+            // (|i⟩+i|j⟩)(⟨i|−i⟨j|) / 2
+            let mut m = CMatrix::zeros(dim, dim);
+            m[(i, i)] = half;
+            m[(j, j)] = half;
+            m[(i, j)] = Complex::new(0.0, -0.5);
+            m[(j, i)] = Complex::new(0.0, 0.5);
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Ground truth: `⟦p⟧ = ⟦q⟧`, decided by running both programs on the
+/// density basis (superoperator semantics, no algebra involved).
+#[must_use]
+pub fn semantically_equal(p: &SurfaceProgram, q: &SurfaceProgram, tol: f64) -> bool {
+    assert_eq!(p.dim(), q.dim());
+    density_basis(p.dim())
+        .iter()
+        .all(|rho| p.program().run(rho).approx_eq(&q.program().run(rho), tol))
+}
