@@ -5,13 +5,26 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nka_bench::random_exprs;
-use nka_core::api::{Query, Session};
+use nka_core::api::{Query, Session, SessionOptions, Verdict};
 use nka_series::eval;
 use nka_syntax::Symbol;
 use nka_wfa::decide::{decide_eq_with, DecideOptions};
 use nka_wfa::ka::{ka_equiv, saturate};
 use nka_wfa::Decider;
 use std::hint::black_box;
+
+/// A deterministic loop-free `n`-gate two-qubit program: the
+/// `prog_eq` scaling subject (its encoding is star-free, so the fast
+/// path applies; with the fast path disabled the same pair runs the
+/// full generic pipeline).
+fn gate_program(n: usize) -> String {
+    const G: [&str; 5] = ["h q0", "x q1", "cnot q0 q1", "s q0", "t q1"];
+    let body = (0..n)
+        .map(|i| G[i % G.len()])
+        .collect::<Vec<_>>()
+        .join("; ");
+    format!("qubits 2; {body}")
+}
 
 fn bench_decide(c: &mut Criterion) {
     let alphabet = [Symbol::intern("a"), Symbol::intern("b")];
@@ -109,6 +122,51 @@ fn bench_decide(c: &mut Criterion) {
                 }
             });
         });
+    }
+    group.finish();
+
+    // Tiered-equivalence crossover (star-free fast path): loop-free
+    // `prog_eq` pairs at 6/10/14 gates, equal and refuted directions,
+    // decided end-to-end on a fresh session with the fast path on
+    // (default options) vs off (`starfree_max_words: 0`, the pure
+    // generic pipeline). The fast/generic gap at 14 gates is the
+    // tentpole win: hundreds of ms generic vs single-digit ms fast.
+    let mut group = c.benchmark_group("decide/prog_eq_loop_free");
+    group.sample_size(10);
+    for gates in [6usize, 10, 14] {
+        let p = gate_program(gates);
+        let equal = Query::prog_eq(&p, &format!("{p}; skip")).expect("well-formed");
+        let refuted = Query::prog_eq(&p, &format!("{p}; z q0")).expect("well-formed");
+        for (direction, expect_holds, query) in
+            [("equal", true, &equal), ("refuted", false, &refuted)]
+        {
+            for (pipeline, starfree_max_words) in [("fast", 8192usize), ("generic", 0)] {
+                let options = || SessionOptions {
+                    decide: nka_wfa::decide::DecideOptions {
+                        starfree_max_words,
+                        ..DecideOptions::default()
+                    },
+                    ..SessionOptions::default()
+                };
+                // Both pipelines must agree on the verdict before any
+                // timing is trusted.
+                let verdict = Session::with_options(options()).run(query).verdict;
+                assert!(
+                    matches!(verdict, Verdict::ProgEq { holds, .. } if holds == expect_holds),
+                    "{direction}/{pipeline} at {gates} gates answered {verdict:?}"
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{direction}_{pipeline}"), gates),
+                    query,
+                    |b, query| {
+                        b.iter(|| {
+                            let mut session = Session::with_options(options());
+                            black_box(session.run(black_box(query)));
+                        });
+                    },
+                );
+            }
+        }
     }
     group.finish();
 

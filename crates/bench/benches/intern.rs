@@ -65,7 +65,11 @@ fn bench_intern(c: &mut Criterion) {
     });
 
     // Warm: identical structure every iteration → every node is an
-    // arena hit.
+    // arena hit. Bench note: the Arena lifecycle v1 two-region probe
+    // regressed this from 2.85 µs to 4.41 µs; the no-scope fast path
+    // (depth `Cell` + thread-local persistent-hit cache in `intern`,
+    // which skips both SipHash passes and the stripe mutex on a warm
+    // hit) brought it to ~1.25 µs.
     group.bench_function("fig2_warm", |b| {
         b.iter(|| {
             for t in &terms {

@@ -20,10 +20,11 @@ use std::hint::black_box;
 
 const GATES: [&str; 6] = ["h", "x", "y", "z", "s", "t"];
 
-/// A distinct single-qubit 5-gate program per index (base-6 digits).
-fn gate_word(i: usize) -> String {
+/// A distinct single-qubit `len`-gate program per index (base-6
+/// digits).
+fn gate_word_n(i: usize, len: usize) -> String {
     let mut k = i;
-    let gates = (0..5)
+    let gates = (0..len)
         .map(|_| {
             let g = format!("{} q0", GATES[k % 6]);
             k /= 6;
@@ -32,6 +33,11 @@ fn gate_word(i: usize) -> String {
         .collect::<Vec<_>>()
         .join("; ");
     format!("qubits 1; {gates}")
+}
+
+/// A distinct single-qubit 5-gate program per index (base-6 digits).
+fn gate_word(i: usize) -> String {
+    gate_word_n(i, 5)
 }
 
 fn bench_prog_eq(c: &mut Criterion) {
@@ -50,6 +56,43 @@ fn bench_prog_eq(c: &mut Criterion) {
             for query in &cold_pairs {
                 black_box(session.run(black_box(query)));
             }
+        });
+    });
+    group.finish();
+
+    // 14-gate rows (the ISSUE's long-program target; loop-free, so the
+    // star-free fast path answers them): same refuted-churn shape as
+    // the 5-gate arm, at the program length the tiered pipeline was
+    // built for.
+    let cold_pairs_14: Vec<Query> = (0..16)
+        .map(|i| {
+            let p = gate_word_n(i, 14);
+            Query::prog_eq(&p, &format!("{p}; z q0")).expect("well-formed")
+        })
+        .collect();
+    let mut group = c.benchmark_group("qprog/prog_eq_cold_14g");
+    group.sample_size(10);
+    group.bench_function("16_refuted_pairs", |b| {
+        b.iter(|| {
+            let mut session = Session::new();
+            for query in &cold_pairs_14 {
+                black_box(session.run(black_box(query)));
+            }
+        });
+    });
+    group.finish();
+
+    // The acceptance row: one equal 14-gate pair on a *fresh* session
+    // per iteration — parse, encode, and a first-ever decide, nothing
+    // amortized. The tiered pipeline targets this in the low-ms range.
+    let p14 = gate_word_n(7, 14);
+    let equal_14 = Query::prog_eq(&p14, &format!("{p14}; skip")).expect("well-formed");
+    let mut group = c.benchmark_group("qprog/prog_eq_equal_14g");
+    group.sample_size(10);
+    group.bench_function("fresh_session", |b| {
+        b.iter(|| {
+            let mut session = Session::new();
+            black_box(session.run(black_box(&equal_14)));
         });
     });
     group.finish();

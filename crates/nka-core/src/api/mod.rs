@@ -1605,6 +1605,10 @@ mod tests {
         let opts = SessionOptions {
             decide: DecideOptions {
                 max_dfa_states: 1,
+                // Forced off so even `p = p` reaches the 1-state subset
+                // construction (the fast path would answer it without
+                // consuming DFA budget).
+                starfree_max_words: 0,
                 ..DecideOptions::default()
             },
             ..SessionOptions::default()

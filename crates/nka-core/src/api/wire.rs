@@ -179,6 +179,12 @@ fn stats_json(stats: &DeciderStats) -> Json {
         ("compile_misses".to_owned(), int(stats.compile_misses)),
         ("dfa_hits".to_owned(), int(stats.dfa_hits)),
         ("dfa_misses".to_owned(), int(stats.dfa_misses)),
+        ("starfree_hits".to_owned(), int(stats.starfree_hits)),
+        ("prefix_hits".to_owned(), int(stats.prefix_hits)),
+        (
+            "fastpath_fallbacks".to_owned(),
+            int(stats.fastpath_fallbacks),
+        ),
     ])
 }
 

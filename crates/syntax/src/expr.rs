@@ -38,7 +38,7 @@
 //! and `nka --stats`.
 
 use crate::Symbol;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::hash::{BuildHasher, Hash, RandomState};
@@ -235,16 +235,69 @@ fn shard_of(pool: &ExprPool, node: &ExprNode) -> usize {
 struct ScratchRegion {
     nodes: Vec<ExprNode>,
     ids: HashMap<ExprNode, u32>,
+}
+
+/// Slots in the per-thread persistent-hit cache (power of two). The
+/// warm working set this exists for (rebuilding already-interned terms,
+/// e.g. the paper's Fig. 2 programs) is tens of nodes, so a small
+/// direct-mapped table has essentially no conflict misses there while
+/// costing ~10 KiB per interning thread.
+const INTERN_CACHE_SLOTS: usize = 512;
+
+/// One slot of the persistent-hit cache: a node plus the raw id
+/// `intern_global` answered for it.
+type PersistentHitSlot = Cell<Option<(ExprNode, u32)>>;
+
+/// The per-thread scratch state. The live-scope count sits in a [`Cell`]
+/// *outside* the region's [`RefCell`] so the overwhelmingly common
+/// no-scope intern — every build outside a [`ScratchScope`] — costs one
+/// plain load before heading straight to the persistent arena, instead
+/// of a `borrow_mut`/drop round-trip on the `RefCell` (the
+/// `intern/fig2_warm` cold-probe regression).
+struct ScratchTls {
     /// Number of live scopes on this thread.
-    depth: u32,
+    depth: Cell<u32>,
+    region: RefCell<ScratchRegion>,
+    /// Direct-mapped memo of recent **persistent** intern results,
+    /// probed before the lock-striped global pool when no scope is
+    /// open. Soundness: hash-consing makes `node → id` a pure function
+    /// and persistent ids are stable for the life of the process, so a
+    /// cached pair can never go stale — a conflict eviction only costs
+    /// a fall-through to [`intern_global`]. This is what makes the warm
+    /// re-intern path lock-free: one cheap mix plus an array compare
+    /// instead of two SipHash passes and a stripe mutex.
+    persistent_hits: Box<[PersistentHitSlot]>,
 }
 
 thread_local! {
-    static SCRATCH: RefCell<ScratchRegion> = RefCell::new(ScratchRegion {
-        nodes: Vec::new(),
-        ids: HashMap::new(),
-        depth: 0,
-    });
+    static SCRATCH: ScratchTls = ScratchTls {
+        depth: Cell::new(0),
+        region: RefCell::new(ScratchRegion {
+            nodes: Vec::new(),
+            ids: HashMap::new(),
+        }),
+        persistent_hits: (0..INTERN_CACHE_SLOTS).map(|_| Cell::new(None)).collect(),
+    };
+}
+
+/// Slot choice for the thread-local persistent-hit cache. Deliberately
+/// *not* the dedup map's `RandomState`: a collision here only demotes a
+/// probe to the global pool, so two multiply–xor rounds over the node's
+/// raw words beat a full SipHash pass on the warm path.
+fn persistent_hit_slot(node: &ExprNode) -> usize {
+    let (tag, a, b) = match *node {
+        ExprNode::Zero => (0u32, 0, 0),
+        ExprNode::One => (1, 0, 0),
+        ExprNode::Atom(s) => (2, s.id(), 0),
+        ExprNode::Add(l, r) => (3, l.id.0, r.id.0),
+        ExprNode::Mul(l, r) => (4, l.id.0, r.id.0),
+        ExprNode::Star(e) => (5, e.id.0, 0),
+    };
+    let mut h = tag.wrapping_mul(0x9E37_79B9);
+    h = (h ^ a).wrapping_mul(0x85EB_CA6B);
+    h = (h ^ b.rotate_left(16)).wrapping_mul(0xC2B2_AE35);
+    h ^= h >> 16;
+    (h as usize) & (INTERN_CACHE_SLOTS - 1)
 }
 
 /// Scratch nodes currently live across all threads.
@@ -333,17 +386,27 @@ fn global_node(raw: u32) -> ExprNode {
 
 /// Interns `node`, returning its unique handle.
 ///
-/// Resolution order: the current thread's scratch region first (so a
-/// term first seen as scratch keeps one identity for the scope's life),
-/// then the persistent region; a miss interns into the scratch region
-/// when a [`ScratchScope`] is open on this thread, else persistently.
+/// Resolution order: with no [`ScratchScope`] open on this thread, the
+/// thread's persistent-hit cache is probed first (lock-free; sound
+/// because persistent ids never move or retire), then the persistent
+/// arena — no scratch borrow at all. Under an open scope: the thread's
+/// scratch region first (so a term first seen as scratch keeps one
+/// identity for the scope's life), then the persistent region; a miss
+/// interns into the scratch region.
 fn intern(node: ExprNode) -> Expr {
-    SCRATCH.with(|cell| {
-        let mut region = cell.borrow_mut();
-        if region.depth == 0 {
-            drop(region);
-            return intern_global(node);
+    SCRATCH.with(|tls| {
+        if tls.depth.get() == 0 {
+            let slot = &tls.persistent_hits[persistent_hit_slot(&node)];
+            if let Some((cached, raw)) = slot.get() {
+                if cached == node {
+                    return Expr { id: ExprId(raw) };
+                }
+            }
+            let e = intern_global(node);
+            slot.set(Some((node, e.id.0)));
+            return e;
         }
+        let mut region = tls.region.borrow_mut();
         if let Some(&idx) = region.ids.get(&node) {
             return Expr {
                 id: ExprId(SCRATCH_BIT | idx),
@@ -401,12 +464,12 @@ impl ScratchScope {
     /// Opens a scratch scope on the current thread.
     #[must_use]
     pub fn enter() -> ScratchScope {
-        SCRATCH.with(|cell| {
-            let mut region = cell.borrow_mut();
-            region.depth += 1;
+        SCRATCH.with(|tls| {
+            let depth = tls.depth.get() + 1;
+            tls.depth.set(depth);
             ScratchScope {
-                watermark: region.nodes.len(),
-                depth: region.depth,
+                watermark: tls.region.borrow().nodes.len(),
+                depth,
                 _not_send: PhantomData,
             }
         })
@@ -416,7 +479,7 @@ impl ScratchScope {
     /// far.
     #[must_use]
     pub fn live_nodes(&self) -> usize {
-        SCRATCH.with(|cell| cell.borrow().nodes.len() - self.watermark)
+        SCRATCH.with(|tls| tls.region.borrow().nodes.len() - self.watermark)
     }
 
     /// Rebuilds `e` into the persistent arena so it survives this
@@ -429,20 +492,21 @@ impl ScratchScope {
 
 impl Drop for ScratchScope {
     fn drop(&mut self) {
-        SCRATCH.with(|cell| {
-            let mut region = cell.borrow_mut();
+        SCRATCH.with(|tls| {
             // LIFO misuse (e.g. scopes swapped across an early drop)
             // would silently retire a live scope's terms; fail loudly
             // instead — unless we are already unwinding, where drop
             // order is LIFO by construction and a double panic aborts.
-            if region.depth != self.depth && !std::thread::panicking() {
+            if tls.depth.get() != self.depth && !std::thread::panicking() {
                 panic!(
                     "ScratchScope retired out of LIFO order \
                      (depth {} live, this scope is level {})",
-                    region.depth, self.depth
+                    tls.depth.get(),
+                    self.depth
                 );
             }
-            region.depth = self.depth - 1;
+            tls.depth.set(self.depth - 1);
+            let mut region = tls.region.borrow_mut();
             let retired = region.nodes.len().saturating_sub(self.watermark);
             if retired > 0 {
                 region.nodes.truncate(self.watermark);
@@ -616,7 +680,7 @@ impl Expr {
     pub fn from_id(id: ExprId) -> Option<Expr> {
         if id.is_scratch() {
             let idx = (id.0 & !SCRATCH_BIT) as usize;
-            SCRATCH.with(|cell| (idx < cell.borrow().nodes.len()).then_some(Expr { id }))
+            SCRATCH.with(|tls| (idx < tls.region.borrow().nodes.len()).then_some(Expr { id }))
         } else {
             let shard_idx = (id.0 as usize) & (SHARDS - 1);
             let local = (id.0 >> SHARD_BITS) as usize;
@@ -642,7 +706,7 @@ impl Expr {
             return global_node(raw);
         }
         let idx = (raw & !SCRATCH_BIT) as usize;
-        SCRATCH.with(|cell| match cell.borrow().nodes.get(idx) {
+        SCRATCH.with(|tls| match tls.region.borrow().nodes.get(idx) {
             Some(&node) => node,
             None => panic!(
                 "stale scratch ExprId {idx}: its ScratchScope was retired (or the handle \

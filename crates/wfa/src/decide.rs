@@ -42,6 +42,13 @@ pub struct DecideOptions {
     /// Use the unsound `f64` zeroness check instead of exact rationals.
     /// Benchmark-ablation only; see `DESIGN.md`.
     pub float_ablation: bool,
+    /// Entry budget for the star-free fast path (`crate::starfree`):
+    /// a star-free query whose word multisets would exceed this many
+    /// distinct words per map falls back to the generic automaton
+    /// pipeline. `0` disables the fast path entirely — every query
+    /// takes the generic path, which differential tests use to force
+    /// the two pipelines against each other. Default 8192.
+    pub starfree_max_words: usize,
 }
 
 impl Default for DecideOptions {
@@ -49,6 +56,7 @@ impl Default for DecideOptions {
         DecideOptions {
             max_dfa_states: 100_000,
             float_ablation: false,
+            starfree_max_words: 8192,
         }
     }
 }

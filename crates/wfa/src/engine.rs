@@ -56,6 +56,7 @@ use crate::automaton::Wfa;
 use crate::decide::{DecideError, DecideOptions};
 use crate::ka::support_nfa;
 use crate::nfa::Dfa;
+use crate::starfree::{self, PrefixOutcome, WordMultiset};
 use crate::thompson::thompson;
 use crate::zeroness::{is_zero_series, is_zero_series_f64, restrict_to_language};
 use nka_semiring::{BigRational, ExtNat};
@@ -100,6 +101,15 @@ pub struct DeciderStats {
     pub dfa_hits: u64,
     /// Subset constructions actually run.
     pub dfa_misses: u64,
+    /// NKA queries answered by the tier-1 star-free multiset evaluator
+    /// (finite word-multiset comparison; no automaton was built).
+    pub starfree_hits: u64,
+    /// NKA queries answered by tier-2 prefix normalization (zero-series
+    /// sides, full factor cancellation, or a divergent atom head).
+    pub prefix_hits: u64,
+    /// Star-free queries that exceeded the multiset budget (or
+    /// overflowed `u64`) and fell back to the generic pipeline.
+    pub fastpath_fallbacks: u64,
 }
 
 impl DeciderStats {
@@ -117,6 +127,11 @@ impl DeciderStats {
             compile_misses: self.compile_misses.saturating_sub(earlier.compile_misses),
             dfa_hits: self.dfa_hits.saturating_sub(earlier.dfa_hits),
             dfa_misses: self.dfa_misses.saturating_sub(earlier.dfa_misses),
+            starfree_hits: self.starfree_hits.saturating_sub(earlier.starfree_hits),
+            prefix_hits: self.prefix_hits.saturating_sub(earlier.prefix_hits),
+            fastpath_fallbacks: self
+                .fastpath_fallbacks
+                .saturating_sub(earlier.fastpath_fallbacks),
         }
     }
 
@@ -133,6 +148,11 @@ impl DeciderStats {
             compile_misses: self.compile_misses.saturating_add(other.compile_misses),
             dfa_hits: self.dfa_hits.saturating_add(other.dfa_hits),
             dfa_misses: self.dfa_misses.saturating_add(other.dfa_misses),
+            starfree_hits: self.starfree_hits.saturating_add(other.starfree_hits),
+            prefix_hits: self.prefix_hits.saturating_add(other.prefix_hits),
+            fastpath_fallbacks: self
+                .fastpath_fallbacks
+                .saturating_add(other.fastpath_fallbacks),
         }
     }
 }
@@ -166,6 +186,10 @@ pub struct Decider {
     /// orientations of a symmetric query.
     nka_verdicts: HashMap<(ExprId, ExprId), bool>,
     ka_verdicts: HashMap<(ExprId, ExprId), bool>,
+    /// Word multisets of star-free (sub)expressions — the tier-1 memo
+    /// of the star-free fast path (see [`crate::starfree`]), shared
+    /// across queries like the automaton caches.
+    multisets: HashMap<ExprId, Arc<WordMultiset>>,
     /// The scratch-retirement epoch the caches are consistent with.
     seen_scratch_epoch: u64,
     /// Number of live cache entries keyed (partly) on scratch ids; when
@@ -256,6 +280,7 @@ impl Decider {
             .retain(|(a, b), _| !a.is_scratch() && !b.is_scratch());
         self.ka_verdicts
             .retain(|(a, b), _| !a.is_scratch() && !b.is_scratch());
+        self.multisets.retain(|id, _| !id.is_scratch());
         self.scratch_keyed = 0;
         self.scratch_purges += 1;
     }
@@ -271,6 +296,16 @@ impl Decider {
 
     /// Decides `⊢NKA e = f` (Remark 2.1 / Theorem A.6).
     ///
+    /// Queries run through a tiered pipeline behind the verdict cache:
+    /// **star-free** pairs (loop-free program encodings) are answered
+    /// by prefix normalization or finite word-multiset comparison (see
+    /// [`crate::starfree`]) without building any automaton — and
+    /// therefore without consuming DFA-state budget. Everything else —
+    /// and star-free pairs whose multisets exceed
+    /// [`DecideOptions::starfree_max_words`] — takes the generic
+    /// automaton pipeline. Both paths are exact; the verdict never
+    /// depends on the tier that produced it.
+    ///
     /// # Errors
     ///
     /// Returns [`DecideError`] if a subset construction exceeds the
@@ -285,30 +320,79 @@ impl Decider {
             self.stats.answer_hits += 1;
             return Ok(hit);
         }
-
-        let alphabet = shared_alphabet(e, f);
-        // Step 1: the ∞-supports must coincide as regular languages.
-        let de = self.infinity_dfa(e, &alphabet)?;
-        let df = self.infinity_dfa(f, &alphabet)?;
-        let verdict = if !de.equivalent(&df) {
-            false
-        } else {
-            // Step 2: the finite parts must agree outside the ∞-support.
-            let ce = self.compile(e);
-            let cf = self.compile(f);
-            let diff = ce.rational().difference(cf.rational(), |w| -w.clone());
-            let restricted = restrict_to_language(&diff, &de.complement());
-            if self.opts.float_ablation {
-                is_zero_series_f64(&restricted, 1e-9)
-            } else {
-                is_zero_series(&restricted)
-            }
+        let verdict = match self.starfree_fast_path(e, f) {
+            Some(verdict) => verdict,
+            None => self.decide_generic(e, f)?,
         };
         if key.0.is_scratch() || key.1.is_scratch() {
             self.note_scratch_key();
         }
         self.nka_verdicts.insert(key, verdict);
         Ok(verdict)
+    }
+
+    /// The tiered star-free fast path: `Some(verdict)` if the pair is
+    /// star-free and decidable within the multiset budget, `None` to
+    /// fall back to the generic pipeline. Exact whenever it answers.
+    fn starfree_fast_path(&mut self, e: &Expr, f: &Expr) -> Option<bool> {
+        let max_words = self.opts.starfree_max_words;
+        if max_words == 0 || e.star_height() != 0 || f.star_height() != 0 {
+            return None;
+        }
+        // Tier 2: gate-by-gate prefix normalization of the `·`-spines.
+        let (re, rf) = match starfree::prefix_normalize(e, f) {
+            PrefixOutcome::Decided(verdict) => {
+                self.stats.prefix_hits += 1;
+                return Some(verdict);
+            }
+            PrefixOutcome::Residual(re, rf) => (re, rf),
+        };
+        // Tier 1: compare the residual products' word multisets.
+        let mut scratch_inserts = 0;
+        let left =
+            starfree::eval_product(&re, &mut self.multisets, max_words, &mut scratch_inserts);
+        let right = match left {
+            Some(_) => {
+                starfree::eval_product(&rf, &mut self.multisets, max_words, &mut scratch_inserts)
+            }
+            None => None,
+        };
+        for _ in 0..scratch_inserts {
+            self.note_scratch_key();
+        }
+        match (left, right) {
+            (Some(left), Some(right)) => {
+                self.stats.starfree_hits += 1;
+                Some(left == right)
+            }
+            _ => {
+                self.stats.fastpath_fallbacks += 1;
+                None
+            }
+        }
+    }
+
+    /// The generic automaton pipeline (Thompson → ε-elimination →
+    /// ∞-support DFAs → exact rational zeroness), shared by every query
+    /// the fast path does not answer.
+    fn decide_generic(&mut self, e: &Expr, f: &Expr) -> Result<bool, DecideError> {
+        let alphabet = shared_alphabet(e, f);
+        // Step 1: the ∞-supports must coincide as regular languages.
+        let de = self.infinity_dfa(e, &alphabet)?;
+        let df = self.infinity_dfa(f, &alphabet)?;
+        if !de.equivalent(&df) {
+            return Ok(false);
+        }
+        // Step 2: the finite parts must agree outside the ∞-support.
+        let ce = self.compile(e);
+        let cf = self.compile(f);
+        let diff = ce.rational().difference(cf.rational(), |w| -w.clone());
+        let restricted = restrict_to_language(&diff, &de.complement());
+        Ok(if self.opts.float_ablation {
+            is_zero_series_f64(&restricted, 1e-9)
+        } else {
+            is_zero_series(&restricted)
+        })
     }
 
     /// Decides `⊢KA e = f`, i.e. language equivalence of the supports
@@ -513,7 +597,13 @@ mod tests {
         // Regression: `with_budget(0)` used to admit the initial subset
         // for free, so trivial queries (empty alphabet, self-comparisons)
         // "succeeded" under a budget that can hold no state at all.
-        let mut engine = Decider::with_budget(0);
+        // The star-free fast path is forced off so every pair actually
+        // reaches the subset construction this test is about.
+        let mut engine = Decider::with_options(DecideOptions {
+            max_dfa_states: 0,
+            starfree_max_words: 0,
+            ..DecideOptions::default()
+        });
         for (l, r) in [("1", "1"), ("0", "0"), ("a", "a"), ("p q", "p q")] {
             let err = engine.decide(&e(l), &e(r)).unwrap_err();
             assert!(
@@ -523,6 +613,150 @@ mod tests {
         }
         assert!(engine.ka_equiv(&e("a"), &e("a")).is_err());
         assert!(engine.ka_accepts(&e("a"), &[Symbol::intern("a")]).is_err());
+    }
+
+    #[test]
+    fn starfree_queries_never_touch_the_dfa_budget() {
+        // Star-free pairs are answered by the multiset tiers, which
+        // build no automaton at all — so even a zero DFA-state budget
+        // decides them exactly (the budget governs subset construction
+        // only). KA queries on the same engine still hit the budget.
+        let mut engine = Decider::with_budget(0);
+        for (l, r, expected) in [
+            ("1", "1", true),
+            ("a", "a", true),
+            ("p q", "p q", true),
+            ("p + p", "p", false),
+            ("a (b + c)", "a b + a c", true),
+        ] {
+            assert_eq!(engine.decide(&e(l), &e(r)).unwrap(), expected, "{l} = {r}");
+        }
+        let s = engine.stats();
+        assert_eq!(s.dfa_misses, 0);
+        assert_eq!(s.compile_misses, 0);
+        assert_eq!(s.prefix_hits + s.starfree_hits, 5);
+        assert!(engine.ka_equiv(&e("a"), &e("a")).is_err());
+    }
+
+    #[test]
+    fn fast_path_tiers_and_counters() {
+        let mut engine = Decider::new();
+        // Tier 2: long equal spines cancel gate by gate…
+        assert!(engine
+            .decide(&e("a b c d e f"), &e("a b 1 c d e f"))
+            .unwrap());
+        // …and divergent atoms refute without evaluating the tail.
+        assert!(!engine.decide(&e("a b c d e f"), &e("a b x d e f")).unwrap());
+        let s = engine.stats();
+        assert_eq!(s.prefix_hits, 2);
+        assert_eq!(s.starfree_hits, 0);
+        // Tier 1: compound divergence needs the multisets.
+        assert!(engine.decide(&e("a (b + c)"), &e("a (c + b)")).unwrap());
+        assert!(!engine.decide(&e("a (b + b)"), &e("a b")).unwrap());
+        let s = engine.stats();
+        assert_eq!(s.starfree_hits, 2);
+        assert_eq!(s.fastpath_fallbacks, 0);
+        // Starred queries bypass the tiers entirely.
+        assert!(engine.decide(&e("(p q)* p"), &e("p (q p)*")).unwrap());
+        let s = engine.stats();
+        assert_eq!(s.prefix_hits + s.starfree_hits, 4);
+        assert!(s.compile_misses >= 2);
+        // Fast-path verdicts populate the same verdict cache.
+        assert!(engine
+            .decide(&e("a b 1 c d e f"), &e("a b c d e f"))
+            .unwrap());
+        assert_eq!(engine.stats().answer_hits, 1);
+    }
+
+    #[test]
+    fn fast_path_budget_falls_back_to_generic_exactly() {
+        // (a + b)^4 has 16 words; a 10-word cap forces the generic
+        // pipeline, which must still answer — identically.
+        let l = e("(a + b) (a + b) (a + b) (a + b)");
+        let r = e("(b + a) (a + b) (a + b) (a + b)");
+        let mut tiny = Decider::with_options(DecideOptions {
+            starfree_max_words: 10,
+            ..DecideOptions::default()
+        });
+        assert!(tiny.decide(&l, &r).unwrap());
+        let s = tiny.stats();
+        assert_eq!(s.fastpath_fallbacks, 1);
+        assert_eq!(s.starfree_hits, 0);
+        assert!(s.compile_misses >= 2, "generic path must have run");
+        let mut roomy = Decider::new();
+        assert!(roomy.decide(&l, &r).unwrap());
+        assert_eq!(roomy.stats().starfree_hits, 1);
+    }
+
+    #[test]
+    fn fast_path_agrees_with_generic_on_starfree_family() {
+        // Differential pinning at the engine level: every star-free
+        // pair must get byte-identical verdicts from the tiers and the
+        // automaton pipeline.
+        let exprs = [
+            "0",
+            "1",
+            "a",
+            "b",
+            "a b",
+            "b a",
+            "a + b",
+            "b + a",
+            "a + a",
+            "1 + a",
+            "a (b + c)",
+            "a b + a c",
+            "(a + b) c",
+            "a c + b c",
+            "(a + 1) (b + 1)",
+            "a b + a + b + 1",
+            "(a + a) b",
+            "a b + a b",
+            "0 a",
+            "a 0 + 0",
+        ];
+        let mut fast = Decider::new();
+        let mut generic = Decider::with_options(DecideOptions {
+            starfree_max_words: 0,
+            ..DecideOptions::default()
+        });
+        for l in &exprs {
+            for r in &exprs {
+                assert_eq!(
+                    fast.decide(&e(l), &e(r)).unwrap(),
+                    generic.decide(&e(l), &e(r)).unwrap(),
+                    "fast path diverged from generic on {l} = {r}"
+                );
+            }
+        }
+        // The forced-off engine never took a tier.
+        let s = generic.stats();
+        assert_eq!(s.prefix_hits + s.starfree_hits + s.fastpath_fallbacks, 0);
+        // The default engine answered every fresh pair in-tier.
+        let s = fast.stats();
+        assert_eq!(s.compile_misses, 0);
+        assert_eq!(
+            s.prefix_hits + s.starfree_hits + s.answer_hits,
+            s.nka_queries
+        );
+    }
+
+    #[test]
+    fn scratch_keyed_multisets_are_evicted_on_epoch_advance() {
+        let mut engine = Decider::new();
+        {
+            let _scope = nka_syntax::ScratchScope::enter();
+            let l = e("msA").mul(&e("msB")).mul(&e("msA + msB"));
+            let r = e("msA").mul(&e("msB")).mul(&e("msB + msA"));
+            assert!(l.id().is_scratch());
+            assert!(engine.decide(&l, &r).unwrap());
+            assert_eq!(engine.stats().starfree_hits, 1);
+        }
+        // The scope retired: the next entry point must purge the
+        // scratch-keyed multisets along with every other cache.
+        assert!(!engine.decide(&e("msA"), &e("msB")).unwrap());
+        assert_eq!(engine.scratch_purges(), 1);
+        assert!(engine.multisets.keys().all(|id| !id.is_scratch()));
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!    and tested for zeroness with the forward-basis (Tzeng/Schützenberger)
 //!    algorithm over **exact rationals**.
 //!
+//! **Star-free** pairs — loop-free program encodings — never reach this
+//! pipeline: their series have finite support and finite coefficients, so
+//! the tiered fast path in [`starfree`] decides them by prefix
+//! normalization and finite word-multiset comparison, falling back here
+//! only past its size budget.
+//!
 //! The top-level entry point for a single query is [`decide::decide_eq`];
 //! repeated queries should go through the memoizing, budgeted
 //! [`engine::Decider`], which owns the resource policy ([`DecideOptions`])
@@ -47,6 +53,7 @@ pub mod engine;
 pub mod ka;
 pub mod matrix;
 pub mod nfa;
+pub mod starfree;
 pub mod thompson;
 pub mod zeroness;
 

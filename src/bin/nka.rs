@@ -144,6 +144,10 @@ impl StatsReport {
             s.dfa_hits,
         );
         eprintln!(
+            "fast-path stats: {} star-free hits + {} prefix hits, {} fallbacks to generic",
+            s.starfree_hits, s.prefix_hits, s.fastpath_fallbacks,
+        );
+        eprintln!(
             "expr stats: {} tree nodes over {} distinct subterms queried; {} expressions interned process-wide",
             self.expr_nodes,
             self.expr_subterms,

@@ -91,6 +91,11 @@ fn zero_budget_session_reports_budget_exhaustion_not_success() {
     let mut session = Session::with_options(SessionOptions {
         decide: DecideOptions {
             max_dfa_states: 0,
+            // Forced off so the trivial query reaches the subset
+            // construction whose budget this regression test pins (the
+            // star-free fast path would otherwise answer it exactly
+            // without any DFA states).
+            starfree_max_words: 0,
             ..DecideOptions::default()
         },
         ..SessionOptions::default()

@@ -79,7 +79,10 @@ fn prover_routes_refutation_through_engine() {
 #[test]
 fn ka_and_nka_surfaces_share_one_engine() {
     let mut engine = Decider::new();
-    let (l, r) = (e("p + p"), e("p"));
+    // Starred operands so the NKA side takes the generic automaton
+    // pipeline (star-free pairs are answered by the multiset fast path
+    // and compile nothing — see `fast_path_answers_without_compiling`).
+    let (l, r) = (e("p* p*"), e("p*"));
     assert!(engine.ka_equiv(&l, &r).unwrap()); // idempotence holds in KA
     assert!(!engine.decide(&l, &r).unwrap()); // …but not in NKA
     let s = engine.stats();
@@ -89,4 +92,22 @@ fn ka_and_nka_surfaces_share_one_engine() {
     // later automaton access was a cache hit.
     assert_eq!(s.compile_misses, 2);
     assert!(s.compile_hits >= 2);
+}
+
+#[test]
+fn fast_path_answers_without_compiling() {
+    // A star-free refutation is served by the tiered fast path: no
+    // compilation, no determinization, and the per-tier counters show
+    // up in the public stats surface.
+    let mut engine = Decider::new();
+    let (l, r) = (e("p + p"), e("p"));
+    assert!(!engine.decide(&l, &r).unwrap());
+    let s = engine.stats();
+    assert_eq!(s.compile_misses, 0);
+    assert_eq!(s.dfa_misses, 0);
+    assert_eq!(s.starfree_hits + s.prefix_hits, 1);
+    assert_eq!(s.fastpath_fallbacks, 0);
+    // The verdict landed in the ordinary cache.
+    assert!(!engine.decide(&r, &l).unwrap());
+    assert_eq!(engine.stats().answer_hits, 1);
 }

@@ -1,0 +1,58 @@
+//! Perf smoke for the tiered-equivalence pipeline: the ISSUE's
+//! acceptance bound — a 14-gate loop-free equal `prog_eq` pair on a
+//! fresh session decides well under 50 ms — plus proof (via the stats
+//! delta) that the answer actually came from the star-free fast path,
+//! so a silently disabled or regressed fast path fails this test
+//! rather than just slowing CI down.
+//!
+//! The bound is generous against the bench median (~60 µs in release,
+//! `decide/prog_eq_loop_free/equal_fast/14`) and far below the generic
+//! pipeline (~340 ms), so it separates the two tiers cleanly without
+//! being flaky on loaded CI runners. Under the debug profile the bound
+//! is scaled up; the release run in CI is the gating one.
+
+use nka_quantum::{Query, Session, Verdict};
+use std::time::{Duration, Instant};
+
+/// A deterministic loop-free 14-gate two-qubit program (same shape as
+/// the `decide/prog_eq_loop_free` bench subject).
+fn fourteen_gates() -> String {
+    const G: [&str; 5] = ["h q0", "x q1", "cnot q0 q1", "s q0", "t q1"];
+    let body = (0..14)
+        .map(|i| G[i % G.len()])
+        .collect::<Vec<_>>()
+        .join("; ");
+    format!("qubits 2; {body}")
+}
+
+#[test]
+fn fourteen_gate_loop_free_equal_pair_is_fast_path_and_fast() {
+    let p = fourteen_gates();
+    let query = Query::prog_eq(&p, &format!("{p}; skip")).expect("well-formed");
+    let mut session = Session::new();
+
+    let start = Instant::now();
+    let resp = session.run(&query);
+    let elapsed = start.elapsed();
+
+    assert!(
+        matches!(resp.verdict, Verdict::ProgEq { holds: true, .. }),
+        "expected the skip-padded pair to hold, got {:?}",
+        resp.verdict
+    );
+    assert!(
+        resp.stats_delta.starfree_hits + resp.stats_delta.prefix_hits >= 1,
+        "loop-free pair was not answered by the star-free fast path: {:?}",
+        resp.stats_delta
+    );
+
+    let bound = if cfg!(debug_assertions) {
+        Duration::from_millis(2000)
+    } else {
+        Duration::from_millis(50)
+    };
+    assert!(
+        elapsed < bound,
+        "14-gate loop-free equal pair took {elapsed:?} (bound {bound:?})"
+    );
+}

@@ -22,9 +22,11 @@
 
 mod support;
 
+use nka_quantum::api::SessionOptions;
+use nka_quantum::wfa::decide::DecideOptions;
 use nka_quantum::{Query, Session, Verdict};
 use proptest::prelude::*;
-use support::{rewrite_preserving, semantically_equal, small_programs, RProg};
+use support::{loop_free_programs, rewrite_preserving, semantically_equal, small_programs, RProg};
 
 /// Runs a `ProgEq` query on a warm session; panics on anything but a
 /// program verdict (the budget is far above these term sizes).
@@ -35,6 +37,19 @@ fn prog_eq_holds(session: &mut Session, p: &RProg, q: &RProg) -> bool {
         Verdict::ProgEq { holds, .. } => holds,
         other => panic!("expected a ProgEq verdict, got {other:?}\n  p: {p}\n  q: {q}"),
     }
+}
+
+/// A session with the star-free fast path disabled: every decide runs
+/// the full generic WFA pipeline. The parity properties compare this
+/// against a default (fast-path-enabled) session.
+fn generic_session() -> Session {
+    Session::with_options(SessionOptions {
+        decide: DecideOptions {
+            starfree_max_words: 0,
+            ..DecideOptions::default()
+        },
+        ..SessionOptions::default()
+    })
 }
 
 const SEM_TOL: f64 = 1e-7;
@@ -102,6 +117,68 @@ proptest! {
                 "UNSOUND: semantically distinct programs decided equal\n  p: {}\n  q: {}",
                 p,
                 q
+            );
+        }
+    }
+
+    /// Fast-path parity on the *mixed* generator (loops included):
+    /// whatever tier answers a pair, the whole verdict — `holds` and
+    /// the rendered encodings — must byte-match the fast-path-disabled
+    /// generic pipeline.
+    #[test]
+    fn fast_and_generic_verdicts_match_on_mixed_programs(p in small_programs(), seed in 0u64..1 << 32) {
+        let mut rng = TestRng::deterministic(&format!("parity::{seed}"));
+        let q = loop {
+            let candidate = small_programs().generate(&mut rng);
+            if candidate.qubits == p.qubits {
+                break candidate;
+            }
+        };
+        let query = Query::prog_eq(&p.to_string(), &q.to_string())
+            .unwrap_or_else(|err| panic!("generated pair malformed: {err}\n  p: {p}\n  q: {q}"));
+        let fast = Session::new().run(&query).verdict;
+        let generic = generic_session().run(&query).verdict;
+        prop_assert_eq!(
+            &fast, &generic,
+            "fast path and generic pipeline disagree\n  p: {}\n  q: {}",
+            p, q
+        );
+    }
+
+    /// Star-free parity, both directions: on loop-free programs (whose
+    /// encodings are star-free by construction) the default session
+    /// must answer through the fast path — the stats delta proves it —
+    /// and agree with the generic pipeline both on an
+    /// encoding-preserving rewrite (equal direction) and on an
+    /// independent partner (overwhelmingly refuted direction).
+    #[test]
+    fn starfree_fast_path_matches_generic_in_both_directions(p in loop_free_programs(), seed in 0u64..1 << 32) {
+        let mut rng = TestRng::deterministic(&format!("starfree::{seed}"));
+        let equal_partner = rewrite_preserving(&p, &mut rng, 2);
+        let independent_partner = loop {
+            let candidate = loop_free_programs().generate(&mut rng);
+            if candidate.qubits == p.qubits {
+                break candidate;
+            }
+        };
+        for q in [&equal_partner, &independent_partner] {
+            let query = Query::prog_eq(&p.to_string(), &q.to_string())
+                .unwrap_or_else(|err| panic!("generated pair malformed: {err}\n  p: {p}\n  q: {q}"));
+            let fast = Session::new().run(&query);
+            let generic = generic_session().run(&query);
+            prop_assert_eq!(
+                &fast.verdict, &generic.verdict,
+                "fast path and generic pipeline disagree on a star-free pair\n  p: {}\n  q: {}",
+                p, q
+            );
+            prop_assert!(
+                fast.stats_delta.starfree_hits + fast.stats_delta.prefix_hits >= 1,
+                "loop-free pair was not answered by the fast path\n  p: {}\n  q: {}",
+                p, q
+            );
+            prop_assert_eq!(
+                generic.stats_delta.starfree_hits + generic.stats_delta.prefix_hits, 0,
+                "disabled fast path still reported hits"
             );
         }
     }

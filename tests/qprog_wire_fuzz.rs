@@ -158,6 +158,53 @@ fn batch_stream_survives_malformed_program_lines() {
     assert!(stderr.matches('^').count() >= cases.len(), "{stderr}");
 }
 
+/// An error-only stream must leave the star-free fast-path counters at
+/// zero: malformed lines are rejected at decode time and never reach
+/// the decider, so `--stats` reporting any tier hit (or fallback) here
+/// would mean the engine ran on unparsed input.
+#[test]
+fn error_only_stream_reports_zero_fast_path_counters() {
+    let mut input = String::new();
+    let cases = malformed_lines();
+    for (line, _, _) in &cases {
+        input.push_str(line);
+        input.push('\n');
+    }
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["--stats", "batch", "--json"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("nka binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write batch input");
+    let output = child.wait_with_output().expect("batch completes");
+
+    assert_eq!(output.status.code(), Some(2));
+    let stdout = String::from_utf8(output.stdout).expect("UTF-8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), cases.len(), "every line must answer: {stdout}");
+    for (i, line) in lines.iter().enumerate() {
+        let value = Json::parse(line).unwrap_or_else(|e| panic!("line {i} not JSON ({e}): {line}"));
+        assert_eq!(
+            value.get("verdict").and_then(Json::as_str),
+            Some("error"),
+            "line {i}: {line}"
+        );
+    }
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr
+            .contains("fast-path stats: 0 star-free hits + 0 prefix hits, 0 fallbacks to generic"),
+        "fast-path counters moved on an error-only stream:\n{stderr}"
+    );
+}
+
 /// Same stream through `serve`: errors answer in-line and the loop
 /// keeps serving; serve exits 0 at end of input (errors are responses,
 /// not failures — PR 2 semantics).

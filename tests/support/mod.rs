@@ -213,11 +213,13 @@ fn gen_seq(
 }
 
 /// Random programs over `1..=max_qubits` qubits with nesting depth
-/// `≤ max_depth` and a handful of statements per block.
+/// `≤ max_depth`, at most `max_whiles` loops, and a handful of
+/// statements per block.
 #[derive(Clone, Debug)]
 pub struct ProgStrategy {
     pub max_qubits: usize,
     pub max_depth: usize,
+    pub max_whiles: usize,
 }
 
 impl Strategy for ProgStrategy {
@@ -234,7 +236,7 @@ impl Strategy for ProgStrategy {
             // ~a dozen statements keeps the slowest decided pair in
             // the tens of milliseconds while still covering nested
             // control flow.
-            if while_count(&body) <= 2 && stmt_count(&body) <= 12 {
+            if while_count(&body) <= self.max_whiles && stmt_count(&body) <= 12 {
                 return RProg { qubits, body };
             }
         }
@@ -243,12 +245,27 @@ impl Strategy for ProgStrategy {
 
 /// The default differential-suite generator: ≤ 3 qubits, depth ≤ 5
 /// (the ISSUE's envelope; dimensions stay ≤ 8 so the density-basis
-/// oracle is fast).
+/// oracle is fast), ≤ 2 loops.
 #[must_use]
 pub fn small_programs() -> ProgStrategy {
     ProgStrategy {
         max_qubits: 3,
         max_depth: 5,
+        max_whiles: 2,
+    }
+}
+
+/// Loop-free variant of [`small_programs`]: no `while` means no Kleene
+/// star anywhere in the encoding, so every pair drawn from this
+/// strategy is answerable by the decider's star-free fast path — the
+/// generator the fast-vs-generic parity property uses to guarantee
+/// tier-1 coverage.
+#[must_use]
+pub fn loop_free_programs() -> ProgStrategy {
+    ProgStrategy {
+        max_qubits: 3,
+        max_depth: 5,
+        max_whiles: 0,
     }
 }
 
