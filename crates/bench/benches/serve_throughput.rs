@@ -1,0 +1,137 @@
+//! SERVE-THROUGHPUT — what the Serve v2 socket path costs on top of the
+//! in-process warm session that `api/batch_warm_session` measures
+//! (~124 ns/query): the same pre-warmed query stream, answered over a
+//! loopback TCP connection to a running [`Server`].
+//!
+//! Two arms bound the wire overhead from both sides:
+//!
+//! * `roundtrip_warm` — strict request/response lockstep, one query per
+//!   round trip: the full per-query wire cost (encode + syscall + wakeup
+//!   + decode, both ways) dominated by scheduler latency.
+//! * `pipelined_warm` — the whole stream written before reading the
+//!   responses: the *throughput* view a loaded server actually sees,
+//!   where syscall and wakeup costs amortize across the in-flight
+//!   window.
+//!
+//! Comparing either arm against `api/batch_warm_session/100_queries`
+//! gives the wire tax tracked in CHANGES.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nka_bench::random_exprs;
+use nka_core::api::{wire, Query, Session};
+use nka_core::serve::{ListenAddr, ServeConfig, Server};
+use std::hint::black_box;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// The `batch_warm` stream: 100 queries, 50 distinct NKA/KA pairs each
+/// issued twice (same seed, so the arms stay comparable across bench
+/// files).
+fn query_stream() -> Vec<Query> {
+    let exprs = random_exprs(100, 10, 0xBA7C4);
+    let distinct: Vec<Query> = exprs
+        .chunks(2)
+        .enumerate()
+        .map(|(i, pair)| {
+            let (lhs, rhs) = (pair[0], pair[1]);
+            if i % 2 == 0 {
+                Query::NkaEq { lhs, rhs }
+            } else {
+                Query::KaEq { lhs, rhs }
+            }
+        })
+        .collect();
+    let mut stream = distinct.clone();
+    stream.extend(distinct);
+    stream
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let queries = query_stream();
+    let request_lines: Vec<String> = queries.iter().map(wire::encode_request).collect();
+
+    let server = Server::bind(
+        ServeConfig {
+            workers: 2,
+            json: true,
+            ..ServeConfig::default()
+        },
+        &[ListenAddr::Tcp("127.0.0.1:0".to_owned())],
+    )
+    .expect("bind a loopback server");
+    let handle = server.handle();
+    let stream = TcpStream::connect(server.tcp_addrs()[0]).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    // Prime the pool: after one pass, every query is a verdict-cache
+    // hit in its worker (connection→worker affinity pins this client to
+    // one warm session, mirroring the in-process warm arm). Also prime
+    // an in-process session so the two arms agree on the answers.
+    let mut check = Session::new();
+    let mut line = String::new();
+    for (query, request) in queries.iter().zip(&request_lines) {
+        writer
+            .write_all(format!("{request}\n").as_bytes())
+            .expect("request writes");
+        line.clear();
+        reader.read_line(&mut line).expect("response reads");
+        let expected = wire::encode_response(query, &check.run(query));
+        assert_eq!(
+            wire::stable_response_projection(&line),
+            wire::stable_response_projection(&expected),
+            "socket warm-up diverged from in-process session"
+        );
+    }
+
+    // One query per round trip: the per-query wire floor.
+    let mut group = c.benchmark_group("serve/roundtrip_warm");
+    group.sample_size(10);
+    group.bench_function("100_queries", |b| {
+        b.iter(|| {
+            for request in &request_lines {
+                writer
+                    .write_all(format!("{request}\n").as_bytes())
+                    .expect("request writes");
+                line.clear();
+                reader.read_line(&mut line).expect("response reads");
+                black_box(line.len());
+            }
+        });
+    });
+    group.finish();
+
+    // The whole stream in flight at once: the amortized throughput view.
+    // (100 requests ≈ 6 KiB, far under both the kernel buffers and the
+    // server's default 64-deep per-connection window, so nothing stalls.)
+    let mut group = c.benchmark_group("serve/pipelined_warm");
+    group.sample_size(10);
+    let mut burst = String::new();
+    for request in &request_lines {
+        burst.push_str(request);
+        burst.push('\n');
+    }
+    group.bench_function("100_queries", |b| {
+        b.iter(|| {
+            writer.write_all(burst.as_bytes()).expect("burst writes");
+            for _ in &request_lines {
+                line.clear();
+                reader.read_line(&mut line).expect("response reads");
+                black_box(line.len());
+            }
+        });
+    });
+    group.finish();
+
+    drop((reader, writer));
+    handle.begin_drain(0, "bench complete");
+    assert_eq!(server.join(), 0, "clean drain after the bench load");
+}
+
+criterion_group! {
+    name = benches;
+    config = nka_bench::criterion_config();
+    targets = bench_serve
+}
+criterion_main!(benches);

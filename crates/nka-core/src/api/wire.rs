@@ -32,8 +32,8 @@ use super::json::Json;
 use super::{ApiError, Query, Response, Verdict, DEFAULT_SERIES_MAX_LEN};
 #[cfg(doc)]
 use super::{QueryKind, Session};
+use crate::serve::stats::decider_stats_json;
 use nka_syntax::Word;
-use nka_wfa::DeciderStats;
 
 /// Decodes one request line. `Ok(None)` means the line is skippable —
 /// blank or a `#` comment.
@@ -169,25 +169,6 @@ fn word_string(word: &Word) -> String {
         .join(" ")
 }
 
-fn stats_json(stats: &DeciderStats) -> Json {
-    let int = |n: u64| Json::Int(i64::try_from(n).unwrap_or(i64::MAX));
-    Json::Obj(vec![
-        ("nka_queries".to_owned(), int(stats.nka_queries)),
-        ("ka_queries".to_owned(), int(stats.ka_queries)),
-        ("answer_hits".to_owned(), int(stats.answer_hits)),
-        ("compile_hits".to_owned(), int(stats.compile_hits)),
-        ("compile_misses".to_owned(), int(stats.compile_misses)),
-        ("dfa_hits".to_owned(), int(stats.dfa_hits)),
-        ("dfa_misses".to_owned(), int(stats.dfa_misses)),
-        ("starfree_hits".to_owned(), int(stats.starfree_hits)),
-        ("prefix_hits".to_owned(), int(stats.prefix_hits)),
-        (
-            "fastpath_fallbacks".to_owned(),
-            int(stats.fastpath_fallbacks),
-        ),
-    ])
-}
-
 /// Encodes one response as a JSONL line (no trailing newline). The
 /// line repeats the query fields, so it is itself decodable as the
 /// originating request — see the [module docs](self).
@@ -252,7 +233,7 @@ pub fn encode_response(query: &Query, resp: &Response) -> String {
         "expr_subterms".to_owned(),
         Json::Int(i64::try_from(resp.expr_subterms).unwrap_or(i64::MAX)),
     ));
-    fields.push(("stats".to_owned(), stats_json(&resp.stats_delta)));
+    fields.push(("stats".to_owned(), decider_stats_json(&resp.stats_delta)));
     fields.push((
         "micros".to_owned(),
         Json::Int(i64::try_from(resp.elapsed.as_micros()).unwrap_or(i64::MAX)),
@@ -284,6 +265,33 @@ pub fn encode_error(err: &ApiError) -> String {
         ));
     }
     Json::Obj(fields).to_string()
+}
+
+/// The comparison-stable projection of a response line: for JSON lines,
+/// the object with the volatile `stats` (engine-counter delta — cache
+/// hits depend on what ran before) and `micros` (wall clock) fields
+/// removed, re-serialized; text lines (and unparsable input) pass
+/// through unchanged, since the text surface carries no volatile
+/// fields.
+///
+/// Two responses to the same query are semantically identical iff their
+/// projections are byte-identical — this is what `nka-loadgen` and the
+/// e2e socket tests diff, so concurrent socket serving can be held to
+/// sequential `batch` output exactly.
+#[must_use]
+pub fn stable_response_projection(line: &str) -> String {
+    let trimmed = line.trim_end();
+    if !trimmed.starts_with('{') {
+        return trimmed.to_owned();
+    }
+    let Ok(Json::Obj(fields)) = Json::parse(trimmed) else {
+        return trimmed.to_owned();
+    };
+    let kept: Vec<(String, Json)> = fields
+        .into_iter()
+        .filter(|(key, _)| key != "stats" && key != "micros")
+        .collect();
+    Json::Obj(kept).to_string()
 }
 
 /// Human-readable one-line rendering of a response, used by `nka batch`
@@ -428,6 +436,26 @@ mod tests {
             let reparsed = decode_request(&line).unwrap().expect("a query");
             assert_eq!(reparsed, query, "response line did not reparse: {line}");
         }
+    }
+
+    #[test]
+    fn stable_projection_drops_only_the_volatile_fields() {
+        let mut warm = Session::new();
+        let mut cold = Session::new();
+        let query = decode_request("(p q)* p = p (q p)*").unwrap().unwrap();
+        // Warm the first session so its stats delta differs from the
+        // cold session's: raw lines differ, projections agree.
+        warm.run(&query);
+        let warm_line = encode_response(&query, &warm.run(&query));
+        let cold_line = encode_response(&query, &cold.run(&query));
+        assert_ne!(warm_line, cold_line, "stats/micros should differ");
+        assert_eq!(
+            stable_response_projection(&warm_line),
+            stable_response_projection(&cold_line)
+        );
+        assert!(!stable_response_projection(&warm_line).contains("\"micros\""));
+        // Text lines pass through (minus the trailing newline).
+        assert_eq!(stable_response_projection("⊢NKA a = a\n"), "⊢NKA a = a");
     }
 
     #[test]

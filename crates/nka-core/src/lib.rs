@@ -50,6 +50,7 @@ pub mod proof;
 pub mod prover;
 pub mod render;
 pub mod semiring_nf;
+pub mod serve;
 pub mod theorems;
 
 pub use api::{ApiError, Query, QueryKind, Response, Session, SessionOptions, Verdict};

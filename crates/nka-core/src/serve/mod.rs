@@ -1,0 +1,33 @@
+//! Serve v2 — the concurrent socket front-end over the decision
+//! procedures, plus the observability layer behind `--stats`.
+//!
+//! Three submodules:
+//!
+//! * [`histogram`] — fixed log-bucketed, lock-free latency histograms
+//!   (the p50/p99/p999 primitive; no dependencies).
+//! * [`stats`] — per-op histogram registries, serve-layer counters, and
+//!   [`stats::StatsBlock`]: the one struct both the human-readable
+//!   `--stats` text and the machine-readable `--stats --json` object
+//!   are rendered from (CLI one-shot, batch, stdin serve, and socket
+//!   serve all share it).
+//! * [`server`] — the `nka serve --listen` socket server: TCP/Unix
+//!   listeners, a worker pool of warm [`Session`](crate::api::Session)s
+//!   pinned per connection, bounded per-connection windows for
+//!   backpressure, a server-wide overload cap with structured-error
+//!   shedding, and graceful drain on shutdown or arena-cap
+//!   (`--max-arena-nodes` → exit 3) with every already-read request
+//!   answered first.
+//!
+//! The wire protocol over a socket is byte-for-byte the JSONL protocol
+//! of `nka batch` / stdin `serve` ([`crate::api::wire`]) — a client
+//! cannot tell which transport answered it, and the loadgen harness
+//! (`nka-loadgen`) holds the server to that by diffing every socket
+//! verdict against a sequential in-process session.
+
+pub mod histogram;
+pub mod server;
+pub mod stats;
+
+pub use histogram::{fmt_ns, HistogramSnapshot, LatencyHistogram};
+pub use server::{ListenAddr, ServeConfig, Server, ServerHandle};
+pub use stats::{OpHistograms, OpSnapshots, ServeCounters, StatsBlock};

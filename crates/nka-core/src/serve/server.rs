@@ -1,0 +1,998 @@
+//! The concurrent socket server behind `nka serve --listen`.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  accept loop (per listener, TCP / Unix)        worker pool (N threads)
+//!  ───────────────────────────────────────       ───────────────────────
+//!  accept → assign connection to a worker   ┌──▶ worker 0: warm Session
+//!           (round-robin) and spawn a       │       pop job → decode →
+//!           reader thread                   │       run → encode → write
+//!                                           │       to the job's conn
+//!  reader (per connection)                  │
+//!  ──────────────────────                   │    worker 1: warm Session
+//!  read one line (byte-capped) ─────────────┘       …
+//!    └─ window.acquire()  ◀── backpressure: blocks (stops reading the
+//!       push onto the conn's worker queue       socket) while the
+//!                                               connection's in-flight
+//!                                               window is full
+//! ```
+//!
+//! Every connection is pinned to one worker, so responses come back in
+//! request order with no reorder buffer; concurrency comes from many
+//! connections spread across workers, each worker owning one warm
+//! [`Session`] over the shared persistent arena (expressions are
+//! hash-consed process-wide, so workers share interned terms).
+//!
+//! # Backpressure and overload
+//!
+//! * **Per-connection window** ([`ServeConfig::queue_depth`]): a reader
+//!   blocks acquiring a window slot before enqueuing the next request,
+//!   i.e. the server simply *stops reading that connection's socket*
+//!   when its queue is full — the kernel's TCP/UDS buffers fill and the
+//!   client's writes stall. Memory per connection is bounded by
+//!   `queue_depth` raw lines.
+//! * **Server-wide hard cap** ([`ServeConfig::max_pending`]): past it,
+//!   requests are answered *in order* with a structured
+//!   `{"verdict":"error","error":"overloaded: …"}` line instead of
+//!   being run — load is shed without breaking the one-line-in /
+//!   one-line-out contract.
+//! * **Per-line byte cap** ([`ServeConfig::max_line_bytes`]): an
+//!   oversized line is discarded as it streams in (never fully
+//!   buffered) and answered with a structured error.
+//!
+//! # Drain
+//!
+//! [`ServerHandle::begin_drain`] (used by the CLI's SIGTERM/SIGINT
+//! handler) or an exceeded [`ServeConfig::max_arena_nodes`] puts the
+//! server into drain: listeners stop accepting, readers stop reading,
+//! every request already read is answered and flushed, then workers
+//! exit and [`Server::join`] returns the exit code (`0` for a requested
+//! shutdown, `3` for the arena cap — the same supervisor contract as
+//! the stdin loop).
+//!
+//! A client that disconnects mid-response costs only its own
+//! connection: the write fails (Rust ignores `SIGPIPE`, so it surfaces
+//! as `EPIPE`), the connection is marked dead, its remaining queued
+//! requests are skipped, and every other connection keeps being served.
+
+use super::stats::{OpHistograms, ServeCounters, StatsBlock};
+use crate::api::json::Json;
+use crate::api::{wire, Session, SessionOptions};
+use nka_wfa::DeciderStats;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads / idle workers / accept loops re-check the
+/// drain flag.
+const POLL_TICK: Duration = Duration::from_millis(100);
+/// Accept-loop poll interval (listeners are non-blocking so they can
+/// observe drain).
+const ACCEPT_TICK: Duration = Duration::from_millis(20);
+
+/// Where the server listens. Parsed from `--listen`:
+/// `unix:/path/to.sock` for a Unix-domain socket, anything else
+/// (optionally prefixed `tcp:`) as a TCP `host:port`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// A TCP listener on `host:port` (port `0` picks a free port;
+    /// query it via [`Server::tcp_addrs`]).
+    Tcp(String),
+    /// A Unix-domain socket at the given path (any stale file is
+    /// replaced; the path is removed again on [`Server::join`]).
+    Unix(PathBuf),
+}
+
+impl ListenAddr {
+    /// Parses a `--listen` argument. Never fails: everything that is
+    /// not `unix:`-prefixed is a TCP address (bind reports bad ones).
+    #[must_use]
+    pub fn parse(arg: &str) -> ListenAddr {
+        if let Some(path) = arg.strip_prefix("unix:") {
+            ListenAddr::Unix(PathBuf::from(path))
+        } else if let Some(rest) = arg.strip_prefix("tcp:") {
+            ListenAddr::Tcp(rest.to_owned())
+        } else {
+            ListenAddr::Tcp(arg.to_owned())
+        }
+    }
+}
+
+/// Configuration of the socket server. `Default` gives the CLI
+/// defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Options for each worker's [`Session`] (budget, recycling, …).
+    pub session: SessionOptions,
+    /// Worker threads, each with one warm session. Defaults to the
+    /// machine's available parallelism, clamped to `1..=8`.
+    pub workers: usize,
+    /// Per-connection in-flight window: how many requests may be
+    /// queued/running per connection before the server stops reading
+    /// its socket (the backpressure bound).
+    pub queue_depth: usize,
+    /// Server-wide pending-request hard cap: past it, further requests
+    /// are answered with a structured `overloaded` error instead of
+    /// being run.
+    pub max_pending: usize,
+    /// Per-request-line byte hard cap; longer lines are answered with a
+    /// structured error without ever being buffered whole.
+    pub max_line_bytes: usize,
+    /// Exit-3 arena governance, as in the stdin loop: once the
+    /// process-wide resident expression arena exceeds this, the server
+    /// drains (answering everything already read) and
+    /// [`Server::join`] returns `3`.
+    pub max_arena_nodes: Option<usize>,
+    /// Respond in JSONL (`true`, the `--json` flag) or human text.
+    pub json: bool,
+    /// How long a response write to a stalled client may block before
+    /// the connection is declared dead. Bounds drain time under
+    /// pathological readers.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            session: SessionOptions::default(),
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2)
+                .clamp(1, 8),
+            queue_depth: 64,
+            max_pending: 1024,
+            max_line_bytes: 1 << 20,
+            max_arena_nodes: None,
+            json: false,
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Either kind of accepted stream, unified behind `Read`/`Write`.
+#[derive(Debug)]
+enum Socket {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Socket {
+    fn try_clone(&self) -> io::Result<Socket> {
+        match self {
+            Socket::Tcp(s) => s.try_clone().map(Socket::Tcp),
+            #[cfg(unix)]
+            Socket::Unix(s) => s.try_clone().map(Socket::Unix),
+        }
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Socket::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            Socket::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Socket::Tcp(s) => s.set_write_timeout(t),
+            #[cfg(unix)]
+            Socket::Unix(s) => s.set_write_timeout(t),
+        }
+    }
+}
+
+impl Read for Socket {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Socket::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Socket::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Socket {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Socket::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Socket::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Socket::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Socket::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The per-connection in-flight window (a small counting semaphore).
+#[derive(Debug, Default)]
+struct Window {
+    inflight: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Window {
+    /// Blocks until the window has room, then takes a slot. Progress is
+    /// guaranteed because workers release slots as they answer.
+    fn acquire(&self, depth: usize) {
+        let mut n = self.inflight.lock().unwrap();
+        while *n >= depth {
+            n = self.freed.wait_timeout(n, POLL_TICK).unwrap().0;
+        }
+        *n += 1;
+    }
+
+    fn release(&self) {
+        let mut n = self.inflight.lock().unwrap();
+        *n = n.saturating_sub(1);
+        drop(n);
+        self.freed.notify_one();
+    }
+}
+
+/// One accepted connection, shared between its reader thread and the
+/// worker that answers it.
+#[derive(Debug)]
+struct Conn {
+    window: Window,
+    out: Mutex<Socket>,
+    /// Set on the first failed response write (client went away):
+    /// remaining queued requests for this connection are skipped.
+    dead: AtomicBool,
+}
+
+impl Conn {
+    /// Writes one response line; on failure marks the connection dead.
+    fn write_line(&self, line: &str, shared: &Shared) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut out = self.out.lock().unwrap();
+        let mut payload = String::with_capacity(line.len() + 1);
+        payload.push_str(line);
+        payload.push('\n');
+        let result = out.write_all(payload.as_bytes()).and_then(|()| out.flush());
+        if result.is_err() {
+            // EPIPE / timeout: this client is gone or wedged. Only its
+            // own connection dies — the PR 1 stdout contract, per-socket.
+            self.dead.store(true, Ordering::Relaxed);
+            shared
+                .counters
+                .dropped_mid_response
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Why a request was shed instead of run.
+#[derive(Debug)]
+enum RejectReason {
+    Overloaded { pending: usize, cap: usize },
+    LineTooLong { cap: usize },
+}
+
+/// A unit of work for a worker.
+#[derive(Debug)]
+enum Job {
+    /// A request line to decode, run, and answer.
+    Run { conn: Arc<Conn>, line: String },
+    /// A request answered with a structured error without running.
+    Reject {
+        conn: Arc<Conn>,
+        reason: RejectReason,
+    },
+}
+
+/// A worker's inbound queue. Multiple readers push; one worker pops.
+#[derive(Debug, Default)]
+struct WorkerQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    nonempty: Condvar,
+}
+
+impl WorkerQueue {
+    fn push(&self, job: Job) {
+        self.jobs.lock().unwrap().push_back(job);
+        self.nonempty.notify_one();
+    }
+}
+
+/// Per-worker published accounting, read by stats snapshots.
+#[derive(Debug, Default, Clone)]
+struct WorkerPub {
+    stats: DeciderStats,
+    expr_nodes: u64,
+    expr_subterms: u64,
+    recycles: u64,
+    queries: u64,
+}
+
+/// Plain counters of the serve layer (see [`ServeCounters`]).
+#[derive(Debug, Default)]
+struct Counters {
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_line_bytes: AtomicU64,
+    wire_errors: AtomicU64,
+    dropped_mid_response: AtomicU64,
+}
+
+/// State shared by every thread of one server.
+#[derive(Debug)]
+struct Shared {
+    cfg: ServeConfig,
+    started: Instant,
+    draining: AtomicBool,
+    exit_code: AtomicU8,
+    drain_note: Mutex<Option<String>>,
+    pending_total: AtomicUsize,
+    readers_live: AtomicUsize,
+    next_worker: AtomicUsize,
+    queues: Vec<WorkerQueue>,
+    published: Vec<Mutex<WorkerPub>>,
+    hists: OpHistograms,
+    counters: Counters,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Enters drain mode (idempotent; the first caller's code and note
+    /// win). Listeners stop accepting, readers stop reading, queued
+    /// requests are still answered.
+    fn begin_drain(&self, exit_code: u8, note: &str) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.exit_code.store(exit_code, Ordering::SeqCst);
+        *self.drain_note.lock().unwrap() = Some(note.to_owned());
+        for queue in &self.queues {
+            queue.nonempty.notify_all();
+        }
+    }
+}
+
+/// The outcome of one capped line read.
+enum LineRead {
+    Line(String),
+    TooLong,
+    Timeout,
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, accumulating across read timeouts
+/// (`acc`/`discarding` persist between calls) and never buffering more
+/// than `cap` bytes of an oversized line.
+fn read_line_capped<R: BufRead>(
+    reader: &mut R,
+    acc: &mut Vec<u8>,
+    discarding: &mut bool,
+    cap: usize,
+) -> io::Result<LineRead> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(bytes) => bytes,
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                return Ok(LineRead::Timeout)
+            }
+            Err(err) => return Err(err),
+        };
+        if available.is_empty() {
+            // EOF. A final unterminated line still gets answered, like
+            // `BufRead::lines` in the stdin loop.
+            if !*discarding && !acc.is_empty() {
+                let line = String::from_utf8_lossy(acc).into_owned();
+                acc.clear();
+                return Ok(LineRead::Line(line));
+            }
+            return Ok(LineRead::Eof);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let was_discarding = *discarding;
+                if !was_discarding {
+                    acc.extend_from_slice(&available[..pos]);
+                }
+                reader.consume(pos + 1);
+                *discarding = false;
+                if was_discarding || acc.len() > cap {
+                    acc.clear();
+                    return Ok(LineRead::TooLong);
+                }
+                let line = String::from_utf8_lossy(acc).into_owned();
+                acc.clear();
+                return Ok(LineRead::Line(line));
+            }
+            None => {
+                let n = available.len();
+                if !*discarding {
+                    acc.extend_from_slice(available);
+                    if acc.len() > cap {
+                        acc.clear();
+                        *discarding = true;
+                    }
+                }
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// The per-connection reader: pulls byte-capped lines off the socket
+/// and enqueues them (through the backpressure window) onto the
+/// connection's worker.
+fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, sock: Socket, worker: usize) {
+    let _ = sock.set_read_timeout(Some(POLL_TICK));
+    let mut reader = BufReader::new(sock);
+    let mut acc = Vec::new();
+    let mut discarding = false;
+    loop {
+        if shared.draining() || conn.dead.load(Ordering::Relaxed) {
+            break;
+        }
+        let job = match read_line_capped(
+            &mut reader,
+            &mut acc,
+            &mut discarding,
+            shared.cfg.max_line_bytes,
+        ) {
+            Ok(LineRead::Timeout) => continue,
+            Ok(LineRead::Eof) | Err(_) => break,
+            Ok(LineRead::TooLong) => Job::Reject {
+                conn: Arc::clone(conn),
+                reason: RejectReason::LineTooLong {
+                    cap: shared.cfg.max_line_bytes,
+                },
+            },
+            Ok(LineRead::Line(line)) => Job::Run {
+                conn: Arc::clone(conn),
+                line,
+            },
+        };
+        // Backpressure: block (i.e. stop reading this socket) until the
+        // connection's in-flight window has room. Workers keep
+        // answering, so this always makes progress — including during
+        // drain, where the line just read is still owed an answer.
+        conn.window.acquire(shared.cfg.queue_depth);
+        let pending = shared.pending_total.fetch_add(1, Ordering::SeqCst) + 1;
+        let job = match job {
+            // Past the server-wide hard cap the request is shed — but
+            // in order, through the same queue, so the one-response-
+            // per-request contract survives overload.
+            Job::Run { conn, .. } if pending > shared.cfg.max_pending => Job::Reject {
+                conn,
+                reason: RejectReason::Overloaded {
+                    pending,
+                    cap: shared.cfg.max_pending,
+                },
+            },
+            job => job,
+        };
+        shared.queues[worker].push(job);
+    }
+}
+
+/// Renders a shed request's structured error line.
+fn reject_line(reason: &RejectReason, json: bool) -> String {
+    let msg = match reason {
+        RejectReason::Overloaded { pending, cap } => {
+            format!("overloaded: {pending} requests pending exceeds the server cap of {cap}; retry later")
+        }
+        RejectReason::LineTooLong { cap } => {
+            format!("request line exceeds the {cap}-byte cap")
+        }
+    };
+    if json {
+        Json::Obj(vec![
+            ("verdict".to_owned(), Json::Str("error".to_owned())),
+            ("error".to_owned(), Json::Str(msg)),
+        ])
+        .to_string()
+    } else {
+        format!("error: {msg}")
+    }
+}
+
+/// One worker: a warm [`Session`] answering its queue until drain
+/// completes (drain + empty queue + no readers left anywhere).
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    let mut session = Session::with_options(shared.cfg.session.clone());
+    loop {
+        let job = {
+            let queue = &shared.queues[index];
+            let mut jobs = queue.jobs.lock().unwrap();
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
+                }
+                if shared.draining() && shared.readers_live.load(Ordering::SeqCst) == 0 {
+                    break None;
+                }
+                jobs = queue.nonempty.wait_timeout(jobs, POLL_TICK).unwrap().0;
+            }
+        };
+        let Some(job) = job else { break };
+        match job {
+            Job::Run { conn, line } => {
+                handle_request(shared, &mut session, index, &conn, &line);
+                shared.pending_total.fetch_sub(1, Ordering::SeqCst);
+                conn.window.release();
+            }
+            Job::Reject { conn, reason } => {
+                let counter = match reason {
+                    RejectReason::Overloaded { .. } => &shared.counters.rejected_overload,
+                    RejectReason::LineTooLong { .. } => &shared.counters.rejected_line_bytes,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                conn.write_line(&reject_line(&reason, shared.cfg.json), shared);
+                shared.pending_total.fetch_sub(1, Ordering::SeqCst);
+                conn.window.release();
+            }
+        }
+        // Exit-3 governance, checked between requests like the stdin
+        // loop: entering drain still answers everything already read.
+        if let Some(cap) = shared.cfg.max_arena_nodes {
+            let resident = nka_syntax::arena_resident_nodes();
+            if resident > cap {
+                shared.begin_drain(
+                    3,
+                    &format!(
+                        "arena cap exceeded: {resident} resident expression nodes > \
+                         --max-arena-nodes {cap}; draining for worker recycling"
+                    ),
+                );
+            }
+        }
+    }
+    publish_worker(shared, index, &session);
+}
+
+/// Decodes, runs, answers, and accounts one request line.
+fn handle_request(
+    shared: &Arc<Shared>,
+    session: &mut Session,
+    index: usize,
+    conn: &Arc<Conn>,
+    line: &str,
+) {
+    let start = Instant::now();
+    match wire::decode_request(line) {
+        Ok(None) => {} // blank / comment: consumed, no response owed
+        Ok(Some(query)) => {
+            let resp = session.run(&query);
+            let rendered = if shared.cfg.json {
+                wire::encode_response(&query, &resp)
+            } else {
+                wire::encode_response_text(&query, &resp)
+            };
+            // Service time = decode + run + encode; the write is the
+            // client's pace, not the server's.
+            shared.hists.record(query.kind(), start.elapsed());
+            conn.write_line(&rendered, shared);
+            publish_worker(shared, index, session);
+        }
+        Err(err) => {
+            shared.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+            let rendered = if shared.cfg.json {
+                wire::encode_error(&err)
+            } else {
+                format!("error: {err}")
+            };
+            conn.write_line(&rendered, shared);
+        }
+    }
+}
+
+/// Publishes a worker's cumulative session accounting for snapshots.
+fn publish_worker(shared: &Shared, index: usize, session: &Session) {
+    let mut slot = shared.published[index].lock().unwrap();
+    slot.stats = session.stats();
+    slot.expr_nodes = session.expr_nodes_seen();
+    slot.expr_subterms = session.expr_subterms_seen();
+    slot.recycles = session.engine_recycles();
+    slot.queries = session.queries_run();
+}
+
+/// The accept loop of one TCP listener.
+fn accept_tcp(shared: &Arc<Shared>, listener: &TcpListener) {
+    listener
+        .set_nonblocking(true)
+        .expect("listener nonblocking");
+    loop {
+        if shared.draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                start_connection(shared, Socket::Tcp(stream));
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_TICK),
+        }
+    }
+}
+
+/// The accept loop of one Unix-domain listener.
+#[cfg(unix)]
+fn accept_unix(shared: &Arc<Shared>, listener: &UnixListener) {
+    listener
+        .set_nonblocking(true)
+        .expect("listener nonblocking");
+    loop {
+        if shared.draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => start_connection(shared, Socket::Unix(stream)),
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_TICK),
+        }
+    }
+}
+
+/// Registers an accepted stream: assigns it a worker, splits it into a
+/// reader half and a shared writer half, and spawns the reader thread.
+fn start_connection(shared: &Arc<Shared>, sock: Socket) {
+    let Ok(read_half) = sock.try_clone() else {
+        return; // the fd went away between accept and clone
+    };
+    let _ = sock.set_write_timeout(shared.cfg.write_timeout);
+    shared
+        .counters
+        .connections_opened
+        .fetch_add(1, Ordering::Relaxed);
+    let worker = shared.next_worker.fetch_add(1, Ordering::Relaxed) % shared.queues.len();
+    let conn = Arc::new(Conn {
+        window: Window::default(),
+        out: Mutex::new(sock),
+        dead: AtomicBool::new(false),
+    });
+    // Count the reader *before* spawning so drain can't conclude "no
+    // readers" between accept and thread start.
+    shared.readers_live.fetch_add(1, Ordering::SeqCst);
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        reader_loop(&shared, &conn, read_half, worker);
+        shared
+            .counters
+            .connections_closed
+            .fetch_add(1, Ordering::Relaxed);
+        shared.readers_live.fetch_sub(1, Ordering::SeqCst);
+        // Idle workers blocked on their queues must re-check the exit
+        // condition once the last reader leaves.
+        for queue in &shared.queues {
+            queue.nonempty.notify_all();
+        }
+    });
+}
+
+/// A cloneable handle onto a running [`Server`]: stats snapshots and
+/// drain control, usable from other threads while `join` blocks.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Whether drain has begun.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Starts a graceful drain: stop accepting and reading, answer
+    /// everything already read, then exit with `exit_code`.
+    pub fn begin_drain(&self, exit_code: u8, note: &str) {
+        self.shared.begin_drain(exit_code, note);
+    }
+
+    /// The drain note, if drain has begun (e.g. the arena-cap message).
+    #[must_use]
+    pub fn drain_note(&self) -> Option<String> {
+        self.shared.drain_note.lock().unwrap().clone()
+    }
+
+    /// Requests queued or running right now.
+    #[must_use]
+    pub fn pending_now(&self) -> usize {
+        self.shared.pending_total.load(Ordering::SeqCst)
+    }
+
+    /// A full stats snapshot ([`StatsBlock`]) aggregating every worker.
+    #[must_use]
+    pub fn stats_block(&self) -> StatsBlock {
+        let shared = &self.shared;
+        let mut engine = DeciderStats::default();
+        let mut expr_nodes = 0;
+        let mut expr_subterms = 0;
+        let mut recycles = 0;
+        let mut worker_recycles = Vec::with_capacity(shared.published.len());
+        let mut worker_queries = Vec::with_capacity(shared.published.len());
+        for slot in &shared.published {
+            let w = slot.lock().unwrap().clone();
+            engine = engine.merged(&w.stats);
+            expr_nodes += w.expr_nodes;
+            expr_subterms += w.expr_subterms;
+            recycles += w.recycles;
+            worker_recycles.push(w.recycles);
+            worker_queries.push(w.queries);
+        }
+        let c = &shared.counters;
+        StatsBlock {
+            engine,
+            expr_nodes,
+            expr_subterms,
+            engine_recycles: recycles,
+            queries: shared.hists.total(),
+            elapsed: shared.started.elapsed(),
+            ops: shared.hists.snapshot(),
+            serve: Some(ServeCounters {
+                connections_opened: c.connections_opened.load(Ordering::Relaxed),
+                connections_closed: c.connections_closed.load(Ordering::Relaxed),
+                rejected_overload: c.rejected_overload.load(Ordering::Relaxed),
+                rejected_line_bytes: c.rejected_line_bytes.load(Ordering::Relaxed),
+                wire_errors: c.wire_errors.load(Ordering::Relaxed),
+                dropped_mid_response: c.dropped_mid_response.load(Ordering::Relaxed),
+                pending_now: shared.pending_total.load(Ordering::SeqCst) as u64,
+                worker_recycles,
+                worker_queries,
+            }),
+        }
+    }
+}
+
+/// A running socket server. Construct with [`Server::bind`], control
+/// through [`Server::handle`], block on [`Server::join`].
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_threads: Vec<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    tcp_addrs: Vec<SocketAddr>,
+    unix_paths: Vec<PathBuf>,
+}
+
+impl Server {
+    /// Binds every listener, spawns the worker pool, and starts
+    /// accepting.
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure (bad address, permission, …); nothing keeps
+    /// running on error.
+    pub fn bind(cfg: ServeConfig, addrs: &[ListenAddr]) -> io::Result<Server> {
+        assert!(cfg.workers > 0, "a server needs at least one worker");
+        assert!(
+            cfg.queue_depth > 0,
+            "a zero queue depth would deadlock every reader"
+        );
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no listen addresses",
+            ));
+        }
+        let shared = Arc::new(Shared {
+            started: Instant::now(),
+            draining: AtomicBool::new(false),
+            exit_code: AtomicU8::new(0),
+            drain_note: Mutex::new(None),
+            pending_total: AtomicUsize::new(0),
+            readers_live: AtomicUsize::new(0),
+            next_worker: AtomicUsize::new(0),
+            queues: (0..cfg.workers).map(|_| WorkerQueue::default()).collect(),
+            published: (0..cfg.workers)
+                .map(|_| Mutex::new(WorkerPub::default()))
+                .collect(),
+            hists: OpHistograms::new(),
+            counters: Counters::default(),
+            cfg,
+        });
+
+        let mut tcp_addrs = Vec::new();
+        let mut unix_paths = Vec::new();
+        let mut accept_threads = Vec::new();
+        for addr in addrs {
+            match addr {
+                ListenAddr::Tcp(spec) => {
+                    let listener = TcpListener::bind(spec.as_str())?;
+                    tcp_addrs.push(listener.local_addr()?);
+                    let shared = Arc::clone(&shared);
+                    accept_threads.push(std::thread::spawn(move || accept_tcp(&shared, &listener)));
+                }
+                #[cfg(unix)]
+                ListenAddr::Unix(path) => {
+                    // Replace a stale socket file from a previous run;
+                    // a live server would have to be stopped first
+                    // anyway (the supervisor contract).
+                    let _ = std::fs::remove_file(path);
+                    let listener = UnixListener::bind(path)?;
+                    unix_paths.push(path.clone());
+                    let shared = Arc::clone(&shared);
+                    accept_threads
+                        .push(std::thread::spawn(move || accept_unix(&shared, &listener)));
+                }
+                #[cfg(not(unix))]
+                ListenAddr::Unix(path) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        format!(
+                            "unix sockets unsupported on this platform: {}",
+                            path.display()
+                        ),
+                    ));
+                }
+            }
+        }
+
+        let worker_threads = (0..shared.cfg.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, index))
+            })
+            .collect();
+
+        Ok(Server {
+            shared,
+            accept_threads,
+            worker_threads,
+            tcp_addrs,
+            unix_paths,
+        })
+    }
+
+    /// The bound TCP addresses (with real ports for `:0` binds), in
+    /// `--listen` order.
+    #[must_use]
+    pub fn tcp_addrs(&self) -> &[SocketAddr] {
+        &self.tcp_addrs
+    }
+
+    /// A cloneable control/observability handle.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Blocks until the server has fully drained (someone must call
+    /// [`ServerHandle::begin_drain`], or the arena cap must trip), then
+    /// returns the exit code: `0` for a requested shutdown, `3` for
+    /// `--max-arena-nodes`.
+    #[must_use]
+    pub fn join(self) -> u8 {
+        for handle in self.accept_threads {
+            let _ = handle.join();
+        }
+        for handle in self.worker_threads {
+            let _ = handle.join();
+        }
+        for path in &self.unix_paths {
+            let _ = std::fs::remove_file(path);
+        }
+        self.shared.exit_code.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn connect(server: &Server) -> (BufReader<TcpStream>, TcpStream) {
+        let addr = server.tcp_addrs()[0];
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        (BufReader::new(stream.try_clone().expect("clone")), stream)
+    }
+
+    #[test]
+    fn answers_requests_and_drains_cleanly() {
+        let server = Server::bind(
+            ServeConfig {
+                workers: 2,
+                json: true,
+                ..ServeConfig::default()
+            },
+            &[ListenAddr::Tcp("127.0.0.1:0".to_owned())],
+        )
+        .expect("bind");
+        let handle = server.handle();
+        let (mut reader, mut writer) = connect(&server);
+        writer
+            .write_all(
+                b"{\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\np + p = p\n",
+            )
+            .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"verdict\":\"holds\""), "{line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"verdict\":\"refuted\""), "{line}");
+        drop((reader, writer));
+        handle.begin_drain(0, "test over");
+        assert_eq!(server.join(), 0);
+        let block = handle.stats_block();
+        assert_eq!(block.queries, 2);
+        assert!(block.serve.as_ref().unwrap().connections_opened >= 1);
+    }
+
+    #[test]
+    fn oversized_lines_get_structured_errors_without_buffering() {
+        let server = Server::bind(
+            ServeConfig {
+                workers: 1,
+                json: true,
+                max_line_bytes: 64,
+                ..ServeConfig::default()
+            },
+            &[ListenAddr::Tcp("127.0.0.1:0".to_owned())],
+        )
+        .expect("bind");
+        let handle = server.handle();
+        let (mut reader, mut writer) = connect(&server);
+        let huge = format!("{}\n", "x".repeat(4096));
+        writer.write_all(huge.as_bytes()).unwrap();
+        writer.write_all(b"p = p\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("\"error\"") && line.contains("64-byte cap"),
+            "{line}"
+        );
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"verdict\":\"holds\""), "{line}");
+        handle.begin_drain(0, "done");
+        assert_eq!(server.join(), 0);
+        assert_eq!(handle.stats_block().serve.unwrap().rejected_line_bytes, 1);
+    }
+
+    #[test]
+    fn listen_addr_parsing() {
+        assert_eq!(
+            ListenAddr::parse("unix:/tmp/x.sock"),
+            ListenAddr::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert_eq!(
+            ListenAddr::parse("tcp:0.0.0.0:80"),
+            ListenAddr::Tcp("0.0.0.0:80".to_owned())
+        );
+        assert_eq!(
+            ListenAddr::parse("127.0.0.1:7411"),
+            ListenAddr::Tcp("127.0.0.1:7411".to_owned())
+        );
+    }
+}

@@ -1,0 +1,497 @@
+//! The serve-v2 observability layer: per-op latency histograms, stream
+//! counters, and the human/JSON renderings behind `nka --stats` and
+//! `--stats --json`.
+//!
+//! Two layers:
+//!
+//! * [`OpHistograms`] — one [`LatencyHistogram`] per wire op
+//!   (`nka_eq`, …, `hoare`). Shared by every `--stats` surface: the
+//!   one-shot CLI, `batch` (sequential and `--jobs N`), the stdin
+//!   `serve` loop, and every worker of the socket server.
+//! * [`StatsBlock`] — the full `--stats` report: engine counters
+//!   ([`DeciderStats`], including the tiered-equivalence
+//!   `starfree_hits`/`prefix_hits`/`fastpath_fallbacks`), term-size
+//!   accounting, process-arena figures, throughput, the per-op
+//!   histograms, and (for the socket server) the [`ServeCounters`]
+//!   section. `render_human` produces the free-text lines `--stats` has
+//!   always printed (now plus latency lines); `to_json` produces the
+//!   single machine-readable object `--stats --json` emits instead.
+
+use super::histogram::{fmt_ns, HistogramSnapshot, LatencyHistogram};
+use crate::api::json::Json;
+use crate::api::QueryKind;
+use nka_wfa::DeciderStats;
+use std::time::Duration;
+
+/// Every wire op, in the order stats are reported.
+pub const OPS: [QueryKind; 6] = [
+    QueryKind::NkaEq,
+    QueryKind::KaEq,
+    QueryKind::Series,
+    QueryKind::Prove,
+    QueryKind::ProgEq,
+    QueryKind::Hoare,
+];
+
+fn op_index(kind: QueryKind) -> usize {
+    match kind {
+        QueryKind::NkaEq => 0,
+        QueryKind::KaEq => 1,
+        QueryKind::Series => 2,
+        QueryKind::Prove => 3,
+        QueryKind::ProgEq => 4,
+        QueryKind::Hoare => 5,
+    }
+}
+
+/// One latency histogram per wire op. Recording is lock-free; see
+/// [`LatencyHistogram`].
+#[derive(Debug, Default)]
+pub struct OpHistograms {
+    per_op: [LatencyHistogram; OPS.len()],
+}
+
+impl OpHistograms {
+    /// An empty set of per-op histograms.
+    #[must_use]
+    pub fn new() -> OpHistograms {
+        OpHistograms::default()
+    }
+
+    /// Records one answered query of kind `kind` that took `elapsed`.
+    pub fn record(&self, kind: QueryKind, elapsed: Duration) {
+        self.per_op[op_index(kind)].record(elapsed);
+    }
+
+    /// Total queries recorded across all ops.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.per_op.iter().map(LatencyHistogram::count).sum()
+    }
+
+    /// Snapshots every op's histogram, in [`OPS`] order.
+    #[must_use]
+    pub fn snapshot(&self) -> OpSnapshots {
+        OpSnapshots {
+            per_op: OPS.map(|kind| self.per_op[op_index(kind)].snapshot()),
+        }
+    }
+}
+
+/// A point-in-time copy of an [`OpHistograms`].
+#[derive(Debug, Clone)]
+pub struct OpSnapshots {
+    per_op: [HistogramSnapshot; OPS.len()],
+}
+
+impl OpSnapshots {
+    /// An all-empty snapshot set.
+    #[must_use]
+    pub fn empty() -> OpSnapshots {
+        OpSnapshots {
+            per_op: std::array::from_fn(|_| HistogramSnapshot::empty()),
+        }
+    }
+
+    /// The snapshot for one op.
+    #[must_use]
+    pub fn op(&self, kind: QueryKind) -> &HistogramSnapshot {
+        &self.per_op[op_index(kind)]
+    }
+
+    /// Total queries across all ops.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.per_op.iter().map(HistogramSnapshot::count).sum()
+    }
+
+    /// Merges another snapshot set in (per-op), for aggregating workers.
+    pub fn merge(&mut self, other: &OpSnapshots) {
+        for (a, b) in self.per_op.iter_mut().zip(&other.per_op) {
+            a.merge(b);
+        }
+    }
+}
+
+/// Socket-server counters, present in the stats report only when the
+/// query stream came over `serve --listen`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Connections accepted over the server's life.
+    pub connections_opened: u64,
+    /// Connections fully closed (reader gone, queue drained).
+    pub connections_closed: u64,
+    /// Requests answered with a structured `overloaded` error because
+    /// the server-wide pending hard cap was exceeded.
+    pub rejected_overload: u64,
+    /// Requests answered with a structured error because one line
+    /// exceeded the per-line byte hard cap.
+    pub rejected_line_bytes: u64,
+    /// Malformed request lines answered with structured errors.
+    pub wire_errors: u64,
+    /// Connections dropped mid-response (client went away; EPIPE et
+    /// al.). Each costs only its own connection, never the process.
+    pub dropped_mid_response: u64,
+    /// Requests currently queued or running (point-in-time).
+    pub pending_now: u64,
+    /// Engine recycles per worker (`--max-queries-per-worker`), indexed
+    /// by worker id.
+    pub worker_recycles: Vec<u64>,
+    /// Queries answered per worker, indexed by worker id.
+    pub worker_queries: Vec<u64>,
+}
+
+/// Everything one `--stats` report contains. Build it, then call
+/// [`StatsBlock::render_human`] or [`StatsBlock::to_json`].
+#[derive(Debug, Clone)]
+pub struct StatsBlock {
+    /// Cumulative engine counters for the stream.
+    pub engine: DeciderStats,
+    /// Total tree nodes across queried expressions.
+    pub expr_nodes: u64,
+    /// Distinct interned subterms across queried expressions.
+    pub expr_subterms: u64,
+    /// Engine recycles across the stream's sessions.
+    pub engine_recycles: u64,
+    /// Queries answered (histogram total; includes every op).
+    pub queries: u64,
+    /// Wall-clock covered by the report.
+    pub elapsed: Duration,
+    /// Per-op latency snapshots.
+    pub ops: OpSnapshots,
+    /// Socket-server section, if the stream was served over sockets.
+    pub serve: Option<ServeCounters>,
+}
+
+impl StatsBlock {
+    /// Queries per second over the report's wall-clock window.
+    #[must_use]
+    pub fn qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / secs
+        }
+    }
+
+    /// The free-text multi-line rendering (the default `--stats`
+    /// surface, printed to stderr). Keeps the historical line shapes —
+    /// `engine stats:`, `fast-path stats:`, `expr stats:`,
+    /// `arena stats:` — and adds `latency stats:` + per-op lines and,
+    /// when serving sockets, a `serve stats:` line.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let s = &self.engine;
+        let mut out = format!(
+            "engine stats: {} NKA + {} KA queries, {} verdict hits, {} compiles ({} cached), {} determinizations ({} cached)\n",
+            s.nka_queries,
+            s.ka_queries,
+            s.answer_hits,
+            s.compile_misses,
+            s.compile_hits,
+            s.dfa_misses,
+            s.dfa_hits,
+        );
+        out.push_str(&format!(
+            "fast-path stats: {} star-free hits + {} prefix hits, {} fallbacks to generic\n",
+            s.starfree_hits, s.prefix_hits, s.fastpath_fallbacks,
+        ));
+        out.push_str(&format!(
+            "expr stats: {} tree nodes over {} distinct subterms queried; {} expressions interned process-wide\n",
+            self.expr_nodes,
+            self.expr_subterms,
+            nka_syntax::interned_expr_count(),
+        ));
+        out.push_str(&format!(
+            "arena stats: {} resident nodes ({} persistent + {} live scratch), {} scratch retired over {} scopes, {} engine recycles\n",
+            nka_syntax::arena_resident_nodes(),
+            nka_syntax::interned_expr_count(),
+            nka_syntax::scratch_live_nodes(),
+            nka_syntax::scratch_retired_total(),
+            nka_syntax::scratch_epoch(),
+            self.engine_recycles,
+        ));
+        out.push_str(&format!(
+            "latency stats: {} queries in {:.2}s ({:.1} q/s)\n",
+            self.queries,
+            self.elapsed.as_secs_f64(),
+            self.qps(),
+        ));
+        for kind in OPS {
+            let h = self.ops.op(kind);
+            if h.count() == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {}: n={} p50={} p99={} p999={} mean={}\n",
+                kind.op(),
+                h.count(),
+                fmt_ns(h.quantile(0.50)),
+                fmt_ns(h.quantile(0.99)),
+                fmt_ns(h.quantile(0.999)),
+                fmt_ns(h.mean_ns()),
+            ));
+        }
+        if let Some(serve) = &self.serve {
+            out.push_str(&format!(
+                "serve stats: {} connections ({} closed), {} pending now, {} overload-rejected, {} oversize-rejected, {} wire errors, {} dropped mid-response\n",
+                serve.connections_opened,
+                serve.connections_closed,
+                serve.pending_now,
+                serve.rejected_overload,
+                serve.rejected_line_bytes,
+                serve.wire_errors,
+                serve.dropped_mid_response,
+            ));
+            let recycles: Vec<String> = serve
+                .worker_queries
+                .iter()
+                .zip(&serve.worker_recycles)
+                .enumerate()
+                .map(|(w, (q, r))| format!("w{w}:{q}q/{r}r"))
+                .collect();
+            out.push_str(&format!(
+                "worker stats: {} workers [{}] (queries/recycles)\n",
+                serve.worker_queries.len(),
+                recycles.join(" "),
+            ));
+        }
+        out
+    }
+
+    /// The machine-readable rendering: one JSON object (`--stats
+    /// --json` emits it as a single line on stderr). Field names are
+    /// part of the wire contract and covered by a parse test:
+    /// `engine.*` (the [`DeciderStats`] counters, including
+    /// `starfree_hits`/`prefix_hits`/`fastpath_fallbacks`), `expr.*`,
+    /// `arena.*`, `queries`/`elapsed_micros`/`qps`, `ops.<op>` with
+    /// `count`/`mean_ns`/`p50_ns`/`p99_ns`/`p999_ns` and log-bucketed
+    /// `buckets: [[lower_ns, count], …]`, and `serve.*` when serving
+    /// sockets.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let int = |n: u64| Json::Int(i64::try_from(n).unwrap_or(i64::MAX));
+        let mut fields = vec![
+            ("queries".to_owned(), int(self.queries)),
+            (
+                "elapsed_micros".to_owned(),
+                int(u64::try_from(self.elapsed.as_micros()).unwrap_or(u64::MAX)),
+            ),
+            (
+                "qps".to_owned(),
+                Json::Int((self.qps().round() as i64).max(0)),
+            ),
+            ("engine".to_owned(), decider_stats_json(&self.engine)),
+            (
+                "expr".to_owned(),
+                Json::Obj(vec![
+                    ("nodes".to_owned(), int(self.expr_nodes)),
+                    ("subterms".to_owned(), int(self.expr_subterms)),
+                    (
+                        "interned".to_owned(),
+                        int(nka_syntax::interned_expr_count() as u64),
+                    ),
+                ]),
+            ),
+            ("arena".to_owned(), arena_stats_json(self.engine_recycles)),
+        ];
+        let mut ops = Vec::new();
+        for kind in OPS {
+            let h = self.ops.op(kind);
+            if h.count() == 0 {
+                continue;
+            }
+            let buckets = h
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(lower, n)| Json::Arr(vec![int(lower), int(n)]))
+                .collect();
+            ops.push((
+                kind.op().to_owned(),
+                Json::Obj(vec![
+                    ("count".to_owned(), int(h.count())),
+                    ("mean_ns".to_owned(), int(h.mean_ns())),
+                    ("p50_ns".to_owned(), int(h.quantile(0.50))),
+                    ("p99_ns".to_owned(), int(h.quantile(0.99))),
+                    ("p999_ns".to_owned(), int(h.quantile(0.999))),
+                    ("buckets".to_owned(), Json::Arr(buckets)),
+                ]),
+            ));
+        }
+        fields.push(("ops".to_owned(), Json::Obj(ops)));
+        if let Some(serve) = &self.serve {
+            fields.push((
+                "serve".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "connections_opened".to_owned(),
+                        int(serve.connections_opened),
+                    ),
+                    (
+                        "connections_closed".to_owned(),
+                        int(serve.connections_closed),
+                    ),
+                    ("pending_now".to_owned(), int(serve.pending_now)),
+                    ("rejected_overload".to_owned(), int(serve.rejected_overload)),
+                    (
+                        "rejected_line_bytes".to_owned(),
+                        int(serve.rejected_line_bytes),
+                    ),
+                    ("wire_errors".to_owned(), int(serve.wire_errors)),
+                    (
+                        "dropped_mid_response".to_owned(),
+                        int(serve.dropped_mid_response),
+                    ),
+                    (
+                        "worker_recycles".to_owned(),
+                        Json::Arr(serve.worker_recycles.iter().map(|&n| int(n)).collect()),
+                    ),
+                    (
+                        "worker_queries".to_owned(),
+                        Json::Arr(serve.worker_queries.iter().map(|&n| int(n)).collect()),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// The [`DeciderStats`] counters as a JSON object — shared between the
+/// per-response `stats` field of the wire format and the `--stats
+/// --json` report.
+#[must_use]
+pub fn decider_stats_json(stats: &DeciderStats) -> Json {
+    let int = |n: u64| Json::Int(i64::try_from(n).unwrap_or(i64::MAX));
+    Json::Obj(vec![
+        ("nka_queries".to_owned(), int(stats.nka_queries)),
+        ("ka_queries".to_owned(), int(stats.ka_queries)),
+        ("answer_hits".to_owned(), int(stats.answer_hits)),
+        ("compile_hits".to_owned(), int(stats.compile_hits)),
+        ("compile_misses".to_owned(), int(stats.compile_misses)),
+        ("dfa_hits".to_owned(), int(stats.dfa_hits)),
+        ("dfa_misses".to_owned(), int(stats.dfa_misses)),
+        ("starfree_hits".to_owned(), int(stats.starfree_hits)),
+        ("prefix_hits".to_owned(), int(stats.prefix_hits)),
+        (
+            "fastpath_fallbacks".to_owned(),
+            int(stats.fastpath_fallbacks),
+        ),
+    ])
+}
+
+/// The process-arena lifecycle figures as a JSON object (the JSON form
+/// of the `arena stats:` line).
+#[must_use]
+pub fn arena_stats_json(engine_recycles: u64) -> Json {
+    let int = |n: u64| Json::Int(i64::try_from(n).unwrap_or(i64::MAX));
+    Json::Obj(vec![
+        (
+            "resident_nodes".to_owned(),
+            int(nka_syntax::arena_resident_nodes() as u64),
+        ),
+        (
+            "persistent_nodes".to_owned(),
+            int(nka_syntax::interned_expr_count() as u64),
+        ),
+        (
+            "scratch_live".to_owned(),
+            int(nka_syntax::scratch_live_nodes() as u64),
+        ),
+        (
+            "scratch_retired".to_owned(),
+            int(nka_syntax::scratch_retired_total()),
+        ),
+        (
+            "scratch_epochs".to_owned(),
+            int(nka_syntax::scratch_epoch()),
+        ),
+        ("engine_recycles".to_owned(), int(engine_recycles)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block(serve: Option<ServeCounters>) -> StatsBlock {
+        let hists = OpHistograms::new();
+        hists.record(QueryKind::NkaEq, Duration::from_micros(3));
+        hists.record(QueryKind::NkaEq, Duration::from_micros(5));
+        hists.record(QueryKind::ProgEq, Duration::from_millis(2));
+        StatsBlock {
+            engine: DeciderStats {
+                nka_queries: 3,
+                starfree_hits: 1,
+                ..DeciderStats::default()
+            },
+            expr_nodes: 10,
+            expr_subterms: 7,
+            engine_recycles: 2,
+            queries: hists.total(),
+            elapsed: Duration::from_secs(1),
+            ops: hists.snapshot(),
+            serve,
+        }
+    }
+
+    #[test]
+    fn human_rendering_keeps_the_historical_lines_and_adds_latency() {
+        let text = sample_block(None).render_human();
+        for needle in [
+            "engine stats: 3 NKA",
+            "fast-path stats: 1 star-free hits",
+            "expr stats: 10 tree nodes over 7 distinct subterms",
+            "arena stats:",
+            "latency stats: 3 queries",
+            "  nka_eq: n=2 p50=",
+            "  prog_eq: n=1 p50=",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(!text.contains("serve stats:"), "no serve section expected");
+    }
+
+    #[test]
+    fn json_rendering_parses_and_carries_the_contract_fields() {
+        let serve = ServeCounters {
+            connections_opened: 4,
+            worker_recycles: vec![1, 0],
+            worker_queries: vec![2, 1],
+            ..ServeCounters::default()
+        };
+        let line = sample_block(Some(serve)).to_json().to_string();
+        let value = Json::parse(&line).expect("stats JSON parses");
+        let engine = value.get("engine").expect("engine section");
+        assert_eq!(engine.get("starfree_hits").and_then(Json::as_i64), Some(1));
+        assert!(engine.get("prefix_hits").is_some());
+        assert!(engine.get("fastpath_fallbacks").is_some());
+        let arena = value.get("arena").expect("arena section");
+        assert!(arena.get("resident_nodes").and_then(Json::as_i64).is_some());
+        let ops = value.get("ops").expect("ops section");
+        let nka = ops.get("nka_eq").expect("nka_eq histogram");
+        assert_eq!(nka.get("count").and_then(Json::as_i64), Some(2));
+        assert!(nka.get("p999_ns").and_then(Json::as_i64).is_some());
+        let buckets = nka.get("buckets").and_then(Json::as_array).unwrap();
+        assert!(!buckets.is_empty(), "histogram buckets present");
+        let serve = value.get("serve").expect("serve section");
+        assert_eq!(
+            serve.get("connections_opened").and_then(Json::as_i64),
+            Some(4)
+        );
+        assert_eq!(
+            serve
+                .get("worker_recycles")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn qps_is_queries_over_elapsed() {
+        let block = sample_block(None);
+        assert!((block.qps() - 3.0).abs() < 1e-9);
+    }
+}

@@ -34,14 +34,24 @@
 //!     [--max-arena-nodes N] serve
 //!                                      line-oriented request/response
 //!                                      loop on stdin/stdout
+//! nka … serve --listen <addr> [--listen <addr>…] [--workers N]
+//!     [--queue-depth N] [--max-pending N] [--stats-interval SECS]
+//!                                      concurrent socket server (Serve
+//!                                      v2): TCP ('host:port') and Unix
+//!                                      ('unix:/path') listeners over a
+//!                                      worker pool of warm sessions —
+//!                                      see [`nka_core::serve`]
 //! nka encode-demo                      encode a sample quantum program
 //! ```
 //!
 //! `--budget N` caps every subset construction at `N` DFA states
 //! (default 100 000) and `--stats` prints the engine's cache counters,
-//! per-stream expression-size accounting, and the arena lifecycle
-//! footprint (persistent vs scratch nodes, reclamation totals) to
-//! stderr at exit. `--jobs N` (batch only) shards the stream across `N`
+//! per-stream expression-size accounting, the arena lifecycle footprint
+//! (persistent vs scratch nodes, reclamation totals), and per-op
+//! latency histograms (p50/p99/p999 + queries/sec) to stderr at exit;
+//! with `--json` the report is one machine-readable JSON object instead
+//! (same counters, plus the raw log-spaced histogram buckets — see
+//! [`nka_core::serve::stats::StatsBlock`]). `--jobs N` (batch only) shards the stream across `N`
 //! parallel worker sessions ([`run_batch_parallel_traced`]); verdicts, output
 //! order, and exit codes are identical to `--jobs 1`. The parallel path
 //! reads and answers the stream in bounded chunks, so it works on live
@@ -55,9 +65,13 @@
 //! process-wide resident arena exceeds `M` nodes — the supervisor
 //! restart is the only way to shed *persistent* arena growth, and the
 //! exit is the defense-in-depth backstop behind the scoped reclamation
-//! the prover already does per query.
+//! the prover already does per query. The socket server drains first
+//! (stops accepting and reading, answers everything already read),
+//! then exits — same contract on SIGTERM/SIGINT, with exit code `0`.
 //! The wire format of `batch`/`serve` is documented in
-//! [`nka_core::api::wire`].
+//! [`nka_core::api::wire`]; `nka-loadgen` (a sibling binary) replays
+//! JSONL corpora over M concurrent socket connections and diffs every
+//! response against a sequential in-process session.
 //!
 //! Exit codes: `0` the judgment holds / a proof was found / output was
 //! produced; `1` it does not hold (or no proof was found within the
@@ -80,10 +94,12 @@
 use nka_core::api::{
     run_batch_parallel_traced, wire, ApiError, Query, Session, SessionOptions, Verdict,
 };
+use nka_core::serve::{ListenAddr, OpHistograms, ServeConfig, Server, StatsBlock};
 use nka_core::Judgment;
 use nka_wfa::{DecideOptions, DeciderStats};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 /// `println!` that tolerates a closed stdout (`nka … | head` must exit
 /// cleanly, not panic on EPIPE like the std macro does).
@@ -105,15 +121,17 @@ const EXIT_NO: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_BUDGET: u8 = 3;
 
-const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] prog-eq '<prog>' '<prog>'\n  nka [--stats] [--json] hoare '<effect>' '<prog>' '<effect>'\n  nka [--budget N] [--stats] [--json] [--jobs N] [--max-queries-per-worker N]\n      batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] [--max-queries-per-worker N]\n      [--max-arena-nodes N] serve\n  nka encode-demo\n\nprog-eq decides Enc(p) = Enc(q) for two quantum while-programs (one\nshared encoder setting, Definition 4.4); hoare checks the triple\n{pre} prog {post} via wlp and reports the Theorem 7.8 encoding.\nPrograms: 'qubits N; h q0; cnot q0 q1; if q0 {…} else {…}; while q0 {…}'\n(gates: h x y z s t cnot cz swap; also init qK, skip, abort).\nEffects: sums of scaled projectors, e.g. 'I', '0.5 I', 'ket(01)', 'q0=1'.\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps],\n   prog_eq [p, q], hoare [pre, prog, post])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n--jobs N shards a batch across N parallel worker sessions in bounded\nchunks; verdicts, output order, and exit codes are identical to\n--jobs 1. --max-queries-per-worker N recycles a session's engine\ncaches every N queries (memory backstop; verdicts unchanged);\nserve --max-arena-nodes N exits 3 once the process-wide resident\nexpression arena exceeds N nodes, so a supervisor can restart it.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; batch: 0 all answered, 2 any malformed line,\nelse 3 any budget-exhausted query; serve: 0 at end of input, 3 if\n--max-arena-nodes tripped";
+const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] prog-eq '<prog>' '<prog>'\n  nka [--stats] [--json] hoare '<effect>' '<prog>' '<effect>'\n  nka [--budget N] [--stats] [--json] [--jobs N] [--max-queries-per-worker N]\n      batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] [--max-queries-per-worker N]\n      [--max-arena-nodes N] serve\n  nka … serve --listen ADDR [--listen ADDR…] [--workers N] [--queue-depth N]\n      [--max-pending N] [--max-line-bytes N] [--stats-interval SECS]\n  nka encode-demo\n\nprog-eq decides Enc(p) = Enc(q) for two quantum while-programs (one\nshared encoder setting, Definition 4.4); hoare checks the triple\n{pre} prog {post} via wlp and reports the Theorem 7.8 encoding.\nPrograms: 'qubits N; h q0; cnot q0 q1; if q0 {…} else {…}; while q0 {…}'\n(gates: h x y z s t cnot cz swap; also init qK, skip, abort).\nEffects: sums of scaled projectors, e.g. 'I', '0.5 I', 'ket(01)', 'q0=1'.\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps],\n   prog_eq [p, q], hoare [pre, prog, post])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n--jobs N shards a batch across N parallel worker sessions in bounded\nchunks; verdicts, output order, and exit codes are identical to\n--jobs 1. --max-queries-per-worker N recycles a session's engine\ncaches every N queries (memory backstop; verdicts unchanged);\nserve --max-arena-nodes N exits 3 once the process-wide resident\nexpression arena exceeds N nodes, so a supervisor can restart it.\n\nserve --listen ADDR starts the concurrent socket server instead of the\nstdin loop: ADDR is 'host:port' (TCP; repeatable) or 'unix:/path'.\n--workers N sizes the pool of warm sessions (default: CPU count, max 8);\n--queue-depth N bounds each connection's in-flight window (backpressure:\nthe server stops reading a connection whose window is full, default 64);\n--max-pending N is the server-wide hard cap past which requests are\nanswered with a structured 'overloaded' error (default 1024);\n--max-line-bytes N rejects longer request lines (default 1 MiB);\n--stats-interval SECS prints a --stats snapshot to stderr periodically.\nSIGTERM/SIGINT (and --max-arena-nodes) drain gracefully: stop accepting,\nanswer every request already read, then exit (0 for signals, 3 for the\narena cap). nka-loadgen replays corpora against the server and diffs\nevery response against a sequential in-process session.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; batch: 0 all answered, 2 any malformed line,\nelse 3 any budget-exhausted query; serve: 0 at end of input or after\na signal-initiated drain, 3 if --max-arena-nodes tripped";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
     ExitCode::from(EXIT_USAGE)
 }
 
-/// What `--stats` reports at exit: engine counters plus the Expr API v2
-/// term-size accounting, from whichever sessions answered the stream.
+/// What `--stats` aggregates while a stream runs: engine counters plus
+/// the Expr API v2 term-size accounting, from whichever sessions
+/// answered it. Rendered at exit through [`StatsBlock`] (human text or,
+/// with `--json`, one JSON object).
 struct StatsReport {
     stats: DeciderStats,
     expr_nodes: u64,
@@ -131,37 +149,29 @@ impl StatsReport {
         }
     }
 
-    fn print(&self) {
-        let s = &self.stats;
-        eprintln!(
-            "engine stats: {} NKA + {} KA queries, {} verdict hits, {} compiles ({} cached), {} determinizations ({} cached)",
-            s.nka_queries,
-            s.ka_queries,
-            s.answer_hits,
-            s.compile_misses,
-            s.compile_hits,
-            s.dfa_misses,
-            s.dfa_hits,
-        );
-        eprintln!(
-            "fast-path stats: {} star-free hits + {} prefix hits, {} fallbacks to generic",
-            s.starfree_hits, s.prefix_hits, s.fastpath_fallbacks,
-        );
-        eprintln!(
-            "expr stats: {} tree nodes over {} distinct subterms queried; {} expressions interned process-wide",
-            self.expr_nodes,
-            self.expr_subterms,
-            nka_syntax::interned_expr_count(),
-        );
-        eprintln!(
-            "arena stats: {} resident nodes ({} persistent + {} live scratch), {} scratch retired over {} scopes, {} engine recycles",
-            nka_syntax::arena_resident_nodes(),
-            nka_syntax::interned_expr_count(),
-            nka_syntax::scratch_live_nodes(),
-            nka_syntax::scratch_retired_total(),
-            nka_syntax::scratch_epoch(),
-            self.engine_recycles,
-        );
+    /// Pairs the engine aggregates with the CLI's latency histograms
+    /// into the renderable report.
+    fn into_block(self, elapsed: Duration, hists: &OpHistograms) -> StatsBlock {
+        let ops = hists.snapshot();
+        StatsBlock {
+            engine: self.stats,
+            expr_nodes: self.expr_nodes,
+            expr_subterms: self.expr_subterms,
+            engine_recycles: self.engine_recycles,
+            queries: ops.total(),
+            elapsed,
+            ops,
+            serve: None,
+        }
+    }
+}
+
+/// Prints the `--stats` report to stderr in the selected format.
+fn print_stats(block: &StatsBlock, json: bool) {
+    if json {
+        eprintln!("{}", block.to_json());
+    } else {
+        eprint!("{}", block.render_human());
     }
 }
 
@@ -172,10 +182,92 @@ fn main() -> ExitCode {
     let mut jobs: usize = 1;
     let mut max_queries_per_worker: Option<u64> = None;
     let mut max_arena_nodes: Option<usize> = None;
+    let mut listen: Vec<ListenAddr> = Vec::new();
+    let mut workers: Option<usize> = None;
+    let mut queue_depth: Option<usize> = None;
+    let mut max_pending: Option<usize> = None;
+    let mut max_line_bytes: Option<usize> = None;
+    let mut stats_interval: Option<Duration> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--listen" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--listen needs an address ('host:port' or 'unix:/path')");
+                    return usage();
+                };
+                listen.push(ListenAddr::parse(&value));
+            }
+            "--workers" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--workers needs a value");
+                    return usage();
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => workers = Some(n),
+                    _ => {
+                        eprintln!("--workers needs a positive integer, got {value:?}");
+                        return usage();
+                    }
+                }
+            }
+            "--queue-depth" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--queue-depth needs a value");
+                    return usage();
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => queue_depth = Some(n),
+                    _ => {
+                        eprintln!("--queue-depth needs a positive integer, got {value:?}");
+                        return usage();
+                    }
+                }
+            }
+            "--max-pending" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--max-pending needs a value");
+                    return usage();
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => max_pending = Some(n),
+                    _ => {
+                        eprintln!("--max-pending needs a positive integer, got {value:?}");
+                        return usage();
+                    }
+                }
+            }
+            "--max-line-bytes" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--max-line-bytes needs a value");
+                    return usage();
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => max_line_bytes = Some(n),
+                    _ => {
+                        eprintln!("--max-line-bytes needs a positive integer, got {value:?}");
+                        return usage();
+                    }
+                }
+            }
+            "--stats-interval" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--stats-interval needs a value in seconds");
+                    return usage();
+                };
+                match value.parse::<f64>() {
+                    Ok(secs) if secs > 0.0 && secs.is_finite() => {
+                        stats_interval = Some(Duration::from_secs_f64(secs));
+                    }
+                    _ => {
+                        eprintln!(
+                            "--stats-interval needs a positive number of seconds, got {value:?}"
+                        );
+                        return usage();
+                    }
+                }
+            }
             "--budget" => {
                 let Some(value) = args.next() else {
                     eprintln!("--budget needs a value");
@@ -254,6 +346,22 @@ fn main() -> ExitCode {
         eprintln!("--max-arena-nodes only applies to serve");
         return usage();
     }
+    if !listen.is_empty() && command != Some("serve") {
+        eprintln!("--listen only applies to serve");
+        return usage();
+    }
+    if listen.is_empty()
+        && (workers.is_some()
+            || queue_depth.is_some()
+            || max_pending.is_some()
+            || max_line_bytes.is_some()
+            || stats_interval.is_some())
+    {
+        eprintln!(
+            "--workers/--queue-depth/--max-pending/--max-line-bytes/--stats-interval only apply to serve --listen"
+        );
+        return usage();
+    }
 
     let opts = SessionOptions {
         decide: DecideOptions {
@@ -264,15 +372,38 @@ fn main() -> ExitCode {
         ..SessionOptions::default()
     };
     let mut session = Session::with_options(opts.clone());
+    // Per-op latency histograms behind `--stats`; every path records
+    // into them (the socket server keeps its own inside the pool).
+    let hists = OpHistograms::new();
+    let started = Instant::now();
     // The parallel batch path runs on worker sessions, not `session`;
-    // it reports its aggregated stats here.
+    // it reports its aggregated stats here. The socket server reports
+    // a complete block of its own (including the serve counters).
     let mut report: Option<StatsReport> = None;
+    let mut server_block: Option<StatsBlock> = None;
     let code = match command {
-        Some("decide") if rest.len() == 3 => {
-            one_shot(&mut session, json, Query::nka_eq(&rest[1], &rest[2]))
+        Some("serve") if rest.len() == 1 && !listen.is_empty() => {
+            let cfg = ServeConfig {
+                session: opts.clone(),
+                workers: workers.unwrap_or_else(|| ServeConfig::default().workers),
+                queue_depth: queue_depth.unwrap_or_else(|| ServeConfig::default().queue_depth),
+                max_pending: max_pending.unwrap_or_else(|| ServeConfig::default().max_pending),
+                max_line_bytes: max_line_bytes
+                    .unwrap_or_else(|| ServeConfig::default().max_line_bytes),
+                max_arena_nodes,
+                json,
+                ..ServeConfig::default()
+            };
+            serve_socket(cfg, &listen, stats_interval, json, &mut server_block)
         }
+        Some("decide") if rest.len() == 3 => one_shot(
+            &mut session,
+            json,
+            &hists,
+            Query::nka_eq(&rest[1], &rest[2]),
+        ),
         Some("ka") if rest.len() == 3 => {
-            one_shot(&mut session, json, Query::ka_eq(&rest[1], &rest[2]))
+            one_shot(&mut session, json, &hists, Query::ka_eq(&rest[1], &rest[2]))
         }
         Some("series") if rest.len() >= 2 => {
             let max_len = match rest.get(2) {
@@ -285,39 +416,49 @@ fn main() -> ExitCode {
                     }
                 },
             };
-            one_shot(&mut session, json, Query::series(&rest[1], max_len))
+            one_shot(&mut session, json, &hists, Query::series(&rest[1], max_len))
         }
         Some("prove") if rest.len() >= 3 => one_shot(
             &mut session,
             json,
+            &hists,
             Query::prove(&rest[1], &rest[2], &rest[3..]),
         ),
-        Some("prog-eq") if rest.len() == 3 => {
-            one_shot(&mut session, json, Query::prog_eq(&rest[1], &rest[2]))
-        }
+        Some("prog-eq") if rest.len() == 3 => one_shot(
+            &mut session,
+            json,
+            &hists,
+            Query::prog_eq(&rest[1], &rest[2]),
+        ),
         Some("hoare") if rest.len() == 4 => one_shot(
             &mut session,
             json,
+            &hists,
             Query::hoare(&rest[1], &rest[2], &rest[3]),
         ),
         Some("batch") if rest.len() <= 2 && jobs <= 1 => {
-            batch(&mut session, json, rest.get(1).map(String::as_str))
+            batch(&mut session, json, &hists, rest.get(1).map(String::as_str))
         }
         Some("batch") if rest.len() <= 2 => batch_parallel(
             &opts,
             json,
+            &hists,
             jobs,
             rest.get(1).map(String::as_str),
             &mut report,
         ),
-        Some("serve") if rest.len() == 1 => serve(&mut session, json, max_arena_nodes),
+        Some("serve") if rest.len() == 1 => serve(&mut session, json, &hists, max_arena_nodes),
         Some("encode-demo") => encode_demo(),
         _ => return usage(),
     };
     if stats {
-        report
-            .unwrap_or_else(|| StatsReport::of_session(&session))
-            .print();
+        let block = match server_block {
+            Some(block) => block,
+            None => report
+                .unwrap_or_else(|| StatsReport::of_session(&session))
+                .into_block(started.elapsed(), &hists),
+        };
+        print_stats(&block, json);
     }
     code
 }
@@ -334,7 +475,12 @@ fn verdict_exit(verdict: &Verdict) -> u8 {
 }
 
 /// Runs one CLI-argument query through the session and renders it.
-fn one_shot(session: &mut Session, json: bool, query: Result<Query, ApiError>) -> ExitCode {
+fn one_shot(
+    session: &mut Session,
+    json: bool,
+    hists: &OpHistograms,
+    query: Result<Query, ApiError>,
+) -> ExitCode {
     let query = match query {
         Ok(query) => query,
         Err(err) => {
@@ -343,6 +489,7 @@ fn one_shot(session: &mut Session, json: bool, query: Result<Query, ApiError>) -
         }
     };
     let resp = session.run(&query);
+    hists.record(query.kind(), resp.elapsed);
     if json {
         out!("{}", wire::encode_response(&query, &resp));
     } else if let (Query::Series { expr, .. }, Verdict::Series { max_len, terms }) =
@@ -405,11 +552,12 @@ fn emit_error(err: &ApiError, json: bool) {
 }
 
 /// Handles one wire line for `batch`/`serve`; returns its exit class.
-fn run_line(session: &mut Session, json: bool, line: &str) -> Option<u8> {
+fn run_line(session: &mut Session, json: bool, hists: &OpHistograms, line: &str) -> Option<u8> {
     match wire::decode_request(line) {
         Ok(None) => None, // blank / comment
         Ok(Some(query)) => {
             let resp = session.run(&query);
+            hists.record(query.kind(), resp.elapsed);
             emit_response(&query, &resp, json);
             Some(verdict_exit(&resp.verdict))
         }
@@ -433,7 +581,12 @@ fn fold_exit(acc: u8, line_code: u8) -> u8 {
 
 /// `nka batch [FILE]`: the whole stream shares this one warm session, so
 /// repeated expressions and queries amortize to cache hits.
-fn batch(session: &mut Session, json: bool, source: Option<&str>) -> ExitCode {
+fn batch(
+    session: &mut Session,
+    json: bool,
+    hists: &OpHistograms,
+    source: Option<&str>,
+) -> ExitCode {
     let reader: Box<dyn BufRead> = match source {
         None | Some("-") => Box::new(std::io::stdin().lock()),
         Some(path) => match std::fs::File::open(path) {
@@ -453,7 +606,7 @@ fn batch(session: &mut Session, json: bool, source: Option<&str>) -> ExitCode {
                 return ExitCode::from(EXIT_USAGE);
             }
         };
-        if let Some(line_code) = run_line(session, json, &line) {
+        if let Some(line_code) = run_line(session, json, hists, &line) {
             if line_code == EXIT_USAGE {
                 eprintln!("  (line {})", lineno + 1);
             }
@@ -493,6 +646,7 @@ const PARALLEL_CHUNK_LINES: usize = 256;
 fn batch_parallel(
     opts: &SessionOptions,
     json: bool,
+    hists: &OpHistograms,
     jobs: usize,
     source: Option<&str>,
     report: &mut Option<StatsReport>,
@@ -559,6 +713,7 @@ fn batch_parallel(
                 BatchLine::Skip => {}
                 BatchLine::Query(i) => {
                     let (query, resp) = (&queries[*i], &responses[*i]);
+                    hists.record(query.kind(), resp.elapsed);
                     emit_response(query, resp, json);
                     agg.stats = agg.stats.merged(&resp.stats_delta);
                     agg.expr_nodes += resp.expr_nodes;
@@ -593,11 +748,16 @@ fn batch_parallel(
 /// the *process* is the only way to shed persistent-arena growth, so a
 /// supervisor is expected to restart it (engine caches recycle
 /// in-process via `--max-queries-per-worker` long before this trips).
-fn serve(session: &mut Session, json: bool, max_arena_nodes: Option<usize>) -> ExitCode {
+fn serve(
+    session: &mut Session,
+    json: bool,
+    hists: &OpHistograms,
+    max_arena_nodes: Option<usize>,
+) -> ExitCode {
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let Ok(line) = line else { break };
-        run_line(session, json, &line);
+        run_line(session, json, hists, &line);
         if std::io::stdout().flush().is_err() {
             break; // downstream went away; exit quietly
         }
@@ -613,6 +773,133 @@ fn serve(session: &mut Session, json: bool, max_arena_nodes: Option<usize>) -> E
         }
     }
     ExitCode::from(EXIT_OK)
+}
+
+/// Minimal POSIX signal plumbing for the socket server: SIGTERM/SIGINT
+/// set a flag that [`serve_socket`]'s governor thread turns into a
+/// graceful drain. Hand-rolled `signal(2)` binding because the build
+/// environment is offline (no `libc`/`signal-hook`); storing to a
+/// static atomic is async-signal-safe. (SIGPIPE needs no handling: the
+/// Rust runtime ignores it before `main`, so a disconnected client
+/// surfaces as an `EPIPE` write error on its own connection only.)
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    #[allow(unsafe_code)]
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the SIGTERM/SIGINT handlers. Call once, before serving.
+    #[allow(unsafe_code)]
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: `signal(2)` with a function pointer of the correct
+        // `extern "C" fn(c_int)` ABI; the handler only stores to an
+        // atomic, which is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    pub fn shutdown_requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn shutdown_requested() -> bool {
+        false
+    }
+}
+
+/// `nka serve --listen …`: the Serve v2 socket server
+/// ([`nka_core::serve::server`]). Binds every listener, announces them
+/// on stderr, then blocks until a drain completes — triggered by
+/// SIGTERM/SIGINT (exit 0) or the `--max-arena-nodes` cap (exit 3,
+/// same supervisor contract as the stdin loop). `--stats-interval`
+/// prints a full stats snapshot to stderr periodically; the final
+/// snapshot is handed back for the exit-time `--stats` report.
+fn serve_socket(
+    cfg: ServeConfig,
+    listen: &[ListenAddr],
+    stats_interval: Option<Duration>,
+    json: bool,
+    server_block: &mut Option<StatsBlock>,
+) -> ExitCode {
+    sig::install();
+    let server = match Server::bind(cfg, listen) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("cannot listen: {err}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let mut tcp = server.tcp_addrs().iter();
+    for addr in listen {
+        match addr {
+            ListenAddr::Tcp(_) => {
+                if let Some(bound) = tcp.next() {
+                    eprintln!("listening on tcp:{bound}");
+                }
+            }
+            ListenAddr::Unix(path) => eprintln!("listening on unix:{}", path.display()),
+        }
+    }
+
+    // Governor: turns the signal flag into a drain. Lives until drain
+    // begins for any reason (so it never outlives the server).
+    let handle = server.handle();
+    let governor = {
+        let handle = handle.clone();
+        std::thread::spawn(move || loop {
+            if sig::shutdown_requested() {
+                handle.begin_drain(EXIT_OK, "shutdown signal received");
+                return;
+            }
+            if handle.draining() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        })
+    };
+    let snapshotter = stats_interval.map(|period| {
+        let handle = handle.clone();
+        std::thread::spawn(move || {
+            let mut last = Instant::now();
+            while !handle.draining() {
+                std::thread::sleep(Duration::from_millis(50));
+                if last.elapsed() >= period {
+                    last = Instant::now();
+                    print_stats(&handle.stats_block(), json);
+                }
+            }
+        })
+    });
+
+    let code = server.join();
+    let _ = governor.join();
+    if let Some(thread) = snapshotter {
+        let _ = thread.join();
+    }
+    if let Some(note) = handle.drain_note() {
+        eprintln!("drained: {note}");
+    }
+    *server_block = Some(handle.stats_block());
+    ExitCode::from(code)
 }
 
 fn encode_demo() -> ExitCode {

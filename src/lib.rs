@@ -61,6 +61,9 @@ pub use nka_core::api;
 pub use nka_core::api::{
     run_batch_parallel, ApiError, MemoryStats, Query, Response, Session, SessionOptions, Verdict,
 };
+// Serve v2 — the concurrent socket server and `--stats` observability
+// layer; see `nka_core::serve`.
+pub use nka_core::serve;
 pub use nka_qpath as qpath;
 pub use nka_qprog as qprog;
 pub use nka_semiring as semiring;

@@ -94,9 +94,22 @@ fn nka_batch_binary_emits_one_json_line_per_query() {
         assert!(value.get("verdict").is_some(), "missing verdict: {line}");
         assert!(value.get("micros").is_some(), "missing micros: {line}");
     }
-    // --stats goes to stderr, and the warm stream must show verdict hits.
+    // --stats goes to stderr — as one JSON object, since the stream ran
+    // with --json — and the warm stream must show verdict hits.
     let stderr = String::from_utf8_lossy(&output.stderr);
-    assert!(stderr.contains("verdict hits"), "stderr: {stderr}");
+    let stats_line = stderr
+        .lines()
+        .find(|line| line.starts_with('{'))
+        .unwrap_or_else(|| panic!("no JSON stats line on stderr: {stderr}"));
+    let stats = Json::parse(stats_line).expect("stats JSON parses");
+    assert!(
+        stats
+            .get("engine")
+            .and_then(|e| e.get("answer_hits"))
+            .and_then(Json::as_i64)
+            > Some(0),
+        "no verdict-cache hits reported: {stats_line}"
+    );
 }
 
 #[test]
@@ -220,10 +233,20 @@ fn nka_batch_jobs_4_matches_sequential_output() {
             i + 1
         );
     }
-    // --stats aggregates across the workers.
+    // --stats aggregates across the workers (JSON form under --json).
     let stderr = String::from_utf8_lossy(&parallel.stderr);
-    assert!(stderr.contains("engine stats"), "stderr: {stderr}");
-    assert!(stderr.contains("expr stats"), "stderr: {stderr}");
+    let stats_line = stderr
+        .lines()
+        .find(|line| line.starts_with('{'))
+        .unwrap_or_else(|| panic!("no JSON stats line on stderr: {stderr}"));
+    let stats = Json::parse(stats_line).expect("stats JSON parses");
+    assert!(stats.get("engine").is_some(), "stderr: {stderr}");
+    assert!(stats.get("expr").is_some(), "stderr: {stderr}");
+    assert_eq!(
+        stats.get("queries").and_then(Json::as_i64),
+        Some(50),
+        "stderr: {stderr}"
+    );
 }
 
 #[test]

@@ -197,12 +197,22 @@ fn error_only_stream_reports_zero_fast_path_counters() {
             "line {i}: {line}"
         );
     }
+    // Under --json the --stats report is one JSON object on stderr;
+    // every fast-path counter in it must still read zero.
     let stderr = String::from_utf8_lossy(&output.stderr);
-    assert!(
-        stderr
-            .contains("fast-path stats: 0 star-free hits + 0 prefix hits, 0 fallbacks to generic"),
-        "fast-path counters moved on an error-only stream:\n{stderr}"
-    );
+    let stats_line = stderr
+        .lines()
+        .find(|line| line.starts_with('{'))
+        .unwrap_or_else(|| panic!("no JSON stats line on stderr: {stderr}"));
+    let stats = Json::parse(stats_line).expect("stats JSON parses");
+    let engine = stats.get("engine").expect("engine section");
+    for key in ["starfree_hits", "prefix_hits", "fastpath_fallbacks"] {
+        assert_eq!(
+            engine.get(key).and_then(Json::as_i64),
+            Some(0),
+            "fast-path counter {key:?} moved on an error-only stream:\n{stderr}"
+        );
+    }
 }
 
 /// Same stream through `serve`: errors answer in-line and the loop

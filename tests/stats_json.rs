@@ -1,0 +1,159 @@
+//! The `--stats` reporting contract of the `nka` binary: the default
+//! human format keeps its historical free-text lines (now with latency
+//! histograms), and `--stats --json` replaces them with exactly one
+//! machine-readable JSON object carrying the documented field names —
+//! engine counters (including the tiered-equivalence
+//! `starfree_hits`/`prefix_hits`/`fastpath_fallbacks`), arena figures,
+//! and per-op log-bucketed histograms.
+
+use nka_quantum::api::json::Json;
+use std::process::Command;
+
+const BATCH_FILE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/batch_50.jsonl");
+const QPROG_FILE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/qprog_25.jsonl");
+
+fn run_stats(json: bool) -> String {
+    let mut args = vec!["--stats"];
+    if json {
+        args.push("--json");
+    }
+    args.extend(["batch", BATCH_FILE]);
+    let output = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(&args)
+        .output()
+        .expect("nka runs");
+    assert!(output.status.success(), "batch over the fixture succeeds");
+    String::from_utf8(output.stderr).expect("stderr is UTF-8")
+}
+
+#[test]
+fn human_stats_keep_the_historical_lines_and_add_latency() {
+    let stderr = run_stats(false);
+    for needle in [
+        "engine stats: ",
+        "fast-path stats: ",
+        "expr stats: ",
+        "arena stats: ",
+        "latency stats: 50 queries",
+        " q/s)",
+        "  nka_eq: n=",
+        "p50=",
+        "p99=",
+        "p999=",
+    ] {
+        assert!(stderr.contains(needle), "missing {needle:?} in:\n{stderr}");
+    }
+    assert!(
+        !stderr.trim_start().starts_with('{'),
+        "human format must stay the default:\n{stderr}"
+    );
+}
+
+#[test]
+fn json_stats_are_one_parseable_object_with_the_contract_fields() {
+    let stderr = run_stats(true);
+    // Exactly one stats object, replacing the free-text lines entirely.
+    let json_lines: Vec<&str> = stderr
+        .lines()
+        .filter(|line| line.starts_with('{'))
+        .collect();
+    assert_eq!(
+        json_lines.len(),
+        1,
+        "expected exactly one JSON stats line:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("engine stats:"),
+        "--json must replace the free-text lines:\n{stderr}"
+    );
+
+    let value = Json::parse(json_lines[0]).expect("stats JSON parses");
+    assert!(value.get("queries").and_then(Json::as_i64) >= Some(50));
+    assert!(value.get("qps").and_then(Json::as_i64).is_some());
+
+    let engine = value.get("engine").expect("engine section");
+    for key in [
+        "nka_queries",
+        "ka_queries",
+        "answer_hits",
+        "compile_hits",
+        "compile_misses",
+        "dfa_hits",
+        "dfa_misses",
+        "starfree_hits",
+        "prefix_hits",
+        "fastpath_fallbacks",
+    ] {
+        assert!(
+            engine.get(key).and_then(Json::as_i64).is_some(),
+            "missing engine counter {key:?}"
+        );
+    }
+
+    let arena = value.get("arena").expect("arena section");
+    for key in [
+        "resident_nodes",
+        "persistent_nodes",
+        "scratch_live",
+        "scratch_retired",
+        "scratch_epochs",
+        "engine_recycles",
+    ] {
+        assert!(
+            arena.get(key).and_then(Json::as_i64).is_some(),
+            "missing arena figure {key:?}"
+        );
+    }
+
+    let ops = value.get("ops").expect("ops section");
+    let nka_eq = ops.get("nka_eq").expect("nka_eq op histogram");
+    for key in ["count", "mean_ns", "p50_ns", "p99_ns", "p999_ns"] {
+        assert!(
+            nka_eq.get(key).and_then(Json::as_i64).is_some(),
+            "missing histogram field {key:?}"
+        );
+    }
+    let buckets = nka_eq
+        .get("buckets")
+        .and_then(Json::as_array)
+        .expect("log-bucketed histogram");
+    assert!(!buckets.is_empty());
+    let total: i64 = buckets
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().expect("[lower_ns, count] pair");
+            assert_eq!(pair.len(), 2);
+            pair[1].as_i64().expect("bucket count")
+        })
+        .sum();
+    assert_eq!(
+        Some(total),
+        nka_eq.get("count").and_then(Json::as_i64),
+        "bucket counts must sum to the op count"
+    );
+}
+
+/// The quantum workloads (`prog_eq`, `hoare`) appear as their own ops
+/// in the JSON histogram section when the stream contains them.
+#[test]
+fn quantum_ops_get_their_own_histograms() {
+    let output = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["--stats", "--json", "batch", QPROG_FILE])
+        .output()
+        .expect("nka runs");
+    assert!(output.status.success());
+    let stderr = String::from_utf8(output.stderr).expect("stderr is UTF-8");
+    let line = stderr
+        .lines()
+        .find(|line| line.starts_with('{'))
+        .expect("a JSON stats line");
+    let value = Json::parse(line).expect("stats JSON parses");
+    let ops = value.get("ops").expect("ops section");
+    for op in ["prog_eq", "hoare"] {
+        let entry = ops.get(op).unwrap_or_else(|| panic!("missing op {op:?}"));
+        assert!(
+            entry.get("count").and_then(Json::as_i64) > Some(0),
+            "empty histogram for {op:?}"
+        );
+    }
+}
