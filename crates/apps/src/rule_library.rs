@@ -262,66 +262,68 @@ pub fn uncompute_erasure_proof() -> CheckedHornProof {
     }
 }
 
-/// A catalog entry: rule name, its checked Horn proof, and a semantic
+/// A catalog entry: rule name, its checked Horn proof, a semantic
 /// witness builder (a pair of concrete programs that must be equal, with
-/// the hypotheses holding on their superoperators).
+/// the hypotheses holding on their superoperators), and the shared
+/// metadata record the static analyzer cites in its certificates.
+#[derive(Debug)]
 pub struct RuleEntry {
-    /// Short rule name (matches the module-level table).
+    /// Short rule name (matches the module-level table and
+    /// [`nka_qprog::analysis::RULE_METADATA`]).
     pub name: &'static str,
     /// The checked algebraic certificate.
     pub proof: CheckedHornProof,
     /// Builds the concrete before/after program pair.
     pub witness: fn() -> (Program, Program),
+    /// The analyzer's metadata record for this rule (LHS/RHS shapes,
+    /// Horn hypotheses, paper citation) — one source of truth shared
+    /// with `nka analyze` findings and future `optimize` queries.
+    pub meta: &'static nka_qprog::analysis::RuleMeta,
 }
 
-/// The full rule catalog, in the module-level table's order.
+/// Builds one catalog entry, resolving the analyzer metadata by name.
+/// Panics (at test time) if the analyzer's `RULE_METADATA` table and
+/// this catalog ever drift apart.
+fn entry(
+    name: &'static str,
+    proof: CheckedHornProof,
+    witness: fn() -> (Program, Program),
+) -> RuleEntry {
+    let meta = nka_qprog::analysis::rule_meta(name)
+        .unwrap_or_else(|| panic!("rule {name:?} is missing from analysis::RULE_METADATA"));
+    RuleEntry {
+        name,
+        proof,
+        witness,
+        meta,
+    }
+}
+
+/// The full rule catalog, in the module-level table's order (which is
+/// also [`nka_qprog::analysis::RULE_METADATA`]'s order).
 pub fn catalog() -> Vec<RuleEntry> {
     vec![
-        RuleEntry {
-            name: "dead-branch",
-            proof: dead_branch_proof(),
-            witness: dead_branch_programs,
-        },
-        RuleEntry {
-            name: "branch-fusion",
-            proof: branch_fusion_proof(),
-            witness: branch_fusion_programs,
-        },
-        RuleEntry {
-            name: "gate-fusion",
-            proof: gate_fusion_proof(),
-            witness: gate_fusion_programs,
-        },
-        RuleEntry {
-            name: "dead-loop",
-            proof: dead_loop_proof(),
-            witness: dead_loop_programs,
-        },
-        RuleEntry {
-            name: "loop-peeling",
-            proof: loop_peeling_proof(),
-            witness: loop_peeling_programs,
-        },
-        RuleEntry {
-            name: "double-reset",
-            proof: double_reset_proof(),
-            witness: double_reset_programs,
-        },
-        RuleEntry {
-            name: "double-measure",
-            proof: double_measure_proof(),
-            witness: double_measure_programs,
-        },
-        RuleEntry {
-            name: "abort-sink",
-            proof: abort_sink_proof(),
-            witness: abort_sink_programs,
-        },
-        RuleEntry {
-            name: "uncompute",
-            proof: uncompute_erasure_proof(),
-            witness: uncompute_erasure_programs,
-        },
+        entry("dead-branch", dead_branch_proof(), dead_branch_programs),
+        entry(
+            "branch-fusion",
+            branch_fusion_proof(),
+            branch_fusion_programs,
+        ),
+        entry("gate-fusion", gate_fusion_proof(), gate_fusion_programs),
+        entry("dead-loop", dead_loop_proof(), dead_loop_programs),
+        entry("loop-peeling", loop_peeling_proof(), loop_peeling_programs),
+        entry("double-reset", double_reset_proof(), double_reset_programs),
+        entry(
+            "double-measure",
+            double_measure_proof(),
+            double_measure_programs,
+        ),
+        entry("abort-sink", abort_sink_proof(), abort_sink_programs),
+        entry(
+            "uncompute",
+            uncompute_erasure_proof(),
+            uncompute_erasure_programs,
+        ),
     ]
 }
 
@@ -507,6 +509,34 @@ mod tests {
     fn every_rule_witness_is_semantically_valid() {
         for entry in catalog() {
             assert!(validate_rule(&entry, 1e-9), "rule {} failed", entry.name);
+        }
+    }
+
+    #[test]
+    fn catalog_and_analyzer_metadata_stay_in_lockstep() {
+        // One source of truth: every catalog entry resolves its
+        // analyzer metadata record, in the same order, and the proved
+        // conclusion matches the advertised LHS = RHS shape.
+        let entries = catalog();
+        let metas: Vec<_> = nka_qprog::analysis::rule_metadata().collect();
+        assert_eq!(entries.len(), metas.len());
+        for (entry, meta) in entries.iter().zip(&metas) {
+            assert_eq!(entry.name, meta.name);
+            assert!(std::ptr::eq(entry.meta, *meta));
+            assert_eq!(
+                entry.proof.conclusion.to_string(),
+                format!("{} = {}", meta.lhs, meta.rhs),
+                "rule {}: proof conclusion drifted from its metadata",
+                entry.name
+            );
+            assert!(!meta.citation.is_empty(), "rule {} uncited", entry.name);
+            // Hypothesis-free in the metadata ⇔ hypothesis-free proof.
+            assert_eq!(
+                meta.hyps.is_empty(),
+                entry.proof.hypotheses.is_empty(),
+                "rule {}: hypothesis presence drifted",
+                entry.name
+            );
         }
     }
 

@@ -86,7 +86,8 @@ use crate::judgment::Judgment;
 use crate::proof::Proof;
 use crate::prover::{ProveOutcome, Prover};
 use nka_qprog::{
-    hoare::HoareTriple, EncoderSetting, ParseProgError, SurfaceEffect, SurfaceProgram,
+    analysis, hoare::HoareTriple, Certificate, CertificateStats, EncoderSetting, Finding,
+    ParseProgError, SemanticCheck, SurfaceEffect, SurfaceProgram,
 };
 use nka_semiring::ExtNat;
 use nka_syntax::{Expr, ExprId, ParseExprError, ScratchScope, Symbol, Word};
@@ -160,6 +161,20 @@ pub enum Query {
         /// Postcondition `B`.
         post: SurfaceEffect,
     },
+    /// Run the static analyzer ([`nka_qprog::analysis`]) over a
+    /// program: Tier A syntactic/dataflow passes plus Tier B semantic
+    /// checks decided on the warm engine (dead code ⇔ zeroness,
+    /// Definition 4.4). Every Tier B finding carries a replayable
+    /// [`Certificate`]. The Tier B encodings live in a scratch scope
+    /// and are never promoted, so analysis traffic cannot grow the
+    /// persistent arena.
+    Analyze {
+        /// The program to analyze.
+        prog: SurfaceProgram,
+        /// Pass filter (validated names from
+        /// [`analysis::PASS_NAMES`]); empty means every pass.
+        passes: Vec<String>,
+    },
 }
 
 /// The discriminant of a [`Query`], used for display and wire encoding.
@@ -177,11 +192,13 @@ pub enum QueryKind {
     ProgEq,
     /// [`Query::Hoare`].
     Hoare,
+    /// [`Query::Analyze`].
+    Analyze,
 }
 
 impl QueryKind {
     /// The wire-format `op` name (`nka_eq`, `ka_eq`, `series`, `prove`,
-    /// `prog_eq`, `hoare`).
+    /// `prog_eq`, `hoare`, `analyze`).
     #[must_use]
     pub fn op(self) -> &'static str {
         match self {
@@ -191,6 +208,7 @@ impl QueryKind {
             QueryKind::Prove => "prove",
             QueryKind::ProgEq => "prog_eq",
             QueryKind::Hoare => "hoare",
+            QueryKind::Analyze => "analyze",
         }
     }
 }
@@ -216,6 +234,7 @@ impl Query {
             Query::Prove { .. } => QueryKind::Prove,
             Query::ProgEq { .. } => QueryKind::ProgEq,
             Query::Hoare { .. } => QueryKind::Hoare,
+            Query::Analyze { .. } => QueryKind::Analyze,
         }
     }
 
@@ -312,6 +331,25 @@ impl Query {
         Ok(Query::Hoare { pre, prog, post })
     }
 
+    /// Builds a [`Query::Analyze`] from a program source and a pass
+    /// filter (empty = every pass).
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::ParseProgram`] (with span) if the program fails to
+    /// parse, [`ApiError::Malformed`] on an unknown pass name.
+    pub fn analyze<S: AsRef<str>>(prog: &str, passes: &[S]) -> Result<Query, ApiError> {
+        let prog = parse_prog_field("prog", prog)?;
+        let passes: Vec<String> = passes.iter().map(|p| p.as_ref().to_owned()).collect();
+        if let Err(unknown) = analysis::validate_passes(&passes) {
+            return Err(ApiError::Malformed(format!(
+                "unknown analysis pass {unknown:?} (expected one of: {})",
+                analysis::PASS_NAMES.join(", ")
+            )));
+        }
+        Ok(Query::Analyze { prog, passes })
+    }
+
     /// The expressions this query mentions, in field order (both sides
     /// of an equality, the series operand, goal plus hypotheses).
     /// Program queries mention none: their encodings are
@@ -328,7 +366,7 @@ impl Query {
                 }
                 out
             }
-            Query::ProgEq { .. } | Query::Hoare { .. } => Vec::new(),
+            Query::ProgEq { .. } | Query::Hoare { .. } | Query::Analyze { .. } => Vec::new(),
         }
     }
 
@@ -346,7 +384,9 @@ impl Query {
     pub fn term_stats(&self) -> (u64, u64) {
         match self {
             Query::ProgEq { p, q } => ((p.program().size() + q.program().size()) as u64, 0),
-            Query::Hoare { prog, .. } => (prog.program().size() as u64, 0),
+            Query::Hoare { prog, .. } | Query::Analyze { prog, .. } => {
+                (prog.program().size() as u64, 0)
+            }
             _ => term_stats_of(&self.exprs()),
         }
     }
@@ -459,6 +499,14 @@ pub enum Verdict {
         /// The encoded inequality, e.g. `(m1_q0 h_q0)* m0_q0 q1_neg ≤ q0_neg`.
         encoded: String,
     },
+    /// The outcome of a [`Query::Analyze`]: the analyzer's findings in
+    /// source order. Tier B findings carry a replayable
+    /// [`Certificate`]; a `holds` replay of `prog_eq(cert.p, cert.q)`
+    /// on any session re-establishes the finding independently.
+    Analysis {
+        /// Findings, sorted by span start (Tier A and Tier B merged).
+        findings: Vec<Finding>,
+    },
     /// The decision engine exceeded its state budget
     /// ([`DecideOptions::max_dfa_states`]); retry with a larger budget.
     BudgetExhausted {
@@ -475,6 +523,11 @@ impl Verdict {
         match self {
             Verdict::Holds | Verdict::Proved { .. } | Verdict::Series { .. } => true,
             Verdict::ProgEq { holds, .. } | Verdict::Hoare { holds, .. } => *holds,
+            // An analysis is "positive" when it found nothing worth
+            // warning about — info-only findings keep CLI exit 0.
+            Verdict::Analysis { findings } => findings
+                .iter()
+                .all(|f| f.severity != nka_qprog::Severity::Warning),
             Verdict::Refuted | Verdict::Exhausted { .. } | Verdict::BudgetExhausted { .. } => false,
         }
     }
@@ -497,6 +550,7 @@ impl Verdict {
                     "refuted"
                 }
             }
+            Verdict::Analysis { .. } => "analysis",
             Verdict::BudgetExhausted { .. } => "budget_exhausted",
         }
     }
@@ -687,6 +741,54 @@ pub struct MemoryStats {
     pub queries_run: u64,
 }
 
+/// Cumulative counters of the static analyzer ([`Query::Analyze`])
+/// over a session's life — the `analyze` slice of `nka --stats` and
+/// the serve v2 stats block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Findings emitted, bucketed by [`analysis::PASS_NAMES`] index.
+    pub findings_by_pass: [u64; analysis::PASS_NAMES.len()],
+    /// Tier B `prog_eq`/zeroness decisions actually run on the engine
+    /// (certificate-cache misses).
+    pub tier_b_decides: u64,
+    /// Tier B checks answered from the session's certificate cache
+    /// without touching the engine.
+    pub cert_cache_hits: u64,
+}
+
+impl AnalysisStats {
+    /// Counter-wise sum, for merging worker sessions.
+    #[must_use]
+    pub fn merged(&self, other: &AnalysisStats) -> AnalysisStats {
+        let mut findings_by_pass = self.findings_by_pass;
+        for (acc, x) in findings_by_pass.iter_mut().zip(other.findings_by_pass) {
+            *acc += x;
+        }
+        AnalysisStats {
+            findings_by_pass,
+            tier_b_decides: self.tier_b_decides + other.tier_b_decides,
+            cert_cache_hits: self.cert_cache_hits + other.cert_cache_hits,
+        }
+    }
+
+    /// Total findings across all passes.
+    #[must_use]
+    pub fn findings_total(&self) -> u64 {
+        self.findings_by_pass.iter().sum()
+    }
+
+    /// Whether every counter is zero (no analyze traffic yet).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == AnalysisStats::default()
+    }
+}
+
+/// Certificate-cache size ceiling: the map is cleared (not evicted
+/// entry-wise) past this many distinct Tier B checks, bounding memory
+/// under unbounded distinct analyze traffic.
+const CERT_CACHE_CAP: usize = 4096;
+
 /// `min(|Σ^{≤max_len}|, cap + 1)` where `|Σ^{≤max_len}| = Σ_{i=0..=max_len} k^i`
 /// — the word count, computed only far enough to compare against `cap`
 /// (so a pathological `max_len` costs at most `cap` loop steps, and in
@@ -741,6 +843,13 @@ pub struct Session {
     retired_stats: DeciderStats,
     engine_recycles: u64,
     queries_since_recycle: u64,
+    /// Analyzer counters ([`Session::analysis_stats`]); cumulative,
+    /// surviving engine recycling like `retired_stats`.
+    analysis_stats: AnalysisStats,
+    /// Tier B certificate cache: `(p, q) → (holds, stats)` keyed on the
+    /// check's program sources. Verdict memoization only — cleared on
+    /// recycle and past [`CERT_CACHE_CAP`] without affecting answers.
+    cert_cache: HashMap<(String, String), (bool, CertificateStats)>,
 }
 
 /// The root-id key of [`Session::run`]'s term-stats memo. Equality /
@@ -782,7 +891,7 @@ impl TermKey {
                 }
                 Some(TermKey::Many(ids.into_boxed_slice()))
             }
-            Query::ProgEq { .. } | Query::Hoare { .. } => None,
+            Query::ProgEq { .. } | Query::Hoare { .. } | Query::Analyze { .. } => None,
         }
     }
 }
@@ -847,6 +956,14 @@ impl Session {
     #[must_use]
     pub fn engine_recycles(&self) -> u64 {
         self.engine_recycles
+    }
+
+    /// Cumulative static-analyzer counters over the session's life
+    /// (findings per pass, Tier B decide calls, certificate cache
+    /// hits). Zero until the first [`Query::Analyze`].
+    #[must_use]
+    pub fn analysis_stats(&self) -> AnalysisStats {
+        self.analysis_stats
     }
 
     /// A snapshot of the session's (and the process arena's) memory
@@ -955,6 +1072,7 @@ impl Session {
         self.engine = Decider::with_options(self.opts.decide.clone());
         self.term_stats_cache.clear();
         self.term_stats_scratch_keys = 0;
+        self.cert_cache.clear();
         self.engine_recycles += 1;
         self.queries_since_recycle = 0;
     }
@@ -1069,6 +1187,7 @@ impl Session {
             }
             Query::ProgEq { p, q } => (self.dispatch_prog_eq(p, q), None),
             Query::Hoare { pre, prog, post } => (hoare_verdict(pre, prog, post), None),
+            Query::Analyze { prog, passes } => (self.dispatch_analyze(prog, passes), None),
         }
     }
 
@@ -1117,6 +1236,90 @@ impl Session {
         };
         drop(scope);
         verdict
+    }
+
+    /// Runs the static analyzer: Tier A passes are pure AST walks
+    /// ([`analysis::syntactic_findings`]); each Tier B check
+    /// ([`analysis::semantic_checks`]) is a `prog_eq` decided on the
+    /// warm engine through the certificate cache. A check that holds
+    /// becomes a [`Finding`] with a replayable [`Certificate`]; a
+    /// refuted check emits nothing. Unlike `prog_eq`, *nothing* is ever
+    /// promoted — analysis encodings are scratch-transient even when a
+    /// check holds, so unbounded analyze traffic adds zero persistent
+    /// arena nodes (gated by the arena soak).
+    fn dispatch_analyze(&mut self, prog: &SurfaceProgram, passes: &[String]) -> Verdict {
+        let mut findings = analysis::syntactic_findings(prog, passes);
+        for check in analysis::semantic_checks(prog, passes) {
+            let key = (check.p.clone(), check.q.clone());
+            let (holds, stats) = if let Some(&hit) = self.cert_cache.get(&key) {
+                self.analysis_stats.cert_cache_hits += 1;
+                hit
+            } else {
+                self.analysis_stats.tier_b_decides += 1;
+                let decided = self.decide_semantic_check(&check);
+                if self.cert_cache.len() >= CERT_CACHE_CAP {
+                    self.cert_cache.clear();
+                }
+                self.cert_cache.insert(key, decided);
+                decided
+            };
+            if holds {
+                findings.push(Finding {
+                    pass: check.pass,
+                    severity: check.severity,
+                    span: check.span,
+                    message: check.message,
+                    certificate: Some(Certificate {
+                        p: check.p,
+                        q: check.q,
+                        expect: "holds",
+                        rule: check.rule,
+                        stats,
+                    }),
+                });
+            }
+        }
+        // Stable by span start: Tier A and Tier B interleave in source
+        // order, ties keep pass-generation order — deterministic, so
+        // `--jobs N` output byte-matches the sequential run.
+        findings.sort_by_key(|f| f.span.0);
+        for f in &findings {
+            if let Some(i) = analysis::pass_index(f.pass) {
+                self.analysis_stats.findings_by_pass[i] += 1;
+            }
+        }
+        Verdict::Analysis { findings }
+    }
+
+    /// Decides one Tier B check inside a [`ScratchScope`]: parse both
+    /// generated sides, encode under one shared setting, decide, and
+    /// retire every scratch node. Budget overflow or (unreachable for
+    /// analyzer-generated sources) parse/encode failure conservatively
+    /// answers *not certified* — the analyzer stays silent rather than
+    /// reporting an unproven finding.
+    fn decide_semantic_check(&mut self, check: &SemanticCheck) -> (bool, CertificateStats) {
+        let scope = ScratchScope::enter();
+        let before = self.engine.stats();
+        let mut holds = false;
+        if let (Ok(p), Ok(q)) = (
+            SurfaceProgram::parse(&check.p),
+            SurfaceProgram::parse(&check.q),
+        ) {
+            let mut setting = EncoderSetting::new(p.dim());
+            if let (Ok(ep), Ok(eq)) = (setting.encode(p.program()), setting.encode(q.program())) {
+                holds = self.engine.decide(&ep, &eq).unwrap_or(false);
+            }
+        }
+        drop(scope);
+        let delta = self.engine.stats().delta_since(&before);
+        (
+            holds,
+            CertificateStats {
+                starfree_hits: delta.starfree_hits,
+                prefix_hits: delta.prefix_hits,
+                fastpath_fallbacks: delta.fastpath_fallbacks,
+            },
+        )
     }
 }
 
@@ -1195,23 +1398,29 @@ pub fn run_batch_parallel(queries: &[Query], opts: &SessionOptions, jobs: usize)
 /// [`run_batch_parallel`] plus worker-level accounting: the second
 /// component is the total number of engine recycles
 /// ([`SessionOptions::recycle_after_queries`]) performed across all
-/// worker sessions — what `nka batch --jobs N --max-queries-per-worker
-/// M --stats` reports.
+/// worker sessions, and the third merges every worker's analyzer
+/// counters ([`Session::analysis_stats`]) — what `nka batch --jobs N
+/// --max-queries-per-worker M --stats` reports.
 #[must_use]
 pub fn run_batch_parallel_traced(
     queries: &[Query],
     opts: &SessionOptions,
     jobs: usize,
-) -> (Vec<Response>, u64) {
+) -> (Vec<Response>, u64, AnalysisStats) {
     let jobs = jobs.clamp(1, queries.len().max(1));
     if jobs <= 1 {
         let mut session = Session::with_options(opts.clone());
         let responses = session.run_all(queries);
-        return (responses, session.engine_recycles());
+        return (
+            responses,
+            session.engine_recycles(),
+            session.analysis_stats(),
+        );
     }
     let mut slots: Vec<Option<Response>> = Vec::new();
     slots.resize_with(queries.len(), || None);
     let mut recycles = 0u64;
+    let mut analysis = AnalysisStats::default();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|worker| {
@@ -1224,13 +1433,19 @@ pub fn run_batch_parallel_traced(
                         .step_by(jobs)
                         .map(|(i, q)| (i, session.run(q)))
                         .collect::<Vec<(usize, Response)>>();
-                    (answered, session.engine_recycles())
+                    (
+                        answered,
+                        session.engine_recycles(),
+                        session.analysis_stats(),
+                    )
                 })
             })
             .collect();
         for handle in handles {
-            let (answered, worker_recycles) = handle.join().expect("batch worker panicked");
+            let (answered, worker_recycles, worker_analysis) =
+                handle.join().expect("batch worker panicked");
             recycles += worker_recycles;
+            analysis = analysis.merged(&worker_analysis);
             for (i, resp) in answered {
                 slots[i] = Some(resp);
             }
@@ -1240,7 +1455,7 @@ pub fn run_batch_parallel_traced(
         .into_iter()
         .map(|slot| slot.expect("every query answered exactly once"))
         .collect();
-    (responses, recycles)
+    (responses, recycles, analysis)
 }
 
 #[cfg(test)]
@@ -1594,6 +1809,127 @@ mod tests {
                 assert_eq!(seq.expr_nodes, par.expr_nodes, "query {i} at jobs={jobs}");
             }
         }
+    }
+
+    #[test]
+    fn analyze_emits_tiered_findings_with_replayable_certificates() {
+        let mut session = Session::new();
+        // One program hitting many passes: unused q1, an unreachable
+        // tail behind abort (and its certified abort-sink twin), a dead
+        // then-branch, a constant guard, a self-inverse pair, metrics.
+        let src = "qubits 2; init q0; if q0 { abort } else { h q0 }; h q0; h q0";
+        let resp = session.run(&Query::analyze::<&str>(src, &[]).unwrap());
+        assert_eq!(resp.kind, QueryKind::Analyze);
+        let Verdict::Analysis { findings } = &resp.verdict else {
+            panic!("expected an analysis verdict, got {:?}", resp.verdict);
+        };
+        let passes: HashSet<&str> = findings.iter().map(|f| f.pass).collect();
+        for expected in [
+            "unused_qubit",
+            "constant_guard",
+            "self_inverse_pair",
+            "dead_branch",
+            "metrics",
+        ] {
+            assert!(
+                passes.contains(expected),
+                "missing {expected}: {findings:?}"
+            );
+        }
+        // Warnings present ⇒ negative verdict (CLI exit 1).
+        assert!(!resp.verdict.is_positive());
+        assert_eq!(resp.verdict.name(), "analysis");
+        // Findings arrive sorted by span start.
+        assert!(findings.windows(2).all(|w| w[0].span.0 <= w[1].span.0));
+        // Every certificate replays to `holds` on a fresh session.
+        let mut fresh = Session::new();
+        for f in findings {
+            let Some(cert) = &f.certificate else { continue };
+            assert_eq!(cert.expect, "holds");
+            let replay = fresh.run(&Query::prog_eq(&cert.p, &cert.q).unwrap());
+            assert!(
+                matches!(replay.verdict, Verdict::ProgEq { holds: true, .. }),
+                "certificate of {:?} failed to replay: {:?}",
+                f.pass,
+                replay.verdict
+            );
+        }
+        // The dead then-branch is certified, the healthy else is not.
+        let dead: Vec<_> = findings
+            .iter()
+            .filter(|f| f.pass == "dead_branch")
+            .collect();
+        assert_eq!(dead.len(), 1, "{dead:?}");
+        assert!(dead[0].certificate.is_some());
+        // Counters moved: Tier B ran, findings bucketed per pass.
+        let stats = session.analysis_stats();
+        assert!(stats.tier_b_decides >= 1);
+        assert_eq!(stats.findings_total(), findings.len() as u64);
+        assert!(!stats.is_zero());
+    }
+
+    #[test]
+    fn analyze_pass_filter_and_unknown_pass_rejection() {
+        let mut session = Session::new();
+        let src = "qubits 1; h q0; h q0";
+        // metrics-only filter: exactly one finding.
+        let resp = session.run(&Query::analyze(src, &["metrics"]).unwrap());
+        let Verdict::Analysis { findings } = &resp.verdict else {
+            panic!("expected analysis, got {:?}", resp.verdict);
+        };
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].pass, "metrics");
+        // Info-only findings keep the verdict positive.
+        assert!(resp.verdict.is_positive());
+        // Unknown pass name is malformed, with the candidates listed.
+        let err = Query::analyze(src, &["frobnicate"]).unwrap_err();
+        let ApiError::Malformed(msg) = &err else {
+            panic!("expected Malformed, got {err:?}");
+        };
+        assert!(
+            msg.contains("frobnicate") && msg.contains("metrics"),
+            "{msg}"
+        );
+        // Parse errors carry field + span like every program query.
+        let err = Query::analyze::<&str>("qubits 1; frob q0", &[]).unwrap_err();
+        assert!(matches!(err, ApiError::ParseProgram { field: "prog", .. }));
+    }
+
+    #[test]
+    fn analyze_uses_certificate_cache_and_never_promotes() {
+        let mut session = Session::new();
+        // Refuted redundant-fragment check only (no while/abort): the
+        // one Tier B decide is a cache miss, the repeat a cache hit.
+        let q = Query::analyze("qubits 1; h q0; x q0", &["redundant_fragment"]).unwrap();
+        let _ = session.run(&q);
+        assert_eq!(session.analysis_stats().tier_b_decides, 1);
+        assert_eq!(session.analysis_stats().cert_cache_hits, 0);
+        let before = nka_syntax::interned_expr_count();
+        let resp = session.run(&q);
+        assert_eq!(session.analysis_stats().tier_b_decides, 1);
+        assert_eq!(session.analysis_stats().cert_cache_hits, 1);
+        // No finding: the program is not skip.
+        let Verdict::Analysis { findings } = &resp.verdict else {
+            panic!("{:?}", resp.verdict)
+        };
+        assert!(findings.is_empty(), "{findings:?}");
+        // Analyses never grow the persistent arena — not even ones
+        // whose checks hold (loop-peeling always does).
+        let peel = Query::analyze("qubits 1; while q0 { h q0 }", &["peephole"]).unwrap();
+        let resp = session.run(&peel);
+        let Verdict::Analysis { findings } = &resp.verdict else {
+            panic!("{:?}", resp.verdict)
+        };
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(
+            findings[0].certificate.as_ref().unwrap().rule,
+            Some("loop-peeling")
+        );
+        assert_eq!(
+            nka_syntax::interned_expr_count(),
+            before,
+            "analyze must leave the persistent arena untouched"
+        );
     }
 
     #[test]

@@ -80,6 +80,22 @@ pub fn decode_request(line: &str) -> Result<Option<Query>, ApiError> {
             str_key(&value, "prog")?,
             str_key(&value, "post")?,
         )?,
+        "analyze" => {
+            let passes: Vec<&str> = match value.get("passes") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| ApiError::Malformed("\"passes\" must be an array".to_owned()))?
+                    .iter()
+                    .map(|p| {
+                        p.as_str().ok_or_else(|| {
+                            ApiError::Malformed("\"passes\" entries must be strings".to_owned())
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            Query::analyze(str_key(&value, "prog")?, &passes)?
+        }
         "prove" => {
             let hyps: Vec<&str> = match value.get("hyps") {
                 None => Vec::new(),
@@ -98,7 +114,8 @@ pub fn decode_request(line: &str) -> Result<Option<Query>, ApiError> {
         }
         other => {
             return Err(ApiError::Malformed(format!(
-                "unknown op {other:?} (expected nka_eq, ka_eq, series, prove, prog_eq, or hoare)"
+                "unknown op {other:?} (expected nka_eq, ka_eq, series, prove, prog_eq, hoare, \
+                 or analyze)"
             )))
         }
     };
@@ -149,6 +166,13 @@ fn query_fields(query: &Query) -> Vec<(String, Json)> {
             fields.push(("prog".to_owned(), Json::Str(prog.source().to_owned())));
             fields.push(("post".to_owned(), Json::Str(post.source().to_owned())));
         }
+        Query::Analyze { prog, passes } => {
+            fields.push(("prog".to_owned(), Json::Str(prog.source().to_owned())));
+            fields.push((
+                "passes".to_owned(),
+                Json::Arr(passes.iter().map(|p| Json::Str(p.clone())).collect()),
+            ));
+        }
     }
     fields
 }
@@ -159,6 +183,65 @@ fn query_fields(query: &Query) -> Vec<(String, Json)> {
 #[must_use]
 pub fn encode_request(query: &Query) -> String {
     Json::Obj(query_fields(query)).to_string()
+}
+
+/// One analysis finding as a JSON object: `pass`, `severity`,
+/// `span` (byte pair), `message`, and — Tier B only — the replayable
+/// `certificate` (`p`/`q`/`expect`/`rule`/`stats`); decoding
+/// `{"op":"prog_eq","p":cert.p,"q":cert.q}` replays it.
+fn finding_json(f: &nka_qprog::Finding) -> Json {
+    let mut fields = vec![
+        ("pass".to_owned(), Json::Str(f.pass.to_owned())),
+        (
+            "severity".to_owned(),
+            Json::Str(f.severity.name().to_owned()),
+        ),
+        (
+            "span".to_owned(),
+            Json::Arr(vec![
+                Json::Int(i64::try_from(f.span.0).unwrap_or(i64::MAX)),
+                Json::Int(i64::try_from(f.span.1).unwrap_or(i64::MAX)),
+            ]),
+        ),
+        ("message".to_owned(), Json::Str(f.message.clone())),
+    ];
+    if let Some(cert) = &f.certificate {
+        fields.push((
+            "certificate".to_owned(),
+            Json::Obj(vec![
+                ("p".to_owned(), Json::Str(cert.p.clone())),
+                ("q".to_owned(), Json::Str(cert.q.clone())),
+                ("expect".to_owned(), Json::Str(cert.expect.to_owned())),
+                (
+                    "rule".to_owned(),
+                    match cert.rule {
+                        Some(rule) => Json::Str(rule.to_owned()),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "stats".to_owned(),
+                    Json::Obj(vec![
+                        (
+                            "starfree_hits".to_owned(),
+                            Json::Int(i64::try_from(cert.stats.starfree_hits).unwrap_or(i64::MAX)),
+                        ),
+                        (
+                            "prefix_hits".to_owned(),
+                            Json::Int(i64::try_from(cert.stats.prefix_hits).unwrap_or(i64::MAX)),
+                        ),
+                        (
+                            "fastpath_fallbacks".to_owned(),
+                            Json::Int(
+                                i64::try_from(cert.stats.fastpath_fallbacks).unwrap_or(i64::MAX),
+                            ),
+                        ),
+                    ]),
+                ),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 fn word_string(word: &Word) -> String {
@@ -220,6 +303,12 @@ pub fn encode_response(query: &Query, resp: &Response) -> String {
         }
         Verdict::Hoare { encoded, .. } => {
             fields.push(("encoded".to_owned(), Json::Str(encoded.clone())));
+        }
+        Verdict::Analysis { findings } => {
+            fields.push((
+                "findings".to_owned(),
+                Json::Arr(findings.iter().map(finding_json).collect()),
+            ));
         }
         Verdict::BudgetExhausted { detail } => {
             fields.push(("detail".to_owned(), Json::Str(detail.clone())));
@@ -347,6 +436,21 @@ pub fn encode_response_text(query: &Query, resp: &Response) -> String {
                 format!("⊭par {{{pre}}} {prog} {{{post}}}   (pre ⋢ wlp; Thm 7.8 target: {encoded})")
             }
         }
+        (Query::Analyze { .. }, Verdict::Analysis { findings }) => {
+            let warnings = findings
+                .iter()
+                .filter(|f| f.severity == nka_qprog::Severity::Warning)
+                .count();
+            if findings.is_empty() {
+                "analysis: clean (no findings)".to_owned()
+            } else {
+                format!(
+                    "analysis: {} finding(s) — {warnings} warning(s), {} info",
+                    findings.len(),
+                    findings.len() - warnings
+                )
+            }
+        }
         (_, Verdict::BudgetExhausted { detail }) => {
             format!("budget exhausted: {detail}")
         }
@@ -372,6 +476,8 @@ mod tests {
             r#"{"op":"prove","lhs":"m1 (m0 p + m1)","rhs":"m1","hyps":["m1 m1 = m1","m1 m0 = 0"]}"#,
             r#"{"op":"prog_eq","p":"qubits 1; h q0; skip","q":"qubits 1; h q0"}"#,
             r#"{"op":"hoare","pre":"ket(1)","prog":"qubits 1; x q0","post":"ket(0)"}"#,
+            r#"{"op":"analyze","prog":"qubits 1; h q0; h q0"}"#,
+            r#"{"op":"analyze","prog":"qubits 1; init q0","passes":["metrics","unused_qubit"]}"#,
             "(p q)* p = p (q p)*",
         ];
         for line in lines {
@@ -429,6 +535,9 @@ mod tests {
             decode_request(r#"{"op":"hoare","pre":"0.5 I","prog":"qubits 1; h q0","post":"I"}"#)
                 .unwrap()
                 .unwrap(),
+            decode_request(r#"{"op":"analyze","prog":"qubits 2; abort; h q0"}"#)
+                .unwrap()
+                .unwrap(),
         ];
         for query in queries {
             let resp = session.run(&query);
@@ -436,6 +545,55 @@ mod tests {
             let reparsed = decode_request(&line).unwrap().expect("a query");
             assert_eq!(reparsed, query, "response line did not reparse: {line}");
         }
+    }
+
+    #[test]
+    fn analyze_responses_carry_structured_findings() {
+        let mut session = Session::new();
+        let query = decode_request(r#"{"op":"analyze","prog":"qubits 2; abort; h q0"}"#)
+            .unwrap()
+            .unwrap();
+        let resp = session.run(&query);
+        let line = encode_response(&query, &resp);
+        let value = Json::parse(&line).expect("response is JSON");
+        assert_eq!(
+            value.get("verdict").and_then(Json::as_str),
+            Some("analysis")
+        );
+        let findings = value
+            .get("findings")
+            .and_then(Json::as_array)
+            .expect("findings array");
+        assert!(!findings.is_empty());
+        let mut saw_certificate = false;
+        for f in findings {
+            assert!(f.get("pass").and_then(Json::as_str).is_some(), "{line}");
+            let severity = f.get("severity").and_then(Json::as_str).unwrap();
+            assert!(severity == "warning" || severity == "info", "{line}");
+            assert_eq!(f.get("span").and_then(Json::as_array).unwrap().len(), 2);
+            assert!(f.get("message").and_then(Json::as_str).is_some());
+            if let Some(cert) = f.get("certificate") {
+                saw_certificate = true;
+                // The certificate replays as a prog_eq request line.
+                let p = cert.get("p").and_then(Json::as_str).unwrap();
+                let q = cert.get("q").and_then(Json::as_str).unwrap();
+                assert_eq!(cert.get("expect").and_then(Json::as_str), Some("holds"));
+                let replay = format!(r#"{{"op":"prog_eq","p":{:?},"q":{:?}}}"#, p, q);
+                let replayed = decode_request(&replay).unwrap().expect("a query");
+                assert!(matches!(
+                    session.run(&replayed).verdict,
+                    Verdict::ProgEq { holds: true, .. }
+                ));
+                let stats = cert.get("stats").expect("certificate stats");
+                assert!(stats.get("starfree_hits").and_then(Json::as_i64).is_some());
+            }
+        }
+        assert!(saw_certificate, "abort-sink must be certified: {line}");
+        // Unknown pass names are rejected with the candidate list.
+        let err = decode_request(r#"{"op":"analyze","prog":"qubits 1; skip","passes":["bogus"]}"#)
+            .expect_err("unknown pass");
+        assert!(matches!(err, ApiError::Malformed(_)), "{err:?}");
+        assert!(err.to_string().contains("bogus"), "{err}");
     }
 
     #[test]

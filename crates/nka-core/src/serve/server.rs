@@ -58,7 +58,7 @@
 
 use super::stats::{OpHistograms, ServeCounters, StatsBlock};
 use crate::api::json::Json;
-use crate::api::{wire, Session, SessionOptions};
+use crate::api::{wire, AnalysisStats, Session, SessionOptions};
 use nka_wfa::DeciderStats;
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -320,6 +320,7 @@ struct WorkerPub {
     expr_subterms: u64,
     recycles: u64,
     queries: u64,
+    analysis: AnalysisStats,
 }
 
 /// Plain counters of the serve layer (see [`ServeCounters`]).
@@ -616,6 +617,7 @@ fn publish_worker(shared: &Shared, index: usize, session: &Session) {
     slot.expr_subterms = session.expr_subterms_seen();
     slot.recycles = session.engine_recycles();
     slot.queries = session.queries_run();
+    slot.analysis = session.analysis_stats();
 }
 
 /// The accept loop of one TCP listener.
@@ -736,6 +738,7 @@ impl ServerHandle {
         let mut expr_nodes = 0;
         let mut expr_subterms = 0;
         let mut recycles = 0;
+        let mut analysis = AnalysisStats::default();
         let mut worker_recycles = Vec::with_capacity(shared.published.len());
         let mut worker_queries = Vec::with_capacity(shared.published.len());
         for slot in &shared.published {
@@ -744,6 +747,7 @@ impl ServerHandle {
             expr_nodes += w.expr_nodes;
             expr_subterms += w.expr_subterms;
             recycles += w.recycles;
+            analysis = analysis.merged(&w.analysis);
             worker_recycles.push(w.recycles);
             worker_queries.push(w.queries);
         }
@@ -756,6 +760,7 @@ impl ServerHandle {
             queries: shared.hists.total(),
             elapsed: shared.started.elapsed(),
             ops: shared.hists.snapshot(),
+            analysis,
             serve: Some(ServeCounters {
                 connections_opened: c.connections_opened.load(Ordering::Relaxed),
                 connections_closed: c.connections_closed.load(Ordering::Relaxed),

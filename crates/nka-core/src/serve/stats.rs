@@ -19,18 +19,20 @@
 
 use super::histogram::{fmt_ns, HistogramSnapshot, LatencyHistogram};
 use crate::api::json::Json;
-use crate::api::QueryKind;
+use crate::api::{AnalysisStats, QueryKind};
+use nka_qprog::analysis::PASS_NAMES;
 use nka_wfa::DeciderStats;
 use std::time::Duration;
 
 /// Every wire op, in the order stats are reported.
-pub const OPS: [QueryKind; 6] = [
+pub const OPS: [QueryKind; 7] = [
     QueryKind::NkaEq,
     QueryKind::KaEq,
     QueryKind::Series,
     QueryKind::Prove,
     QueryKind::ProgEq,
     QueryKind::Hoare,
+    QueryKind::Analyze,
 ];
 
 fn op_index(kind: QueryKind) -> usize {
@@ -41,6 +43,7 @@ fn op_index(kind: QueryKind) -> usize {
         QueryKind::Prove => 3,
         QueryKind::ProgEq => 4,
         QueryKind::Hoare => 5,
+        QueryKind::Analyze => 6,
     }
 }
 
@@ -159,6 +162,9 @@ pub struct StatsBlock {
     pub elapsed: Duration,
     /// Per-op latency snapshots.
     pub ops: OpSnapshots,
+    /// Static-analyzer counters (findings per pass, Tier B decides,
+    /// certificate cache hits); all-zero until the first `analyze`.
+    pub analysis: AnalysisStats,
     /// Socket-server section, if the stream was served over sockets.
     pub serve: Option<ServeCounters>,
 }
@@ -231,6 +237,21 @@ impl StatsBlock {
                 fmt_ns(h.quantile(0.99)),
                 fmt_ns(h.quantile(0.999)),
                 fmt_ns(h.mean_ns()),
+            ));
+        }
+        if !self.analysis.is_zero() {
+            let per_pass: Vec<String> = PASS_NAMES
+                .iter()
+                .zip(self.analysis.findings_by_pass)
+                .filter(|(_, n)| *n > 0)
+                .map(|(pass, n)| format!("{pass}:{n}"))
+                .collect();
+            out.push_str(&format!(
+                "analysis stats: {} findings [{}], {} Tier B decides, {} certificate cache hits\n",
+                self.analysis.findings_total(),
+                per_pass.join(" "),
+                self.analysis.tier_b_decides,
+                self.analysis.cert_cache_hits,
             ));
         }
         if let Some(serve) = &self.serve {
@@ -320,6 +341,33 @@ impl StatsBlock {
             ));
         }
         fields.push(("ops".to_owned(), Json::Obj(ops)));
+        fields.push((
+            "analysis".to_owned(),
+            Json::Obj(vec![
+                (
+                    "findings".to_owned(),
+                    Json::Obj(
+                        PASS_NAMES
+                            .iter()
+                            .zip(self.analysis.findings_by_pass)
+                            .map(|(pass, n)| ((*pass).to_owned(), int(n)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "findings_total".to_owned(),
+                    int(self.analysis.findings_total()),
+                ),
+                (
+                    "tier_b_decides".to_owned(),
+                    int(self.analysis.tier_b_decides),
+                ),
+                (
+                    "cert_cache_hits".to_owned(),
+                    int(self.analysis.cert_cache_hits),
+                ),
+            ]),
+        ));
         if let Some(serve) = &self.serve {
             fields.push((
                 "serve".to_owned(),
@@ -432,6 +480,7 @@ mod tests {
             queries: hists.total(),
             elapsed: Duration::from_secs(1),
             ops: hists.snapshot(),
+            analysis: AnalysisStats::default(),
             serve,
         }
     }
@@ -493,5 +542,42 @@ mod tests {
     fn qps_is_queries_over_elapsed() {
         let block = sample_block(None);
         assert!((block.qps() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analysis_section_renders_only_when_nonzero_but_is_always_in_json() {
+        // All-zero analyzer counters: no human line (the historical
+        // line set is unchanged for non-analyze streams), but the JSON
+        // contract always carries the section, reading zero.
+        let quiet = sample_block(None);
+        assert!(!quiet.render_human().contains("analysis stats:"));
+        let value = Json::parse(&quiet.to_json().to_string()).unwrap();
+        let analysis = value.get("analysis").expect("analysis section");
+        assert_eq!(
+            analysis.get("tier_b_decides").and_then(Json::as_i64),
+            Some(0)
+        );
+        assert_eq!(
+            analysis.get("findings_total").and_then(Json::as_i64),
+            Some(0)
+        );
+        // Non-zero counters: human line lists only the active passes.
+        let mut busy = sample_block(None);
+        busy.analysis.tier_b_decides = 4;
+        busy.analysis.cert_cache_hits = 1;
+        busy.analysis.findings_by_pass[0] = 2; // unused_qubit
+        busy.analysis.findings_by_pass[5] = 1; // dead_branch
+        let text = busy.render_human();
+        assert!(
+            text.contains(
+                "analysis stats: 3 findings [unused_qubit:2 dead_branch:1], \
+                 4 Tier B decides, 1 certificate cache hits"
+            ),
+            "{text}"
+        );
+        let value = Json::parse(&busy.to_json().to_string()).unwrap();
+        let findings = value.get("analysis").unwrap().get("findings").unwrap();
+        assert_eq!(findings.get("dead_branch").and_then(Json::as_i64), Some(1));
+        assert_eq!(findings.get("metrics").and_then(Json::as_i64), Some(0));
     }
 }

@@ -39,6 +39,7 @@
 //! assert_eq!(expr.to_string(), "(m1 h)* m0");
 //! ```
 
+pub mod analysis;
 pub mod encode;
 pub mod hoare;
 pub mod normal_form;
@@ -46,6 +47,7 @@ pub mod program;
 pub mod semantics;
 pub mod surface;
 
+pub use analysis::{Certificate, CertificateStats, Finding, RuleMeta, SemanticCheck, Severity};
 pub use encode::{EncodeError, EncoderSetting};
 pub use hoare::{wlp, HoareTriple};
 pub use program::Program;
@@ -61,4 +63,6 @@ fn _static_assert_send_sync() {
     check::<SurfaceProgram>();
     check::<SurfaceEffect>();
     check::<HoareTriple>();
+    check::<Finding>();
+    check::<SemanticCheck>();
 }

@@ -139,6 +139,56 @@ impl fmt::Display for ParseProgError {
 
 impl std::error::Error for ParseProgError {}
 
+/// One surface statement together with its half-open byte span in the
+/// source — the unit the static analyzer (`crate::analysis`) reports
+/// findings against. Spans cover the whole statement, from its head
+/// keyword through its last token (including nested blocks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// What the statement is.
+    pub kind: StmtKind,
+    /// Half-open byte span `[start, end)` in the source text.
+    pub span: (usize, usize),
+}
+
+/// The statement alternatives of the surface grammar, in parsed (not
+/// lowered) form: qubit indices are range-checked, gate names are
+/// validated against the gate table, but nothing is embedded into
+/// matrices yet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `skip` — the identity program.
+    Skip,
+    /// `abort` — the zero program.
+    Abort,
+    /// `init qK` — reset one qubit to `|0⟩`.
+    Init(usize),
+    /// A gate application: surface name (`h`, `cnot`, …) plus its
+    /// target qubits in argument order.
+    Gate {
+        /// The surface gate name, validated against the gate table.
+        name: String,
+        /// Target qubit indices, in argument order (no repeats).
+        targets: Vec<usize>,
+    },
+    /// `if qK { … } else { … }` — outcome 1 selects the then-branch.
+    If {
+        /// The measured qubit.
+        qubit: usize,
+        /// Statements of the then-branch (outcome 1); empty = `skip`.
+        then_branch: Vec<Stmt>,
+        /// Statements of the else-branch (outcome 0); empty = `skip`.
+        else_branch: Vec<Stmt>,
+    },
+    /// `while qK { … }` — loop while the measurement yields 1.
+    While {
+        /// The measured qubit.
+        qubit: usize,
+        /// Statements of the loop body; empty = `skip`.
+        body: Vec<Stmt>,
+    },
+}
+
 /// A parsed program plus the exact source it came from.
 ///
 /// Equality (and the wire round-trip `decode(encode(q)) == q`) is *by
@@ -148,6 +198,8 @@ impl std::error::Error for ParseProgError {}
 pub struct SurfaceProgram {
     src: String,
     qubits: usize,
+    header_span: (usize, usize),
+    ast: Vec<Stmt>,
     prog: Program,
 }
 
@@ -175,10 +227,14 @@ impl SurfaceProgram {
     pub fn parse(src: &str) -> Result<SurfaceProgram, ParseProgError> {
         let tokens = tokenize(src)?;
         let mut p = Parser::new(tokens, src.len());
-        let (qubits, prog) = p.parse_program()?;
+        let (qubits, header_span, ast) = p.parse_program()?;
+        let space = qubit_space(qubits);
+        let prog = lower_seq(&space, qubits, &ast);
         Ok(SurfaceProgram {
             src: src.to_owned(),
             qubits,
+            header_span,
+            ast,
             prog,
         })
     }
@@ -205,6 +261,21 @@ impl SurfaceProgram {
     #[must_use]
     pub fn program(&self) -> &Program {
         &self.prog
+    }
+
+    /// The span-carrying statement AST the program was lowered from —
+    /// the surface the static analyzer (`crate::analysis`) walks. An
+    /// empty slice means the program body is `skip`.
+    #[must_use]
+    pub fn ast(&self) -> &[Stmt] {
+        &self.ast
+    }
+
+    /// The byte span of the `qubits N` header — where whole-program
+    /// findings (unused qubits, metrics) anchor.
+    #[must_use]
+    pub fn header_span(&self) -> (usize, usize) {
+        self.header_span
     }
 }
 
@@ -300,6 +371,10 @@ enum Token {
 
 /// A token plus its half-open byte span in the source.
 type Spanned = (Token, usize, usize);
+
+/// What `parse_program` yields: the qubit count, the `qubits N`
+/// header's byte span, and the span-carrying statement AST.
+type ParsedProgram = (usize, (usize, usize), Vec<Stmt>);
 
 fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseProgError> {
     let mut tokens = Vec::new();
@@ -468,8 +543,17 @@ impl Parser {
         }
     }
 
-    /// `program := 'qubits' NAT ';' seq?`
-    fn parse_program(&mut self) -> Result<(usize, Program), ParseProgError> {
+    /// The end of the most recently consumed token (0 before any).
+    fn prev_end(&self) -> usize {
+        self.pos
+            .checked_sub(1)
+            .and_then(|i| self.tokens.get(i))
+            .map_or(0, |&(_, _, e)| e)
+    }
+
+    /// `program := 'qubits' NAT ';' seq?` — returns the qubit count,
+    /// the header's byte span, and the span-carrying statement AST.
+    fn parse_program(&mut self) -> Result<ParsedProgram, ParseProgError> {
         let (s, e) = self.here();
         match self.bump() {
             Some(Token::Ident(kw)) if kw == "qubits" => {}
@@ -495,25 +579,19 @@ impl Parser {
                 ne,
             ));
         }
+        let header_span = (s, ne);
         self.expect(&Token::Semi, "';' after the qubit count")?;
-        let space = qubit_space(qubits);
-        let prog = self.parse_seq(&space, qubits, /* in_block: */ false)?;
+        let stmts = self.parse_seq(qubits, /* in_block: */ false)?;
         if self.pos != self.tokens.len() {
             return Err(self.err_here("trailing input"));
         }
-        Ok((qubits, prog))
+        Ok((qubits, header_span, stmts))
     }
 
     /// `seq := stmt (';' stmt)* ';'?` — empty means `skip`. When
     /// `in_block`, the sequence ends at `}` (not consumed here).
-    fn parse_seq(
-        &mut self,
-        space: &QubitSpace,
-        qubits: usize,
-        in_block: bool,
-    ) -> Result<Program, ParseProgError> {
-        let dim = 1usize << qubits;
-        let mut acc: Option<Program> = None;
+    fn parse_seq(&mut self, qubits: usize, in_block: bool) -> Result<Vec<Stmt>, ParseProgError> {
+        let mut stmts = Vec::new();
         loop {
             // Skip stray separators, stop at the closer / end.
             while self.peek() == Some(&Token::Semi) {
@@ -524,11 +602,7 @@ impl Parser {
                 Some(Token::RBrace) if in_block => break,
                 _ => {}
             }
-            let stmt = self.parse_stmt(space, qubits)?;
-            acc = Some(match acc {
-                None => stmt,
-                Some(prev) => prev.then(&stmt),
-            });
+            stmts.push(self.parse_stmt(qubits)?);
             // Statements are ';'-separated; a block closer or EOF may
             // follow the last one directly.
             match self.peek() {
@@ -538,62 +612,49 @@ impl Parser {
                 _ => return Err(self.err_here("expected ';' between statements")),
             }
         }
-        Ok(acc.unwrap_or_else(|| Program::skip(dim)))
+        Ok(stmts)
     }
 
     /// `block := '{' seq? '}'`
-    fn parse_block(
-        &mut self,
-        space: &QubitSpace,
-        qubits: usize,
-    ) -> Result<Program, ParseProgError> {
+    fn parse_block(&mut self, qubits: usize) -> Result<Vec<Stmt>, ParseProgError> {
         self.expect(&Token::LBrace, "'{'")?;
-        let body = self.parse_seq(space, qubits, true)?;
+        let body = self.parse_seq(qubits, true)?;
         self.expect(&Token::RBrace, "'}'")?;
         Ok(body)
     }
 
-    fn parse_stmt(&mut self, space: &QubitSpace, qubits: usize) -> Result<Program, ParseProgError> {
-        let dim = 1usize << qubits;
+    fn parse_stmt(&mut self, qubits: usize) -> Result<Stmt, ParseProgError> {
         let (s, e) = self.here();
         let Some(Token::Ident(head)) = self.bump() else {
             return Err(ParseProgError::new("expected a statement", s, e));
         };
-        match head.as_str() {
-            "skip" => Ok(Program::skip(dim)),
-            "abort" => Ok(Program::abort(dim)),
-            "init" => {
-                let q = self.parse_qubit(qubits)?;
-                Ok(Program::elementary(&format!("init_q{q}"), space.reset(q)))
-            }
+        let kind = match head.as_str() {
+            "skip" => StmtKind::Skip,
+            "abort" => StmtKind::Abort,
+            "init" => StmtKind::Init(self.parse_qubit(qubits)?),
             "if" => {
                 let q = self.parse_qubit(qubits)?;
-                let then_branch = self.parse_block(space, qubits)?;
+                let then_branch = self.parse_block(qubits)?;
                 let has_else = matches!(self.peek(), Some(Token::Ident(k)) if k == "else");
                 let else_branch = if has_else {
                     self.bump();
-                    self.parse_block(space, qubits)?
+                    self.parse_block(qubits)?
                 } else {
-                    Program::skip(dim)
+                    Vec::new()
                 };
-                Ok(Program::if_then_else(
-                    [format!("m0_q{q}"), format!("m1_q{q}")],
-                    &space.measure(q),
+                StmtKind::If {
+                    qubit: q,
                     then_branch,
                     else_branch,
-                ))
+                }
             }
             "while" => {
                 let q = self.parse_qubit(qubits)?;
-                let body = self.parse_block(space, qubits)?;
-                Ok(Program::while_loop(
-                    [format!("m0_q{q}"), format!("m1_q{q}")],
-                    &space.measure(q),
-                    body,
-                ))
+                let body = self.parse_block(qubits)?;
+                StmtKind::While { qubit: q, body }
             }
             gate => {
-                let Some((matrix, arity)) = gate_table(gate) else {
+                let Some((_, arity)) = gate_table(gate) else {
                     return Err(ParseProgError::new(
                         format!("unknown gate or statement {gate:?}"),
                         s,
@@ -613,16 +674,16 @@ impl Parser {
                     }
                     targets.push(q);
                 }
-                let name = std::iter::once(gate.to_owned())
-                    .chain(targets.iter().map(|q| format!("q{q}")))
-                    .collect::<Vec<_>>()
-                    .join("_");
-                Ok(Program::unitary(
-                    &name,
-                    &space.embed_gate(&matrix, &targets),
-                ))
+                StmtKind::Gate {
+                    name: gate.to_owned(),
+                    targets,
+                }
             }
-        }
+        };
+        Ok(Stmt {
+            kind,
+            span: (s, self.prev_end()),
+        })
     }
 
     /// `effect := term ('+' term)*`
@@ -725,6 +786,56 @@ impl Parser {
         }
         let base = matrix.unwrap_or_else(|| CMatrix::identity(dim));
         Ok(base.scale(Complex::from(scalar)))
+    }
+}
+
+/// Lowers a statement sequence to the semantic [`Program`]: statements
+/// fold left with `then`, and an empty sequence is `skip` — exactly the
+/// shape the pre-AST parser built, so encodings are unchanged.
+fn lower_seq(space: &QubitSpace, qubits: usize, stmts: &[Stmt]) -> Program {
+    let dim = 1usize << qubits;
+    let mut acc: Option<Program> = None;
+    for stmt in stmts {
+        let prog = lower_stmt(space, qubits, stmt);
+        acc = Some(match acc {
+            None => prog,
+            Some(prev) => prev.then(&prog),
+        });
+    }
+    acc.unwrap_or_else(|| Program::skip(dim))
+}
+
+/// Lowers one statement, deriving the Definition 4.4 encoder names
+/// (`h q0 ↦ h_q0`, measurement of `qK` ↦ `m0_qK`/`m1_qK`).
+fn lower_stmt(space: &QubitSpace, qubits: usize, stmt: &Stmt) -> Program {
+    let dim = 1usize << qubits;
+    match &stmt.kind {
+        StmtKind::Skip => Program::skip(dim),
+        StmtKind::Abort => Program::abort(dim),
+        StmtKind::Init(q) => Program::elementary(&format!("init_q{q}"), space.reset(*q)),
+        StmtKind::If {
+            qubit,
+            then_branch,
+            else_branch,
+        } => Program::if_then_else(
+            [format!("m0_q{qubit}"), format!("m1_q{qubit}")],
+            &space.measure(*qubit),
+            lower_seq(space, qubits, then_branch),
+            lower_seq(space, qubits, else_branch),
+        ),
+        StmtKind::While { qubit, body } => Program::while_loop(
+            [format!("m0_q{qubit}"), format!("m1_q{qubit}")],
+            &space.measure(*qubit),
+            lower_seq(space, qubits, body),
+        ),
+        StmtKind::Gate { name, targets } => {
+            let (matrix, _) = gate_table(name).expect("parser validated the gate name");
+            let enc_name = std::iter::once(name.clone())
+                .chain(targets.iter().map(|q| format!("q{q}")))
+                .collect::<Vec<_>>()
+                .join("_");
+            Program::unitary(&enc_name, &space.embed_gate(&matrix, targets))
+        }
     }
 }
 
@@ -896,6 +1007,42 @@ mod tests {
         assert!(err.message().contains("0 or 1"));
         assert!(SurfaceEffect::parse("I +", 1).is_err());
         assert!(SurfaceEffect::parse("", 1).is_err());
+    }
+
+    #[test]
+    fn ast_carries_statement_spans() {
+        let src = "qubits 2; h q0; if q1 { x q0 } else { }; while q0 { cnot q0 q1 }";
+        let p = SurfaceProgram::parse(src).unwrap();
+        assert_eq!(p.header_span(), (0, 8));
+        assert_eq!(&src[0..8], "qubits 2");
+        let ast = p.ast();
+        assert_eq!(ast.len(), 3);
+        let slice = |stmt: &Stmt| &src[stmt.span.0..stmt.span.1];
+        assert_eq!(slice(&ast[0]), "h q0");
+        assert_eq!(slice(&ast[1]), "if q1 { x q0 } else { }");
+        assert_eq!(slice(&ast[2]), "while q0 { cnot q0 q1 }");
+        let StmtKind::If {
+            qubit,
+            then_branch,
+            else_branch,
+        } = &ast[1].kind
+        else {
+            panic!("expected an if, got {:?}", ast[1].kind);
+        };
+        assert_eq!(*qubit, 1);
+        assert_eq!(slice(&then_branch[0]), "x q0");
+        assert!(else_branch.is_empty());
+        let StmtKind::While { body, .. } = &ast[2].kind else {
+            panic!("expected a while, got {:?}", ast[2].kind);
+        };
+        assert_eq!(slice(&body[0]), "cnot q0 q1");
+        assert_eq!(
+            body[0].kind,
+            StmtKind::Gate {
+                name: "cnot".to_owned(),
+                targets: vec![0, 1],
+            }
+        );
     }
 
     #[test]

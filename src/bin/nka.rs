@@ -24,6 +24,13 @@
 //!                                      check {pre} prog {post} via wlp;
 //!                                      the verdict carries the Thm 7.8
 //!                                      encoded inequality
+//! nka [--budget N] [--stats] [--json] analyze '<prog>' [pass…]
+//!                                      run the static analyzer: Tier A
+//!                                      syntactic lints plus Tier B
+//!                                      engine-backed findings, each
+//!                                      carrying a replayable prog-eq
+//!                                      certificate (dead code ⇔
+//!                                      zeroness, Def. 4.4)
 //! nka [--budget N] [--stats] [--json] [--jobs N]
 //!     [--max-queries-per-worker N] batch [FILE]
 //!                                      run a stream of queries (JSONL or
@@ -92,7 +99,8 @@
 //! ```
 
 use nka_core::api::{
-    run_batch_parallel_traced, wire, ApiError, Query, Session, SessionOptions, Verdict,
+    run_batch_parallel_traced, wire, AnalysisStats, ApiError, Query, Session, SessionOptions,
+    Verdict,
 };
 use nka_core::serve::{ListenAddr, OpHistograms, ServeConfig, Server, StatsBlock};
 use nka_core::Judgment;
@@ -121,7 +129,7 @@ const EXIT_NO: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_BUDGET: u8 = 3;
 
-const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] prog-eq '<prog>' '<prog>'\n  nka [--stats] [--json] hoare '<effect>' '<prog>' '<effect>'\n  nka [--budget N] [--stats] [--json] [--jobs N] [--max-queries-per-worker N]\n      batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] [--max-queries-per-worker N]\n      [--max-arena-nodes N] serve\n  nka … serve --listen ADDR [--listen ADDR…] [--workers N] [--queue-depth N]\n      [--max-pending N] [--max-line-bytes N] [--stats-interval SECS]\n  nka encode-demo\n\nprog-eq decides Enc(p) = Enc(q) for two quantum while-programs (one\nshared encoder setting, Definition 4.4); hoare checks the triple\n{pre} prog {post} via wlp and reports the Theorem 7.8 encoding.\nPrograms: 'qubits N; h q0; cnot q0 q1; if q0 {…} else {…}; while q0 {…}'\n(gates: h x y z s t cnot cz swap; also init qK, skip, abort).\nEffects: sums of scaled projectors, e.g. 'I', '0.5 I', 'ket(01)', 'q0=1'.\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps],\n   prog_eq [p, q], hoare [pre, prog, post])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n--jobs N shards a batch across N parallel worker sessions in bounded\nchunks; verdicts, output order, and exit codes are identical to\n--jobs 1. --max-queries-per-worker N recycles a session's engine\ncaches every N queries (memory backstop; verdicts unchanged);\nserve --max-arena-nodes N exits 3 once the process-wide resident\nexpression arena exceeds N nodes, so a supervisor can restart it.\n\nserve --listen ADDR starts the concurrent socket server instead of the\nstdin loop: ADDR is 'host:port' (TCP; repeatable) or 'unix:/path'.\n--workers N sizes the pool of warm sessions (default: CPU count, max 8);\n--queue-depth N bounds each connection's in-flight window (backpressure:\nthe server stops reading a connection whose window is full, default 64);\n--max-pending N is the server-wide hard cap past which requests are\nanswered with a structured 'overloaded' error (default 1024);\n--max-line-bytes N rejects longer request lines (default 1 MiB);\n--stats-interval SECS prints a --stats snapshot to stderr periodically.\nSIGTERM/SIGINT (and --max-arena-nodes) drain gracefully: stop accepting,\nanswer every request already read, then exit (0 for signals, 3 for the\narena cap). nka-loadgen replays corpora against the server and diffs\nevery response against a sequential in-process session.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; batch: 0 all answered, 2 any malformed line,\nelse 3 any budget-exhausted query; serve: 0 at end of input or after\na signal-initiated drain, 3 if --max-arena-nodes tripped";
+const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] prog-eq '<prog>' '<prog>'\n  nka [--stats] [--json] hoare '<effect>' '<prog>' '<effect>'\n  nka [--budget N] [--stats] [--json] analyze '<prog>' [pass…]\n  nka [--budget N] [--stats] [--json] [--jobs N] [--max-queries-per-worker N]\n      batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] [--max-queries-per-worker N]\n      [--max-arena-nodes N] serve\n  nka … serve --listen ADDR [--listen ADDR…] [--workers N] [--queue-depth N]\n      [--max-pending N] [--max-line-bytes N] [--stats-interval SECS]\n  nka encode-demo\n\nprog-eq decides Enc(p) = Enc(q) for two quantum while-programs (one\nshared encoder setting, Definition 4.4); hoare checks the triple\n{pre} prog {post} via wlp and reports the Theorem 7.8 encoding.\nanalyze lints a program: Tier A passes (unused_qubit, unreachable_code,\nself_inverse_pair, constant_guard, metrics) are purely syntactic;\nTier B passes (dead_branch, redundant_fragment, peephole) are decided\nby the engine and every finding carries a replayable prog-eq\ncertificate. Naming passes after the program restricts the run.\nPrograms: 'qubits N; h q0; cnot q0 q1; if q0 {…} else {…}; while q0 {…}'\n(gates: h x y z s t cnot cz swap; also init qK, skip, abort).\nEffects: sums of scaled projectors, e.g. 'I', '0.5 I', 'ket(01)', 'q0=1'.\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps],\n   prog_eq [p, q], hoare [pre, prog, post], analyze [prog, passes])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n--jobs N shards a batch across N parallel worker sessions in bounded\nchunks; verdicts, output order, and exit codes are identical to\n--jobs 1. --max-queries-per-worker N recycles a session's engine\ncaches every N queries (memory backstop; verdicts unchanged);\nserve --max-arena-nodes N exits 3 once the process-wide resident\nexpression arena exceeds N nodes, so a supervisor can restart it.\n\nserve --listen ADDR starts the concurrent socket server instead of the\nstdin loop: ADDR is 'host:port' (TCP; repeatable) or 'unix:/path'.\n--workers N sizes the pool of warm sessions (default: CPU count, max 8);\n--queue-depth N bounds each connection's in-flight window (backpressure:\nthe server stops reading a connection whose window is full, default 64);\n--max-pending N is the server-wide hard cap past which requests are\nanswered with a structured 'overloaded' error (default 1024);\n--max-line-bytes N rejects longer request lines (default 1 MiB);\n--stats-interval SECS prints a --stats snapshot to stderr periodically.\nSIGTERM/SIGINT (and --max-arena-nodes) drain gracefully: stop accepting,\nanswer every request already read, then exit (0 for signals, 3 for the\narena cap). nka-loadgen replays corpora against the server and diffs\nevery response against a sequential in-process session.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; analyze: 0 clean or info-only findings,\n1 any warning-severity finding; batch: 0 all answered, 2 any malformed\nline, else 3 any budget-exhausted query; serve: 0 at end of input or\nafter a signal-initiated drain, 3 if --max-arena-nodes tripped";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -137,6 +145,7 @@ struct StatsReport {
     expr_nodes: u64,
     expr_subterms: u64,
     engine_recycles: u64,
+    analysis: AnalysisStats,
 }
 
 impl StatsReport {
@@ -146,6 +155,7 @@ impl StatsReport {
             expr_nodes: session.expr_nodes_seen(),
             expr_subterms: session.expr_subterms_seen(),
             engine_recycles: session.engine_recycles(),
+            analysis: session.analysis_stats(),
         }
     }
 
@@ -161,6 +171,7 @@ impl StatsReport {
             queries: ops.total(),
             elapsed,
             ops,
+            analysis: self.analysis,
             serve: None,
         }
     }
@@ -436,6 +447,12 @@ fn main() -> ExitCode {
             &hists,
             Query::hoare(&rest[1], &rest[2], &rest[3]),
         ),
+        Some("analyze") if rest.len() >= 2 => one_shot(
+            &mut session,
+            json,
+            &hists,
+            Query::analyze(&rest[1], &rest[2..]),
+        ),
         Some("batch") if rest.len() <= 2 && jobs <= 1 => {
             batch(&mut session, json, &hists, rest.get(1).map(String::as_str))
         }
@@ -503,6 +520,37 @@ fn one_shot(
         }
         if terms.is_empty() {
             out!("  (the zero series)");
+        }
+    } else if let (Query::Analyze { prog, .. }, Verdict::Analysis { findings }) =
+        (&query, &resp.verdict)
+    {
+        // The wire rendering is one summary line; interactively each
+        // finding gets its caret on the program source, plus the
+        // replayable certificate for the Tier B (engine-backed) ones.
+        out!("{}", wire::encode_response_text(&query, &resp));
+        for finding in findings {
+            out!();
+            out!("{} [{}]", finding.severity, finding.pass);
+            out!(
+                "{}",
+                nka_syntax::render_caret(
+                    prog.source(),
+                    finding.span.0,
+                    finding.span.1,
+                    &finding.message,
+                )
+            );
+            if let Some(cert) = &finding.certificate {
+                out!(
+                    "  certificate: prog-eq {:?} {:?} (expect: {})",
+                    cert.p,
+                    cert.q,
+                    cert.expect
+                );
+                if let Some(rule) = cert.rule {
+                    out!("  rule: {rule}");
+                }
+            }
         }
     } else {
         out!("{}", wire::encode_response_text(&query, &resp));
@@ -666,6 +714,7 @@ fn batch_parallel(
         expr_nodes: 0,
         expr_subterms: 0,
         engine_recycles: 0,
+        analysis: AnalysisStats::default(),
     };
     let mut code = EXIT_OK;
     let mut read_error: Option<String> = None;
@@ -706,8 +755,9 @@ fn batch_parallel(
         }
 
         // Answer and flush this chunk before reading the next.
-        let (responses, recycles) = run_batch_parallel_traced(&queries, opts, jobs);
+        let (responses, recycles, analysis) = run_batch_parallel_traced(&queries, opts, jobs);
         agg.engine_recycles += recycles;
+        agg.analysis = agg.analysis.merged(&analysis);
         for decoded in &lines {
             match decoded {
                 BatchLine::Skip => {}

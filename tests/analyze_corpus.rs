@@ -1,0 +1,191 @@
+//! The golden static-analysis corpus, end to end: the checked-in
+//! 20-program `analyze` fixture must decode, answer with its recorded
+//! findings (pass list in span order, warning count) on an in-process
+//! `Session`, replay every embedded Tier B certificate on a *fresh*
+//! session, and produce byte-identical output through the real
+//! `nka batch --json` binary — sequentially and sharded over
+//! `--jobs 4` workers (the determinism contract certificate stats are
+//! designed around: every Tier B check pair in the fixture is
+//! encoding-distinct, so worker layout cannot change the recorded
+//! engine deltas).
+
+use nka_quantum::api::json::Json;
+use nka_quantum::api::{wire, Query, Session, Verdict};
+use std::process::Command;
+
+const CORPUS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/analyze_20.jsonl");
+
+/// `(query, expected pass list, expected warning count)` per corpus
+/// line, via the wire decoder (which ignores the `expect*` keys) plus
+/// a raw-JSON read of them.
+fn load_corpus() -> Vec<(Query, Vec<String>, usize)> {
+    let text = std::fs::read_to_string(CORPUS).expect("fixture readable");
+    text.lines()
+        .filter_map(|line| {
+            let query = wire::decode_request(line)
+                .unwrap_or_else(|err| panic!("bad fixture line {line:?}: {err}"))?;
+            let value = Json::parse(line).expect("fixture line is JSON");
+            assert_eq!(
+                value.get("expect").and_then(Json::as_str),
+                Some("analysis"),
+                "fixture line lacks expect: {line}"
+            );
+            let passes: Vec<String> = value
+                .get("expect_passes")
+                .and_then(Json::as_array)
+                .unwrap_or_else(|| panic!("fixture line lacks expect_passes: {line}"))
+                .iter()
+                .map(|p| p.as_str().expect("pass name is a string").to_owned())
+                .collect();
+            let warnings = value
+                .get("expect_warnings")
+                .and_then(Json::as_i64)
+                .unwrap_or_else(|| panic!("fixture line lacks expect_warnings: {line}"))
+                as usize;
+            Some((query, passes, warnings))
+        })
+        .collect()
+}
+
+#[test]
+fn fixture_has_20_analyze_queries_covering_six_pass_kinds() {
+    let corpus = load_corpus();
+    assert_eq!(corpus.len(), 20);
+    assert!(corpus
+        .iter()
+        .all(|(q, _, _)| matches!(q, Query::Analyze { .. })));
+    let mut kinds: Vec<&str> = corpus
+        .iter()
+        .flat_map(|(_, passes, _)| passes.iter().map(String::as_str))
+        .collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    assert!(
+        kinds.len() >= 6,
+        "corpus covers only {} pass kinds: {kinds:?}",
+        kinds.len()
+    );
+    // Both Tier A and Tier B findings are represented.
+    for required in ["dead_branch", "unused_qubit", "constant_guard", "peephole"] {
+        assert!(kinds.contains(&required), "no {required} finding");
+    }
+    // Both verdict polarities: some lines warn, some are info-only.
+    assert!(corpus.iter().any(|(_, _, w)| *w > 0));
+    assert!(corpus.iter().any(|(_, _, w)| *w == 0));
+}
+
+/// The in-process oracle: one warm session must answer every corpus
+/// line with its recorded pass list and warning count, and every
+/// embedded Tier B certificate must replay to `holds` on a fresh
+/// session.
+#[test]
+fn oracle_session_answers_the_recorded_findings_and_certificates_replay() {
+    let corpus = load_corpus();
+    let mut session = Session::new();
+    let mut replayed = 0;
+    for (i, (query, expect_passes, expect_warnings)) in corpus.iter().enumerate() {
+        let resp = session.run(query);
+        let Verdict::Analysis { findings } = &resp.verdict else {
+            panic!("line {}: expected an Analysis verdict", i + 1);
+        };
+        let passes: Vec<&str> = findings.iter().map(|f| f.pass).collect();
+        assert_eq!(&passes, expect_passes, "line {} findings drifted", i + 1);
+        let warnings = findings
+            .iter()
+            .filter(|f| f.severity == nka_quantum::qprog::Severity::Warning)
+            .count();
+        assert_eq!(warnings, *expect_warnings, "line {} warnings", i + 1);
+        // Findings are reported in span order (the determinism the
+        // --jobs byte-diff relies on).
+        assert!(
+            findings.windows(2).all(|w| w[0].span.0 <= w[1].span.0),
+            "line {} findings unsorted",
+            i + 1
+        );
+        for finding in findings {
+            let Some(cert) = &finding.certificate else {
+                continue;
+            };
+            assert_eq!(cert.expect, "holds");
+            let replay = Query::prog_eq(&cert.p, &cert.q)
+                .unwrap_or_else(|err| panic!("line {}: bad certificate: {err}", i + 1));
+            let verdict = Session::new().run(&replay).verdict;
+            assert!(
+                matches!(verdict, Verdict::ProgEq { holds: true, .. }),
+                "line {}: certificate failed to replay: {} vs {}",
+                i + 1,
+                cert.p,
+                cert.q
+            );
+            replayed += 1;
+        }
+    }
+    assert!(replayed >= 5, "only {replayed} certificates replayed");
+}
+
+/// Runs `nka batch --json` over the corpus with the given extra args;
+/// returns the stable projection of each output line (per-execution
+/// `stats`/`micros` dropped).
+fn batch_lines(extra: &[&str]) -> Vec<String> {
+    let output = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(extra.iter().copied().chain(["batch", "--json", CORPUS]))
+        .output()
+        .expect("nka binary runs");
+    assert!(
+        output.status.success(),
+        "batch exited {:?}: {}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("UTF-8 output");
+    stdout
+        .lines()
+        .map(|line| {
+            let value = Json::parse(line)
+                .unwrap_or_else(|err| panic!("unparseable output line ({err}): {line}"));
+            let Json::Obj(fields) = &value else {
+                panic!("response is not an object: {line}")
+            };
+            fields
+                .iter()
+                .filter(|(k, _)| k != "stats" && k != "micros")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect()
+}
+
+#[test]
+fn nka_batch_matches_the_oracle_sequentially_and_parallel() {
+    let corpus = load_corpus();
+    let sequential = batch_lines(&[]);
+    assert_eq!(sequential.len(), 20, "one response line per query");
+    for (i, (line, (_, expect_passes, _))) in sequential.iter().zip(&corpus).enumerate() {
+        assert!(
+            line.contains("verdict=\"analysis\""),
+            "line {}: {line}",
+            i + 1
+        );
+        for pass in expect_passes {
+            assert!(
+                line.contains(pass.as_str()),
+                "line {} lacks {pass}: {line}",
+                i + 1
+            );
+        }
+    }
+    // --jobs 4 must be byte-identical on the stable projection — this
+    // includes every certificate's embedded engine-stats delta, so a
+    // worker-layout-dependent cache interaction would fail here.
+    let parallel = batch_lines(&["--jobs", "4"]);
+    assert_eq!(parallel.len(), 20);
+    for (i, (seq, par)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            seq,
+            par,
+            "line {}: --jobs 4 diverged from sequential",
+            i + 1
+        );
+    }
+}

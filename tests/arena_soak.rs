@@ -274,6 +274,88 @@ fn distinct_prog_eq_traffic_keeps_the_arena_bounded() {
 }
 
 #[test]
+fn distinct_analyze_traffic_keeps_the_arena_bounded() {
+    let _serial = soak_lock();
+    let n = prog_eq_soak_queries();
+    // Distinct abort-sealed branches: every program carries a genuinely
+    // new dead arm, so each query runs a fresh Tier B zeroness decide
+    // that *holds* and emits a certificate — the analyzer's memory
+    // contract is that even holding checks never promote (unlike
+    // `prog_eq`, whose equal pairs persist their encodings): Tier B
+    // analyses are scratch-scoped end to end, so 10k distinct analyzed
+    // programs must add zero persistent arena nodes.
+    let queries: Vec<Query> = (0..n)
+        .map(|i| {
+            let gates = &gate_word(i)["qubits 1; ".len()..];
+            let prog = format!("qubits 1; if q0 {{ {gates}; abort }} else {{ skip }}");
+            Query::analyze(&prog, &[] as &[&str]).expect("well-formed")
+        })
+        .collect();
+
+    let persistent_before = interned_expr_count();
+    let resident_before = arena_resident_nodes();
+    let retired_before = scratch_retired_total();
+    let symbols_before = Symbol::interned_count();
+
+    let mut session = Session::new();
+    for (i, query) in queries.iter().enumerate() {
+        let resp = session.run(query);
+        let Verdict::Analysis { findings } = &resp.verdict else {
+            panic!(
+                "query {i}: expected an Analysis verdict, got {:?}",
+                resp.verdict
+            );
+        };
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.pass == "dead_branch" && f.certificate.is_some()),
+            "query {i}: the abort-sealed arm must yield a certified dead_branch finding"
+        );
+    }
+
+    let persistent_growth = interned_expr_count() - persistent_before;
+    let retired = scratch_retired_total() - retired_before;
+    let symbol_growth = Symbol::interned_count() - symbols_before;
+    let analysis = session.analysis_stats();
+    println!(
+        "analyze soak: {n} distinct programs, {} Tier B decides ({} cache hits); \
+         persistent +{persistent_growth} nodes, resident {resident_before} -> {}, \
+         scratch retired {retired}, symbols +{symbol_growth}",
+        analysis.tier_b_decides,
+        analysis.cert_cache_hits,
+        arena_resident_nodes(),
+    );
+    // The acceptance gate: zero persistent growth (the usual slack for
+    // lazily interned constants) even though every query's dead-branch
+    // check held.
+    assert!(
+        persistent_growth <= 16,
+        "analyze traffic leaked {persistent_growth} persistent arena nodes over {n} queries"
+    );
+    assert_eq!(
+        arena_resident_nodes() - interned_expr_count(),
+        resident_before - persistent_before,
+        "live scratch nodes leaked across analyze queries"
+    );
+    // Every query ran at least its dead-branch and whole-program
+    // checks through the scratch region.
+    assert!(
+        retired >= 6 * n as u64,
+        "analyze checks retired only {retired} scratch nodes over {n} queries"
+    );
+    assert!(
+        analysis.tier_b_decides >= n as u64,
+        "only {} Tier B decides over {n} distinct programs",
+        analysis.tier_b_decides
+    );
+    assert!(
+        symbol_growth <= 8,
+        "analyze traffic grew the symbol table by {symbol_growth} names"
+    );
+}
+
+#[test]
 fn equal_prog_eq_pairs_persist_only_their_promoted_encodings() {
     let _serial = soak_lock();
     // Equal pairs (skip-padding): the decided-equal encodings are

@@ -14,6 +14,46 @@
 use nka_quantum::{Query, Session, Verdict};
 use std::time::{Duration, Instant};
 
+/// The analyzer's acceptance bound: a full default-pass `analyze` of
+/// the same 14-gate loop-free program completes in well under 5 ms on
+/// a warm session. The warm-up query is a *different* program, so the
+/// timed run still performs its Tier B semantic checks on the engine
+/// (certificate-cache cold) — the bound holds because loop-free checks
+/// ride the star-free fast path, not because the answer was memoized.
+#[test]
+fn fourteen_gate_analyze_is_under_five_millis_warm() {
+    let mut session = Session::new();
+    let warmup = Query::analyze("qubits 2; h q0; cnot q0 q1", &[] as &[&str]).unwrap();
+    session.run(&warmup);
+    let decides_before = session.analysis_stats().tier_b_decides;
+
+    let query = Query::analyze(&fourteen_gates(), &[] as &[&str]).unwrap();
+    let start = Instant::now();
+    let resp = session.run(&query);
+    let elapsed = start.elapsed();
+
+    assert!(
+        matches!(resp.verdict, Verdict::Analysis { .. }),
+        "expected an Analysis verdict, got {:?}",
+        resp.verdict
+    );
+    assert!(
+        session.analysis_stats().tier_b_decides > decides_before,
+        "the timed analyze ran no Tier B engine check — bound is vacuous"
+    );
+    assert_eq!(session.analysis_stats().cert_cache_hits, 0);
+
+    let bound = if cfg!(debug_assertions) {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_millis(5)
+    };
+    assert!(
+        elapsed < bound,
+        "14-gate loop-free analyze took {elapsed:?} (bound {bound:?})"
+    );
+}
+
 /// A deterministic loop-free 14-gate two-qubit program (same shape as
 /// the `decide/prog_eq_loop_free` bench subject).
 fn fourteen_gates() -> String {

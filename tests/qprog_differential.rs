@@ -23,10 +23,13 @@
 mod support;
 
 use nka_quantum::api::SessionOptions;
+use nka_quantum::qprog::SurfaceProgram;
 use nka_quantum::wfa::decide::DecideOptions;
 use nka_quantum::{Query, Session, Verdict};
 use proptest::prelude::*;
-use support::{loop_free_programs, rewrite_preserving, semantically_equal, small_programs, RProg};
+use support::{
+    loop_free_programs, rewrite_preserving, semantically_equal, small_programs, RProg, RStmt,
+};
 
 /// Runs a `ProgEq` query on a warm session; panics on anything but a
 /// program verdict (the budget is far above these term sizes).
@@ -179,6 +182,74 @@ proptest! {
             prop_assert_eq!(
                 generic.stats_delta.starfree_hits + generic.stats_delta.prefix_hits, 0,
                 "disabled fast path still reported hits"
+            );
+        }
+    }
+
+    /// Tier B soundness for the static analyzer: every `dead_branch`
+    /// finding's embedded certificate replays to the same verdict
+    /// (`holds`) on a *fresh* session, and the flagged arm really is
+    /// the zero superoperator — `⟦if qK { arm } else { abort }⟧ =
+    /// ⟦abort⟧` under the density-basis oracle (dead code ⇔ zeroness,
+    /// Definition 4.4). An abort-sealed arm is injected so every case
+    /// is guaranteed at least one finding to check.
+    #[test]
+    fn dead_branch_certificates_replay_and_are_semantically_zero(
+        p in small_programs(),
+        seed in 0u64..1 << 32,
+    ) {
+        let mut rng = TestRng::deterministic(&format!("deadbranch::{seed}"));
+        let guard = rng.below(p.qubits as u64) as usize;
+        let mut body = p.body.clone();
+        // The arm ends in `abort`, so Enc(arm) = Enc(prefix) · 0 = 0
+        // whatever the generated prefix does.
+        let mut arm = match rng.below(3) {
+            0 => vec![RStmt::Gate1("h", guard)],
+            1 => vec![RStmt::Init(guard)],
+            _ => Vec::new(),
+        };
+        arm.push(RStmt::Abort);
+        body.push(RStmt::If(guard, arm, vec![RStmt::Skip]));
+        let prog = RProg { qubits: p.qubits, body };
+
+        let query = Query::analyze(&prog.to_string(), &["dead_branch"])
+            .unwrap_or_else(|err| panic!("generated program malformed: {err}\n  {prog}"));
+        let mut session = Session::new();
+        let Verdict::Analysis { findings } = session.run(&query).verdict else {
+            panic!("expected an Analysis verdict for {prog}");
+        };
+        let dead: Vec<_> = findings.iter().filter(|f| f.pass == "dead_branch").collect();
+        prop_assert!(
+            !dead.is_empty(),
+            "the abort-sealed arm must be flagged dead\n  {}",
+            prog
+        );
+        for finding in dead {
+            let cert = finding
+                .certificate
+                .as_ref()
+                .unwrap_or_else(|| panic!("dead_branch finding without certificate: {prog}"));
+            prop_assert_eq!(cert.expect, "holds");
+            // Replay on a fresh session: same query, same verdict.
+            let replay = Query::prog_eq(&cert.p, &cert.q)
+                .unwrap_or_else(|err| panic!("certificate does not re-parse: {err}\n  {prog}"));
+            let verdict = Session::new().run(&replay).verdict;
+            prop_assert!(
+                matches!(verdict, Verdict::ProgEq { holds: true, .. }),
+                "certificate failed to replay\n  p: {}\n  q: {}\n  got {:?}",
+                cert.p, cert.q, verdict
+            );
+            // Ground truth: the flagged arm is semantically zero. The
+            // certificate's LHS wraps it as `if qK { arm } else
+            // { abort }`, so its denotation must equal ⟦abort⟧.
+            let lhs = SurfaceProgram::parse(&cert.p)
+                .unwrap_or_else(|err| panic!("certificate LHS malformed: {err}\n  {}", cert.p));
+            let abort = SurfaceProgram::parse(&format!("qubits {}; abort", prog.qubits))
+                .expect("abort program parses");
+            prop_assert!(
+                semantically_equal(&lhs, &abort, SEM_TOL),
+                "flagged-dead arm is not semantically zero\n  cert.p: {}",
+                cert.p
             );
         }
     }

@@ -62,6 +62,18 @@ fn malformed_lines() -> Vec<(&'static str, &'static str, &'static str)> {
             "p",
             "twice",
         ),
+        // Truncated program in an analyze request.
+        (
+            r#"{"op":"analyze","prog":"qubits 1; while q0 { h q0"}"#,
+            "prog",
+            "expected",
+        ),
+        // Oversized analyze request (register cap is 5 qubits).
+        (
+            r#"{"op":"analyze","prog":"qubits 9; h q0; h q1; h q2"}"#,
+            "prog",
+            "1..=5",
+        ),
     ]
 }
 
@@ -102,6 +114,53 @@ fn decode_rejects_each_line_with_field_and_span() {
     let err = wire::decode_request(r#"{"op":"prog_eq","p":"qubits 1; skip","q":"qubits 2; skip"}"#)
         .expect_err("mismatched qubit counts");
     assert!(matches!(err, ApiError::Malformed(_)), "{err:?}");
+}
+
+/// An unknown pass name is a wire-level malformation like the
+/// dimension mismatch above: structured `verdict:"error"` but no span
+/// (the program source itself is fine), with the valid pass names
+/// listed in the message; through `serve` the stream stays alive and
+/// the next analyze request still answers.
+#[test]
+fn analyze_unknown_pass_is_malformed_and_stream_survives() {
+    let bad = r#"{"op":"analyze","prog":"qubits 1; h q0","passes":["bogus"]}"#;
+    let err = wire::decode_request(bad).expect_err("unknown pass name");
+    assert!(matches!(err, ApiError::Malformed(_)), "{err:?}");
+    let message = err.to_string();
+    assert!(message.contains("bogus"), "{message}");
+    assert!(message.contains("dead_branch"), "{message}");
+    let encoded = wire::encode_error(&err);
+    let value = Json::parse(&encoded).expect("error line is JSON");
+    assert_eq!(value.get("verdict").and_then(Json::as_str), Some("error"));
+    assert!(value.get("span").is_none(), "{encoded}");
+
+    let good = r#"{"op":"analyze","prog":"qubits 1; abort; h q0"}"#;
+    let input = format!("{bad}\n{good}\n");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["serve", "--json"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("nka binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write serve input");
+    let output = child.wait_with_output().expect("serve completes");
+    assert_eq!(output.status.code(), Some(0), "serve exits 0 at EOF");
+    let stdout = String::from_utf8(output.stdout).expect("UTF-8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].contains("\"error\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"analysis\""), "{}", lines[1]);
+    assert!(
+        lines[1].contains("unreachable_code"),
+        "the good analyze line still runs every pass: {}",
+        lines[1]
+    );
 }
 
 /// One batch stream interleaving every malformed line with good
@@ -211,6 +270,16 @@ fn error_only_stream_reports_zero_fast_path_counters() {
             engine.get(key).and_then(Json::as_i64),
             Some(0),
             "fast-path counter {key:?} moved on an error-only stream:\n{stderr}"
+        );
+    }
+    // Ditto the analyzer counters: the malformed analyze lines were
+    // rejected at decode time, so no pass ever ran.
+    let analysis = stats.get("analysis").expect("analysis section");
+    for key in ["findings_total", "tier_b_decides", "cert_cache_hits"] {
+        assert_eq!(
+            analysis.get(key).and_then(Json::as_i64),
+            Some(0),
+            "analyzer counter {key:?} moved on an error-only stream:\n{stderr}"
         );
     }
 }
