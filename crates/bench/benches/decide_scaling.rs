@@ -141,12 +141,14 @@ fn bench_decide(c: &mut Criterion) {
             [("equal", true, &equal), ("refuted", false, &refuted)]
         {
             for (pipeline, starfree_max_words) in [("fast", 8192usize), ("generic", 0)] {
-                let options = || SessionOptions {
-                    decide: nka_wfa::decide::DecideOptions {
-                        starfree_max_words,
-                        ..DecideOptions::default()
-                    },
-                    ..SessionOptions::default()
+                let options = || {
+                    SessionOptions::builder()
+                        .decide(nka_wfa::decide::DecideOptions {
+                            starfree_max_words,
+                            ..DecideOptions::default()
+                        })
+                        .build()
+                        .expect("bench options are in range")
                 };
                 // Both pipelines must agree on the verdict before any
                 // timing is trusted.

@@ -85,6 +85,7 @@ pub mod wire;
 use crate::judgment::Judgment;
 use crate::proof::Proof;
 use crate::prover::{ProveOutcome, Prover};
+use crate::snapshot::{self, ConfigGuard, LoadedSnapshot, SnapshotBuilder, SnapshotError};
 use nka_qprog::{
     analysis, hoare::HoareTriple, Certificate, CertificateStats, EncoderSetting, Finding,
     ParseProgError, SemanticCheck, SurfaceEffect, SurfaceProgram,
@@ -95,6 +96,8 @@ use nka_wfa::{DecideOptions, Decider, DeciderStats};
 use qsim_linalg::CMatrix;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A typed request against the NKA theory. See the [module docs](self)
@@ -674,7 +677,15 @@ impl std::error::Error for ApiError {
 }
 
 /// Configuration for a [`Session`].
+///
+/// Since API v1.1 this struct is `#[non_exhaustive]`: external code
+/// constructs it through [`SessionOptions::builder`] (validated, with
+/// defaults for every field) or starts from
+/// [`SessionOptions::default`] — bare struct literals no longer
+/// compile outside this crate, so new fields can ship without breaking
+/// embedders. See the README migration note.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SessionOptions {
     /// Resource policy of the underlying decision engine.
     pub decide: DecideOptions,
@@ -699,6 +710,13 @@ pub struct SessionOptions {
     /// `None` (the default) never recycles. Surfaced as
     /// `nka serve|batch --max-queries-per-worker N`.
     pub recycle_after_queries: Option<u64>,
+    /// Warm-state snapshot file ([`crate::snapshot`]): when set, the
+    /// session re-dumps its exportable caches here every time the
+    /// recycling backstop retires an engine, so the warm state survives
+    /// the recycle-and-restart lifecycle. Loading is explicit
+    /// ([`Session::load_snapshot_file`]) — a session never trusts a
+    /// file it was not asked to read. `None` (the default) never dumps.
+    pub snapshot_path: Option<PathBuf>,
 }
 
 impl Default for SessionOptions {
@@ -709,7 +727,125 @@ impl Default for SessionOptions {
             prove_max_term_size: 120,
             series_max_words: 1_000_000,
             recycle_after_queries: None,
+            snapshot_path: None,
         }
+    }
+}
+
+impl SessionOptions {
+    /// A validated builder starting from the defaults — the supported
+    /// construction path for external code now that the struct is
+    /// `#[non_exhaustive]`.
+    ///
+    /// ```
+    /// use nka_core::api::SessionOptions;
+    /// let opts = SessionOptions::builder()
+    ///     .max_dfa_states(50_000)
+    ///     .recycle_after_queries(Some(10_000))
+    ///     .build()?;
+    /// assert_eq!(opts.decide.max_dfa_states, 50_000);
+    /// # Ok::<(), nka_core::api::ApiError>(())
+    /// ```
+    #[must_use]
+    pub fn builder() -> SessionOptionsBuilder {
+        SessionOptionsBuilder {
+            opts: SessionOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`SessionOptions`]: every setter overrides one default,
+/// and [`SessionOptionsBuilder::build`] range-checks the combination
+/// so a misconfigured session fails loudly at construction instead of
+/// silently never answering.
+#[derive(Debug, Clone)]
+pub struct SessionOptionsBuilder {
+    opts: SessionOptions,
+}
+
+impl SessionOptionsBuilder {
+    /// Replaces the whole engine resource policy.
+    #[must_use]
+    pub fn decide(mut self, decide: DecideOptions) -> Self {
+        self.opts.decide = decide;
+        self
+    }
+
+    /// Subset-construction state budget
+    /// ([`DecideOptions::max_dfa_states`]).
+    #[must_use]
+    pub fn max_dfa_states(mut self, max_dfa_states: usize) -> Self {
+        self.opts.decide.max_dfa_states = max_dfa_states;
+        self
+    }
+
+    /// Auto-prover expansion budget per [`Query::Prove`]. Zero is a
+    /// supported degenerate configuration: the search proves nothing,
+    /// but prove queries still classify via the decision procedure.
+    #[must_use]
+    pub fn prove_max_expansions(mut self, prove_max_expansions: usize) -> Self {
+        self.opts.prove_max_expansions = prove_max_expansions;
+        self
+    }
+
+    /// Auto-prover term-size bound per [`Query::Prove`]; must be ≥ 1.
+    #[must_use]
+    pub fn prove_max_term_size(mut self, prove_max_term_size: usize) -> Self {
+        self.opts.prove_max_term_size = prove_max_term_size;
+        self
+    }
+
+    /// [`Query::Series`] word-count cap; must be ≥ 1.
+    #[must_use]
+    pub fn series_max_words(mut self, series_max_words: u64) -> Self {
+        self.opts.series_max_words = series_max_words;
+        self
+    }
+
+    /// Engine-recycling backstop; `Some(0)` is rejected by
+    /// [`SessionOptionsBuilder::build`] (it would recycle before every
+    /// query), `None` never recycles.
+    #[must_use]
+    pub fn recycle_after_queries(mut self, recycle_after_queries: Option<u64>) -> Self {
+        self.opts.recycle_after_queries = recycle_after_queries;
+        self
+    }
+
+    /// Warm-state snapshot file to re-dump on engine recycle
+    /// ([`SessionOptions::snapshot_path`]).
+    #[must_use]
+    pub fn snapshot_path(mut self, snapshot_path: Option<PathBuf>) -> Self {
+        self.opts.snapshot_path = snapshot_path;
+        self
+    }
+
+    /// Validates the combination and returns the options.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::Malformed`] naming the offending field when a value
+    /// is out of range: a zero prover term-size bound, a zero series
+    /// word cap, or `recycle_after_queries == Some(0)`. (A zero
+    /// expansion budget is allowed — it disables the proof search
+    /// while the decision procedure still classifies.)
+    pub fn build(self) -> Result<SessionOptions, ApiError> {
+        let opts = self.opts;
+        if opts.prove_max_term_size == 0 {
+            return Err(ApiError::Malformed(
+                "prove_max_term_size must be at least 1".to_owned(),
+            ));
+        }
+        if opts.series_max_words == 0 {
+            return Err(ApiError::Malformed(
+                "series_max_words must be at least 1".to_owned(),
+            ));
+        }
+        if opts.recycle_after_queries == Some(0) {
+            return Err(ApiError::Malformed(
+                "recycle_after_queries must be at least 1 (or None to disable)".to_owned(),
+            ));
+        }
+        Ok(opts)
     }
 }
 
@@ -784,6 +920,59 @@ impl AnalysisStats {
     }
 }
 
+/// Cumulative warm-start counters of a session — the `snapshot` slice
+/// of `nka --stats` and the serve v2 stats block. Together with the
+/// engine's ordinary `answer_hits` these expose the tiered lookup:
+/// an in-process hit is an `answer_hit` that is *not* a
+/// `snapshot_hit`; a snapshot hit is both; everything else recomputes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Cache entries restored into this session from loaded snapshots
+    /// (verdicts + multisets + certificates).
+    pub restored_entries: u64,
+    /// Engine verdict-cache hits served by a restored entry.
+    pub snapshot_hits: u64,
+    /// Analyzer certificate-cache hits served by a restored entry.
+    pub cert_snapshot_hits: u64,
+    /// Snapshot loads that degraded to cold start (corrupt, stale,
+    /// version-mismatched, or config-mismatched files).
+    pub load_warnings: u64,
+    /// Successful snapshot dumps performed by this session.
+    pub dumps: u64,
+    /// Snapshot dumps that failed (I/O); the session keeps serving.
+    pub dump_failures: u64,
+    /// Creation time (unix seconds) of the most recently loaded
+    /// snapshot, for age reporting; `None` if nothing was restored.
+    pub loaded_created_unix_secs: Option<u64>,
+}
+
+impl SnapshotStats {
+    /// Counter-wise sum, for merging worker sessions; the loaded
+    /// timestamp keeps the first present value (a pool shares one
+    /// snapshot, so they agree).
+    #[must_use]
+    pub fn merged(&self, other: &SnapshotStats) -> SnapshotStats {
+        SnapshotStats {
+            restored_entries: self.restored_entries + other.restored_entries,
+            snapshot_hits: self.snapshot_hits + other.snapshot_hits,
+            cert_snapshot_hits: self.cert_snapshot_hits + other.cert_snapshot_hits,
+            load_warnings: self.load_warnings + other.load_warnings,
+            dumps: self.dumps + other.dumps,
+            dump_failures: self.dump_failures + other.dump_failures,
+            loaded_created_unix_secs: self
+                .loaded_created_unix_secs
+                .or(other.loaded_created_unix_secs),
+        }
+    }
+
+    /// Whether every counter is zero (no snapshot activity yet) — the
+    /// stats surfaces omit the section entirely in that case.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == SnapshotStats::default()
+    }
+}
+
 /// Certificate-cache size ceiling: the map is cleared (not evicted
 /// entry-wise) past this many distinct Tier B checks, bounding memory
 /// under unbounded distinct analyze traffic.
@@ -850,6 +1039,20 @@ pub struct Session {
     /// check's program sources. Verdict memoization only — cleared on
     /// recycle and past [`CERT_CACHE_CAP`] without affecting answers.
     cert_cache: HashMap<(String, String), (bool, CertificateStats)>,
+    /// Certificate-cache keys restored from a snapshot; a hit on one is
+    /// a `cert_snapshot_hit`. Cleared alongside `cert_cache`.
+    restored_cert_keys: HashSet<(String, String)>,
+    /// Warm-start counters ([`Session::snapshot_stats`]); cumulative,
+    /// surviving engine recycling. `retired_snapshot_hits` folds in the
+    /// hit counts of recycled engines (mirroring `retired_stats`).
+    snapshot_restored_entries: u64,
+    retired_snapshot_hits: u64,
+    cert_snapshot_hits: u64,
+    snapshot_load_warnings: u64,
+    snapshot_dumps: u64,
+    snapshot_dump_failures: u64,
+    /// Creation time of the most recently loaded snapshot.
+    snapshot_loaded_created: Option<u64>,
 }
 
 /// The root-id key of [`Session::run`]'s term-stats memo. Equality /
@@ -929,13 +1132,11 @@ impl Session {
     /// state budget.
     #[must_use]
     pub fn with_budget(max_dfa_states: usize) -> Session {
-        Session::with_options(SessionOptions {
-            decide: DecideOptions {
-                max_dfa_states,
-                ..DecideOptions::default()
-            },
-            ..SessionOptions::default()
-        })
+        let opts = SessionOptions::builder()
+            .max_dfa_states(max_dfa_states)
+            .build()
+            .expect("default options with a custom budget are valid");
+        Session::with_options(opts)
     }
 
     /// The session's configuration.
@@ -1016,6 +1217,129 @@ impl Session {
         &mut self.engine
     }
 
+    /// Cumulative warm-start counters over the session's life: restored
+    /// entries, snapshot-tier hits, degraded loads, dumps. All zero for
+    /// a session that never touched a snapshot.
+    #[must_use]
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            restored_entries: self.snapshot_restored_entries,
+            snapshot_hits: self.retired_snapshot_hits + self.engine.snapshot_hits(),
+            cert_snapshot_hits: self.cert_snapshot_hits,
+            load_warnings: self.snapshot_load_warnings,
+            dumps: self.snapshot_dumps,
+            dump_failures: self.snapshot_dump_failures,
+            loaded_created_unix_secs: self.snapshot_loaded_created,
+        }
+    }
+
+    /// Restores an instantiated snapshot into this session's caches:
+    /// verdicts and multisets into the engine, certificates into the
+    /// Tier B cache. Entries whose cache-relevant options differ from
+    /// this session's are refused wholesale (counted as a load
+    /// warning) — a mismatched snapshot degrades to cold, never to a
+    /// wrong answer. Returns the number of entries restored.
+    pub fn load_snapshot(&mut self, snap: &LoadedSnapshot) -> usize {
+        if snap.config != ConfigGuard::from_options(&self.opts.decide) {
+            self.snapshot_load_warnings += 1;
+            return 0;
+        }
+        let mut restored = 0usize;
+        for (l, r, v) in &snap.nka {
+            self.engine.restore_nka_verdict(l, r, *v);
+            restored += 1;
+        }
+        for (l, r, v) in &snap.ka {
+            self.engine.restore_ka_verdict(l, r, *v);
+            restored += 1;
+        }
+        for (e, ms) in &snap.multisets {
+            self.engine.restore_multiset(e, Arc::clone(ms));
+            restored += 1;
+        }
+        for cert in &snap.certs {
+            let key = (cert.p.clone(), cert.q.clone());
+            self.restored_cert_keys.insert(key.clone());
+            self.cert_cache.insert(key, (cert.holds, cert.stats));
+            restored += 1;
+        }
+        self.snapshot_restored_entries += restored as u64;
+        self.snapshot_loaded_created = Some(snap.created_unix_secs);
+        restored
+    }
+
+    /// Reads, validates, and restores the snapshot at `path` — the
+    /// boot-time warm-start entry point for single-session consumers
+    /// (`nka batch --snapshot`, stdin serve). On any failure the
+    /// session stays cold, the load-warning counter moves, and the
+    /// typed error is returned for logging. Returns the number of
+    /// entries restored.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]; the session is unchanged (cold) when one
+    /// is returned.
+    pub fn load_snapshot_file(&mut self, path: &Path) -> Result<usize, SnapshotError> {
+        match snapshot::load(path, &ConfigGuard::from_options(&self.opts.decide)) {
+            Ok(snap) => Ok(self.load_snapshot(&snap)),
+            Err(err) => {
+                self.snapshot_load_warnings += 1;
+                Err(err)
+            }
+        }
+    }
+
+    /// Stages this session's exportable warm state into `builder`:
+    /// persistent-keyed engine verdicts and multisets plus the Tier B
+    /// certificate cache (in sorted key order, so dumps are
+    /// deterministic). Used directly by the serve worker pool to merge
+    /// every worker's caches into one snapshot at drain.
+    pub fn export_snapshot_into(&self, builder: &mut SnapshotBuilder) {
+        for (a, b, v) in self.engine.export_nka_verdicts() {
+            if let (Some(l), Some(r)) = (Expr::from_id(a), Expr::from_id(b)) {
+                builder.add_nka_verdict(&l, &r, v);
+            }
+        }
+        for (a, b, v) in self.engine.export_ka_verdicts() {
+            if let (Some(l), Some(r)) = (Expr::from_id(a), Expr::from_id(b)) {
+                builder.add_ka_verdict(&l, &r, v);
+            }
+        }
+        for (id, ms) in self.engine.export_multisets() {
+            if let Some(e) = Expr::from_id(id) {
+                builder.add_multiset(&e, &ms);
+            }
+        }
+        let mut certs: Vec<_> = self.cert_cache.iter().collect();
+        certs.sort_by(|a, b| a.0.cmp(b.0));
+        for ((p, q), (holds, stats)) in certs {
+            builder.add_cert(p, q, *holds, *stats);
+        }
+    }
+
+    /// Dumps this session's exportable warm state to `path` (atomic
+    /// temp-file + rename). Returns the number of entries written.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the file cannot be written; the
+    /// dump-failure counter moves and the session keeps serving.
+    pub fn save_snapshot(&mut self, path: &Path) -> Result<usize, SnapshotError> {
+        let mut builder = SnapshotBuilder::new(ConfigGuard::from_options(&self.opts.decide));
+        self.export_snapshot_into(&mut builder);
+        let entries = builder.entry_count();
+        match builder.write_to(path) {
+            Ok(()) => {
+                self.snapshot_dumps += 1;
+                Ok(entries)
+            }
+            Err(err) => {
+                self.snapshot_dump_failures += 1;
+                Err(err)
+            }
+        }
+    }
+
     /// [`Query::term_stats`] through the session's memo: a warm repeat
     /// costs one allocation-free map probe on the root ids instead of
     /// a DAG walk.
@@ -1068,11 +1392,19 @@ impl Session {
         if limit == 0 || self.queries_since_recycle < limit {
             return;
         }
+        // Dump the warm state about to be discarded, so a restart (or
+        // the next `--snapshot` boot) can restore it. Failures only
+        // move a counter: recycling proceeds regardless.
+        if let Some(path) = self.opts.snapshot_path.clone() {
+            let _ = self.save_snapshot(&path);
+        }
         self.retired_stats = self.retired_stats.merged(&self.engine.stats());
+        self.retired_snapshot_hits += self.engine.snapshot_hits();
         self.engine = Decider::with_options(self.opts.decide.clone());
         self.term_stats_cache.clear();
         self.term_stats_scratch_keys = 0;
         self.cert_cache.clear();
+        self.restored_cert_keys.clear();
         self.engine_recycles += 1;
         self.queries_since_recycle = 0;
     }
@@ -1221,8 +1553,13 @@ impl Session {
             Ok(holds) => {
                 if holds {
                     let mut memo = HashMap::new();
-                    let _ = nka_syntax::promote_memoized(&ep, &mut memo);
-                    let _ = nka_syntax::promote_memoized(&eq, &mut memo);
+                    let pp = nka_syntax::promote_memoized(&ep, &mut memo);
+                    let pq = nka_syntax::promote_memoized(&eq, &mut memo);
+                    // Seed the verdict under the persistent ids so a
+                    // repeat of the pair is an in-process hit and the
+                    // verdict is exportable into a snapshot (scratch
+                    // keys never are).
+                    self.engine.seed_nka_verdict(&pp, &pq, true);
                 }
                 Verdict::ProgEq {
                     holds,
@@ -1253,6 +1590,9 @@ impl Session {
             let key = (check.p.clone(), check.q.clone());
             let (holds, stats) = if let Some(&hit) = self.cert_cache.get(&key) {
                 self.analysis_stats.cert_cache_hits += 1;
+                if self.restored_cert_keys.contains(&key) {
+                    self.cert_snapshot_hits += 1;
+                }
                 hit
             } else {
                 self.analysis_stats.tier_b_decides += 1;
@@ -1704,15 +2044,21 @@ mod tests {
         let first = session.run(&equal);
         assert!(matches!(first.verdict, Verdict::ProgEq { holds: true, .. }));
         let promoted = nka_syntax::interned_expr_count();
-        // Run 2 re-encodes onto the *promoted* (persistent) ids — the
+        // Run 2 re-encodes onto the *promoted* (persistent) ids. The
         // scratch-keyed verdict from run 1 was purged with its scope,
-        // so this run re-decides once and caches persistently…
+        // but promotion seeded the verdict under the persistent ids,
+        // so the repeat is already a cache hit…
         let second = session.run(&equal);
         assert!(matches!(
             second.verdict,
             Verdict::ProgEq { holds: true, .. }
         ));
-        // …and from run 3 on the pair is a pure verdict-cache hit.
+        assert_eq!(
+            second.stats_delta.answer_hits, 1,
+            "{:?}",
+            second.stats_delta
+        );
+        // …and every later run of the pair stays a pure hit.
         let warm = session.run(&equal);
         assert!(matches!(warm.verdict, Verdict::ProgEq { holds: true, .. }));
         assert_eq!(
@@ -1725,6 +2071,132 @@ mod tests {
         // Program queries report AST nodes, no arena subterms.
         assert!(warm.expr_nodes > 0);
         assert_eq!(warm.expr_subterms, 0);
+    }
+
+    #[test]
+    fn session_options_builder_validates_and_defaults() {
+        // An all-defaults build is exactly `Default`.
+        let built = SessionOptions::builder().build().unwrap();
+        let dflt = SessionOptions::default();
+        assert_eq!(built.prove_max_expansions, dflt.prove_max_expansions);
+        assert_eq!(built.series_max_words, dflt.series_max_words);
+        assert_eq!(built.recycle_after_queries, dflt.recycle_after_queries);
+        assert_eq!(built.snapshot_path, None);
+        // Zero budgets that would wedge or no-op the session are
+        // rejected with a typed error, not accepted silently. (A zero
+        // *expansion* budget stays legal: it only disables the proof
+        // search, and prove queries still classify.)
+        assert!(SessionOptions::builder()
+            .prove_max_expansions(0)
+            .build()
+            .is_ok());
+        for result in [
+            SessionOptions::builder().prove_max_term_size(0).build(),
+            SessionOptions::builder().series_max_words(0).build(),
+            SessionOptions::builder()
+                .recycle_after_queries(Some(0))
+                .build(),
+        ] {
+            let err = result.unwrap_err();
+            assert!(matches!(err, ApiError::Malformed { .. }), "{err:?}");
+        }
+        // In-range settings all land.
+        let opts = SessionOptions::builder()
+            .max_dfa_states(7)
+            .recycle_after_queries(Some(3))
+            .snapshot_path(Some(PathBuf::from("/tmp/warm.nkasnap")))
+            .build()
+            .unwrap();
+        assert_eq!(opts.decide.max_dfa_states, 7);
+        assert_eq!(opts.recycle_after_queries, Some(3));
+        assert!(opts.snapshot_path.is_some());
+    }
+
+    #[test]
+    fn session_snapshot_round_trip_restores_verdicts_and_counts_tiered_hits() {
+        let dir = std::env::temp_dir().join(format!("nka-session-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.nkasnap");
+
+        // Warm a session: an NKA refutation, a KA equality, and an
+        // analyze pass (certificate cache), then dump.
+        let nka_q = Query::nka_eq("p + p", "p").unwrap();
+        let ka_q = Query::ka_eq("p + p", "p").unwrap();
+        let analyze_q = Query::analyze("qubits 1; h q0; x q0", &["redundant_fragment"]).unwrap();
+        let mut warm = Session::new();
+        let cold_nka = warm.run(&nka_q).verdict;
+        let cold_ka = warm.run(&ka_q).verdict;
+        let cold_analysis = warm.run(&analyze_q).verdict;
+        let exported = warm.save_snapshot(&path).unwrap();
+        assert!(exported > 0, "warm session must export entries");
+        assert_eq!(warm.snapshot_stats().dumps, 1);
+
+        // A fresh session restores it and answers every query from the
+        // snapshot tier: verdicts identical, zero new compiles, and the
+        // tiered counters attribute the hits to the snapshot.
+        let mut restored = Session::new();
+        let n = restored.load_snapshot_file(&path).unwrap();
+        assert_eq!(n as u64, restored.snapshot_stats().restored_entries);
+        assert!(n > 0);
+        assert_eq!(restored.run(&nka_q).verdict, cold_nka);
+        assert_eq!(restored.run(&ka_q).verdict, cold_ka);
+        assert_eq!(restored.run(&analyze_q).verdict, cold_analysis);
+        let stats = restored.snapshot_stats();
+        assert!(stats.snapshot_hits >= 2, "{stats:?}");
+        assert!(stats.cert_snapshot_hits >= 1, "{stats:?}");
+        assert_eq!(stats.load_warnings, 0, "{stats:?}");
+        assert_eq!(restored.stats().compile_misses, 0);
+        assert_eq!(
+            stats.loaded_created_unix_secs,
+            Some(
+                snapshot::Snapshot::read(&path)
+                    .unwrap()
+                    .summary()
+                    .created_unix_secs
+            )
+        );
+
+        // A session whose cache-relevant options differ refuses the
+        // snapshot wholesale — cold, one warning, no wrong answers.
+        let mismatched_opts = SessionOptions::builder()
+            .decide(DecideOptions {
+                float_ablation: true,
+                ..DecideOptions::default()
+            })
+            .build()
+            .unwrap();
+        let mut mismatched = Session::with_options(mismatched_opts);
+        let err = mismatched.load_snapshot_file(&path).unwrap_err();
+        assert!(matches!(err, SnapshotError::ConfigMismatch), "{err:?}");
+        let stats = mismatched.snapshot_stats();
+        assert_eq!(stats.restored_entries, 0, "{stats:?}");
+        assert_eq!(stats.load_warnings, 1, "{stats:?}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recycle_with_snapshot_path_dumps_before_discarding() {
+        let dir = std::env::temp_dir().join(format!("nka-recycle-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("recycle.nkasnap");
+        let opts = SessionOptions::builder()
+            .recycle_after_queries(Some(2))
+            .snapshot_path(Some(path.clone()))
+            .build()
+            .unwrap();
+        let mut session = Session::with_options(opts);
+        let q = Query::nka_eq("p + p", "p").unwrap();
+        // Three queries with a limit of two: the third triggers a
+        // recycle, which dumps the retiring engine's caches first.
+        for _ in 0..3 {
+            let _ = session.run(&q);
+        }
+        assert_eq!(session.engine_recycles(), 1);
+        assert_eq!(session.snapshot_stats().dumps, 1);
+        let snap = snapshot::Snapshot::read(&path).unwrap();
+        assert!(snap.summary().entry_count() > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

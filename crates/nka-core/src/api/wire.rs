@@ -13,10 +13,21 @@
 //! ```
 //!
 //! The `op` names match [`QueryKind::op`]. `max_len` defaults to
-//! [`DEFAULT_SERIES_MAX_LEN`]; `hyps` defaults to empty. Unknown keys
-//! are ignored, which makes every *response* line a valid *request*
-//! line for the same query — the JSONL stream round-trips
-//! (`decode_request(encode_response(q, …)) == q`).
+//! [`DEFAULT_SERIES_MAX_LEN`]; `hyps` defaults to empty.
+//!
+//! # Forward compatibility
+//!
+//! Request keys are an *allowlist*: the keys of the chosen `op`, plus
+//! every key this protocol version may emit on a response line (so any
+//! *response* line is a valid *request* line for the same query — the
+//! JSONL stream round-trips, `decode_request(encode_response(q, …)) ==
+//! q`). Any other top-level key answers a structured `unsupported
+//! field` error instead of being silently ignored — a client using a
+//! newer field learns immediately rather than getting a silently
+//! different query. Response lines carry the protocol version as
+//! `"v":` [`WIRE_VERSION`]; clients should accept unknown *response*
+//! keys (additions bump nothing) and treat a `v` greater than what
+//! they know as "newer server, same core fields".
 //!
 //! Responses repeat the query fields and add `verdict` (a
 //! [`Verdict::name`]), verdict-specific payload (`proof_size`,
@@ -34,6 +45,79 @@ use super::{ApiError, Query, Response, Verdict, DEFAULT_SERIES_MAX_LEN};
 use super::{QueryKind, Session};
 use crate::serve::stats::decider_stats_json;
 use nka_syntax::Word;
+
+/// The wire protocol version, emitted as `"v"` on every response line
+/// (and on the `--stats --json` object). Bumped only for breaking
+/// changes — additive response keys do not bump it.
+pub const WIRE_VERSION: i64 = 1;
+
+/// Keys that may appear on a response line beyond the query's own
+/// fields. They are accepted (and ignored) on *request* lines so that
+/// response lines reparse as their originating request; anything
+/// outside this list and the op's own keys is an `unsupported field`
+/// error.
+const RESPONSE_ONLY_KEYS: &[&str] = &[
+    "v",
+    "verdict",
+    "proof_size",
+    "holds_by_decision",
+    "terms",
+    "enc_p",
+    "enc_q",
+    "encoded",
+    "findings",
+    "detail",
+    "expr_nodes",
+    "expr_subterms",
+    "stats",
+    "micros",
+    "error",
+    "field",
+    "span",
+];
+
+/// Golden-corpus annotation keys (`tests/data/*.jsonl`): expected
+/// verdicts riding along on request lines for the replay harnesses.
+/// Accepted (and ignored) on any op so annotated corpora stay valid
+/// request streams.
+const ANNOTATION_KEYS: &[&str] = &["expect", "expect_passes", "expect_warnings"];
+
+/// The allowlisted request keys of each op (always including `"op"`
+/// itself).
+fn request_keys(op: &str) -> &'static [&'static str] {
+    match op {
+        "nka_eq" | "ka_eq" => &["op", "lhs", "rhs"],
+        "series" => &["op", "expr", "max_len"],
+        "prog_eq" => &["op", "p", "q"],
+        "hoare" => &["op", "pre", "prog", "post"],
+        "analyze" => &["op", "prog", "passes"],
+        "prove" => &["op", "lhs", "rhs", "hyps"],
+        _ => &["op"],
+    }
+}
+
+/// Enforces the forward-compat policy (see the [module docs](self)):
+/// every top-level key must be either a request key of `op` or a
+/// response-only key.
+fn check_top_level_keys(value: &Json, op: &str) -> Result<(), ApiError> {
+    let Json::Obj(fields) = value else {
+        return Ok(());
+    };
+    let allowed = request_keys(op);
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str())
+            && !RESPONSE_ONLY_KEYS.contains(&key.as_str())
+            && !ANNOTATION_KEYS.contains(&key.as_str())
+        {
+            return Err(ApiError::Malformed(format!(
+                "unsupported field {key:?} for op {op:?} (wire protocol v{WIRE_VERSION} accepts: \
+                 {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
 
 /// Decodes one request line. `Ok(None)` means the line is skippable —
 /// blank or a `#` comment.
@@ -61,6 +145,7 @@ pub fn decode_request(line: &str) -> Result<Option<Query>, ApiError> {
         .get("op")
         .and_then(Json::as_str)
         .ok_or_else(|| ApiError::Malformed("missing string key \"op\"".to_owned()))?;
+    check_top_level_keys(&value, op)?;
     let query = match op {
         "nka_eq" => Query::nka_eq(str_key(&value, "lhs")?, str_key(&value, "rhs")?)?,
         "ka_eq" => Query::ka_eq(str_key(&value, "lhs")?, str_key(&value, "rhs")?)?,
@@ -257,7 +342,8 @@ fn word_string(word: &Word) -> String {
 /// originating request — see the [module docs](self).
 #[must_use]
 pub fn encode_response(query: &Query, resp: &Response) -> String {
-    let mut fields = query_fields(query);
+    let mut fields = vec![("v".to_owned(), Json::Int(WIRE_VERSION))];
+    fields.extend(query_fields(query));
     fields.push((
         "verdict".to_owned(),
         Json::Str(resp.verdict.name().to_owned()),
@@ -336,6 +422,7 @@ pub fn encode_response(query: &Query, resp: &Response) -> String {
 #[must_use]
 pub fn encode_error(err: &ApiError) -> String {
     let mut fields = vec![
+        ("v".to_owned(), Json::Int(WIRE_VERSION)),
         ("verdict".to_owned(), Json::Str("error".to_owned())),
         ("error".to_owned(), Json::Str(err.to_string())),
     ];
@@ -545,6 +632,41 @@ mod tests {
             let reparsed = decode_request(&line).unwrap().expect("a query");
             assert_eq!(reparsed, query, "response line did not reparse: {line}");
         }
+    }
+
+    #[test]
+    fn unknown_top_level_keys_answer_unsupported_field() {
+        // A typo'd / future key is a typed error naming the field…
+        let err = decode_request(r#"{"op":"nka_eq","lhs":"a","rhs":"a","lsh":"b"}"#)
+            .expect_err("unsupported field");
+        assert!(matches!(err, ApiError::Malformed(_)), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("unsupported field"), "{msg}");
+        assert!(msg.contains("\"lsh\""), "{msg}");
+        // …and the error line is versioned like every response line.
+        let line = encode_error(&err);
+        let value = Json::parse(&line).unwrap();
+        assert_eq!(value.get("v").and_then(Json::as_i64), Some(WIRE_VERSION));
+        assert_eq!(value.get("verdict").and_then(Json::as_str), Some("error"));
+        // Response-only keys stay accepted on requests (round-trip).
+        let ok = decode_request(r#"{"op":"nka_eq","lhs":"a","rhs":"a","v":1,"micros":7}"#);
+        assert!(ok.unwrap().is_some());
+        // The check is per-op: `p` belongs to prog_eq, not nka_eq.
+        let err = decode_request(r#"{"op":"nka_eq","lhs":"a","rhs":"a","p":"qubits 1; skip"}"#)
+            .expect_err("cross-op key");
+        assert!(err.to_string().contains("\"p\""), "{err}");
+    }
+
+    #[test]
+    fn response_lines_lead_with_the_protocol_version() {
+        let mut session = Session::new();
+        let query = decode_request("a = a").unwrap().unwrap();
+        let line = encode_response(&query, &session.run(&query));
+        assert!(line.starts_with(r#"{"v":1,"#), "{line}");
+        let value = Json::parse(&line).unwrap();
+        assert_eq!(value.get("v").and_then(Json::as_i64), Some(WIRE_VERSION));
+        // `v` is deterministic, so the stable projection keeps it.
+        assert!(stable_response_projection(&line).contains(r#""v":1"#));
     }
 
     #[test]

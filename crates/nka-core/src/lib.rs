@@ -51,6 +51,7 @@ pub mod prover;
 pub mod render;
 pub mod semiring_nf;
 pub mod serve;
+pub mod snapshot;
 pub mod theorems;
 
 pub use api::{ApiError, Query, QueryKind, Response, Session, SessionOptions, Verdict};

@@ -58,7 +58,8 @@
 
 use super::stats::{OpHistograms, ServeCounters, StatsBlock};
 use crate::api::json::Json;
-use crate::api::{wire, AnalysisStats, Session, SessionOptions};
+use crate::api::{wire, AnalysisStats, Session, SessionOptions, SnapshotStats};
+use crate::snapshot::{self, ConfigGuard, LoadedSnapshot, SnapshotBuilder};
 use nka_wfa::DeciderStats;
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -137,6 +138,12 @@ pub struct ServeConfig {
     /// the connection is declared dead. Bounds drain time under
     /// pathological readers.
     pub write_timeout: Option<Duration>,
+    /// Warm-start snapshot file: loaded once at bind and shared by the
+    /// whole worker pool; every worker's caches are merged and re-dumped
+    /// here when the server drains (SIGTERM or the arena cap). A
+    /// missing, corrupt, or mismatched file degrades to a cold start
+    /// (with a warning counted) — never to a wrong answer.
+    pub snapshot_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -153,6 +160,7 @@ impl Default for ServeConfig {
             max_arena_nodes: None,
             json: false,
             write_timeout: Some(Duration::from_secs(30)),
+            snapshot_path: None,
         }
     }
 }
@@ -321,6 +329,7 @@ struct WorkerPub {
     recycles: u64,
     queries: u64,
     analysis: AnalysisStats,
+    snapshot: SnapshotStats,
 }
 
 /// Plain counters of the serve layer (see [`ServeCounters`]).
@@ -349,6 +358,13 @@ struct Shared {
     published: Vec<Mutex<WorkerPub>>,
     hists: OpHistograms,
     counters: Counters,
+    /// The boot-time snapshot every worker restores from, if one loaded.
+    snapshot: Option<Arc<LoadedSnapshot>>,
+    /// Load failures at bind (corrupt / mismatched / unreadable file).
+    snapshot_load_warnings: AtomicU64,
+    /// Drain-time merge target: each exiting worker folds its caches in
+    /// here; [`Server::join`] writes the result to `snapshot_path`.
+    snapshot_merge: Mutex<Option<SnapshotBuilder>>,
 }
 
 impl Shared {
@@ -523,6 +539,10 @@ fn reject_line(reason: &RejectReason, json: bool) -> String {
 /// completes (drain + empty queue + no readers left anywhere).
 fn worker_loop(shared: &Arc<Shared>, index: usize) {
     let mut session = Session::with_options(shared.cfg.session.clone());
+    if let Some(snap) = &shared.snapshot {
+        session.load_snapshot(snap);
+        publish_worker(shared, index, &session);
+    }
     loop {
         let job = {
             let queue = &shared.queues[index];
@@ -569,6 +589,11 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
                 );
             }
         }
+    }
+    // Drain: fold this worker's caches into the shared re-dump builder
+    // (deduplication across workers happens in the builder).
+    if let Some(builder) = shared.snapshot_merge.lock().unwrap().as_mut() {
+        session.export_snapshot_into(builder);
     }
     publish_worker(shared, index, &session);
 }
@@ -618,6 +643,7 @@ fn publish_worker(shared: &Shared, index: usize, session: &Session) {
     slot.recycles = session.engine_recycles();
     slot.queries = session.queries_run();
     slot.analysis = session.analysis_stats();
+    slot.snapshot = session.snapshot_stats();
 }
 
 /// The accept loop of one TCP listener.
@@ -739,6 +765,7 @@ impl ServerHandle {
         let mut expr_subterms = 0;
         let mut recycles = 0;
         let mut analysis = AnalysisStats::default();
+        let mut snapshot = SnapshotStats::default();
         let mut worker_recycles = Vec::with_capacity(shared.published.len());
         let mut worker_queries = Vec::with_capacity(shared.published.len());
         for slot in &shared.published {
@@ -748,9 +775,11 @@ impl ServerHandle {
             expr_subterms += w.expr_subterms;
             recycles += w.recycles;
             analysis = analysis.merged(&w.analysis);
+            snapshot = snapshot.merged(&w.snapshot);
             worker_recycles.push(w.recycles);
             worker_queries.push(w.queries);
         }
+        snapshot.load_warnings += shared.snapshot_load_warnings.load(Ordering::Relaxed);
         let c = &shared.counters;
         StatsBlock {
             engine,
@@ -761,6 +790,7 @@ impl ServerHandle {
             elapsed: shared.started.elapsed(),
             ops: shared.hists.snapshot(),
             analysis,
+            snapshot,
             serve: Some(ServeCounters {
                 connections_opened: c.connections_opened.load(Ordering::Relaxed),
                 connections_closed: c.connections_closed.load(Ordering::Relaxed),
@@ -807,6 +837,30 @@ impl Server {
                 "no listen addresses",
             ));
         }
+        // Load the warm-start snapshot once; the pool shares it. A file
+        // that is missing is a normal first boot; one that fails to
+        // load degrades to cold with a warning — serving always starts.
+        let guard = ConfigGuard::from_options(&cfg.session.decide);
+        let mut loaded = None;
+        let mut load_warnings = 0u64;
+        if let Some(path) = &cfg.snapshot_path {
+            if path.exists() {
+                match snapshot::load(path, &guard) {
+                    Ok(snap) => loaded = Some(Arc::new(snap)),
+                    Err(err) => {
+                        load_warnings = 1;
+                        eprintln!(
+                            "warning: snapshot {} not restored ({err}); starting cold",
+                            path.display()
+                        );
+                    }
+                }
+            }
+        }
+        let merge = cfg
+            .snapshot_path
+            .as_ref()
+            .map(|_| SnapshotBuilder::new(guard));
         let shared = Arc::new(Shared {
             started: Instant::now(),
             draining: AtomicBool::new(false),
@@ -821,6 +875,9 @@ impl Server {
                 .collect(),
             hists: OpHistograms::new(),
             counters: Counters::default(),
+            snapshot: loaded,
+            snapshot_load_warnings: AtomicU64::new(load_warnings),
+            snapshot_merge: Mutex::new(merge),
             cfg,
         });
 
@@ -902,6 +959,16 @@ impl Server {
         }
         for handle in self.worker_threads {
             let _ = handle.join();
+        }
+        // Every worker has folded its caches into the merge builder by
+        // now; re-dump so the next boot (supervisor restart loop) warm
+        // starts. A failed write only warns — the drain still succeeds.
+        if let Some(path) = &self.shared.cfg.snapshot_path {
+            if let Some(builder) = self.shared.snapshot_merge.lock().unwrap().take() {
+                if let Err(err) = builder.write_to(path) {
+                    eprintln!("warning: snapshot dump to {} failed: {err}", path.display());
+                }
+            }
         }
         for path in &self.unix_paths {
             let _ = std::fs::remove_file(path);

@@ -19,7 +19,8 @@
 
 use super::histogram::{fmt_ns, HistogramSnapshot, LatencyHistogram};
 use crate::api::json::Json;
-use crate::api::{AnalysisStats, QueryKind};
+use crate::api::wire::WIRE_VERSION;
+use crate::api::{AnalysisStats, QueryKind, SnapshotStats};
 use nka_qprog::analysis::PASS_NAMES;
 use nka_wfa::DeciderStats;
 use std::time::Duration;
@@ -165,6 +166,9 @@ pub struct StatsBlock {
     /// Static-analyzer counters (findings per pass, Tier B decides,
     /// certificate cache hits); all-zero until the first `analyze`.
     pub analysis: AnalysisStats,
+    /// Warm-start counters (restored entries, snapshot-tier hits,
+    /// dumps, load warnings); all-zero when no snapshot was involved.
+    pub snapshot: SnapshotStats,
     /// Socket-server section, if the stream was served over sockets.
     pub serve: Option<ServeCounters>,
 }
@@ -254,6 +258,28 @@ impl StatsBlock {
                 self.analysis.cert_cache_hits,
             ));
         }
+        if !self.snapshot.is_zero() {
+            let sn = &self.snapshot;
+            let age = sn.loaded_created_unix_secs.map_or_else(
+                || "-".to_owned(),
+                |created| {
+                    format!(
+                        "{}s",
+                        crate::snapshot::now_unix_secs().saturating_sub(created)
+                    )
+                },
+            );
+            out.push_str(&format!(
+                "snapshot stats: {} entries restored (age {}), {} verdict hits + {} cert hits from snapshot, {} dumps ({} failed), {} load warnings\n",
+                sn.restored_entries,
+                age,
+                sn.snapshot_hits,
+                sn.cert_snapshot_hits,
+                sn.dumps,
+                sn.dump_failures,
+                sn.load_warnings,
+            ));
+        }
         if let Some(serve) = &self.serve {
             out.push_str(&format!(
                 "serve stats: {} connections ({} closed), {} pending now, {} overload-rejected, {} oversize-rejected, {} wire errors, {} dropped mid-response\n",
@@ -294,6 +320,7 @@ impl StatsBlock {
     pub fn to_json(&self) -> Json {
         let int = |n: u64| Json::Int(i64::try_from(n).unwrap_or(i64::MAX));
         let mut fields = vec![
+            ("v".to_owned(), Json::Int(WIRE_VERSION)),
             ("queries".to_owned(), int(self.queries)),
             (
                 "elapsed_micros".to_owned(),
@@ -365,6 +392,24 @@ impl StatsBlock {
                 (
                     "cert_cache_hits".to_owned(),
                     int(self.analysis.cert_cache_hits),
+                ),
+            ]),
+        ));
+        let sn = &self.snapshot;
+        fields.push((
+            "snapshot".to_owned(),
+            Json::Obj(vec![
+                ("restored_entries".to_owned(), int(sn.restored_entries)),
+                ("snapshot_hits".to_owned(), int(sn.snapshot_hits)),
+                ("cert_snapshot_hits".to_owned(), int(sn.cert_snapshot_hits)),
+                ("load_warnings".to_owned(), int(sn.load_warnings)),
+                ("dumps".to_owned(), int(sn.dumps)),
+                ("dump_failures".to_owned(), int(sn.dump_failures)),
+                (
+                    "age_secs".to_owned(),
+                    sn.loaded_created_unix_secs.map_or(Json::Null, |created| {
+                        int(crate::snapshot::now_unix_secs().saturating_sub(created))
+                    }),
                 ),
             ]),
         ));
@@ -481,6 +526,7 @@ mod tests {
             elapsed: Duration::from_secs(1),
             ops: hists.snapshot(),
             analysis: AnalysisStats::default(),
+            snapshot: SnapshotStats::default(),
             serve,
         }
     }
@@ -536,6 +582,43 @@ mod tests {
                 .map(<[Json]>::len),
             Some(2)
         );
+    }
+
+    #[test]
+    fn snapshot_section_is_versioned_and_renders_only_when_active() {
+        // No snapshot involvement: no human line, but the JSON contract
+        // always carries `v` and the zeroed section.
+        let quiet = sample_block(None);
+        assert!(!quiet.render_human().contains("snapshot stats:"));
+        let value = Json::parse(&quiet.to_json().to_string()).unwrap();
+        assert_eq!(value.get("v").and_then(Json::as_i64), Some(WIRE_VERSION));
+        let snapshot = value.get("snapshot").expect("snapshot section");
+        assert_eq!(
+            snapshot.get("restored_entries").and_then(Json::as_i64),
+            Some(0)
+        );
+        assert!(matches!(snapshot.get("age_secs"), Some(Json::Null)));
+        // With warm-start activity the human line appears and the JSON
+        // reports a numeric age.
+        let mut warm = sample_block(None);
+        warm.snapshot.restored_entries = 9;
+        warm.snapshot.snapshot_hits = 4;
+        warm.snapshot.cert_snapshot_hits = 2;
+        warm.snapshot.dumps = 1;
+        warm.snapshot.loaded_created_unix_secs = Some(crate::snapshot::now_unix_secs());
+        let text = warm.render_human();
+        assert!(
+            text.contains("snapshot stats: 9 entries restored"),
+            "{text}"
+        );
+        assert!(text.contains("4 verdict hits + 2 cert hits"), "{text}");
+        let value = Json::parse(&warm.to_json().to_string()).unwrap();
+        let snapshot = value.get("snapshot").unwrap();
+        assert_eq!(
+            snapshot.get("snapshot_hits").and_then(Json::as_i64),
+            Some(4)
+        );
+        assert!(snapshot.get("age_secs").and_then(Json::as_i64).is_some());
     }
 
     #[test]

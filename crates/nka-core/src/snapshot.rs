@@ -1,0 +1,1062 @@
+//! Version-stamped, checksummed binary snapshots of warm engine state.
+//!
+//! Every worker recycle and supervisor restart used to discard the caches
+//! that separate the ~hundred-nanosecond warm query path from the
+//! ~millisecond cold path. This module makes that warm state a durable
+//! artifact: a snapshot captures the promoted arena expressions reachable
+//! from the [`Decider`](nka_wfa::Decider) caches (in a canonical,
+//! process-independent post-order encoding), the NKA/KA verdict caches,
+//! the star-free word-multiset memo, and the analyzer certificate cache —
+//! and restores them into a fresh process.
+//!
+//! # Format
+//!
+//! A snapshot file is `MAGIC ("NKASNAP.") · version (u32) · checksum
+//! (u64, FNV-1a over the body) · body`, all integers little-endian. The
+//! body is:
+//!
+//! | section   | contents                                                       |
+//! |-----------|----------------------------------------------------------------|
+//! | header    | creation time (unix secs), config guard (`float_ablation`, `starfree_max_words`) |
+//! | symbols   | count + length-prefixed UTF-8 names                            |
+//! | exprs     | count + tagged nodes in post-order (children precede parents; child indices must be smaller than the node's own index) |
+//! | verdicts  | NKA then KA: count + `(lhs idx, rhs idx, verdict)` triples     |
+//! | multisets | count + per-expression word multisets (symbol-index words)     |
+//! | certs     | count + `(p, q, holds, certificate counters)` entries          |
+//!
+//! Expression identity is *structural*: [`nka_syntax::ExprId`]s
+//! are process-local (the arena shards by a per-process hash seed), so
+//! the dump remaps every id to a dense table index and the load re-interns
+//! each node through the public constructors — hash-consing makes the
+//! restored handles canonical again in the new process.
+//!
+//! # Degradation contract
+//!
+//! Loading **never** produces a wrong answer. Every defect — bad magic,
+//! unsupported version, checksum mismatch, truncation, malformed indices,
+//! or a semantically relevant [`DecideOptions`] mismatch — is a typed
+//! [`SnapshotError`]; callers degrade to a cold start and surface a
+//! warning counter. A verdict restored from a *valid* snapshot is exact
+//! by construction: it was decided by the same exact pipeline under the
+//! same cache-relevant options.
+
+use nka_qprog::analysis::CertificateStats;
+use nka_syntax::{Expr, ExprId, ExprNode, Symbol, Word};
+use nka_wfa::starfree::WordMultiset;
+use nka_wfa::DecideOptions;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The 8-byte file magic every snapshot starts with.
+pub const MAGIC: [u8; 8] = *b"NKASNAP.";
+
+/// The current snapshot format version. Bump on any layout change; a
+/// reader seeing an unknown version degrades to cold start.
+pub const VERSION: u32 = 1;
+
+/// The subset of [`DecideOptions`] that affects what cached entries
+/// *mean*. A snapshot written under one guard must not be restored into
+/// an engine running under a different one: `float_ablation` changes the
+/// zeroness arithmetic and `starfree_max_words` changes which multisets
+/// were admissible. (`max_dfa_states` is a resource budget only — it can
+/// differ freely, so it is deliberately not part of the guard.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigGuard {
+    /// Whether the unsound `f64` zeroness ablation was active.
+    pub float_ablation: bool,
+    /// The star-free fast-path word budget the entries were computed under.
+    pub starfree_max_words: u64,
+}
+
+impl ConfigGuard {
+    /// The guard for a given set of engine options.
+    #[must_use]
+    pub fn from_options(opts: &DecideOptions) -> ConfigGuard {
+        ConfigGuard {
+            float_ablation: opts.float_ablation,
+            starfree_max_words: opts.starfree_max_words as u64,
+        }
+    }
+}
+
+/// Why a snapshot could not be written or restored. Every variant is a
+/// *degrade-to-cold* signal, never a correctness hazard.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure reading or writing the snapshot.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The file claims a format version this reader does not speak.
+    UnsupportedVersion(u32),
+    /// The body checksum does not match the header — bit rot or a torn
+    /// write.
+    ChecksumMismatch {
+        /// The checksum recorded in the header.
+        expected: u64,
+        /// The checksum recomputed over the body.
+        actual: u64,
+    },
+    /// The file ended before a section it promised.
+    Truncated,
+    /// A structural invariant failed (bad tag, out-of-range index,
+    /// non-UTF-8 name); the static message names which.
+    Malformed(&'static str),
+    /// The snapshot was written under cache-semantics-relevant options
+    /// that differ from the loading engine's ([`ConfigGuard`]).
+    ConfigMismatch,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads v{VERSION})"
+                )
+            }
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch (header {expected:#018x}, body {actual:#018x})"
+            ),
+            SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            SnapshotError::ConfigMismatch => {
+                write!(f, "snapshot was written under different engine options")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// One analyzer certificate-cache entry: the certifying `prog_eq` query
+/// sources, its verdict, and the fast-path counters its decision cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertEntry {
+    /// Left program source of the certifying query.
+    pub p: String,
+    /// Right program source of the certifying query.
+    pub q: String,
+    /// The cached `prog_eq` verdict.
+    pub holds: bool,
+    /// The tier counters recorded when the certificate was decided.
+    pub stats: CertificateStats,
+}
+
+/// A canonically-encoded expression node; children are table indices
+/// strictly smaller than the node's own index (post-order invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Node {
+    Zero,
+    One,
+    Atom(u32),
+    Add(u32, u32),
+    Mul(u32, u32),
+    Star(u32),
+}
+
+/// One serialized word multiset: `(word as symbol-table indices,
+/// multiplicity)` pairs for a single star-free expression.
+type WordCounts = Vec<(Vec<u32>, u64)>;
+
+/// Accumulates warm state for a dump: remaps process-local [`ExprId`]s
+/// to dense table indices, dedups entries contributed by multiple
+/// workers, and serializes to the binary format. Scratch-keyed
+/// expressions are refused at every entry point — their ids are reused
+/// across epochs, so persisting them could resurrect a verdict under a
+/// different term.
+#[derive(Debug)]
+pub struct SnapshotBuilder {
+    config: ConfigGuard,
+    symbols: Vec<String>,
+    symbol_ids: HashMap<Symbol, u32>,
+    nodes: Vec<Node>,
+    expr_ids: HashMap<ExprId, u32>,
+    nka: Vec<(u32, u32, bool)>,
+    nka_seen: HashMap<(u32, u32), ()>,
+    ka: Vec<(u32, u32, bool)>,
+    ka_seen: HashMap<(u32, u32), ()>,
+    multisets: Vec<(u32, WordCounts)>,
+    multiset_seen: HashMap<u32, ()>,
+    certs: Vec<CertEntry>,
+    cert_seen: HashMap<(String, String), ()>,
+}
+
+impl SnapshotBuilder {
+    /// An empty builder for state computed under `config`.
+    #[must_use]
+    pub fn new(config: ConfigGuard) -> SnapshotBuilder {
+        SnapshotBuilder {
+            config,
+            symbols: Vec::new(),
+            symbol_ids: HashMap::new(),
+            nodes: Vec::new(),
+            expr_ids: HashMap::new(),
+            nka: Vec::new(),
+            nka_seen: HashMap::new(),
+            ka: Vec::new(),
+            ka_seen: HashMap::new(),
+            multisets: Vec::new(),
+            multiset_seen: HashMap::new(),
+            certs: Vec::new(),
+            cert_seen: HashMap::new(),
+        }
+    }
+
+    /// Total entries (verdicts + multisets + certificates) staged so far.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.nka.len() + self.ka.len() + self.multisets.len() + self.certs.len()
+    }
+
+    fn intern_symbol(&mut self, sym: Symbol) -> u32 {
+        if let Some(&ix) = self.symbol_ids.get(&sym) {
+            return ix;
+        }
+        let ix = u32::try_from(self.symbols.len()).expect("snapshot symbol table overflow");
+        self.symbols.push(sym.name());
+        self.symbol_ids.insert(sym, ix);
+        ix
+    }
+
+    /// The table index of `e`, interning its subterms first (iterative
+    /// post-order — program encodings can be deep `·`-spines).
+    fn intern_expr(&mut self, e: &Expr) -> u32 {
+        if let Some(&ix) = self.expr_ids.get(&e.id()) {
+            return ix;
+        }
+        let mut stack: Vec<(Expr, bool)> = vec![(*e, false)];
+        while let Some((cur, children_done)) = stack.pop() {
+            if self.expr_ids.contains_key(&cur.id()) {
+                continue;
+            }
+            if !children_done {
+                stack.push((cur, true));
+                match cur.node() {
+                    ExprNode::Add(l, r) | ExprNode::Mul(l, r) => {
+                        stack.push((r, false));
+                        stack.push((l, false));
+                    }
+                    ExprNode::Star(x) => stack.push((x, false)),
+                    _ => {}
+                }
+            } else {
+                let node = match cur.node() {
+                    ExprNode::Zero => Node::Zero,
+                    ExprNode::One => Node::One,
+                    ExprNode::Atom(sym) => Node::Atom(self.intern_symbol(sym)),
+                    ExprNode::Add(l, r) => {
+                        Node::Add(self.expr_ids[&l.id()], self.expr_ids[&r.id()])
+                    }
+                    ExprNode::Mul(l, r) => {
+                        Node::Mul(self.expr_ids[&l.id()], self.expr_ids[&r.id()])
+                    }
+                    ExprNode::Star(x) => Node::Star(self.expr_ids[&x.id()]),
+                };
+                let ix = u32::try_from(self.nodes.len()).expect("snapshot expr table overflow");
+                self.nodes.push(node);
+                self.expr_ids.insert(cur.id(), ix);
+            }
+        }
+        self.expr_ids[&e.id()]
+    }
+
+    /// Stages an NKA verdict-cache entry. Duplicate pairs (e.g. from
+    /// several workers) collapse to the first occurrence.
+    pub fn add_nka_verdict(&mut self, lhs: &Expr, rhs: &Expr, verdict: bool) {
+        if lhs.id().is_scratch() || rhs.id().is_scratch() {
+            return;
+        }
+        let key = (self.intern_expr(lhs), self.intern_expr(rhs));
+        if self.nka_seen.insert(key, ()).is_none() {
+            self.nka.push((key.0, key.1, verdict));
+        }
+    }
+
+    /// Stages a KA verdict-cache entry.
+    pub fn add_ka_verdict(&mut self, lhs: &Expr, rhs: &Expr, verdict: bool) {
+        if lhs.id().is_scratch() || rhs.id().is_scratch() {
+            return;
+        }
+        let key = (self.intern_expr(lhs), self.intern_expr(rhs));
+        if self.ka_seen.insert(key, ()).is_none() {
+            self.ka.push((key.0, key.1, verdict));
+        }
+    }
+
+    /// Stages a star-free word-multiset memo entry.
+    pub fn add_multiset(&mut self, e: &Expr, multiset: &WordMultiset) {
+        if e.id().is_scratch() {
+            return;
+        }
+        let ix = self.intern_expr(e);
+        if self.multiset_seen.insert(ix, ()).is_some() {
+            return;
+        }
+        let words: Vec<(Vec<u32>, u64)> = multiset
+            .iter()
+            .map(|(word, &mult)| {
+                let syms = word
+                    .symbols()
+                    .iter()
+                    .map(|&s| self.intern_symbol(s))
+                    .collect();
+                (syms, mult)
+            })
+            .collect();
+        self.multisets.push((ix, words));
+    }
+
+    /// Stages an analyzer certificate-cache entry.
+    pub fn add_cert(&mut self, p: &str, q: &str, holds: bool, stats: CertificateStats) {
+        let key = (p.to_owned(), q.to_owned());
+        if self.cert_seen.insert(key, ()).is_some() {
+            return;
+        }
+        self.certs.push(CertEntry {
+            p: p.to_owned(),
+            q: q.to_owned(),
+            holds,
+            stats,
+        });
+    }
+
+    /// Serializes the staged state to the binary format, stamped with
+    /// the given creation time.
+    #[must_use]
+    pub fn encode(&self, created_unix_secs: u64) -> Vec<u8> {
+        let mut body = Vec::new();
+        push_u64(&mut body, created_unix_secs);
+        body.push(u8::from(self.config.float_ablation));
+        push_u64(&mut body, self.config.starfree_max_words);
+        push_u32(&mut body, self.symbols.len() as u32);
+        for name in &self.symbols {
+            push_bytes(&mut body, name.as_bytes());
+        }
+        push_u32(&mut body, self.nodes.len() as u32);
+        for node in &self.nodes {
+            match *node {
+                Node::Zero => body.push(0),
+                Node::One => body.push(1),
+                Node::Atom(s) => {
+                    body.push(2);
+                    push_u32(&mut body, s);
+                }
+                Node::Add(l, r) => {
+                    body.push(3);
+                    push_u32(&mut body, l);
+                    push_u32(&mut body, r);
+                }
+                Node::Mul(l, r) => {
+                    body.push(4);
+                    push_u32(&mut body, l);
+                    push_u32(&mut body, r);
+                }
+                Node::Star(x) => {
+                    body.push(5);
+                    push_u32(&mut body, x);
+                }
+            }
+        }
+        for verdicts in [&self.nka, &self.ka] {
+            push_u32(&mut body, verdicts.len() as u32);
+            for &(l, r, v) in verdicts {
+                push_u32(&mut body, l);
+                push_u32(&mut body, r);
+                body.push(u8::from(v));
+            }
+        }
+        push_u32(&mut body, self.multisets.len() as u32);
+        for (ix, words) in &self.multisets {
+            push_u32(&mut body, *ix);
+            push_u32(&mut body, words.len() as u32);
+            for (syms, mult) in words {
+                push_u32(&mut body, syms.len() as u32);
+                for &s in syms {
+                    push_u32(&mut body, s);
+                }
+                push_u64(&mut body, *mult);
+            }
+        }
+        push_u32(&mut body, self.certs.len() as u32);
+        for cert in &self.certs {
+            push_bytes(&mut body, cert.p.as_bytes());
+            push_bytes(&mut body, cert.q.as_bytes());
+            body.push(u8::from(cert.holds));
+            push_u64(&mut body, cert.stats.starfree_hits);
+            push_u64(&mut body, cert.stats.prefix_hits);
+            push_u64(&mut body, cert.stats.fastpath_fallbacks);
+        }
+        let mut out = Vec::with_capacity(20 + body.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Writes the snapshot to `path` atomically (temp file + rename in
+    /// the same directory), stamped with the current wall-clock time.
+    /// Concurrent writers race benignly: last rename wins, and readers
+    /// always see a complete file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] if the temp file cannot be written
+    /// or renamed into place.
+    pub fn write_to(&self, path: &Path) -> Result<(), SnapshotError> {
+        let created = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let bytes = self.encode(created);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, &bytes)?;
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(SnapshotError::Io(e))
+            }
+        }
+    }
+}
+
+/// Structural facts about a snapshot, for `nka snapshot inspect` and
+/// the `--stats` surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotSummary {
+    /// The format version the file carries.
+    pub version: u32,
+    /// When the snapshot was written (unix seconds).
+    pub created_unix_secs: u64,
+    /// The engine options the entries were computed under.
+    pub config: ConfigGuard,
+    /// Interned symbol names in the table.
+    pub symbols: usize,
+    /// Canonical expression nodes in the table.
+    pub exprs: usize,
+    /// NKA verdict-cache entries.
+    pub nka_verdicts: usize,
+    /// KA verdict-cache entries.
+    pub ka_verdicts: usize,
+    /// Star-free word-multiset memo entries.
+    pub multisets: usize,
+    /// Analyzer certificate-cache entries.
+    pub certs: usize,
+}
+
+impl SnapshotSummary {
+    /// Total restorable cache entries (verdicts + multisets + certs).
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.nka_verdicts + self.ka_verdicts + self.multisets + self.certs
+    }
+}
+
+/// A decoded snapshot in neutral (table-index) form: validated against
+/// the format invariants but not yet interned into this process's arena.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// When the snapshot was written (unix seconds).
+    pub created_unix_secs: u64,
+    /// The engine options the entries were computed under.
+    pub config: ConfigGuard,
+    symbols: Vec<String>,
+    nodes: Vec<Node>,
+    nka: Vec<(u32, u32, bool)>,
+    ka: Vec<(u32, u32, bool)>,
+    multisets: Vec<(u32, WordCounts)>,
+    certs: Vec<CertEntry>,
+}
+
+impl Snapshot {
+    /// Decodes and fully validates a snapshot image: magic, version,
+    /// checksum, then every structural invariant (tags, UTF-8, index
+    /// ranges, the post-order child constraint).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`SnapshotError`] naming the first defect found.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC {
+                return Err(SnapshotError::BadMagic);
+            }
+            return Err(SnapshotError::Truncated);
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let expected = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        let body = &bytes[20..];
+        let actual = fnv1a64(body);
+        if expected != actual {
+            return Err(SnapshotError::ChecksumMismatch { expected, actual });
+        }
+        let mut cur = Cursor {
+            bytes: body,
+            pos: 0,
+        };
+        let created_unix_secs = cur.u64()?;
+        let float_ablation = match cur.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotError::Malformed("config flag out of range")),
+        };
+        let starfree_max_words = cur.u64()?;
+        let symbol_count = cur.u32()? as usize;
+        let mut symbols = Vec::new();
+        for _ in 0..symbol_count {
+            let raw = cur.bytes()?;
+            let name = std::str::from_utf8(raw)
+                .map_err(|_| SnapshotError::Malformed("symbol name is not UTF-8"))?;
+            symbols.push(name.to_owned());
+        }
+        let node_count = cur.u32()? as usize;
+        let mut nodes = Vec::new();
+        for ix in 0..node_count {
+            let child = |i: u32| -> Result<u32, SnapshotError> {
+                if (i as usize) < ix {
+                    Ok(i)
+                } else {
+                    Err(SnapshotError::Malformed(
+                        "expr child index not below parent",
+                    ))
+                }
+            };
+            let node = match cur.u8()? {
+                0 => Node::Zero,
+                1 => Node::One,
+                2 => {
+                    let s = cur.u32()?;
+                    if s as usize >= symbols.len() {
+                        return Err(SnapshotError::Malformed("atom symbol index out of range"));
+                    }
+                    Node::Atom(s)
+                }
+                3 => Node::Add(child(cur.u32()?)?, child(cur.u32()?)?),
+                4 => Node::Mul(child(cur.u32()?)?, child(cur.u32()?)?),
+                5 => Node::Star(child(cur.u32()?)?),
+                _ => return Err(SnapshotError::Malformed("unknown expr node tag")),
+            };
+            nodes.push(node);
+        }
+        let read_verdicts = |cur: &mut Cursor<'_>| -> Result<Vec<(u32, u32, bool)>, SnapshotError> {
+            let count = cur.u32()? as usize;
+            let mut out = Vec::new();
+            for _ in 0..count {
+                let l = cur.u32()?;
+                let r = cur.u32()?;
+                if l as usize >= nodes.len() || r as usize >= nodes.len() {
+                    return Err(SnapshotError::Malformed("verdict expr index out of range"));
+                }
+                let v = match cur.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(SnapshotError::Malformed("verdict flag out of range")),
+                };
+                out.push((l, r, v));
+            }
+            Ok(out)
+        };
+        let nka = read_verdicts(&mut cur)?;
+        let ka = read_verdicts(&mut cur)?;
+        let multiset_count = cur.u32()? as usize;
+        let mut multisets = Vec::new();
+        for _ in 0..multiset_count {
+            let ix = cur.u32()?;
+            if ix as usize >= nodes.len() {
+                return Err(SnapshotError::Malformed("multiset expr index out of range"));
+            }
+            let word_count = cur.u32()? as usize;
+            let mut words = Vec::new();
+            for _ in 0..word_count {
+                let len = cur.u32()? as usize;
+                let mut syms = Vec::new();
+                for _ in 0..len {
+                    let s = cur.u32()?;
+                    if s as usize >= symbols.len() {
+                        return Err(SnapshotError::Malformed("word symbol index out of range"));
+                    }
+                    syms.push(s);
+                }
+                let mult = cur.u64()?;
+                words.push((syms, mult));
+            }
+            multisets.push((ix, words));
+        }
+        let cert_count = cur.u32()? as usize;
+        let mut certs = Vec::new();
+        for _ in 0..cert_count {
+            let p = std::str::from_utf8(cur.bytes()?)
+                .map_err(|_| SnapshotError::Malformed("certificate source is not UTF-8"))?
+                .to_owned();
+            let q = std::str::from_utf8(cur.bytes()?)
+                .map_err(|_| SnapshotError::Malformed("certificate source is not UTF-8"))?
+                .to_owned();
+            let holds = match cur.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(SnapshotError::Malformed("certificate flag out of range")),
+            };
+            let stats = CertificateStats {
+                starfree_hits: cur.u64()?,
+                prefix_hits: cur.u64()?,
+                fastpath_fallbacks: cur.u64()?,
+            };
+            certs.push(CertEntry { p, q, holds, stats });
+        }
+        if cur.pos != body.len() {
+            return Err(SnapshotError::Malformed(
+                "trailing bytes after last section",
+            ));
+        }
+        Ok(Snapshot {
+            created_unix_secs,
+            config: ConfigGuard {
+                float_ablation,
+                starfree_max_words,
+            },
+            symbols,
+            nodes,
+            nka,
+            ka,
+            multisets,
+            certs,
+        })
+    }
+
+    /// Reads and validates the snapshot at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on filesystem failure, otherwise whatever
+    /// [`Snapshot::decode`] reports.
+    pub fn read(path: &Path) -> Result<Snapshot, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Snapshot::decode(&bytes)
+    }
+
+    /// Structural facts for `inspect`/`--stats`.
+    #[must_use]
+    pub fn summary(&self) -> SnapshotSummary {
+        SnapshotSummary {
+            version: VERSION,
+            created_unix_secs: self.created_unix_secs,
+            config: self.config,
+            symbols: self.symbols.len(),
+            exprs: self.nodes.len(),
+            nka_verdicts: self.nka.len(),
+            ka_verdicts: self.ka.len(),
+            multisets: self.multisets.len(),
+            certs: self.certs.len(),
+        }
+    }
+
+    /// Interns every snapshot expression into this process's arena and
+    /// resolves the cache entries to real [`Expr`] handles, ready to be
+    /// restored into any number of sessions.
+    ///
+    /// Call this once per process, **outside any
+    /// `nka_syntax::ScratchScope`** — inside a scope the rebuilt terms
+    /// would intern as scratch and every downstream restore would
+    /// (safely) refuse them.
+    #[must_use]
+    pub fn instantiate(&self) -> LoadedSnapshot {
+        let syms: Vec<Symbol> = self.symbols.iter().map(|s| Symbol::intern(s)).collect();
+        let mut exprs: Vec<Expr> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let e = match *node {
+                Node::Zero => Expr::zero(),
+                Node::One => Expr::one(),
+                Node::Atom(s) => Expr::atom(syms[s as usize]),
+                Node::Add(l, r) => exprs[l as usize].add(&exprs[r as usize]),
+                Node::Mul(l, r) => exprs[l as usize].mul(&exprs[r as usize]),
+                Node::Star(x) => exprs[x as usize].star(),
+            };
+            exprs.push(e);
+        }
+        let resolve = |entries: &[(u32, u32, bool)]| -> Vec<(Expr, Expr, bool)> {
+            entries
+                .iter()
+                .map(|&(l, r, v)| (exprs[l as usize], exprs[r as usize], v))
+                .collect()
+        };
+        let multisets = self
+            .multisets
+            .iter()
+            .map(|(ix, words)| {
+                let mut ms = WordMultiset::new();
+                for (word_syms, mult) in words {
+                    let word = Word::from_symbols(word_syms.iter().map(|&s| syms[s as usize]));
+                    ms.insert(word, *mult);
+                }
+                (exprs[*ix as usize], Arc::new(ms))
+            })
+            .collect();
+        LoadedSnapshot {
+            created_unix_secs: self.created_unix_secs,
+            config: self.config,
+            nka: resolve(&self.nka),
+            ka: resolve(&self.ka),
+            multisets,
+            certs: self.certs.clone(),
+        }
+    }
+}
+
+/// A snapshot instantiated into this process's arena: `Expr` handles are
+/// `Copy` indices into the process-global arena, so one `LoadedSnapshot`
+/// is cheaply shared (e.g. behind an `Arc`) across a whole worker pool,
+/// each worker restoring the entries into its own session.
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// When the snapshot was written (unix seconds).
+    pub created_unix_secs: u64,
+    /// The engine options the entries were computed under.
+    pub config: ConfigGuard,
+    /// NKA verdict-cache entries.
+    pub nka: Vec<(Expr, Expr, bool)>,
+    /// KA verdict-cache entries.
+    pub ka: Vec<(Expr, Expr, bool)>,
+    /// Star-free word-multiset memo entries.
+    pub multisets: Vec<(Expr, Arc<WordMultiset>)>,
+    /// Analyzer certificate-cache entries.
+    pub certs: Vec<CertEntry>,
+}
+
+impl LoadedSnapshot {
+    /// Total restorable cache entries.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.nka.len() + self.ka.len() + self.multisets.len() + self.certs.len()
+    }
+
+    /// The snapshot's age relative to `now_unix_secs`, saturating at
+    /// zero for clock skew.
+    #[must_use]
+    pub fn age_secs(&self, now_unix_secs: u64) -> u64 {
+        now_unix_secs.saturating_sub(self.created_unix_secs)
+    }
+}
+
+/// Compile-time proof that a loaded snapshot can be shared across the
+/// serve worker pool behind an `Arc`.
+#[allow(dead_code)]
+fn _static_assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<LoadedSnapshot>();
+}
+
+/// Reads, validates, config-checks, and instantiates the snapshot at
+/// `path` in one step — the boot-time entry point used by the CLI and
+/// the serve worker pool.
+///
+/// # Errors
+///
+/// Any [`SnapshotError`]; in particular [`SnapshotError::ConfigMismatch`]
+/// if the snapshot was written under different cache-relevant options
+/// than `expected`. Callers treat every error as "start cold".
+pub fn load(path: &Path, expected: &ConfigGuard) -> Result<LoadedSnapshot, SnapshotError> {
+    let snapshot = Snapshot::read(path)?;
+    if snapshot.config != *expected {
+        return Err(SnapshotError::ConfigMismatch);
+    }
+    Ok(snapshot.instantiate())
+}
+
+/// The current wall-clock time in unix seconds (0 if the clock is
+/// before the epoch), shared by the stats surfaces that report
+/// snapshot age.
+#[must_use]
+pub fn now_unix_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// 64-bit FNV-1a over `bytes` — the body checksum. Not cryptographic;
+/// it guards against bit rot and torn writes, not adversaries.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    push_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// A bounds-checked little-endian reader over the snapshot body; every
+/// overrun is [`SnapshotError::Truncated`].
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        let b = *self.bytes.get(self.pos).ok_or(SnapshotError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let end = self.pos.checked_add(4).ok_or(SnapshotError::Truncated)?;
+        let raw = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(SnapshotError::Truncated)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(raw.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let end = self.pos.checked_add(8).ok_or(SnapshotError::Truncated)?;
+        let raw = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(SnapshotError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(raw.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<&[u8], SnapshotError> {
+        let len = self.u32()? as usize;
+        let end = self.pos.checked_add(len).ok_or(SnapshotError::Truncated)?;
+        let raw = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(SnapshotError::Truncated)?;
+        self.pos = end;
+        Ok(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard() -> ConfigGuard {
+        ConfigGuard::from_options(&DecideOptions::default())
+    }
+
+    fn sample_builder() -> SnapshotBuilder {
+        let mut b = SnapshotBuilder::new(guard());
+        let l: Expr = "(p q)* p".parse().unwrap();
+        let r: Expr = "p (q p)*".parse().unwrap();
+        b.add_nka_verdict(&l, &r, true);
+        b.add_ka_verdict(&l, &r, true);
+        let sf: Expr = "a (b + c)".parse().unwrap();
+        let mut ms = WordMultiset::new();
+        let (a, bb, c) = (
+            Symbol::intern("a"),
+            Symbol::intern("b"),
+            Symbol::intern("c"),
+        );
+        ms.insert(Word::from_symbols([a, bb]), 1);
+        ms.insert(Word::from_symbols([a, c]), 1);
+        b.add_multiset(&sf, &ms);
+        b.add_cert(
+            "x := 0",
+            "x := 0;; skip",
+            true,
+            CertificateStats {
+                starfree_hits: 1,
+                prefix_hits: 0,
+                fastpath_fallbacks: 0,
+            },
+        );
+        b
+    }
+
+    #[test]
+    fn round_trip_preserves_every_section() {
+        let b = sample_builder();
+        let bytes = b.encode(1_700_000_000);
+        let snap = Snapshot::decode(&bytes).unwrap();
+        let summary = snap.summary();
+        assert_eq!(summary.version, VERSION);
+        assert_eq!(summary.created_unix_secs, 1_700_000_000);
+        assert_eq!(summary.nka_verdicts, 1);
+        assert_eq!(summary.ka_verdicts, 1);
+        assert_eq!(summary.multisets, 1);
+        assert_eq!(summary.certs, 1);
+        assert_eq!(summary.entry_count(), 4);
+        let loaded = snap.instantiate();
+        // Hash-consing makes the restored handles canonical: they are
+        // *identical* to freshly parsed terms, not merely equal.
+        let l: Expr = "(p q)* p".parse().unwrap();
+        let r: Expr = "p (q p)*".parse().unwrap();
+        let (rl, rr, v) = loaded.nka[0];
+        assert!(v);
+        let mut restored = [rl.id(), rr.id()];
+        let mut fresh = [l.id(), r.id()];
+        restored.sort();
+        fresh.sort();
+        assert_eq!(restored, fresh);
+        assert_eq!(loaded.multisets[0].1.len(), 2);
+        assert_eq!(loaded.certs[0].p, "x := 0");
+        assert!(loaded.certs[0].holds);
+    }
+
+    #[test]
+    fn duplicate_entries_collapse() {
+        let mut b = sample_builder();
+        let l: Expr = "(p q)* p".parse().unwrap();
+        let r: Expr = "p (q p)*".parse().unwrap();
+        b.add_nka_verdict(&l, &r, true);
+        b.add_cert("x := 0", "x := 0;; skip", true, CertificateStats::default());
+        assert_eq!(b.entry_count(), 4);
+    }
+
+    #[test]
+    fn scratch_entries_are_refused() {
+        let mut b = SnapshotBuilder::new(guard());
+        let p: Expr = "p".parse().unwrap();
+        {
+            let _scope = nka_syntax::ScratchScope::enter();
+            let s = p.star().star();
+            assert!(s.id().is_scratch());
+            b.add_nka_verdict(&s, &s, true);
+            b.add_multiset(&s, &WordMultiset::new());
+        }
+        assert_eq!(b.entry_count(), 0);
+    }
+
+    #[test]
+    fn corruption_degrades_to_typed_errors_never_panics() {
+        let bytes = sample_builder().encode(42);
+        // Zero-length and sub-header files: truncated.
+        assert!(matches!(
+            Snapshot::decode(&[]),
+            Err(SnapshotError::Truncated)
+        ));
+        assert!(matches!(
+            Snapshot::decode(&bytes[..10]),
+            Err(SnapshotError::Truncated)
+        ));
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::decode(&bad),
+            Err(SnapshotError::BadMagic)
+        ));
+        // Future version.
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Snapshot::decode(&bad),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+        // A body bit-flip trips the checksum.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(matches!(
+            Snapshot::decode(&bad),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        // Truncation mid-body also trips the checksum first — still a
+        // typed error, still cold start.
+        assert!(Snapshot::decode(&bytes[..bytes.len() - 4]).is_err());
+        // Every byte-level truncation of the file is *some* typed error.
+        for cut in 0..bytes.len() {
+            assert!(Snapshot::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn config_mismatch_degrades_to_cold() {
+        let bytes = sample_builder().encode(42);
+        let snap = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(snap.config, guard());
+        let other = ConfigGuard {
+            float_ablation: true,
+            ..guard()
+        };
+        // Via the one-step loader.
+        let dir = std::env::temp_dir().join(format!("nka-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("config.snap");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load(&path, &other),
+            Err(SnapshotError::ConfigMismatch)
+        ));
+        assert!(load(&path, &guard()).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_to_is_atomic_and_readable() {
+        let dir = std::env::temp_dir().join(format!("nka-snap-write-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.snap");
+        sample_builder().write_to(&path).unwrap();
+        let snap = Snapshot::read(&path).unwrap();
+        assert_eq!(snap.summary().entry_count(), 4);
+        // No temp droppings left behind.
+        let others = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(others, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_indices_are_rejected() {
+        // Hand-craft a body whose expr table violates the post-order
+        // child constraint: node 0 is a Star of node 0.
+        let mut body = Vec::new();
+        push_u64(&mut body, 0); // created
+        body.push(0); // float_ablation
+        push_u64(&mut body, 8192); // starfree_max_words
+        push_u32(&mut body, 0); // no symbols
+        push_u32(&mut body, 1); // one node
+        body.push(5); // Star
+        push_u32(&mut body, 0); // child = self
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+}

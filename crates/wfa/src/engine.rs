@@ -61,7 +61,7 @@ use crate::thompson::thompson;
 use crate::zeroness::{is_zero_series, is_zero_series_f64, restrict_to_language};
 use nka_semiring::{BigRational, ExtNat};
 use nka_syntax::{Expr, ExprId, Symbol};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
 
 /// An expression compiled down to its ε-free weighted automaton. The
@@ -190,6 +190,17 @@ pub struct Decider {
     /// of the star-free fast path (see [`crate::starfree`]), shared
     /// across queries like the automaton caches.
     multisets: HashMap<ExprId, Arc<WordMultiset>>,
+    /// Verdict-cache keys that were restored from a snapshot rather than
+    /// decided in this process, per cache. A hit on one of these is a
+    /// *warm-start* hit — counted in [`Decider::snapshot_hits`] on top of
+    /// the ordinary `answer_hits` bump, so tiered lookup effectiveness
+    /// (in-process hit → snapshot hit → recompute) is observable.
+    restored_nka_pairs: HashSet<(ExprId, ExprId)>,
+    restored_ka_pairs: HashSet<(ExprId, ExprId)>,
+    /// Cache entries (verdicts + multisets) restored from a snapshot.
+    restored_entries: u64,
+    /// Verdict-cache hits whose entry came from a snapshot.
+    snapshot_hits: u64,
     /// The scratch-retirement epoch the caches are consistent with.
     seen_scratch_epoch: u64,
     /// Number of live cache entries keyed (partly) on scratch ids; when
@@ -318,6 +329,9 @@ impl Decider {
         let key = pair_key(e, f);
         if let Some(&hit) = self.nka_verdicts.get(&key) {
             self.stats.answer_hits += 1;
+            if self.restored_nka_pairs.contains(&key) {
+                self.snapshot_hits += 1;
+            }
             return Ok(hit);
         }
         let verdict = match self.starfree_fast_path(e, f) {
@@ -407,6 +421,9 @@ impl Decider {
         let key = pair_key(e, f);
         if let Some(&hit) = self.ka_verdicts.get(&key) {
             self.stats.answer_hits += 1;
+            if self.restored_ka_pairs.contains(&key) {
+                self.snapshot_hits += 1;
+            }
             return Ok(hit);
         }
         let alphabet = shared_alphabet(e, f);
@@ -440,6 +457,97 @@ impl Decider {
         let alphabet: Vec<Symbol> = alphabet.into_iter().collect();
         let dfa = self.support_dfa(e, &alphabet)?;
         Ok(dfa.accepts(word))
+    }
+
+    /// The persistent-keyed NKA verdict-cache entries, sorted by key —
+    /// the exportable warm state (scratch-keyed entries name terms whose
+    /// ids are reused across epochs and are never exported). Each entry
+    /// is `(lhs, rhs, verdict)` with `lhs <= rhs` (the normalized pair).
+    #[must_use]
+    pub fn export_nka_verdicts(&self) -> Vec<(ExprId, ExprId, bool)> {
+        export_verdicts(&self.nka_verdicts)
+    }
+
+    /// The persistent-keyed KA verdict-cache entries, sorted by key.
+    #[must_use]
+    pub fn export_ka_verdicts(&self) -> Vec<(ExprId, ExprId, bool)> {
+        export_verdicts(&self.ka_verdicts)
+    }
+
+    /// The persistent-keyed star-free word-multiset memo, sorted by key.
+    #[must_use]
+    pub fn export_multisets(&self) -> Vec<(ExprId, Arc<WordMultiset>)> {
+        let mut out: Vec<(ExprId, Arc<WordMultiset>)> = self
+            .multisets
+            .iter()
+            .filter(|(id, _)| !id.is_scratch())
+            .map(|(&id, ms)| (id, Arc::clone(ms)))
+            .collect();
+        out.sort_by_key(|&(id, _)| id);
+        out
+    }
+
+    /// Seeds an NKA verdict computed in this process under persistent
+    /// ids — e.g. re-caching a scratch-decided `prog_eq` verdict under
+    /// its promoted encodings so it survives scope retirement and is
+    /// exportable. Scratch keys are refused (the entry would dangle
+    /// after the epoch advances). Counts as neither a query nor a hit.
+    pub fn seed_nka_verdict(&mut self, e: &Expr, f: &Expr, verdict: bool) {
+        let key = pair_key(e, f);
+        if key.0.is_scratch() || key.1.is_scratch() {
+            return;
+        }
+        self.nka_verdicts.insert(key, verdict);
+    }
+
+    /// Restores a snapshot-loaded NKA verdict. Like
+    /// [`Decider::seed_nka_verdict`], but the key is also marked as
+    /// restored so later hits on it count in
+    /// [`Decider::snapshot_hits`].
+    pub fn restore_nka_verdict(&mut self, e: &Expr, f: &Expr, verdict: bool) {
+        let key = pair_key(e, f);
+        if key.0.is_scratch() || key.1.is_scratch() {
+            return;
+        }
+        self.nka_verdicts.insert(key, verdict);
+        self.restored_nka_pairs.insert(key);
+        self.restored_entries += 1;
+    }
+
+    /// Restores a snapshot-loaded KA verdict; see
+    /// [`Decider::restore_nka_verdict`].
+    pub fn restore_ka_verdict(&mut self, e: &Expr, f: &Expr, verdict: bool) {
+        let key = pair_key(e, f);
+        if key.0.is_scratch() || key.1.is_scratch() {
+            return;
+        }
+        self.ka_verdicts.insert(key, verdict);
+        self.restored_ka_pairs.insert(key);
+        self.restored_entries += 1;
+    }
+
+    /// Restores a snapshot-loaded star-free word multiset.
+    pub fn restore_multiset(&mut self, e: &Expr, multiset: Arc<WordMultiset>) {
+        if e.id().is_scratch() {
+            return;
+        }
+        self.multisets.insert(e.id(), multiset);
+        self.restored_entries += 1;
+    }
+
+    /// Verdict-cache hits whose entry was restored from a snapshot —
+    /// the "snapshot hit" tier of the tiered lookup (every such hit is
+    /// also an `answer_hit`).
+    #[must_use]
+    pub fn snapshot_hits(&self) -> u64 {
+        self.snapshot_hits
+    }
+
+    /// Cache entries (verdicts + multisets) restored into this engine
+    /// from a snapshot.
+    #[must_use]
+    pub fn restored_entries(&self) -> u64 {
+        self.restored_entries
     }
 
     /// The compiled ε-free automaton of `e`, memoized.
@@ -519,6 +627,18 @@ fn shared_alphabet(e: &Expr, f: &Expr) -> Vec<Symbol> {
     let mut atoms = e.atoms();
     atoms.extend(f.atoms());
     atoms.into_iter().collect()
+}
+
+/// The persistent-keyed entries of a verdict cache, sorted for a
+/// deterministic dump order.
+fn export_verdicts(cache: &HashMap<(ExprId, ExprId), bool>) -> Vec<(ExprId, ExprId, bool)> {
+    let mut out: Vec<(ExprId, ExprId, bool)> = cache
+        .iter()
+        .filter(|((a, b), _)| !a.is_scratch() && !b.is_scratch())
+        .map(|(&(a, b), &v)| (a, b, v))
+        .collect();
+    out.sort_by_key(|&(a, b, _)| (a, b));
+    out
 }
 
 /// Verdicts are symmetric; the cache key is the unordered pair of
@@ -862,6 +982,56 @@ mod tests {
         }
         assert!(!engine.decide(&l, &r).unwrap());
         assert_eq!(engine.scratch_purges(), 1);
+    }
+
+    #[test]
+    fn exports_skip_scratch_keys_and_restores_count_snapshot_hits() {
+        let mut engine = Decider::new();
+        let (l, r) = (e("(p q)* p"), e("p (q p)*"));
+        assert!(engine.decide(&l, &r).unwrap());
+        {
+            // Scratch-decided verdicts must not leak into the export:
+            // their ids are reused once the scope retires.
+            let _scope = nka_syntax::ScratchScope::enter();
+            let s = l.star().mul(&r.star());
+            assert!(s.id().is_scratch());
+            assert!(engine.decide(&s, &s).unwrap());
+        }
+        let exported = engine.export_nka_verdicts();
+        assert_eq!(exported.len(), 1);
+        // Replaying the export into a fresh engine answers from the
+        // restored tier: an answer hit that is also a snapshot hit,
+        // with nothing recompiled.
+        let mut fresh = Decider::new();
+        for (a, b, v) in &exported {
+            let (a, b) = (Expr::from_id(*a).unwrap(), Expr::from_id(*b).unwrap());
+            fresh.restore_nka_verdict(&a, &b, *v);
+        }
+        assert_eq!(fresh.restored_entries(), 1);
+        assert!(fresh.decide(&l, &r).unwrap());
+        assert_eq!(fresh.snapshot_hits(), 1);
+        assert_eq!(fresh.stats().answer_hits, 1);
+        assert_eq!(fresh.stats().compile_misses, 0);
+    }
+
+    #[test]
+    fn seeded_verdicts_hit_in_process_not_as_snapshot_hits() {
+        let mut engine = Decider::new();
+        let (l, r) = (e("seedL"), e("seedR"));
+        engine.seed_nka_verdict(&l, &r, false);
+        assert!(!engine.decide(&l, &r).unwrap());
+        assert_eq!(engine.stats().answer_hits, 1);
+        assert_eq!(engine.snapshot_hits(), 0);
+        // Scratch keys are refused outright.
+        {
+            let _scope = nka_syntax::ScratchScope::enter();
+            let s = l.star().star();
+            engine.seed_nka_verdict(&s, &s, true);
+            engine.restore_ka_verdict(&s, &s, true);
+        }
+        assert_eq!(engine.export_nka_verdicts().len(), 1);
+        assert_eq!(engine.export_ka_verdicts().len(), 0);
+        assert_eq!(engine.restored_entries(), 0);
     }
 
     #[test]

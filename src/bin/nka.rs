@@ -98,14 +98,17 @@
 //! echo '(p q)* p = p (q p)*' | cargo run --bin nka -- batch --json
 //! ```
 
+use nka_core::api::json::Json;
 use nka_core::api::{
     run_batch_parallel_traced, wire, AnalysisStats, ApiError, Query, Session, SessionOptions,
-    Verdict,
+    SnapshotStats, Verdict,
 };
 use nka_core::serve::{ListenAddr, OpHistograms, ServeConfig, Server, StatsBlock};
+use nka_core::snapshot::Snapshot;
 use nka_core::Judgment;
-use nka_wfa::{DecideOptions, DeciderStats};
+use nka_wfa::DeciderStats;
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -129,7 +132,7 @@ const EXIT_NO: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_BUDGET: u8 = 3;
 
-const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] prog-eq '<prog>' '<prog>'\n  nka [--stats] [--json] hoare '<effect>' '<prog>' '<effect>'\n  nka [--budget N] [--stats] [--json] analyze '<prog>' [pass…]\n  nka [--budget N] [--stats] [--json] [--jobs N] [--max-queries-per-worker N]\n      batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] [--max-queries-per-worker N]\n      [--max-arena-nodes N] serve\n  nka … serve --listen ADDR [--listen ADDR…] [--workers N] [--queue-depth N]\n      [--max-pending N] [--max-line-bytes N] [--stats-interval SECS]\n  nka encode-demo\n\nprog-eq decides Enc(p) = Enc(q) for two quantum while-programs (one\nshared encoder setting, Definition 4.4); hoare checks the triple\n{pre} prog {post} via wlp and reports the Theorem 7.8 encoding.\nanalyze lints a program: Tier A passes (unused_qubit, unreachable_code,\nself_inverse_pair, constant_guard, metrics) are purely syntactic;\nTier B passes (dead_branch, redundant_fragment, peephole) are decided\nby the engine and every finding carries a replayable prog-eq\ncertificate. Naming passes after the program restricts the run.\nPrograms: 'qubits N; h q0; cnot q0 q1; if q0 {…} else {…}; while q0 {…}'\n(gates: h x y z s t cnot cz swap; also init qK, skip, abort).\nEffects: sums of scaled projectors, e.g. 'I', '0.5 I', 'ket(01)', 'q0=1'.\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps],\n   prog_eq [p, q], hoare [pre, prog, post], analyze [prog, passes])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n--jobs N shards a batch across N parallel worker sessions in bounded\nchunks; verdicts, output order, and exit codes are identical to\n--jobs 1. --max-queries-per-worker N recycles a session's engine\ncaches every N queries (memory backstop; verdicts unchanged);\nserve --max-arena-nodes N exits 3 once the process-wide resident\nexpression arena exceeds N nodes, so a supervisor can restart it.\n\nserve --listen ADDR starts the concurrent socket server instead of the\nstdin loop: ADDR is 'host:port' (TCP; repeatable) or 'unix:/path'.\n--workers N sizes the pool of warm sessions (default: CPU count, max 8);\n--queue-depth N bounds each connection's in-flight window (backpressure:\nthe server stops reading a connection whose window is full, default 64);\n--max-pending N is the server-wide hard cap past which requests are\nanswered with a structured 'overloaded' error (default 1024);\n--max-line-bytes N rejects longer request lines (default 1 MiB);\n--stats-interval SECS prints a --stats snapshot to stderr periodically.\nSIGTERM/SIGINT (and --max-arena-nodes) drain gracefully: stop accepting,\nanswer every request already read, then exit (0 for signals, 3 for the\narena cap). nka-loadgen replays corpora against the server and diffs\nevery response against a sequential in-process session.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; analyze: 0 clean or info-only findings,\n1 any warning-severity finding; batch: 0 all answered, 2 any malformed\nline, else 3 any budget-exhausted query; serve: 0 at end of input or\nafter a signal-initiated drain, 3 if --max-arena-nodes tripped";
+const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] prog-eq '<prog>' '<prog>'\n  nka [--stats] [--json] hoare '<effect>' '<prog>' '<effect>'\n  nka [--budget N] [--stats] [--json] analyze '<prog>' [pass…]\n  nka [--budget N] [--stats] [--json] [--jobs N] [--max-queries-per-worker N]\n      [--snapshot FILE] batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] [--max-queries-per-worker N]\n      [--max-arena-nodes N] [--snapshot FILE] serve\n  nka … serve --listen ADDR [--listen ADDR…] [--workers N] [--queue-depth N]\n      [--max-pending N] [--max-line-bytes N] [--stats-interval SECS]\n  nka snapshot dump FILE [CORPUS]   (run CORPUS or stdin, dump warm caches)\n  nka [--json] snapshot inspect FILE\n  nka snapshot verify FILE\n  nka encode-demo\n\nprog-eq decides Enc(p) = Enc(q) for two quantum while-programs (one\nshared encoder setting, Definition 4.4); hoare checks the triple\n{pre} prog {post} via wlp and reports the Theorem 7.8 encoding.\nanalyze lints a program: Tier A passes (unused_qubit, unreachable_code,\nself_inverse_pair, constant_guard, metrics) are purely syntactic;\nTier B passes (dead_branch, redundant_fragment, peephole) are decided\nby the engine and every finding carries a replayable prog-eq\ncertificate. Naming passes after the program restricts the run.\nPrograms: 'qubits N; h q0; cnot q0 q1; if q0 {…} else {…}; while q0 {…}'\n(gates: h x y z s t cnot cz swap; also init qK, skip, abort).\nEffects: sums of scaled projectors, e.g. 'I', '0.5 I', 'ket(01)', 'q0=1'.\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps],\n   prog_eq [p, q], hoare [pre, prog, post], analyze [prog, passes])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n--jobs N shards a batch across N parallel worker sessions in bounded\nchunks; verdicts, output order, and exit codes are identical to\n--jobs 1. --max-queries-per-worker N recycles a session's engine\ncaches every N queries (memory backstop; verdicts unchanged);\nserve --max-arena-nodes N exits 3 once the process-wide resident\nexpression arena exceeds N nodes, so a supervisor can restart it.\n\n--snapshot FILE warm-starts batch/serve from a verdict-cache snapshot\nand re-dumps it on exit (and on every engine recycle): decided\nverdicts, star-free word multisets, and analyzer certificates survive\nrestarts. A missing file is a cold first boot; a corrupt, truncated,\nor config-mismatched file degrades to a cold start with a warning —\nnever to a wrong answer. 'nka snapshot dump|inspect|verify' create and\nexamine snapshot files offline.\n\nserve --listen ADDR starts the concurrent socket server instead of the\nstdin loop: ADDR is 'host:port' (TCP; repeatable) or 'unix:/path'.\n--workers N sizes the pool of warm sessions (default: CPU count, max 8);\n--queue-depth N bounds each connection's in-flight window (backpressure:\nthe server stops reading a connection whose window is full, default 64);\n--max-pending N is the server-wide hard cap past which requests are\nanswered with a structured 'overloaded' error (default 1024);\n--max-line-bytes N rejects longer request lines (default 1 MiB);\n--stats-interval SECS prints a --stats snapshot to stderr periodically.\nSIGTERM/SIGINT (and --max-arena-nodes) drain gracefully: stop accepting,\nanswer every request already read, then exit (0 for signals, 3 for the\narena cap). nka-loadgen replays corpora against the server and diffs\nevery response against a sequential in-process session.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; analyze: 0 clean or info-only findings,\n1 any warning-severity finding; batch: 0 all answered, 2 any malformed\nline, else 3 any budget-exhausted query; serve: 0 at end of input or\nafter a signal-initiated drain, 3 if --max-arena-nodes tripped";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -146,6 +149,7 @@ struct StatsReport {
     expr_subterms: u64,
     engine_recycles: u64,
     analysis: AnalysisStats,
+    snapshot: SnapshotStats,
 }
 
 impl StatsReport {
@@ -156,6 +160,7 @@ impl StatsReport {
             expr_subterms: session.expr_subterms_seen(),
             engine_recycles: session.engine_recycles(),
             analysis: session.analysis_stats(),
+            snapshot: session.snapshot_stats(),
         }
     }
 
@@ -172,6 +177,7 @@ impl StatsReport {
             elapsed,
             ops,
             analysis: self.analysis,
+            snapshot: self.snapshot,
             serve: None,
         }
     }
@@ -199,6 +205,7 @@ fn main() -> ExitCode {
     let mut max_pending: Option<usize> = None;
     let mut max_line_bytes: Option<usize> = None;
     let mut stats_interval: Option<Duration> = None;
+    let mut snapshot_path: Option<PathBuf> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -333,6 +340,13 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--snapshot" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--snapshot needs a file path");
+                    return usage();
+                };
+                snapshot_path = Some(PathBuf::from(value));
+            }
             "--stats" => stats = true,
             "--json" => json = true,
             "--help" | "-h" => {
@@ -361,6 +375,14 @@ fn main() -> ExitCode {
         eprintln!("--listen only applies to serve");
         return usage();
     }
+    if snapshot_path.is_some() && !matches!(command, Some("batch") | Some("serve")) {
+        eprintln!("--snapshot only applies to batch and serve (see 'nka snapshot dump')");
+        return usage();
+    }
+    if snapshot_path.is_some() && jobs > 1 {
+        eprintln!("--snapshot does not combine with --jobs (parallel workers are transient)");
+        return usage();
+    }
     if listen.is_empty()
         && (workers.is_some()
             || queue_depth.is_some()
@@ -374,15 +396,33 @@ fn main() -> ExitCode {
         return usage();
     }
 
-    let opts = SessionOptions {
-        decide: DecideOptions {
-            max_dfa_states: budget,
-            ..DecideOptions::default()
-        },
-        recycle_after_queries: max_queries_per_worker,
-        ..SessionOptions::default()
+    let opts = match SessionOptions::builder()
+        .max_dfa_states(budget)
+        .recycle_after_queries(max_queries_per_worker)
+        .snapshot_path(snapshot_path.clone())
+        .build()
+    {
+        Ok(opts) => opts,
+        Err(err) => {
+            eprintln!("{}", err.render());
+            return usage();
+        }
     };
     let mut session = Session::with_options(opts.clone());
+    // Warm-start batch / the stdin serve loop (the socket server loads
+    // its own copy in `Server::bind`). A missing file is a normal first
+    // boot; a bad one degrades to cold with a plain-text warning.
+    if let (Some(path), true) = (&snapshot_path, listen.is_empty()) {
+        if path.exists() {
+            match session.load_snapshot_file(path) {
+                Ok(n) => eprintln!("snapshot: restored {n} entries from {}", path.display()),
+                Err(err) => eprintln!(
+                    "warning: snapshot {} not restored ({err}); starting cold",
+                    path.display()
+                ),
+            }
+        }
+    }
     // Per-op latency histograms behind `--stats`; every path records
     // into them (the socket server keeps its own inside the pool).
     let hists = OpHistograms::new();
@@ -403,6 +443,7 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| ServeConfig::default().max_line_bytes),
                 max_arena_nodes,
                 json,
+                snapshot_path: snapshot_path.clone(),
                 ..ServeConfig::default()
             };
             serve_socket(cfg, &listen, stats_interval, json, &mut server_block)
@@ -465,9 +506,18 @@ fn main() -> ExitCode {
             &mut report,
         ),
         Some("serve") if rest.len() == 1 => serve(&mut session, json, &hists, max_arena_nodes),
+        Some("snapshot") => return snapshot_cmd(&rest[1..], &opts, json),
         Some("encode-demo") => encode_demo(),
         _ => return usage(),
     };
+    // Graceful-exit dump for the single-session paths (batch and the
+    // stdin serve loop) — the socket server re-dumps in `Server::join`.
+    if let (Some(path), true) = (&snapshot_path, listen.is_empty()) {
+        match session.save_snapshot(path) {
+            Ok(n) => eprintln!("snapshot: dumped {n} entries to {}", path.display()),
+            Err(err) => eprintln!("warning: snapshot dump to {} failed: {err}", path.display()),
+        }
+    }
     if stats {
         let block = match server_block {
             Some(block) => block,
@@ -715,6 +765,7 @@ fn batch_parallel(
         expr_subterms: 0,
         engine_recycles: 0,
         analysis: AnalysisStats::default(),
+        snapshot: SnapshotStats::default(),
     };
     let mut code = EXIT_OK;
     let mut read_error: Option<String> = None;
@@ -823,6 +874,133 @@ fn serve(
         }
     }
     ExitCode::from(EXIT_OK)
+}
+
+/// `nka snapshot dump|inspect|verify`: the offline surface of the
+/// snapshot format ([`nka_core::snapshot`]).
+///
+/// * `dump FILE [CORPUS]` — run CORPUS (JSONL / `e = f` lines; `-` or
+///   absent = stdin) on a warm session, discard the responses, and
+///   write the resulting caches to FILE.
+/// * `inspect FILE` — print the header and entry counts (one JSON
+///   object with `--json`).
+/// * `verify FILE` — fully validate magic, version, checksum, and
+///   structure; exit 0 iff the snapshot would load.
+fn snapshot_cmd(args: &[String], opts: &SessionOptions, json: bool) -> ExitCode {
+    match args {
+        [cmd, file, corpus @ ..] if cmd == "dump" && corpus.len() <= 1 => {
+            let source = corpus.first().map(String::as_str);
+            let reader: Box<dyn BufRead> = match source {
+                None | Some("-") => Box::new(std::io::stdin().lock()),
+                Some(path) => match std::fs::File::open(path) {
+                    Ok(file) => Box::new(std::io::BufReader::new(file)),
+                    Err(err) => {
+                        eprintln!("cannot open {path:?}: {err}");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                },
+            };
+            let mut session = Session::with_options(opts.clone());
+            for (lineno, line) in reader.lines().enumerate() {
+                let Ok(line) = line else { break };
+                match wire::decode_request(&line) {
+                    Ok(None) => {}
+                    Ok(Some(query)) => {
+                        let _ = session.run(&query);
+                    }
+                    Err(err) => {
+                        eprintln!("{}", err.render());
+                        eprintln!("  (line {})", lineno + 1);
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            match session.save_snapshot(PathBuf::from(file).as_path()) {
+                Ok(n) => {
+                    out!("snapshot: dumped {n} entries to {file}");
+                    ExitCode::from(EXIT_OK)
+                }
+                Err(err) => {
+                    eprintln!("snapshot dump to {file} failed: {err}");
+                    ExitCode::from(EXIT_USAGE)
+                }
+            }
+        }
+        [cmd, file] if cmd == "inspect" => match Snapshot::read(PathBuf::from(file).as_path()) {
+            Ok(snap) => {
+                let s = snap.summary();
+                let int = |n: usize| Json::Int(i64::try_from(n).unwrap_or(i64::MAX));
+                if json {
+                    out!(
+                        "{}",
+                        Json::Obj(vec![
+                            ("v".to_owned(), Json::Int(i64::from(s.version))),
+                            (
+                                "created_unix_secs".to_owned(),
+                                Json::Int(i64::try_from(s.created_unix_secs).unwrap_or(i64::MAX)),
+                            ),
+                            (
+                                "float_ablation".to_owned(),
+                                Json::Bool(s.config.float_ablation),
+                            ),
+                            (
+                                "starfree_max_words".to_owned(),
+                                Json::Int(
+                                    i64::try_from(s.config.starfree_max_words).unwrap_or(i64::MAX),
+                                ),
+                            ),
+                            ("symbols".to_owned(), int(s.symbols)),
+                            ("exprs".to_owned(), int(s.exprs)),
+                            ("nka_verdicts".to_owned(), int(s.nka_verdicts)),
+                            ("ka_verdicts".to_owned(), int(s.ka_verdicts)),
+                            ("multisets".to_owned(), int(s.multisets)),
+                            ("certs".to_owned(), int(s.certs)),
+                            ("entries".to_owned(), int(s.entry_count())),
+                        ])
+                    );
+                } else {
+                    let age =
+                        nka_core::snapshot::now_unix_secs().saturating_sub(s.created_unix_secs);
+                    out!("snapshot v{} ({file}), written {age}s ago", s.version);
+                    out!(
+                        "config: float_ablation={}, starfree_max_words={}",
+                        s.config.float_ablation,
+                        s.config.starfree_max_words
+                    );
+                    out!(
+                        "entries: {} ({} NKA + {} KA verdicts, {} multisets, {} certs) over {} exprs / {} symbols",
+                        s.entry_count(),
+                        s.nka_verdicts,
+                        s.ka_verdicts,
+                        s.multisets,
+                        s.certs,
+                        s.exprs,
+                        s.symbols,
+                    );
+                }
+                ExitCode::from(EXIT_OK)
+            }
+            Err(err) => {
+                eprintln!("cannot inspect {file}: {err}");
+                ExitCode::from(EXIT_NO)
+            }
+        },
+        [cmd, file] if cmd == "verify" => match Snapshot::read(PathBuf::from(file).as_path()) {
+            Ok(snap) => {
+                out!(
+                    "ok: {file} is a valid v{} snapshot with {} entries",
+                    snap.summary().version,
+                    snap.summary().entry_count()
+                );
+                ExitCode::from(EXIT_OK)
+            }
+            Err(err) => {
+                eprintln!("invalid snapshot {file}: {err}");
+                ExitCode::from(EXIT_NO)
+            }
+        },
+        _ => usage(),
+    }
 }
 
 /// Minimal POSIX signal plumbing for the socket server: SIGTERM/SIGINT

@@ -88,18 +88,20 @@ fn prove_and_decide_share_the_session_caches() {
 fn zero_budget_session_reports_budget_exhaustion_not_success() {
     // Regression companion to the engine-level fix: a pathological
     // zero-state budget must surface on the very first (trivial) query.
-    let mut session = Session::with_options(SessionOptions {
-        decide: DecideOptions {
-            max_dfa_states: 0,
-            // Forced off so the trivial query reaches the subset
-            // construction whose budget this regression test pins (the
-            // star-free fast path would otherwise answer it exactly
-            // without any DFA states).
-            starfree_max_words: 0,
-            ..DecideOptions::default()
-        },
-        ..SessionOptions::default()
-    });
+    let mut session = Session::with_options(
+        SessionOptions::builder()
+            .decide(DecideOptions {
+                max_dfa_states: 0,
+                // Forced off so the trivial query reaches the subset
+                // construction whose budget this regression test pins
+                // (the star-free fast path would otherwise answer it
+                // exactly without any DFA states).
+                starfree_max_words: 0,
+                ..DecideOptions::default()
+            })
+            .build()
+            .unwrap(),
+    );
     let resp = session.run(&Query::nka_eq("1", "1").unwrap());
     assert!(
         matches!(resp.verdict, Verdict::BudgetExhausted { .. }),
@@ -112,10 +114,12 @@ fn zero_budget_session_reports_budget_exhaustion_not_success() {
 fn session_prover_bounds_are_honoured() {
     // With a zero expansion budget the search proves nothing, but the
     // engine still classifies the hypothesis-free theorem.
-    let mut session = Session::with_options(SessionOptions {
-        prove_max_expansions: 0,
-        ..SessionOptions::default()
-    });
+    let mut session = Session::with_options(
+        SessionOptions::builder()
+            .prove_max_expansions(0)
+            .build()
+            .unwrap(),
+    );
     let resp = session.run(&Query::prove::<&str>("(p q)* p", "p (q p)*", &[]).unwrap());
     assert_eq!(
         resp.verdict,

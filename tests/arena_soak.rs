@@ -69,13 +69,15 @@ fn distinct_prove_traffic_keeps_the_arena_bounded() {
     let resident_before = arena_resident_nodes();
     let retired_before = scratch_retired_total();
 
-    let mut session = Session::with_options(SessionOptions {
+    let mut session = Session::with_options(
         // Small per-query search budget: the soak measures arena
         // behavior, not prover power. Each exhausted search still
         // interns a few dozen scratch terms.
-        prove_max_expansions: 12,
-        ..SessionOptions::default()
-    });
+        SessionOptions::builder()
+            .prove_max_expansions(12)
+            .build()
+            .unwrap(),
+    );
     for (i, query) in queries.iter().enumerate() {
         let resp = session.run(query);
         assert!(
@@ -140,10 +142,12 @@ fn proved_queries_persist_only_their_promoted_proofs() {
 
     let persistent_before = interned_expr_count();
     let retired_before = scratch_retired_total();
-    let mut session = Session::with_options(SessionOptions {
-        prove_max_expansions: 80,
-        ..SessionOptions::default()
-    });
+    let mut session = Session::with_options(
+        SessionOptions::builder()
+            .prove_max_expansions(80)
+            .build()
+            .unwrap(),
+    );
     let mut proved = 0usize;
     let mut proof_nodes = 0u64;
     for query in &queries {

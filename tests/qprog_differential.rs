@@ -46,13 +46,15 @@ fn prog_eq_holds(session: &mut Session, p: &RProg, q: &RProg) -> bool {
 /// the full generic WFA pipeline. The parity properties compare this
 /// against a default (fast-path-enabled) session.
 fn generic_session() -> Session {
-    Session::with_options(SessionOptions {
-        decide: DecideOptions {
-            starfree_max_words: 0,
-            ..DecideOptions::default()
-        },
-        ..SessionOptions::default()
-    })
+    Session::with_options(
+        SessionOptions::builder()
+            .decide(DecideOptions {
+                starfree_max_words: 0,
+                ..DecideOptions::default()
+            })
+            .build()
+            .unwrap(),
+    )
 }
 
 const SEM_TOL: f64 = 1e-7;

@@ -20,10 +20,12 @@ fn gen_config() -> ExprGenConfig {
 /// A session whose prover gives up quickly — these tests exercise the
 /// scope lifecycle around the search, not the search itself.
 fn session() -> Session {
-    Session::with_options(SessionOptions {
-        prove_max_expansions: 30,
-        ..SessionOptions::default()
-    })
+    Session::with_options(
+        SessionOptions::builder()
+            .prove_max_expansions(30)
+            .build()
+            .unwrap(),
+    )
 }
 
 proptest! {
@@ -115,10 +117,10 @@ fn recycled_parallel_workers_stay_verdict_identical() {
         })
         .collect();
     let baseline = run_batch_parallel(&queries, &SessionOptions::default(), 1);
-    let recycled_opts = SessionOptions {
-        recycle_after_queries: Some(2),
-        ..SessionOptions::default()
-    };
+    let recycled_opts = SessionOptions::builder()
+        .recycle_after_queries(Some(2))
+        .build()
+        .unwrap();
     for jobs in [1, 3] {
         let responses = run_batch_parallel(&queries, &recycled_opts, jobs);
         for (i, (base, got)) in baseline.iter().zip(&responses).enumerate() {

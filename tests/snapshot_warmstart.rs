@@ -1,0 +1,315 @@
+//! Snapshot warm-start through the real `nka` binary: a batch run with
+//! `--snapshot` dumps its verdict caches on exit, a *fresh process*
+//! replaying the same golden corpora answers byte-identically (stable
+//! projection) while its restored-hit counters move, and every way a
+//! snapshot file can rot — truncation, bit flips, a future version
+//! stamp, an empty file — degrades to a clean cold start (exit 0,
+//! identical answers, a counted load warning) rather than to a wrong
+//! answer or a dead stream. This is the process-restart half of the
+//! in-session round-trip tests in `nka-core::api`.
+
+use nka_quantum::api::json::Json;
+use nka_quantum::api::wire;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+const QPROG: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/qprog_25.jsonl");
+const ANALYZE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/analyze_20.jsonl");
+
+/// A fresh per-test scratch directory (pid-scoped so parallel test
+/// binaries cannot collide).
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nka-snapwarm-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+struct Run {
+    code: Option<i32>,
+    stdout: String,
+    stderr: String,
+}
+
+impl Run {
+    /// Response lines with `stats`/`micros` stripped — the
+    /// byte-comparable projection (`wire::stable_response_projection`).
+    fn projected(&self) -> Vec<String> {
+        self.stdout
+            .lines()
+            .map(wire::stable_response_projection)
+            .collect()
+    }
+
+    /// The single `--stats --json` object on stderr.
+    fn stats(&self) -> Json {
+        let line = self
+            .stderr
+            .lines()
+            .find(|line| line.starts_with('{'))
+            .unwrap_or_else(|| panic!("no JSON stats line on stderr:\n{}", self.stderr));
+        Json::parse(line).expect("stats JSON parses")
+    }
+
+    fn snapshot_stat(&self, key: &str) -> i64 {
+        self.stats()
+            .get("snapshot")
+            .unwrap_or_else(|| panic!("no snapshot section:\n{}", self.stderr))
+            .get(key)
+            .and_then(Json::as_i64)
+            .unwrap_or_else(|| panic!("no snapshot.{key} counter:\n{}", self.stderr))
+    }
+}
+
+/// `nka --stats --json [--snapshot FILE] batch CORPUS`.
+fn run_batch(corpus: &str, snapshot: Option<&Path>) -> Run {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_nka"));
+    cmd.args(["--stats", "--json"]);
+    if let Some(path) = snapshot {
+        cmd.arg("--snapshot").arg(path);
+    }
+    cmd.arg("batch").arg(corpus);
+    let output = cmd.output().expect("nka binary runs");
+    Run {
+        code: output.status.code(),
+        stdout: String::from_utf8(output.stdout).expect("stdout is UTF-8"),
+        stderr: String::from_utf8(output.stderr).expect("stderr is UTF-8"),
+    }
+}
+
+/// The snapshot header layout pinned by `nka_core::snapshot`: 8 magic
+/// bytes, a little-endian u32 version, a little-endian u64 checksum,
+/// then the body.
+const HEADER_LEN: usize = 8 + 4 + 8;
+
+#[test]
+fn warm_restart_replays_qprog_corpus_identically_with_restored_hits() {
+    let dir = temp_dir("qprog");
+    let snap = dir.join("warm.nkasnap");
+
+    // Cold pass: no file yet (an info note, not a warning), dumps on
+    // exit.
+    let cold = run_batch(QPROG, Some(&snap));
+    assert_eq!(cold.code, Some(0), "{}", cold.stderr);
+    assert!(snap.exists(), "exit dump must write the snapshot");
+    assert_eq!(cold.snapshot_stat("load_warnings"), 0, "{}", cold.stderr);
+    assert!(cold.snapshot_stat("dumps") >= 1, "{}", cold.stderr);
+
+    // Warm pass in a fresh process: same answers, restored hits move.
+    let warm = run_batch(QPROG, Some(&snap));
+    assert_eq!(warm.code, Some(0), "{}", warm.stderr);
+    assert_eq!(
+        cold.projected(),
+        warm.projected(),
+        "verdict projections must be byte-identical across the restart"
+    );
+    assert!(
+        warm.snapshot_stat("restored_entries") > 0,
+        "{}",
+        warm.stderr
+    );
+    assert!(
+        warm.snapshot_stat("snapshot_hits") > 0,
+        "the replay must hit the restored verdict caches: {}",
+        warm.stderr
+    );
+    assert!(
+        warm.stats()
+            .get("snapshot")
+            .and_then(|s| s.get("age_secs"))
+            .and_then(Json::as_i64)
+            .is_some(),
+        "a loaded snapshot reports its age: {}",
+        warm.stderr
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_restart_replays_analyze_corpus_with_certificate_hits() {
+    let dir = temp_dir("analyze");
+    let snap = dir.join("warm.nkasnap");
+
+    let cold = run_batch(ANALYZE, Some(&snap));
+    assert_eq!(cold.code, Some(0), "{}", cold.stderr);
+
+    let warm = run_batch(ANALYZE, Some(&snap));
+    assert_eq!(warm.code, Some(0), "{}", warm.stderr);
+    assert_eq!(cold.projected(), warm.projected());
+    assert!(
+        warm.snapshot_stat("cert_snapshot_hits") > 0,
+        "the analyze replay must hit restored certificates: {}",
+        warm.stderr
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every corruption mode loads as a clean cold start: exit 0, the
+/// stream stays alive and answers every line byte-identically to a
+/// snapshot-free run, and the failure is *counted* (one load warning)
+/// rather than fatal.
+#[test]
+fn corrupt_snapshots_degrade_to_cold_starts_not_wrong_answers() {
+    let dir = temp_dir("corrupt");
+    let snap = dir.join("warm.nkasnap");
+    let baseline = run_batch(QPROG, None);
+    assert_eq!(baseline.code, Some(0), "{}", baseline.stderr);
+
+    // A valid dump to corrupt per-case.
+    let seeded = run_batch(QPROG, Some(&snap));
+    assert_eq!(seeded.code, Some(0), "{}", seeded.stderr);
+    let good = std::fs::read(&snap).expect("dumped snapshot readable");
+    assert!(good.len() > HEADER_LEN, "dump is non-trivial");
+
+    let truncated = good[..good.len() / 2].to_vec();
+    let mut flipped = good.clone();
+    flipped[HEADER_LEN + 4] ^= 0x40;
+    let mut future = good.clone();
+    future[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let cases: [(&str, Vec<u8>); 4] = [
+        ("truncated", truncated),
+        ("bit-flipped", flipped),
+        ("version-bumped", future),
+        ("zero-length", Vec::new()),
+    ];
+
+    for (name, bytes) in cases {
+        let file = dir.join(format!("{name}.nkasnap"));
+        std::fs::write(&file, &bytes).expect("write corrupt snapshot");
+        let run = run_batch(QPROG, Some(&file));
+        assert_eq!(run.code, Some(0), "{name}: {}", run.stderr);
+        assert_eq!(
+            baseline.projected(),
+            run.projected(),
+            "{name}: a failed load must not change any answer"
+        );
+        assert!(
+            run.stderr.contains("starting cold"),
+            "{name}: the degradation must be reported: {}",
+            run.stderr
+        );
+        assert_eq!(
+            run.snapshot_stat("load_warnings"),
+            1,
+            "{name}: {}",
+            run.stderr
+        );
+        assert_eq!(
+            run.snapshot_stat("restored_entries"),
+            0,
+            "{name}: nothing may be restored from a bad file: {}",
+            run.stderr
+        );
+        // The exit dump replaces the rotten file with a valid one — the
+        // restart loop self-heals.
+        let verify = Command::new(env!("CARGO_BIN_EXE_nka"))
+            .args(["snapshot", "verify"])
+            .arg(&file)
+            .output()
+            .expect("nka snapshot verify runs");
+        assert_eq!(verify.status.code(), Some(0), "{name}: dump did not heal");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The offline surface: `snapshot dump` builds a file from a corpus,
+/// `inspect --json` reports its header and entry counts, `verify`
+/// accepts it and rejects rot with exit 1.
+#[test]
+fn snapshot_subcommands_dump_inspect_and_verify() {
+    let dir = temp_dir("subcmd");
+    let snap = dir.join("offline.nkasnap");
+
+    let dump = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["snapshot", "dump"])
+        .arg(&snap)
+        .arg(QPROG)
+        .output()
+        .expect("nka snapshot dump runs");
+    assert_eq!(
+        dump.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&dump.stderr)
+    );
+
+    let inspect = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["--json", "snapshot", "inspect"])
+        .arg(&snap)
+        .output()
+        .expect("nka snapshot inspect runs");
+    assert_eq!(inspect.status.code(), Some(0));
+    let value = Json::parse(String::from_utf8(inspect.stdout).expect("UTF-8").trim())
+        .expect("inspect --json is one JSON object");
+    assert_eq!(value.get("v").and_then(Json::as_i64), Some(1));
+    assert!(value.get("entries").and_then(Json::as_i64) > Some(0));
+    assert!(value.get("nka_verdicts").and_then(Json::as_i64).is_some());
+    assert!(value.get("certs").and_then(Json::as_i64).is_some());
+
+    let verify = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["snapshot", "verify"])
+        .arg(&snap)
+        .output()
+        .expect("nka snapshot verify runs");
+    assert_eq!(verify.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&verify.stdout).contains("ok:"));
+
+    let mut bytes = std::fs::read(&snap).expect("snapshot readable");
+    let len = bytes.len();
+    bytes[len - 1] ^= 0xff;
+    std::fs::write(&snap, &bytes).expect("write corrupted snapshot");
+    let reject = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["snapshot", "verify"])
+        .arg(&snap)
+        .output()
+        .expect("nka snapshot verify runs");
+    assert_eq!(reject.status.code(), Some(1), "rot must be rejected");
+    assert!(String::from_utf8_lossy(&reject.stderr).contains("invalid snapshot"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Warm-start through the stdin `serve` loop: the same snapshot file
+/// boots the interactive loop warm, and the stream both answers
+/// identically and reports its version on every line.
+#[test]
+fn serve_stdin_boots_warm_from_a_snapshot() {
+    let dir = temp_dir("serve");
+    let snap = dir.join("warm.nkasnap");
+    let seeded = run_batch(QPROG, Some(&snap));
+    assert_eq!(seeded.code, Some(0), "{}", seeded.stderr);
+
+    let input = std::fs::read_to_string(QPROG).expect("corpus readable");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["--stats", "--json"])
+        .arg("--snapshot")
+        .arg(&snap)
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("nka serve runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write serve input");
+    let output = child.wait_with_output().expect("serve completes");
+    let run = Run {
+        code: output.status.code(),
+        stdout: String::from_utf8(output.stdout).expect("UTF-8"),
+        stderr: String::from_utf8(output.stderr).expect("UTF-8"),
+    };
+    assert_eq!(run.code, Some(0), "{}", run.stderr);
+    assert_eq!(seeded.projected(), run.projected());
+    assert!(run.snapshot_stat("snapshot_hits") > 0, "{}", run.stderr);
+    for line in run.stdout.lines() {
+        assert!(
+            line.starts_with("{\"v\":1,"),
+            "response lines lead with the wire version: {line}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
