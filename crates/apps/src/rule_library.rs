@@ -277,7 +277,8 @@ pub struct RuleEntry {
     pub witness: fn() -> (Program, Program),
     /// The analyzer's metadata record for this rule (LHS/RHS shapes,
     /// Horn hypotheses, paper citation) — one source of truth shared
-    /// with `nka analyze` findings and future `optimize` queries.
+    /// with `nka analyze` findings and the `nka_qprog::optimize`
+    /// rewriter's step traces.
     pub meta: &'static nka_qprog::analysis::RuleMeta,
 }
 
@@ -538,6 +539,25 @@ mod tests {
                 entry.name
             );
         }
+    }
+
+    #[test]
+    fn optimizer_rule_universe_is_exactly_this_catalog() {
+        // The `optimize` workload applies (a subset of) these rules;
+        // its rule indexing must cover the catalog one-to-one, in
+        // order, so `steps_by_rule` counters and `--stats` breakdowns
+        // line up with the module-level table.
+        let entries = catalog();
+        assert_eq!(nka_qprog::optimize::RULE_COUNT, entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            assert_eq!(
+                nka_qprog::optimize::rule_index(entry.name),
+                Some(i),
+                "rule {}: optimizer index drifted from the catalog order",
+                entry.name
+            );
+        }
+        assert_eq!(nka_qprog::optimize::rule_index("no-such-rule"), None);
     }
 
     #[test]

@@ -121,5 +121,45 @@ fn bench_prog_eq(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prog_eq);
+fn bench_optimize(c: &mut Criterion) {
+    // The acceptance composite: loop-peeling + dead-branch fire (two
+    // certified steps), the h;h gate-fusion advisory is refuted, and
+    // the final whole-program certificate is decided — an optimize
+    // query is several analyze sweeps plus one prog_eq per applied
+    // step, so this floor sits well above the single-decide arms.
+    let composite = Query::optimize(
+        "qubits 2; if q0 { h q1; while q0 { h q1 } } else { skip }; \
+         if q1 { x q0; abort } else { skip }; h q0; h q0",
+        &[] as &[&str],
+        32,
+        1,
+    )
+    .expect("well-formed");
+    let mut group = c.benchmark_group("qprog/optimize_cold");
+    group.sample_size(10);
+    group.bench_function("two_step_composite", |b| {
+        b.iter(|| {
+            let mut session = Session::new();
+            black_box(session.run(black_box(&composite)));
+        });
+    });
+    group.finish();
+
+    // Warm repeat: every candidate verdict and the final certificate
+    // hit the per-session caches; what's left is parse + rewrite +
+    // re-encode churn.
+    let mut warm_session = Session::new();
+    let first = warm_session.run(&composite);
+    assert!(matches!(
+        first.verdict,
+        Verdict::Optimized { ref steps, fixpoint: true, .. } if steps.len() == 2
+    ));
+    let mut group = c.benchmark_group("qprog/optimize_warm");
+    group.bench_function("two_step_composite_repeat", |b| {
+        b.iter(|| black_box(warm_session.run(black_box(&composite))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prog_eq, bench_optimize);
 criterion_main!(benches);

@@ -86,9 +86,10 @@ use crate::judgment::Judgment;
 use crate::proof::Proof;
 use crate::prover::{ProveOutcome, Prover};
 use crate::snapshot::{self, ConfigGuard, LoadedSnapshot, SnapshotBuilder, SnapshotError};
+use nka_qprog::optimize::{self, OptimizeStep, RuleSet};
 use nka_qprog::{
     analysis, hoare::HoareTriple, Certificate, CertificateStats, EncoderSetting, Finding,
-    ParseProgError, SemanticCheck, SurfaceEffect, SurfaceProgram,
+    ParseProgError, SurfaceEffect, SurfaceProgram,
 };
 use nka_semiring::ExtNat;
 use nka_syntax::{Expr, ExprId, ParseExprError, ScratchScope, Symbol, Word};
@@ -97,7 +98,7 @@ use qsim_linalg::CMatrix;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A typed request against the NKA theory. See the [module docs](self)
@@ -178,6 +179,32 @@ pub enum Query {
         /// [`analysis::PASS_NAMES`]); empty means every pass.
         passes: Vec<String>,
     },
+    /// Run the certificate-carrying optimizer
+    /// ([`nka_qprog::optimize`]): greedily apply catalog rewrites
+    /// ("apply what `analyze` reports, then re-analyze until fixpoint"),
+    /// validating **every** candidate step with a `prog_eq` decision on
+    /// the warm engine before applying it, and certifying the final
+    /// program against the input with one more replayable decision.
+    /// Hypothesis-bearing catalog rules (gate fusion, …) propose
+    /// candidates the free-symbol algebra refutes — they are counted,
+    /// never applied, so the output is always covered by the
+    /// certificate (Theorem 4.5, one-way).
+    Optimize {
+        /// The program to optimize.
+        prog: SurfaceProgram,
+        /// Rule filter (validated names from
+        /// [`nka_qprog::analysis::RULE_METADATA`]); empty means the
+        /// whole catalog with `loop-peeling` in its shrinking
+        /// direction only.
+        rules: Vec<String>,
+        /// Maximum number of applied rewrite steps before the run
+        /// bails with a structured `step budget exhausted` note.
+        max_steps: usize,
+        /// Beam width: how many engine-validated candidates to collect
+        /// per round before picking the smallest rewrite (1 = greedy
+        /// first-certified).
+        beam: usize,
+    },
 }
 
 /// The discriminant of a [`Query`], used for display and wire encoding.
@@ -197,11 +224,13 @@ pub enum QueryKind {
     Hoare,
     /// [`Query::Analyze`].
     Analyze,
+    /// [`Query::Optimize`].
+    Optimize,
 }
 
 impl QueryKind {
     /// The wire-format `op` name (`nka_eq`, `ka_eq`, `series`, `prove`,
-    /// `prog_eq`, `hoare`, `analyze`).
+    /// `prog_eq`, `hoare`, `analyze`, `optimize`).
     #[must_use]
     pub fn op(self) -> &'static str {
         match self {
@@ -212,6 +241,7 @@ impl QueryKind {
             QueryKind::ProgEq => "prog_eq",
             QueryKind::Hoare => "hoare",
             QueryKind::Analyze => "analyze",
+            QueryKind::Optimize => "optimize",
         }
     }
 }
@@ -226,6 +256,16 @@ impl fmt::Display for QueryKind {
 /// format without an explicit `max_len` (matches the CLI default).
 pub const DEFAULT_SERIES_MAX_LEN: usize = 3;
 
+/// Default step budget for [`Query::Optimize`] built without an
+/// explicit `max_steps` (matches the CLI default). Generous for greedy
+/// shrinking rewrites — real programs reach a fixpoint long before it —
+/// while bounding deliberately cycling rule filters.
+pub const DEFAULT_OPTIMIZE_MAX_STEPS: usize = 32;
+
+/// Default beam width for [`Query::Optimize`]: greedy (apply the first
+/// engine-certified candidate per round).
+pub const DEFAULT_OPTIMIZE_BEAM: usize = 1;
+
 impl Query {
     /// The discriminant of this query.
     #[must_use]
@@ -238,6 +278,7 @@ impl Query {
             Query::ProgEq { .. } => QueryKind::ProgEq,
             Query::Hoare { .. } => QueryKind::Hoare,
             Query::Analyze { .. } => QueryKind::Analyze,
+            Query::Optimize { .. } => QueryKind::Optimize,
         }
     }
 
@@ -353,6 +394,40 @@ impl Query {
         Ok(Query::Analyze { prog, passes })
     }
 
+    /// Builds a [`Query::Optimize`] from a program source, a rule
+    /// filter (empty = the whole catalog, shrinking peel direction
+    /// only), a step budget, and a beam width.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::ParseProgram`] (with span) if the program fails to
+    /// parse, [`ApiError::Malformed`] on an unknown rule name or a
+    /// zero `max_steps`/`beam`.
+    pub fn optimize<S: AsRef<str>>(
+        prog: &str,
+        rules: &[S],
+        max_steps: usize,
+        beam: usize,
+    ) -> Result<Query, ApiError> {
+        let prog = parse_prog_field("prog", prog)?;
+        let rules: Vec<String> = rules.iter().map(|r| r.as_ref().to_owned()).collect();
+        RuleSet::from_names(&rules).map_err(ApiError::Malformed)?;
+        if max_steps == 0 {
+            return Err(ApiError::Malformed(
+                "max_steps must be at least 1".to_owned(),
+            ));
+        }
+        if beam == 0 {
+            return Err(ApiError::Malformed("beam must be at least 1".to_owned()));
+        }
+        Ok(Query::Optimize {
+            prog,
+            rules,
+            max_steps,
+            beam,
+        })
+    }
+
     /// The expressions this query mentions, in field order (both sides
     /// of an equality, the series operand, goal plus hypotheses).
     /// Program queries mention none: their encodings are
@@ -369,7 +444,10 @@ impl Query {
                 }
                 out
             }
-            Query::ProgEq { .. } | Query::Hoare { .. } | Query::Analyze { .. } => Vec::new(),
+            Query::ProgEq { .. }
+            | Query::Hoare { .. }
+            | Query::Analyze { .. }
+            | Query::Optimize { .. } => Vec::new(),
         }
     }
 
@@ -387,9 +465,9 @@ impl Query {
     pub fn term_stats(&self) -> (u64, u64) {
         match self {
             Query::ProgEq { p, q } => ((p.program().size() + q.program().size()) as u64, 0),
-            Query::Hoare { prog, .. } | Query::Analyze { prog, .. } => {
-                (prog.program().size() as u64, 0)
-            }
+            Query::Hoare { prog, .. }
+            | Query::Analyze { prog, .. }
+            | Query::Optimize { prog, .. } => (prog.program().size() as u64, 0),
             _ => term_stats_of(&self.exprs()),
         }
     }
@@ -510,6 +588,30 @@ pub enum Verdict {
         /// Findings, sorted by span start (Tier A and Tier B merged).
         findings: Vec<Finding>,
     },
+    /// The outcome of a [`Query::Optimize`]: the rewritten program plus
+    /// its certificate. Every applied step was individually certified
+    /// by a `prog_eq` decision, and `certificate` is the final
+    /// replayable `prog_eq(input, optimized)` verdict — a `holds`
+    /// replay on any session re-establishes the whole rewrite chain.
+    Optimized {
+        /// The optimized program, rendered as re-parseable source.
+        /// Equal to the input source when no rule fired.
+        optimized: String,
+        /// The applied rewrite steps in order; each span refers to the
+        /// program as it stood before that step.
+        steps: Vec<OptimizeStep>,
+        /// The final replayable `prog_eq(input, optimized)` certificate
+        /// (`expect: "holds"`), decided on the warm engine.
+        certificate: Certificate,
+        /// Whether the run reached a genuine fixpoint (no candidate
+        /// left); `false` means the step budget bailed first — see
+        /// `note`.
+        fixpoint: bool,
+        /// Structured note on early termination (`step budget
+        /// exhausted …`) or certification degradation; `None` for a
+        /// clean fixpoint.
+        note: Option<String>,
+    },
     /// The decision engine exceeded its state budget
     /// ([`DecideOptions::max_dfa_states`]); retry with a larger budget.
     BudgetExhausted {
@@ -531,6 +633,11 @@ impl Verdict {
             Verdict::Analysis { findings } => findings
                 .iter()
                 .all(|f| f.severity != nka_qprog::Severity::Warning),
+            // An optimize run always returns a program certified equal
+            // to the input (a run whose final certification fails
+            // degrades to the input unchanged, with a note), so it
+            // keeps CLI exit 0 like an all-clear analysis.
+            Verdict::Optimized { .. } => true,
             Verdict::Refuted | Verdict::Exhausted { .. } | Verdict::BudgetExhausted { .. } => false,
         }
     }
@@ -554,6 +661,7 @@ impl Verdict {
                 }
             }
             Verdict::Analysis { .. } => "analysis",
+            Verdict::Optimized { .. } => "optimized",
             Verdict::BudgetExhausted { .. } => "budget_exhausted",
         }
     }
@@ -920,6 +1028,66 @@ impl AnalysisStats {
     }
 }
 
+/// Cumulative counters of the optimizer ([`Query::Optimize`]) over a
+/// session's life — the `optimize` slice of `nka --stats` and the
+/// serve v2 stats block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Optimize queries answered.
+    pub queries: u64,
+    /// Rewrite steps applied (each one engine-certified).
+    pub steps_applied: u64,
+    /// Applied steps bucketed by
+    /// [`nka_qprog::analysis::RULE_METADATA`] index.
+    pub steps_by_rule: [u64; optimize::RULE_COUNT],
+    /// Candidates the engine refuted — mostly hypothesis-bearing
+    /// (advisory) catalog rules the free-symbol algebra cannot
+    /// discharge (Theorem 4.5 is one-way).
+    pub candidates_refuted: u64,
+    /// Runs that terminated at a genuine fixpoint (no candidate left).
+    pub fixpoints: u64,
+    /// Runs that bailed on the step budget instead (cycling rule
+    /// filters, or `--max-steps` set below the fixpoint distance).
+    pub budget_bails: u64,
+    /// Candidates skipped because their encoding was already visited
+    /// this run — the seen-set that keeps cycling rule pairs finite.
+    pub cycle_breaks: u64,
+    /// Candidate/final certifications actually run on the engine
+    /// (certificate-cache misses).
+    pub engine_decides: u64,
+    /// Certifications answered from the session's certificate cache
+    /// without touching the engine.
+    pub cert_cache_hits: u64,
+}
+
+impl OptimizeStats {
+    /// Counter-wise sum, for merging worker sessions.
+    #[must_use]
+    pub fn merged(&self, other: &OptimizeStats) -> OptimizeStats {
+        let mut steps_by_rule = self.steps_by_rule;
+        for (acc, x) in steps_by_rule.iter_mut().zip(other.steps_by_rule) {
+            *acc += x;
+        }
+        OptimizeStats {
+            queries: self.queries + other.queries,
+            steps_applied: self.steps_applied + other.steps_applied,
+            steps_by_rule,
+            candidates_refuted: self.candidates_refuted + other.candidates_refuted,
+            fixpoints: self.fixpoints + other.fixpoints,
+            budget_bails: self.budget_bails + other.budget_bails,
+            cycle_breaks: self.cycle_breaks + other.cycle_breaks,
+            engine_decides: self.engine_decides + other.engine_decides,
+            cert_cache_hits: self.cert_cache_hits + other.cert_cache_hits,
+        }
+    }
+
+    /// Whether every counter is zero (no optimize traffic yet).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == OptimizeStats::default()
+    }
+}
+
 /// Cumulative warm-start counters of a session — the `snapshot` slice
 /// of `nka --stats` and the serve v2 stats block. Together with the
 /// engine's ordinary `answer_hits` these expose the tiered lookup:
@@ -1035,6 +1203,9 @@ pub struct Session {
     /// Analyzer counters ([`Session::analysis_stats`]); cumulative,
     /// surviving engine recycling like `retired_stats`.
     analysis_stats: AnalysisStats,
+    /// Optimizer counters ([`Session::optimize_stats`]); cumulative,
+    /// surviving engine recycling like `retired_stats`.
+    optimize_stats: OptimizeStats,
     /// Tier B certificate cache: `(p, q) → (holds, stats)` keyed on the
     /// check's program sources. Verdict memoization only — cleared on
     /// recycle and past [`CERT_CACHE_CAP`] without affecting answers.
@@ -1094,7 +1265,10 @@ impl TermKey {
                 }
                 Some(TermKey::Many(ids.into_boxed_slice()))
             }
-            Query::ProgEq { .. } | Query::Hoare { .. } | Query::Analyze { .. } => None,
+            Query::ProgEq { .. }
+            | Query::Hoare { .. }
+            | Query::Analyze { .. }
+            | Query::Optimize { .. } => None,
         }
     }
 }
@@ -1165,6 +1339,15 @@ impl Session {
     #[must_use]
     pub fn analysis_stats(&self) -> AnalysisStats {
         self.analysis_stats
+    }
+
+    /// Cumulative optimizer counters over the session's life (steps
+    /// applied per rule, refuted candidates, fixpoints vs budget
+    /// bails, certification cache traffic). Zero until the first
+    /// [`Query::Optimize`].
+    #[must_use]
+    pub fn optimize_stats(&self) -> OptimizeStats {
+        self.optimize_stats
     }
 
     /// A snapshot of the session's (and the process arena's) memory
@@ -1520,6 +1703,12 @@ impl Session {
             Query::ProgEq { p, q } => (self.dispatch_prog_eq(p, q), None),
             Query::Hoare { pre, prog, post } => (hoare_verdict(pre, prog, post), None),
             Query::Analyze { prog, passes } => (self.dispatch_analyze(prog, passes), None),
+            Query::Optimize {
+                prog,
+                rules,
+                max_steps,
+                beam,
+            } => (self.dispatch_optimize(prog, rules, *max_steps, *beam), None),
         }
     }
 
@@ -1587,22 +1776,12 @@ impl Session {
     fn dispatch_analyze(&mut self, prog: &SurfaceProgram, passes: &[String]) -> Verdict {
         let mut findings = analysis::syntactic_findings(prog, passes);
         for check in analysis::semantic_checks(prog, passes) {
-            let key = (check.p.clone(), check.q.clone());
-            let (holds, stats) = if let Some(&hit) = self.cert_cache.get(&key) {
+            let (holds, stats, was_hit) = self.cached_cert_decide(&check.p, &check.q);
+            if was_hit {
                 self.analysis_stats.cert_cache_hits += 1;
-                if self.restored_cert_keys.contains(&key) {
-                    self.cert_snapshot_hits += 1;
-                }
-                hit
             } else {
                 self.analysis_stats.tier_b_decides += 1;
-                let decided = self.decide_semantic_check(&check);
-                if self.cert_cache.len() >= CERT_CACHE_CAP {
-                    self.cert_cache.clear();
-                }
-                self.cert_cache.insert(key, decided);
-                decided
-            };
+            }
             if holds {
                 findings.push(Finding {
                     pass: check.pass,
@@ -1631,20 +1810,47 @@ impl Session {
         Verdict::Analysis { findings }
     }
 
-    /// Decides one Tier B check inside a [`ScratchScope`]: parse both
-    /// generated sides, encode under one shared setting, decide, and
-    /// retire every scratch node. Budget overflow or (unreachable for
-    /// analyzer-generated sources) parse/encode failure conservatively
-    /// answers *not certified* — the analyzer stays silent rather than
-    /// reporting an unproven finding.
-    fn decide_semantic_check(&mut self, check: &SemanticCheck) -> (bool, CertificateStats) {
+    /// One certified `prog_eq(p, q)` through the session's certificate
+    /// cache — the shared engine-access path of the analyzer's Tier B
+    /// checks and every optimizer certification. Returns `(holds,
+    /// engine-delta stats, answered-from-cache)`; callers attribute the
+    /// hit/miss to their own counter block. A hit on a
+    /// snapshot-restored key also moves the `cert_snapshot_hits`
+    /// warm-start counter, and a miss is inserted (behind the
+    /// [`CERT_CACHE_CAP`] clear), so optimizer certifications ride the
+    /// same snapshot export path as analyzer certificates.
+    fn cached_cert_decide(&mut self, p: &str, q: &str) -> (bool, CertificateStats, bool) {
+        if let Some(&hit) = self.cert_cache.get(&(p.to_owned(), q.to_owned())) {
+            if self
+                .restored_cert_keys
+                .contains(&(p.to_owned(), q.to_owned()))
+            {
+                self.cert_snapshot_hits += 1;
+            }
+            return (hit.0, hit.1, true);
+        }
+        let decided = self.decide_cert_pair(p, q);
+        if self.cert_cache.len() >= CERT_CACHE_CAP {
+            self.cert_cache.clear();
+        }
+        self.cert_cache
+            .insert((p.to_owned(), q.to_owned()), decided);
+        (decided.0, decided.1, false)
+    }
+
+    /// Decides one certification pair inside a [`ScratchScope`]: parse
+    /// both program sources, encode under one shared setting, decide,
+    /// and retire every scratch node — *nothing* is promoted, so
+    /// unbounded analyze/optimize traffic adds zero persistent arena
+    /// nodes. Budget overflow or (unreachable for generated sources)
+    /// parse/encode failure conservatively answers *not certified* —
+    /// the analyzer stays silent and the optimizer declines the step
+    /// rather than acting on an unproven equality.
+    fn decide_cert_pair(&mut self, p: &str, q: &str) -> (bool, CertificateStats) {
         let scope = ScratchScope::enter();
         let before = self.engine.stats();
         let mut holds = false;
-        if let (Ok(p), Ok(q)) = (
-            SurfaceProgram::parse(&check.p),
-            SurfaceProgram::parse(&check.q),
-        ) {
+        if let (Ok(p), Ok(q)) = (SurfaceProgram::parse(p), SurfaceProgram::parse(q)) {
             let mut setting = EncoderSetting::new(p.dim());
             if let (Ok(ep), Ok(eq)) = (setting.encode(p.program()), setting.encode(q.program())) {
                 holds = self.engine.decide(&ep, &eq).unwrap_or(false);
@@ -1660,6 +1866,161 @@ impl Session {
                 fastpath_fallbacks: delta.fastpath_fallbacks,
             },
         )
+    }
+
+    /// Runs the optimizer: candidate generation is the engine-free
+    /// [`nka_qprog::optimize`]; this loop owns the fixpoint, the
+    /// seen-encoding cycle breaker, and every engine certification.
+    ///
+    /// Each round proposes candidates, skips any whose encoding (under
+    /// one shared [`EncoderSetting`], interned in one outer
+    /// [`ScratchScope`]) was already visited this run — equal encodings
+    /// are provably equal programs, so revisiting one can only cycle —
+    /// and certifies the rest with [`Session::cached_cert_decide`]
+    /// until `beam` candidates pass; the smallest certified rewrite is
+    /// applied. The run ends at a fixpoint (no certified candidate), or
+    /// bails with a structured note when `max_steps` is exhausted.
+    /// Finally the output is certified against the input on the same
+    /// cache — for a greedy single-step run that is the very pair the
+    /// step validation just decided, a cache hit. Nothing is promoted:
+    /// the certificate cache (exportable into snapshots) is the only
+    /// state that outlives the query.
+    fn dispatch_optimize(
+        &mut self,
+        prog: &SurfaceProgram,
+        rules: &[String],
+        max_steps: usize,
+        beam: usize,
+    ) -> Verdict {
+        // `Query::optimize` validated the filter; answer (not panic) if
+        // a future front end constructs the variant directly.
+        let ruleset = match RuleSet::from_names(rules) {
+            Ok(rs) => rs,
+            Err(msg) => return Verdict::BudgetExhausted { detail: msg },
+        };
+        self.optimize_stats.queries += 1;
+        let scope = ScratchScope::enter();
+        let mut setting = EncoderSetting::new(prog.dim());
+        let mut seen: HashSet<ExprId> = HashSet::new();
+        match setting.encode(prog.program()) {
+            Ok(enc) => seen.insert(enc.id()),
+            // Unreachable for surface programs (encoder names derive
+            // injectively from gate × qubit); see `dispatch_prog_eq`.
+            Err(err) => {
+                drop(scope);
+                return Verdict::BudgetExhausted {
+                    detail: format!("encoding failed: {err}"),
+                };
+            }
+        };
+        let mut current = prog.clone();
+        let mut steps: Vec<OptimizeStep> = Vec::new();
+        let mut note: Option<String> = None;
+        let mut fixpoint = false;
+        loop {
+            if steps.len() >= max_steps {
+                note = Some(format!(
+                    "step budget exhausted after {max_steps} step(s); \
+                     certified rewrites may remain"
+                ));
+                self.optimize_stats.budget_bails += 1;
+                break;
+            }
+            // Collect up to `beam` engine-certified candidates, then
+            // apply the smallest; beam 1 is greedy first-certified
+            // (candidates arrive certifiable-first, growing-peel last).
+            let mut certified: Vec<(optimize::Candidate, SurfaceProgram, ExprId)> = Vec::new();
+            for cand in optimize::candidates(&current, &ruleset) {
+                if certified.len() >= beam {
+                    break;
+                }
+                let Ok(parsed) = SurfaceProgram::parse(&cand.rewritten) else {
+                    continue;
+                };
+                let Ok(enc) = setting.encode(parsed.program()) else {
+                    continue;
+                };
+                if seen.contains(&enc.id()) {
+                    self.optimize_stats.cycle_breaks += 1;
+                    continue;
+                }
+                let (holds, _, was_hit) =
+                    self.cached_cert_decide(current.source(), &cand.rewritten);
+                if was_hit {
+                    self.optimize_stats.cert_cache_hits += 1;
+                } else {
+                    self.optimize_stats.engine_decides += 1;
+                }
+                if holds {
+                    certified.push((cand, parsed, enc.id()));
+                } else {
+                    self.optimize_stats.candidates_refuted += 1;
+                }
+            }
+            let Some((cand, parsed, enc_id)) = certified
+                .into_iter()
+                .min_by_key(|(c, _, _)| c.rewritten.len())
+            else {
+                fixpoint = true;
+                self.optimize_stats.fixpoints += 1;
+                break;
+            };
+            steps.push(OptimizeStep {
+                rule: cand.rule,
+                span: cand.span,
+                note: cand.note,
+            });
+            seen.insert(enc_id);
+            current = parsed;
+            self.optimize_stats.steps_applied += 1;
+            if let Some(ix) = optimize::rule_index(cand.rule) {
+                self.optimize_stats.steps_by_rule[ix] += 1;
+            }
+        }
+        drop(scope);
+        // Final certificate: prog_eq(input, output) on the shared
+        // certificate cache. It holds by transitivity of the per-step
+        // certifications; if the single decision still exceeds the
+        // budget, degrade to the identity rewrite (trivially certified)
+        // rather than returning a program the engine did not confirm.
+        let mut optimized = current.source().to_owned();
+        let (mut holds, mut stats, was_hit) = self.cached_cert_decide(prog.source(), &optimized);
+        if was_hit {
+            self.optimize_stats.cert_cache_hits += 1;
+        } else {
+            self.optimize_stats.engine_decides += 1;
+        }
+        if !holds {
+            note = Some(format!(
+                "final certification of the {}-step rewrite exceeded the \
+                 engine budget; returning the input unchanged",
+                steps.len()
+            ));
+            steps.clear();
+            fixpoint = false;
+            optimized = prog.source().to_owned();
+            let (h, s, hit) = self.cached_cert_decide(prog.source(), &optimized);
+            if hit {
+                self.optimize_stats.cert_cache_hits += 1;
+            } else {
+                self.optimize_stats.engine_decides += 1;
+            }
+            (holds, stats) = (h, s);
+        }
+        debug_assert!(holds, "reflexive certification cannot fail");
+        Verdict::Optimized {
+            optimized: optimized.clone(),
+            steps,
+            certificate: Certificate {
+                p: prog.source().to_owned(),
+                q: optimized,
+                expect: "holds",
+                rule: None,
+                stats,
+            },
+            fixpoint,
+            note,
+        }
     }
 }
 
@@ -1732,40 +2093,129 @@ fn decision(result: Result<bool, nka_wfa::DecideError>) -> Verdict {
 /// term is re-parsed or deep-copied to cross the thread boundary.
 #[must_use]
 pub fn run_batch_parallel(queries: &[Query], opts: &SessionOptions, jobs: usize) -> Vec<Response> {
-    run_batch_parallel_traced(queries, opts, jobs).0
+    run_batch_parallel_traced(queries, opts, jobs, None).0
 }
 
-/// [`run_batch_parallel`] plus worker-level accounting: the second
-/// component is the total number of engine recycles
-/// ([`SessionOptions::recycle_after_queries`]) performed across all
-/// worker sessions, and the third merges every worker's analyzer
-/// counters ([`Session::analysis_stats`]) — what `nka batch --jobs N
-/// --max-queries-per-worker M --stats` reports.
+/// Worker-level accounting of a parallel batch
+/// ([`run_batch_parallel_traced`]): engine recycles plus every
+/// merged per-subsystem counter block — what `nka batch --jobs N
+/// --stats` reports.
+#[derive(Debug, Clone, Default)]
+pub struct BatchTrace {
+    /// Total engine recycles across all worker sessions
+    /// ([`SessionOptions::recycle_after_queries`]).
+    pub engine_recycles: u64,
+    /// Merged analyzer counters ([`Session::analysis_stats`]).
+    pub analysis: AnalysisStats,
+    /// Merged optimizer counters ([`Session::optimize_stats`]).
+    pub optimize: OptimizeStats,
+    /// Merged warm-start counters ([`Session::snapshot_stats`]).
+    pub snapshot: SnapshotStats,
+}
+
+/// Shared snapshot state for a (possibly chunked, possibly parallel)
+/// batch run — the `batch --jobs N --snapshot FILE` fix. The loaded
+/// snapshot is restored into every worker session at construction, and
+/// each worker exports its warm caches into the one shared builder when
+/// its shard drains (the serve-v2 drain-time merge, reused); the caller
+/// writes the builder once at end of stream, so transient workers no
+/// longer forfeit — or race over — the dump.
+#[derive(Debug)]
+pub struct BatchSnapshot {
+    loaded: Option<LoadedSnapshot>,
+    merge: Mutex<SnapshotBuilder>,
+}
+
+impl BatchSnapshot {
+    /// An empty merge target configured for `opts` (no warm start).
+    #[must_use]
+    pub fn new(opts: &SessionOptions) -> BatchSnapshot {
+        BatchSnapshot {
+            loaded: None,
+            merge: Mutex::new(SnapshotBuilder::new(ConfigGuard::from_options(
+                &opts.decide,
+            ))),
+        }
+    }
+
+    /// Reads and validates the snapshot at `path` for warm-starting
+    /// every worker session. Returns the number of entries available.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]; the batch then starts cold.
+    pub fn load_file(
+        &mut self,
+        path: &Path,
+        opts: &SessionOptions,
+    ) -> Result<usize, SnapshotError> {
+        let snap = snapshot::load(path, &ConfigGuard::from_options(&opts.decide))?;
+        let entries = snap.entry_count();
+        self.loaded = Some(snap);
+        Ok(entries)
+    }
+
+    /// Writes the merged warm state of every drained worker to `path`
+    /// (atomic temp-file + rename). Returns the number of entries
+    /// written (deduplicated across workers and chunks).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the file cannot be written.
+    pub fn write_to(&self, path: &Path) -> Result<usize, SnapshotError> {
+        let builder = self.merge.lock().expect("snapshot merge lock poisoned");
+        builder.write_to(path)?;
+        Ok(builder.entry_count())
+    }
+}
+
+/// [`run_batch_parallel`] plus worker-level accounting (the merged
+/// [`BatchTrace`]) and optional snapshot plumbing: with a
+/// [`BatchSnapshot`], every worker session warm-starts from the loaded
+/// entries and exports its caches into the shared builder when its
+/// shard drains. Callers stream the same `BatchSnapshot` through every
+/// chunk and write it once at EOF.
 #[must_use]
 pub fn run_batch_parallel_traced(
     queries: &[Query],
     opts: &SessionOptions,
     jobs: usize,
-) -> (Vec<Response>, u64, AnalysisStats) {
+    snapshot: Option<&BatchSnapshot>,
+) -> (Vec<Response>, BatchTrace) {
+    let make_session = || {
+        let mut session = Session::with_options(opts.clone());
+        if let Some(snap) = snapshot.and_then(|s| s.loaded.as_ref()) {
+            session.load_snapshot(snap);
+        }
+        session
+    };
+    let drain_session = |session: &mut Session| {
+        if let Some(s) = snapshot {
+            let mut builder = s.merge.lock().expect("snapshot merge lock poisoned");
+            session.export_snapshot_into(&mut builder);
+        }
+        BatchTrace {
+            engine_recycles: session.engine_recycles(),
+            analysis: session.analysis_stats(),
+            optimize: session.optimize_stats(),
+            snapshot: session.snapshot_stats(),
+        }
+    };
     let jobs = jobs.clamp(1, queries.len().max(1));
     if jobs <= 1 {
-        let mut session = Session::with_options(opts.clone());
+        let mut session = make_session();
         let responses = session.run_all(queries);
-        return (
-            responses,
-            session.engine_recycles(),
-            session.analysis_stats(),
-        );
+        let trace = drain_session(&mut session);
+        return (responses, trace);
     }
     let mut slots: Vec<Option<Response>> = Vec::new();
     slots.resize_with(queries.len(), || None);
-    let mut recycles = 0u64;
-    let mut analysis = AnalysisStats::default();
+    let mut trace = BatchTrace::default();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|worker| {
                 scope.spawn(move || {
-                    let mut session = Session::with_options(opts.clone());
+                    let mut session = make_session();
                     let answered = queries
                         .iter()
                         .enumerate()
@@ -1773,19 +2223,16 @@ pub fn run_batch_parallel_traced(
                         .step_by(jobs)
                         .map(|(i, q)| (i, session.run(q)))
                         .collect::<Vec<(usize, Response)>>();
-                    (
-                        answered,
-                        session.engine_recycles(),
-                        session.analysis_stats(),
-                    )
+                    (answered, drain_session(&mut session))
                 })
             })
             .collect();
         for handle in handles {
-            let (answered, worker_recycles, worker_analysis) =
-                handle.join().expect("batch worker panicked");
-            recycles += worker_recycles;
-            analysis = analysis.merged(&worker_analysis);
+            let (answered, worker_trace) = handle.join().expect("batch worker panicked");
+            trace.engine_recycles += worker_trace.engine_recycles;
+            trace.analysis = trace.analysis.merged(&worker_trace.analysis);
+            trace.optimize = trace.optimize.merged(&worker_trace.optimize);
+            trace.snapshot = trace.snapshot.merged(&worker_trace.snapshot);
             for (i, resp) in answered {
                 slots[i] = Some(resp);
             }
@@ -1795,7 +2242,7 @@ pub fn run_batch_parallel_traced(
         .into_iter()
         .map(|slot| slot.expect("every query answered exactly once"))
         .collect();
-    (responses, recycles, analysis)
+    (responses, trace)
 }
 
 #[cfg(test)]

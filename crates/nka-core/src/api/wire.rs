@@ -40,7 +40,10 @@
 //! survive).
 
 use super::json::Json;
-use super::{ApiError, Query, Response, Verdict, DEFAULT_SERIES_MAX_LEN};
+use super::{
+    ApiError, Query, Response, Verdict, DEFAULT_OPTIMIZE_BEAM, DEFAULT_OPTIMIZE_MAX_STEPS,
+    DEFAULT_SERIES_MAX_LEN,
+};
 #[cfg(doc)]
 use super::{QueryKind, Session};
 use crate::serve::stats::decider_stats_json;
@@ -66,6 +69,11 @@ const RESPONSE_ONLY_KEYS: &[&str] = &[
     "enc_q",
     "encoded",
     "findings",
+    "optimized",
+    "steps",
+    "fixpoint",
+    "note",
+    "certificate",
     "detail",
     "expr_nodes",
     "expr_subterms",
@@ -80,7 +88,13 @@ const RESPONSE_ONLY_KEYS: &[&str] = &[
 /// verdicts riding along on request lines for the replay harnesses.
 /// Accepted (and ignored) on any op so annotated corpora stay valid
 /// request streams.
-const ANNOTATION_KEYS: &[&str] = &["expect", "expect_passes", "expect_warnings"];
+const ANNOTATION_KEYS: &[&str] = &[
+    "expect",
+    "expect_passes",
+    "expect_warnings",
+    "expect_steps",
+    "expect_final_hash",
+];
 
 /// The allowlisted request keys of each op (always including `"op"`
 /// itself).
@@ -91,6 +105,7 @@ fn request_keys(op: &str) -> &'static [&'static str] {
         "prog_eq" => &["op", "p", "q"],
         "hoare" => &["op", "pre", "prog", "post"],
         "analyze" => &["op", "prog", "passes"],
+        "optimize" => &["op", "prog", "rules", "max_steps", "beam"],
         "prove" => &["op", "lhs", "rhs", "hyps"],
         _ => &["op"],
     }
@@ -181,6 +196,33 @@ pub fn decode_request(line: &str) -> Result<Option<Query>, ApiError> {
             };
             Query::analyze(str_key(&value, "prog")?, &passes)?
         }
+        "optimize" => {
+            let rules: Vec<&str> = match value.get("rules") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| ApiError::Malformed("\"rules\" must be an array".to_owned()))?
+                    .iter()
+                    .map(|r| {
+                        r.as_str().ok_or_else(|| {
+                            ApiError::Malformed("\"rules\" entries must be strings".to_owned())
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            let int_key = |key: &str, default: usize| -> Result<usize, ApiError> {
+                match value.get(key) {
+                    None => Ok(default),
+                    Some(v) => usize::try_from(v.as_i64().ok_or_else(|| {
+                        ApiError::Malformed(format!("{key:?} must be an integer"))
+                    })?)
+                    .map_err(|_| ApiError::Malformed(format!("{key:?} must be ≥ 0"))),
+                }
+            };
+            let max_steps = int_key("max_steps", DEFAULT_OPTIMIZE_MAX_STEPS)?;
+            let beam = int_key("beam", DEFAULT_OPTIMIZE_BEAM)?;
+            Query::optimize(str_key(&value, "prog")?, &rules, max_steps, beam)?
+        }
         "prove" => {
             let hyps: Vec<&str> = match value.get("hyps") {
                 None => Vec::new(),
@@ -200,7 +242,7 @@ pub fn decode_request(line: &str) -> Result<Option<Query>, ApiError> {
         other => {
             return Err(ApiError::Malformed(format!(
                 "unknown op {other:?} (expected nka_eq, ka_eq, series, prove, prog_eq, hoare, \
-                 or analyze)"
+                 analyze, or optimize)"
             )))
         }
     };
@@ -258,6 +300,26 @@ fn query_fields(query: &Query) -> Vec<(String, Json)> {
                 Json::Arr(passes.iter().map(|p| Json::Str(p.clone())).collect()),
             ));
         }
+        Query::Optimize {
+            prog,
+            rules,
+            max_steps,
+            beam,
+        } => {
+            fields.push(("prog".to_owned(), Json::Str(prog.source().to_owned())));
+            fields.push((
+                "rules".to_owned(),
+                Json::Arr(rules.iter().map(|r| Json::Str(r.clone())).collect()),
+            ));
+            fields.push((
+                "max_steps".to_owned(),
+                Json::Int(i64::try_from(*max_steps).unwrap_or(i64::MAX)),
+            ));
+            fields.push((
+                "beam".to_owned(),
+                Json::Int(i64::try_from(*beam).unwrap_or(i64::MAX)),
+            ));
+        }
     }
     fields
 }
@@ -291,42 +353,45 @@ fn finding_json(f: &nka_qprog::Finding) -> Json {
         ("message".to_owned(), Json::Str(f.message.clone())),
     ];
     if let Some(cert) = &f.certificate {
-        fields.push((
-            "certificate".to_owned(),
-            Json::Obj(vec![
-                ("p".to_owned(), Json::Str(cert.p.clone())),
-                ("q".to_owned(), Json::Str(cert.q.clone())),
-                ("expect".to_owned(), Json::Str(cert.expect.to_owned())),
-                (
-                    "rule".to_owned(),
-                    match cert.rule {
-                        Some(rule) => Json::Str(rule.to_owned()),
-                        None => Json::Null,
-                    },
-                ),
-                (
-                    "stats".to_owned(),
-                    Json::Obj(vec![
-                        (
-                            "starfree_hits".to_owned(),
-                            Json::Int(i64::try_from(cert.stats.starfree_hits).unwrap_or(i64::MAX)),
-                        ),
-                        (
-                            "prefix_hits".to_owned(),
-                            Json::Int(i64::try_from(cert.stats.prefix_hits).unwrap_or(i64::MAX)),
-                        ),
-                        (
-                            "fastpath_fallbacks".to_owned(),
-                            Json::Int(
-                                i64::try_from(cert.stats.fastpath_fallbacks).unwrap_or(i64::MAX),
-                            ),
-                        ),
-                    ]),
-                ),
-            ]),
-        ));
+        fields.push(("certificate".to_owned(), certificate_json(cert)));
     }
     Json::Obj(fields)
+}
+
+/// One replayable certificate as a JSON object
+/// (`p`/`q`/`expect`/`rule`/`stats`) — shared between analysis
+/// findings and the optimizer's final verdict; decoding
+/// `{"op":"prog_eq","p":cert.p,"q":cert.q}` replays it.
+fn certificate_json(cert: &nka_qprog::Certificate) -> Json {
+    Json::Obj(vec![
+        ("p".to_owned(), Json::Str(cert.p.clone())),
+        ("q".to_owned(), Json::Str(cert.q.clone())),
+        ("expect".to_owned(), Json::Str(cert.expect.to_owned())),
+        (
+            "rule".to_owned(),
+            match cert.rule {
+                Some(rule) => Json::Str(rule.to_owned()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "stats".to_owned(),
+            Json::Obj(vec![
+                (
+                    "starfree_hits".to_owned(),
+                    Json::Int(i64::try_from(cert.stats.starfree_hits).unwrap_or(i64::MAX)),
+                ),
+                (
+                    "prefix_hits".to_owned(),
+                    Json::Int(i64::try_from(cert.stats.prefix_hits).unwrap_or(i64::MAX)),
+                ),
+                (
+                    "fastpath_fallbacks".to_owned(),
+                    Json::Int(i64::try_from(cert.stats.fastpath_fallbacks).unwrap_or(i64::MAX)),
+                ),
+            ]),
+        ),
+    ])
 }
 
 fn word_string(word: &Word) -> String {
@@ -395,6 +460,42 @@ pub fn encode_response(query: &Query, resp: &Response) -> String {
                 "findings".to_owned(),
                 Json::Arr(findings.iter().map(finding_json).collect()),
             ));
+        }
+        Verdict::Optimized {
+            optimized,
+            steps,
+            certificate,
+            fixpoint,
+            note,
+        } => {
+            fields.push(("optimized".to_owned(), Json::Str(optimized.clone())));
+            fields.push((
+                "steps".to_owned(),
+                Json::Arr(
+                    steps
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("rule".to_owned(), Json::Str(s.rule.to_owned())),
+                                (
+                                    "span".to_owned(),
+                                    Json::Arr(vec![
+                                        Json::Int(i64::try_from(s.span.0).unwrap_or(i64::MAX)),
+                                        Json::Int(i64::try_from(s.span.1).unwrap_or(i64::MAX)),
+                                    ]),
+                                ),
+                                ("note".to_owned(), Json::Str(s.note.clone())),
+                                ("citation".to_owned(), Json::Str(s.citation().to_owned())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+            fields.push(("fixpoint".to_owned(), Json::Bool(*fixpoint)));
+            if let Some(note) = note {
+                fields.push(("note".to_owned(), Json::Str(note.clone())));
+            }
+            fields.push(("certificate".to_owned(), certificate_json(certificate)));
         }
         Verdict::BudgetExhausted { detail } => {
             fields.push(("detail".to_owned(), Json::Str(detail.clone())));
@@ -538,6 +639,25 @@ pub fn encode_response_text(query: &Query, resp: &Response) -> String {
                 )
             }
         }
+        (
+            Query::Optimize { .. },
+            Verdict::Optimized {
+                optimized,
+                steps,
+                fixpoint,
+                ..
+            },
+        ) => {
+            if steps.is_empty() {
+                format!("optimize: already optimal (0 steps) — {optimized}")
+            } else {
+                format!(
+                    "optimize: {} step(s){} — {optimized}",
+                    steps.len(),
+                    if *fixpoint { ", fixpoint" } else { ", budget" }
+                )
+            }
+        }
         (_, Verdict::BudgetExhausted { detail }) => {
             format!("budget exhausted: {detail}")
         }
@@ -565,6 +685,8 @@ mod tests {
             r#"{"op":"hoare","pre":"ket(1)","prog":"qubits 1; x q0","post":"ket(0)"}"#,
             r#"{"op":"analyze","prog":"qubits 1; h q0; h q0"}"#,
             r#"{"op":"analyze","prog":"qubits 1; init q0","passes":["metrics","unused_qubit"]}"#,
+            r#"{"op":"optimize","prog":"qubits 1; abort; h q0"}"#,
+            r#"{"op":"optimize","prog":"qubits 1; while q0 { x q0 }","rules":["loop-peeling"],"max_steps":3,"beam":2}"#,
             "(p q)* p = p (q p)*",
         ];
         for line in lines {
@@ -623,6 +745,9 @@ mod tests {
                 .unwrap()
                 .unwrap(),
             decode_request(r#"{"op":"analyze","prog":"qubits 2; abort; h q0"}"#)
+                .unwrap()
+                .unwrap(),
+            decode_request(r#"{"op":"optimize","prog":"qubits 2; abort; h q0"}"#)
                 .unwrap()
                 .unwrap(),
         ];
@@ -736,6 +861,56 @@ mod tests {
         assert!(!stable_response_projection(&warm_line).contains("\"micros\""));
         // Text lines pass through (minus the trailing newline).
         assert_eq!(stable_response_projection("⊢NKA a = a\n"), "⊢NKA a = a");
+    }
+
+    #[test]
+    fn optimize_responses_carry_trace_and_replayable_certificate() {
+        let mut session = Session::new();
+        let query = decode_request(r#"{"op":"optimize","prog":"qubits 2; abort; h q0; x q1"}"#)
+            .unwrap()
+            .unwrap();
+        let resp = session.run(&query);
+        let line = encode_response(&query, &resp);
+        let value = Json::parse(&line).expect("response is JSON");
+        assert_eq!(
+            value.get("verdict").and_then(Json::as_str),
+            Some("optimized")
+        );
+        assert_eq!(
+            value.get("optimized").and_then(Json::as_str),
+            Some("qubits 2; abort")
+        );
+        assert_eq!(value.get("fixpoint"), Some(&Json::Bool(true)));
+        let steps = value
+            .get("steps")
+            .and_then(Json::as_array)
+            .expect("steps array");
+        assert_eq!(steps.len(), 1, "{line}");
+        assert_eq!(
+            steps[0].get("rule").and_then(Json::as_str),
+            Some("abort-sink")
+        );
+        assert!(steps[0]
+            .get("citation")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("Def. 4.4"));
+        // The certificate replays as a prog_eq request line.
+        let cert = value.get("certificate").expect("certificate");
+        let p = cert.get("p").and_then(Json::as_str).unwrap();
+        let q = cert.get("q").and_then(Json::as_str).unwrap();
+        assert_eq!(cert.get("expect").and_then(Json::as_str), Some("holds"));
+        let replay = format!(r#"{{"op":"prog_eq","p":{:?},"q":{:?}}}"#, p, q);
+        let replayed = decode_request(&replay).unwrap().expect("a query");
+        assert!(matches!(
+            session.run(&replayed).verdict,
+            Verdict::ProgEq { holds: true, .. }
+        ));
+        // Unknown rule names are rejected with the catalog list.
+        let err = decode_request(r#"{"op":"optimize","prog":"qubits 1; skip","rules":["bogus"]}"#)
+            .expect_err("unknown rule");
+        assert!(matches!(err, ApiError::Malformed(_)), "{err:?}");
+        assert!(err.to_string().contains("bogus"), "{err}");
     }
 
     #[test]

@@ -58,7 +58,7 @@
 
 use super::stats::{OpHistograms, ServeCounters, StatsBlock};
 use crate::api::json::Json;
-use crate::api::{wire, AnalysisStats, Session, SessionOptions, SnapshotStats};
+use crate::api::{wire, AnalysisStats, OptimizeStats, Session, SessionOptions, SnapshotStats};
 use crate::snapshot::{self, ConfigGuard, LoadedSnapshot, SnapshotBuilder};
 use nka_wfa::DeciderStats;
 use std::collections::VecDeque;
@@ -72,8 +72,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How often blocked reads / idle workers / accept loops re-check the
-/// drain flag.
+/// How often blocked connection reads re-check the drain flag (the
+/// reader's `set_read_timeout`). Idle workers and window waiters no
+/// longer tick on this: they park on their condvars and are woken by a
+/// targeted `notify_one` on enqueue/slot-free (plus `notify_all` at
+/// drain transitions), so an idle pool stays asleep instead of waking
+/// every pool-size × 10 times a second.
 const POLL_TICK: Duration = Duration::from_millis(100);
 /// Accept-loop poll interval (listeners are non-blocking so they can
 /// observe drain).
@@ -236,11 +240,13 @@ struct Window {
 
 impl Window {
     /// Blocks until the window has room, then takes a slot. Progress is
-    /// guaranteed because workers release slots as they answer.
+    /// guaranteed because workers release slots as they answer: every
+    /// [`Window::release`] signals `freed`, so a plain (untimed) wait
+    /// cannot strand the reader.
     fn acquire(&self, depth: usize) {
         let mut n = self.inflight.lock().unwrap();
         while *n >= depth {
-            n = self.freed.wait_timeout(n, POLL_TICK).unwrap().0;
+            n = self.freed.wait(n).unwrap();
         }
         *n += 1;
     }
@@ -329,6 +335,7 @@ struct WorkerPub {
     recycles: u64,
     queries: u64,
     analysis: AnalysisStats,
+    optimize: OptimizeStats,
     snapshot: SnapshotStats,
 }
 
@@ -554,7 +561,12 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
                 if shared.draining() && shared.readers_live.load(Ordering::SeqCst) == 0 {
                     break None;
                 }
-                jobs = queue.nonempty.wait_timeout(jobs, POLL_TICK).unwrap().0;
+                // Untimed park: [`WorkerQueue::push`] notifies on every
+                // enqueue, and both drain entry (`begin_drain`) and the
+                // last reader's exit broadcast `notify_all`, so every
+                // state change that alters the conditions above also
+                // wakes this worker.
+                jobs = queue.nonempty.wait(jobs).unwrap();
             }
         };
         let Some(job) = job else { break };
@@ -643,6 +655,7 @@ fn publish_worker(shared: &Shared, index: usize, session: &Session) {
     slot.recycles = session.engine_recycles();
     slot.queries = session.queries_run();
     slot.analysis = session.analysis_stats();
+    slot.optimize = session.optimize_stats();
     slot.snapshot = session.snapshot_stats();
 }
 
@@ -765,6 +778,7 @@ impl ServerHandle {
         let mut expr_subterms = 0;
         let mut recycles = 0;
         let mut analysis = AnalysisStats::default();
+        let mut optimize = OptimizeStats::default();
         let mut snapshot = SnapshotStats::default();
         let mut worker_recycles = Vec::with_capacity(shared.published.len());
         let mut worker_queries = Vec::with_capacity(shared.published.len());
@@ -775,6 +789,7 @@ impl ServerHandle {
             expr_subterms += w.expr_subterms;
             recycles += w.recycles;
             analysis = analysis.merged(&w.analysis);
+            optimize = optimize.merged(&w.optimize);
             snapshot = snapshot.merged(&w.snapshot);
             worker_recycles.push(w.recycles);
             worker_queries.push(w.queries);
@@ -790,6 +805,7 @@ impl ServerHandle {
             elapsed: shared.started.elapsed(),
             ops: shared.hists.snapshot(),
             analysis,
+            optimize,
             snapshot,
             serve: Some(ServeCounters {
                 connections_opened: c.connections_opened.load(Ordering::Relaxed),
@@ -980,6 +996,7 @@ impl Server {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::QueryKind;
     use std::io::BufRead;
 
     fn connect(server: &Server) -> (BufReader<TcpStream>, TcpStream) {
@@ -1050,6 +1067,56 @@ mod tests {
         handle.begin_drain(0, "done");
         assert_eq!(server.join(), 0);
         assert_eq!(handle.stats_block().serve.unwrap().rejected_line_bytes, 1);
+    }
+
+    #[test]
+    fn idle_pool_parks_until_notified_with_unchanged_verdicts_and_drain() {
+        // Workers now block on untimed condvar waits (no poll ticks);
+        // this pins the two behaviors that must survive that change:
+        // queries enqueued after an idle stretch still get identical
+        // verdicts (the notify_one on push wakes the right worker), and
+        // drain still terminates every parked worker (the notify_all
+        // broadcasts at drain entry / reader exit).
+        let server = Server::bind(
+            ServeConfig {
+                workers: 4,
+                json: true,
+                ..ServeConfig::default()
+            },
+            &[ListenAddr::Tcp("127.0.0.1:0".to_owned())],
+        )
+        .expect("bind");
+        let handle = server.handle();
+        let (mut reader, mut writer) = connect(&server);
+        // Let the whole pool go idle (parked, nothing queued).
+        std::thread::sleep(Duration::from_millis(250));
+        writer
+            .write_all(
+                b"{\"op\":\"optimize\",\"prog\":\"qubits 1; abort; h q0\"}\n\
+                  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n",
+            )
+            .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("\"optimized\":\"qubits 1; abort\"")
+                && line.contains("\"rule\":\"abort-sink\""),
+            "{line}"
+        );
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"verdict\":\"holds\""), "{line}");
+        drop((reader, writer));
+        // Drain with every worker parked again: join would hang here if
+        // any wakeup were lost.
+        std::thread::sleep(Duration::from_millis(100));
+        handle.begin_drain(0, "idle-pool test over");
+        assert_eq!(server.join(), 0);
+        let block = handle.stats_block();
+        assert_eq!(block.queries, 2);
+        assert_eq!(block.optimize.queries, 1);
+        assert_eq!(block.optimize.steps_applied, 1);
+        assert_eq!(block.ops.op(QueryKind::Optimize).count(), 1);
     }
 
     #[test]

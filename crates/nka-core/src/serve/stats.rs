@@ -20,13 +20,13 @@
 use super::histogram::{fmt_ns, HistogramSnapshot, LatencyHistogram};
 use crate::api::json::Json;
 use crate::api::wire::WIRE_VERSION;
-use crate::api::{AnalysisStats, QueryKind, SnapshotStats};
-use nka_qprog::analysis::PASS_NAMES;
+use crate::api::{AnalysisStats, OptimizeStats, QueryKind, SnapshotStats};
+use nka_qprog::analysis::{PASS_NAMES, RULE_METADATA};
 use nka_wfa::DeciderStats;
 use std::time::Duration;
 
 /// Every wire op, in the order stats are reported.
-pub const OPS: [QueryKind; 7] = [
+pub const OPS: [QueryKind; 8] = [
     QueryKind::NkaEq,
     QueryKind::KaEq,
     QueryKind::Series,
@@ -34,6 +34,7 @@ pub const OPS: [QueryKind; 7] = [
     QueryKind::ProgEq,
     QueryKind::Hoare,
     QueryKind::Analyze,
+    QueryKind::Optimize,
 ];
 
 fn op_index(kind: QueryKind) -> usize {
@@ -45,6 +46,7 @@ fn op_index(kind: QueryKind) -> usize {
         QueryKind::ProgEq => 4,
         QueryKind::Hoare => 5,
         QueryKind::Analyze => 6,
+        QueryKind::Optimize => 7,
     }
 }
 
@@ -166,6 +168,10 @@ pub struct StatsBlock {
     /// Static-analyzer counters (findings per pass, Tier B decides,
     /// certificate cache hits); all-zero until the first `analyze`.
     pub analysis: AnalysisStats,
+    /// Optimizer counters (steps per rule, refuted candidates,
+    /// fixpoints vs budget bails, certification cache traffic);
+    /// all-zero until the first `optimize`.
+    pub optimize: OptimizeStats,
     /// Warm-start counters (restored entries, snapshot-tier hits,
     /// dumps, load warnings); all-zero when no snapshot was involved.
     pub snapshot: SnapshotStats,
@@ -256,6 +262,26 @@ impl StatsBlock {
                 per_pass.join(" "),
                 self.analysis.tier_b_decides,
                 self.analysis.cert_cache_hits,
+            ));
+        }
+        if !self.optimize.is_zero() {
+            let per_rule: Vec<String> = RULE_METADATA
+                .iter()
+                .zip(self.optimize.steps_by_rule)
+                .filter(|(_, n)| *n > 0)
+                .map(|(meta, n)| format!("{}:{n}", meta.name))
+                .collect();
+            out.push_str(&format!(
+                "optimize stats: {} queries, {} steps [{}], {} refuted, {} fixpoints, {} budget bails, {} cycle breaks, {} engine decides, {} certificate cache hits\n",
+                self.optimize.queries,
+                self.optimize.steps_applied,
+                per_rule.join(" "),
+                self.optimize.candidates_refuted,
+                self.optimize.fixpoints,
+                self.optimize.budget_bails,
+                self.optimize.cycle_breaks,
+                self.optimize.engine_decides,
+                self.optimize.cert_cache_hits,
             ));
         }
         if !self.snapshot.is_zero() {
@@ -395,6 +421,38 @@ impl StatsBlock {
                 ),
             ]),
         ));
+        fields.push((
+            "optimize".to_owned(),
+            Json::Obj(vec![
+                ("queries".to_owned(), int(self.optimize.queries)),
+                ("steps_applied".to_owned(), int(self.optimize.steps_applied)),
+                (
+                    "steps".to_owned(),
+                    Json::Obj(
+                        RULE_METADATA
+                            .iter()
+                            .zip(self.optimize.steps_by_rule)
+                            .map(|(meta, n)| (meta.name.to_owned(), int(n)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "candidates_refuted".to_owned(),
+                    int(self.optimize.candidates_refuted),
+                ),
+                ("fixpoints".to_owned(), int(self.optimize.fixpoints)),
+                ("budget_bails".to_owned(), int(self.optimize.budget_bails)),
+                ("cycle_breaks".to_owned(), int(self.optimize.cycle_breaks)),
+                (
+                    "engine_decides".to_owned(),
+                    int(self.optimize.engine_decides),
+                ),
+                (
+                    "cert_cache_hits".to_owned(),
+                    int(self.optimize.cert_cache_hits),
+                ),
+            ]),
+        ));
         let sn = &self.snapshot;
         fields.push((
             "snapshot".to_owned(),
@@ -526,6 +584,7 @@ mod tests {
             elapsed: Duration::from_secs(1),
             ops: hists.snapshot(),
             analysis: AnalysisStats::default(),
+            optimize: OptimizeStats::default(),
             snapshot: SnapshotStats::default(),
             serve,
         }
@@ -662,5 +721,45 @@ mod tests {
         let findings = value.get("analysis").unwrap().get("findings").unwrap();
         assert_eq!(findings.get("dead_branch").and_then(Json::as_i64), Some(1));
         assert_eq!(findings.get("metrics").and_then(Json::as_i64), Some(0));
+    }
+
+    #[test]
+    fn optimize_section_renders_only_when_nonzero_but_is_always_in_json() {
+        // All-zero optimizer counters: no human line, but the JSON
+        // contract always carries the section, reading zero.
+        let quiet = sample_block(None);
+        assert!(!quiet.render_human().contains("optimize stats:"));
+        let value = Json::parse(&quiet.to_json().to_string()).unwrap();
+        let optimize = value.get("optimize").expect("optimize section");
+        assert_eq!(optimize.get("queries").and_then(Json::as_i64), Some(0));
+        assert_eq!(
+            optimize.get("steps_applied").and_then(Json::as_i64),
+            Some(0)
+        );
+        // Non-zero counters: human line lists only the rules that fired.
+        let mut busy = sample_block(None);
+        busy.optimize.queries = 2;
+        busy.optimize.steps_applied = 3;
+        let abort_sink = nka_qprog::optimize::rule_index("abort-sink").unwrap();
+        let dead_branch = nka_qprog::optimize::rule_index("dead-branch").unwrap();
+        busy.optimize.steps_by_rule[abort_sink] = 2;
+        busy.optimize.steps_by_rule[dead_branch] = 1;
+        busy.optimize.candidates_refuted = 1;
+        busy.optimize.fixpoints = 2;
+        busy.optimize.engine_decides = 5;
+        busy.optimize.cert_cache_hits = 2;
+        let text = busy.render_human();
+        assert!(
+            text.contains(
+                "optimize stats: 2 queries, 3 steps [dead-branch:1 abort-sink:2], \
+                 1 refuted, 2 fixpoints, 0 budget bails, 0 cycle breaks, \
+                 5 engine decides, 2 certificate cache hits"
+            ),
+            "{text}"
+        );
+        let value = Json::parse(&busy.to_json().to_string()).unwrap();
+        let steps = value.get("optimize").unwrap().get("steps").unwrap();
+        assert_eq!(steps.get("abort-sink").and_then(Json::as_i64), Some(2));
+        assert_eq!(steps.get("gate-fusion").and_then(Json::as_i64), Some(0));
     }
 }

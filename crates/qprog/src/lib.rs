@@ -43,6 +43,7 @@ pub mod analysis;
 pub mod encode;
 pub mod hoare;
 pub mod normal_form;
+pub mod optimize;
 pub mod program;
 pub mod semantics;
 pub mod surface;
@@ -50,6 +51,7 @@ pub mod surface;
 pub use analysis::{Certificate, CertificateStats, Finding, RuleMeta, SemanticCheck, Severity};
 pub use encode::{EncodeError, EncoderSetting};
 pub use hoare::{wlp, HoareTriple};
+pub use optimize::{Candidate, OptimizeStep, RuleSet};
 pub use program::Program;
 pub use semantics::Denotation;
 pub use surface::{ParseProgError, SurfaceEffect, SurfaceProgram};
@@ -65,4 +67,7 @@ fn _static_assert_send_sync() {
     check::<HoareTriple>();
     check::<Finding>();
     check::<SemanticCheck>();
+    check::<Candidate>();
+    check::<OptimizeStep>();
+    check::<RuleSet>();
 }

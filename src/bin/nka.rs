@@ -31,6 +31,12 @@
 //!                                      carrying a replayable prog-eq
 //!                                      certificate (dead code ⇔
 //!                                      zeroness, Def. 4.4)
+//! nka [--budget N] [--stats] [--json] [--max-steps N] [--beam N]
+//!     optimize '<prog>' [rule…]        greedily apply the rewrite
+//!                                      catalog to fixpoint; every
+//!                                      applied step is engine-certified
+//!                                      and the result carries a
+//!                                      replayable prog-eq certificate
 //! nka [--budget N] [--stats] [--json] [--jobs N]
 //!     [--max-queries-per-worker N] batch [FILE]
 //!                                      run a stream of queries (JSONL or
@@ -100,8 +106,9 @@
 
 use nka_core::api::json::Json;
 use nka_core::api::{
-    run_batch_parallel_traced, wire, AnalysisStats, ApiError, Query, Session, SessionOptions,
-    SnapshotStats, Verdict,
+    run_batch_parallel_traced, wire, AnalysisStats, ApiError, BatchSnapshot, OptimizeStats, Query,
+    Session, SessionOptions, SnapshotStats, Verdict, DEFAULT_OPTIMIZE_BEAM,
+    DEFAULT_OPTIMIZE_MAX_STEPS,
 };
 use nka_core::serve::{ListenAddr, OpHistograms, ServeConfig, Server, StatsBlock};
 use nka_core::snapshot::Snapshot;
@@ -132,7 +139,7 @@ const EXIT_NO: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_BUDGET: u8 = 3;
 
-const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] prog-eq '<prog>' '<prog>'\n  nka [--stats] [--json] hoare '<effect>' '<prog>' '<effect>'\n  nka [--budget N] [--stats] [--json] analyze '<prog>' [pass…]\n  nka [--budget N] [--stats] [--json] [--jobs N] [--max-queries-per-worker N]\n      [--snapshot FILE] batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] [--max-queries-per-worker N]\n      [--max-arena-nodes N] [--snapshot FILE] serve\n  nka … serve --listen ADDR [--listen ADDR…] [--workers N] [--queue-depth N]\n      [--max-pending N] [--max-line-bytes N] [--stats-interval SECS]\n  nka snapshot dump FILE [CORPUS]   (run CORPUS or stdin, dump warm caches)\n  nka [--json] snapshot inspect FILE\n  nka snapshot verify FILE\n  nka encode-demo\n\nprog-eq decides Enc(p) = Enc(q) for two quantum while-programs (one\nshared encoder setting, Definition 4.4); hoare checks the triple\n{pre} prog {post} via wlp and reports the Theorem 7.8 encoding.\nanalyze lints a program: Tier A passes (unused_qubit, unreachable_code,\nself_inverse_pair, constant_guard, metrics) are purely syntactic;\nTier B passes (dead_branch, redundant_fragment, peephole) are decided\nby the engine and every finding carries a replayable prog-eq\ncertificate. Naming passes after the program restricts the run.\nPrograms: 'qubits N; h q0; cnot q0 q1; if q0 {…} else {…}; while q0 {…}'\n(gates: h x y z s t cnot cz swap; also init qK, skip, abort).\nEffects: sums of scaled projectors, e.g. 'I', '0.5 I', 'ket(01)', 'q0=1'.\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps],\n   prog_eq [p, q], hoare [pre, prog, post], analyze [prog, passes])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n--jobs N shards a batch across N parallel worker sessions in bounded\nchunks; verdicts, output order, and exit codes are identical to\n--jobs 1. --max-queries-per-worker N recycles a session's engine\ncaches every N queries (memory backstop; verdicts unchanged);\nserve --max-arena-nodes N exits 3 once the process-wide resident\nexpression arena exceeds N nodes, so a supervisor can restart it.\n\n--snapshot FILE warm-starts batch/serve from a verdict-cache snapshot\nand re-dumps it on exit (and on every engine recycle): decided\nverdicts, star-free word multisets, and analyzer certificates survive\nrestarts. A missing file is a cold first boot; a corrupt, truncated,\nor config-mismatched file degrades to a cold start with a warning —\nnever to a wrong answer. 'nka snapshot dump|inspect|verify' create and\nexamine snapshot files offline.\n\nserve --listen ADDR starts the concurrent socket server instead of the\nstdin loop: ADDR is 'host:port' (TCP; repeatable) or 'unix:/path'.\n--workers N sizes the pool of warm sessions (default: CPU count, max 8);\n--queue-depth N bounds each connection's in-flight window (backpressure:\nthe server stops reading a connection whose window is full, default 64);\n--max-pending N is the server-wide hard cap past which requests are\nanswered with a structured 'overloaded' error (default 1024);\n--max-line-bytes N rejects longer request lines (default 1 MiB);\n--stats-interval SECS prints a --stats snapshot to stderr periodically.\nSIGTERM/SIGINT (and --max-arena-nodes) drain gracefully: stop accepting,\nanswer every request already read, then exit (0 for signals, 3 for the\narena cap). nka-loadgen replays corpora against the server and diffs\nevery response against a sequential in-process session.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; analyze: 0 clean or info-only findings,\n1 any warning-severity finding; batch: 0 all answered, 2 any malformed\nline, else 3 any budget-exhausted query; serve: 0 at end of input or\nafter a signal-initiated drain, 3 if --max-arena-nodes tripped";
+const USAGE: &str = "usage:\n  nka [--budget N] [--stats] [--json] decide '<expr>' '<expr>'\n  nka [--budget N] [--stats] [--json] ka '<expr>' '<expr>'\n  nka [--json] series '<expr>' [max-len]\n  nka [--budget N] [--json] prove '<lhs>' '<rhs>' ['l = r'…]\n  nka [--budget N] [--stats] [--json] prog-eq '<prog>' '<prog>'\n  nka [--stats] [--json] hoare '<effect>' '<prog>' '<effect>'\n  nka [--budget N] [--stats] [--json] analyze '<prog>' [pass…]\n  nka [--budget N] [--stats] [--json] [--max-steps N] [--beam N]\n      optimize '<prog>' [rule…]\n  nka [--budget N] [--stats] [--json] [--jobs N] [--max-queries-per-worker N]\n      [--snapshot FILE] batch [FILE]   (FILE or '-' = stdin)\n  nka [--budget N] [--stats] [--json] [--max-queries-per-worker N]\n      [--max-arena-nodes N] [--snapshot FILE] serve\n  nka … serve --listen ADDR [--listen ADDR…] [--workers N] [--queue-depth N]\n      [--max-pending N] [--max-line-bytes N] [--stats-interval SECS]\n  nka snapshot dump FILE [CORPUS]   (run CORPUS or stdin, dump warm caches)\n  nka [--json] snapshot inspect FILE\n  nka snapshot verify FILE\n  nka encode-demo\n\nprog-eq decides Enc(p) = Enc(q) for two quantum while-programs (one\nshared encoder setting, Definition 4.4); hoare checks the triple\n{pre} prog {post} via wlp and reports the Theorem 7.8 encoding.\nanalyze lints a program: Tier A passes (unused_qubit, unreachable_code,\nself_inverse_pair, constant_guard, metrics) are purely syntactic;\nTier B passes (dead_branch, redundant_fragment, peephole) are decided\nby the engine and every finding carries a replayable prog-eq\ncertificate. Naming passes after the program restricts the run.\noptimize applies what analyze reports, then re-analyzes to fixpoint:\ngreedy rule application over the catalog (dead-branch, branch-fusion,\ngate-fusion, dead-loop, loop-peeling, double-reset, double-measure,\nabort-sink, uncompute) — every applied step is certified prog-eq by\nthe engine before it lands (refuted candidates are counted, never\napplied), and the result carries the step trace plus a final\nreplayable certificate. Naming rules after the program restricts the\ncatalog (and arms the growing peel direction for 'loop-peeling');\n--max-steps caps the fixpoint iteration (default 32), --beam bounds\nhow many certified candidates are weighed per step (default 1).\nPrograms: 'qubits N; h q0; cnot q0 q1; if q0 {…} else {…}; while q0 {…}'\n(gates: h x y z s t cnot cz swap; also init qK, skip, abort).\nEffects: sums of scaled projectors, e.g. 'I', '0.5 I', 'ket(01)', 'q0=1'.\n\nbatch/serve read one request per line: either JSONL\n  {\"op\":\"nka_eq\",\"lhs\":\"(p q)* p\",\"rhs\":\"p (q p)*\"}\n  (ops: nka_eq, ka_eq, series [expr, max_len], prove [lhs, rhs, hyps],\n   prog_eq [p, q], hoare [pre, prog, post], analyze [prog, passes],\n   optimize [prog, rules, max_steps, beam])\nor the shorthand 'e = f'; '#' comments and blank lines are skipped.\n--jobs N shards a batch across N parallel worker sessions in bounded\nchunks; verdicts, output order, and exit codes are identical to\n--jobs 1. --max-queries-per-worker N recycles a session's engine\ncaches every N queries (memory backstop; verdicts unchanged);\nserve --max-arena-nodes N exits 3 once the process-wide resident\nexpression arena exceeds N nodes, so a supervisor can restart it.\n\n--snapshot FILE warm-starts batch/serve from a verdict-cache snapshot\nand re-dumps it on exit (and on every engine recycle): decided\nverdicts, star-free word multisets, and analyzer certificates survive\nrestarts. A missing file is a cold first boot; a corrupt, truncated,\nor config-mismatched file degrades to a cold start with a warning —\nnever to a wrong answer. With batch --jobs N every worker warm-starts\nfrom the loaded entries and the dump is their deduplicated union. 'nka\nsnapshot dump|inspect|verify' create and examine snapshot files\noffline.\n\nserve --listen ADDR starts the concurrent socket server instead of the\nstdin loop: ADDR is 'host:port' (TCP; repeatable) or 'unix:/path'.\n--workers N sizes the pool of warm sessions (default: CPU count, max 8);\n--queue-depth N bounds each connection's in-flight window (backpressure:\nthe server stops reading a connection whose window is full, default 64);\n--max-pending N is the server-wide hard cap past which requests are\nanswered with a structured 'overloaded' error (default 1024);\n--max-line-bytes N rejects longer request lines (default 1 MiB);\n--stats-interval SECS prints a --stats snapshot to stderr periodically.\nSIGTERM/SIGINT (and --max-arena-nodes) drain gracefully: stop accepting,\nanswer every request already read, then exit (0 for signals, 3 for the\narena cap). nka-loadgen replays corpora against the server and diffs\nevery response against a sequential in-process session.\n\nexit codes: 0 holds/proved, 1 does not hold/no proof, 2 usage or parse\nerror, 3 budget exceeded; analyze: 0 clean or info-only findings,\n1 any warning-severity finding; optimize: 0 (the result is always\ncertified — rewritten or returned unchanged), 3 only on setup failure;\nbatch: 0 all answered, 2 any malformed\nline, else 3 any budget-exhausted query; serve: 0 at end of input or\nafter a signal-initiated drain, 3 if --max-arena-nodes tripped";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -149,6 +156,7 @@ struct StatsReport {
     expr_subterms: u64,
     engine_recycles: u64,
     analysis: AnalysisStats,
+    optimize: OptimizeStats,
     snapshot: SnapshotStats,
 }
 
@@ -160,6 +168,7 @@ impl StatsReport {
             expr_subterms: session.expr_subterms_seen(),
             engine_recycles: session.engine_recycles(),
             analysis: session.analysis_stats(),
+            optimize: session.optimize_stats(),
             snapshot: session.snapshot_stats(),
         }
     }
@@ -177,6 +186,7 @@ impl StatsReport {
             elapsed,
             ops,
             analysis: self.analysis,
+            optimize: self.optimize,
             snapshot: self.snapshot,
             serve: None,
         }
@@ -206,6 +216,8 @@ fn main() -> ExitCode {
     let mut max_line_bytes: Option<usize> = None;
     let mut stats_interval: Option<Duration> = None;
     let mut snapshot_path: Option<PathBuf> = None;
+    let mut max_steps: Option<usize> = None;
+    let mut beam: Option<usize> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -347,6 +359,32 @@ fn main() -> ExitCode {
                 };
                 snapshot_path = Some(PathBuf::from(value));
             }
+            "--max-steps" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--max-steps needs a value");
+                    return usage();
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => max_steps = Some(n),
+                    _ => {
+                        eprintln!("--max-steps needs a positive integer, got {value:?}");
+                        return usage();
+                    }
+                }
+            }
+            "--beam" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--beam needs a value");
+                    return usage();
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n > 0 => beam = Some(n),
+                    _ => {
+                        eprintln!("--beam needs a positive integer, got {value:?}");
+                        return usage();
+                    }
+                }
+            }
             "--stats" => stats = true,
             "--json" => json = true,
             "--help" | "-h" => {
@@ -379,8 +417,8 @@ fn main() -> ExitCode {
         eprintln!("--snapshot only applies to batch and serve (see 'nka snapshot dump')");
         return usage();
     }
-    if snapshot_path.is_some() && jobs > 1 {
-        eprintln!("--snapshot does not combine with --jobs (parallel workers are transient)");
+    if (max_steps.is_some() || beam.is_some()) && command != Some("optimize") {
+        eprintln!("--max-steps/--beam only apply to optimize");
         return usage();
     }
     if listen.is_empty()
@@ -410,9 +448,12 @@ fn main() -> ExitCode {
     };
     let mut session = Session::with_options(opts.clone());
     // Warm-start batch / the stdin serve loop (the socket server loads
-    // its own copy in `Server::bind`). A missing file is a normal first
-    // boot; a bad one degrades to cold with a plain-text warning.
-    if let (Some(path), true) = (&snapshot_path, listen.is_empty()) {
+    // its own copy in `Server::bind`, and the parallel batch path
+    // manages its own shared `BatchSnapshot`). A missing file is a
+    // normal first boot; a bad one degrades to cold with a plain-text
+    // warning.
+    let parallel_batch = command == Some("batch") && jobs > 1;
+    if let (Some(path), true) = (&snapshot_path, listen.is_empty() && !parallel_batch) {
         if path.exists() {
             match session.load_snapshot_file(path) {
                 Ok(n) => eprintln!("snapshot: restored {n} entries from {}", path.display()),
@@ -494,6 +535,17 @@ fn main() -> ExitCode {
             &hists,
             Query::analyze(&rest[1], &rest[2..]),
         ),
+        Some("optimize") if rest.len() >= 2 => one_shot(
+            &mut session,
+            json,
+            &hists,
+            Query::optimize(
+                &rest[1],
+                &rest[2..],
+                max_steps.unwrap_or(DEFAULT_OPTIMIZE_MAX_STEPS),
+                beam.unwrap_or(DEFAULT_OPTIMIZE_BEAM),
+            ),
+        ),
         Some("batch") if rest.len() <= 2 && jobs <= 1 => {
             batch(&mut session, json, &hists, rest.get(1).map(String::as_str))
         }
@@ -503,6 +555,7 @@ fn main() -> ExitCode {
             &hists,
             jobs,
             rest.get(1).map(String::as_str),
+            snapshot_path.as_deref(),
             &mut report,
         ),
         Some("serve") if rest.len() == 1 => serve(&mut session, json, &hists, max_arena_nodes),
@@ -511,8 +564,10 @@ fn main() -> ExitCode {
         _ => return usage(),
     };
     // Graceful-exit dump for the single-session paths (batch and the
-    // stdin serve loop) — the socket server re-dumps in `Server::join`.
-    if let (Some(path), true) = (&snapshot_path, listen.is_empty()) {
+    // stdin serve loop) — the socket server re-dumps in `Server::join`,
+    // and the parallel batch path writes its merged `BatchSnapshot`
+    // inside `batch_parallel`.
+    if let (Some(path), true) = (&snapshot_path, listen.is_empty() && !parallel_batch) {
         match session.save_snapshot(path) {
             Ok(n) => eprintln!("snapshot: dumped {n} entries to {}", path.display()),
             Err(err) => eprintln!("warning: snapshot dump to {} failed: {err}", path.display()),
@@ -602,6 +657,48 @@ fn one_shot(
                 }
             }
         }
+    } else if let (
+        Query::Optimize { prog, .. },
+        Verdict::Optimized {
+            optimized,
+            steps,
+            certificate,
+            note,
+            ..
+        },
+    ) = (&query, &resp.verdict)
+    {
+        // The wire rendering is one summary line; interactively the
+        // before/after pair plus the full engine-certified step trace
+        // (every step names its catalog rule and paper citation) reads
+        // better, and the final certificate is printed replay-ready.
+        out!("{}", wire::encode_response_text(&query, &resp));
+        out!();
+        out!("before: {}", prog.source());
+        out!("after:  {optimized}");
+        for (i, step) in steps.iter().enumerate() {
+            out!();
+            out!(
+                "step {}: {} @ {}..{}",
+                i + 1,
+                step.rule,
+                step.span.0,
+                step.span.1
+            );
+            out!("  {}", step.note);
+            out!("  cite: {}", step.citation());
+        }
+        if let Some(note) = note {
+            out!();
+            out!("note: {note}");
+        }
+        out!();
+        out!(
+            "certificate: prog-eq {:?} {:?} (expect: {})",
+            certificate.p,
+            certificate.q,
+            certificate.expect
+        );
     } else {
         out!("{}", wire::encode_response_text(&query, &resp));
         if let Verdict::BudgetExhausted { .. } = resp.verdict {
@@ -741,12 +838,21 @@ const PARALLEL_CHUNK_LINES: usize = 256;
 /// mid-stream read error matches the sequential path too: the lines
 /// read before it are still answered and printed, then the error
 /// reports and the exit is `2`.
+///
+/// `--snapshot FILE` combines with `--jobs N` through a shared
+/// [`BatchSnapshot`]: every chunk's workers warm-start from the loaded
+/// entries and drain their caches into one merge builder (the serve-v2
+/// drain-time merge), and the deduplicated union is written once at end
+/// of stream — transient workers no longer forfeit or race over the
+/// dump.
+#[allow(clippy::too_many_lines)]
 fn batch_parallel(
     opts: &SessionOptions,
     json: bool,
     hists: &OpHistograms,
     jobs: usize,
     source: Option<&str>,
+    snapshot_path: Option<&std::path::Path>,
     report: &mut Option<StatsReport>,
 ) -> ExitCode {
     let reader: Box<dyn BufRead> = match source {
@@ -759,12 +865,25 @@ fn batch_parallel(
             }
         },
     };
+    let mut batch_snap = snapshot_path.map(|_| BatchSnapshot::new(opts));
+    if let (Some(path), Some(snap)) = (snapshot_path, batch_snap.as_mut()) {
+        if path.exists() {
+            match snap.load_file(path, opts) {
+                Ok(n) => eprintln!("snapshot: restored {n} entries from {}", path.display()),
+                Err(err) => eprintln!(
+                    "warning: snapshot {} not restored ({err}); starting cold",
+                    path.display()
+                ),
+            }
+        }
+    }
     let mut agg = StatsReport {
         stats: DeciderStats::default(),
         expr_nodes: 0,
         expr_subterms: 0,
         engine_recycles: 0,
         analysis: AnalysisStats::default(),
+        optimize: OptimizeStats::default(),
         snapshot: SnapshotStats::default(),
     };
     let mut code = EXIT_OK;
@@ -806,9 +925,12 @@ fn batch_parallel(
         }
 
         // Answer and flush this chunk before reading the next.
-        let (responses, recycles, analysis) = run_batch_parallel_traced(&queries, opts, jobs);
-        agg.engine_recycles += recycles;
-        agg.analysis = agg.analysis.merged(&analysis);
+        let (responses, trace) =
+            run_batch_parallel_traced(&queries, opts, jobs, batch_snap.as_ref());
+        agg.engine_recycles += trace.engine_recycles;
+        agg.analysis = agg.analysis.merged(&trace.analysis);
+        agg.optimize = agg.optimize.merged(&trace.optimize);
+        agg.snapshot = agg.snapshot.merged(&trace.snapshot);
         for decoded in &lines {
             match decoded {
                 BatchLine::Skip => {}
@@ -834,6 +956,20 @@ fn batch_parallel(
         }
     }
 
+    // One merged dump at end of stream (satellite to the per-chunk
+    // drain-time exports above).
+    if let (Some(path), Some(snap)) = (snapshot_path, batch_snap.as_ref()) {
+        match snap.write_to(path) {
+            Ok(n) => {
+                agg.snapshot.dumps += 1;
+                eprintln!("snapshot: dumped {n} entries to {}", path.display());
+            }
+            Err(err) => {
+                agg.snapshot.dump_failures += 1;
+                eprintln!("warning: snapshot dump to {} failed: {err}", path.display());
+            }
+        }
+    }
     *report = Some(agg);
     if let Some(msg) = read_error {
         eprintln!("{msg}");

@@ -360,6 +360,96 @@ fn distinct_analyze_traffic_keeps_the_arena_bounded() {
 }
 
 #[test]
+fn distinct_optimize_traffic_keeps_the_arena_bounded() {
+    let _serial = soak_lock();
+    let n = prog_eq_soak_queries();
+    // Distinct abort-sealed branches again, but through the optimizer:
+    // every query analyzes, *applies* the certified dead-branch
+    // rewrite, re-analyzes the rewritten program to fixpoint, and
+    // decides the final whole-program certificate. Candidate rewrites,
+    // re-analysis encodings, and the certificate decide all run inside
+    // the query's outer scratch scope, so even this apply-heavy
+    // workload must add zero persistent arena nodes over 10k distinct
+    // programs.
+    let queries: Vec<Query> = (0..n)
+        .map(|i| {
+            let gates = &gate_word(i)["qubits 1; ".len()..];
+            let prog = format!("qubits 1; if q0 {{ {gates}; abort }} else {{ skip }}");
+            Query::optimize(&prog, &[] as &[&str], 32, 1).expect("well-formed")
+        })
+        .collect();
+
+    let persistent_before = interned_expr_count();
+    let resident_before = arena_resident_nodes();
+    let retired_before = scratch_retired_total();
+    let symbols_before = Symbol::interned_count();
+
+    let mut session = Session::new();
+    for (i, query) in queries.iter().enumerate() {
+        let resp = session.run(query);
+        let Verdict::Optimized {
+            steps, fixpoint, ..
+        } = &resp.verdict
+        else {
+            panic!(
+                "query {i}: expected an Optimized verdict, got {:?}",
+                resp.verdict
+            );
+        };
+        assert!(
+            steps.iter().any(|s| s.rule == "dead-branch"),
+            "query {i}: the abort-sealed arm must be rewritten away"
+        );
+        assert!(*fixpoint, "query {i}: expected a fixpoint run");
+    }
+
+    let persistent_growth = interned_expr_count() - persistent_before;
+    let retired = scratch_retired_total() - retired_before;
+    let symbol_growth = Symbol::interned_count() - symbols_before;
+    let optimize = session.optimize_stats();
+    println!(
+        "optimize soak: {n} distinct programs, {} steps applied, {} engine decides \
+         ({} cert cache hits); persistent +{persistent_growth} nodes, resident \
+         {resident_before} -> {}, scratch retired {retired}, symbols +{symbol_growth}",
+        optimize.steps_applied,
+        optimize.engine_decides,
+        optimize.cert_cache_hits,
+        arena_resident_nodes(),
+    );
+    // The acceptance gate: applying rewrites costs nothing persistent —
+    // the rewritten program text lives in the response, not the arena.
+    assert!(
+        persistent_growth <= 16,
+        "optimize traffic leaked {persistent_growth} persistent arena nodes over {n} queries"
+    );
+    assert_eq!(
+        arena_resident_nodes() - interned_expr_count(),
+        resident_before - persistent_before,
+        "live scratch nodes leaked across optimize queries"
+    );
+    // Every query ran analysis, at least one certified apply, a
+    // re-analysis, and the final certificate decide through scratch.
+    assert!(
+        retired >= 6 * n as u64,
+        "optimize runs retired only {retired} scratch nodes over {n} queries"
+    );
+    assert!(
+        optimize.steps_applied >= n as u64,
+        "only {} applied steps over {n} distinct sealed programs",
+        optimize.steps_applied
+    );
+    assert!(
+        optimize.engine_decides >= n as u64,
+        "only {} engine decides over {n} distinct final certificates",
+        optimize.engine_decides
+    );
+    assert!(
+        symbol_growth <= 8,
+        "optimize traffic grew the symbol table by {symbol_growth} names"
+    );
+}
+
+#[test]
 fn equal_prog_eq_pairs_persist_only_their_promoted_encodings() {
     let _serial = soak_lock();
     // Equal pairs (skip-padding): the decided-equal encodings are

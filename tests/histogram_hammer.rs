@@ -132,8 +132,9 @@ fn parallel_analyze_batches_conserve_findings_and_tier_b_checks() {
     assert_eq!(queries.len(), 32);
 
     for jobs in [1, 2, 4, 8] {
-        let (responses, _, stats) =
-            run_batch_parallel_traced(&queries, &SessionOptions::default(), jobs);
+        let (responses, trace) =
+            run_batch_parallel_traced(&queries, &SessionOptions::default(), jobs, None);
+        let stats = trace.analysis;
         assert_eq!(responses.len(), 32);
         let mut findings_seen = 0u64;
         for resp in &responses {

@@ -1,0 +1,260 @@
+//! The golden optimizer corpus, end to end: the checked-in 20-program
+//! `optimize` fixture must decode, answer with its recorded step count
+//! and final-program hash on an in-process `Session`, replay every
+//! final certificate on a *fresh* session, and produce byte-identical
+//! output through the real `nka batch --json` binary — sequentially
+//! and sharded over `--jobs 4` workers (every applied step is
+//! engine-certified before it lands and refuted advisories are never
+//! applied, so worker layout cannot change a single rewrite).
+//!
+//! Also home of the fixpoint-termination regression (the deliberately
+//! cycling rule pair): naming `loop-peeling` arms the growing peel
+//! direction, whose output the rolling direction would immediately
+//! undo — the interned-encoding seen-set must break the cycle and the
+//! step budget must bail with a structured note, never hang or return
+//! an uncertified program.
+
+use nka_quantum::api::json::Json;
+use nka_quantum::api::{wire, Query, Session, Verdict};
+use nka_quantum::nka::snapshot::fnv1a64;
+use std::process::Command;
+
+const CORPUS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/optimize_20.jsonl");
+
+/// `(query, expected step count, expected final-program hash)` per
+/// corpus line, via the wire decoder (which ignores the `expect*`
+/// annotation keys) plus a raw-JSON read of them.
+fn load_corpus() -> Vec<(Query, usize, String)> {
+    let text = std::fs::read_to_string(CORPUS).expect("fixture readable");
+    text.lines()
+        .filter_map(|line| {
+            let query = wire::decode_request(line)
+                .unwrap_or_else(|err| panic!("bad fixture line {line:?}: {err}"))?;
+            let value = Json::parse(line).expect("fixture line is JSON");
+            assert_eq!(
+                value.get("expect").and_then(Json::as_str),
+                Some("optimized"),
+                "fixture line lacks expect: {line}"
+            );
+            let steps = value
+                .get("expect_steps")
+                .and_then(Json::as_i64)
+                .unwrap_or_else(|| panic!("fixture line lacks expect_steps: {line}"))
+                as usize;
+            let hash = value
+                .get("expect_final_hash")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("fixture line lacks expect_final_hash: {line}"))
+                .to_owned();
+            Some((query, steps, hash))
+        })
+        .collect()
+}
+
+#[test]
+fn fixture_has_20_optimize_queries_covering_the_certifiable_catalog() {
+    let corpus = load_corpus();
+    assert_eq!(corpus.len(), 20);
+    assert!(corpus
+        .iter()
+        .all(|(q, _, _)| matches!(q, Query::Optimize { .. })));
+    // Zero-step (already optimal / advisory-only) and multi-step
+    // programs are both represented.
+    assert!(corpus.iter().any(|(_, steps, _)| *steps == 0));
+    assert!(corpus.iter().any(|(_, steps, _)| *steps >= 2));
+    // A rules filter and a step budget appear in the fixture.
+    assert!(corpus.iter().any(|(q, _, _)| matches!(
+        q,
+        Query::Optimize { rules, .. } if !rules.is_empty()
+    )));
+    assert!(corpus
+        .iter()
+        .any(|(q, _, _)| matches!(q, Query::Optimize { max_steps: 1, .. })));
+}
+
+/// The in-process oracle: one warm session must answer every corpus
+/// line with its recorded step count and final-program hash, every
+/// applied step must name a catalog rule with a citation, and every
+/// final certificate must replay to `holds` on a fresh session —
+/// including the zero-step lines, whose certificate is the reflexive
+/// pair with an empty trace.
+#[test]
+fn oracle_session_answers_the_recorded_rewrites_and_certificates_replay() {
+    let corpus = load_corpus();
+    let mut session = Session::new();
+    let mut zero_step_replayed = 0;
+    for (i, (query, expect_steps, expect_hash)) in corpus.iter().enumerate() {
+        let resp = session.run(query);
+        let Verdict::Optimized {
+            optimized,
+            steps,
+            certificate,
+            fixpoint,
+            note,
+        } = &resp.verdict
+        else {
+            panic!("line {}: expected an Optimized verdict", i + 1);
+        };
+        assert_eq!(steps.len(), *expect_steps, "line {} steps drifted", i + 1);
+        assert_eq!(
+            format!("{:016x}", fnv1a64(optimized.as_bytes())),
+            *expect_hash,
+            "line {}: final program drifted: {optimized}",
+            i + 1
+        );
+        // A run is either a fixpoint or carries the budget-bail note.
+        assert!(
+            *fixpoint || note.as_deref().is_some_and(|n| n.contains("step budget")),
+            "line {}: neither fixpoint nor budget note",
+            i + 1
+        );
+        for step in steps {
+            assert!(!step.citation().is_empty(), "line {}: blank cite", i + 1);
+        }
+        assert_eq!(certificate.expect, "holds");
+        let Query::Optimize { prog, .. } = query else {
+            unreachable!()
+        };
+        assert_eq!(certificate.p, prog.source(), "line {}: cert.p", i + 1);
+        assert_eq!(certificate.q, *optimized, "line {}: cert.q", i + 1);
+        if *expect_steps == 0 {
+            assert_eq!(
+                certificate.p,
+                certificate.q,
+                "line {}: a zero-step run certifies the identity",
+                i + 1
+            );
+            zero_step_replayed += 1;
+        }
+        let replay = Query::prog_eq(&certificate.p, &certificate.q)
+            .unwrap_or_else(|err| panic!("line {}: bad certificate: {err}", i + 1));
+        let verdict = Session::new().run(&replay).verdict;
+        assert!(
+            matches!(verdict, Verdict::ProgEq { holds: true, .. }),
+            "line {}: certificate failed to replay: {} vs {}",
+            i + 1,
+            certificate.p,
+            certificate.q
+        );
+    }
+    assert!(zero_step_replayed >= 3, "too few identity certificates");
+}
+
+/// Satellite regression: a deliberately cycling rule pair. Naming
+/// `loop-peeling` arms peel-forward, whose rewrite the roll direction
+/// would undo one step later; the interned-encoding seen-set blocks
+/// the re-roll (counted as a cycle break) and the step budget bails
+/// with a structured note — bounded steps, certified output, no hang.
+#[test]
+fn cycling_peel_roll_pair_bails_on_budget_with_certified_output() {
+    let mut session = Session::new();
+    let query = Query::optimize(
+        "qubits 2; while q0 { h q1 }",
+        &["loop-peeling".to_owned()],
+        3,
+        1,
+    )
+    .expect("well-formed");
+    let resp = session.run(&query);
+    let Verdict::Optimized {
+        optimized,
+        steps,
+        certificate,
+        fixpoint,
+        note,
+    } = &resp.verdict
+    else {
+        panic!("expected an Optimized verdict");
+    };
+    assert_eq!(steps.len(), 3, "exactly max_steps peels, then bail");
+    assert!(steps.iter().all(|s| s.rule == "loop-peeling"));
+    assert!(!fixpoint);
+    assert!(
+        note.as_deref()
+            .is_some_and(|n| n.contains("step budget exhausted after 3 step(s)")),
+        "missing structured budget note: {note:?}"
+    );
+    let stats = session.optimize_stats();
+    assert_eq!(stats.budget_bails, 1);
+    assert!(
+        stats.cycle_breaks > 0,
+        "the roll direction must have been seen-set-blocked at least once"
+    );
+    // The bailed-out program is still certified equivalent.
+    assert_eq!(certificate.q, *optimized);
+    let replay = Query::prog_eq(&certificate.p, &certificate.q).expect("replayable");
+    assert!(matches!(
+        Session::new().run(&replay).verdict,
+        Verdict::ProgEq { holds: true, .. }
+    ));
+}
+
+/// Runs `nka batch --json` over the corpus with the given extra args;
+/// returns the stable projection of each output line (per-execution
+/// `stats`/`micros` dropped).
+fn batch_lines(extra: &[&str]) -> Vec<String> {
+    let output = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(extra.iter().copied().chain(["batch", "--json", CORPUS]))
+        .output()
+        .expect("nka binary runs");
+    assert!(
+        output.status.success(),
+        "batch exited {:?}: {}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("UTF-8 output");
+    stdout
+        .lines()
+        .map(|line| {
+            let value = Json::parse(line)
+                .unwrap_or_else(|err| panic!("unparseable output line ({err}): {line}"));
+            let Json::Obj(fields) = &value else {
+                panic!("response is not an object: {line}")
+            };
+            fields
+                .iter()
+                .filter(|(k, _)| k != "stats" && k != "micros")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect()
+}
+
+#[test]
+fn nka_batch_matches_the_oracle_sequentially_and_parallel() {
+    let corpus = load_corpus();
+    let sequential = batch_lines(&[]);
+    assert_eq!(sequential.len(), 20, "one response line per query");
+    for (i, (line, (_, expect_steps, _))) in sequential.iter().zip(&corpus).enumerate() {
+        assert!(
+            line.contains("verdict=\"optimized\""),
+            "line {}: {line}",
+            i + 1
+        );
+        // Each step carries exactly one "citation" key (the
+        // certificate object has none), so the count is the trace
+        // length.
+        let step_objects = line.matches("\"citation\":").count();
+        assert_eq!(
+            step_objects,
+            *expect_steps,
+            "line {}: step count drifted: {line}",
+            i + 1
+        );
+    }
+    // --jobs 4 must be byte-identical on the stable projection — this
+    // includes every step trace and the certificate's embedded engine
+    // stats, so a layout-dependent rewrite decision would fail here.
+    let parallel = batch_lines(&["--jobs", "4"]);
+    assert_eq!(parallel.len(), 20);
+    for (i, (seq, par)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            seq,
+            par,
+            "line {}: --jobs 4 diverged from sequential",
+            i + 1
+        );
+    }
+}

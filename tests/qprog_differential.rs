@@ -188,6 +188,72 @@ proptest! {
         }
     }
 
+    /// Optimizer soundness, the differential way: whatever program the
+    /// optimizer returns must be superoperator-equal to its input under
+    /// the density-basis oracle — for *every* generated program, the
+    /// ones where rewrites fire and the ones where nothing does (the
+    /// zero-step runs must return the input verbatim with an empty
+    /// trace). The final certificate must replay to `holds` on a fresh
+    /// session either way, so optimizer output is never trusted beyond
+    /// what the engine re-proves.
+    #[test]
+    fn optimizer_output_is_semantically_equal_and_certified(
+        p in small_programs(),
+        seed in 0u64..1 << 32,
+    ) {
+        let mut rng = TestRng::deterministic(&format!("optimize::{seed}"));
+        // Half the cases get an abort-sealed arm injected so certified
+        // rewrites (dead-branch at least) are guaranteed to fire; the
+        // other half stay as generated, keeping zero-step runs in the
+        // sample.
+        let prog = if rng.below(2) == 0 {
+            let guard = rng.below(p.qubits as u64) as usize;
+            let mut body = p.body.clone();
+            body.push(RStmt::If(
+                guard,
+                vec![RStmt::Gate1("h", guard), RStmt::Abort],
+                vec![RStmt::Skip],
+            ));
+            RProg { qubits: p.qubits, body }
+        } else {
+            p
+        };
+        let source = prog.to_string();
+        let query = Query::optimize(&source, &[] as &[&str], 32, 1)
+            .unwrap_or_else(|err| panic!("generated program malformed: {err}\n  {prog}"));
+        let mut session = Session::new();
+        let Verdict::Optimized { optimized, steps, certificate, fixpoint, .. } =
+            session.run(&query).verdict
+        else {
+            panic!("expected an Optimized verdict for {prog}");
+        };
+        // Ground truth: the rewrite chain preserved the superoperator.
+        let before = prog.parse();
+        let after = SurfaceProgram::parse(&optimized)
+            .unwrap_or_else(|err| panic!("optimizer emitted garbage: {err}\n  {optimized}"));
+        prop_assert!(
+            semantically_equal(&before, &after, SEM_TOL),
+            "UNSOUND: optimizer changed the semantics\n  before: {}\n  after:  {}",
+            source, optimized
+        );
+        // Zero rules fired: identity output, empty trace, fixpoint.
+        if steps.is_empty() {
+            prop_assert_eq!(&optimized, &source, "a zero-step run must return its input");
+            prop_assert!(fixpoint, "a zero-step run is a fixpoint by definition");
+        }
+        // The certificate replays on a fresh session.
+        prop_assert_eq!(&certificate.p, &source);
+        prop_assert_eq!(&certificate.q, &optimized);
+        let replay = Query::prog_eq(&certificate.p, &certificate.q)
+            .unwrap_or_else(|err| panic!("certificate does not re-parse: {err}\n  {prog}"));
+        let verdict = Session::new().run(&replay).verdict;
+        prop_assert!(
+            matches!(verdict, Verdict::ProgEq { holds: true, .. }),
+            "optimizer certificate failed to replay\n  p: {}\n  q: {}\n  got {:?}",
+            certificate.p, certificate.q, verdict
+        );
+    }
+
     /// Tier B soundness for the static analyzer: every `dead_branch`
     /// finding's embedded certificate replays to the same verdict
     /// (`holds`) on a *fresh* session, and the flagged arm really is
@@ -255,6 +321,37 @@ proptest! {
             );
         }
     }
+}
+
+/// The optimizer property above must exercise both run shapes — cases
+/// where rewrites fire and zero-step identity runs — or its weakest
+/// clauses go untested. Pinned deterministically here.
+#[test]
+fn optimizer_differential_reaches_both_run_shapes() {
+    let mut session = Session::new();
+    let multi = Query::optimize(
+        "qubits 2; if q0 { h q1; abort } else { skip }; abort; x q0",
+        &[] as &[&str],
+        32,
+        1,
+    )
+    .unwrap();
+    let Verdict::Optimized { steps, .. } = session.run(&multi).verdict else {
+        panic!("expected an Optimized verdict");
+    };
+    assert!(
+        !steps.is_empty(),
+        "rewrites must fire on the sealed program"
+    );
+    let zero = Query::optimize("qubits 1; h q0; x q0", &[] as &[&str], 32, 1).unwrap();
+    let Verdict::Optimized {
+        optimized, steps, ..
+    } = session.run(&zero).verdict
+    else {
+        panic!("expected an Optimized verdict");
+    };
+    assert!(steps.is_empty(), "no catalog rule applies to a gate chain");
+    assert_eq!(optimized, "qubits 1; h q0; x q0");
 }
 
 /// The suite must exercise both verdicts — a generator drifting into

@@ -16,6 +16,7 @@ use std::process::{Command, Stdio};
 
 const QPROG: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/qprog_25.jsonl");
 const ANALYZE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/analyze_20.jsonl");
+const OPTIMIZE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/optimize_20.jsonl");
 
 /// A fresh per-test scratch directory (pid-scoped so parallel test
 /// binaries cannot collide).
@@ -62,12 +63,15 @@ impl Run {
     }
 }
 
-/// `nka --stats --json [--snapshot FILE] batch CORPUS`.
-fn run_batch(corpus: &str, snapshot: Option<&Path>) -> Run {
+/// `nka --stats --json [--snapshot FILE] [--jobs N] batch CORPUS`.
+fn run_batch_jobs(corpus: &str, snapshot: Option<&Path>, jobs: Option<usize>) -> Run {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_nka"));
     cmd.args(["--stats", "--json"]);
     if let Some(path) = snapshot {
         cmd.arg("--snapshot").arg(path);
+    }
+    if let Some(n) = jobs {
+        cmd.arg("--jobs").arg(n.to_string());
     }
     cmd.arg("batch").arg(corpus);
     let output = cmd.output().expect("nka binary runs");
@@ -76,6 +80,11 @@ fn run_batch(corpus: &str, snapshot: Option<&Path>) -> Run {
         stdout: String::from_utf8(output.stdout).expect("stdout is UTF-8"),
         stderr: String::from_utf8(output.stderr).expect("stderr is UTF-8"),
     }
+}
+
+/// `nka --stats --json [--snapshot FILE] batch CORPUS`.
+fn run_batch(corpus: &str, snapshot: Option<&Path>) -> Run {
+    run_batch_jobs(corpus, snapshot, None)
 }
 
 /// The snapshot header layout pinned by `nka_core::snapshot`: 8 magic
@@ -142,6 +151,68 @@ fn warm_restart_replays_analyze_corpus_with_certificate_hits() {
         "the analyze replay must hit restored certificates: {}",
         warm.stderr
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `batch --jobs N --snapshot FILE` (previously rejected as "parallel
+/// workers are transient"): every chunk's workers warm-start from the
+/// loaded entries and drain their caches into one shared merge builder,
+/// written once at end of stream. The dumped file must `snapshot
+/// verify`, and a fresh parallel replay must hit the restored caches —
+/// on the optimizer corpus, so optimizer-final `prog_eq` verdicts are
+/// shown to ride the existing verdict/cert caches across a restart.
+#[test]
+fn parallel_batch_merges_worker_snapshots_and_replays_warm() {
+    let dir = temp_dir("jobs");
+    let snap = dir.join("warm.nkasnap");
+
+    // Cold parallel pass: 4 workers per chunk, one merged dump.
+    let cold = run_batch_jobs(OPTIMIZE, Some(&snap), Some(4));
+    assert_eq!(cold.code, Some(0), "{}", cold.stderr);
+    assert!(snap.exists(), "parallel batch must write the merged dump");
+    assert!(cold.stderr.contains("snapshot: dumped"), "{}", cold.stderr);
+    assert!(cold.snapshot_stat("dumps") >= 1, "{}", cold.stderr);
+
+    // The merged dump is a fully valid snapshot file.
+    let verify = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["snapshot", "verify"])
+        .arg(&snap)
+        .output()
+        .expect("nka snapshot verify runs");
+    assert_eq!(
+        verify.status.code(),
+        Some(0),
+        "merged dump failed verification: {}",
+        String::from_utf8_lossy(&verify.stderr)
+    );
+
+    // Warm parallel pass in a fresh process: byte-identical stable
+    // projections, and the restored caches actually get hit (the
+    // optimizer's final certifications are cert-cache lookups).
+    let warm = run_batch_jobs(OPTIMIZE, Some(&snap), Some(4));
+    assert_eq!(warm.code, Some(0), "{}", warm.stderr);
+    assert_eq!(
+        cold.projected(),
+        warm.projected(),
+        "verdict projections must be byte-identical across the restart"
+    );
+    assert!(
+        warm.snapshot_stat("restored_entries") > 0,
+        "{}",
+        warm.stderr
+    );
+    assert!(
+        warm.snapshot_stat("snapshot_hits") + warm.snapshot_stat("cert_snapshot_hits") > 0,
+        "the parallel replay must hit the restored caches: {}",
+        warm.stderr
+    );
+    // The warm pass also re-dumps (merge of restored + fresh entries).
+    assert!(warm.snapshot_stat("dumps") >= 1, "{}", warm.stderr);
+
+    // Sequential and parallel answers agree warm, too.
+    let seq = run_batch_jobs(OPTIMIZE, Some(&snap), None);
+    assert_eq!(seq.code, Some(0), "{}", seq.stderr);
+    assert_eq!(warm.projected(), seq.projected());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

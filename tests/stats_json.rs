@@ -133,6 +133,61 @@ fn json_stats_are_one_parseable_object_with_the_contract_fields() {
     );
 }
 
+/// The optimizer gets its own counter section and latency histogram in
+/// `--stats --json`: a batch over the golden optimize corpus must
+/// report 20 `optimize` op samples and a populated per-rule step
+/// breakdown (every catalog rule keyed, fired or not).
+#[test]
+fn optimizer_counters_and_histogram_appear_in_json_stats() {
+    const OPTIMIZE_FILE: &str =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/optimize_20.jsonl");
+    let output = Command::new(env!("CARGO_BIN_EXE_nka"))
+        .args(["--stats", "--json", "batch", OPTIMIZE_FILE])
+        .output()
+        .expect("nka runs");
+    assert!(output.status.success());
+    let stderr = String::from_utf8(output.stderr).expect("stderr is UTF-8");
+    let line = stderr
+        .lines()
+        .find(|line| line.starts_with('{'))
+        .expect("a JSON stats line");
+    let value = Json::parse(line).expect("stats JSON parses");
+
+    let optimize = value.get("optimize").expect("optimize section");
+    assert_eq!(optimize.get("queries").and_then(Json::as_i64), Some(20));
+    for key in [
+        "steps_applied",
+        "candidates_refuted",
+        "fixpoints",
+        "budget_bails",
+        "cycle_breaks",
+        "engine_decides",
+        "cert_cache_hits",
+    ] {
+        assert!(
+            optimize.get(key).and_then(Json::as_i64).is_some(),
+            "missing optimizer counter {key:?}"
+        );
+    }
+    assert!(optimize.get("steps_applied").and_then(Json::as_i64) > Some(0));
+    // The corpus carries one deliberate max_steps:1 budget bail and 19
+    // fixpoint runs.
+    assert_eq!(optimize.get("fixpoints").and_then(Json::as_i64), Some(19));
+    assert_eq!(optimize.get("budget_bails").and_then(Json::as_i64), Some(1));
+    let steps = optimize.get("steps").expect("per-rule step breakdown");
+    for rule in ["dead-branch", "abort-sink", "loop-peeling", "gate-fusion"] {
+        assert!(
+            steps.get(rule).and_then(Json::as_i64).is_some(),
+            "missing per-rule step key {rule:?}"
+        );
+    }
+    assert!(steps.get("dead-branch").and_then(Json::as_i64) > Some(0));
+
+    let ops = value.get("ops").expect("ops section");
+    let entry = ops.get("optimize").expect("optimize op histogram");
+    assert_eq!(entry.get("count").and_then(Json::as_i64), Some(20));
+}
+
 /// The quantum workloads (`prog_eq`, `hoare`) appear as their own ops
 /// in the JSON histogram section when the stream contains them.
 #[test]
